@@ -1,0 +1,42 @@
+// Ablation: sensitivity of the integrated synthesis to (k, alpha, beta).
+//
+// The paper: "it seems that the chosen parameters do not influence so much
+// the final results."  This bench sweeps k and the (alpha, beta) weighting
+// on the three table benchmarks and reports the resulting design metrics.
+#include <iostream>
+#include <vector>
+
+#include "benchmarks/benchmarks.hpp"
+#include "core/flows.hpp"
+#include "report/table.hpp"
+
+int main() {
+  using namespace hlts;
+  report::Table table({"benchmark", "k", "alpha", "beta", "steps", "modules",
+                       "registers", "muxes", "area", "balance"});
+  for (const char* name : {"ex", "dct", "diffeq"}) {
+    dfg::Dfg g = benchmarks::make_benchmark(name);
+    for (int k : {1, 3, 5, 8}) {
+      for (auto [alpha, beta] : std::vector<std::pair<double, double>>{
+               {2, 1}, {1, 1}, {10, 1}, {1, 10}}) {
+        core::FlowParams p;
+        p.bits = 8;
+        p.k = k;
+        p.alpha = alpha;
+        p.beta = beta;
+        core::FlowResult r = core::run_flow(core::FlowKind::Ours, g, p);
+        table.add_row({name, report::fmt_int(k), report::fmt_double(alpha, 0),
+                       report::fmt_double(beta, 0),
+                       report::fmt_int(r.exec_time),
+                       report::fmt_int(r.modules),
+                       report::fmt_int(r.registers), report::fmt_int(r.muxes),
+                       report::fmt_double(r.cost.total(), 3),
+                       report::fmt_double(r.balance_index, 3)});
+      }
+    }
+    table.add_separator();
+  }
+  std::cout << "Ablation: (k, alpha, beta) sensitivity of Algorithm 1\n"
+            << table.render();
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Extension study: test-plan controller support.
+//
+// The paper synthesizes testable *data paths* "assuming that the controller
+// can be modified to support the test plan."  This bench implements that
+// assumption -- a `hold` input freezing the one-hot controller in its
+// current step -- and measures what the test plan buys on top of each
+// synthesis flow: the tester can park the machine in any step and pump
+// patterns through the parked configuration.
+//
+//   ./ablation_testplan [bits] [seeds]
+#include <cstdlib>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "benchmarks/benchmarks.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hlts;
+  const int bits = argc > 1 ? std::atoi(argv[1]) : 8;
+  const int seeds = argc > 2 ? std::atoi(argv[2]) : 3;
+
+  report::Table table({"benchmark", "flow", "controller", "faults", "coverage",
+                       "tg (ms)", "cycles"});
+  for (const char* name : {"ex", "dct", "diffeq"}) {
+    dfg::Dfg g = benchmarks::make_benchmark(name);
+    core::FlowParams params = bench::paper_params(bits);
+    for (core::FlowKind kind : {core::FlowKind::Camad, core::FlowKind::Ours}) {
+      core::FlowResult flow = core::run_flow(kind, g, params);
+      rtl::RtlDesign design = rtl::RtlDesign::from_synthesis(
+          g, flow.schedule, flow.binding, bits);
+      for (bool test_hold : {false, true}) {
+        rtl::Elaboration elab =
+            [&] {
+              rtl::ElaborateOptions eo;
+              eo.test_hold = test_hold;
+              return rtl::elaborate(design, eo);
+            }();
+        double coverage = 0, tg = 0, cycles = 0;
+        std::size_t faults = 0;
+        for (int s = 0; s < seeds; ++s) {
+          atpg::AtpgOptions options;
+          options.seed = 1 + static_cast<std::uint64_t>(s) * 7919;
+          atpg::AtpgResult r =
+              atpg::run_atpg(elab.netlist, design.steps() + 1, options);
+          coverage += r.fault_coverage;
+          tg += r.tg_time_ms;
+          cycles += static_cast<double>(r.test_cycles);
+          faults = r.total_faults;
+        }
+        table.add_row({name, flow.name, test_hold ? "with hold" : "free-run",
+                       report::fmt_int(static_cast<long>(faults)),
+                       report::fmt_percent(coverage / seeds),
+                       report::fmt_double(tg / seeds, 1),
+                       report::fmt_int(static_cast<long>(cycles / seeds))});
+      }
+    }
+    table.add_separator();
+  }
+  std::cout << "Extension: test-plan controller support (hold input)\n"
+            << table.render();
+  return 0;
+}

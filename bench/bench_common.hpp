@@ -1,0 +1,125 @@
+// Shared driver for the table benches: run a synthesis flow, elaborate to
+// gates, run the bounded-effort ATPG over several seeds, and average the
+// paper's three test metrics.
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "atpg/atpg.hpp"
+#include "core/flows.hpp"
+#include "dfg/dfg.hpp"
+#include "report/table.hpp"
+#include "rtl/elaborate.hpp"
+#include "rtl/rtl.hpp"
+
+namespace hlts::bench {
+
+/// The Algorithm-1 parameters used for the paper-table benches.
+///
+/// The paper reports (k, alpha, beta) = (3,2,1) / (3,10,1) / (3,1,10) for
+/// its 4/8/16-bit runs and notes "the chosen parameters do not influence so
+/// much the final results".  Those triples are tied to the original
+/// implementation's cost units; in our units (dE in control steps, dH in
+/// 0.01 mm^2) the equivalent emphasis is (5, 2, 1), which reproduces the
+/// paper's reported Ex/Diffeq allocations and is used at every width.  The
+/// ablation_kab bench sweeps the parameters to test the insensitivity
+/// claim.
+inline core::FlowParams paper_params(int bits) {
+  core::FlowParams p;
+  p.bits = bits;
+  p.k = 5;
+  p.alpha = 2;
+  p.beta = 1;
+  return p;
+}
+
+/// Seed-averaged ATPG metrics for one synthesized design.
+struct TestMetrics {
+  double coverage = 0;
+  double tg_time_ms = 0;
+  double test_cycles = 0;
+  std::size_t faults = 0;
+  std::size_t gate_count = 0;
+};
+
+inline TestMetrics evaluate_testability(const dfg::Dfg& g,
+                                        const core::FlowResult& flow, int bits,
+                                        int num_seeds,
+                                        const atpg::AtpgOptions& base = {}) {
+  rtl::RtlDesign design =
+      rtl::RtlDesign::from_synthesis(g, flow.schedule, flow.binding, bits);
+  rtl::Elaboration elab = rtl::elaborate(design);
+  TestMetrics m;
+  m.gate_count = elab.netlist.stats().gates;
+  for (int s = 0; s < num_seeds; ++s) {
+    atpg::AtpgOptions options = base;
+    options.seed = base.seed + static_cast<std::uint64_t>(s) * 7919;
+    atpg::AtpgResult r =
+        atpg::run_atpg(elab.netlist, design.steps() + 1, options);
+    m.coverage += r.fault_coverage;
+    m.tg_time_ms += r.tg_time_ms;
+    m.test_cycles += static_cast<double>(r.test_cycles);
+    m.faults = r.total_faults;
+  }
+  m.coverage /= num_seeds;
+  m.tg_time_ms /= num_seeds;
+  m.test_cycles /= num_seeds;
+  return m;
+}
+
+/// Renders one paper-style table (Tables 1-3): four flows x three widths.
+inline void run_paper_table(const std::string& title, const dfg::Dfg& g,
+                            bool include_area, int num_seeds) {
+  std::vector<std::string> header{"Synthesis", "Module allocation",
+                                  "Register allocation", "#Mux", "#Bit",
+                                  "Fault coverage", "TG time (ms)",
+                                  "Test cycles"};
+  if (include_area) header.push_back("Area (mm^2)");
+  report::Table table(header);
+
+  bool first_flow = true;
+  for (core::FlowKind kind :
+       {core::FlowKind::Camad, core::FlowKind::Approach1,
+        core::FlowKind::Approach2, core::FlowKind::Ours}) {
+    if (!first_flow) table.add_separator();
+    first_flow = false;
+    bool first_width = true;
+    for (int bits : {4, 8, 16}) {
+      core::FlowParams params = paper_params(bits);
+      core::FlowResult flow = core::run_flow(kind, g, params);
+      TestMetrics m = evaluate_testability(g, flow, bits, num_seeds);
+
+      std::vector<std::string> row;
+      row.push_back(first_width ? flow.name : "");
+      // The allocation columns describe the (width-independent) structure;
+      // print them on the first width row only, like the paper does.
+      std::string mods;
+      std::string regs;
+      if (first_width) {
+        for (const auto& s : flow.module_allocation) {
+          mods += (mods.empty() ? "" : "; ") + s;
+        }
+        for (const auto& s : flow.register_allocation) {
+          regs += (regs.empty() ? "" : "; ") + s;
+        }
+      }
+      row.push_back(mods);
+      row.push_back(regs);
+      row.push_back(first_width ? report::fmt_int(flow.muxes) : "");
+      row.push_back(report::fmt_int(bits));
+      row.push_back(report::fmt_percent(m.coverage));
+      row.push_back(report::fmt_double(m.tg_time_ms, 1));
+      row.push_back(report::fmt_int(static_cast<long>(m.test_cycles)));
+      if (include_area) {
+        row.push_back(report::fmt_double(flow.cost.total(), 3));
+      }
+      table.add_row(std::move(row));
+      first_width = false;
+    }
+  }
+  std::cout << title << "\n" << table.render() << "\n";
+}
+
+}  // namespace hlts::bench

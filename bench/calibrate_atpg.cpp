@@ -1,0 +1,58 @@
+// Calibration sweep for the bounded-effort ATPG profile.
+//
+// The paper's comparisons were produced by a 1998 commercial sequential
+// ATPG whose effort limits are unknown; this tool sweeps our engine's
+// budget knobs (random rounds/sequences, PODEM backtrack limit) and prints
+// per-flow fault coverage so the table benches can use a regime where the
+// flows differentiate (a saturating budget drives every design to its
+// functional-testability limit and the comparison degenerates).
+//
+//   ./calibrate_atpg [bits] [seeds]
+#include <cstdlib>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "benchmarks/benchmarks.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hlts;
+  const int bits = argc > 1 ? std::atoi(argv[1]) : 8;
+  const int seeds = argc > 2 ? std::atoi(argv[2]) : 3;
+
+  struct Profile {
+    const char* name;
+    int rounds, seqs, backtracks;
+  };
+  const Profile profiles[] = {
+      {"tiny", 1, 1, 10},
+      {"small", 1, 1, 32},
+      {"medium", 2, 2, 64},
+      {"large", 6, 4, 200},
+  };
+
+  report::Table table(
+      {"benchmark", "profile", "CAMAD", "Approach 1", "Approach 2", "Ours"});
+  for (const char* name : {"ex", "dct", "diffeq"}) {
+    dfg::Dfg g = benchmarks::make_benchmark(name);
+    core::FlowParams params = bench::paper_params(bits);
+    std::vector<core::FlowResult> flows = core::run_all_flows(g, params);
+    for (const Profile& prof : profiles) {
+      atpg::AtpgOptions options;
+      options.max_rounds = prof.rounds;
+      options.sequences_per_round = prof.seqs;
+      options.podem_backtrack_limit = prof.backtracks;
+      std::vector<std::string> row{name, prof.name};
+      for (const core::FlowResult& flow : flows) {
+        bench::TestMetrics m =
+            bench::evaluate_testability(g, flow, bits, seeds, options);
+        row.push_back(report::fmt_percent(m.coverage));
+      }
+      table.add_row(std::move(row));
+    }
+    table.add_separator();
+  }
+  std::cout << "ATPG budget calibration @ " << bits << " bits, " << seeds
+            << " seeds\n"
+            << table.render();
+  return 0;
+}

@@ -1,0 +1,22 @@
+// Regenerates Figure 3: the schedules produced by the integrated synthesis
+// algorithm for the Dct and Diffeq benchmarks, with the shared-module and
+// shared-register groups.
+#include <iostream>
+
+#include "benchmarks/benchmarks.hpp"
+#include "core/flows.hpp"
+#include "report/schedule_view.hpp"
+
+int main() {
+  using namespace hlts;
+  for (const char* name : {"dct", "diffeq"}) {
+    dfg::Dfg g = benchmarks::make_benchmark(name);
+    core::FlowResult ours = core::run_flow(core::FlowKind::Ours, g,
+                                           {.bits = 4, .alpha = 2, .beta = 1});
+    std::cout << "Figure 3: the schedule for the " << name
+              << " benchmark (Ours)\n\n";
+    std::cout << report::render_schedule(g, ours.schedule, ours.binding)
+              << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,18 @@
+// Regenerates Table 1: experimental results on the area-optimized Ex
+// benchmark (fault coverage / test generation time / test cycles for the
+// four synthesis flows at 4, 8 and 16 bits).
+//
+//   ./table1_ex [num_seeds]
+#include <cstdlib>
+
+#include "bench_common.hpp"
+#include "benchmarks/benchmarks.hpp"
+
+int main(int argc, char** argv) {
+  const int seeds = argc > 1 ? std::atoi(argv[1]) : 3;
+  hlts::dfg::Dfg g = hlts::benchmarks::make_ex();
+  hlts::bench::run_paper_table(
+      "Table 1: experimental results on the area-optimized Ex benchmark", g,
+      /*include_area=*/false, seeds);
+  return 0;
+}

@@ -1,0 +1,17 @@
+// Regenerates Table 3: experimental results on the area-optimized Diffeq
+// benchmark (adds the hardware-cost/area column).
+//
+//   ./table3_diffeq [num_seeds]
+#include <cstdlib>
+
+#include "bench_common.hpp"
+#include "benchmarks/benchmarks.hpp"
+
+int main(int argc, char** argv) {
+  const int seeds = argc > 1 ? std::atoi(argv[1]) : 3;
+  hlts::dfg::Dfg g = hlts::benchmarks::make_diffeq();
+  hlts::bench::run_paper_table(
+      "Table 3: experimental results on the area-optimized Diffeq benchmark",
+      g, /*include_area=*/true, seeds);
+  return 0;
+}

@@ -1,0 +1,20 @@
+// The paper's §5 states the algorithm was also evaluated on EWF, Paulin and
+// Tseng; no tables are given, so this bench produces our results for those
+// benchmarks in the same format (8-bit implementations).
+//
+//   ./table_extra_benchmarks [num_seeds]
+#include <cstdlib>
+
+#include "bench_common.hpp"
+#include "benchmarks/benchmarks.hpp"
+
+int main(int argc, char** argv) {
+  const int seeds = argc > 1 ? std::atoi(argv[1]) : 3;
+  for (const char* name : {"ewf", "paulin", "tseng"}) {
+    hlts::dfg::Dfg g = hlts::benchmarks::make_benchmark(name);
+    hlts::bench::run_paper_table(
+        std::string("Extra benchmark (no paper table): ") + name, g,
+        /*include_area=*/true, seeds);
+  }
+  return 0;
+}

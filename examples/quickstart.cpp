@@ -1,0 +1,47 @@
+// Quickstart: synthesize one benchmark with the integrated test-synthesis
+// algorithm and print what came out.
+//
+//   ./quickstart [benchmark] [bits]
+//
+// Demonstrates the core public API: build (or load) a DFG, run a flow, and
+// inspect schedule, allocation, cost and testability.
+#include <cstdlib>
+#include <iostream>
+
+#include "benchmarks/benchmarks.hpp"
+#include "core/flows.hpp"
+#include "util/log.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hlts;
+  if (std::getenv("HLTS_DEBUG") != nullptr) set_log_level(LogLevel::Debug);
+
+  const std::string bench = argc > 1 ? argv[1] : "ex";
+  core::FlowParams params;
+  params.bits = argc > 2 ? std::atoi(argv[2]) : 8;
+  if (argc > 3) params.alpha = std::atof(argv[3]);
+  if (argc > 4) params.beta = std::atof(argv[4]);
+  if (argc > 5) params.k = std::atoi(argv[5]);
+
+  dfg::Dfg g = benchmarks::make_benchmark(bench);
+  std::cout << "benchmark " << g.name() << ": " << g.num_ops() << " ops, "
+            << g.num_vars() << " vars, critical path "
+            << g.critical_path_ops() << " steps\n\n";
+
+  for (const core::FlowResult& r : core::run_all_flows(g, params)) {
+    std::cout << "== " << r.name << " ==\n"
+              << "  steps=" << r.exec_time << " modules=" << r.modules
+              << " registers=" << r.registers << " muxes=" << r.muxes
+              << " self_loops=" << r.self_loops << "\n"
+              << "  area=" << r.cost.total() << " mm^2"
+              << "  balance=" << r.balance_index
+              << "  seq_depth(max/total)=" << r.seq_depth_max << "/"
+              << r.seq_depth_total << "\n";
+    std::cout << "  modules:";
+    for (const auto& m : r.module_allocation) std::cout << "  " << m;
+    std::cout << "\n  registers:";
+    for (const auto& reg : r.register_allocation) std::cout << "  " << reg;
+    std::cout << "\n\n";
+  }
+  return 0;
+}

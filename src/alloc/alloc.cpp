@@ -1,0 +1,109 @@
+#include "alloc/alloc.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace hlts::alloc {
+
+using etpn::Binding;
+using etpn::ModuleId;
+using etpn::RegId;
+
+void bind_modules_first_fit(const dfg::Dfg& g, const sched::Schedule& s,
+                            Binding& b) {
+  // Ops in step order; each is merged into the first existing merged module
+  // of a compatible class with no step conflict.
+  std::vector<dfg::OpId> order(g.topo_order());
+  std::stable_sort(order.begin(), order.end(), [&](dfg::OpId a, dfg::OpId b2) {
+    return s.step(a) < s.step(b2);
+  });
+
+  // Track the merged module each "bin" maps to, per class.
+  std::vector<ModuleId> bins;
+  for (dfg::OpId op : order) {
+    ModuleId own = b.module_of(op);
+    bool placed = false;
+    for (ModuleId bin : bins) {
+      if (bin == own || !b.module_alive(bin)) continue;
+      if (!b.can_merge_modules(g, bin, own)) continue;
+      const bool conflict =
+          std::any_of(b.module_ops(bin).begin(), b.module_ops(bin).end(),
+                      [&](dfg::OpId other) { return s.step(other) == s.step(op); });
+      if (conflict) continue;
+      b.merge_modules(g, bin, own);
+      placed = true;
+      break;
+    }
+    if (!placed) bins.push_back(own);
+  }
+}
+
+void allocate_registers_left_edge(const dfg::Dfg& g, const sched::Schedule& s,
+                                  Binding& b, bool lee_rules) {
+  const sched::LifetimeTable lifetimes = sched::LifetimeTable::compute(g, s);
+
+  std::vector<dfg::VarId> vars;
+  for (dfg::VarId v : g.var_ids()) {
+    if (g.needs_register(v)) vars.push_back(v);
+  }
+  // Left edge: sort by birth time (ties by longer lifetime first, then id).
+  std::stable_sort(vars.begin(), vars.end(), [&](dfg::VarId a, dfg::VarId c) {
+    const auto la = lifetimes.lifetime(a);
+    const auto lc = lifetimes.lifetime(c);
+    if (la.birth != lc.birth) return la.birth < lc.birth;
+    return la.death > lc.death;
+  });
+
+  std::vector<RegId> bins;
+  for (dfg::VarId v : vars) {
+    RegId own = b.reg_of(v);
+    // Candidate bins whose variables all have disjoint lifetimes with v.
+    std::vector<RegId> fits;
+    for (RegId bin : bins) {
+      if (bin == own || !b.reg_alive(bin)) continue;
+      const bool ok = std::all_of(
+          b.reg_vars(bin).begin(), b.reg_vars(bin).end(),
+          [&](dfg::VarId other) { return lifetimes.disjoint(v, other); });
+      if (ok) fits.push_back(bin);
+    }
+    if (fits.empty()) {
+      bins.push_back(own);
+      continue;
+    }
+    RegId chosen = fits.front();
+    if (lee_rules) {
+      // Rule 1: prefer a bin already holding a primary input or primary
+      // output variable, so shared registers stay directly controllable/
+      // observable.  Among those, prefer the fullest bin (rule 2 proxy:
+      // fewer registers means shorter register-to-register chains).
+      auto quality = [&](RegId bin) {
+        int has_pio = 0;
+        for (dfg::VarId other : b.reg_vars(bin)) {
+          const dfg::Variable& var = g.var(other);
+          if (var.is_primary_input || var.is_primary_output) has_pio = 1;
+        }
+        return std::pair<int, int>(has_pio,
+                                   static_cast<int>(b.reg_vars(bin).size()));
+      };
+      chosen = *std::max_element(fits.begin(), fits.end(),
+                                 [&](RegId a, RegId c) {
+                                   return quality(a) < quality(c);
+                                 });
+    }
+    b.merge_regs(chosen, own);
+  }
+}
+
+Binding allocate(const dfg::Dfg& g, const sched::Schedule& s,
+                 const AllocOptions& options) {
+  HLTS_REQUIRE(s.respects_data_deps(g), "allocate: invalid schedule");
+  Binding b = Binding::default_binding(g);
+  bind_modules_first_fit(g, s, b);
+  allocate_registers_left_edge(g, s, b, options.lee_rules);
+  b.validate(g);
+  return b;
+}
+
+}  // namespace hlts::alloc

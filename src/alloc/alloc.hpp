@@ -1,0 +1,45 @@
+// Post-scheduling allocation algorithms for the baseline flows.
+//
+// Approach 1 (FDS) and Approach 2 (mobility-path) both allocate *after*
+// scheduling: functional modules by first-fit over control steps (the
+// tables show identical module allocations for both approaches) and
+// registers by the left-edge algorithm -- plain for Approach 1, modified
+// with Lee's testability rules for Approach 2:
+//
+//   rule 1: whenever possible, allocate a register to at least one primary
+//           input or primary output variable;
+//   rule 2: reduce the sequential depth from a controllable register to an
+//           observable register.
+#pragma once
+
+#include "dfg/dfg.hpp"
+#include "etpn/binding.hpp"
+#include "sched/lifetime.hpp"
+#include "sched/schedule.hpp"
+
+namespace hlts::alloc {
+
+struct AllocOptions {
+  /// Apply Lee's testability rules when packing registers (Approach 2);
+  /// false gives the plain left-edge packing (Approach 1).
+  bool lee_rules = false;
+};
+
+/// Builds a complete binding for a scheduled DFG: first-fit module binding
+/// plus (modified) left-edge register allocation.  The result is expressed
+/// as a sequence of mergers applied to the default binding, so all Binding
+/// invariants hold.
+[[nodiscard]] etpn::Binding allocate(const dfg::Dfg& g,
+                                     const sched::Schedule& s,
+                                     const AllocOptions& options = {});
+
+/// Module binding only: merges operations of compatible classes scheduled
+/// in distinct control steps, first-fit in step order.
+void bind_modules_first_fit(const dfg::Dfg& g, const sched::Schedule& s,
+                            etpn::Binding& b);
+
+/// Register allocation only: left-edge packing of variable lifetimes.
+void allocate_registers_left_edge(const dfg::Dfg& g, const sched::Schedule& s,
+                                  etpn::Binding& b, bool lee_rules);
+
+}  // namespace hlts::alloc

@@ -1,0 +1,159 @@
+#include "atpg/atpg.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "atpg/compact.hpp"
+#include "atpg/podem.hpp"
+#include "util/error.hpp"
+#include "util/log.hpp"
+#include "util/rng.hpp"
+
+namespace hlts::atpg {
+
+namespace {
+
+/// DFT control inputs are driven deliberately, not with random data: a
+/// random `hold` would freeze the controller half the time and a random
+/// `test_mode`/`bist_mode` would corrupt functional operation.  The random
+/// phase idles them (asserting them only rarely, to exercise their own
+/// logic); the deterministic phase may still assign them freely.
+bool is_dft_control(const std::string& name) {
+  return name == "hold" || name == "test_mode" || name == "bist_mode";
+}
+
+/// A random sequence: reset in cycle 0, then random data inputs (reset and
+/// the DFT controls are re-asserted only with small probability).
+TestSequence random_sequence(const gates::Netlist& nl, int cycles, Rng& rng,
+                             int reset_index) {
+  TestSequence seq;
+  for (int c = 0; c < cycles; ++c) {
+    TestVector v(nl.inputs().size());
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      if (static_cast<int>(i) == reset_index) {
+        v[i] = (c == 0) || rng.next_bool(0.02);
+      } else if (is_dft_control(nl.gate(nl.inputs()[i]).name)) {
+        v[i] = rng.next_bool(0.05);
+      } else {
+        v[i] = rng.next_bool(0.5);
+      }
+    }
+    seq.push_back(std::move(v));
+  }
+  return seq;
+}
+
+int find_reset(const gates::Netlist& nl) {
+  for (std::size_t i = 0; i < nl.inputs().size(); ++i) {
+    if (nl.gate(nl.inputs()[i]).name == "reset") return static_cast<int>(i);
+  }
+  return -1;
+}
+
+}  // namespace
+
+AtpgResult run_atpg(const gates::Netlist& nl, int period,
+                    const AtpgOptions& options) {
+  HLTS_REQUIRE(period >= 1, "controller period must be >= 1");
+  const auto t0 = std::chrono::steady_clock::now();
+
+  AtpgResult result;
+  FaultUniverse universe = FaultUniverse::collapsed(nl);
+  std::vector<Fault> remaining = universe.faults();
+  result.total_faults = remaining.size();
+
+  const int reset_index = find_reset(nl);
+  const int seq_cycles =
+      options.sequence_cycles > 0 ? options.sequence_cycles : 2 * period;
+  Rng rng(options.seed);
+  FaultSimulator fsim(nl);
+
+  // --- random phase ----------------------------------------------------------
+  int idle_rounds = 0;
+  for (int round = 0; round < options.max_rounds && !remaining.empty();
+       ++round) {
+    std::size_t dropped_this_round = 0;
+    for (int s = 0; s < options.sequences_per_round && !remaining.empty();
+         ++s) {
+      TestSequence seq = random_sequence(nl, seq_cycles, rng, reset_index);
+      const std::size_t dropped = fsim.drop_detected(seq, remaining);
+      if (dropped > 0) {
+        dropped_this_round += dropped;
+        result.test_set.push_back(std::move(seq));
+      }
+    }
+    if (dropped_this_round == 0) {
+      if (++idle_rounds >= options.max_idle_rounds) break;
+    } else {
+      idle_rounds = 0;
+    }
+  }
+  result.detected_random = result.total_faults - remaining.size();
+
+  // --- deterministic phase ----------------------------------------------------
+  if (options.deterministic_phase && !remaining.empty()) {
+    const int frames =
+        options.podem_frames > 0 ? options.podem_frames : 2 * period;
+    TimeFramePodem podem(nl, frames);
+    // Walk a snapshot; fault-simulating each generated sequence drops
+    // fortuitously-detected faults from `remaining` as we go.
+    const std::vector<Fault> worklist = remaining;
+    int targets = 0;
+    for (const Fault& target : worklist) {
+      if (options.podem_max_targets > 0 &&
+          targets >= options.podem_max_targets) {
+        break;
+      }
+      if (std::find(remaining.begin(), remaining.end(), target) ==
+          remaining.end()) {
+        continue;  // already detected by an earlier deterministic sequence
+      }
+      ++targets;
+      PodemResult pr = podem.generate(target, options.podem_backtrack_limit);
+      if (pr.status == PodemStatus::Detected) {
+        fsim.drop_detected(pr.sequence, remaining);
+        result.test_set.push_back(pr.sequence);
+        if (std::find(remaining.begin(), remaining.end(), target) !=
+            remaining.end()) {
+          // The unrolled model predicted a detection the sequential fault
+          // simulator did not confirm (frame-bound artifact).
+          HLTS_WARN("PODEM detection not confirmed for "
+                    << fault_name(nl, target));
+        }
+      } else if (pr.status == PodemStatus::Untestable) {
+        ++result.untestable_proved;
+      }
+    }
+    result.detected_deterministic =
+        result.total_faults - result.detected_random - remaining.size();
+  }
+
+  // --- static compaction -------------------------------------------------------
+  for (const TestSequence& seq : result.test_set) {
+    result.uncompacted_cycles += static_cast<long>(seq.size());
+  }
+  if (options.compact && !result.test_set.empty()) {
+    CompactionResult c = compact_test_set(nl, result.test_set, universe.faults());
+    std::vector<TestSequence> kept;
+    for (std::size_t i : c.kept) kept.push_back(std::move(result.test_set[i]));
+    result.test_set = std::move(kept);
+  }
+  for (const TestSequence& seq : result.test_set) {
+    result.test_cycles += static_cast<long>(seq.size());
+  }
+  result.num_sequences = static_cast<int>(result.test_set.size());
+
+  result.undetected = remaining;
+  result.fault_coverage =
+      result.total_faults == 0
+          ? 1.0
+          : static_cast<double>(result.detected()) /
+                static_cast<double>(result.total_faults);
+  result.tg_time_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                t0)
+          .count();
+  return result;
+}
+
+}  // namespace hlts::atpg

@@ -1,0 +1,71 @@
+// ATPG orchestrator: random-phase test generation with fault dropping,
+// followed by deterministic time-frame PODEM for the stragglers.
+//
+// Mirrors the paper's assumption that "many ATPG's start by using random
+// test generation to cover as many faults as possible and then switch to
+// deterministic test generation."  Reports the three quantities the
+// paper's tables compare: fault coverage, test generation time, and test
+// length in clock cycles ("test generated cycle").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "atpg/fault_sim.hpp"
+#include "atpg/faults.hpp"
+
+namespace hlts::atpg {
+
+// Default effort budgets are deliberately modest, mirroring the bounded
+// search of 1990s sequential ATPG: a short random warm-up, then
+// deterministic PODEM with a small backtrack allowance.  With saturating
+// budgets every synthesizable design converges to its functional
+// testability limit and the flows stop differentiating; with bounded
+// budgets coverage and TG time reflect how *easy* the synthesis made each
+// fault -- which is what the paper measures.
+struct AtpgOptions {
+  std::uint64_t seed = 1;
+  /// Cycles per random sequence; 0 = two controller periods.
+  int sequence_cycles = 0;
+  /// Random sequences generated per round.
+  int sequences_per_round = 2;
+  /// Stop the random phase after this many consecutive rounds without a new
+  /// detection.
+  int max_idle_rounds = 1;
+  int max_rounds = 3;
+  /// Run deterministic PODEM on the faults the random phase left.
+  bool deterministic_phase = true;
+  /// Time frames for the unrolled deterministic model; 0 = two periods.
+  int podem_frames = 0;
+  int podem_backtrack_limit = 64;
+  /// At most this many deterministic targets per run (0 = unlimited); the
+  /// 1998-style "give up" budget that keeps wide designs tractable.
+  int podem_max_targets = 600;
+  /// Apply reverse-order static compaction to the generated test set.
+  bool compact = true;
+};
+
+struct AtpgResult {
+  std::size_t total_faults = 0;
+  std::size_t detected_random = 0;
+  std::size_t detected_deterministic = 0;
+  std::size_t untestable_proved = 0;  ///< PODEM exhausted the search space
+  double fault_coverage = 0;          ///< detected / total
+  double tg_time_ms = 0;              ///< measured wall time of generation
+  long test_cycles = 0;       ///< total cycles of the final (compacted) set
+  long uncompacted_cycles = 0;  ///< total cycles before static compaction
+  int num_sequences = 0;        ///< sequences in the final set
+  std::vector<Fault> undetected;       ///< the faults no phase covered
+  std::vector<TestSequence> test_set;  ///< the final test sequences
+
+  [[nodiscard]] std::size_t detected() const {
+    return detected_random + detected_deterministic;
+  }
+};
+
+/// Runs ATPG on a netlist.  `period` is the controller period in cycles
+/// (steps + 1); it sizes random sequences and the PODEM unrolling depth.
+[[nodiscard]] AtpgResult run_atpg(const gates::Netlist& nl, int period,
+                                  const AtpgOptions& options = {});
+
+}  // namespace hlts::atpg

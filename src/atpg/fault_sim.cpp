@@ -1,0 +1,45 @@
+#include "atpg/fault_sim.hpp"
+
+#include <algorithm>
+
+namespace hlts::atpg {
+
+std::vector<std::size_t> FaultSimulator::detected_by(
+    const TestSequence& sequence, const std::vector<Fault>& faults) {
+  std::vector<std::size_t> detected;
+  for (std::size_t base = 0; base < faults.size(); base += 63) {
+    const std::size_t batch = std::min<std::size_t>(63, faults.size() - base);
+    sim_.clear_faults();
+    for (std::size_t i = 0; i < batch; ++i) {
+      sim_.inject(static_cast<int>(i + 1), faults[base + i]);
+    }
+    sim_.reset_state();
+    std::uint64_t caught = 0;
+    for (const TestVector& v : sequence) {
+      caught |= sim_.step(v);
+      // All lanes of this batch already detected: stop early.
+      if (batch == 63 && caught == (~std::uint64_t{0} & ~std::uint64_t{1})) {
+        break;
+      }
+    }
+    for (std::size_t i = 0; i < batch; ++i) {
+      if (caught & (std::uint64_t{1} << (i + 1))) {
+        detected.push_back(base + i);
+      }
+    }
+  }
+  return detected;
+}
+
+std::size_t FaultSimulator::drop_detected(const TestSequence& sequence,
+                                          std::vector<Fault>& faults) {
+  std::vector<std::size_t> hit = detected_by(sequence, faults);
+  if (hit.empty()) return 0;
+  // Erase by index, back to front (indices are ascending).
+  for (auto it = hit.rbegin(); it != hit.rend(); ++it) {
+    faults.erase(faults.begin() + static_cast<std::ptrdiff_t>(*it));
+  }
+  return hit.size();
+}
+
+}  // namespace hlts::atpg

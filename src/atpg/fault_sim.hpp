@@ -1,0 +1,29 @@
+// Sequential fault simulation with fault dropping.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "atpg/simulator.hpp"
+
+namespace hlts::atpg {
+
+class FaultSimulator {
+ public:
+  explicit FaultSimulator(const gates::Netlist& nl) : sim_(nl) {}
+
+  /// Simulates `sequence` (from power-up/reset) against `faults`, 63 at a
+  /// time, and returns the indices (into `faults`) of detected faults.
+  [[nodiscard]] std::vector<std::size_t> detected_by(
+      const TestSequence& sequence, const std::vector<Fault>& faults);
+
+  /// Convenience: runs `sequence`, erases detected faults from `faults`
+  /// in place, and returns how many were dropped.
+  std::size_t drop_detected(const TestSequence& sequence,
+                            std::vector<Fault>& faults);
+
+ private:
+  ParallelSimulator sim_;
+};
+
+}  // namespace hlts::atpg

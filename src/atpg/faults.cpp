@@ -1,0 +1,32 @@
+#include "atpg/faults.hpp"
+
+namespace hlts::atpg {
+
+std::string fault_name(const gates::Netlist& nl, const Fault& f) {
+  const gates::Gate& g = nl.gate(f.gate);
+  std::string base = g.name.empty()
+                         ? std::string(gates::gate_kind_name(g.kind)) + "#" +
+                               std::to_string(f.gate.value())
+                         : g.name;
+  return base + (f.stuck_at_one ? "/sa1" : "/sa0");
+}
+
+FaultUniverse FaultUniverse::collapsed(const gates::Netlist& nl) {
+  FaultUniverse u;
+  for (gates::GateId id : nl.gate_ids()) {
+    switch (nl.gate(id).kind) {
+      case gates::GateKind::Output:  // equivalent to the driver stem
+      case gates::GateKind::Buf:     // equivalent to the driver stem
+      case gates::GateKind::Not:     // equivalent with flipped polarity
+      case gates::GateKind::Const0:  // tied nets are untestable by definition
+      case gates::GateKind::Const1:
+        break;
+      default:
+        u.faults_.push_back({id, false});
+        u.faults_.push_back({id, true});
+    }
+  }
+  return u;
+}
+
+}  // namespace hlts::atpg

@@ -1,0 +1,38 @@
+// Single-stuck-at fault model with structural equivalence collapsing.
+//
+// "The testability definition assumes that a stuck-at fault model is used
+// and ATPG is random and/or deterministic" (paper §2).  The fault universe
+// is the collapsed set of stem (gate-output) faults: faults on buffers,
+// inverters and output pads are equivalent (modulo polarity) to faults on
+// their driver stems and are dropped.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "gates/netlist.hpp"
+
+namespace hlts::atpg {
+
+struct Fault {
+  gates::GateId gate;
+  bool stuck_at_one = false;
+
+  friend bool operator==(const Fault&, const Fault&) = default;
+};
+
+[[nodiscard]] std::string fault_name(const gates::Netlist& nl, const Fault& f);
+
+class FaultUniverse {
+ public:
+  /// Collapsed stem-fault universe of a netlist.
+  [[nodiscard]] static FaultUniverse collapsed(const gates::Netlist& nl);
+
+  [[nodiscard]] const std::vector<Fault>& faults() const { return faults_; }
+  [[nodiscard]] std::size_t size() const { return faults_.size(); }
+
+ private:
+  std::vector<Fault> faults_;
+};
+
+}  // namespace hlts::atpg

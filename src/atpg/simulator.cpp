@@ -1,0 +1,166 @@
+#include "atpg/simulator.hpp"
+
+#include "util/error.hpp"
+
+namespace hlts::atpg {
+
+using gates::GateId;
+using gates::GateKind;
+
+ParallelSimulator::ParallelSimulator(const gates::Netlist& nl) : nl_(nl) {
+  nl.validate();
+  one_.assign(nl.num_gates(), 0);
+  zero_.assign(nl.num_gates(), 0);
+  state_one_.assign(nl.num_gates(), 0);
+  state_zero_.assign(nl.num_gates(), 0);
+  sa1_mask_.assign(nl.num_gates(), 0);
+  sa0_mask_.assign(nl.num_gates(), 0);
+}
+
+void ParallelSimulator::inject(int lane, const Fault& fault) {
+  HLTS_REQUIRE(lane >= 1 && lane < 64, "fault lane must be 1..63");
+  const std::uint64_t bit = std::uint64_t{1} << lane;
+  if (fault.stuck_at_one) {
+    sa1_mask_[fault.gate] |= bit;
+  } else {
+    sa0_mask_[fault.gate] |= bit;
+  }
+  masked_gates_.push_back(fault.gate);
+}
+
+void ParallelSimulator::clear_faults() {
+  for (GateId g : masked_gates_) {
+    sa1_mask_[g] = 0;
+    sa0_mask_[g] = 0;
+  }
+  masked_gates_.clear();
+}
+
+void ParallelSimulator::reset_state() {
+  for (GateId d : nl_.dffs()) {
+    state_one_[d] = 0;
+    state_zero_[d] = 0;  // X: neither plane set
+  }
+}
+
+inline void ParallelSimulator::apply_mask(GateId g) {
+  const std::uint64_t s1 = sa1_mask_[g];
+  const std::uint64_t s0 = sa0_mask_[g];
+  if ((s1 | s0) == 0) return;
+  one_[g] = (one_[g] | s1) & ~s0;
+  zero_[g] = (zero_[g] | s0) & ~s1;
+}
+
+std::uint64_t ParallelSimulator::step(const TestVector& inputs) {
+  HLTS_REQUIRE(inputs.size() == nl_.inputs().size(),
+               "test vector width mismatch");
+
+  // Sources.
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    GateId g = nl_.inputs()[i];
+    one_[g] = inputs[i] ? ~std::uint64_t{0} : 0;
+    zero_[g] = ~one_[g];
+    apply_mask(g);
+  }
+  for (GateId g : nl_.gate_ids()) {
+    const GateKind kind = nl_.gate(g).kind;
+    if (kind == GateKind::Const0) {
+      one_[g] = 0;
+      zero_[g] = ~std::uint64_t{0};
+      apply_mask(g);
+    } else if (kind == GateKind::Const1) {
+      one_[g] = ~std::uint64_t{0};
+      zero_[g] = 0;
+      apply_mask(g);
+    }
+  }
+  for (GateId d : nl_.dffs()) {
+    one_[d] = state_one_[d];
+    zero_[d] = state_zero_[d];
+    apply_mask(d);
+  }
+
+  // Combinational evaluation (two-plane three-valued logic).
+  for (GateId g : nl_.levelized()) {
+    const gates::Gate& gate = nl_.gate(g);
+    std::uint64_t v1 = 0;
+    std::uint64_t v0 = 0;
+    switch (gate.kind) {
+      case GateKind::Buf:
+      case GateKind::Output:
+        v1 = one_[gate.inputs[0]];
+        v0 = zero_[gate.inputs[0]];
+        break;
+      case GateKind::Not:
+        v1 = zero_[gate.inputs[0]];
+        v0 = one_[gate.inputs[0]];
+        break;
+      case GateKind::And:
+      case GateKind::Nand: {
+        v1 = ~std::uint64_t{0};
+        v0 = 0;
+        for (GateId in : gate.inputs) {
+          v1 &= one_[in];
+          v0 |= zero_[in];
+        }
+        if (gate.kind == GateKind::Nand) std::swap(v1, v0);
+        break;
+      }
+      case GateKind::Or:
+      case GateKind::Nor: {
+        v1 = 0;
+        v0 = ~std::uint64_t{0};
+        for (GateId in : gate.inputs) {
+          v1 |= one_[in];
+          v0 &= zero_[in];
+        }
+        if (gate.kind == GateKind::Nor) std::swap(v1, v0);
+        break;
+      }
+      case GateKind::Xor:
+      case GateKind::Xnor: {
+        const std::uint64_t a1 = one_[gate.inputs[0]];
+        const std::uint64_t a0 = zero_[gate.inputs[0]];
+        const std::uint64_t b1 = one_[gate.inputs[1]];
+        const std::uint64_t b0 = zero_[gate.inputs[1]];
+        v1 = (a1 & b0) | (a0 & b1);
+        v0 = (a1 & b1) | (a0 & b0);
+        if (gate.kind == GateKind::Xnor) std::swap(v1, v0);
+        break;
+      }
+      case GateKind::Mux: {
+        const std::uint64_t s1 = one_[gate.inputs[0]];
+        const std::uint64_t s0 = zero_[gate.inputs[0]];
+        const std::uint64_t a1 = one_[gate.inputs[1]];
+        const std::uint64_t a0 = zero_[gate.inputs[1]];
+        const std::uint64_t b1 = one_[gate.inputs[2]];
+        const std::uint64_t b0 = zero_[gate.inputs[2]];
+        v1 = (s0 & a1) | (s1 & b1) | (a1 & b1);
+        v0 = (s0 & a0) | (s1 & b0) | (a0 & b0);
+        break;
+      }
+      default:
+        continue;  // sources handled above
+    }
+    one_[g] = v1;
+    zero_[g] = v0;
+    apply_mask(g);
+  }
+
+  // Detection: good and faulty both binary and different.
+  std::uint64_t diff = 0;
+  for (GateId o : nl_.outputs()) {
+    const std::uint64_t g1 = (one_[o] & 1) ? ~std::uint64_t{0} : 0;
+    const std::uint64_t g0 = (zero_[o] & 1) ? ~std::uint64_t{0} : 0;
+    diff |= (g1 & zero_[o]) | (g0 & one_[o]);
+  }
+
+  // Clock edge.
+  for (GateId d : nl_.dffs()) {
+    state_one_[d] = one_[nl_.gate(d).inputs[0]];
+    state_zero_[d] = zero_[nl_.gate(d).inputs[0]];
+  }
+  return diff & ~std::uint64_t{1};
+}
+
+}  // namespace hlts::atpg

@@ -1,0 +1,271 @@
+#include "benchmarks/benchmarks.hpp"
+
+#include "util/error.hpp"
+
+namespace hlts::benchmarks {
+
+using dfg::Dfg;
+using dfg::OpKind;
+using dfg::VarId;
+
+Dfg make_ex() {
+  Dfg g("ex");
+  VarId a = g.add_input("a");
+  VarId b = g.add_input("b");
+  VarId c = g.add_input("c");
+  VarId d = g.add_input("d");
+  VarId e = g.add_input("e");
+  VarId f = g.add_input("f");
+
+  VarId u = g.add_variable("u");
+  VarId v = g.add_variable("v");
+  VarId w = g.add_variable("w");
+  VarId x = g.add_variable("x");
+  VarId y = g.add_variable("y");
+  VarId z = g.add_variable("z");
+
+  g.add_op("N21", OpKind::Mul, {a, b}, u);
+  g.add_op("N22", OpKind::Mul, {c, d}, v);
+  g.add_op("N24", OpKind::Mul, {e, f}, w);
+  g.add_op("N28", OpKind::Mul, {a, d}, x);
+  g.add_op("N25", OpKind::Sub, {u, v}, y);
+  g.add_op("N27", OpKind::Sub, {w, x}, z);
+  g.add_op_new_var("N29", OpKind::Sub, {y, z}, "s");
+  g.add_op_new_var("N30", OpKind::Add, {y, w}, "t");
+
+  g.mark_output(*g.find_var("s"));
+  g.mark_output(*g.find_var("t"));
+  g.validate();
+  return g;
+}
+
+Dfg make_dct() {
+  Dfg g("dct");
+  VarId a = g.add_input("a");
+  VarId b = g.add_input("b");
+  VarId c = g.add_input("c");
+  VarId d = g.add_input("d");
+  VarId e = g.add_input("e");
+  VarId f = g.add_input("f");
+  VarId gg = g.add_input("g");
+  VarId h = g.add_input("h");
+  VarId i = g.add_input("i");  // cosine coefficient port
+  VarId j = g.add_input("j");  // cosine coefficient port
+
+  VarId p1 = g.add_variable("p1");
+  VarId p2 = g.add_variable("p2");
+  VarId p3 = g.add_variable("p3");
+  VarId p4 = g.add_variable("p4");
+  VarId q2 = g.add_variable("q2");
+  VarId q3 = g.add_variable("q3");
+  VarId q4 = g.add_variable("q4");
+
+  // Butterfly stage: sums and differences of mirrored sample pairs.
+  g.add_op("N27", OpKind::Add, {a, h}, p1);
+  g.add_op("N28", OpKind::Sub, {b, gg}, p2);
+  g.add_op("N29", OpKind::Add, {c, f}, p3);
+  g.add_op("N30", OpKind::Sub, {d, e}, p4);
+  // Coefficient multiplications.
+  g.add_op("N31", OpKind::Mul, {p1, i}, q2);
+  g.add_op("N33", OpKind::Mul, {p2, j}, q3);
+  g.add_op("N35", OpKind::Mul, {p3, i}, q4);
+  // Output stage; these values feed output ports directly, so they never
+  // occupy a register (matching Table 2, which allocates registers only for
+  // a..j, p1..p4 and q2..q4).
+  g.add_op_new_var("N37", OpKind::Add, {q2, q3}, "s0");
+  g.add_op_new_var("N38", OpKind::Mul, {p4, j}, "s1");
+  g.add_op_new_var("N40", OpKind::Mul, {p1, j}, "s2");
+  g.add_op_new_var("N42", OpKind::Add, {q4, p4}, "s3");
+  g.add_op_new_var("N43", OpKind::Add, {q2, q4}, "s4");
+  g.add_op_new_var("N44", OpKind::Add, {q3, p3}, "s5");
+
+  for (const char* out : {"s0", "s1", "s2", "s3", "s4", "s5"}) {
+    g.mark_output(*g.find_var(out));
+  }
+  g.validate();
+  return g;
+}
+
+Dfg make_diffeq() {
+  Dfg g("diffeq");
+  // Solves y'' + 3xy' + 3y = 0 by forward Euler: one loop-body iteration.
+  VarId x = g.add_input("x");
+  VarId y = g.add_input("y");
+  VarId u = g.add_input("u");
+  VarId dx = g.add_input("dx");
+  VarId a = g.add_input("a");
+  VarId three = g.add_input("3");
+
+  VarId a1 = g.add_variable("a1");
+  VarId b = g.add_variable("b");
+  VarId c = g.add_variable("c");
+  VarId d = g.add_variable("d");
+  VarId e = g.add_variable("e");
+  VarId f = g.add_variable("f");
+  VarId gv = g.add_variable("g");
+  VarId u1 = g.add_variable("u1");
+  VarId x1 = g.add_variable("x1");
+  VarId y1 = g.add_variable("y1");
+
+  g.add_op("N26", OpKind::Mul, {three, x}, a1);  // 3*x
+  g.add_op("N27", OpKind::Mul, {u, dx}, b);      // u*dx
+  g.add_op("N29", OpKind::Mul, {a1, b}, c);      // 3*x*u*dx
+  g.add_op("N31", OpKind::Mul, {three, y}, d);   // 3*y
+  g.add_op("N33", OpKind::Mul, {d, dx}, e);      // 3*y*dx
+  g.add_op("N35", OpKind::Mul, {u, dx}, f);      // u*dx (recomputed for y1)
+  g.add_op("N30", OpKind::Sub, {u, c}, gv);      // u - 3*x*u*dx
+  g.add_op("N34", OpKind::Sub, {gv, e}, u1);     // u1 = g - 3*y*dx
+  g.add_op("N25", OpKind::Add, {x, dx}, x1);     // x1 = x + dx
+  g.add_op("N36", OpKind::Add, {y, f}, y1);      // y1 = y + u*dx
+  g.add_op_new_var("N24", OpKind::Less, {x1, a}, "cond");  // loop exit test
+
+  // u1/x1/y1 are loop state and must be registered (Table 3 allocates them);
+  // the condition signal feeds the controller, not a register.
+  g.mark_output(u1, /*registered=*/true);
+  g.mark_output(x1, /*registered=*/true);
+  g.mark_output(y1, /*registered=*/true);
+  g.mark_output(*g.find_var("cond"));
+  g.validate();
+  return g;
+}
+
+Dfg make_ewf() {
+  Dfg g("ewf");
+  // Fifth-order elliptic wave filter: two input ladders feeding a merge
+  // ladder; 26 additions and 8 coefficient multiplications.
+  VarId inp = g.add_input("inp");
+  VarId sv2 = g.add_input("sv2");
+  VarId sv13 = g.add_input("sv13");
+  VarId sv18 = g.add_input("sv18");
+  VarId sv26 = g.add_input("sv26");
+  VarId sv33 = g.add_input("sv33");
+  VarId sv38 = g.add_input("sv38");
+  VarId sv39 = g.add_input("sv39");
+  VarId c1 = g.add_input("c1");
+  VarId c2 = g.add_input("c2");
+
+  auto add = [&](const char* op, VarId l, VarId r, const char* out) {
+    return g.add_op_new_var(op, OpKind::Add, {l, r}, out);
+  };
+  auto mul = [&](const char* op, VarId l, VarId r, const char* out) {
+    return g.add_op_new_var(op, OpKind::Mul, {l, r}, out);
+  };
+  auto v = [&](const char* name) { return *g.find_var(name); };
+
+  // Ladder A.
+  add("A1", inp, sv2, "a1");
+  mul("M1", v("a1"), c1, "a2");
+  add("A2", v("a2"), sv13, "a3");
+  add("A3", v("a3"), v("a1"), "a4");
+  mul("M2", v("a4"), c2, "a5");
+  add("A4", v("a5"), sv18, "a6");
+  add("A5", v("a6"), v("a3"), "a7");
+  mul("M3", v("a7"), c1, "a8");
+  add("A6", v("a8"), v("a4"), "a9");
+  add("A7", v("a9"), v("a6"), "a10");
+  add("A8", v("a10"), v("a7"), "a11");
+  add("A9", v("a11"), v("a9"), "a12");
+  add("A10", v("a12"), v("a10"), "a13");
+  // Ladder B.
+  add("A11", sv26, sv33, "b1");
+  mul("M4", v("b1"), c2, "b2");
+  add("A12", v("b2"), sv38, "b3");
+  add("A13", v("b3"), v("b1"), "b4");
+  mul("M5", v("b4"), c1, "b5");
+  add("A14", v("b5"), sv39, "b6");
+  add("A15", v("b6"), v("b3"), "b7");
+  mul("M6", v("b7"), c2, "b8");
+  add("A16", v("b8"), v("b4"), "b9");
+  add("A17", v("b9"), v("b6"), "b10");
+  add("A18", v("b10"), v("b7"), "b11");
+  add("A19", v("b11"), v("b9"), "b12");
+  add("A20", v("b12"), v("b10"), "b13");
+  // Merge ladder.
+  add("A21", v("a13"), v("b13"), "m1");
+  mul("M7", v("m1"), c1, "m2");
+  add("A22", v("m2"), v("a12"), "m3");
+  add("A23", v("m3"), v("b12"), "m4");
+  mul("M8", v("m4"), c2, "m5");
+  add("A24", v("m5"), v("m1"), "m6");
+  add("A25", v("m6"), v("m3"), "m7");
+  add("A26", v("m7"), v("m4"), "m8");
+
+  // Filter state updates are held in registers across samples.
+  for (const char* out : {"a11", "a13", "b11", "b13", "m8"}) {
+    g.mark_output(v(out), /*registered=*/true);
+  }
+  g.validate();
+  return g;
+}
+
+Dfg make_paulin() {
+  Dfg g("paulin");
+  // Second HAL example: a small second-order IIR-like kernel.
+  VarId xp = g.add_input("xp");
+  VarId yp = g.add_input("yp");
+  VarId c3 = g.add_input("c3");
+  VarId c4 = g.add_input("c4");
+
+  g.add_op_new_var("P1", OpKind::Mul, {xp, c3}, "t1");
+  g.add_op_new_var("P2", OpKind::Mul, {yp, c4}, "t2");
+  g.add_op_new_var("P3", OpKind::Mul, {xp, yp}, "t3");
+  g.add_op_new_var("P4", OpKind::Mul,
+                   {*g.find_var("t1"), *g.find_var("t2")}, "t4");
+  g.add_op_new_var("P5", OpKind::Add,
+                   {*g.find_var("t1"), *g.find_var("t3")}, "t5");
+  g.add_op_new_var("P6", OpKind::Add,
+                   {*g.find_var("t2"), *g.find_var("t4")}, "t6");
+  g.add_op_new_var("P7", OpKind::Sub,
+                   {*g.find_var("t5"), *g.find_var("t6")}, "o1");
+  g.add_op_new_var("P8", OpKind::Sub,
+                   {*g.find_var("t5"), *g.find_var("t4")}, "o2");
+
+  g.mark_output(*g.find_var("o1"));
+  g.mark_output(*g.find_var("o2"));
+  g.validate();
+  return g;
+}
+
+Dfg make_tseng() {
+  Dfg g("tseng");
+  VarId r1 = g.add_input("r1");
+  VarId r2 = g.add_input("r2");
+  VarId r3 = g.add_input("r3");
+  VarId r4 = g.add_input("r4");
+  VarId r5 = g.add_input("r5");
+  VarId r6 = g.add_input("r6");
+
+  g.add_op_new_var("T1", OpKind::Add, {r1, r2}, "t1");
+  g.add_op_new_var("T2", OpKind::Add, {r3, r4}, "t2");
+  g.add_op_new_var("T3", OpKind::Sub, {*g.find_var("t1"), r5}, "t3");
+  g.add_op_new_var("T4", OpKind::Div, {*g.find_var("t2"), r6}, "t4");
+  g.add_op_new_var("T5", OpKind::Mul,
+                   {*g.find_var("t3"), *g.find_var("t4")}, "t5");
+  g.add_op_new_var("T6", OpKind::Or,
+                   {*g.find_var("t1"), *g.find_var("t2")}, "t6");
+  g.add_op_new_var("T7", OpKind::And,
+                   {*g.find_var("t5"), *g.find_var("t6")}, "t7");
+  g.add_op_new_var("T8", OpKind::Add,
+                   {*g.find_var("t6"), *g.find_var("t3")}, "t8");
+
+  g.mark_output(*g.find_var("t7"));
+  g.mark_output(*g.find_var("t8"));
+  g.validate();
+  return g;
+}
+
+std::vector<std::string> benchmark_names() {
+  return {"ex", "dct", "diffeq", "ewf", "paulin", "tseng"};
+}
+
+Dfg make_benchmark(const std::string& name) {
+  if (name == "ex") return make_ex();
+  if (name == "dct") return make_dct();
+  if (name == "diffeq") return make_diffeq();
+  if (name == "ewf") return make_ewf();
+  if (name == "paulin") return make_paulin();
+  if (name == "tseng") return make_tseng();
+  throw Error("unknown benchmark: " + name);
+}
+
+}  // namespace hlts::benchmarks

@@ -1,0 +1,55 @@
+// The six HLS benchmarks the paper evaluates on.
+//
+// The exact source-level benchmarks (Lee's Ex [6,7], the 8-point DCT portion
+// [5], HAL's Diffeq [12], EWF [6,7], Paulin [12], Tseng [16]) are not
+// published as machine-readable netlists; we reconstruct DFGs with the same
+// operation mix, the paper's node names (N21..N44) and variable names
+// (a..z, p1..p4, q2..q4, u1, x1, y1, ...), and dependence shapes that admit
+// the schedules shown in the paper's Figures 2 and 3.  DESIGN.md §2 records
+// this substitution.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dfg/dfg.hpp"
+
+namespace hlts::benchmarks {
+
+/// Lee's Ex benchmark: 4 multiplications (N21, N22, N24, N28), 3
+/// subtractions (N25, N27, N29), 1 addition (N30); variables a..f (primary
+/// inputs) and u..z (Table 1 / Figure 2).
+[[nodiscard]] dfg::Dfg make_ex();
+
+/// Portion of an 8-point DCT signal flow graph: 5 multiplications (N31, N33,
+/// N35, N38, N40), 6 additions (N27, N29, N37, N42, N43, N44), 2
+/// subtractions (N28, N30); inputs a..j, intermediates p1..p4, q2..q4
+/// (Table 2 / Figure 3a).
+[[nodiscard]] dfg::Dfg make_dct();
+
+/// HAL differential-equation benchmark: 6 multiplications (N26, N27, N29,
+/// N31, N33, N35), 2 additions (N25, N36), 2 subtractions (N30, N34), 1
+/// comparison (N24); variables x, y, u, dx, a, 3 and temporaries a1, b..g,
+/// u1, x1, y1 (Table 3 / Figure 3b).
+[[nodiscard]] dfg::Dfg make_diffeq();
+
+/// Fifth-order elliptic wave filter: 26 additions, 8 multiplications
+/// (the classic EWF benchmark of [6, 7]).
+[[nodiscard]] dfg::Dfg make_ewf();
+
+/// Paulin's second example from the HAL system [12]: a small second-order
+/// IIR-filter-like kernel (4 multiplications, 2 additions, 2 subtractions).
+[[nodiscard]] dfg::Dfg make_paulin();
+
+/// Tseng and Siewiorek's FACET example [16]: 3 additions, 1 subtraction,
+/// 1 multiplication, 1 division, 1 bitwise or, 1 bitwise and.
+[[nodiscard]] dfg::Dfg make_tseng();
+
+/// All six benchmarks, keyed by the names used in the paper's §5.
+[[nodiscard]] std::vector<std::string> benchmark_names();
+
+/// Builds a benchmark by name ("ex", "dct", "diffeq", "ewf", "paulin",
+/// "tseng"); throws hlts::Error for unknown names.
+[[nodiscard]] dfg::Dfg make_benchmark(const std::string& name);
+
+}  // namespace hlts::benchmarks

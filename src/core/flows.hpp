@@ -1,0 +1,63 @@
+// The four synthesis flows compared in the paper's §5.
+//
+//   CAMAD      -- transformational synthesis without testability: the same
+//                 merger loop driven by connectivity/closeness;
+//   Approach 1 -- force-directed scheduling (FDS) followed by left-edge
+//                 allocation, no testability consideration in scheduling;
+//   Approach 2 -- Lee's mobility-path scheduling followed by the modified
+//                 left-edge allocation with testability rules;
+//   Ours       -- Algorithm 1: integrated scheduling/allocation with the
+//                 C/O balance principle and SR1/SR2 rescheduling.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/synthesis.hpp"
+
+namespace hlts::core {
+
+enum class FlowKind { Camad, Approach1, Approach2, Ours };
+
+[[nodiscard]] const char* flow_name(FlowKind kind);
+
+/// Parameters shared by all flows (Algorithm-1 knobs apply to Camad/Ours).
+struct FlowParams {
+  int bits = 8;
+  int k = 5;
+  double alpha = 2.0;
+  double beta = 1.0;
+  /// Latency budget shared by all flows; 0 = critical path + 1.
+  int max_latency = 0;
+  cost::ModuleLibrary library = cost::ModuleLibrary::standard();
+};
+
+/// The uniform result record the benches print.
+struct FlowResult {
+  FlowKind kind = FlowKind::Ours;
+  std::string name;
+  sched::Schedule schedule;
+  etpn::Binding binding;
+  int exec_time = 0;        ///< control steps
+  int registers = 0;
+  int modules = 0;
+  int muxes = 0;
+  int self_loops = 0;
+  cost::HardwareCost cost;
+  double balance_index = 0;        ///< mean min(C, O) over data path nodes
+  int seq_depth_max = 0;           ///< SR1 metric
+  int seq_depth_total = 0;
+  /// Table-style allocation strings ("(*): N21, N24" / "R: a, c, x").
+  std::vector<std::string> module_allocation;
+  std::vector<std::string> register_allocation;
+};
+
+/// Runs one flow end to end on a DFG.
+[[nodiscard]] FlowResult run_flow(FlowKind kind, const dfg::Dfg& g,
+                                  const FlowParams& params = {});
+
+/// Runs all four flows (the order used in the paper's tables).
+[[nodiscard]] std::vector<FlowResult> run_all_flows(const dfg::Dfg& g,
+                                                    const FlowParams& params = {});
+
+}  // namespace hlts::core

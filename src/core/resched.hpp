@@ -1,0 +1,62 @@
+// Rescheduling imposed by data path synthesis (paper §4.3).
+//
+// Merging two modules forces their operations into distinct control steps;
+// merging two registers forces their variables' lifetimes to be disjoint.
+// Both are realized here by deriving, for every alive module, a total
+// execution order of its operations (the "merge-sort" of the two previously
+// ordered sequences) and, for every alive register, a total lifetime order
+// of its variables -- then solving the resulting scheduling-constraint
+// graph with a constrained-ASAP longest path.
+//
+// Order decisions at conflict points use the controllability/observability
+// enhancement strategy:
+//   SR1: reduce the sequential depth from a controllable register to an
+//        observable register;
+//   SR2: schedule operations to support the application of SR1.
+// When the strategy does not discriminate, the order with the smallest
+// increase in critical path length is chosen (paper: "If these two rules
+// can not be applied, we will select the pair which results in the smallest
+// increase in the length of the critical path").
+#pragma once
+
+#include <optional>
+
+#include "etpn/binding.hpp"
+#include "etpn/etpn.hpp"
+#include "sched/schedule.hpp"
+
+namespace hlts::core {
+
+/// How to resolve operation order at conflict points.
+enum class OrderStrategy {
+  /// SR1/SR2: prefer executing first the operation whose operand registers
+  /// are closest to primary inputs (most controllable), with critical-path
+  /// increase as the fallback discriminator.
+  Testability,
+  /// Baseline (CAMAD-style) ordering: keep the incumbent order; swap only
+  /// if that is the only feasible choice or it shortens the schedule.
+  Plain,
+};
+
+struct ReschedOutcome {
+  bool feasible = false;
+  sched::Schedule schedule;
+};
+
+/// Derives a feasible schedule for the (possibly just-merged) binding `b`,
+/// staying close to the previous schedule `hint`.  Returns infeasible when
+/// the binding's constraints are cyclic (the attempted merger must then be
+/// rejected).
+[[nodiscard]] ReschedOutcome reschedule(const dfg::Dfg& g,
+                                        const etpn::Binding& b,
+                                        const sched::Schedule& hint,
+                                        OrderStrategy strategy);
+
+/// Validation helper: true when `s` is consistent with `b` -- no two ops of
+/// one module share a step, and all variables of one register have pairwise
+/// disjoint lifetimes.
+[[nodiscard]] bool schedule_respects_binding(const dfg::Dfg& g,
+                                             const etpn::Binding& b,
+                                             const sched::Schedule& s);
+
+}  // namespace hlts::core

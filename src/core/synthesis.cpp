@@ -1,0 +1,196 @@
+#include "core/synthesis.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "sched/schedule.hpp"
+#include "util/error.hpp"
+#include "util/log.hpp"
+
+namespace hlts::core {
+
+namespace {
+
+/// Sources/destinations of a data-path node (ignoring ports' step labels).
+void neighbour_sets(const etpn::DataPath& dp, etpn::DpNodeId n,
+                    std::set<std::uint32_t>& sources,
+                    std::set<std::uint32_t>& dests) {
+  for (etpn::DpArcId a : dp.node(n).in_arcs) {
+    sources.insert(dp.arc(a).from.value());
+  }
+  for (etpn::DpArcId a : dp.node(n).out_arcs) {
+    dests.insert(dp.arc(a).to.value());
+  }
+}
+
+int shared_count(const std::set<std::uint32_t>& a,
+                 const std::set<std::uint32_t>& b) {
+  int n = 0;
+  for (std::uint32_t x : a) n += b.count(x) ? 1 : 0;
+  return n;
+}
+
+}  // namespace
+
+std::vector<testability::MergeCandidate> select_connectivity_candidates(
+    const dfg::Dfg& g, const etpn::Binding& b, const etpn::Etpn& e, int k) {
+  std::vector<testability::MergeCandidate> candidates;
+  const etpn::DataPath& dp = e.data_path;
+
+  auto closeness = [&](etpn::DpNodeId n1, etpn::DpNodeId n2) {
+    std::set<std::uint32_t> s1, d1, s2, d2;
+    neighbour_sets(dp, n1, s1, d1);
+    neighbour_sets(dp, n2, s2, d2);
+    // Shared sources/destinations save multiplexer inputs and wires; a
+    // direct connection between the two nodes is "closeness" as well.
+    int score = shared_count(s1, s2) + shared_count(d1, d2);
+    if (d1.count(n2.value()) || d2.count(n1.value())) ++score;
+    return score;
+  };
+
+  std::vector<etpn::ModuleId> modules = b.alive_modules();
+  for (std::size_t i = 0; i < modules.size(); ++i) {
+    for (std::size_t j = i + 1; j < modules.size(); ++j) {
+      if (!b.can_merge_modules(g, modules[i], modules[j])) continue;
+      testability::MergeCandidate c;
+      c.kind = testability::MergeCandidate::Kind::Modules;
+      c.module_a = modules[i];
+      c.module_b = modules[j];
+      c.score = closeness(e.module_node[modules[i]], e.module_node[modules[j]]);
+      candidates.push_back(c);
+    }
+  }
+  std::vector<etpn::RegId> regs = b.alive_regs();
+  for (std::size_t i = 0; i < regs.size(); ++i) {
+    for (std::size_t j = i + 1; j < regs.size(); ++j) {
+      if (!b.can_merge_regs(regs[i], regs[j])) continue;
+      if (testability::register_merge_impossible(g, b, regs[i], regs[j])) {
+        continue;
+      }
+      testability::MergeCandidate c;
+      c.kind = testability::MergeCandidate::Kind::Registers;
+      c.reg_a = regs[i];
+      c.reg_b = regs[j];
+      c.score = closeness(e.reg_node[regs[i]], e.reg_node[regs[j]]);
+      candidates.push_back(c);
+    }
+  }
+  // A closeness-driven allocator only considers pairs that actually share
+  // interconnect; merging unrelated nodes brings it no wiring benefit.
+  std::erase_if(candidates,
+                [](const testability::MergeCandidate& c) { return c.score <= 0; });
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [](const auto& a, const auto& c) { return a.score > c.score; });
+  if (static_cast<int>(candidates.size()) > k) candidates.resize(k);
+  return candidates;
+}
+
+SynthesisResult integrated_synthesis(const dfg::Dfg& g,
+                                     const SynthesisParams& p) {
+  HLTS_REQUIRE(p.k >= 1, "synthesis: k must be >= 1");
+  g.validate();
+
+  SynthesisResult result;
+  result.schedule = sched::asap(g);
+  result.binding = etpn::Binding::default_binding(g, p.compat);
+  const int max_latency =
+      p.max_latency > 0 ? p.max_latency : g.critical_path_ops() + 1;
+
+  etpn::Etpn e = etpn::build_etpn(g, result.schedule, result.binding);
+  result.exec_time = result.schedule.length();
+  result.cost = cost::estimate_cost(e.data_path, p.library, p.bits);
+
+  for (int iter = 0; iter < p.max_iterations; ++iter) {
+    // Steps 4-6: testability analysis, then candidate pairs ranked by the
+    // policy.  "Select k pairs of mergable nodes": we walk the ranking in
+    // order and keep the first k pairs that survive trial rescheduling, so
+    // a small k concentrates the choice on the testability-best mergers
+    // (the paper: "a small value of k means that more emphasis is placed on
+    // improving the testability measure").
+    testability::TestabilityAnalysis analysis(e.data_path);
+    const int all = static_cast<int>(e.data_path.num_nodes() *
+                                     e.data_path.num_nodes());
+    std::vector<testability::MergeCandidate> ranking =
+        p.policy == SelectionPolicy::BalanceTestability
+            ? testability::select_balance_candidates(g, result.binding, e,
+                                                     analysis, all, p.balance)
+            : select_connectivity_candidates(g, result.binding, e, all);
+    if (ranking.empty()) break;
+
+    // Steps 7-11: estimate dE/dH for the k feasible pairs, pick smallest dC.
+    struct Trial {
+      etpn::Binding binding;
+      sched::Schedule schedule;
+      double delta_e = 0, delta_h = 0, delta_c = 0;
+      int exec_time = 0;
+      double hw_cost = 0;
+      std::string description;
+    };
+    std::optional<Trial> best;
+    int feasible_seen = 0;
+    for (const auto& cand : ranking) {
+      if (feasible_seen >= p.k) break;
+      Trial t;
+      t.binding = result.binding;
+      if (cand.kind == testability::MergeCandidate::Kind::Modules) {
+        t.description = "merge modules [" +
+                        t.binding.module_label(g, cand.module_a) + " | " +
+                        t.binding.module_label(g, cand.module_b) + "]";
+        t.binding.merge_modules(g, cand.module_a, cand.module_b);
+      } else {
+        t.description = "merge registers [" +
+                        t.binding.reg_label(g, cand.reg_a) + " | " +
+                        t.binding.reg_label(g, cand.reg_b) + "]";
+        t.binding.merge_regs(cand.reg_a, cand.reg_b);
+      }
+      ReschedOutcome r = reschedule(g, t.binding, result.schedule, p.order);
+      if (!r.feasible || r.schedule.length() > max_latency) continue;
+      ++feasible_seen;
+      t.schedule = r.schedule;
+      t.exec_time = t.schedule.length();
+      etpn::Etpn trial_etpn = etpn::build_etpn(g, t.schedule, t.binding);
+      t.hw_cost =
+          cost::estimate_cost(trial_etpn.data_path, p.library, p.bits).total();
+      t.delta_e = static_cast<double>(t.exec_time - result.exec_time);
+      t.delta_h = (t.hw_cost - result.cost.total()) / kAreaUnit;
+      t.delta_c = p.alpha * t.delta_e + p.beta * t.delta_h;
+      if (!best || t.delta_c < best->delta_c - 1e-12) best = std::move(t);
+    }
+
+    // Step 15: "until no merger exists".  dC selects *which* merger to
+    // commit this iteration; termination happens only when no pair can be
+    // merged at all within the latency budget (mergers monotonically shrink
+    // the candidate space, so this always terminates).  The cost-driven
+    // variant additionally stops when the best candidate no longer pays.
+    if (!best) break;
+    if (p.require_improvement && best->delta_c >= -1e-12) break;
+
+    // Steps 12-14: commit the merger.
+    result.binding = std::move(best->binding);
+    result.schedule = std::move(best->schedule);
+    result.exec_time = best->exec_time;
+    e = etpn::build_etpn(g, result.schedule, result.binding);
+    result.cost = cost::estimate_cost(e.data_path, p.library, p.bits);
+    testability::TestabilityAnalysis post(e.data_path);
+    IterationRecord rec;
+    rec.description = best->description;
+    rec.delta_e = best->delta_e;
+    rec.delta_h = best->delta_h;
+    rec.delta_c = best->delta_c;
+    rec.exec_time = result.exec_time;
+    rec.hw_cost = result.cost.total();
+    rec.registers = result.binding.num_alive_regs();
+    rec.modules = result.binding.num_alive_modules();
+    rec.balance_index = post.balance_index();
+    HLTS_DEBUG("iter " << iter << ": " << rec.description << " dC=" << rec.delta_c
+                       << " E=" << rec.exec_time << " H=" << rec.hw_cost);
+    result.trajectory.push_back(std::move(rec));
+  }
+
+  result.binding.validate(g);
+  HLTS_REQUIRE(schedule_respects_binding(g, result.binding, result.schedule),
+               "synthesis result violates its own binding");
+  return result;
+}
+
+}  // namespace hlts::core

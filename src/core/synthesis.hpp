@@ -1,0 +1,101 @@
+// Algorithm 1: the integrated scheduling/allocation test synthesis loop.
+//
+//   1  perform a simple default scheduling/allocation
+//   2  repeat
+//   4    run the testability analysis algorithm
+//   6    select k pairs of mergable nodes (C/O balance principle)
+//   8-9  estimate dE and dH for each pair
+//  11    select the pair with smallest dC = alpha*dE + beta*dH
+//  12    merge it and modify the data path
+//  13-14 lifetime analysis + rescheduling (merge-sort, C/O enhancement)
+//  15  until no merger exists
+//
+// "No merger exists" is interpreted as "no feasible merger improves the
+// cost function": mergers strictly reduce hardware but may lengthen the
+// schedule, so the loop stops at the (alpha, beta)-weighted sweet spot.
+// The same loop with a connectivity-based pair selection and plain ordering
+// reproduces the CAMAD baseline (conventional closeness-driven allocation).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cost/cost.hpp"
+#include "core/resched.hpp"
+#include "etpn/etpn.hpp"
+#include "testability/balance.hpp"
+
+namespace hlts::core {
+
+/// How merger candidates are ranked.
+enum class SelectionPolicy {
+  /// Controllability/observability balance (paper §3) -- "ours".
+  BalanceTestability,
+  /// Shared-neighbour connectivity ("closeness") -- the conventional
+  /// allocation the paper contrasts with (CAMAD baseline).
+  Connectivity,
+};
+
+struct SynthesisParams {
+  int k = 3;           ///< candidate pairs evaluated per iteration
+  double alpha = 2.0;  ///< weight of dE (control steps)
+  double beta = 1.0;   ///< weight of dH (units of 0.01 mm^2)
+  int bits = 8;        ///< data path width for the cost model
+  /// Latency budget: a merger whose rescheduled length exceeds this is
+  /// infeasible.  0 means "critical path + 1" (one control step of slack
+  /// for sharing, which is what the paper's schedules in Figs. 2-3 use).
+  int max_latency = 0;
+  SelectionPolicy policy = SelectionPolicy::BalanceTestability;
+  OrderStrategy order = OrderStrategy::Testability;
+  /// Module sharing rule: CAMAD merges add/sub/compare into combined (+-)
+  /// ALUs; the Lee-style flows and ours keep kinds separate.
+  etpn::ModuleCompat compat = etpn::ModuleCompat::ExactKind;
+  cost::ModuleLibrary library = cost::ModuleLibrary::standard();
+  testability::BalanceOptions balance;
+  int max_iterations = 10000;
+  /// When true, the loop additionally stops as soon as no candidate
+  /// *improves* dC (conventional cost-driven synthesis, i.e. the CAMAD
+  /// baseline).  When false -- the paper's Algorithm 1 -- merging continues
+  /// until no feasible merger exists, with dC only ranking the candidates.
+  bool require_improvement = false;
+};
+
+/// Scale of the dH term: hardware cost differences are expressed in units
+/// of this many mm^2, so that alpha and beta trade off one control step
+/// against one small-module-sized piece of area.
+inline constexpr double kAreaUnit = 0.01;
+
+/// One committed merger.
+struct IterationRecord {
+  std::string description;  ///< e.g. "merge modules (*: N21 | *: N24)"
+  double delta_e = 0;       ///< relative execution-time change
+  double delta_h = 0;       ///< relative hardware-cost change
+  double delta_c = 0;       ///< alpha*dE + beta*dH
+  int exec_time = 0;        ///< schedule length after the merger
+  double hw_cost = 0;       ///< hardware cost after the merger
+  int registers = 0;
+  int modules = 0;
+  double balance_index = 0;  ///< testability balance after the merger
+};
+
+struct SynthesisResult {
+  sched::Schedule schedule;
+  etpn::Binding binding;
+  int exec_time = 0;
+  cost::HardwareCost cost;
+  std::vector<IterationRecord> trajectory;
+};
+
+/// Runs the iterative synthesis.  The initial "simple default
+/// scheduling/allocation" is ASAP with the identity binding.
+[[nodiscard]] SynthesisResult integrated_synthesis(const dfg::Dfg& g,
+                                                   const SynthesisParams& p);
+
+/// Connectivity-based candidate ranking used by the CAMAD baseline: pairs
+/// sharing many sources/destinations score high (merging them minimizes
+/// interconnect), ignoring testability entirely.
+[[nodiscard]] std::vector<testability::MergeCandidate>
+select_connectivity_candidates(const dfg::Dfg& g, const etpn::Binding& b,
+                               const etpn::Etpn& e, int k);
+
+}  // namespace hlts::core

@@ -1,0 +1,42 @@
+#include "cost/cost.hpp"
+
+namespace hlts::cost {
+
+HardwareCost estimate_cost(const etpn::DataPath& dp, const ModuleLibrary& lib,
+                           int bits) {
+  HardwareCost cost;
+
+  for (etpn::DpNodeId n : dp.node_ids()) {
+    const etpn::DpNode& node = dp.node(n);
+    switch (node.kind) {
+      case etpn::DpNodeKind::Register:
+        cost.register_area += lib.register_area(bits);
+        break;
+      case etpn::DpNodeKind::Module:
+        cost.module_area += lib.module_area(node.op_class, bits);
+        break;
+      default:
+        break;
+    }
+    // Multiplexers: a port with s >= 2 sources needs (s - 1) two-to-one
+    // muxes.
+    for (int port = 0; port < dp.num_ports(n); ++port) {
+      const auto sources = dp.port_sources(n, port);
+      if (sources.size() >= 2) {
+        cost.mux_area += (static_cast<double>(sources.size()) - 1.0) *
+                         lib.mux_area(bits);
+      }
+    }
+  }
+
+  const Floorplan plan = floorplan(dp, lib, bits);
+  for (etpn::DpArcId a : dp.arc_ids()) {
+    const etpn::DpArc& arc = dp.arc(a);
+    const double len = plan.distance(arc.from, arc.to);
+    const double wid = static_cast<double>(bits) * lib.wire_pitch();
+    cost.wire_area += len * wid;
+  }
+  return cost;
+}
+
+}  // namespace hlts::cost

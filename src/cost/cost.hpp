@@ -1,0 +1,31 @@
+// Hardware cost estimation (paper §4.2).
+//
+//   H = sum_i Area(V_i) + sum_j Len(A_j) x Wid(A_j)
+//
+// where Area comes from the module library, Len from the floorplan, and Wid
+// is the connection bit width times a weighting factor (the wire pitch).
+// Multiplexers implied by multi-source ports are costed explicitly.
+#pragma once
+
+#include "cost/floorplan.hpp"
+#include "cost/module_library.hpp"
+#include "etpn/datapath.hpp"
+
+namespace hlts::cost {
+
+struct HardwareCost {
+  double module_area = 0;
+  double register_area = 0;
+  double mux_area = 0;
+  double wire_area = 0;
+  [[nodiscard]] double total() const {
+    return module_area + register_area + mux_area + wire_area;
+  }
+};
+
+/// Estimates the hardware cost of a data path at the given bit width,
+/// running the floorplanner internally.
+[[nodiscard]] HardwareCost estimate_cost(const etpn::DataPath& dp,
+                                         const ModuleLibrary& lib, int bits);
+
+}  // namespace hlts::cost

@@ -1,0 +1,106 @@
+#include "cost/floorplan.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <set>
+#include <vector>
+
+namespace hlts::cost {
+
+double Floorplan::distance(etpn::DpNodeId a, etpn::DpNodeId b) const {
+  const auto [ax, ay] = position[a];
+  const auto [bx, by] = position[b];
+  return pitch * (std::abs(ax - bx) + std::abs(ay - by));
+}
+
+namespace {
+
+double node_area(const etpn::DpNode& node, const ModuleLibrary& lib, int bits) {
+  switch (node.kind) {
+    case etpn::DpNodeKind::Register:
+      return lib.register_area(bits);
+    case etpn::DpNodeKind::Module:
+      return lib.module_area(node.op_class, bits);
+    case etpn::DpNodeKind::InPort:
+    case etpn::DpNodeKind::OutPort:
+      return 0.0;  // pads; excluded from core area
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+Floorplan floorplan(const etpn::DataPath& dp, const ModuleLibrary& lib,
+                    int bits) {
+  Floorplan plan;
+  plan.position.assign(dp.num_nodes(), {0, 0});
+  if (dp.num_nodes() == 0) return plan;
+
+  // Pitch: side of the average cell footprint.
+  double total_area = 0;
+  for (etpn::DpNodeId n : dp.node_ids()) {
+    total_area += node_area(dp.node(n), lib, bits);
+  }
+  plan.pitch =
+      std::sqrt(std::max(total_area, 1e-9) / static_cast<double>(dp.num_nodes()));
+
+  // Connectivity (number of arcs) per node, and neighbour lists.
+  std::vector<int> connectivity(dp.num_nodes(), 0);
+  std::vector<std::vector<std::uint32_t>> neighbours(dp.num_nodes());
+  for (etpn::DpArcId a : dp.arc_ids()) {
+    const etpn::DpArc& arc = dp.arc(a);
+    ++connectivity[arc.from.index()];
+    ++connectivity[arc.to.index()];
+    neighbours[arc.from.index()].push_back(arc.to.value());
+    neighbours[arc.to.index()].push_back(arc.from.value());
+  }
+
+  std::vector<std::uint32_t> order(dp.num_nodes());
+  for (std::uint32_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::uint32_t a, std::uint32_t b) {
+                     return connectivity[a] > connectivity[b];
+                   });
+
+  std::set<std::pair<int, int>> occupied;
+  std::vector<bool> placed(dp.num_nodes(), false);
+  // Spiral candidate positions around the origin, enough for all nodes.
+  std::vector<std::pair<int, int>> spiral;
+  const int radius =
+      static_cast<int>(std::ceil(std::sqrt(dp.num_nodes()))) + 2;
+  for (int r = 0; r <= radius; ++r) {
+    for (int x = -r; x <= r; ++x) {
+      for (int y = -r; y <= r; ++y) {
+        if (std::max(std::abs(x), std::abs(y)) == r) spiral.push_back({x, y});
+      }
+    }
+  }
+
+  for (std::uint32_t idx : order) {
+    etpn::DpNodeId n{idx};
+    std::pair<int, int> best_pos{0, 0};
+    double best_cost = 1e300;
+    for (const auto& pos : spiral) {
+      if (occupied.count(pos)) continue;
+      double cost = 0;
+      for (std::uint32_t nb : neighbours[idx]) {
+        if (!placed[nb]) continue;
+        const auto [nx, ny] = plan.position[etpn::DpNodeId{nb}];
+        cost += std::abs(pos.first - nx) + std::abs(pos.second - ny);
+      }
+      // Light pull toward the origin keeps unconnected nodes compact.
+      cost += 0.01 * (std::abs(pos.first) + std::abs(pos.second));
+      if (cost < best_cost) {
+        best_cost = cost;
+        best_pos = pos;
+      }
+    }
+    plan.position[n] = best_pos;
+    occupied.insert(best_pos);
+    placed[idx] = true;
+  }
+  return plan;
+}
+
+}  // namespace hlts::cost

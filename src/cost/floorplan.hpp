@@ -1,0 +1,32 @@
+// Connectivity-driven floorplanning heuristic (after Peng & Kuchcinski
+// [14]): estimates wire lengths for the hardware cost model.
+//
+// Nodes are placed one by one, most-connected first, each at the free grid
+// position minimizing the connection-width-weighted Manhattan distance to
+// its already-placed neighbours.  The physical pitch of a grid cell is
+// derived from the average cell footprint, so wire length contributions
+// scale correctly with bit width.
+#pragma once
+
+#include <utility>
+
+#include "cost/module_library.hpp"
+#include "etpn/datapath.hpp"
+#include "util/ids.hpp"
+
+namespace hlts::cost {
+
+struct Floorplan {
+  /// Grid position of every data path node.
+  IndexVec<etpn::DpNodeId, std::pair<int, int>> position;
+  /// Physical side length of one grid cell in mm.
+  double pitch = 0.0;
+
+  /// Manhattan wire length between two nodes in mm.
+  [[nodiscard]] double distance(etpn::DpNodeId a, etpn::DpNodeId b) const;
+};
+
+[[nodiscard]] Floorplan floorplan(const etpn::DataPath& dp,
+                                  const ModuleLibrary& lib, int bits);
+
+}  // namespace hlts::cost

@@ -1,0 +1,40 @@
+#include "cost/module_library.hpp"
+
+namespace hlts::cost {
+
+ModuleLibrary ModuleLibrary::standard() { return ModuleLibrary{}; }
+
+double ModuleLibrary::module_area(dfg::OpKind kind, int bits) const {
+  using dfg::OpKind;
+  const double b = bits;
+  switch (kind) {
+    case OpKind::Mul:
+      return mul_per_bit2 * b * b;
+    case OpKind::Div:
+      return div_per_bit2 * b * b;
+    case OpKind::Less:
+    case OpKind::Greater:
+    case OpKind::Equal:
+      return cmp_per_bit * b;
+    case OpKind::And:
+    case OpKind::Or:
+    case OpKind::Xor:
+    case OpKind::Not:
+      return logic_per_bit * b;
+    case OpKind::ShiftLeft:
+    case OpKind::ShiftRight:
+      return shift_per_bit * b;
+    case OpKind::Move:
+      return 0.0;
+    case OpKind::Add:
+    case OpKind::Sub:
+      return alu_per_bit * b;
+  }
+  return alu_per_bit * b;
+}
+
+double ModuleLibrary::register_area(int bits) const { return reg_per_bit * bits; }
+
+double ModuleLibrary::mux_area(int bits) const { return mux_per_bit * bits; }
+
+}  // namespace hlts::cost

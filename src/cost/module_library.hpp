@@ -1,0 +1,49 @@
+// Module library: area parameters for data path units.
+//
+// "The cost of data path units which performs logic, arithmetic, or storage
+// operations is given by the corresponding module parameters stored in the
+// module library."  Areas are in mm^2, calibrated so that the synthesized
+// benchmark designs land in the magnitude range of the paper's Tables 2-3
+// (0.5-3.3 mm^2 for 4..16-bit data paths in the 1998 technology).
+#pragma once
+
+#include "dfg/dfg.hpp"
+
+namespace hlts::cost {
+
+class ModuleLibrary {
+ public:
+  /// The default library used throughout the repo.
+  [[nodiscard]] static ModuleLibrary standard();
+
+  /// Area of a functional module implementing `kind`'s module class at the
+  /// given bit width.  Adders/subtracters/comparators are linear in width;
+  /// multipliers and dividers are quadratic (array implementations).
+  [[nodiscard]] double module_area(dfg::OpKind kind, int bits) const;
+
+  /// Area of one `bits`-wide register (with load-enable).
+  [[nodiscard]] double register_area(int bits) const;
+
+  /// Area of one 2-to-1 multiplexer of the given width.
+  [[nodiscard]] double mux_area(int bits) const;
+
+  /// Wire pitch: area cost per unit length per bit of connection width
+  /// ("the bit width of the connection multiplied by a given weighted
+  /// factor").
+  [[nodiscard]] double wire_pitch() const { return wire_pitch_; }
+
+  /// Per-class base coefficients (exposed for ablation benches).
+  double alu_per_bit = 0.0080;
+  double cmp_per_bit = 0.0060;
+  double logic_per_bit = 0.0040;
+  double shift_per_bit = 0.0050;
+  double mul_per_bit2 = 0.0030;
+  double div_per_bit2 = 0.0035;
+  double reg_per_bit = 0.0040;
+  double mux_per_bit = 0.0030;  // a 2:1 mux bit is nearly a flip-flop bit
+
+ private:
+  double wire_pitch_ = 0.00020;
+};
+
+}  // namespace hlts::cost

@@ -1,0 +1,214 @@
+#include "etpn/datapath.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace hlts::etpn {
+
+DpNodeId DataPath::add_node(DpNode node) { return nodes_.push_back(std::move(node)); }
+
+DpArcId DataPath::add_transfer(DpNodeId from, DpNodeId to, int to_port, int step) {
+  HLTS_REQUIRE(nodes_.contains(from) && nodes_.contains(to),
+               "add_transfer: bad node id");
+  HLTS_REQUIRE(step >= 0, "add_transfer: negative step");
+  for (DpArcId a : nodes_[from].out_arcs) {
+    DpArc& arc = arcs_[a];
+    if (arc.to == to && arc.to_port == to_port) {
+      if (!std::binary_search(arc.steps.begin(), arc.steps.end(), step)) {
+        arc.steps.insert(
+            std::upper_bound(arc.steps.begin(), arc.steps.end(), step), step);
+      }
+      return a;
+    }
+  }
+  DpArc arc;
+  arc.from = from;
+  arc.to = to;
+  arc.to_port = to_port;
+  arc.steps = {step};
+  DpArcId id = arcs_.push_back(std::move(arc));
+  nodes_[from].out_arcs.push_back(id);
+  nodes_[to].in_arcs.push_back(id);
+  return id;
+}
+
+std::vector<DpNodeId> DataPath::port_sources(DpNodeId n, int port) const {
+  std::vector<DpNodeId> out;
+  for (DpArcId a : nodes_[n].in_arcs) {
+    const DpArc& arc = arcs_[a];
+    if (arc.to_port != port) continue;
+    if (std::find(out.begin(), out.end(), arc.from) == out.end()) {
+      out.push_back(arc.from);
+    }
+  }
+  return out;
+}
+
+int DataPath::num_ports(DpNodeId n) const {
+  const DpNode& node = nodes_[n];
+  if (node.kind == DpNodeKind::Module) {
+    return dfg::op_arity(node.op_class);
+  }
+  return 1;
+}
+
+int DataPath::mux_count() const {
+  int muxes = 0;
+  for (DpNodeId n : node_ids()) {
+    for (int port = 0; port < num_ports(n); ++port) {
+      if (port_sources(n, port).size() >= 2) ++muxes;
+    }
+  }
+  return muxes;
+}
+
+int DataPath::self_loop_count() const {
+  int loops = 0;
+  for (DpNodeId n : node_ids()) {
+    if (nodes_[n].kind != DpNodeKind::Register) continue;
+    // Register -> module -> same register, or register -> itself.
+    for (DpArcId a : nodes_[n].out_arcs) {
+      const DpArc& arc = arcs_[a];
+      if (arc.to == n) {
+        ++loops;
+        break;
+      }
+      if (nodes_[arc.to].kind != DpNodeKind::Module) continue;
+      bool closes = false;
+      for (DpArcId b : nodes_[arc.to].out_arcs) {
+        if (arcs_[b].to == n) {
+          closes = true;
+          break;
+        }
+      }
+      if (closes) {
+        ++loops;
+        break;
+      }
+    }
+  }
+  return loops;
+}
+
+DataPath::SeqDepthStats DataPath::sequential_depth() const {
+  const RegisterDistances dist = register_distances();
+  SeqDepthStats stats;
+  for (DpNodeId n : node_ids()) {
+    if (nodes_[n].kind != DpNodeKind::Register) continue;
+    const int in = dist.d_in[n.index()];
+    const int out = dist.d_out[n.index()];
+    if (in < 0 || out < 0) {
+      ++stats.unreachable;
+      continue;
+    }
+    stats.max_depth = std::max(stats.max_depth, in + out);
+    stats.total_depth += in + out;
+  }
+  return stats;
+}
+
+DataPath::RegisterDistances DataPath::register_distances() const {
+  // Register hop graph: r1 -> r2 when r1 reaches r2 through at most one
+  // module (one clocked stage).
+  std::vector<std::vector<std::uint32_t>> fwd(nodes_.size());
+  std::vector<std::vector<std::uint32_t>> bwd(nodes_.size());
+  std::vector<std::uint32_t> regs;
+  std::vector<int> d_in(nodes_.size(), -1);
+  std::vector<int> d_out(nodes_.size(), -1);
+
+  auto reg_targets_of = [&](DpNodeId n, auto&& self, bool through_module,
+                            std::vector<std::uint32_t>& out) -> void {
+    for (DpArcId a : nodes_[n].out_arcs) {
+      const DpNode& to = nodes_[arcs_[a].to];
+      if (to.kind == DpNodeKind::Register) {
+        out.push_back(arcs_[a].to.value());
+      } else if (to.kind == DpNodeKind::Module && !through_module) {
+        self(arcs_[a].to, self, true, out);
+      }
+    }
+  };
+
+  for (DpNodeId n : node_ids()) {
+    if (nodes_[n].kind != DpNodeKind::Register) continue;
+    regs.push_back(n.value());
+    std::vector<std::uint32_t> targets;
+    reg_targets_of(n, reg_targets_of, false, targets);
+    for (std::uint32_t t : targets) {
+      fwd[n.index()].push_back(t);
+      bwd[t].push_back(n.value());
+    }
+    // Controllable seed: loaded directly from an input port.
+    for (DpArcId a : nodes_[n].in_arcs) {
+      if (nodes_[arcs_[a].from].kind == DpNodeKind::InPort) d_in[n.index()] = 0;
+    }
+    // Observable seed: feeds an output port directly or through one module.
+    for (DpArcId a : nodes_[n].out_arcs) {
+      const DpNode& to = nodes_[arcs_[a].to];
+      if (to.kind == DpNodeKind::OutPort) d_out[n.index()] = 0;
+      if (to.kind == DpNodeKind::Module) {
+        for (DpArcId b : nodes_[arcs_[a].to].out_arcs) {
+          if (nodes_[arcs_[b].to].kind == DpNodeKind::OutPort) {
+            d_out[n.index()] = 0;
+          }
+        }
+      }
+    }
+  }
+
+  auto bfs = [&](std::vector<int>& dist, const std::vector<std::vector<std::uint32_t>>& adj) {
+    std::deque<std::uint32_t> q;
+    for (std::uint32_t r : regs) {
+      if (dist[r] == 0) q.push_back(r);
+    }
+    while (!q.empty()) {
+      std::uint32_t u = q.front();
+      q.pop_front();
+      for (std::uint32_t v : adj[u]) {
+        if (dist[v] < 0) {
+          dist[v] = dist[u] + 1;
+          q.push_back(v);
+        }
+      }
+    }
+  };
+  bfs(d_in, fwd);
+  bfs(d_out, bwd);
+
+  RegisterDistances dist;
+  dist.d_in = std::move(d_in);
+  dist.d_out = std::move(d_out);
+  return dist;
+}
+
+std::string DataPath::to_dot() const {
+  std::ostringstream os;
+  os << "digraph datapath {\n  rankdir=TB;\n";
+  for (DpNodeId n : node_ids()) {
+    const DpNode& node = nodes_[n];
+    const char* shape = "box";
+    switch (node.kind) {
+      case DpNodeKind::InPort: shape = "invtriangle"; break;
+      case DpNodeKind::OutPort: shape = "triangle"; break;
+      case DpNodeKind::Register: shape = "box"; break;
+      case DpNodeKind::Module: shape = "oval"; break;
+    }
+    os << "  n" << n.value() << " [label=\"" << node.name << "\" shape=" << shape
+       << "];\n";
+  }
+  for (DpArcId a : arc_ids()) {
+    const DpArc& arc = arcs_[a];
+    os << "  n" << arc.from.value() << " -> n" << arc.to.value() << " [label=\"";
+    for (std::size_t i = 0; i < arc.steps.size(); ++i) {
+      if (i) os << ",";
+      os << "S" << arc.steps[i];
+    }
+    os << "\"];\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace hlts::etpn

@@ -1,0 +1,118 @@
+// ETPN data path: a directed graph whose nodes represent storage
+// (registers), manipulation of data (functional modules) and the interface
+// (input/output ports), and whose arcs represent guarded data transfers.
+//
+// Each arc records the control steps in which its transfer is active -- the
+// link between the data path and the control Petri net ("control states in
+// the control part controlling the data transfers in the data path").
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dfg/dfg.hpp"
+#include "etpn/binding.hpp"
+#include "util/ids.hpp"
+
+namespace hlts::etpn {
+
+struct DpNodeTag {};
+struct DpArcTag {};
+using DpNodeId = Id<DpNodeTag>;
+using DpArcId = Id<DpArcTag>;
+
+enum class DpNodeKind {
+  InPort,    ///< primary data input
+  OutPort,   ///< primary data output (incl. condition signals to the controller)
+  Register,  ///< storage node
+  Module,    ///< functional module (ALU / multiplier / ...)
+};
+
+struct DpNode {
+  DpNodeKind kind = DpNodeKind::Register;
+  std::string name;
+  /// Valid when kind == Module.
+  ModuleId module;
+  /// Valid when kind == Register.
+  RegId reg;
+  /// Valid when kind == InPort/OutPort: the variable carried.
+  dfg::VarId port_var;
+  /// Valid when kind == Module: the operation class implemented.
+  dfg::OpKind op_class = dfg::OpKind::Add;
+  std::vector<DpArcId> in_arcs;
+  std::vector<DpArcId> out_arcs;
+};
+
+struct DpArc {
+  DpNodeId from;
+  DpNodeId to;
+  /// Input port index at the destination (0/1 for module operand ports; 0
+  /// for registers and out-ports).
+  int to_port = 0;
+  /// Control steps in which this transfer is active (sorted, unique).
+  /// Step 0 is the primary-input load step.
+  std::vector<int> steps;
+};
+
+class DataPath {
+ public:
+  DpNodeId add_node(DpNode node);
+  /// Adds an arc, or extends the step set of an existing identical arc.
+  DpArcId add_transfer(DpNodeId from, DpNodeId to, int to_port, int step);
+
+  [[nodiscard]] std::size_t num_nodes() const { return nodes_.size(); }
+  [[nodiscard]] std::size_t num_arcs() const { return arcs_.size(); }
+  [[nodiscard]] const DpNode& node(DpNodeId n) const { return nodes_[n]; }
+  [[nodiscard]] const DpArc& arc(DpArcId a) const { return arcs_[a]; }
+  [[nodiscard]] IdRange<DpNodeId> node_ids() const {
+    return id_range<DpNodeId>(nodes_.size());
+  }
+  [[nodiscard]] IdRange<DpArcId> arc_ids() const {
+    return id_range<DpArcId>(arcs_.size());
+  }
+
+  /// Distinct sources feeding input port `port` of `n`.
+  [[nodiscard]] std::vector<DpNodeId> port_sources(DpNodeId n, int port) const;
+  /// Number of input ports of `n` (2 for two-operand modules, else 1).
+  [[nodiscard]] int num_ports(DpNodeId n) const;
+
+  /// Number of multiplexers: input ports fed by two or more distinct
+  /// sources (each such port needs one multiplexer in front of it).
+  [[nodiscard]] int mux_count() const;
+
+  /// Number of self-loops: registers that feed a module which feeds the
+  /// same register back.  Self-loops are the structures BIST-oriented work
+  /// (Papachristou, Mujumdar) tries hardest to avoid.
+  [[nodiscard]] int self_loop_count() const;
+
+  /// Structural sequential depth: for each register, the number of
+  /// register-to-register stages on the shortest path from a primary-input-
+  /// loaded register to it plus from it to a primary-output-observed
+  /// register; returns {max, sum} over registers.  This is the quantity
+  /// rule SR1 ("reduce the sequential depth from a controllable register to
+  /// an observable register") minimizes.
+  struct SeqDepthStats {
+    int max_depth = 0;
+    int total_depth = 0;
+    int unreachable = 0;  ///< registers with no PI->reg->PO path at all
+  };
+  [[nodiscard]] SeqDepthStats sequential_depth() const;
+
+  /// Per-node register distances: d_in = register hops from the nearest
+  /// primary-input-loaded register (0 = loaded from a port), d_out =
+  /// register hops to the nearest observation point.  -1 where unreachable
+  /// or not a register.  sequential_depth() is a summary of these.
+  struct RegisterDistances {
+    std::vector<int> d_in;
+    std::vector<int> d_out;
+  };
+  [[nodiscard]] RegisterDistances register_distances() const;
+
+  [[nodiscard]] std::string to_dot() const;
+
+ private:
+  IndexVec<DpNodeId, DpNode> nodes_;
+  IndexVec<DpArcId, DpArc> arcs_;
+};
+
+}  // namespace hlts::etpn

@@ -1,0 +1,130 @@
+#include "etpn/etpn.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace hlts::etpn {
+
+int Etpn::execution_time() const { return petri::critical_path(control).length; }
+
+Etpn build_etpn(const dfg::Dfg& g, const sched::Schedule& s, const Binding& b,
+                const EtpnOptions& options) {
+  HLTS_REQUIRE(s.num_ops() == g.num_ops(), "schedule does not match DFG");
+  b.validate(g);
+
+  Etpn e;
+  DataPath& dp = e.data_path;
+  const int length = s.length();
+
+  // --- data path nodes ------------------------------------------------------
+  e.module_node.resize(b.num_module_slots());
+  e.reg_node.resize(b.num_reg_slots());
+  e.inport_node.resize(g.num_vars());
+  e.outport_node.resize(g.num_vars());
+
+  for (RegId r : b.alive_regs()) {
+    DpNode node;
+    node.kind = DpNodeKind::Register;
+    node.name = b.reg_label(g, r);
+    node.reg = r;
+    e.reg_node[r] = dp.add_node(std::move(node));
+  }
+  for (ModuleId m : b.alive_modules()) {
+    DpNode node;
+    node.kind = DpNodeKind::Module;
+    node.name = b.module_label(g, m);
+    node.module = m;
+    node.op_class = b.module_kind(g, m);
+    e.module_node[m] = dp.add_node(std::move(node));
+  }
+  for (dfg::VarId v : g.var_ids()) {
+    const dfg::Variable& var = g.var(v);
+    if (var.is_primary_input) {
+      DpNode node;
+      node.kind = DpNodeKind::InPort;
+      node.name = "in:" + var.name;
+      node.port_var = v;
+      e.inport_node[v] = dp.add_node(std::move(node));
+    }
+    if (var.is_primary_output) {
+      DpNode node;
+      node.kind = DpNodeKind::OutPort;
+      node.name = "out:" + var.name;
+      node.port_var = v;
+      e.outport_node[v] = dp.add_node(std::move(node));
+    }
+  }
+
+  // --- data path arcs -------------------------------------------------------
+  // Primary input loads (step 0).
+  for (dfg::VarId v : g.var_ids()) {
+    if (!g.var(v).is_primary_input) continue;
+    dp.add_transfer(e.inport_node[v], e.reg_node[b.reg_of(v)], 0, 0);
+  }
+  // Operand fetches and result stores.
+  for (dfg::OpId op : g.op_ids()) {
+    const dfg::Operation& o = g.op(op);
+    const int step = s.step(op);
+    DpNodeId mod = e.module_node[b.module_of(op)];
+    for (std::size_t i = 0; i < o.inputs.size(); ++i) {
+      RegId src = b.reg_of(o.inputs[i]);
+      HLTS_REQUIRE(src.valid(), "operand variable is not register-resident");
+      dp.add_transfer(e.reg_node[src], mod, static_cast<int>(i), step);
+    }
+    const dfg::Variable& out = g.var(o.output);
+    RegId dst = b.reg_of(o.output);
+    if (dst.valid()) {
+      dp.add_transfer(mod, e.reg_node[dst], 0, step);
+      if (out.is_primary_output) {
+        // Registered PO: the held value is presented at the port after the
+        // last step.
+        dp.add_transfer(e.reg_node[dst], e.outport_node[o.output], 0, length + 1);
+      }
+    } else {
+      HLTS_REQUIRE(out.is_primary_output,
+                   "unregistered variable must be a primary output");
+      dp.add_transfer(mod, e.outport_node[o.output], 0, step);
+    }
+  }
+
+  // --- control part ---------------------------------------------------------
+  // A chain of control places S0 (load) .. SL, plus optionally a guarded
+  // loop back to S1 and a guarded exit to a final place.
+  e.step_place.resize(length + 1);
+  e.step_place[0] = e.control.add_place("S0", /*delay=*/0, /*marked=*/true);
+  for (int step = 1; step <= length; ++step) {
+    e.step_place[step] =
+        e.control.add_place("S" + std::to_string(step), /*delay=*/1);
+  }
+  for (int step = 0; step < length; ++step) {
+    e.control.add_transition("t" + std::to_string(step) + "_" +
+                                 std::to_string(step + 1),
+                             {e.step_place[step]}, {e.step_place[step + 1]});
+  }
+
+  // Condition output: a port-direct comparison result.
+  dfg::VarId cond = dfg::VarId::invalid();
+  for (dfg::VarId v : g.var_ids()) {
+    const dfg::Variable& var = g.var(v);
+    if (var.is_primary_output && !g.needs_register(v) && var.def.valid() &&
+        dfg::op_is_comparison(g.op(var.def).kind)) {
+      cond = v;
+      break;
+    }
+  }
+
+  if (options.loop_on_condition && cond.valid() && length >= 1) {
+    petri::PlaceId done = e.control.add_place("done", /*delay=*/0);
+    e.control.add_transition("t_loop", {e.step_place[length]},
+                             {e.step_place[1]}, /*guard_group=*/1,
+                             /*polarity=*/true);
+    e.control.add_transition("t_exit", {e.step_place[length]}, {done},
+                             /*guard_group=*/1, /*polarity=*/false);
+  }
+
+  e.control.validate();
+  return e;
+}
+
+}  // namespace hlts::etpn

@@ -1,0 +1,60 @@
+// ETPN: the Extended Timed Petri Net design representation.
+//
+// Combines the data path graph with the timed Petri net control part; the
+// two are related through the control places gating data transfers and the
+// condition signals feeding guarded transitions.  In this implementation
+// the ETPN is *derived*: the synthesis algorithms maintain (DFG, schedule,
+// binding) and materialize the ETPN view whenever testability analysis or
+// cost estimation needs it.
+#pragma once
+
+#include <vector>
+
+#include "dfg/dfg.hpp"
+#include "etpn/binding.hpp"
+#include "etpn/datapath.hpp"
+#include "petri/petri.hpp"
+#include "sched/schedule.hpp"
+#include "util/ids.hpp"
+
+namespace hlts::etpn {
+
+struct EtpnOptions {
+  /// When true and the DFG produces a comparison condition output, the
+  /// control part loops back to the first step under a guarded transition
+  /// (modelling e.g. Diffeq's `while (x < a)` iteration) with a guarded
+  /// exit to a final place.
+  bool loop_on_condition = false;
+};
+
+/// The materialized design representation.
+struct Etpn {
+  DataPath data_path;
+  petri::PetriNet control;
+
+  /// Control place of each step (index = step; step 0 is the PI load step).
+  std::vector<petri::PlaceId> step_place;
+
+  /// Data path node of each alive module / register / port.
+  IndexVec<ModuleId, DpNodeId> module_node;
+  IndexVec<RegId, DpNodeId> reg_node;
+  IndexVec<dfg::VarId, DpNodeId> inport_node;   // valid for PIs
+  IndexVec<dfg::VarId, DpNodeId> outport_node;  // valid for POs
+
+  /// Execution time: the control part's critical path length (equals the
+  /// schedule length for chain-structured control).
+  [[nodiscard]] int execution_time() const;
+};
+
+/// Builds the ETPN for a scheduled, bound design.
+///
+/// Data path construction: one InPort per primary input (feeding its
+/// register in step 0), one node per alive module and register, arcs for
+/// every operand fetch (register -> module port, active in the op's step),
+/// every result store (module -> register), and the output-port connections
+/// (register -> OutPort for registered POs, module -> OutPort for
+/// port-direct POs such as condition signals).
+[[nodiscard]] Etpn build_etpn(const dfg::Dfg& g, const sched::Schedule& s,
+                              const Binding& b, const EtpnOptions& options = {});
+
+}  // namespace hlts::etpn

@@ -1,0 +1,136 @@
+#include "frontend/lexer.hpp"
+
+#include <cctype>
+
+#include "util/error.hpp"
+
+namespace hlts::frontend {
+
+const char* token_kind_name(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::Identifier: return "identifier";
+    case TokenKind::Number: return "number";
+    case TokenKind::KwDesign: return "'design'";
+    case TokenKind::KwInput: return "'input'";
+    case TokenKind::KwOutput: return "'output'";
+    case TokenKind::KwRegister: return "'register'";
+    case TokenKind::LBrace: return "'{'";
+    case TokenKind::RBrace: return "'}'";
+    case TokenKind::Semicolon: return "';'";
+    case TokenKind::Comma: return "','";
+    case TokenKind::Assign: return "'='";
+    case TokenKind::Plus: return "'+'";
+    case TokenKind::Minus: return "'-'";
+    case TokenKind::Star: return "'*'";
+    case TokenKind::Slash: return "'/'";
+    case TokenKind::Less: return "'<'";
+    case TokenKind::Greater: return "'>'";
+    case TokenKind::EqualEqual: return "'=='";
+    case TokenKind::Amp: return "'&'";
+    case TokenKind::Pipe: return "'|'";
+    case TokenKind::Caret: return "'^'";
+    case TokenKind::Tilde: return "'~'";
+    case TokenKind::LParen: return "'('";
+    case TokenKind::RParen: return "')'";
+    case TokenKind::End: return "end of input";
+  }
+  return "?";
+}
+
+std::vector<Token> tokenize(const std::string& source) {
+  std::vector<Token> tokens;
+  int line = 1;
+  int column = 1;
+  std::size_t i = 0;
+
+  auto fail = [&](const std::string& message) {
+    throw Error("lex error at " + std::to_string(line) + ":" +
+                std::to_string(column) + ": " + message);
+  };
+  auto push = [&](TokenKind kind, std::string text) {
+    tokens.push_back({kind, std::move(text), line, column});
+  };
+
+  while (i < source.size()) {
+    const char c = source[i];
+    if (c == '\n') {
+      ++line;
+      column = 1;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++column;
+      ++i;
+      continue;
+    }
+    // Comments: "--" (VHDL flavour) or "//".
+    if ((c == '-' && i + 1 < source.size() && source[i + 1] == '-') ||
+        (c == '/' && i + 1 < source.size() && source[i + 1] == '/')) {
+      while (i < source.size() && source[i] != '\n') ++i;
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t start = i;
+      while (i < source.size() &&
+             (std::isalnum(static_cast<unsigned char>(source[i])) ||
+              source[i] == '_')) {
+        ++i;
+      }
+      std::string word = source.substr(start, i - start);
+      TokenKind kind = TokenKind::Identifier;
+      if (word == "design") kind = TokenKind::KwDesign;
+      else if (word == "input") kind = TokenKind::KwInput;
+      else if (word == "output") kind = TokenKind::KwOutput;
+      else if (word == "register") kind = TokenKind::KwRegister;
+      push(kind, std::move(word));
+      column += static_cast<int>(i - start);
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t start = i;
+      while (i < source.size() &&
+             std::isdigit(static_cast<unsigned char>(source[i]))) {
+        ++i;
+      }
+      push(TokenKind::Number, source.substr(start, i - start));
+      column += static_cast<int>(i - start);
+      continue;
+    }
+    switch (c) {
+      case '{': push(TokenKind::LBrace, "{"); break;
+      case '}': push(TokenKind::RBrace, "}"); break;
+      case ';': push(TokenKind::Semicolon, ";"); break;
+      case ',': push(TokenKind::Comma, ","); break;
+      case '+': push(TokenKind::Plus, "+"); break;
+      case '-': push(TokenKind::Minus, "-"); break;
+      case '*': push(TokenKind::Star, "*"); break;
+      case '/': push(TokenKind::Slash, "/"); break;
+      case '<': push(TokenKind::Less, "<"); break;
+      case '>': push(TokenKind::Greater, ">"); break;
+      case '&': push(TokenKind::Amp, "&"); break;
+      case '|': push(TokenKind::Pipe, "|"); break;
+      case '^': push(TokenKind::Caret, "^"); break;
+      case '~': push(TokenKind::Tilde, "~"); break;
+      case '(': push(TokenKind::LParen, "("); break;
+      case ')': push(TokenKind::RParen, ")"); break;
+      case '=':
+        if (i + 1 < source.size() && source[i + 1] == '=') {
+          push(TokenKind::EqualEqual, "==");
+          ++i;
+          ++column;
+        } else {
+          push(TokenKind::Assign, "=");
+        }
+        break;
+      default:
+        fail(std::string("unexpected character '") + c + "'");
+    }
+    ++i;
+    ++column;
+  }
+  push(TokenKind::End, "");
+  return tokens;
+}
+
+}  // namespace hlts::frontend

@@ -1,0 +1,66 @@
+// Lexer for the behavioral specification DSL.
+//
+// The paper's system consumes VHDL behavioral specifications; the full VHDL
+// surface is irrelevant to every experiment (DESIGN.md §2), so the repo
+// ships a small behavioral language with the same compilation contract:
+// every operation instance in the source becomes one data path node
+// ("default allocation").
+//
+//   design diffeq {
+//     input x, y, u, dx, a;
+//     output register u1, x1, y1;
+//     output cond;
+//     u1 = u - 3 * x * u * dx - 3 * y * dx;
+//     x1 = x + dx;
+//     y1 = y + u * dx;
+//     cond = x1 < a;
+//   }
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace hlts::frontend {
+
+enum class TokenKind {
+  Identifier,
+  Number,
+  KwDesign,
+  KwInput,
+  KwOutput,
+  KwRegister,
+  LBrace,
+  RBrace,
+  Semicolon,
+  Comma,
+  Assign,   // =
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Less,
+  Greater,
+  EqualEqual,
+  Amp,
+  Pipe,
+  Caret,
+  Tilde,
+  LParen,
+  RParen,
+  End,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::End;
+  std::string text;
+  int line = 1;
+  int column = 1;
+};
+
+[[nodiscard]] const char* token_kind_name(TokenKind kind);
+
+/// Tokenizes `source`; throws hlts::Error with line/column on bad input.
+/// Comments run from "--" or "//" to end of line.
+[[nodiscard]] std::vector<Token> tokenize(const std::string& source);
+
+}  // namespace hlts::frontend

@@ -1,0 +1,32 @@
+// Recursive-descent compiler: behavioral DSL -> DFG with default allocation
+// (one data path node per operation instance).
+//
+// Grammar:
+//   design      := 'design' ident '{' decl* stmt* '}'
+//   decl        := 'input' ident (',' ident)* ';'
+//                | 'output' ['register'] ident (',' ident)* ';'
+//   stmt        := ident '=' expr ';'
+//   expr        := cmp (('&' | '|' | '^') cmp)*
+//   cmp         := sum (('<' | '>' | '==') sum)*
+//   sum         := term (('+' | '-') term)*
+//   term        := factor (('*' | '/') factor)*
+//   factor      := ident | number | '~' factor | '(' expr ')'
+//
+// Numbers become implicit constant input ports (the paper's Diffeq keeps
+// the literal 3 in a register fed from outside, matching its Table 3
+// register allocations).  Nested expressions introduce compiler temporaries
+// t1, t2, ...; each operator application becomes one operation N1, N2, ...
+#pragma once
+
+#include <string>
+
+#include "dfg/dfg.hpp"
+
+namespace hlts::frontend {
+
+/// Compiles a behavioral specification into a DFG; throws hlts::Error with
+/// positions on syntax or semantic errors (undefined variable, redefined
+/// variable, undeclared output, output never assigned).
+[[nodiscard]] dfg::Dfg compile(const std::string& source);
+
+}  // namespace hlts::frontend

@@ -1,0 +1,196 @@
+#include "gates/netlist.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "util/error.hpp"
+
+namespace hlts::gates {
+
+const char* gate_kind_name(GateKind kind) {
+  switch (kind) {
+    case GateKind::Input: return "input";
+    case GateKind::Output: return "output";
+    case GateKind::Const0: return "const0";
+    case GateKind::Const1: return "const1";
+    case GateKind::Buf: return "buf";
+    case GateKind::Not: return "not";
+    case GateKind::And: return "and";
+    case GateKind::Or: return "or";
+    case GateKind::Nand: return "nand";
+    case GateKind::Nor: return "nor";
+    case GateKind::Xor: return "xor";
+    case GateKind::Xnor: return "xnor";
+    case GateKind::Mux: return "mux";
+    case GateKind::Dff: return "dff";
+  }
+  return "?";
+}
+
+int gate_arity(GateKind kind) {
+  switch (kind) {
+    case GateKind::Input:
+    case GateKind::Const0:
+    case GateKind::Const1:
+      return 0;
+    case GateKind::Output:
+    case GateKind::Buf:
+    case GateKind::Not:
+    case GateKind::Dff:
+      return 1;
+    case GateKind::Xor:
+    case GateKind::Xnor:
+      return 2;
+    case GateKind::Mux:
+      return 3;
+    case GateKind::And:
+    case GateKind::Or:
+    case GateKind::Nand:
+    case GateKind::Nor:
+      return -1;  // variadic, >= 2
+  }
+  return -1;
+}
+
+GateId Netlist::add_input(const std::string& name) {
+  GateId id = add_gate(GateKind::Input, {}, name);
+  inputs_.push_back(id);
+  return id;
+}
+
+GateId Netlist::add_output(GateId src, const std::string& name) {
+  GateId id = add_gate(GateKind::Output, {src}, name);
+  outputs_.push_back(id);
+  return id;
+}
+
+GateId Netlist::add_gate(GateKind kind, const std::vector<GateId>& inputs,
+                         const std::string& name) {
+  const int arity = gate_arity(kind);
+  if (arity >= 0) {
+    HLTS_REQUIRE(static_cast<int>(inputs.size()) == arity,
+                 std::string("gate arity mismatch for ") + gate_kind_name(kind));
+  } else {
+    HLTS_REQUIRE(inputs.size() >= 2, "variadic gate needs >= 2 inputs");
+  }
+  for (GateId in : inputs) {
+    HLTS_REQUIRE(gates_.contains(in), "gate input id out of range");
+  }
+  Gate g;
+  g.kind = kind;
+  g.name = name;
+  g.inputs = inputs;
+  GateId id = gates_.push_back(std::move(g));
+  for (GateId in : inputs) gates_[in].fanouts.push_back(id);
+  if (kind == GateKind::Dff) dffs_.push_back(id);
+  levelized_.clear();
+  return id;
+}
+
+GateId Netlist::add_dff(const std::string& name) {
+  Gate g;
+  g.kind = GateKind::Dff;
+  g.name = name;
+  GateId id = gates_.push_back(std::move(g));
+  dffs_.push_back(id);
+  levelized_.clear();
+  return id;
+}
+
+void Netlist::connect_dff(GateId dff, GateId d) {
+  HLTS_REQUIRE(gates_[dff].kind == GateKind::Dff, "connect_dff on non-DFF");
+  HLTS_REQUIRE(gates_[dff].inputs.empty(), "DFF already connected");
+  gates_[dff].inputs.push_back(d);
+  gates_[d].fanouts.push_back(dff);
+  levelized_.clear();
+}
+
+GateId Netlist::const0() {
+  if (!const0_.valid()) const0_ = add_gate(GateKind::Const0, {}, "tie0");
+  return const0_;
+}
+
+GateId Netlist::const1() {
+  if (!const1_.valid()) const1_ = add_gate(GateKind::Const1, {}, "tie1");
+  return const1_;
+}
+
+const std::vector<GateId>& Netlist::levelized() const {
+  if (!levelized_.empty() || gates_.empty()) return levelized_;
+  // Kahn over combinational edges only: a DFF's output is a source, its
+  // data input a sink.
+  std::vector<int> pending(gates_.size(), 0);
+  std::size_t comb_count = 0;
+  for (GateId id : gate_ids()) {
+    const Gate& g = gates_[id];
+    if (g.kind == GateKind::Input || g.kind == GateKind::Const0 ||
+        g.kind == GateKind::Const1 || g.kind == GateKind::Dff) {
+      continue;  // sources: not part of the combinational order
+    }
+    ++comb_count;
+    pending[id.index()] = static_cast<int>(g.inputs.size());
+  }
+  std::deque<GateId> ready;
+  for (GateId id : gate_ids()) {
+    const Gate& g = gates_[id];
+    const bool source = g.kind == GateKind::Input ||
+                        g.kind == GateKind::Const0 ||
+                        g.kind == GateKind::Const1 || g.kind == GateKind::Dff;
+    if (source) {
+      for (GateId f : g.fanouts) {
+        if (gates_[f].kind != GateKind::Dff && --pending[f.index()] == 0) {
+          ready.push_back(f);
+        }
+      }
+    } else if (g.inputs.empty()) {
+      ready.push_back(id);
+    }
+  }
+  while (!ready.empty()) {
+    GateId id = ready.front();
+    ready.pop_front();
+    levelized_.push_back(id);
+    for (GateId f : gates_[id].fanouts) {
+      if (gates_[f].kind != GateKind::Dff && --pending[f.index()] == 0) {
+        ready.push_back(f);
+      }
+    }
+  }
+  HLTS_REQUIRE(levelized_.size() == comb_count,
+               "netlist has a combinational cycle");
+  return levelized_;
+}
+
+Netlist::Stats Netlist::stats() const {
+  Stats s;
+  s.gates = gates_.size();
+  s.flip_flops = dffs_.size();
+  s.primary_inputs = inputs_.size();
+  s.primary_outputs = outputs_.size();
+  for (GateId id : gate_ids()) {
+    switch (gates_[id].kind) {
+      case GateKind::Input:
+      case GateKind::Output:
+      case GateKind::Const0:
+      case GateKind::Const1:
+      case GateKind::Dff:
+        break;
+      default:
+        ++s.combinational;
+    }
+  }
+  return s;
+}
+
+void Netlist::validate() const {
+  for (GateId id : gate_ids()) {
+    const Gate& g = gates_[id];
+    if (g.kind == GateKind::Dff) {
+      HLTS_REQUIRE(g.inputs.size() == 1,
+                   "DFF " + g.name + " left unconnected");
+    }
+  }
+  (void)levelized();  // throws on combinational cycles
+}
+
+}  // namespace hlts::gates

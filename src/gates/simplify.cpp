@@ -1,0 +1,374 @@
+#include "gates/simplify.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+
+#include "util/error.hpp"
+
+namespace hlts::gates {
+
+namespace {
+
+/// Constant lattice: Bottom (unreached) < {Zero, One} < Top (varies).
+enum class CV : unsigned char { Bottom, Zero, One, Top };
+
+CV cv_join(CV a, CV b) {
+  if (a == CV::Bottom) return b;
+  if (b == CV::Bottom) return a;
+  if (a == b) return a;
+  return CV::Top;
+}
+
+CV cv_not(CV a) {
+  switch (a) {
+    case CV::Zero: return CV::One;
+    case CV::One: return CV::Zero;
+    default: return a;
+  }
+}
+
+/// Whole-netlist constant analysis to fixpoint, treating every DFF as
+/// powering up at zero (matching the simulator and PODEM).
+IndexVec<GateId, CV> constant_analysis(const Netlist& nl) {
+  IndexVec<GateId, CV> value(nl.num_gates(), CV::Bottom);
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (GateId id : nl.gate_ids()) {
+      const Gate& g = nl.gate(id);
+      CV v = CV::Bottom;
+      auto in = [&](std::size_t i) { return value[g.inputs[i]]; };
+      switch (g.kind) {
+        case GateKind::Input:
+          v = CV::Top;
+          break;
+        case GateKind::Const0:
+          v = CV::Zero;
+          break;
+        case GateKind::Const1:
+          v = CV::One;
+          break;
+        case GateKind::Dff:
+          // Flip-flops power up unknown (X), so a DFF is never a constant
+          // even when its data input is.
+          v = CV::Top;
+          break;
+        case GateKind::Buf:
+        case GateKind::Output:
+          v = in(0);
+          break;
+        case GateKind::Not:
+          v = cv_not(in(0));
+          break;
+        case GateKind::And:
+        case GateKind::Nand: {
+          v = CV::One;
+          for (std::size_t i = 0; i < g.inputs.size(); ++i) {
+            CV x = in(i);
+            if (x == CV::Zero) {
+              v = CV::Zero;
+              break;
+            }
+            if (x == CV::Bottom) v = CV::Bottom;
+            if (x == CV::Top && v != CV::Bottom) v = CV::Top;
+          }
+          if (v == CV::Top) {
+            // refine: all-One means One
+            bool all_one = true;
+            for (std::size_t i = 0; i < g.inputs.size(); ++i) {
+              if (in(i) != CV::One) all_one = false;
+            }
+            if (all_one) v = CV::One;
+          }
+          if (g.kind == GateKind::Nand) v = cv_not(v);
+          break;
+        }
+        case GateKind::Or:
+        case GateKind::Nor: {
+          v = CV::Zero;
+          for (std::size_t i = 0; i < g.inputs.size(); ++i) {
+            CV x = in(i);
+            if (x == CV::One) {
+              v = CV::One;
+              break;
+            }
+            if (x == CV::Bottom) v = CV::Bottom;
+            if (x == CV::Top && v != CV::Bottom) v = CV::Top;
+          }
+          if (g.kind == GateKind::Nor) v = cv_not(v);
+          break;
+        }
+        case GateKind::Xor:
+        case GateKind::Xnor: {
+          CV a = in(0);
+          CV b = in(1);
+          if (a == CV::Bottom || b == CV::Bottom) {
+            v = CV::Bottom;
+          } else if (a == CV::Top || b == CV::Top) {
+            v = CV::Top;
+          } else {
+            v = (a == b) ? CV::Zero : CV::One;
+          }
+          if (g.kind == GateKind::Xnor) v = cv_not(v);
+          break;
+        }
+        case GateKind::Mux: {
+          CV s = in(0);
+          CV a = in(1);
+          CV b = in(2);
+          if (s == CV::Zero) {
+            v = a;
+          } else if (s == CV::One) {
+            v = b;
+          } else if (s == CV::Bottom) {
+            v = CV::Bottom;
+          } else {
+            v = cv_join(a, b);
+          }
+          break;
+        }
+      }
+      if (v != value[id]) {
+        value[id] = v;
+        changed = true;
+      }
+    }
+  }
+  return value;
+}
+
+/// Gate construction with local algebraic folding and structural CSE.
+class Builder {
+ public:
+  explicit Builder(Netlist& nl) : nl_(nl) {}
+
+  GateId c0() { return nl_.const0(); }
+  GateId c1() { return nl_.const1(); }
+
+  bool is_c0(GateId g) const { return nl_.gate(g).kind == GateKind::Const0; }
+  bool is_c1(GateId g) const { return nl_.gate(g).kind == GateKind::Const1; }
+
+  GateId mk_not(GateId a) {
+    if (is_c0(a)) return c1();
+    if (is_c1(a)) return c0();
+    if (nl_.gate(a).kind == GateKind::Not) return nl_.gate(a).inputs[0];
+    return cse(GateKind::Not, {a});
+  }
+
+  GateId mk_nary(GateKind kind, std::vector<GateId> ins) {
+    const bool is_and = kind == GateKind::And || kind == GateKind::Nand;
+    const bool invert = kind == GateKind::Nand || kind == GateKind::Nor;
+    const GateId absorbing = is_and ? c0() : c1();
+    const GateId identity = is_and ? c1() : c0();
+
+    std::vector<GateId> keep;
+    for (GateId g : ins) {
+      if (g == absorbing) return invert ? mk_not(absorbing) : absorbing;
+      if (g == identity) continue;
+      keep.push_back(g);
+    }
+    std::sort(keep.begin(), keep.end());
+    keep.erase(std::unique(keep.begin(), keep.end()), keep.end());
+    // x & ~x = 0;  x | ~x = 1.
+    for (GateId g : keep) {
+      if (nl_.gate(g).kind == GateKind::Not) {
+        GateId inner = nl_.gate(g).inputs[0];
+        if (std::binary_search(keep.begin(), keep.end(), inner)) {
+          return invert ? mk_not(absorbing) : absorbing;
+        }
+      }
+    }
+    if (keep.empty()) return invert ? mk_not(identity) : identity;
+    if (keep.size() == 1) return invert ? mk_not(keep[0]) : keep[0];
+    return cse(is_and ? GateKind::And : GateKind::Or, keep, invert);
+  }
+
+  GateId mk_xor(GateId a, GateId b, bool invert) {
+    if (a == b) return invert ? c1() : c0();
+    if (is_c0(a)) return invert ? mk_not(b) : b;
+    if (is_c0(b)) return invert ? mk_not(a) : a;
+    if (is_c1(a)) return invert ? b : mk_not(b);
+    if (is_c1(b)) return invert ? a : mk_not(a);
+    if (a > b) std::swap(a, b);
+    return cse(invert ? GateKind::Xnor : GateKind::Xor, {a, b});
+  }
+
+  GateId mk_mux(GateId s, GateId a, GateId b) {
+    if (is_c0(s)) return a;
+    if (is_c1(s)) return b;
+    if (a == b) return a;
+    if (is_c0(a) && is_c1(b)) return s;
+    if (is_c1(a) && is_c0(b)) return mk_not(s);
+    if (is_c0(a)) return mk_nary(GateKind::And, {s, b});
+    if (is_c1(b)) return mk_nary(GateKind::Or, {s, a});
+    return cse(GateKind::Mux, {s, a, b});
+  }
+
+ private:
+  GateId cse(GateKind kind, std::vector<GateId> ins, bool invert = false) {
+    auto key = std::make_pair(kind, ins);
+    auto it = memo_.find(key);
+    GateId out;
+    if (it != memo_.end()) {
+      out = it->second;
+    } else {
+      out = nl_.add_gate(kind, ins);
+      memo_.emplace(std::move(key), out);
+    }
+    return invert ? mk_not(out) : out;
+  }
+
+  Netlist& nl_;
+  std::map<std::pair<GateKind, std::vector<GateId>>, GateId> memo_;
+};
+
+/// Liveness: outputs are live; a live DFF makes its data cone live.
+IndexVec<GateId, bool> liveness(const Netlist& nl) {
+  IndexVec<GateId, bool> live(nl.num_gates(), false);
+  std::deque<GateId> queue;
+  auto mark = [&](GateId g) {
+    if (!live[g]) {
+      live[g] = true;
+      queue.push_back(g);
+    }
+  };
+  for (GateId o : nl.outputs()) mark(o);
+  while (!queue.empty()) {
+    GateId g = queue.front();
+    queue.pop_front();
+    for (GateId in : nl.gate(g).inputs) mark(in);
+  }
+  return live;
+}
+
+}  // namespace
+
+SimplifyResult simplify(const Netlist& in) {
+  in.validate();
+  const IndexVec<GateId, CV> cv = constant_analysis(in);
+
+  // --- pass 1: folded rebuild -----------------------------------------------
+  Netlist folded(in.name());
+  Builder build(folded);
+  IndexVec<GateId, GateId> map1(in.num_gates());
+
+  // Primary inputs first (order preserved).
+  for (GateId g : in.inputs()) {
+    map1[g] = folded.add_input(in.gate(g).name);
+  }
+  // Constant sources.
+  for (GateId g : in.gate_ids()) {
+    if (in.gate(g).kind == GateKind::Const0) map1[g] = build.c0();
+    if (in.gate(g).kind == GateKind::Const1) map1[g] = build.c1();
+  }
+  // Non-constant DFF shells.
+  for (GateId g : in.dffs()) {
+    if (cv[g] == CV::Zero || cv[g] == CV::One) {
+      map1[g] = cv[g] == CV::Zero ? build.c0() : build.c1();
+    } else {
+      map1[g] = folded.add_dff(in.gate(g).name);
+    }
+  }
+  // Combinational gates in level order.
+  for (GateId g : in.levelized()) {
+    const Gate& gate = in.gate(g);
+    if (gate.kind == GateKind::Output) continue;  // handled last
+    if (cv[g] == CV::Zero) {
+      map1[g] = build.c0();
+      continue;
+    }
+    if (cv[g] == CV::One) {
+      map1[g] = build.c1();
+      continue;
+    }
+    std::vector<GateId> ins;
+    for (GateId i : gate.inputs) ins.push_back(map1[i]);
+    switch (gate.kind) {
+      case GateKind::Buf:
+        map1[g] = ins[0];
+        break;
+      case GateKind::Not:
+        map1[g] = build.mk_not(ins[0]);
+        break;
+      case GateKind::And:
+      case GateKind::Or:
+        map1[g] = build.mk_nary(gate.kind, ins);
+        break;
+      case GateKind::Nand:
+        map1[g] = build.mk_not(build.mk_nary(GateKind::And, ins));
+        break;
+      case GateKind::Nor:
+        map1[g] = build.mk_not(build.mk_nary(GateKind::Or, ins));
+        break;
+      case GateKind::Xor:
+        map1[g] = build.mk_xor(ins[0], ins[1], false);
+        break;
+      case GateKind::Xnor:
+        map1[g] = build.mk_xor(ins[0], ins[1], true);
+        break;
+      case GateKind::Mux:
+        map1[g] = build.mk_mux(ins[0], ins[1], ins[2]);
+        break;
+      default:
+        throw Error("simplify: unexpected combinational gate");
+    }
+  }
+  // Constant-valued gates that never appeared in the levelized order (e.g.
+  // constant sources) are already mapped; connect DFFs.
+  for (GateId g : in.dffs()) {
+    if (folded.gate(map1[g]).kind == GateKind::Dff) {
+      folded.connect_dff(map1[g], map1[in.gate(g).inputs[0]]);
+    }
+  }
+  for (GateId g : in.outputs()) {
+    map1[g] = folded.add_output(map1[in.gate(g).inputs[0]], in.gate(g).name);
+  }
+
+  // --- pass 2: dead-logic sweep ----------------------------------------------
+  const IndexVec<GateId, bool> live = liveness(folded);
+  SimplifyResult result;
+  result.netlist = Netlist(in.name());
+  Netlist& out = result.netlist;
+  IndexVec<GateId, GateId> map2(folded.num_gates());
+
+  for (GateId g : folded.inputs()) {
+    map2[g] = out.add_input(folded.gate(g).name);  // PIs always survive
+  }
+  for (GateId g : folded.dffs()) {
+    if (live[g]) map2[g] = out.add_dff(folded.gate(g).name);
+  }
+  for (GateId g : folded.gate_ids()) {
+    const Gate& gate = folded.gate(g);
+    if (gate.kind == GateKind::Const0 && live[g]) map2[g] = out.const0();
+    if (gate.kind == GateKind::Const1 && live[g]) map2[g] = out.const1();
+  }
+  for (GateId g : folded.levelized()) {
+    if (!live[g]) continue;
+    const Gate& gate = folded.gate(g);
+    if (gate.kind == GateKind::Output) continue;
+    std::vector<GateId> ins;
+    for (GateId i : gate.inputs) ins.push_back(map2[i]);
+    map2[g] = out.add_gate(gate.kind, ins, gate.name);
+  }
+  for (GateId g : folded.dffs()) {
+    if (live[g]) out.connect_dff(map2[g], map2[folded.gate(g).inputs[0]]);
+  }
+  for (GateId g : folded.outputs()) {
+    map2[g] = out.add_output(map2[folded.gate(g).inputs[0]], folded.gate(g).name);
+  }
+
+  // Compose the remap.
+  result.remap.resize(in.num_gates());
+  for (GateId g : in.gate_ids()) {
+    GateId mid = map1[g];
+    result.remap[g] = mid.valid() && live.raw().size() > mid.index() &&
+                              live[mid] && map2[mid].valid()
+                          ? map2[mid]
+                          : GateId::invalid();
+  }
+  out.validate();
+  return result;
+}
+
+}  // namespace hlts::gates

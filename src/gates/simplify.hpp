@@ -1,0 +1,27 @@
+// Netlist simplification: constant propagation, buffer collapsing,
+// structural CSE and dead-logic sweeping.
+//
+// Naive bit-blasting leaves constant-fed gates everywhere (zero partial-
+// product rows in the multiplier, zero carries into ripple chains, zero
+// operand legs in steering networks).  A stuck-at fault on an always-
+// constant net is undetectable by definition; commercial ATPG flows fold
+// these away before fault-list generation, so we do the same -- otherwise
+// fault coverage measures the bit-blaster instead of the design.
+#pragma once
+
+#include "gates/netlist.hpp"
+
+namespace hlts::gates {
+
+struct SimplifyResult {
+  Netlist netlist;
+  /// Old gate id -> new gate id (invalid if the gate was swept).
+  IndexVec<GateId, GateId> remap;
+};
+
+/// Simplifies `in`.  Primary inputs are preserved in order (even if dead);
+/// primary outputs are preserved in order; flip-flops are kept wherever
+/// still live.
+[[nodiscard]] SimplifyResult simplify(const Netlist& in);
+
+}  // namespace hlts::gates

@@ -1,0 +1,19 @@
+// Structural Verilog netlist writer.
+//
+// Emits the gate-level netlist as primitive-instantiating Verilog so the
+// synthesized designs (and their DFT variants) can be taken to external
+// simulators/ATPG tools.  Pure structural output: one wire per gate, one
+// primitive (or always_ff for DFFs) per gate.
+#pragma once
+
+#include <string>
+
+#include "gates/netlist.hpp"
+
+namespace hlts::gates {
+
+/// Writes `nl` as a structural Verilog module named `module_name`.
+[[nodiscard]] std::string to_structural_verilog(const Netlist& nl,
+                                                const std::string& module_name);
+
+}  // namespace hlts::gates

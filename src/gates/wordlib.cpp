@@ -1,0 +1,322 @@
+#include "gates/wordlib.hpp"
+
+#include "util/error.hpp"
+
+namespace hlts::gates {
+
+namespace {
+
+/// Full adder: returns {sum, carry}.
+std::pair<GateId, GateId> full_adder(Netlist& nl, GateId a, GateId b, GateId c) {
+  GateId axb = nl.add_gate(GateKind::Xor, {a, b});
+  GateId sum = nl.add_gate(GateKind::Xor, {axb, c});
+  GateId ab = nl.add_gate(GateKind::And, {a, b});
+  GateId axbc = nl.add_gate(GateKind::And, {axb, c});
+  GateId carry = nl.add_gate(GateKind::Or, {ab, axbc});
+  return {sum, carry};
+}
+
+void check_same_width(const Word& a, const Word& b) {
+  HLTS_REQUIRE(a.size() == b.size() && !a.empty(), "word width mismatch");
+}
+
+}  // namespace
+
+Word add_input_word(Netlist& nl, const std::string& name, int bits) {
+  Word w(bits);
+  for (int i = 0; i < bits; ++i) {
+    w[i] = nl.add_input(name + "[" + std::to_string(i) + "]");
+  }
+  return w;
+}
+
+void add_output_word(Netlist& nl, const Word& w, const std::string& name) {
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    nl.add_output(w[i], name + "[" + std::to_string(i) + "]");
+  }
+}
+
+Word zero_word(Netlist& nl, int bits) {
+  return Word(static_cast<std::size_t>(bits), nl.const0());
+}
+
+Word ripple_add(Netlist& nl, const Word& a, const Word& b) {
+  check_same_width(a, b);
+  Word sum(a.size());
+  GateId carry = nl.const0();
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    auto [s, c] = full_adder(nl, a[i], b[i], carry);
+    sum[i] = s;
+    carry = c;
+  }
+  return sum;
+}
+
+Word ripple_sub(Netlist& nl, const Word& a, const Word& b) {
+  // a - b = a + ~b + 1.
+  check_same_width(a, b);
+  Word sum(a.size());
+  GateId carry = nl.const1();
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    GateId nb = nl.add_gate(GateKind::Not, {b[i]});
+    auto [s, c] = full_adder(nl, a[i], nb, carry);
+    sum[i] = s;
+    carry = c;
+  }
+  return sum;
+}
+
+Word array_multiply(Netlist& nl, const Word& a, const Word& b) {
+  check_same_width(a, b);
+  const std::size_t n = a.size();
+  // Row accumulation of partial products, truncated to n bits.
+  Word acc = zero_word(nl, static_cast<int>(n));
+  for (std::size_t j = 0; j < n; ++j) {
+    Word partial = zero_word(nl, static_cast<int>(n));
+    for (std::size_t i = 0; i + j < n; ++i) {
+      partial[i + j] = nl.add_gate(GateKind::And, {a[i], b[j]});
+    }
+    acc = (j == 0) ? partial : ripple_add(nl, acc, partial);
+  }
+  return acc;
+}
+
+namespace {
+
+/// Kogge-Stone carry computation: returns the carry *into* each bit
+/// position given per-bit generate/propagate and a carry-in.
+Word kogge_stone_carries(Netlist& nl, const Word& g, const Word& p,
+                         GateId carry_in) {
+  const std::size_t n = g.size();
+  // Prefix (G, P) pairs; after log2(n) levels, G[i] = carry out of bit i
+  // assuming zero carry-in.
+  Word G = g;
+  Word P = p;
+  for (std::size_t dist = 1; dist < n; dist *= 2) {
+    Word G2 = G;
+    Word P2 = P;
+    for (std::size_t i = dist; i < n; ++i) {
+      GateId t = nl.add_gate(GateKind::And, {P[i], G[i - dist]});
+      G2[i] = nl.add_gate(GateKind::Or, {G[i], t});
+      P2[i] = nl.add_gate(GateKind::And, {P[i], P[i - dist]});
+    }
+    G = std::move(G2);
+    P = std::move(P2);
+  }
+  // carry_in propagates through the group propagate of each prefix.
+  Word carries(n);
+  carries[0] = carry_in;
+  for (std::size_t i = 1; i < n; ++i) {
+    GateId through = nl.add_gate(GateKind::And, {P[i - 1], carry_in});
+    carries[i] = nl.add_gate(GateKind::Or, {G[i - 1], through});
+  }
+  return carries;
+}
+
+Word kogge_stone_sum(Netlist& nl, const Word& a, const Word& b_eff,
+                     GateId carry_in) {
+  const std::size_t n = a.size();
+  Word g(n), p(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    g[i] = nl.add_gate(GateKind::And, {a[i], b_eff[i]});
+    p[i] = nl.add_gate(GateKind::Xor, {a[i], b_eff[i]});
+  }
+  Word carries = kogge_stone_carries(nl, g, p, carry_in);
+  Word sum(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    sum[i] = nl.add_gate(GateKind::Xor, {p[i], carries[i]});
+  }
+  return sum;
+}
+
+}  // namespace
+
+Word kogge_stone_add(Netlist& nl, const Word& a, const Word& b) {
+  check_same_width(a, b);
+  return kogge_stone_sum(nl, a, b, nl.const0());
+}
+
+Word kogge_stone_sub(Netlist& nl, const Word& a, const Word& b) {
+  check_same_width(a, b);
+  Word nb = word_not(nl, b);
+  return kogge_stone_sum(nl, a, nb, nl.const1());
+}
+
+Word wallace_multiply(Netlist& nl, const Word& a, const Word& b) {
+  check_same_width(a, b);
+  const std::size_t n = a.size();
+  // Column-wise partial-product collection (truncated to n bits).
+  std::vector<std::vector<GateId>> columns(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t i = 0; i + j < n; ++i) {
+      columns[i + j].push_back(nl.add_gate(GateKind::And, {a[i], b[j]}));
+    }
+  }
+  // 3:2 (full adder) and 2:2 (half adder) compression until every column
+  // has at most two entries.
+  bool compressing = true;
+  while (compressing) {
+    compressing = false;
+    std::vector<std::vector<GateId>> next(n);
+    for (std::size_t c = 0; c < n; ++c) {
+      auto& col = columns[c];
+      std::size_t i = 0;
+      while (col.size() - i >= 3) {
+        auto [s, carry] = full_adder(nl, col[i], col[i + 1], col[i + 2]);
+        next[c].push_back(s);
+        if (c + 1 < n) next[c + 1].push_back(carry);
+        i += 3;
+        compressing = true;
+      }
+      if (col.size() - i == 2 && columns[c].size() > 2) {
+        GateId s = nl.add_gate(GateKind::Xor, {col[i], col[i + 1]});
+        GateId carry = nl.add_gate(GateKind::And, {col[i], col[i + 1]});
+        next[c].push_back(s);
+        if (c + 1 < n) next[c + 1].push_back(carry);
+        i += 2;
+        compressing = true;
+      }
+      for (; i < col.size(); ++i) next[c].push_back(col[i]);
+    }
+    columns = std::move(next);
+  }
+  // Final two rows through the fast adder.
+  Word row0 = zero_word(nl, static_cast<int>(n));
+  Word row1 = zero_word(nl, static_cast<int>(n));
+  for (std::size_t c = 0; c < n; ++c) {
+    if (!columns[c].empty()) row0[c] = columns[c][0];
+    if (columns[c].size() > 1) row1[c] = columns[c][1];
+  }
+  return kogge_stone_add(nl, row0, row1);
+}
+
+Word array_divide(Netlist& nl, const Word& a, const Word& b) {
+  // Restoring array divider: for each quotient bit from MSB down, try to
+  // subtract b from the running remainder (shifted in one dividend bit);
+  // keep the difference when it does not borrow.
+  check_same_width(a, b);
+  const std::size_t n = a.size();
+  Word rem = zero_word(nl, static_cast<int>(n));
+  Word quot(n);
+  for (std::size_t step = 0; step < n; ++step) {
+    const std::size_t bit = n - 1 - step;
+    // rem = (rem << 1) | a[bit]
+    Word shifted(n);
+    shifted[0] = a[bit];
+    for (std::size_t i = 1; i < n; ++i) shifted[i] = rem[i - 1];
+    // trial = shifted - b, with borrow-out detection: borrow-out is the
+    // complement of the final carry of the two's-complement subtraction.
+    Word trial(n);
+    GateId carry = nl.const1();
+    for (std::size_t i = 0; i < n; ++i) {
+      GateId nb = nl.add_gate(GateKind::Not, {b[i]});
+      auto [s, c] = full_adder(nl, shifted[i], nb, carry);
+      trial[i] = s;
+      carry = c;
+    }
+    GateId no_borrow = carry;  // 1 when shifted >= b
+    quot[bit] = no_borrow;
+    rem = mux_word(nl, no_borrow, shifted, trial);
+  }
+  return quot;
+}
+
+GateId less_than(Netlist& nl, const Word& a, const Word& b) {
+  // a < b iff a - b borrows.
+  check_same_width(a, b);
+  GateId carry = nl.const1();
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    GateId nb = nl.add_gate(GateKind::Not, {b[i]});
+    auto [s, c] = full_adder(nl, a[i], nb, carry);
+    (void)s;
+    carry = c;
+  }
+  return nl.add_gate(GateKind::Not, {carry});
+}
+
+GateId greater_than(Netlist& nl, const Word& a, const Word& b) {
+  return less_than(nl, b, a);
+}
+
+GateId equal(Netlist& nl, const Word& a, const Word& b) {
+  check_same_width(a, b);
+  std::vector<GateId> eq_bits;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    eq_bits.push_back(nl.add_gate(GateKind::Xnor, {a[i], b[i]}));
+  }
+  if (eq_bits.size() == 1) return eq_bits[0];
+  return nl.add_gate(GateKind::And, eq_bits);
+}
+
+Word word_and(Netlist& nl, const Word& a, const Word& b) {
+  check_same_width(a, b);
+  Word out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    out[i] = nl.add_gate(GateKind::And, {a[i], b[i]});
+  }
+  return out;
+}
+
+Word word_or(Netlist& nl, const Word& a, const Word& b) {
+  check_same_width(a, b);
+  Word out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    out[i] = nl.add_gate(GateKind::Or, {a[i], b[i]});
+  }
+  return out;
+}
+
+Word word_xor(Netlist& nl, const Word& a, const Word& b) {
+  check_same_width(a, b);
+  Word out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    out[i] = nl.add_gate(GateKind::Xor, {a[i], b[i]});
+  }
+  return out;
+}
+
+Word word_not(Netlist& nl, const Word& a) {
+  Word out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    out[i] = nl.add_gate(GateKind::Not, {a[i]});
+  }
+  return out;
+}
+
+Word mux_word(Netlist& nl, GateId sel, const Word& a, const Word& b) {
+  check_same_width(a, b);
+  Word out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    out[i] = nl.add_gate(GateKind::Mux, {sel, a[i], b[i]});
+  }
+  return out;
+}
+
+Word onehot_select(Netlist& nl, const std::vector<GateId>& enables,
+                   const std::vector<Word>& values, int bits) {
+  HLTS_REQUIRE(enables.size() == values.size(), "onehot_select size mismatch");
+  if (enables.empty()) return zero_word(nl, bits);
+  std::vector<Word> gated;
+  for (std::size_t i = 0; i < enables.size(); ++i) {
+    HLTS_REQUIRE(static_cast<int>(values[i].size()) == bits,
+                 "onehot_select width mismatch");
+    Word g(values[i].size());
+    for (std::size_t j = 0; j < values[i].size(); ++j) {
+      g[j] = nl.add_gate(GateKind::And, {enables[i], values[i][j]});
+    }
+    gated.push_back(std::move(g));
+  }
+  Word acc = gated[0];
+  for (std::size_t i = 1; i < gated.size(); ++i) {
+    acc = word_or(nl, acc, gated[i]);
+  }
+  return acc;
+}
+
+Word bit_to_word(Netlist& nl, GateId g, int bits) {
+  Word out = zero_word(nl, bits);
+  out[0] = g;
+  return out;
+}
+
+}  // namespace hlts::gates

@@ -1,0 +1,66 @@
+// Word-level construction helpers: bit-blast arithmetic and steering logic
+// into the gate netlist.
+//
+// Implementations mirror the module library the cost model assumes: ripple-
+// carry adders/subtracters (linear), array multiplier and restoring array
+// divider (quadratic), magnitude comparator, AND-OR operand selection
+// networks.  All words are little-endian: word[0] is the LSB.
+#pragma once
+
+#include <vector>
+
+#include "gates/netlist.hpp"
+
+namespace hlts::gates {
+
+using Word = std::vector<GateId>;
+
+/// `bits` fresh primary inputs named name[0..bits).
+[[nodiscard]] Word add_input_word(Netlist& nl, const std::string& name, int bits);
+/// Primary outputs for each bit of `w`.
+void add_output_word(Netlist& nl, const Word& w, const std::string& name);
+/// `bits` constant-zero word.
+[[nodiscard]] Word zero_word(Netlist& nl, int bits);
+
+/// sum = a + b (mod 2^bits); ripple-carry.
+[[nodiscard]] Word ripple_add(Netlist& nl, const Word& a, const Word& b);
+/// diff = a - b (mod 2^bits); ripple-borrow.
+[[nodiscard]] Word ripple_sub(Netlist& nl, const Word& a, const Word& b);
+/// prod = a * b truncated to the operand width; unsigned array multiplier.
+[[nodiscard]] Word array_multiply(Netlist& nl, const Word& a, const Word& b);
+
+/// Log-depth alternatives (speed-oriented module library): Kogge-Stone
+/// carry-lookahead adder/subtracter and Wallace-tree multiplier.  Same
+/// functions as the ripple/array versions -- tests check exhaustive
+/// equivalence -- but a very different gate-level structure, which the
+/// implementation-style ablation bench probes for testability impact.
+[[nodiscard]] Word kogge_stone_add(Netlist& nl, const Word& a, const Word& b);
+[[nodiscard]] Word kogge_stone_sub(Netlist& nl, const Word& a, const Word& b);
+[[nodiscard]] Word wallace_multiply(Netlist& nl, const Word& a, const Word& b);
+/// quot = a / b (unsigned restoring array divider; x/0 yields all-ones).
+[[nodiscard]] Word array_divide(Netlist& nl, const Word& a, const Word& b);
+
+/// 1-bit results of unsigned comparisons.
+[[nodiscard]] GateId less_than(Netlist& nl, const Word& a, const Word& b);
+[[nodiscard]] GateId greater_than(Netlist& nl, const Word& a, const Word& b);
+[[nodiscard]] GateId equal(Netlist& nl, const Word& a, const Word& b);
+
+/// Bitwise word operations.
+[[nodiscard]] Word word_and(Netlist& nl, const Word& a, const Word& b);
+[[nodiscard]] Word word_or(Netlist& nl, const Word& a, const Word& b);
+[[nodiscard]] Word word_xor(Netlist& nl, const Word& a, const Word& b);
+[[nodiscard]] Word word_not(Netlist& nl, const Word& a);
+
+/// sel ? b : a, per bit.
+[[nodiscard]] Word mux_word(Netlist& nl, GateId sel, const Word& a, const Word& b);
+
+/// AND-OR one-hot selection: out = OR_i (enable[i] & value[i]).  Used for
+/// operand steering keyed on the controller's one-hot state.  All values
+/// must share a width; an empty list yields a zero word.
+[[nodiscard]] Word onehot_select(Netlist& nl, const std::vector<GateId>& enables,
+                                 const std::vector<Word>& values, int bits);
+
+/// Widens a 1-bit gate to a word (bit 0 = g, rest zero).
+[[nodiscard]] Word bit_to_word(Netlist& nl, GateId g, int bits);
+
+}  // namespace hlts::gates

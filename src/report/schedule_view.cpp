@@ -1,0 +1,37 @@
+#include "report/schedule_view.hpp"
+
+#include <sstream>
+
+namespace hlts::report {
+
+std::string render_schedule(const dfg::Dfg& g, const sched::Schedule& s,
+                            const etpn::Binding& b) {
+  std::ostringstream os;
+  const int length = s.length();
+  os << "schedule (" << length << " control steps):\n";
+  os << "  S0: load primary inputs\n";
+  for (int step = 1; step <= length; ++step) {
+    os << "  S" << step << ":";
+    for (dfg::OpId op : s.ops_in_step(g, step)) {
+      const dfg::Operation& o = g.op(op);
+      os << "  " << o.name << "(" << dfg::op_symbol(o.kind) << ")->"
+         << g.var(o.output).name;
+    }
+    os << "\n";
+  }
+  os << "shared functional modules:\n";
+  for (etpn::ModuleId m : b.alive_modules()) {
+    if (b.module_ops(m).size() > 1) {
+      os << "  " << b.module_label(g, m) << "\n";
+    }
+  }
+  os << "shared registers:\n";
+  for (etpn::RegId r : b.alive_regs()) {
+    if (b.reg_vars(r).size() > 1) {
+      os << "  " << b.reg_label(g, r) << "\n";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace hlts::report

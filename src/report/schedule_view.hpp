@@ -1,0 +1,20 @@
+// Text rendering of a scheduled, bound design -- the benches use this to
+// regenerate the paper's schedule figures (Figs. 2 and 3).
+#pragma once
+
+#include <string>
+
+#include "dfg/dfg.hpp"
+#include "etpn/binding.hpp"
+#include "sched/schedule.hpp"
+
+namespace hlts::report {
+
+/// Renders the schedule as one line per control step listing the
+/// operations executed (with their kind symbols), followed by the shared
+/// module and register groups.
+[[nodiscard]] std::string render_schedule(const dfg::Dfg& g,
+                                          const sched::Schedule& s,
+                                          const etpn::Binding& b);
+
+}  // namespace hlts::report

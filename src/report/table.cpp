@@ -1,0 +1,73 @@
+#include "report/table.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace hlts::report {
+
+Table::Table(std::vector<std::string> header)
+    : columns_(header.size()), header_(std::move(header)) {
+  HLTS_REQUIRE(columns_ > 0, "table needs at least one column");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  HLTS_REQUIRE(cells.size() == columns_, "table row arity mismatch");
+  rows_.push_back({false, std::move(cells)});
+}
+
+void Table::add_separator() { rows_.push_back({true, {}}); }
+
+std::string Table::render() const {
+  std::vector<std::size_t> width(columns_);
+  for (std::size_t c = 0; c < columns_; ++c) width[c] = header_[c].size();
+  for (const Row& row : rows_) {
+    if (row.separator) continue;
+    for (std::size_t c = 0; c < columns_; ++c) {
+      width[c] = std::max(width[c], row.cells[c].size());
+    }
+  }
+
+  std::ostringstream os;
+  auto hline = [&] {
+    for (std::size_t c = 0; c < columns_; ++c) {
+      os << "+" << std::string(width[c] + 2, '-');
+    }
+    os << "+\n";
+  };
+  auto line = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < columns_; ++c) {
+      const std::string& s = cells[c];
+      os << "| "
+         << (c == 0 ? pad_right(s, width[c]) : pad_left(s, width[c])) << " ";
+    }
+    os << "|\n";
+  };
+
+  hline();
+  line(header_);
+  hline();
+  for (const Row& row : rows_) {
+    if (row.separator) {
+      hline();
+    } else {
+      line(row.cells);
+    }
+  }
+  hline();
+  return os.str();
+}
+
+std::string fmt_percent(double fraction, int digits) {
+  return format_percent(fraction, digits);
+}
+
+std::string fmt_double(double value, int digits) {
+  return format_fixed(value, digits);
+}
+
+std::string fmt_int(long value) { return std::to_string(value); }
+
+}  // namespace hlts::report

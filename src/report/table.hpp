@@ -1,0 +1,38 @@
+// Fixed-width table rendering for the bench executables that regenerate
+// the paper's tables.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace hlts::report {
+
+/// A simple left-aligned-first-column table with a header row and optional
+/// horizontal separators between row groups.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a data row (must match the header arity).
+  void add_row(std::vector<std::string> cells);
+  /// Inserts a horizontal separator before the next row.
+  void add_separator();
+
+  [[nodiscard]] std::string render() const;
+
+ private:
+  std::size_t columns_;
+  std::vector<std::string> header_;
+  struct Row {
+    bool separator = false;
+    std::vector<std::string> cells;
+  };
+  std::vector<Row> rows_;
+};
+
+/// Helpers used by the benches.
+[[nodiscard]] std::string fmt_percent(double fraction, int digits = 2);
+[[nodiscard]] std::string fmt_double(double value, int digits = 3);
+[[nodiscard]] std::string fmt_int(long value);
+
+}  // namespace hlts::report

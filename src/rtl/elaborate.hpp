@@ -1,0 +1,78 @@
+// Elaboration: RTL design -> gate-level netlist.
+//
+// Produces the circuit the ATPG engine tests:
+//   - a one-hot ring-counter controller (steps+1 DFF states, synchronous
+//     reset into S0),
+//   - one DFF word per register with AND-OR write-select steering and hold
+//     path,
+//   - one functional unit per RTL FU: operand steering keyed on the one-hot
+//     state, one arithmetic core per operation kind used by the FU, result
+//     selection across kinds,
+//   - primary inputs: reset + one word per input port; primary outputs: one
+//     word per output port (registered outputs wired from their register;
+//     port-direct outputs gated by their control step).
+#pragma once
+
+#include "gates/netlist.hpp"
+#include "gates/wordlib.hpp"
+#include "rtl/rtl.hpp"
+
+namespace hlts::rtl {
+
+/// Gate-level implementation style of the arithmetic cores.
+enum class ArithStyle {
+  /// Ripple-carry adders/subtracters, array multiplier (area-oriented; the
+  /// default, matching the quadratic/linear area model in cost::ModuleLibrary).
+  Ripple,
+  /// Kogge-Stone adders/subtracters, Wallace-tree multiplier
+  /// (speed-oriented); same function, different structure.
+  Fast,
+};
+
+/// A DFT test point on a register.  RtlRegId indices follow the order of
+/// etpn::Binding::alive_regs() at RtlDesign::from_synthesis time, so
+/// testability::TestPointSuggestion results map positionally.
+struct RtlTestPoint {
+  RtlRegId reg;
+  /// true: control point (test-mode mux feeding the register from the
+  /// shared `tp_in` test bus); false: observation point (register tapped to
+  /// an extra output).
+  bool control = false;
+};
+
+struct ElaborateOptions {
+  /// Test-plan support (paper §1: "assuming that the controller can be
+  /// modified to support the test plan"): adds a `hold` primary input that
+  /// freezes the one-hot controller in its current step, so a tester can
+  /// park the machine in any control step and apply multi-cycle
+  /// justification through the data path.
+  bool test_hold = false;
+  ArithStyle arith = ArithStyle::Ripple;
+  /// DFT test points to realize (see testability::suggest_test_points).
+  /// Any control point adds a `test_mode` primary input and a `tp_in` data
+  /// word shared by all control points.
+  std::vector<RtlTestPoint> test_points;
+  /// Built-in self-test wrapper (the BIST alternative of the paper's
+  /// related work, Papachristou et al. [10]): adds a `bist_mode` input; in
+  /// BIST mode every input port is driven by its own LFSR (seeded at
+  /// reset) and all primary-output words are folded into a MISR whose
+  /// state is exposed as the extra output word `misr`.
+  bool bist = false;
+};
+
+struct Elaboration {
+  gates::Netlist netlist;
+  gates::GateId reset;
+  gates::GateId hold;  ///< valid when ElaborateOptions::test_hold
+  /// One-hot state bits, index 0..steps.
+  std::vector<gates::GateId> state;
+  /// Input port words (index matches RtlDesign::inports()).
+  std::vector<gates::Word> inport_words;
+  /// Register output words.
+  IndexVec<RtlRegId, gates::Word> reg_words;
+};
+
+[[nodiscard]] Elaboration elaborate(const RtlDesign& design,
+                                    const ElaborateOptions& options = {});
+
+}  // namespace hlts::rtl

@@ -1,0 +1,101 @@
+// Register-transfer-level design: the bridge between a synthesis result
+// (DFG + schedule + binding) and the gate-level netlist the ATPG runs on.
+//
+// The RTL consists of registers with per-step write events, functional
+// units with per-step operations, input/output ports, and an implicit
+// one-hot controller with states S0 (primary-input load) .. S<steps>.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dfg/dfg.hpp"
+#include "etpn/binding.hpp"
+#include "sched/schedule.hpp"
+#include "util/ids.hpp"
+
+namespace hlts::rtl {
+
+struct RtlRegTag {};
+struct RtlFuTag {};
+using RtlRegId = Id<RtlRegTag>;
+using RtlFuId = Id<RtlFuTag>;
+
+/// An operand read by a functional unit: a register or an input port.
+struct Operand {
+  enum class Kind { Reg, Port } kind = Kind::Reg;
+  RtlRegId reg;
+  int port_index = -1;
+};
+
+/// One scheduled operation executed on a functional unit.
+struct FuOp {
+  int step = 1;
+  dfg::OpKind kind = dfg::OpKind::Add;
+  std::string op_name;  ///< source operation (N21, ...), for reports
+  Operand in0, in1;     ///< in1 ignored for unary kinds
+  bool writes_reg = false;
+  RtlRegId dst;          ///< valid when writes_reg
+  int outport_index = -1;  ///< >= 0 when this op drives an output port
+};
+
+struct RtlFu {
+  std::string name;
+  std::vector<FuOp> ops;
+};
+
+struct RegWrite {
+  int step = 0;
+  bool from_port = false;  ///< primary-input load (step 0)
+  int port_index = -1;     ///< valid when from_port
+  RtlFuId fu;              ///< valid when !from_port
+};
+
+struct RtlReg {
+  std::string name;
+  std::vector<RegWrite> writes;
+  int outport_index = -1;  ///< >= 0 when this register drives an output port
+};
+
+struct RtlPort {
+  std::string name;
+  int width = 0;
+};
+
+/// The complete RTL design.
+class RtlDesign {
+ public:
+  /// Builds the RTL from a synthesized design.  `bits` is the data path
+  /// width; the controller gets steps+1 one-hot states.
+  [[nodiscard]] static RtlDesign from_synthesis(const dfg::Dfg& g,
+                                                const sched::Schedule& s,
+                                                const etpn::Binding& b,
+                                                int bits);
+
+  [[nodiscard]] int bits() const { return bits_; }
+  [[nodiscard]] int steps() const { return steps_; }
+  [[nodiscard]] const std::vector<RtlPort>& inports() const { return inports_; }
+  [[nodiscard]] const std::vector<RtlPort>& outports() const { return outports_; }
+  [[nodiscard]] const IndexVec<RtlRegId, RtlReg>& regs() const { return regs_; }
+  [[nodiscard]] const IndexVec<RtlFuId, RtlFu>& fus() const { return fus_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  /// Structural checks: every register written at least once, operand
+  /// references in range, steps within [0, steps].
+  void validate() const;
+
+  /// Human-readable synthesizable-style Verilog dump (documentation and
+  /// golden-file tests; the ATPG path uses elaborate() instead).
+  [[nodiscard]] std::string to_verilog() const;
+
+ private:
+  std::string name_ = "design";
+  int bits_ = 8;
+  int steps_ = 0;
+  std::vector<RtlPort> inports_;
+  std::vector<RtlPort> outports_;
+  IndexVec<RtlRegId, RtlReg> regs_;
+  IndexVec<RtlFuId, RtlFu> fus_;
+};
+
+}  // namespace hlts::rtl

@@ -1,0 +1,66 @@
+#include "sched/constraint_graph.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/error.hpp"
+
+namespace hlts::sched {
+
+ConstraintGraph::ConstraintGraph(const dfg::Dfg& g) : num_ops_(g.num_ops()) {
+  for (dfg::OpId op : g.op_ids()) {
+    for (dfg::OpId p : g.preds(op)) {
+      add_arc(p, op, 1);
+    }
+  }
+}
+
+void ConstraintGraph::add_arc(dfg::OpId from, dfg::OpId to, int weight) {
+  HLTS_REQUIRE(from.index() < num_ops_ && to.index() < num_ops_,
+               "constraint arc references unknown operation");
+  HLTS_REQUIRE(weight >= 0, "constraint arc weight must be non-negative");
+  arcs_.push_back({from, to, weight});
+}
+
+std::optional<Schedule> ConstraintGraph::solve() const {
+  // Kahn's algorithm over the arc multigraph; zero-weight arcs still count
+  // for ordering, so any directed cycle (even all-zero-weight) is rejected.
+  // All-zero-weight cycles would actually be satisfiable, but they only
+  // arise from contradictory lifetime orders, which we want to reject.
+  std::vector<std::vector<std::pair<std::uint32_t, int>>> succs(num_ops_);
+  std::vector<int> indegree(num_ops_, 0);
+  for (const ConstraintArc& a : arcs_) {
+    succs[a.from.index()].push_back({a.to.value(), a.weight});
+    ++indegree[a.to.index()];
+  }
+
+  std::priority_queue<std::uint32_t, std::vector<std::uint32_t>, std::greater<>>
+      ready;
+  for (std::uint32_t i = 0; i < num_ops_; ++i) {
+    if (indegree[i] == 0) ready.push(i);
+  }
+
+  Schedule s(num_ops_);
+  std::vector<int> step(num_ops_, 1);
+  std::size_t done = 0;
+  while (!ready.empty()) {
+    std::uint32_t u = ready.top();
+    ready.pop();
+    ++done;
+    s.set_step(dfg::OpId{u}, step[u]);
+    for (auto [v, w] : succs[u]) {
+      step[v] = std::max(step[v], step[u] + w);
+      if (--indegree[v] == 0) ready.push(v);
+    }
+  }
+  if (done != num_ops_) return std::nullopt;  // cycle
+  return s;
+}
+
+std::optional<int> ConstraintGraph::schedule_length() const {
+  auto s = solve();
+  if (!s) return std::nullopt;
+  return s->length();
+}
+
+}  // namespace hlts::sched

@@ -1,0 +1,59 @@
+// Scheduling-constraint graph.
+//
+// Merging two modules imposes "these operations execute in different control
+// steps, in this order"; merging two registers imposes "this variable's last
+// use precedes that variable's definition".  Both become weighted precedence
+// arcs over operations:
+//
+//   weight 1  -- strict ordering (consumer runs in a later step than
+//                producer; module-sharing ops occupy distinct steps),
+//   weight 0  -- same-step-allowed ordering (a register may be written at
+//                the clock edge that ends the step in which its previous
+//                value is last read).
+//
+// The rescheduler then derives a schedule by longest-path (constrained
+// ASAP).  A cycle in the graph means the constraint set is infeasible.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "dfg/dfg.hpp"
+#include "sched/schedule.hpp"
+#include "util/ids.hpp"
+
+namespace hlts::sched {
+
+/// A weighted precedence arc: step(to) >= step(from) + weight.
+struct ConstraintArc {
+  dfg::OpId from;
+  dfg::OpId to;
+  int weight = 1;
+};
+
+class ConstraintGraph {
+ public:
+  /// Builds a graph seeded with the data-dependence arcs of `g` (weight 1).
+  explicit ConstraintGraph(const dfg::Dfg& g);
+
+  /// Adds step(to) >= step(from) + weight.  Duplicate arcs are kept; they
+  /// are harmless for longest-path.
+  void add_arc(dfg::OpId from, dfg::OpId to, int weight);
+
+  [[nodiscard]] std::size_t num_ops() const { return num_ops_; }
+  [[nodiscard]] const std::vector<ConstraintArc>& arcs() const { return arcs_; }
+
+  /// Constrained-ASAP schedule: the componentwise-minimal schedule with all
+  /// steps >= 1 satisfying every arc.  Returns nullopt if the constraints
+  /// are cyclic (infeasible).
+  [[nodiscard]] std::optional<Schedule> solve() const;
+
+  /// Shorthand for solve()->length(); nullopt when infeasible.
+  [[nodiscard]] std::optional<int> schedule_length() const;
+
+ private:
+  std::size_t num_ops_;
+  std::vector<ConstraintArc> arcs_;
+};
+
+}  // namespace hlts::sched

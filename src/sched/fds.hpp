@@ -1,0 +1,26 @@
+// Force-directed scheduling (Paulin & Knight, 1989).
+//
+// The paper's "Approach 1" baseline: schedule for a fixed latency while
+// balancing the concurrency of each module class, with no testability
+// consideration.  Distribution graphs accumulate the probability of each
+// unscheduled operation executing in each control step; assignments are
+// chosen to minimize total force (self force plus predecessor/successor
+// forces).
+#pragma once
+
+#include "dfg/dfg.hpp"
+#include "sched/schedule.hpp"
+
+namespace hlts::sched {
+
+struct FdsOptions {
+  /// Target latency; 0 means "critical path length".
+  int latency = 0;
+};
+
+/// Runs force-directed scheduling.  The result respects data dependences
+/// and has length <= max(latency, critical path).
+[[nodiscard]] Schedule force_directed_schedule(const dfg::Dfg& g,
+                                               const FdsOptions& options = {});
+
+}  // namespace hlts::sched

@@ -1,0 +1,81 @@
+#include "sched/list_sched.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace hlts::sched {
+
+int module_class_of(dfg::OpKind k) {
+  using dfg::OpKind;
+  switch (k) {
+    case OpKind::Mul: return 0;
+    case OpKind::Div: return 1;
+    case OpKind::And:
+    case OpKind::Or:
+    case OpKind::Xor:
+    case OpKind::Not:
+      return 3;
+    case OpKind::ShiftLeft:
+    case OpKind::ShiftRight:
+      return 4;
+    case OpKind::Move:
+      return 5;
+    default:
+      return 2;
+  }
+}
+
+Schedule list_schedule(const dfg::Dfg& g, const ListSchedOptions& options) {
+  // Priority: longest path to a sink (classic list-scheduling slack metric).
+  IndexVec<dfg::OpId, int> height(g.num_ops(), 1);
+  std::vector<dfg::OpId> order = g.topo_order();
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    for (dfg::OpId q : g.succs(*it)) {
+      height[*it] = std::max(height[*it], height[q] + 1);
+    }
+  }
+
+  Schedule s(g.num_ops());
+  IndexVec<dfg::OpId, bool> placed(g.num_ops(), false);
+  std::size_t remaining = g.num_ops();
+  int step = 0;
+  while (remaining > 0) {
+    ++step;
+    HLTS_REQUIRE(step <= static_cast<int>(g.num_ops()) + 1,
+                 "list scheduling failed to converge");
+    // Ready ops: all preds placed in earlier steps.
+    std::vector<dfg::OpId> ready;
+    for (dfg::OpId op : g.op_ids()) {
+      if (placed[op]) continue;
+      bool ok = true;
+      for (dfg::OpId p : g.preds(op)) {
+        if (!placed[p] || s.step(p) >= step) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) ready.push_back(op);
+    }
+    std::stable_sort(ready.begin(), ready.end(), [&](dfg::OpId a, dfg::OpId b) {
+      return height[a] > height[b];
+    });
+    std::map<int, int> used;
+    for (dfg::OpId op : ready) {
+      const int cls = module_class_of(g.op(op).kind);
+      auto limit = options.class_limits.find(cls);
+      if (limit != options.class_limits.end() && used[cls] >= limit->second) {
+        continue;
+      }
+      ++used[cls];
+      s.set_step(op, step);
+      placed[op] = true;
+      --remaining;
+    }
+  }
+  HLTS_REQUIRE(s.respects_data_deps(g), "list scheduler produced invalid schedule");
+  return s;
+}
+
+}  // namespace hlts::sched

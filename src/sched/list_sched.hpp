@@ -1,0 +1,29 @@
+// Resource-constrained list scheduling.
+//
+// Not used by the paper's flows directly (they are latency-driven), but a
+// standard substrate: given per-module-class resource bounds, produce the
+// shortest schedule a greedy priority list achieves.  Used by tests and by
+// the extra-benchmark exploration bench.
+#pragma once
+
+#include <map>
+
+#include "dfg/dfg.hpp"
+#include "sched/schedule.hpp"
+
+namespace hlts::sched {
+
+/// Module-class index shared with FDS: 0=mul, 1=div, 2=add/sub/cmp ALU,
+/// 3=logic, 4=shift, 5=move.
+[[nodiscard]] int module_class_of(dfg::OpKind kind);
+
+struct ListSchedOptions {
+  /// Max operations of each module class per step; classes absent from the
+  /// map are unconstrained.
+  std::map<int, int> class_limits;
+};
+
+[[nodiscard]] Schedule list_schedule(const dfg::Dfg& g,
+                                     const ListSchedOptions& options = {});
+
+}  // namespace hlts::sched

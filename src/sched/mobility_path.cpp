@@ -1,0 +1,151 @@
+#include "sched/mobility_path.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "sched/lifetime.hpp"
+#include "util/error.hpp"
+
+namespace hlts::sched {
+namespace {
+
+struct Window {
+  int lo = 1;
+  int hi = 1;
+};
+
+/// Shrinks every window so data dependences stay satisfiable.
+void propagate(const dfg::Dfg& g, IndexVec<dfg::OpId, Window>& windows) {
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (dfg::OpId op : g.op_ids()) {
+      Window& w = windows[op];
+      for (dfg::OpId p : g.preds(op)) {
+        if (windows[p].lo + 1 > w.lo) {
+          w.lo = windows[p].lo + 1;
+          changed = true;
+        }
+      }
+      for (dfg::OpId q : g.succs(op)) {
+        if (windows[q].hi - 1 < w.hi) {
+          w.hi = windows[q].hi - 1;
+          changed = true;
+        }
+      }
+      HLTS_REQUIRE(w.lo <= w.hi, "mobility-path window collapsed");
+    }
+  }
+}
+
+}  // namespace
+
+Schedule mobility_path_schedule(const dfg::Dfg& g,
+                                const MobilityPathOptions& options) {
+  const int latency = std::max(options.latency, g.critical_path_ops());
+  Schedule early = asap(g);
+  Schedule late = alap(g, latency);
+
+  IndexVec<dfg::OpId, Window> windows(g.num_ops());
+  for (dfg::OpId op : g.op_ids()) {
+    windows[op] = {early.step(op), late.step(op)};
+  }
+
+  // Depth from primary inputs: operations whose inputs are all primary
+  // inputs have depth 1 (rule 2 wants short sequential paths from
+  // controllable registers, which the PI registers are).
+  IndexVec<dfg::OpId, int> depth(g.num_ops(), 1);
+  for (dfg::OpId op : g.topo_order()) {
+    for (dfg::OpId p : g.preds(op)) {
+      depth[op] = std::max(depth[op], depth[p] + 1);
+    }
+  }
+
+  // Order: mobility ascending (critical path first), then depth ascending
+  // so values flowing out of PI registers are consumed early, then id.
+  std::vector<dfg::OpId> order(g.topo_order());
+  std::stable_sort(order.begin(), order.end(), [&](dfg::OpId a, dfg::OpId b) {
+    const int ma = windows[a].hi - windows[a].lo;
+    const int mb = windows[b].hi - windows[b].lo;
+    if (ma != mb) return ma < mb;
+    return depth[a] < depth[b];
+  });
+
+  Schedule result(g.num_ops());
+  IndexVec<dfg::OpId, bool> fixed(g.num_ops(), false);
+
+  // Live-interval pressure per step (steps 0..latency+1), updated as ops
+  // are fixed; used to score rule-1 packing.
+  auto var_pressure = [&](int step) {
+    int live = 0;
+    for (dfg::VarId v : g.var_ids()) {
+      if (!g.needs_register(v)) continue;
+      const dfg::Variable& var = g.var(v);
+      int birth;
+      if (var.is_primary_input) {
+        birth = 0;
+      } else if (fixed[var.def]) {
+        birth = result.step(var.def);
+      } else {
+        continue;  // unplaced producer: no contribution yet
+      }
+      int death = birth;
+      for (dfg::OpId use : var.uses) {
+        if (fixed[use]) death = std::max(death, result.step(use));
+      }
+      if (var.is_primary_output && var.po_registered) death = latency + 1;
+      if (birth < step && step <= death) ++live;
+    }
+    return live;
+  };
+
+  // Same-module-class concurrency at a step (among already-fixed ops):
+  // spreading a class across steps is what lets the later allocation share
+  // modules at all.
+  auto class_pressure = [&](dfg::OpId op, int step) {
+    int n = 0;
+    for (dfg::OpId other : g.op_ids()) {
+      if (other == op || !fixed[other]) continue;
+      if (result.step(other) != step) continue;
+      if (dfg::ops_module_compatible(g.op(other).kind, g.op(op).kind)) ++n;
+    }
+    return n;
+  };
+
+  for (dfg::OpId op : order) {
+    const Window& w = windows[op];
+    int best_step = w.lo;
+    double best_score = 1e18;
+    for (int s = w.lo; s <= w.hi; ++s) {
+      // Rule 1 proxy: consuming a primary-input operand *late* stretches the
+      // PI variable's lifetime and blocks other variables from sharing the
+      // PI register; consuming it early frees the register.
+      double rule1 = 0;
+      for (dfg::VarId in : g.op(op).inputs) {
+        if (g.var(in).is_primary_input) rule1 += static_cast<double>(s);
+      }
+      // Rule 2 proxy: keep an op's distance from its depth level small
+      // (scheduling a depth-d op far beyond step d lengthens the sequential
+      // path its result takes toward an observable register).
+      const double rule2 = static_cast<double>(s - depth[op]);
+      // Tie-break by register pressure at the step where the result is born.
+      const double pressure = var_pressure(s + 1);
+      const double score = 1.0 * rule1 + 1.5 * rule2 + 0.5 * pressure +
+                           8.0 * class_pressure(op, s);
+      if (score < best_score - 1e-12) {
+        best_score = score;
+        best_step = s;
+      }
+    }
+    result.set_step(op, best_step);
+    fixed[op] = true;
+    windows[op] = {best_step, best_step};
+    propagate(g, windows);
+  }
+
+  HLTS_REQUIRE(result.respects_data_deps(g),
+               "mobility-path scheduler produced an invalid schedule");
+  return result;
+}
+
+}  // namespace hlts::sched

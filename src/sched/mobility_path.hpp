@@ -1,0 +1,35 @@
+// Mobility-path scheduling (Lee, Wolf & Jha, ICCAD'92) -- the paper's
+// "Approach 2" scheduler.
+//
+// Lee's algorithm schedules operations in order of increasing mobility
+// (critical paths first) and, for off-critical operations, picks the control
+// step that best supports the two testability allocation rules:
+//
+//   rule 1: whenever possible allocate a register to at least one primary
+//           input or primary output variable, and
+//   rule 2: reduce the sequential depth from a controllable register to an
+//           observable register.
+//
+// The original paper gives the rules but not a full pseudo-code listing; we
+// reconstruct the scheduler as a window-based greedy that scores each
+// feasible step by (a) how well the operation's operand/result lifetimes can
+// be packed with primary-input/-output variable lifetimes (rule 1) and (b)
+// the depth of the operation measured from primary inputs (rule 2), with
+// register pressure as the tie-breaker.  DESIGN.md §2 records this
+// substitution.
+#pragma once
+
+#include "dfg/dfg.hpp"
+#include "sched/schedule.hpp"
+
+namespace hlts::sched {
+
+struct MobilityPathOptions {
+  /// Target latency; 0 means "critical path length".
+  int latency = 0;
+};
+
+[[nodiscard]] Schedule mobility_path_schedule(
+    const dfg::Dfg& g, const MobilityPathOptions& options = {});
+
+}  // namespace hlts::sched

@@ -1,0 +1,54 @@
+// Operation schedules and the classic window analyses (ASAP / ALAP /
+// mobility) that every scheduler in the repo builds on.
+//
+// Control steps are 1-based: step 0 is reserved for loading primary inputs
+// from the input ports into their registers; operations execute in steps
+// 1..length().
+#pragma once
+
+#include <vector>
+
+#include "dfg/dfg.hpp"
+#include "util/ids.hpp"
+
+namespace hlts::sched {
+
+/// A complete schedule: one control step per operation.
+class Schedule {
+ public:
+  Schedule() = default;
+  explicit Schedule(std::size_t num_ops) : steps_(num_ops, 0) {}
+
+  [[nodiscard]] int step(dfg::OpId op) const { return steps_[op]; }
+  void set_step(dfg::OpId op, int step) { steps_[op] = step; }
+
+  [[nodiscard]] std::size_t num_ops() const { return steps_.size(); }
+
+  /// Largest assigned control step (the schedule length / latency).
+  [[nodiscard]] int length() const;
+
+  /// True when every operation is scheduled strictly after all of its data
+  /// predecessors (single-cycle operations, no chaining).
+  [[nodiscard]] bool respects_data_deps(const dfg::Dfg& g) const;
+
+  /// Operations scheduled in `step`, in id order.
+  [[nodiscard]] std::vector<dfg::OpId> ops_in_step(const dfg::Dfg& g,
+                                                   int step) const;
+
+  friend bool operator==(const Schedule&, const Schedule&) = default;
+
+ private:
+  IndexVec<dfg::OpId, int> steps_;
+};
+
+/// As-soon-as-possible schedule (steps 1..critical path length).
+[[nodiscard]] Schedule asap(const dfg::Dfg& g);
+
+/// As-late-as-possible schedule within `latency` steps.  Throws hlts::Error
+/// if `latency` is below the critical path length.
+[[nodiscard]] Schedule alap(const dfg::Dfg& g, int latency);
+
+/// Per-op mobility: alap step - asap step, for the given latency.
+[[nodiscard]] IndexVec<dfg::OpId, int> mobility(const dfg::Dfg& g, int latency);
+
+}  // namespace hlts::sched

@@ -1,0 +1,195 @@
+#include "testability/balance.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace hlts::testability {
+
+namespace {
+
+/// Op-level reachability over data dependences: reach[a] contains b when
+/// there is a path of >= 1 arc from a to b.
+class Reachability {
+ public:
+  explicit Reachability(const dfg::Dfg& g)
+      : words_((g.num_ops() + 63) / 64), bits_(g.num_ops()) {
+    for (auto& row : bits_) row.assign(words_, 0);
+    std::vector<dfg::OpId> order = g.topo_order();
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+      for (dfg::OpId s : g.succs(*it)) {
+        set(*it, s);
+        for (std::size_t w = 0; w < words_; ++w) {
+          bits_[it->index()][w] |= bits_[s.index()][w];
+        }
+      }
+    }
+  }
+
+  [[nodiscard]] bool reaches(dfg::OpId a, dfg::OpId b) const {
+    return (bits_[a.index()][b.index() / 64] >> (b.index() % 64)) & 1u;
+  }
+
+ private:
+  void set(dfg::OpId a, dfg::OpId b) {
+    bits_[a.index()][b.index() / 64] |= (std::uint64_t{1} << (b.index() % 64));
+  }
+  std::size_t words_;
+  std::vector<std::vector<std::uint64_t>> bits_;
+};
+
+/// Ops that determine the lifetime of `v`: its definition and all uses.
+std::vector<dfg::OpId> lifetime_ops(const dfg::Dfg& g, dfg::VarId v) {
+  std::vector<dfg::OpId> out;
+  const dfg::Variable& var = g.var(v);
+  if (var.def.valid()) out.push_back(var.def);
+  for (dfg::OpId u : var.uses) out.push_back(u);
+  return out;
+}
+
+/// Registers read (port side) and written (result side) by a module node.
+void module_reg_sets(const etpn::DataPath& dp, etpn::DpNodeId m,
+                     std::set<std::uint32_t>& reads,
+                     std::set<std::uint32_t>& writes) {
+  for (etpn::DpArcId a : dp.node(m).in_arcs) {
+    if (dp.node(dp.arc(a).from).kind == etpn::DpNodeKind::Register) {
+      reads.insert(dp.arc(a).from.value());
+    }
+  }
+  for (etpn::DpArcId a : dp.node(m).out_arcs) {
+    if (dp.node(dp.arc(a).to).kind == etpn::DpNodeKind::Register) {
+      writes.insert(dp.arc(a).to.value());
+    }
+  }
+}
+
+bool intersects(const std::set<std::uint32_t>& a,
+                const std::set<std::uint32_t>& b) {
+  return std::any_of(a.begin(), a.end(),
+                     [&](std::uint32_t x) { return b.count(x) != 0; });
+}
+
+}  // namespace
+
+bool register_merge_impossible(const dfg::Dfg& g, const etpn::Binding& b,
+                               etpn::RegId ra, etpn::RegId rb) {
+  // Case (2): an operation uses variables of both registers as inputs.
+  for (dfg::OpId op : g.op_ids()) {
+    bool uses_a = false;
+    bool uses_b = false;
+    for (dfg::VarId in : g.op(op).inputs) {
+      etpn::RegId r = b.reg_of(in);
+      if (r == ra) uses_a = true;
+      if (r == rb) uses_b = true;
+    }
+    if (uses_a && uses_b) return true;
+  }
+
+  // Case (1): for some variable pair, data dependences force an ordering
+  // arc in each direction, so the lifetimes can never be made disjoint.
+  Reachability reach(g);
+  auto dir_blocked = [&](dfg::VarId before, dfg::VarId after) {
+    // "before expires before after is created" is infeasible when the
+    // definition of `after` strictly precedes some lifetime op of `before`.
+    const dfg::Variable& va = g.var(after);
+    if (!va.def.valid()) return true;  // primary input: born at step 0
+    for (dfg::OpId u : lifetime_ops(g, before)) {
+      if (reach.reaches(va.def, u)) return true;
+    }
+    return false;
+  };
+  for (dfg::VarId v1 : b.reg_vars(ra)) {
+    for (dfg::VarId v2 : b.reg_vars(rb)) {
+      if (dir_blocked(v1, v2) && dir_blocked(v2, v1)) return true;
+    }
+  }
+  return false;
+}
+
+std::vector<MergeCandidate> select_balance_candidates(
+    const dfg::Dfg& g, const etpn::Binding& b, const etpn::Etpn& e,
+    const TestabilityAnalysis& analysis, int k, const BalanceOptions& options) {
+  std::vector<MergeCandidate> candidates;
+  const etpn::DataPath& dp = e.data_path;
+
+  auto score_pair = [&](etpn::DpNodeId n1, etpn::DpNodeId n2,
+                        bool self_loop) -> double {
+    const double c1 = analysis.node_controllability(n1).scalar(options.lambda);
+    const double o1 = analysis.node_observability(n1).scalar(options.lambda);
+    const double c2 = analysis.node_controllability(n2).scalar(options.lambda);
+    const double o2 = analysis.node_observability(n2).scalar(options.lambda);
+    const double merged_c = std::max(c1, c2);
+    const double merged_o = std::max(o1, o2);
+    // Complementarity: one node contributes controllability it has in
+    // excess of its observability, the other the reverse.
+    const double compl_bonus =
+        std::max(0.0, c1 - o1) * std::max(0.0, o2 - c2) +
+        std::max(0.0, c2 - o2) * std::max(0.0, o1 - c1);
+    double score = std::min(merged_c, merged_o) +
+                   options.complementarity_weight * compl_bonus;
+    if (self_loop) score -= options.self_loop_penalty;
+    return score;
+  };
+
+  // Module pairs.
+  std::vector<etpn::ModuleId> modules = b.alive_modules();
+  for (std::size_t i = 0; i < modules.size(); ++i) {
+    for (std::size_t j = i + 1; j < modules.size(); ++j) {
+      if (!b.can_merge_modules(g, modules[i], modules[j])) continue;
+      etpn::DpNodeId n1 = e.module_node[modules[i]];
+      etpn::DpNodeId n2 = e.module_node[modules[j]];
+      std::set<std::uint32_t> reads, writes;
+      module_reg_sets(dp, n1, reads, writes);
+      module_reg_sets(dp, n2, reads, writes);
+      const bool self_loop = intersects(reads, writes);
+      MergeCandidate c;
+      c.kind = MergeCandidate::Kind::Modules;
+      c.module_a = modules[i];
+      c.module_b = modules[j];
+      c.creates_self_loop = self_loop;
+      c.score = score_pair(n1, n2, self_loop);
+      candidates.push_back(c);
+    }
+  }
+
+  // Register pairs.
+  std::vector<etpn::RegId> regs = b.alive_regs();
+  for (std::size_t i = 0; i < regs.size(); ++i) {
+    for (std::size_t j = i + 1; j < regs.size(); ++j) {
+      if (!b.can_merge_regs(regs[i], regs[j])) continue;
+      if (register_merge_impossible(g, b, regs[i], regs[j])) continue;
+      etpn::DpNodeId n1 = e.reg_node[regs[i]];
+      etpn::DpNodeId n2 = e.reg_node[regs[j]];
+      // Self-loop check: some module reads one register of the pair and
+      // writes the other (after merging it reads and writes the same one).
+      bool self_loop = false;
+      for (etpn::DpNodeId m : dp.node_ids()) {
+        if (dp.node(m).kind != etpn::DpNodeKind::Module) continue;
+        std::set<std::uint32_t> reads, writes;
+        module_reg_sets(dp, m, reads, writes);
+        const bool touches_read = reads.count(n1.value()) || reads.count(n2.value());
+        const bool touches_write =
+            writes.count(n1.value()) || writes.count(n2.value());
+        if (touches_read && touches_write) {
+          self_loop = true;
+          break;
+        }
+      }
+      MergeCandidate c;
+      c.kind = MergeCandidate::Kind::Registers;
+      c.reg_a = regs[i];
+      c.reg_b = regs[j];
+      c.creates_self_loop = self_loop;
+      c.score = score_pair(n1, n2, self_loop);
+      candidates.push_back(c);
+    }
+  }
+
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [](const MergeCandidate& a, const MergeCandidate& b2) {
+                     return a.score > b2.score;
+                   });
+  if (static_cast<int>(candidates.size()) > k) candidates.resize(k);
+  return candidates;
+}
+
+}  // namespace hlts::testability

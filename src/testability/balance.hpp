@@ -1,0 +1,66 @@
+// Controllability/observability balance allocation (paper §3).
+//
+// "The basic idea is to fold nodes with good controllability and bad
+// observability to nodes with good observability and bad controllability
+// ... the new node will inherit the good controllability from one of the
+// old nodes and the good observability from the other."
+//
+// This file ranks all feasible merger pairs (module-module and
+// register-register) by a balance score and returns the best k candidates
+// for Algorithm 1's cost evaluation.
+#pragma once
+
+#include <vector>
+
+#include "etpn/etpn.hpp"
+#include "testability/testability.hpp"
+
+namespace hlts::testability {
+
+/// One candidate merger pair.
+struct MergeCandidate {
+  enum class Kind { Modules, Registers } kind = Kind::Modules;
+  etpn::ModuleId module_a, module_b;  ///< valid when kind == Modules
+  etpn::RegId reg_a, reg_b;           ///< valid when kind == Registers
+  /// Balance score: resulting min(controllability, observability) of the
+  /// merged node, plus a complementarity bonus, minus a self-loop penalty.
+  double score = 0.0;
+  /// True when the merger would create a register<->module self-loop.
+  bool creates_self_loop = false;
+};
+
+struct BalanceOptions {
+  /// Weight of the complementarity bonus (folding C-good/O-bad onto
+  /// O-good/C-bad).
+  double complementarity_weight = 0.5;
+  /// Score penalty for creating a self-loop (self-loops are the hardest
+  /// structures to test).
+  double self_loop_penalty = 0.4;
+  /// Scalarization lambda for Measure::scalar.
+  double lambda = 0.3;
+};
+
+/// Ranks every feasible merger pair and returns the top `k` by score.
+///
+/// Feasibility filters applied here (cheap, structural):
+///  - module pairs must host compatible operation kinds;
+///  - register pairs are rejected when some operation reads both registers'
+///    variables (the paper's case (2): lifetimes can never be disjoint);
+///  - register pairs are rejected when one register holds a variable
+///    defined by an op whose output feeds the other and vice versa (the
+///    paper's case (1): ordering arcs in both directions).
+/// Schedulability (no constraint cycle) is checked later by the trial
+/// rescheduling in Algorithm 1.
+[[nodiscard]] std::vector<MergeCandidate> select_balance_candidates(
+    const dfg::Dfg& g, const etpn::Binding& b, const etpn::Etpn& e,
+    const TestabilityAnalysis& analysis, int k,
+    const BalanceOptions& options = {});
+
+/// True when merging the two registers is structurally impossible: an
+/// operation consumes variables of both registers, or data dependences force
+/// their lifetimes to overlap in both directions.
+[[nodiscard]] bool register_merge_impossible(const dfg::Dfg& g,
+                                             const etpn::Binding& b,
+                                             etpn::RegId ra, etpn::RegId rb);
+
+}  // namespace hlts::testability

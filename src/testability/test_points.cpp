@@ -1,0 +1,32 @@
+#include "testability/test_points.hpp"
+
+#include <algorithm>
+
+namespace hlts::testability {
+
+std::vector<TestPointSuggestion> suggest_test_points(
+    const etpn::Etpn& e, const TestabilityAnalysis& analysis, int max_points) {
+  std::vector<TestPointSuggestion> suggestions;
+  for (etpn::DpNodeId n : e.data_path.node_ids()) {
+    const etpn::DpNode& node = e.data_path.node(n);
+    if (node.kind != etpn::DpNodeKind::Register) continue;
+    const double c = analysis.node_controllability(n).scalar();
+    const double o = analysis.node_observability(n).scalar();
+    TestPointSuggestion s;
+    s.reg = node.reg;
+    s.kind = o < c ? TestPointKind::Observe : TestPointKind::Control;
+    s.balance = std::min(c, o);
+    suggestions.push_back(s);
+  }
+  std::stable_sort(suggestions.begin(), suggestions.end(),
+                   [](const TestPointSuggestion& a,
+                      const TestPointSuggestion& b) {
+                     return a.balance < b.balance;
+                   });
+  if (static_cast<int>(suggestions.size()) > max_points) {
+    suggestions.resize(max_points);
+  }
+  return suggestions;
+}
+
+}  // namespace hlts::testability

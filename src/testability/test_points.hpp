@@ -1,0 +1,33 @@
+// Test-point suggestion: the "improvement" half of the paper's testability
+// reference (Gu, Kuchcinski & Peng, "Testability analysis and improvement
+// from VHDL behavioral specifications").
+//
+// After analysis, the registers with the worst controllability/observability
+// balance are candidates for DFT hardware: an *observation point* (tap the
+// register to an extra output pin) where observability is the weak side, a
+// *control point* (a test-mode multiplexer feeding the register from a test
+// input) where controllability is.  rtl::elaborate can realize both.
+#pragma once
+
+#include <vector>
+
+#include "etpn/etpn.hpp"
+#include "testability/testability.hpp"
+
+namespace hlts::testability {
+
+enum class TestPointKind { Observe, Control };
+
+struct TestPointSuggestion {
+  etpn::RegId reg;
+  TestPointKind kind = TestPointKind::Observe;
+  /// min(C, O) scalar of the node: lower = more urgent.
+  double balance = 0.0;
+};
+
+/// Ranks registers by ascending min(controllability, observability) and
+/// returns up to `max_points` suggestions, each tagged with the weaker side.
+[[nodiscard]] std::vector<TestPointSuggestion> suggest_test_points(
+    const etpn::Etpn& e, const TestabilityAnalysis& analysis, int max_points);
+
+}  // namespace hlts::testability

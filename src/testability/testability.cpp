@@ -1,0 +1,253 @@
+#include "testability/testability.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace hlts::testability {
+
+namespace {
+constexpr double kEps = 1e-9;
+constexpr int kMaxRounds = 256;
+}  // namespace
+
+bool Measure::better_than(const Measure& o) const {
+  if (comb > o.comb + kEps) return true;
+  if (comb < o.comb - kEps) return false;
+  return seq < o.seq - kEps;
+}
+
+double Measure::scalar(double lambda) const {
+  return comb / (1.0 + lambda * seq);
+}
+
+double controllability_transfer(dfg::OpKind kind) {
+  using dfg::OpKind;
+  switch (kind) {
+    case OpKind::Add:
+    case OpKind::Sub:
+      return 0.95;
+    case OpKind::Mul:
+      return 0.65;  // many input pairs map to the same product
+    case OpKind::Div:
+      return 0.60;
+    case OpKind::Less:
+    case OpKind::Greater:
+    case OpKind::Equal:
+      return 0.80;  // the 1-bit output itself is easy to set either way
+    case OpKind::And:
+    case OpKind::Or:
+    case OpKind::Xor:
+    case OpKind::Not:
+      return 0.90;
+    case OpKind::ShiftLeft:
+    case OpKind::ShiftRight:
+      return 0.85;
+    case OpKind::Move:
+      return 1.0;
+  }
+  return 0.5;
+}
+
+double observability_transfer(dfg::OpKind kind) {
+  using dfg::OpKind;
+  switch (kind) {
+    case OpKind::Add:
+    case OpKind::Sub:
+      return 0.95;
+    case OpKind::Mul:
+      return 0.55;
+    case OpKind::Div:
+      return 0.50;
+    case OpKind::Less:
+    case OpKind::Greater:
+    case OpKind::Equal:
+      return 0.30;  // wide operands funnel into one bit
+    case OpKind::And:
+    case OpKind::Or:
+      return 0.75;  // a side input can mask the fault
+    case OpKind::Xor:
+    case OpKind::Not:
+      return 0.95;  // xor/not never mask
+    case OpKind::ShiftLeft:
+    case OpKind::ShiftRight:
+      return 0.85;
+    case OpKind::Move:
+      return 1.0;
+  }
+  return 0.5;
+}
+
+TestabilityAnalysis::TestabilityAnalysis(const etpn::DataPath& dp) : dp_(dp) {
+  cc_.assign(dp.num_arcs(), Measure{});
+  co_.assign(dp.num_arcs(), Measure{});
+  propagate_controllability();
+  propagate_observability();
+}
+
+namespace {
+
+/// Best measure over a set of arcs; `def` when the set is empty.
+template <typename Arcs, typename Table>
+Measure best_over(const Arcs& arcs, const Table& table, Measure def) {
+  bool any = false;
+  Measure best;
+  for (auto a : arcs) {
+    if (!any || table[a].better_than(best)) {
+      best = table[a];
+      any = true;
+    }
+  }
+  return any ? best : def;
+}
+
+}  // namespace
+
+void TestabilityAnalysis::propagate_controllability() {
+  using etpn::DpArcId;
+  using etpn::DpNodeId;
+  using etpn::DpNodeKind;
+
+  for (int round = 0; round < kMaxRounds; ++round) {
+    bool changed = false;
+    for (DpNodeId n : dp_.node_ids()) {
+      const etpn::DpNode& node = dp_.node(n);
+      Measure out;
+      switch (node.kind) {
+        case DpNodeKind::InPort:
+          out = {1.0, 0.0};
+          break;
+        case DpNodeKind::Register: {
+          // Load through the best input line; one more clocked stage.
+          Measure best = best_over(node.in_arcs, cc_, Measure{});
+          out = {best.comb, best.seq + 1.0};
+          break;
+        }
+        case DpNodeKind::Module: {
+          // Both operand ports must be justified simultaneously.
+          const int arity = dp_.num_ports(n);
+          double comb = controllability_transfer(node.op_class);
+          double seq = 0;
+          for (int port = 0; port < arity; ++port) {
+            Measure best{};
+            bool any = false;
+            for (DpArcId a : node.in_arcs) {
+              if (dp_.arc(a).to_port != port) continue;
+              if (!any || cc_[a].better_than(best)) {
+                best = cc_[a];
+                any = true;
+              }
+            }
+            if (!any) best = Measure{};
+            comb *= best.comb;
+            seq = std::max(seq, best.seq);
+          }
+          out = {comb, seq};
+          break;
+        }
+        case DpNodeKind::OutPort:
+          continue;  // no output lines
+      }
+      for (DpArcId a : node.out_arcs) {
+        if (std::abs(cc_[a].comb - out.comb) > kEps ||
+            std::abs(cc_[a].seq - out.seq) > kEps) {
+          // Monotone update: only improve, so the fixpoint is reached from
+          // below and loops cannot oscillate.
+          if (out.better_than(cc_[a])) {
+            cc_[a] = out;
+            changed = true;
+          }
+        }
+      }
+    }
+    if (!changed) return;
+  }
+}
+
+void TestabilityAnalysis::propagate_observability() {
+  using etpn::DpArcId;
+  using etpn::DpNodeId;
+  using etpn::DpNodeKind;
+
+  for (int round = 0; round < kMaxRounds; ++round) {
+    bool changed = false;
+    for (DpNodeId n : dp_.node_ids()) {
+      const etpn::DpNode& node = dp_.node(n);
+      // Compute the observability each *input line* of `n` inherits.
+      for (DpArcId in : node.in_arcs) {
+        Measure val{};
+        switch (node.kind) {
+          case DpNodeKind::OutPort:
+            val = {1.0, 0.0};
+            break;
+          case DpNodeKind::Register: {
+            Measure best = best_over(node.out_arcs, co_, Measure{});
+            val = {best.comb, best.seq + 1.0};
+            break;
+          }
+          case DpNodeKind::Module: {
+            // Observe through the best output line; the other operand must
+            // be set to a non-masking value, so its controllability scales
+            // the result.
+            Measure out_best = best_over(node.out_arcs, co_, Measure{});
+            double side = 1.0;
+            const int arity = dp_.num_ports(n);
+            if (arity > 1) {
+              const int other = 1 - dp_.arc(in).to_port;
+              Measure best{};
+              bool any = false;
+              for (DpArcId a : node.in_arcs) {
+                if (dp_.arc(a).to_port != other) continue;
+                if (!any || cc_[a].better_than(best)) {
+                  best = cc_[a];
+                  any = true;
+                }
+              }
+              side = any ? best.comb : 0.0;
+            }
+            val = {observability_transfer(node.op_class) * out_best.comb * side,
+                   out_best.seq};
+            break;
+          }
+          case DpNodeKind::InPort:
+            continue;  // no input lines
+        }
+        if (val.better_than(co_[in])) {
+          co_[in] = val;
+          changed = true;
+        }
+      }
+    }
+    if (!changed) return;
+  }
+}
+
+Measure TestabilityAnalysis::node_controllability(etpn::DpNodeId n) const {
+  const etpn::DpNode& node = dp_.node(n);
+  if (node.kind == etpn::DpNodeKind::InPort) return {1.0, 0.0};
+  return best_over(node.in_arcs, cc_, Measure{});
+}
+
+Measure TestabilityAnalysis::node_observability(etpn::DpNodeId n) const {
+  const etpn::DpNode& node = dp_.node(n);
+  if (node.kind == etpn::DpNodeKind::OutPort) return {1.0, 0.0};
+  return best_over(node.out_arcs, co_, Measure{});
+}
+
+double TestabilityAnalysis::balance_index() const {
+  double sum = 0;
+  int count = 0;
+  for (etpn::DpNodeId n : dp_.node_ids()) {
+    const auto kind = dp_.node(n).kind;
+    if (kind != etpn::DpNodeKind::Register && kind != etpn::DpNodeKind::Module) {
+      continue;
+    }
+    sum += std::min(node_controllability(n).scalar(),
+                    node_observability(n).scalar());
+    ++count;
+  }
+  return count ? sum / count : 0.0;
+}
+
+}  // namespace hlts::testability

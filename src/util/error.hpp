@@ -1,0 +1,29 @@
+// Error handling: contract checks throw hlts::Error.
+//
+// The synthesis pipeline is a chain of graph transformations; a silently
+// corrupted graph is far worse than an exception, so structural invariants
+// are checked eagerly in both build types.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace hlts {
+
+/// Exception thrown on contract violations and malformed inputs.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+[[noreturn]] void throw_error(const char* file, int line, const std::string& message);
+
+}  // namespace hlts
+
+/// Checks a precondition / invariant; throws hlts::Error with location info.
+#define HLTS_REQUIRE(cond, message)                         \
+  do {                                                      \
+    if (!(cond)) {                                          \
+      ::hlts::throw_error(__FILE__, __LINE__, (message));   \
+    }                                                       \
+  } while (false)

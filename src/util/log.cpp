@@ -1,0 +1,35 @@
+#include "util/log.hpp"
+
+#include <iostream>
+
+namespace hlts {
+namespace {
+
+LogLevel g_level = LogLevel::Warn;
+
+const char* level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::Debug:
+      return "debug";
+    case LogLevel::Info:
+      return "info ";
+    case LogLevel::Warn:
+      return "warn ";
+    case LogLevel::Off:
+      return "off  ";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level = level; }
+
+LogLevel log_level() { return g_level; }
+
+void log_line(LogLevel level, const std::string& message) {
+  if (static_cast<int>(level) < static_cast<int>(g_level)) return;
+  std::cerr << "[hlts:" << level_tag(level) << "] " << message << '\n';
+}
+
+}  // namespace hlts

@@ -1,0 +1,34 @@
+// Minimal leveled logger.
+//
+// Benches and examples raise the level to Info to narrate the synthesis
+// trajectory; tests leave it at Warn so output stays clean.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace hlts {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Off = 3 };
+
+/// Global log threshold; messages below it are discarded.
+void set_log_level(LogLevel level);
+[[nodiscard]] LogLevel log_level();
+
+/// Writes one line to stderr if `level` passes the threshold.
+void log_line(LogLevel level, const std::string& message);
+
+}  // namespace hlts
+
+#define HLTS_LOG(level, expr)                                        \
+  do {                                                               \
+    if (static_cast<int>(level) >= static_cast<int>(::hlts::log_level())) { \
+      std::ostringstream hlts_log_os;                                \
+      hlts_log_os << expr;                                           \
+      ::hlts::log_line(level, hlts_log_os.str());                    \
+    }                                                                \
+  } while (false)
+
+#define HLTS_DEBUG(expr) HLTS_LOG(::hlts::LogLevel::Debug, expr)
+#define HLTS_INFO(expr) HLTS_LOG(::hlts::LogLevel::Info, expr)
+#define HLTS_WARN(expr) HLTS_LOG(::hlts::LogLevel::Warn, expr)

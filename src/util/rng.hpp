@@ -1,0 +1,34 @@
+// Deterministic pseudo-random number generation (xoshiro256**).
+//
+// All stochastic components (random-phase ATPG, randomized property tests)
+// take an explicit seed so that every run of every bench is bit-identical.
+#pragma once
+
+#include <cstdint>
+
+namespace hlts {
+
+/// xoshiro256** 1.0 by Blackman & Vigna (public domain reference algorithm).
+/// Fast, high-quality, and -- unlike std::mt19937 -- guaranteed to produce
+/// the same stream on every platform and standard library.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  /// Next 64 uniformly distributed bits.
+  std::uint64_t next_u64();
+
+  /// Uniform integer in [0, bound).  `bound` must be nonzero.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Bernoulli trial with probability `p`.
+  bool next_bool(double p = 0.5);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace hlts

@@ -1,0 +1,26 @@
+// Small string helpers shared across modules.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace hlts {
+
+/// Joins `parts` with `sep`: join({"a","b"}, ", ") == "a, b".
+[[nodiscard]] std::string join(const std::vector<std::string>& parts,
+                               const std::string& sep);
+
+/// Formats `value` with `digits` digits after the decimal point.
+[[nodiscard]] std::string format_fixed(double value, int digits);
+
+/// Formats a fraction as a percentage string, e.g. 0.9066 -> "90.66%".
+[[nodiscard]] std::string format_percent(double fraction, int digits = 2);
+
+/// True if `s` starts with `prefix`.
+[[nodiscard]] bool starts_with(const std::string& s, const std::string& prefix);
+
+/// Left-pads or truncates `s` to exactly `width` characters.
+[[nodiscard]] std::string pad_right(const std::string& s, std::size_t width);
+[[nodiscard]] std::string pad_left(const std::string& s, std::size_t width);
+
+}  // namespace hlts

@@ -1,0 +1,211 @@
+// Unit tests for the behavioral front end: lexer, parser, compilation to
+// the default-allocation DFG, and error reporting.
+#include <gtest/gtest.h>
+
+#include "frontend/lexer.hpp"
+#include "frontend/parser.hpp"
+
+namespace hlts {
+namespace {
+
+TEST(Lexer, TokenizesOperatorsAndKeywords) {
+  auto tokens = frontend::tokenize("design d { input a; output register x; }");
+  ASSERT_GE(tokens.size(), 10u);
+  EXPECT_EQ(tokens[0].kind, frontend::TokenKind::KwDesign);
+  EXPECT_EQ(tokens[1].text, "d");
+  EXPECT_EQ(tokens.back().kind, frontend::TokenKind::End);
+}
+
+TEST(Lexer, CommentsAndPositions) {
+  auto tokens = frontend::tokenize("a -- a comment\nb // more\nc");
+  ASSERT_EQ(tokens.size(), 4u);  // a, b, c, end
+  EXPECT_EQ(tokens[1].text, "b");
+  EXPECT_EQ(tokens[1].line, 2);
+}
+
+TEST(Lexer, RejectsStrayCharacters) {
+  EXPECT_THROW(frontend::tokenize("a @ b"), Error);
+}
+
+TEST(Parser, CompilesSimpleDesign) {
+  dfg::Dfg g = frontend::compile(R"(
+    design simple {
+      input a, b;
+      output register s;
+      s = a + b;
+    }
+  )");
+  EXPECT_EQ(g.name(), "simple");
+  EXPECT_EQ(g.num_ops(), 1u);
+  EXPECT_EQ(g.op(dfg::OpId{0}).kind, dfg::OpKind::Add);
+  auto s = g.find_var("s");
+  ASSERT_TRUE(s.has_value());
+  EXPECT_TRUE(g.var(*s).is_primary_output);
+  EXPECT_TRUE(g.var(*s).po_registered);
+}
+
+TEST(Parser, PrecedenceMulBeforeAdd) {
+  dfg::Dfg g = frontend::compile(R"(
+    design p { input a, b, c; output s;
+      s = a + b * c;
+    }
+  )");
+  // Two ops: N1 = b*c, N2 = a + t1.
+  ASSERT_EQ(g.num_ops(), 2u);
+  EXPECT_EQ(g.op(*g.find_op("N1")).kind, dfg::OpKind::Mul);
+  EXPECT_EQ(g.op(*g.find_op("N2")).kind, dfg::OpKind::Add);
+  // The add consumes the mul's result.
+  EXPECT_EQ(g.preds(*g.find_op("N2")).size(), 1u);
+}
+
+TEST(Parser, ParenthesesOverridePrecedence) {
+  dfg::Dfg g = frontend::compile(R"(
+    design p { input a, b, c; output s;
+      s = (a + b) * c;
+    }
+  )");
+  EXPECT_EQ(g.op(*g.find_op("N1")).kind, dfg::OpKind::Add);
+  EXPECT_EQ(g.op(*g.find_op("N2")).kind, dfg::OpKind::Mul);
+}
+
+TEST(Parser, NumericLiteralsBecomeConstantPorts) {
+  dfg::Dfg g = frontend::compile(R"(
+    design d { input x; output s;
+      s = 3 * x;
+    }
+  )");
+  auto three = g.find_var("3");
+  ASSERT_TRUE(three.has_value());
+  EXPECT_TRUE(g.var(*three).is_primary_input);
+}
+
+TEST(Parser, CompilesThePaperDiffeq) {
+  dfg::Dfg g = frontend::compile(R"(
+    design diffeq {
+      input x, y, u, dx, a;
+      output register u1, x1, y1;
+      output cond;
+      u1 = u - 3 * x * u * dx - 3 * y * dx;
+      x1 = x + dx;
+      y1 = y + u * dx;
+      cond = x1 < a;
+    }
+  )");
+  // 6 multiplications, 2 subs, 2 adds, 1 comparison = 11 operations, as in
+  // the hand-built benchmark.
+  EXPECT_EQ(g.num_ops(), 11u);
+  int muls = 0;
+  for (dfg::OpId op : g.op_ids()) {
+    if (g.op(op).kind == dfg::OpKind::Mul) ++muls;
+  }
+  EXPECT_EQ(muls, 6);
+  // Left-associative chaining: 3*x*u*dx is three sequential multiplications
+  // plus two subtractions -> depth 5 (the hand-built benchmark balances the
+  // same computation to depth 4).
+  EXPECT_EQ(g.critical_path_ops(), 5);
+}
+
+TEST(Parser, IntermediateNamesUsableDownstream) {
+  dfg::Dfg g = frontend::compile(R"(
+    design d { input a, b; output register s;
+      t = a * b;
+      s = t + a;
+    }
+  )");
+  EXPECT_EQ(g.num_ops(), 2u);
+  EXPECT_TRUE(g.find_var("t").has_value());
+}
+
+TEST(Parser, MoveForBareAlias) {
+  dfg::Dfg g = frontend::compile(R"(
+    design d { input a; output register s;
+      s = a;
+    }
+  )");
+  EXPECT_EQ(g.num_ops(), 1u);
+  EXPECT_EQ(g.op(dfg::OpId{0}).kind, dfg::OpKind::Move);
+}
+
+TEST(Parser, UnaryNot) {
+  dfg::Dfg g = frontend::compile(R"(
+    design d { input a, b; output s;
+      s = ~a & b;
+    }
+  )");
+  EXPECT_EQ(g.num_ops(), 2u);
+  EXPECT_EQ(g.op(*g.find_op("N1")).kind, dfg::OpKind::Not);
+}
+
+TEST(Parser, Errors) {
+  EXPECT_THROW(frontend::compile("design d { s = a; }"), Error);  // undefined a
+  EXPECT_THROW(frontend::compile(R"(
+    design d { input a; output s; }
+  )"),
+               Error);  // s never assigned
+  EXPECT_THROW(frontend::compile(R"(
+    design d { input a, b; output s;
+      a = b + b;
+      s = a;
+    }
+  )"),
+               Error);  // assignment to an input
+  EXPECT_THROW(frontend::compile(R"(
+    design d { input a, a; output s; s = a; }
+  )"),
+               Error);  // input declared twice
+  EXPECT_THROW(frontend::compile("design d { input a output s; }"), Error);
+}
+
+TEST(Parser, ReassignmentCreatesVersions) {
+  // Behavioral accumulation: s is reassigned twice; SSA versions s#1, s#2
+  // and final s, each its own value with its own lifetime.
+  dfg::Dfg g = frontend::compile(R"(
+    design acc { input a, b, c; output register s;
+      s = a + b;
+      s = s * c;
+      s = s - a;
+    }
+  )");
+  EXPECT_EQ(g.num_ops(), 3u);
+  ASSERT_TRUE(g.find_var("s#1").has_value());
+  ASSERT_TRUE(g.find_var("s#2").has_value());
+  ASSERT_TRUE(g.find_var("s").has_value());
+  // The final version is the subtraction's output and the primary output.
+  auto s = *g.find_var("s");
+  EXPECT_TRUE(g.var(s).is_primary_output);
+  EXPECT_EQ(g.op(g.var(s).def).kind, dfg::OpKind::Sub);
+  // Chain: s#1 feeds the mul, s#2 feeds the sub.
+  EXPECT_EQ(g.var(*g.find_var("s#1")).uses.size(), 1u);
+  g.validate();
+}
+
+TEST(Parser, VersionedVariableReadsLatest) {
+  dfg::Dfg g = frontend::compile(R"(
+    design v { input a, b; output register o;
+      x = a + b;
+      x = x + x;
+      o = x;
+    }
+  )");
+  // o = move(x final version); x#1 used twice by the second add.
+  EXPECT_EQ(g.var(*g.find_var("x#1")).uses.size(), 2u);
+  auto o = *g.find_var("o");
+  EXPECT_EQ(g.op(g.var(o).def).kind, dfg::OpKind::Move);
+}
+
+TEST(Parser, CompiledDesignRunsThroughValidation) {
+  dfg::Dfg g = frontend::compile(R"(
+    design mixed {
+      input a, b, c, d;
+      output register o1;
+      output o2;
+      o1 = (a + b) * (c - d) / (a | d);
+      o2 = (a ^ b) == c;
+    }
+  )");
+  g.validate();
+  EXPECT_GE(g.num_ops(), 6u);
+}
+
+}  // namespace
+}  // namespace hlts

@@ -1,0 +1,55 @@
+// Tests for the table renderer and the schedule view.
+#include <gtest/gtest.h>
+
+#include "benchmarks/benchmarks.hpp"
+#include "core/flows.hpp"
+#include "report/schedule_view.hpp"
+#include "report/table.hpp"
+
+namespace hlts {
+namespace {
+
+TEST(Table, RendersAlignedColumns) {
+  report::Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_separator();
+  t.add_row({"b", "22222"});
+  const std::string out = t.render();
+  // Header present, all cells present, every line same width.
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("22222"), std::string::npos);
+  std::size_t width = out.find('\n');
+  std::size_t pos = 0;
+  while (pos < out.size()) {
+    std::size_t next = out.find('\n', pos);
+    EXPECT_EQ(next - pos, width);
+    pos = next + 1;
+  }
+}
+
+TEST(Table, RejectsArityMismatch) {
+  report::Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only one"}), Error);
+  EXPECT_THROW(report::Table empty({}), Error);
+}
+
+TEST(Table, Formatters) {
+  EXPECT_EQ(report::fmt_percent(0.9066), "90.66%");
+  EXPECT_EQ(report::fmt_double(1.5, 2), "1.50");
+  EXPECT_EQ(report::fmt_int(-3), "-3");
+}
+
+TEST(ScheduleView, ShowsStepsAndGroups) {
+  dfg::Dfg g = benchmarks::make_ex();
+  core::FlowResult ours = core::run_flow(core::FlowKind::Ours, g, {.bits = 4});
+  const std::string view =
+      report::render_schedule(g, ours.schedule, ours.binding);
+  EXPECT_NE(view.find("S0: load primary inputs"), std::string::npos);
+  EXPECT_NE(view.find("N21(*)"), std::string::npos);
+  EXPECT_NE(view.find("shared functional modules:"), std::string::npos);
+  EXPECT_NE(view.find("(*): N21, N24"), std::string::npos);
+  EXPECT_NE(view.find("shared registers:"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hlts

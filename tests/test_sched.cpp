@@ -1,0 +1,183 @@
+// Unit tests for scheduling: ASAP/ALAP/mobility, lifetimes, the
+// constraint graph, list scheduling, FDS and mobility-path scheduling.
+#include <gtest/gtest.h>
+
+#include "benchmarks/benchmarks.hpp"
+#include "sched/constraint_graph.hpp"
+#include "sched/fds.hpp"
+#include "sched/lifetime.hpp"
+#include "sched/list_sched.hpp"
+#include "sched/mobility_path.hpp"
+#include "sched/schedule.hpp"
+
+namespace hlts {
+namespace {
+
+using dfg::OpKind;
+
+TEST(Schedule, AsapRespectsDepsAndIsMinimal) {
+  dfg::Dfg g = benchmarks::make_diffeq();
+  sched::Schedule s = sched::asap(g);
+  EXPECT_TRUE(s.respects_data_deps(g));
+  EXPECT_EQ(s.length(), g.critical_path_ops());
+  // ASAP is componentwise minimal: every op with no preds sits in step 1.
+  for (dfg::OpId op : g.op_ids()) {
+    if (g.preds(op).empty()) {
+      EXPECT_EQ(s.step(op), 1);
+    }
+  }
+}
+
+TEST(Schedule, AlapPushesLate) {
+  dfg::Dfg g = benchmarks::make_diffeq();
+  const int latency = g.critical_path_ops() + 2;
+  sched::Schedule s = sched::alap(g, latency);
+  EXPECT_TRUE(s.respects_data_deps(g));
+  for (dfg::OpId op : g.op_ids()) {
+    if (g.succs(op).empty()) {
+      EXPECT_EQ(s.step(op), latency);
+    }
+  }
+  EXPECT_THROW(sched::alap(g, g.critical_path_ops() - 1), Error);
+}
+
+TEST(Schedule, MobilityNonNegativeAndZeroOnCriticalPath) {
+  dfg::Dfg g = benchmarks::make_ewf();
+  const int latency = g.critical_path_ops();
+  auto mob = sched::mobility(g, latency);
+  bool any_zero = false;
+  for (dfg::OpId op : g.op_ids()) {
+    EXPECT_GE(mob[op], 0);
+    if (mob[op] == 0) any_zero = true;
+  }
+  EXPECT_TRUE(any_zero);  // a critical path exists
+}
+
+TEST(Lifetime, BirthDeathAndDisjointness) {
+  dfg::Dfg g = benchmarks::make_ex();
+  sched::Schedule s = sched::asap(g);
+  auto lt = sched::LifetimeTable::compute(g, s);
+  // Primary inputs are born at step 0.
+  dfg::VarId a = *g.find_var("a");
+  EXPECT_EQ(lt.lifetime(a).birth, 0);
+  EXPECT_GE(lt.lifetime(a).death, 1);
+  // u = N21(a,b) at step 1, used at step 2.
+  dfg::VarId u = *g.find_var("u");
+  EXPECT_EQ(lt.lifetime(u).birth, 1);
+  EXPECT_EQ(lt.lifetime(u).death, 2);
+  // A variable is never disjoint from itself unless empty.
+  EXPECT_FALSE(lt.disjoint(a, a));
+  // max_live is at least the number of primary inputs (all live at step 1).
+  EXPECT_GE(lt.max_live(), 6);
+}
+
+TEST(Lifetime, UnregisteredOutputsAreEmpty) {
+  dfg::Dfg g = benchmarks::make_ex();  // s, t are port-direct
+  sched::Schedule sch = sched::asap(g);
+  auto lt = sched::LifetimeTable::compute(g, sch);
+  EXPECT_TRUE(lt.lifetime(*g.find_var("s")).empty());
+  // Port-direct variables conflict with nothing.
+  EXPECT_TRUE(lt.disjoint(*g.find_var("s"), *g.find_var("t")));
+}
+
+TEST(ConstraintGraph, SolvesToAsapWithoutExtraArcs) {
+  dfg::Dfg g = benchmarks::make_dct();
+  sched::ConstraintGraph cg(g);
+  auto s = cg.solve();
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(*s, sched::asap(g));
+}
+
+TEST(ConstraintGraph, SequencingArcDelaysOp) {
+  dfg::Dfg g = benchmarks::make_ex();
+  dfg::OpId n21 = *g.find_op("N21");
+  dfg::OpId n22 = *g.find_op("N22");
+  sched::ConstraintGraph cg(g);
+  cg.add_arc(n21, n22, 1);  // share a module: N22 after N21
+  auto s = cg.solve();
+  ASSERT_TRUE(s.has_value());
+  EXPECT_GT(s->step(n22), s->step(n21));
+}
+
+TEST(ConstraintGraph, CycleIsInfeasible) {
+  dfg::Dfg g = benchmarks::make_ex();
+  dfg::OpId n21 = *g.find_op("N21");
+  dfg::OpId n22 = *g.find_op("N22");
+  sched::ConstraintGraph cg(g);
+  cg.add_arc(n21, n22, 1);
+  cg.add_arc(n22, n21, 1);
+  EXPECT_FALSE(cg.solve().has_value());
+  EXPECT_FALSE(cg.schedule_length().has_value());
+}
+
+TEST(ConstraintGraph, ZeroWeightAllowsSameStep) {
+  dfg::Dfg g = benchmarks::make_ex();
+  dfg::OpId n21 = *g.find_op("N21");
+  dfg::OpId n22 = *g.find_op("N22");
+  sched::ConstraintGraph cg(g);
+  cg.add_arc(n21, n22, 0);
+  auto s = cg.solve();
+  ASSERT_TRUE(s.has_value());
+  EXPECT_GE(s->step(n22), s->step(n21));
+}
+
+TEST(ListSched, ResourceLimitLengthensSchedule) {
+  dfg::Dfg g = benchmarks::make_ex();  // 4 multiplications
+  sched::Schedule unlimited = sched::list_schedule(g);
+  EXPECT_EQ(unlimited.length(), g.critical_path_ops());
+
+  sched::ListSchedOptions options;
+  options.class_limits[sched::module_class_of(OpKind::Mul)] = 1;
+  sched::Schedule limited = sched::list_schedule(g, options);
+  EXPECT_TRUE(limited.respects_data_deps(g));
+  EXPECT_GE(limited.length(), 4);  // 4 mults serialized on one multiplier
+  // At most one multiplication per step.
+  for (int step = 1; step <= limited.length(); ++step) {
+    int mults = 0;
+    for (dfg::OpId op : limited.ops_in_step(g, step)) {
+      if (g.op(op).kind == OpKind::Mul) ++mults;
+    }
+    EXPECT_LE(mults, 1);
+  }
+}
+
+class LatencySchedulers : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(LatencySchedulers, FdsValidAndBalanced) {
+  dfg::Dfg g = benchmarks::make_benchmark(GetParam());
+  const int latency = g.critical_path_ops() + 1;
+  sched::Schedule s = sched::force_directed_schedule(g, {.latency = latency});
+  EXPECT_TRUE(s.respects_data_deps(g));
+  EXPECT_LE(s.length(), latency);
+}
+
+TEST_P(LatencySchedulers, MobilityPathValid) {
+  dfg::Dfg g = benchmarks::make_benchmark(GetParam());
+  const int latency = g.critical_path_ops() + 1;
+  sched::Schedule s = sched::mobility_path_schedule(g, {.latency = latency});
+  EXPECT_TRUE(s.respects_data_deps(g));
+  EXPECT_LE(s.length(), latency);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, LatencySchedulers,
+                         ::testing::ValuesIn(benchmarks::benchmark_names()),
+                         [](const auto& info) { return info.param; });
+
+TEST(Fds, BalancesMultiplierConcurrency) {
+  // Ex has 4 multiplications and a critical path of 3; with latency 4, FDS
+  // must not pile all four into one step.
+  dfg::Dfg g = benchmarks::make_ex();
+  sched::Schedule s = sched::force_directed_schedule(g, {.latency = 4});
+  int max_mults = 0;
+  for (int step = 1; step <= s.length(); ++step) {
+    int mults = 0;
+    for (dfg::OpId op : s.ops_in_step(g, step)) {
+      if (g.op(op).kind == OpKind::Mul) ++mults;
+    }
+    max_mults = std::max(max_mults, mults);
+  }
+  EXPECT_LE(max_mults, 2);
+}
+
+}  // namespace
+}  // namespace hlts

@@ -1,0 +1,17 @@
+// Compile check: the umbrella header pulls in the whole public API.
+#include "hlts.hpp"
+
+#include <gtest/gtest.h>
+
+TEST(Umbrella, EndToEndThroughPublicApi) {
+  hlts::dfg::Dfg g = hlts::frontend::compile(
+      "design tiny { input a, b; output register s; s = a * b + a; }");
+  hlts::core::FlowResult r =
+      hlts::core::run_flow(hlts::core::FlowKind::Ours, g, {.bits = 4});
+  hlts::rtl::RtlDesign rtl =
+      hlts::rtl::RtlDesign::from_synthesis(g, r.schedule, r.binding, 4);
+  hlts::rtl::Elaboration elab = hlts::rtl::elaborate(rtl);
+  hlts::atpg::AtpgResult test =
+      hlts::atpg::run_atpg(elab.netlist, rtl.steps() + 1);
+  EXPECT_GT(test.fault_coverage, 0.9);
+}

@@ -1,0 +1,109 @@
+// Unit tests for the utility layer: strong ids, RNG determinism, strings.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/error.hpp"
+#include "util/ids.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace hlts {
+namespace {
+
+struct FooTag {};
+using FooId = Id<FooTag>;
+
+TEST(Ids, DefaultIsInvalid) {
+  FooId id;
+  EXPECT_FALSE(id.valid());
+  EXPECT_EQ(id, FooId::invalid());
+}
+
+TEST(Ids, IndexVecRoundTrip) {
+  IndexVec<FooId, int> v;
+  FooId a = v.push_back(10);
+  FooId b = v.push_back(20);
+  EXPECT_EQ(v[a], 10);
+  EXPECT_EQ(v[b], 20);
+  EXPECT_EQ(v.size(), 2u);
+  EXPECT_TRUE(v.contains(a));
+  EXPECT_FALSE(v.contains(FooId{7}));
+}
+
+TEST(Ids, IdRangeIteratesAll) {
+  std::set<std::uint32_t> seen;
+  for (FooId id : id_range<FooId>(5)) seen.insert(id.value());
+  EXPECT_EQ(seen.size(), 5u);
+  EXPECT_TRUE(seen.count(0));
+  EXPECT_TRUE(seen.count(4));
+}
+
+TEST(Ids, BoolSpecializationWorks) {
+  IndexVec<FooId, bool> v(3, false);
+  v[FooId{1}] = true;
+  EXPECT_TRUE(v[FooId{1}]);
+  EXPECT_FALSE(v[FooId{0}]);
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BoundedSamplingInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+  }
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Strings, JoinAndPad) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(pad_right("ab", 4), "ab  ");
+  EXPECT_EQ(pad_left("ab", 4), "  ab");
+  EXPECT_EQ(pad_right("abcdef", 3), "abc");
+}
+
+TEST(Strings, Formatting) {
+  EXPECT_EQ(format_fixed(1.2345, 2), "1.23");
+  EXPECT_EQ(format_percent(0.9066), "90.66%");
+  EXPECT_TRUE(starts_with("hello", "he"));
+  EXPECT_FALSE(starts_with("he", "hello"));
+}
+
+TEST(Error, RequireMacroThrowsWithLocation) {
+  try {
+    HLTS_REQUIRE(false, "boom");
+    FAIL() << "should have thrown";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("boom"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("test_util.cpp"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace hlts
