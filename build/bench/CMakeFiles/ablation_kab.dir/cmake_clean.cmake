@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_kab.dir/ablation_kab.cpp.o"
+  "CMakeFiles/ablation_kab.dir/ablation_kab.cpp.o.d"
+  "ablation_kab"
+  "ablation_kab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_kab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_testplan.dir/ablation_testplan.cpp.o"
+  "CMakeFiles/ablation_testplan.dir/ablation_testplan.cpp.o.d"
+  "ablation_testplan"
+  "ablation_testplan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_testplan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_testpoints.dir/ablation_testpoints.cpp.o"
+  "CMakeFiles/ablation_testpoints.dir/ablation_testpoints.cpp.o.d"
+  "ablation_testpoints"
+  "ablation_testpoints.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_testpoints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calibrate_atpg.dir/calibrate_atpg.cpp.o"
+  "CMakeFiles/calibrate_atpg.dir/calibrate_atpg.cpp.o.d"
+  "calibrate_atpg"
+  "calibrate_atpg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calibrate_atpg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

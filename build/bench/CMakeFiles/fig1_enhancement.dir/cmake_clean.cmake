@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_enhancement.dir/fig1_enhancement.cpp.o"
+  "CMakeFiles/fig1_enhancement.dir/fig1_enhancement.cpp.o.d"
+  "fig1_enhancement"
+  "fig1_enhancement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_enhancement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_schedules.dir/fig3_schedules.cpp.o"
+  "CMakeFiles/fig3_schedules.dir/fig3_schedules.cpp.o.d"
+  "fig3_schedules"
+  "fig3_schedules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_schedules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

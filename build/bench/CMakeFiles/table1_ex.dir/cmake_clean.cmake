@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_ex.dir/table1_ex.cpp.o"
+  "CMakeFiles/table1_ex.dir/table1_ex.cpp.o.d"
+  "table1_ex"
+  "table1_ex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_ex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

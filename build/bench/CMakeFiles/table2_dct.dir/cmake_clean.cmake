@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_dct.dir/table2_dct.cpp.o"
+  "CMakeFiles/table2_dct.dir/table2_dct.cpp.o.d"
+  "table2_dct"
+  "table2_dct.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_dct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

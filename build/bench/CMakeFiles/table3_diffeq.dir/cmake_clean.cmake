@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_diffeq.dir/table3_diffeq.cpp.o"
+  "CMakeFiles/table3_diffeq.dir/table3_diffeq.cpp.o.d"
+  "table3_diffeq"
+  "table3_diffeq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_diffeq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/custom_spec.cpp" "examples/CMakeFiles/custom_spec.dir/custom_spec.cpp.o" "gcc" "examples/CMakeFiles/custom_spec.dir/custom_spec.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/hlts_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/hlts_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtl/CMakeFiles/hlts_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/report/CMakeFiles/hlts_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/testability/CMakeFiles/hlts_testability.dir/DependInfo.cmake"
+  "/root/repo/build/src/cost/CMakeFiles/hlts_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/alloc/CMakeFiles/hlts_alloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/gates/CMakeFiles/hlts_gates.dir/DependInfo.cmake"
+  "/root/repo/build/src/etpn/CMakeFiles/hlts_etpn.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/hlts_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfg/CMakeFiles/hlts_dfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/petri/CMakeFiles/hlts_petri.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hlts_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

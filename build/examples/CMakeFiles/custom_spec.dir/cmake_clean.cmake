@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_spec.dir/custom_spec.cpp.o"
+  "CMakeFiles/custom_spec.dir/custom_spec.cpp.o.d"
+  "custom_spec"
+  "custom_spec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_spec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

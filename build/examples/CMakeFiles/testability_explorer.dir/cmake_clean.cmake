@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/testability_explorer.dir/testability_explorer.cpp.o"
+  "CMakeFiles/testability_explorer.dir/testability_explorer.cpp.o.d"
+  "testability_explorer"
+  "testability_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/testability_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

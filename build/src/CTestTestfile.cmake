@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("dfg")
+subdirs("benchmarks")
+subdirs("frontend")
+subdirs("petri")
+subdirs("etpn")
+subdirs("testability")
+subdirs("sched")
+subdirs("alloc")
+subdirs("cost")
+subdirs("core")
+subdirs("rtl")
+subdirs("gates")
+subdirs("atpg")
+subdirs("report")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hlts_alloc.dir/alloc.cpp.o"
+  "CMakeFiles/hlts_alloc.dir/alloc.cpp.o.d"
+  "libhlts_alloc.a"
+  "libhlts_alloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hlts_alloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

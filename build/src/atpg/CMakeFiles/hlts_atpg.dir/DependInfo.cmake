@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/atpg/atpg.cpp" "src/atpg/CMakeFiles/hlts_atpg.dir/atpg.cpp.o" "gcc" "src/atpg/CMakeFiles/hlts_atpg.dir/atpg.cpp.o.d"
+  "/root/repo/src/atpg/bist.cpp" "src/atpg/CMakeFiles/hlts_atpg.dir/bist.cpp.o" "gcc" "src/atpg/CMakeFiles/hlts_atpg.dir/bist.cpp.o.d"
+  "/root/repo/src/atpg/compact.cpp" "src/atpg/CMakeFiles/hlts_atpg.dir/compact.cpp.o" "gcc" "src/atpg/CMakeFiles/hlts_atpg.dir/compact.cpp.o.d"
+  "/root/repo/src/atpg/fault_sim.cpp" "src/atpg/CMakeFiles/hlts_atpg.dir/fault_sim.cpp.o" "gcc" "src/atpg/CMakeFiles/hlts_atpg.dir/fault_sim.cpp.o.d"
+  "/root/repo/src/atpg/faults.cpp" "src/atpg/CMakeFiles/hlts_atpg.dir/faults.cpp.o" "gcc" "src/atpg/CMakeFiles/hlts_atpg.dir/faults.cpp.o.d"
+  "/root/repo/src/atpg/podem.cpp" "src/atpg/CMakeFiles/hlts_atpg.dir/podem.cpp.o" "gcc" "src/atpg/CMakeFiles/hlts_atpg.dir/podem.cpp.o.d"
+  "/root/repo/src/atpg/simulator.cpp" "src/atpg/CMakeFiles/hlts_atpg.dir/simulator.cpp.o" "gcc" "src/atpg/CMakeFiles/hlts_atpg.dir/simulator.cpp.o.d"
+  "/root/repo/src/atpg/testbench.cpp" "src/atpg/CMakeFiles/hlts_atpg.dir/testbench.cpp.o" "gcc" "src/atpg/CMakeFiles/hlts_atpg.dir/testbench.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gates/CMakeFiles/hlts_gates.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hlts_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

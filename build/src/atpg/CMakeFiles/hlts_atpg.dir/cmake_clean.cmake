@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hlts_atpg.dir/atpg.cpp.o"
+  "CMakeFiles/hlts_atpg.dir/atpg.cpp.o.d"
+  "CMakeFiles/hlts_atpg.dir/bist.cpp.o"
+  "CMakeFiles/hlts_atpg.dir/bist.cpp.o.d"
+  "CMakeFiles/hlts_atpg.dir/compact.cpp.o"
+  "CMakeFiles/hlts_atpg.dir/compact.cpp.o.d"
+  "CMakeFiles/hlts_atpg.dir/fault_sim.cpp.o"
+  "CMakeFiles/hlts_atpg.dir/fault_sim.cpp.o.d"
+  "CMakeFiles/hlts_atpg.dir/faults.cpp.o"
+  "CMakeFiles/hlts_atpg.dir/faults.cpp.o.d"
+  "CMakeFiles/hlts_atpg.dir/podem.cpp.o"
+  "CMakeFiles/hlts_atpg.dir/podem.cpp.o.d"
+  "CMakeFiles/hlts_atpg.dir/simulator.cpp.o"
+  "CMakeFiles/hlts_atpg.dir/simulator.cpp.o.d"
+  "CMakeFiles/hlts_atpg.dir/testbench.cpp.o"
+  "CMakeFiles/hlts_atpg.dir/testbench.cpp.o.d"
+  "libhlts_atpg.a"
+  "libhlts_atpg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hlts_atpg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

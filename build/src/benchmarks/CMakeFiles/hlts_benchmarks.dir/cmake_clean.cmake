@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hlts_benchmarks.dir/benchmarks.cpp.o"
+  "CMakeFiles/hlts_benchmarks.dir/benchmarks.cpp.o.d"
+  "libhlts_benchmarks.a"
+  "libhlts_benchmarks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hlts_benchmarks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

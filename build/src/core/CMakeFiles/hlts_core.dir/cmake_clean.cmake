@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hlts_core.dir/flows.cpp.o"
+  "CMakeFiles/hlts_core.dir/flows.cpp.o.d"
+  "CMakeFiles/hlts_core.dir/resched.cpp.o"
+  "CMakeFiles/hlts_core.dir/resched.cpp.o.d"
+  "CMakeFiles/hlts_core.dir/synthesis.cpp.o"
+  "CMakeFiles/hlts_core.dir/synthesis.cpp.o.d"
+  "libhlts_core.a"
+  "libhlts_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hlts_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

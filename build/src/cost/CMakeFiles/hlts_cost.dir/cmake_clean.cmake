@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hlts_cost.dir/cost.cpp.o"
+  "CMakeFiles/hlts_cost.dir/cost.cpp.o.d"
+  "CMakeFiles/hlts_cost.dir/floorplan.cpp.o"
+  "CMakeFiles/hlts_cost.dir/floorplan.cpp.o.d"
+  "CMakeFiles/hlts_cost.dir/module_library.cpp.o"
+  "CMakeFiles/hlts_cost.dir/module_library.cpp.o.d"
+  "libhlts_cost.a"
+  "libhlts_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hlts_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hlts_dfg.dir/dfg.cpp.o"
+  "CMakeFiles/hlts_dfg.dir/dfg.cpp.o.d"
+  "libhlts_dfg.a"
+  "libhlts_dfg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hlts_dfg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

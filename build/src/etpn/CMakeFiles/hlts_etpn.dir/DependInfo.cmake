@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/etpn/binding.cpp" "src/etpn/CMakeFiles/hlts_etpn.dir/binding.cpp.o" "gcc" "src/etpn/CMakeFiles/hlts_etpn.dir/binding.cpp.o.d"
+  "/root/repo/src/etpn/datapath.cpp" "src/etpn/CMakeFiles/hlts_etpn.dir/datapath.cpp.o" "gcc" "src/etpn/CMakeFiles/hlts_etpn.dir/datapath.cpp.o.d"
+  "/root/repo/src/etpn/etpn.cpp" "src/etpn/CMakeFiles/hlts_etpn.dir/etpn.cpp.o" "gcc" "src/etpn/CMakeFiles/hlts_etpn.dir/etpn.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dfg/CMakeFiles/hlts_dfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/hlts_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/petri/CMakeFiles/hlts_petri.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hlts_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

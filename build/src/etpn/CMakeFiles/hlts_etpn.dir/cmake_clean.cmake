@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hlts_etpn.dir/binding.cpp.o"
+  "CMakeFiles/hlts_etpn.dir/binding.cpp.o.d"
+  "CMakeFiles/hlts_etpn.dir/datapath.cpp.o"
+  "CMakeFiles/hlts_etpn.dir/datapath.cpp.o.d"
+  "CMakeFiles/hlts_etpn.dir/etpn.cpp.o"
+  "CMakeFiles/hlts_etpn.dir/etpn.cpp.o.d"
+  "libhlts_etpn.a"
+  "libhlts_etpn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hlts_etpn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hlts_frontend.dir/lexer.cpp.o"
+  "CMakeFiles/hlts_frontend.dir/lexer.cpp.o.d"
+  "CMakeFiles/hlts_frontend.dir/parser.cpp.o"
+  "CMakeFiles/hlts_frontend.dir/parser.cpp.o.d"
+  "libhlts_frontend.a"
+  "libhlts_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hlts_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

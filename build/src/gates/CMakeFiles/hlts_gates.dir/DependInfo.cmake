@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gates/netlist.cpp" "src/gates/CMakeFiles/hlts_gates.dir/netlist.cpp.o" "gcc" "src/gates/CMakeFiles/hlts_gates.dir/netlist.cpp.o.d"
+  "/root/repo/src/gates/simplify.cpp" "src/gates/CMakeFiles/hlts_gates.dir/simplify.cpp.o" "gcc" "src/gates/CMakeFiles/hlts_gates.dir/simplify.cpp.o.d"
+  "/root/repo/src/gates/verilog.cpp" "src/gates/CMakeFiles/hlts_gates.dir/verilog.cpp.o" "gcc" "src/gates/CMakeFiles/hlts_gates.dir/verilog.cpp.o.d"
+  "/root/repo/src/gates/wordlib.cpp" "src/gates/CMakeFiles/hlts_gates.dir/wordlib.cpp.o" "gcc" "src/gates/CMakeFiles/hlts_gates.dir/wordlib.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/hlts_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

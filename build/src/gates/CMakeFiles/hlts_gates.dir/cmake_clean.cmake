@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hlts_gates.dir/netlist.cpp.o"
+  "CMakeFiles/hlts_gates.dir/netlist.cpp.o.d"
+  "CMakeFiles/hlts_gates.dir/simplify.cpp.o"
+  "CMakeFiles/hlts_gates.dir/simplify.cpp.o.d"
+  "CMakeFiles/hlts_gates.dir/verilog.cpp.o"
+  "CMakeFiles/hlts_gates.dir/verilog.cpp.o.d"
+  "CMakeFiles/hlts_gates.dir/wordlib.cpp.o"
+  "CMakeFiles/hlts_gates.dir/wordlib.cpp.o.d"
+  "libhlts_gates.a"
+  "libhlts_gates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hlts_gates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hlts_petri.dir/petri.cpp.o"
+  "CMakeFiles/hlts_petri.dir/petri.cpp.o.d"
+  "libhlts_petri.a"
+  "libhlts_petri.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hlts_petri.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

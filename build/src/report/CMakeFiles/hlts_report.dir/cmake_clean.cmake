@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hlts_report.dir/schedule_view.cpp.o"
+  "CMakeFiles/hlts_report.dir/schedule_view.cpp.o.d"
+  "CMakeFiles/hlts_report.dir/table.cpp.o"
+  "CMakeFiles/hlts_report.dir/table.cpp.o.d"
+  "libhlts_report.a"
+  "libhlts_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hlts_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hlts_rtl.dir/elaborate.cpp.o"
+  "CMakeFiles/hlts_rtl.dir/elaborate.cpp.o.d"
+  "CMakeFiles/hlts_rtl.dir/rtl.cpp.o"
+  "CMakeFiles/hlts_rtl.dir/rtl.cpp.o.d"
+  "libhlts_rtl.a"
+  "libhlts_rtl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hlts_rtl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

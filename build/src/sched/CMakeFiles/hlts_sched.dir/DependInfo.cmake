@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/constraint_graph.cpp" "src/sched/CMakeFiles/hlts_sched.dir/constraint_graph.cpp.o" "gcc" "src/sched/CMakeFiles/hlts_sched.dir/constraint_graph.cpp.o.d"
+  "/root/repo/src/sched/fds.cpp" "src/sched/CMakeFiles/hlts_sched.dir/fds.cpp.o" "gcc" "src/sched/CMakeFiles/hlts_sched.dir/fds.cpp.o.d"
+  "/root/repo/src/sched/lifetime.cpp" "src/sched/CMakeFiles/hlts_sched.dir/lifetime.cpp.o" "gcc" "src/sched/CMakeFiles/hlts_sched.dir/lifetime.cpp.o.d"
+  "/root/repo/src/sched/list_sched.cpp" "src/sched/CMakeFiles/hlts_sched.dir/list_sched.cpp.o" "gcc" "src/sched/CMakeFiles/hlts_sched.dir/list_sched.cpp.o.d"
+  "/root/repo/src/sched/mobility_path.cpp" "src/sched/CMakeFiles/hlts_sched.dir/mobility_path.cpp.o" "gcc" "src/sched/CMakeFiles/hlts_sched.dir/mobility_path.cpp.o.d"
+  "/root/repo/src/sched/schedule.cpp" "src/sched/CMakeFiles/hlts_sched.dir/schedule.cpp.o" "gcc" "src/sched/CMakeFiles/hlts_sched.dir/schedule.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dfg/CMakeFiles/hlts_dfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hlts_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

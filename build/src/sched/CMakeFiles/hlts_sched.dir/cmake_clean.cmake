@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hlts_sched.dir/constraint_graph.cpp.o"
+  "CMakeFiles/hlts_sched.dir/constraint_graph.cpp.o.d"
+  "CMakeFiles/hlts_sched.dir/fds.cpp.o"
+  "CMakeFiles/hlts_sched.dir/fds.cpp.o.d"
+  "CMakeFiles/hlts_sched.dir/lifetime.cpp.o"
+  "CMakeFiles/hlts_sched.dir/lifetime.cpp.o.d"
+  "CMakeFiles/hlts_sched.dir/list_sched.cpp.o"
+  "CMakeFiles/hlts_sched.dir/list_sched.cpp.o.d"
+  "CMakeFiles/hlts_sched.dir/mobility_path.cpp.o"
+  "CMakeFiles/hlts_sched.dir/mobility_path.cpp.o.d"
+  "CMakeFiles/hlts_sched.dir/schedule.cpp.o"
+  "CMakeFiles/hlts_sched.dir/schedule.cpp.o.d"
+  "libhlts_sched.a"
+  "libhlts_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hlts_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hlts_testability.dir/balance.cpp.o"
+  "CMakeFiles/hlts_testability.dir/balance.cpp.o.d"
+  "CMakeFiles/hlts_testability.dir/test_points.cpp.o"
+  "CMakeFiles/hlts_testability.dir/test_points.cpp.o.d"
+  "CMakeFiles/hlts_testability.dir/testability.cpp.o"
+  "CMakeFiles/hlts_testability.dir/testability.cpp.o.d"
+  "libhlts_testability.a"
+  "libhlts_testability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hlts_testability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

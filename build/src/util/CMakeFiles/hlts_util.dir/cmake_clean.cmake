@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hlts_util.dir/error.cpp.o"
+  "CMakeFiles/hlts_util.dir/error.cpp.o.d"
+  "CMakeFiles/hlts_util.dir/log.cpp.o"
+  "CMakeFiles/hlts_util.dir/log.cpp.o.d"
+  "CMakeFiles/hlts_util.dir/rng.cpp.o"
+  "CMakeFiles/hlts_util.dir/rng.cpp.o.d"
+  "CMakeFiles/hlts_util.dir/strings.cpp.o"
+  "CMakeFiles/hlts_util.dir/strings.cpp.o.d"
+  "libhlts_util.a"
+  "libhlts_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hlts_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,55 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_atpg.cpp" "tests/CMakeFiles/hlts_tests.dir/test_atpg.cpp.o" "gcc" "tests/CMakeFiles/hlts_tests.dir/test_atpg.cpp.o.d"
+  "/root/repo/tests/test_bist.cpp" "tests/CMakeFiles/hlts_tests.dir/test_bist.cpp.o" "gcc" "tests/CMakeFiles/hlts_tests.dir/test_bist.cpp.o.d"
+  "/root/repo/tests/test_compact.cpp" "tests/CMakeFiles/hlts_tests.dir/test_compact.cpp.o" "gcc" "tests/CMakeFiles/hlts_tests.dir/test_compact.cpp.o.d"
+  "/root/repo/tests/test_cost.cpp" "tests/CMakeFiles/hlts_tests.dir/test_cost.cpp.o" "gcc" "tests/CMakeFiles/hlts_tests.dir/test_cost.cpp.o.d"
+  "/root/repo/tests/test_dfg.cpp" "tests/CMakeFiles/hlts_tests.dir/test_dfg.cpp.o" "gcc" "tests/CMakeFiles/hlts_tests.dir/test_dfg.cpp.o.d"
+  "/root/repo/tests/test_etpn.cpp" "tests/CMakeFiles/hlts_tests.dir/test_etpn.cpp.o" "gcc" "tests/CMakeFiles/hlts_tests.dir/test_etpn.cpp.o.d"
+  "/root/repo/tests/test_flows.cpp" "tests/CMakeFiles/hlts_tests.dir/test_flows.cpp.o" "gcc" "tests/CMakeFiles/hlts_tests.dir/test_flows.cpp.o.d"
+  "/root/repo/tests/test_frontend.cpp" "tests/CMakeFiles/hlts_tests.dir/test_frontend.cpp.o" "gcc" "tests/CMakeFiles/hlts_tests.dir/test_frontend.cpp.o.d"
+  "/root/repo/tests/test_gates.cpp" "tests/CMakeFiles/hlts_tests.dir/test_gates.cpp.o" "gcc" "tests/CMakeFiles/hlts_tests.dir/test_gates.cpp.o.d"
+  "/root/repo/tests/test_petri.cpp" "tests/CMakeFiles/hlts_tests.dir/test_petri.cpp.o" "gcc" "tests/CMakeFiles/hlts_tests.dir/test_petri.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/hlts_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/hlts_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_random_designs.cpp" "tests/CMakeFiles/hlts_tests.dir/test_random_designs.cpp.o" "gcc" "tests/CMakeFiles/hlts_tests.dir/test_random_designs.cpp.o.d"
+  "/root/repo/tests/test_report.cpp" "tests/CMakeFiles/hlts_tests.dir/test_report.cpp.o" "gcc" "tests/CMakeFiles/hlts_tests.dir/test_report.cpp.o.d"
+  "/root/repo/tests/test_rtl.cpp" "tests/CMakeFiles/hlts_tests.dir/test_rtl.cpp.o" "gcc" "tests/CMakeFiles/hlts_tests.dir/test_rtl.cpp.o.d"
+  "/root/repo/tests/test_sched.cpp" "tests/CMakeFiles/hlts_tests.dir/test_sched.cpp.o" "gcc" "tests/CMakeFiles/hlts_tests.dir/test_sched.cpp.o.d"
+  "/root/repo/tests/test_simplify.cpp" "tests/CMakeFiles/hlts_tests.dir/test_simplify.cpp.o" "gcc" "tests/CMakeFiles/hlts_tests.dir/test_simplify.cpp.o.d"
+  "/root/repo/tests/test_synthesis.cpp" "tests/CMakeFiles/hlts_tests.dir/test_synthesis.cpp.o" "gcc" "tests/CMakeFiles/hlts_tests.dir/test_synthesis.cpp.o.d"
+  "/root/repo/tests/test_test_points.cpp" "tests/CMakeFiles/hlts_tests.dir/test_test_points.cpp.o" "gcc" "tests/CMakeFiles/hlts_tests.dir/test_test_points.cpp.o.d"
+  "/root/repo/tests/test_testability.cpp" "tests/CMakeFiles/hlts_tests.dir/test_testability.cpp.o" "gcc" "tests/CMakeFiles/hlts_tests.dir/test_testability.cpp.o.d"
+  "/root/repo/tests/test_umbrella.cpp" "tests/CMakeFiles/hlts_tests.dir/test_umbrella.cpp.o" "gcc" "tests/CMakeFiles/hlts_tests.dir/test_umbrella.cpp.o.d"
+  "/root/repo/tests/test_util.cpp" "tests/CMakeFiles/hlts_tests.dir/test_util.cpp.o" "gcc" "tests/CMakeFiles/hlts_tests.dir/test_util.cpp.o.d"
+  "/root/repo/tests/test_verilog.cpp" "tests/CMakeFiles/hlts_tests.dir/test_verilog.cpp.o" "gcc" "tests/CMakeFiles/hlts_tests.dir/test_verilog.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/hlts_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/benchmarks/CMakeFiles/hlts_benchmarks.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtl/CMakeFiles/hlts_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/atpg/CMakeFiles/hlts_atpg.dir/DependInfo.cmake"
+  "/root/repo/build/src/report/CMakeFiles/hlts_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/hlts_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/testability/CMakeFiles/hlts_testability.dir/DependInfo.cmake"
+  "/root/repo/build/src/cost/CMakeFiles/hlts_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/alloc/CMakeFiles/hlts_alloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/gates/CMakeFiles/hlts_gates.dir/DependInfo.cmake"
+  "/root/repo/build/src/etpn/CMakeFiles/hlts_etpn.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/hlts_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/petri/CMakeFiles/hlts_petri.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfg/CMakeFiles/hlts_dfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hlts_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
