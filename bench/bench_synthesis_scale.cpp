@@ -1,0 +1,161 @@
+// Scaling bench for Algorithm 1's trial evaluation: sweeps the trial
+// thread count over EWF / DCT / Diffeq and writes BENCH_synthesis.json so
+// the perf trajectory of the synthesis loop has data.
+//
+// Two knobs are exercised:
+//   - SynthesisParams::num_threads -- the k candidate trials of each
+//     iteration fan out across a reusable pool (bit-identical results for
+//     every thread count, verified here on every run);
+//   - SynthesisParams::trial_cache -- candidates untouched by the committed
+//     merger reuse their dE/dH across iterations.
+//
+// The sweep configs run with the cache on (that is the production-scale
+// configuration); the baseline row is the seed-equivalent exact path
+// (serial, no cache), so the JSON records both the caching and the
+// threading contribution.  Usage:
+//
+//   bench_synthesis_scale [output.json] [reps]
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "benchmarks/benchmarks.hpp"
+#include "core/synthesis.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using hlts::core::SynthesisParams;
+using hlts::core::SynthesisResult;
+
+/// Exact signature of a run: every committed merger with its bitwise cost
+/// numbers.  Two runs are "bit-identical" iff their signatures match.
+std::string signature(const SynthesisResult& r) {
+  std::ostringstream os;
+  os.precision(17);
+  for (const auto& rec : r.trajectory) {
+    os << rec.description << ';' << rec.exec_time << ';' << rec.hw_cost
+       << ';' << rec.delta_c << '|';
+  }
+  os << "final;" << r.exec_time << ';' << r.cost.total();
+  return os.str();
+}
+
+double best_of(int reps, const hlts::dfg::Dfg& g, const SynthesisParams& p,
+               std::string* sig) {
+  double best = 0;
+  for (int rep = 0; rep < reps; ++rep) {
+    const auto t0 = std::chrono::steady_clock::now();
+    SynthesisResult r = hlts::core::integrated_synthesis(g, p);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    if (rep == 0 || ms < best) best = ms;
+    if (rep == 0) *sig = signature(r);
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_synthesis.json";
+  const int reps = argc > 2 ? std::max(1, std::atoi(argv[2])) : 3;
+
+  const std::size_t hw = hlts::util::ThreadPool::default_threads();
+  std::vector<int> thread_configs{1, 2, 4, static_cast<int>(hw)};
+  std::sort(thread_configs.begin(), thread_configs.end());
+  thread_configs.erase(
+      std::unique(thread_configs.begin(), thread_configs.end()),
+      thread_configs.end());
+
+  SynthesisParams common;
+  common.bits = 8;
+  common.k = 8;  // wider candidate fan-out than the paper tables' k=5,
+                 // so each iteration has enough independent trials to fill
+                 // the pool
+
+  std::ostringstream json;
+  json.precision(17);
+  json << "{\n"
+       << "  \"bench\": \"bench_synthesis_scale\",\n"
+       << "  \"default_threads\": " << hw << ",\n"
+       << "  \"reps\": " << reps << ",\n"
+       << "  \"params\": {\"bits\": " << common.bits << ", \"k\": " << common.k
+       << "},\n"
+       << "  \"benchmarks\": [\n";
+
+  bool first_bench = true;
+  int not_identical = 0;
+  for (const char* name : {"ewf", "dct", "diffeq"}) {
+    hlts::dfg::Dfg g = hlts::benchmarks::make_benchmark(name);
+
+    // Seed-equivalent exact path: serial, no trial cache.
+    SynthesisParams baseline = common;
+    baseline.num_threads = 1;
+    baseline.trial_cache = false;
+    std::string baseline_sig;
+    const double baseline_ms = best_of(reps, g, baseline, &baseline_sig);
+
+    // Serial reference for the bit-identity check of the sweep configs.
+    SynthesisParams serial = common;
+    serial.num_threads = 1;
+    serial.trial_cache = true;
+    std::string serial_sig;
+    const double serial_ms = best_of(reps, g, serial, &serial_sig);
+
+    SynthesisResult shape = hlts::core::integrated_synthesis(g, baseline);
+    std::printf("%-7s baseline (serial, no cache): %8.1f ms  (%zu mergers)\n",
+                name, baseline_ms, shape.trajectory.size());
+
+    if (!first_bench) json << ",\n";
+    first_bench = false;
+    json << "    {\n"
+         << "      \"name\": \"" << name << "\",\n"
+         << "      \"mergers\": " << shape.trajectory.size() << ",\n"
+         << "      \"baseline_serial_nocache_ms\": " << baseline_ms << ",\n"
+         << "      \"configs\": [\n";
+
+    for (std::size_t ci = 0; ci < thread_configs.size(); ++ci) {
+      const int threads = thread_configs[ci];
+      SynthesisParams p = common;
+      p.num_threads = threads;
+      p.trial_cache = true;
+      std::string sig;
+      const double ms = threads == 1 ? serial_ms : best_of(reps, g, p, &sig);
+      if (threads == 1) sig = serial_sig;
+      const bool identical = sig == serial_sig;
+      if (!identical) ++not_identical;
+      const double speedup = ms > 0 ? baseline_ms / ms : 0;
+      std::printf(
+          "%-7s threads=%-2d cache=on: %8.1f ms   speedup vs baseline %.2fx"
+          "   identical_to_serial=%s\n",
+          name, threads, ms, speedup, identical ? "yes" : "NO");
+      json << "        {\"threads\": " << threads << ", \"trial_cache\": true"
+           << ", \"ms\": " << ms << ", \"speedup_vs_baseline\": " << speedup
+           << ", \"identical_to_serial\": " << (identical ? "true" : "false")
+           << "}" << (ci + 1 < thread_configs.size() ? "," : "") << "\n";
+    }
+    json << "      ]\n    }";
+  }
+  json << "\n  ]\n}\n";
+
+  std::ofstream out(out_path);
+  out << json.str();
+  if (!out) {
+    std::cerr << "ERROR: could not write " << out_path << "\n";
+    return 1;
+  }
+  std::cout << "wrote " << out_path << "\n";
+  if (not_identical > 0) {
+    std::cerr << "ERROR: " << not_identical
+              << " config(s) diverged from the serial trajectory\n";
+    return 1;
+  }
+  return 0;
+}

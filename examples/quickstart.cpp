@@ -11,6 +11,7 @@
 #include "benchmarks/benchmarks.hpp"
 #include "core/flows.hpp"
 #include "util/log.hpp"
+#include "util/thread_pool.hpp"
 
 int main(int argc, char** argv) {
   using namespace hlts;
@@ -26,7 +27,10 @@ int main(int argc, char** argv) {
   dfg::Dfg g = benchmarks::make_benchmark(bench);
   std::cout << "benchmark " << g.name() << ": " << g.num_ops() << " ops, "
             << g.num_vars() << " vars, critical path "
-            << g.critical_path_ops() << " steps\n\n";
+            << g.critical_path_ops() << " steps\n"
+            << "trial evaluation: " << util::ThreadPool::default_threads()
+            << " thread(s) (set HLTS_THREADS to change; results are "
+               "identical for any count)\n\n";
 
   for (const core::FlowResult& r : core::run_all_flows(g, params)) {
     std::cout << "== " << r.name << " ==\n"

@@ -4,29 +4,69 @@
 
 namespace hlts::atpg {
 
+namespace {
+
+/// Runs faults [base, base + batch) through `sim` and appends the detected
+/// indices (into the full fault list) to `out`, in ascending order.
+void run_batch(ParallelSimulator& sim, const TestSequence& sequence,
+               const std::vector<Fault>& faults, std::size_t base,
+               std::size_t batch, std::vector<std::size_t>& out) {
+  sim.clear_faults();
+  for (std::size_t i = 0; i < batch; ++i) {
+    sim.inject(static_cast<int>(i + 1), faults[base + i]);
+  }
+  sim.reset_state();
+  // Lanes 1..batch carry faults; lane 0 is the fault-free reference.
+  const std::uint64_t all_lanes =
+      batch == 63 ? ~std::uint64_t{1}
+                  : ((std::uint64_t{1} << (batch + 1)) - 2);
+  std::uint64_t caught = 0;
+  for (const TestVector& v : sequence) {
+    caught |= sim.step(v);
+    // All injected lanes of this batch already detected: stop early.
+    if ((caught & all_lanes) == all_lanes) break;
+  }
+  for (std::size_t i = 0; i < batch; ++i) {
+    if (caught & (std::uint64_t{1} << (i + 1))) {
+      out.push_back(base + i);
+    }
+  }
+}
+
+}  // namespace
+
+FaultSimulator::FaultSimulator(const gates::Netlist& nl, int num_threads)
+    : nl_(nl), sim_(nl) {
+  const std::size_t threads =
+      num_threads > 0 ? static_cast<std::size_t>(num_threads)
+                      : util::ThreadPool::default_threads();
+  if (threads > 1) pool_ = std::make_unique<util::ThreadPool>(threads);
+}
+
 std::vector<std::size_t> FaultSimulator::detected_by(
     const TestSequence& sequence, const std::vector<Fault>& faults) {
-  std::vector<std::size_t> detected;
-  for (std::size_t base = 0; base < faults.size(); base += 63) {
+  const std::size_t num_batches = (faults.size() + 62) / 63;
+  if (!pool_ || num_batches < 2) {
+    std::vector<std::size_t> detected;
+    for (std::size_t base = 0; base < faults.size(); base += 63) {
+      const std::size_t batch = std::min<std::size_t>(63, faults.size() - base);
+      run_batch(sim_, sequence, faults, base, batch, detected);
+    }
+    return detected;
+  }
+
+  // Batches are independent: fan them out, each on a private simulator, and
+  // concatenate in batch order so the result matches the serial path.
+  std::vector<std::vector<std::size_t>> per_batch(num_batches);
+  pool_->parallel_for(num_batches, [&](std::size_t bi) {
+    const std::size_t base = bi * 63;
     const std::size_t batch = std::min<std::size_t>(63, faults.size() - base);
-    sim_.clear_faults();
-    for (std::size_t i = 0; i < batch; ++i) {
-      sim_.inject(static_cast<int>(i + 1), faults[base + i]);
-    }
-    sim_.reset_state();
-    std::uint64_t caught = 0;
-    for (const TestVector& v : sequence) {
-      caught |= sim_.step(v);
-      // All lanes of this batch already detected: stop early.
-      if (batch == 63 && caught == (~std::uint64_t{0} & ~std::uint64_t{1})) {
-        break;
-      }
-    }
-    for (std::size_t i = 0; i < batch; ++i) {
-      if (caught & (std::uint64_t{1} << (i + 1))) {
-        detected.push_back(base + i);
-      }
-    }
+    ParallelSimulator sim(nl_);
+    run_batch(sim, sequence, faults, base, batch, per_batch[bi]);
+  });
+  std::vector<std::size_t> detected;
+  for (const std::vector<std::size_t>& d : per_batch) {
+    detected.insert(detected.end(), d.begin(), d.end());
   }
   return detected;
 }

@@ -2,15 +2,22 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <vector>
 
 #include "atpg/simulator.hpp"
+#include "util/thread_pool.hpp"
 
 namespace hlts::atpg {
 
 class FaultSimulator {
  public:
-  explicit FaultSimulator(const gates::Netlist& nl) : sim_(nl) {}
+  /// `num_threads` is the concurrency of detected_by's 63-fault batches:
+  /// 0 means util::ThreadPool::default_threads() (HLTS_THREADS, else
+  /// hardware_concurrency), 1 forces the serial path.  Results are
+  /// identical for every value -- batches are independent and detected
+  /// indices are concatenated in batch order.
+  explicit FaultSimulator(const gates::Netlist& nl, int num_threads = 0);
 
   /// Simulates `sequence` (from power-up/reset) against `faults`, 63 at a
   /// time, and returns the indices (into `faults`) of detected faults.
@@ -23,7 +30,10 @@ class FaultSimulator {
                             std::vector<Fault>& faults);
 
  private:
+  const gates::Netlist& nl_;
   ParallelSimulator sim_;
+  /// Present only when num_threads resolved to > 1.
+  std::unique_ptr<util::ThreadPool> pool_;
 };
 
 }  // namespace hlts::atpg

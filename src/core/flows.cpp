@@ -60,6 +60,8 @@ FlowResult run_flow(FlowKind kind, const dfg::Dfg& g, const FlowParams& params) 
       p.beta = params.beta;
       p.bits = params.bits;
       p.max_latency = params.max_latency;
+      p.num_threads = params.num_threads;
+      p.trial_cache = params.trial_cache;
       p.library = params.library;
       p.policy = SelectionPolicy::Connectivity;
       p.order = OrderStrategy::Plain;
@@ -91,6 +93,8 @@ FlowResult run_flow(FlowKind kind, const dfg::Dfg& g, const FlowParams& params) 
       p.beta = params.beta;
       p.bits = params.bits;
       p.max_latency = params.max_latency;
+      p.num_threads = params.num_threads;
+      p.trial_cache = params.trial_cache;
       p.library = params.library;
       p.policy = SelectionPolicy::BalanceTestability;
       p.order = OrderStrategy::Testability;

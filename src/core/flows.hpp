@@ -29,6 +29,13 @@ struct FlowParams {
   double beta = 1.0;
   /// Latency budget shared by all flows; 0 = critical path + 1.
   int max_latency = 0;
+  /// Trial-evaluation concurrency of the Algorithm-1 flows (Camad/Ours);
+  /// 0 = auto (HLTS_THREADS, else hardware_concurrency).  Bit-identical
+  /// results for every value; see SynthesisParams::num_threads.
+  int num_threads = 0;
+  /// Cross-iteration dE/dH reuse for the Algorithm-1 flows; off by default
+  /// so the paper tables stay exact (see SynthesisParams::trial_cache).
+  bool trial_cache = false;
   cost::ModuleLibrary library = cost::ModuleLibrary::standard();
 };
 

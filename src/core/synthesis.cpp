@@ -1,33 +1,180 @@
 #include "core/synthesis.hpp"
 
 #include <algorithm>
-#include <set>
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
 
 #include "sched/schedule.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
+#include "util/thread_pool.hpp"
 
 namespace hlts::core {
 
 namespace {
 
-/// Sources/destinations of a data-path node (ignoring ports' step labels).
-void neighbour_sets(const etpn::DataPath& dp, etpn::DpNodeId n,
-                    std::set<std::uint32_t>& sources,
-                    std::set<std::uint32_t>& dests) {
+/// Sorted, deduplicated source/destination node ids of a data-path node
+/// (ignoring ports' step labels).  Sorted vectors instead of std::set: the
+/// closeness score runs O(modules^2 + regs^2) times per iteration, and a
+/// linear merge over two small sorted vectors beats four heap-allocated
+/// sets per pair.
+struct NeighbourLists {
+  std::vector<std::uint32_t> sources, dests;
+};
+
+NeighbourLists neighbour_lists(const etpn::DataPath& dp, etpn::DpNodeId n) {
+  NeighbourLists out;
+  out.sources.reserve(dp.node(n).in_arcs.size());
+  out.dests.reserve(dp.node(n).out_arcs.size());
   for (etpn::DpArcId a : dp.node(n).in_arcs) {
-    sources.insert(dp.arc(a).from.value());
+    out.sources.push_back(dp.arc(a).from.value());
   }
   for (etpn::DpArcId a : dp.node(n).out_arcs) {
-    dests.insert(dp.arc(a).to.value());
+    out.dests.push_back(dp.arc(a).to.value());
   }
+  for (auto* v : {&out.sources, &out.dests}) {
+    std::sort(v->begin(), v->end());
+    v->erase(std::unique(v->begin(), v->end()), v->end());
+  }
+  return out;
 }
 
-int shared_count(const std::set<std::uint32_t>& a,
-                 const std::set<std::uint32_t>& b) {
+int shared_count(const std::vector<std::uint32_t>& a,
+                 const std::vector<std::uint32_t>& b) {
   int n = 0;
-  for (std::uint32_t x : a) n += b.count(x) ? 1 : 0;
+  auto ia = a.begin();
+  auto ib = b.begin();
+  while (ia != a.end() && ib != b.end()) {
+    if (*ia < *ib) {
+      ++ia;
+    } else if (*ib < *ia) {
+      ++ib;
+    } else {
+      ++n;
+      ++ia;
+      ++ib;
+    }
+  }
   return n;
+}
+
+bool sorted_contains(const std::vector<std::uint32_t>& v, std::uint32_t x) {
+  return std::binary_search(v.begin(), v.end(), x);
+}
+
+int closeness(const NeighbourLists& n1, etpn::DpNodeId id1,
+              const NeighbourLists& n2, etpn::DpNodeId id2) {
+  // Shared sources/destinations save multiplexer inputs and wires; a
+  // direct connection between the two nodes is "closeness" as well.
+  int score = shared_count(n1.sources, n2.sources) +
+              shared_count(n1.dests, n2.dests);
+  if (sorted_contains(n1.dests, id2.value()) ||
+      sorted_contains(n2.dests, id1.value())) {
+    ++score;
+  }
+  return score;
+}
+
+/// Canonical cache key of one candidate pair: kind plus the two binding
+/// group ids in ascending order.  Group ids are stable across mergers
+/// (merged-away groups become tombstones), so a key keeps naming the same
+/// two groups until one of them is committed into a merger -- which is
+/// exactly when the entry is invalidated.
+struct TrialKey {
+  testability::MergeCandidate::Kind kind =
+      testability::MergeCandidate::Kind::Modules;
+  std::uint32_t a = 0, b = 0;
+
+  friend bool operator==(const TrialKey&, const TrialKey&) = default;
+};
+
+TrialKey make_key(const testability::MergeCandidate& c) {
+  TrialKey key;
+  key.kind = c.kind;
+  if (c.kind == testability::MergeCandidate::Kind::Modules) {
+    key.a = c.module_a.value();
+    key.b = c.module_b.value();
+  } else {
+    key.a = c.reg_a.value();
+    key.b = c.reg_b.value();
+  }
+  if (key.a > key.b) std::swap(key.a, key.b);
+  return key;
+}
+
+struct TrialKeyHash {
+  std::size_t operator()(const TrialKey& k) const noexcept {
+    std::uint64_t h = (std::uint64_t{k.a} << 33) ^ (std::uint64_t{k.b} << 1) ^
+                      static_cast<std::uint64_t>(k.kind);
+    h ^= h >> 33;
+    h *= 0xff51afd7ed558ccdULL;
+    h ^= h >> 33;
+    return static_cast<std::size_t>(h);
+  }
+};
+
+/// Cached outcome of one trial: feasibility and the dE/dH measured against
+/// the baseline that was current when the trial ran.  dE/dH of a merger are
+/// (to first order) properties of the pair itself, so they stay accurate
+/// for pairs the committed merger did not touch.
+struct CachedTrial {
+  bool feasible = false;
+  double delta_e = 0;
+  double delta_h = 0;
+};
+
+using TrialCache = std::unordered_map<TrialKey, CachedTrial, TrialKeyHash>;
+
+/// One fully evaluated trial (the expensive path): binding copy ->
+/// reschedule -> ETPN rebuild -> floorplan cost estimate.
+struct TrialEval {
+  bool feasible = false;
+  etpn::Binding binding;
+  sched::Schedule schedule;
+  int exec_time = 0;
+  double hw_cost = 0;
+};
+
+TrialEval evaluate_trial(const dfg::Dfg& g, const SynthesisParams& p,
+                         const etpn::Binding& base,
+                         const sched::Schedule& hint,
+                         const testability::MergeCandidate& cand,
+                         int max_latency) {
+  TrialEval t;
+  t.binding = base;
+  if (cand.kind == testability::MergeCandidate::Kind::Modules) {
+    t.binding.merge_modules(g, cand.module_a, cand.module_b);
+  } else {
+    t.binding.merge_regs(cand.reg_a, cand.reg_b);
+  }
+  ReschedOutcome r = reschedule(g, t.binding, hint, p.order);
+  if (!r.feasible || r.schedule.length() > max_latency) return t;
+  t.feasible = true;
+  t.schedule = std::move(r.schedule);
+  t.exec_time = t.schedule.length();
+  etpn::Etpn trial_etpn = etpn::build_etpn(g, t.schedule, t.binding);
+  t.hw_cost =
+      cost::estimate_cost(trial_etpn.data_path, p.library, p.bits).total();
+  return t;
+}
+
+/// Per-candidate knowledge within one iteration.
+struct Outcome {
+  enum class State { Unknown, Cached, Fresh } state = State::Unknown;
+  bool feasible = false;
+  double delta_e = 0, delta_h = 0, delta_c = 0;
+  TrialEval eval;  ///< populated when state == Fresh and feasible
+};
+
+std::string candidate_description(const dfg::Dfg& g, const etpn::Binding& b,
+                                  const testability::MergeCandidate& c) {
+  if (c.kind == testability::MergeCandidate::Kind::Modules) {
+    return "merge modules [" + b.module_label(g, c.module_a) + " | " +
+           b.module_label(g, c.module_b) + "]";
+  }
+  return "merge registers [" + b.reg_label(g, c.reg_a) + " | " +
+         b.reg_label(g, c.reg_b) + "]";
 }
 
 }  // namespace
@@ -37,18 +184,11 @@ std::vector<testability::MergeCandidate> select_connectivity_candidates(
   std::vector<testability::MergeCandidate> candidates;
   const etpn::DataPath& dp = e.data_path;
 
-  auto closeness = [&](etpn::DpNodeId n1, etpn::DpNodeId n2) {
-    std::set<std::uint32_t> s1, d1, s2, d2;
-    neighbour_sets(dp, n1, s1, d1);
-    neighbour_sets(dp, n2, s2, d2);
-    // Shared sources/destinations save multiplexer inputs and wires; a
-    // direct connection between the two nodes is "closeness" as well.
-    int score = shared_count(s1, s2) + shared_count(d1, d2);
-    if (d1.count(n2.value()) || d2.count(n1.value())) ++score;
-    return score;
-  };
-
   std::vector<etpn::ModuleId> modules = b.alive_modules();
+  std::vector<NeighbourLists> mod_nb(modules.size());
+  for (std::size_t i = 0; i < modules.size(); ++i) {
+    mod_nb[i] = neighbour_lists(dp, e.module_node[modules[i]]);
+  }
   for (std::size_t i = 0; i < modules.size(); ++i) {
     for (std::size_t j = i + 1; j < modules.size(); ++j) {
       if (!b.can_merge_modules(g, modules[i], modules[j])) continue;
@@ -56,11 +196,16 @@ std::vector<testability::MergeCandidate> select_connectivity_candidates(
       c.kind = testability::MergeCandidate::Kind::Modules;
       c.module_a = modules[i];
       c.module_b = modules[j];
-      c.score = closeness(e.module_node[modules[i]], e.module_node[modules[j]]);
+      c.score = closeness(mod_nb[i], e.module_node[modules[i]], mod_nb[j],
+                          e.module_node[modules[j]]);
       candidates.push_back(c);
     }
   }
   std::vector<etpn::RegId> regs = b.alive_regs();
+  std::vector<NeighbourLists> reg_nb(regs.size());
+  for (std::size_t i = 0; i < regs.size(); ++i) {
+    reg_nb[i] = neighbour_lists(dp, e.reg_node[regs[i]]);
+  }
   for (std::size_t i = 0; i < regs.size(); ++i) {
     for (std::size_t j = i + 1; j < regs.size(); ++j) {
       if (!b.can_merge_regs(regs[i], regs[j])) continue;
@@ -71,7 +216,8 @@ std::vector<testability::MergeCandidate> select_connectivity_candidates(
       c.kind = testability::MergeCandidate::Kind::Registers;
       c.reg_a = regs[i];
       c.reg_b = regs[j];
-      c.score = closeness(e.reg_node[regs[i]], e.reg_node[regs[j]]);
+      c.score = closeness(reg_nb[i], e.reg_node[regs[i]], reg_nb[j],
+                          e.reg_node[regs[j]]);
       candidates.push_back(c);
     }
   }
@@ -88,6 +234,7 @@ std::vector<testability::MergeCandidate> select_connectivity_candidates(
 SynthesisResult integrated_synthesis(const dfg::Dfg& g,
                                      const SynthesisParams& p) {
   HLTS_REQUIRE(p.k >= 1, "synthesis: k must be >= 1");
+  HLTS_REQUIRE(p.num_threads >= 0, "synthesis: num_threads must be >= 0");
   g.validate();
 
   SynthesisResult result;
@@ -99,6 +246,19 @@ SynthesisResult integrated_synthesis(const dfg::Dfg& g,
   etpn::Etpn e = etpn::build_etpn(g, result.schedule, result.binding);
   result.exec_time = result.schedule.length();
   result.cost = cost::estimate_cost(e.data_path, p.library, p.bits);
+
+  // One pool for the whole run, reused across iterations.  Everything that
+  // follows is bit-identical for any thread count: trials are evaluated
+  // independently, wave boundaries depend only on the (deterministic)
+  // ranking and cache state, and the reduction walks candidates in rank
+  // order with the same comparison the serial loop uses.
+  const std::size_t threads = p.num_threads > 0
+                                  ? static_cast<std::size_t>(p.num_threads)
+                                  : util::ThreadPool::default_threads();
+  std::optional<util::ThreadPool> pool;
+  if (threads > 1) pool.emplace(threads);
+
+  TrialCache cache;
 
   for (int iter = 0; iter < p.max_iterations; ++iter) {
     // Steps 4-6: testability analysis, then candidate pairs ranked by the
@@ -117,44 +277,91 @@ SynthesisResult integrated_synthesis(const dfg::Dfg& g,
             : select_connectivity_candidates(g, result.binding, e, all);
     if (ranking.empty()) break;
 
-    // Steps 7-11: estimate dE/dH for the k feasible pairs, pick smallest dC.
-    struct Trial {
-      etpn::Binding binding;
-      sched::Schedule schedule;
-      double delta_e = 0, delta_h = 0, delta_c = 0;
-      int exec_time = 0;
-      double hw_cost = 0;
-      std::string description;
-    };
-    std::optional<Trial> best;
-    int feasible_seen = 0;
-    for (const auto& cand : ranking) {
-      if (feasible_seen >= p.k) break;
-      Trial t;
-      t.binding = result.binding;
-      if (cand.kind == testability::MergeCandidate::Kind::Modules) {
-        t.description = "merge modules [" +
-                        t.binding.module_label(g, cand.module_a) + " | " +
-                        t.binding.module_label(g, cand.module_b) + "]";
-        t.binding.merge_modules(g, cand.module_a, cand.module_b);
-      } else {
-        t.description = "merge registers [" +
-                        t.binding.reg_label(g, cand.reg_a) + " | " +
-                        t.binding.reg_label(g, cand.reg_b) + "]";
-        t.binding.merge_regs(cand.reg_a, cand.reg_b);
+    const double base_exec = static_cast<double>(result.exec_time);
+    const double base_hw = result.cost.total();
+
+    std::vector<Outcome> outcomes(ranking.size());
+    if (p.trial_cache) {
+      for (std::size_t i = 0; i < ranking.size(); ++i) {
+        auto it = cache.find(make_key(ranking[i]));
+        if (it == cache.end()) continue;
+        Outcome& o = outcomes[i];
+        o.state = Outcome::State::Cached;
+        o.feasible = it->second.feasible;
+        o.delta_e = it->second.delta_e;
+        o.delta_h = it->second.delta_h;
+        o.delta_c = p.alpha * o.delta_e + p.beta * o.delta_h;
       }
-      ReschedOutcome r = reschedule(g, t.binding, result.schedule, p.order);
-      if (!r.feasible || r.schedule.length() > max_latency) continue;
-      ++feasible_seen;
-      t.schedule = r.schedule;
-      t.exec_time = t.schedule.length();
-      etpn::Etpn trial_etpn = etpn::build_etpn(g, t.schedule, t.binding);
-      t.hw_cost =
-          cost::estimate_cost(trial_etpn.data_path, p.library, p.bits).total();
-      t.delta_e = static_cast<double>(t.exec_time - result.exec_time);
-      t.delta_h = (t.hw_cost - result.cost.total()) / kAreaUnit;
-      t.delta_c = p.alpha * t.delta_e + p.beta * t.delta_h;
-      if (!best || t.delta_c < best->delta_c - 1e-12) best = std::move(t);
+    }
+
+    // Evaluates ranking[i] for real and records it in outcomes + cache.
+    auto evaluate_at = [&](std::size_t i) {
+      Outcome& o = outcomes[i];
+      o.eval = evaluate_trial(g, p, result.binding, result.schedule,
+                              ranking[i], max_latency);
+      o.state = Outcome::State::Fresh;
+      o.feasible = o.eval.feasible;
+      if (o.feasible) {
+        o.delta_e = static_cast<double>(o.eval.exec_time) - base_exec;
+        o.delta_h = (o.eval.hw_cost - base_hw) / kAreaUnit;
+        o.delta_c = p.alpha * o.delta_e + p.beta * o.delta_h;
+      }
+    };
+    auto remember = [&](std::size_t i) {
+      if (!p.trial_cache) return;
+      const Outcome& o = outcomes[i];
+      cache[make_key(ranking[i])] =
+          CachedTrial{o.feasible, o.delta_e, o.delta_h};
+    };
+
+    // Steps 7-11: resolve the first k feasible candidates in rank order,
+    // fanning unresolved trials out across the pool, then pick the smallest
+    // dC.  Cached outcomes only rank; a cached winner is re-evaluated fresh
+    // before commitment (and the selection re-run on its exact numbers), so
+    // the committed schedule/binding always reflects the current state.
+    std::optional<std::size_t> winner;
+    for (;;) {
+      std::vector<std::size_t> chosen;
+      std::vector<std::size_t> wave;
+      for (std::size_t i = 0;
+           i < ranking.size() && chosen.size() < static_cast<std::size_t>(p.k);
+           ++i) {
+        const Outcome& o = outcomes[i];
+        if (o.state == Outcome::State::Unknown) {
+          wave.push_back(i);
+          // Enough unresolved trials that, were they all feasible, the
+          // prefix would fill k: evaluate before scanning further.
+          if (chosen.size() + wave.size() >= static_cast<std::size_t>(p.k)) {
+            break;
+          }
+        } else if (o.feasible) {
+          chosen.push_back(i);
+        }
+      }
+      if (!wave.empty()) {
+        if (pool) {
+          pool->parallel_for(wave.size(),
+                             [&](std::size_t w) { evaluate_at(wave[w]); });
+        } else {
+          for (std::size_t w = 0; w < wave.size(); ++w) evaluate_at(wave[w]);
+        }
+        for (std::size_t i : wave) remember(i);
+        continue;  // re-scan with the new knowledge
+      }
+
+      if (chosen.empty()) break;  // no feasible merger at all
+      std::size_t best = chosen.front();
+      for (std::size_t i : chosen) {
+        if (outcomes[i].delta_c < outcomes[best].delta_c - 1e-12) best = i;
+      }
+      if (outcomes[best].state == Outcome::State::Fresh) {
+        winner = best;
+        break;
+      }
+      // Cached winner: replace the estimate with a fresh evaluation and
+      // re-run the selection on exact numbers.
+      evaluate_at(best);
+      remember(best);
     }
 
     // Step 15: "until no merger exists".  dC selects *which* merger to
@@ -162,21 +369,37 @@ SynthesisResult integrated_synthesis(const dfg::Dfg& g,
     // merged at all within the latency budget (mergers monotonically shrink
     // the candidate space, so this always terminates).  The cost-driven
     // variant additionally stops when the best candidate no longer pays.
-    if (!best) break;
-    if (p.require_improvement && best->delta_c >= -1e-12) break;
+    if (!winner) break;
+    Outcome& win = outcomes[*winner];
+    if (p.require_improvement && win.delta_c >= -1e-12) break;
 
     // Steps 12-14: commit the merger.
-    result.binding = std::move(best->binding);
-    result.schedule = std::move(best->schedule);
-    result.exec_time = best->exec_time;
+    const testability::MergeCandidate& cand = ranking[*winner];
+    std::string description =
+        candidate_description(g, result.binding, cand);
+    if (p.trial_cache) {
+      // Drop every cached trial that touches one of the committed pair's
+      // binding groups: the surviving group changed content and the other
+      // became a tombstone.  Disjoint pairs keep their dE/dH.
+      const TrialKey committed = make_key(cand);
+      std::erase_if(cache, [&](const auto& kv) {
+        const TrialKey& k = kv.first;
+        return k.kind == committed.kind &&
+               (k.a == committed.a || k.a == committed.b ||
+                k.b == committed.a || k.b == committed.b);
+      });
+    }
+    result.binding = std::move(win.eval.binding);
+    result.schedule = std::move(win.eval.schedule);
+    result.exec_time = win.eval.exec_time;
     e = etpn::build_etpn(g, result.schedule, result.binding);
     result.cost = cost::estimate_cost(e.data_path, p.library, p.bits);
     testability::TestabilityAnalysis post(e.data_path);
     IterationRecord rec;
-    rec.description = best->description;
-    rec.delta_e = best->delta_e;
-    rec.delta_h = best->delta_h;
-    rec.delta_c = best->delta_c;
+    rec.description = std::move(description);
+    rec.delta_e = win.delta_e;
+    rec.delta_h = win.delta_h;
+    rec.delta_c = win.delta_c;
     rec.exec_time = result.exec_time;
     rec.hw_cost = result.cost.total();
     rec.registers = result.binding.num_alive_regs();

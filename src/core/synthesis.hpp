@@ -58,6 +58,24 @@ struct SynthesisParams {
   /// baseline).  When false -- the paper's Algorithm 1 -- merging continues
   /// until no feasible merger exists, with dC only ranking the candidates.
   bool require_improvement = false;
+  /// Concurrency of the per-iteration trial evaluation (binding copy ->
+  /// reschedule -> ETPN rebuild -> cost estimate): 0 means
+  /// util::ThreadPool::default_threads() (the HLTS_THREADS environment
+  /// variable, else std::thread::hardware_concurrency()); 1 forces the
+  /// serial path.  The result is bit-identical for every value -- trials
+  /// are independent and the reduction is deterministic (smallest dC, ties
+  /// broken by candidate rank).
+  int num_threads = 0;
+  /// Cross-iteration trial cache: candidate pairs untouched by the
+  /// committed merger keep their estimated dE/dH for the next iteration
+  /// instead of paying a fresh reschedule + cost estimate (1.7-2x on EWF).
+  /// Cached values only *rank* candidates; the winning merger is always
+  /// re-evaluated fresh before it is committed, so every committed
+  /// schedule/binding is exact.  Invalidation is by binding-group
+  /// intersection with the committed pair.  Off by default: the stale
+  /// dE/dH ranking can pick a different (near-tie) merger than exact
+  /// Algorithm 1, and the default must reproduce the paper's tables.
+  bool trial_cache = false;
 };
 
 /// Scale of the dH term: hardware cost differences are expressed in units

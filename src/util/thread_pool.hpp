@@ -1,0 +1,93 @@
+// Fixed-size reusable thread pool with a parallel_for/parallel_map API.
+//
+// Built for Algorithm 1's trial fan-out and the fault simulator's batch
+// fan-out: many short-to-medium independent tasks, issued by one caller
+// that blocks until all of them finish.  No work stealing -- workers pull
+// indices from a shared atomic cursor, which is enough when tasks are
+// coarse and their count is small.
+//
+// Concurrency contract:
+//  - `parallel_for(n, fn)` runs fn(0..n-1) exactly once each and returns
+//    after all calls finished.  The calling thread participates, so a pool
+//    constructed with `threads = t` spawns t-1 workers and `threads = 1`
+//    spawns none (the loop then runs inline, bit-identical to a plain for).
+//  - Exceptions thrown by fn are caught and the one from the *lowest* index
+//    is rethrown in the caller once the job drains, so error reporting does
+//    not depend on thread scheduling.
+//  - Calls are serialized: concurrent parallel_for calls from different
+//    threads queue behind each other; a nested call from inside a worker
+//    task of the same pool runs inline (no deadlock).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hlts::util {
+
+class ThreadPool {
+ public:
+  /// `threads` is the total concurrency including the calling thread;
+  /// 0 means default_threads().
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total concurrency (workers + the participating caller).
+  [[nodiscard]] std::size_t size() const { return workers_.size() + 1; }
+
+  /// Runs fn(i) for every i in [0, n), blocking until all complete.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// parallel_for that collects fn(i) into a vector, in index order.
+  template <typename T, typename F>
+  [[nodiscard]] std::vector<T> parallel_map(std::size_t n, F&& fn) {
+    std::vector<T> out(n);
+    parallel_for(n, [&](std::size_t i) { out[i] = fn(i); });
+    return out;
+  }
+
+  /// Thread count used when a caller asks for "auto": the HLTS_THREADS
+  /// environment variable when set to a positive integer, otherwise
+  /// std::thread::hardware_concurrency(), never less than 1.
+  [[nodiscard]] static std::size_t default_threads();
+
+  /// Process-wide shared pool sized default_threads().
+  [[nodiscard]] static ThreadPool& global();
+
+ private:
+  void worker_loop();
+  /// Pulls indices from next_ and executes them; used by workers and the
+  /// caller alike.  Returns the number of indices executed.
+  void run_indices(const std::function<void(std::size_t)>& fn, std::size_t n);
+
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable work_cv_;  // workers wait here for a job
+  std::condition_variable done_cv_;  // the caller waits here for completion
+
+  // Current job, guarded by mutex_ (next_ is the lock-free cursor).
+  const std::function<void(std::size_t)>* job_ = nullptr;
+  std::size_t job_n_ = 0;
+  std::uint64_t generation_ = 0;
+  std::atomic<std::size_t> next_{0};
+  std::size_t done_ = 0;            // indices finished
+  std::size_t active_workers_ = 0;  // workers inside run_indices
+  std::exception_ptr error_;
+  std::size_t error_index_ = 0;
+  bool stop_ = false;
+
+  // Serializes whole jobs so the pool can be shared between callers.
+  std::mutex submit_mutex_;
+};
+
+}  // namespace hlts::util
