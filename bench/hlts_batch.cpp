@@ -1,0 +1,231 @@
+// Batch driver for the paper's full evaluation grid: the four benchmarks of
+// §5 (Ex, DCT, Diffeq, EWF) x the four synthesis flows, run concurrently
+// through engine::Engine and written out as one machine-readable JSON
+// report (per-job results, per-job trace spans/counters, engine metrics).
+//
+//   hlts_batch [--jobs N] [--threads N] [--bits N] [--out FILE]
+//              [--verify-serial]
+//
+// --jobs / --threads control the engine's two-level split (0 = auto);
+// --verify-serial re-runs every job through a direct core::run_flow call
+// and checks the engine result is bit-identical (exit 1 on any mismatch).
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "benchmarks/benchmarks.hpp"
+#include "core/flows.hpp"
+#include "engine/engine.hpp"
+#include "util/json.hpp"
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace hlts;
+
+bool bits_equal(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+/// Bit-identical comparison of two flow results (the engine's determinism
+/// contract: same schedule, binding-derived counts, and cost bit patterns).
+bool identical(const core::FlowResult& a, const core::FlowResult& b) {
+  return a.exec_time == b.exec_time && a.registers == b.registers &&
+         a.modules == b.modules && a.muxes == b.muxes &&
+         a.self_loops == b.self_loops &&
+         bits_equal(a.cost.total(), b.cost.total()) &&
+         bits_equal(a.balance_index, b.balance_index) &&
+         a.schedule == b.schedule &&
+         a.module_allocation == b.module_allocation &&
+         a.register_allocation == b.register_allocation;
+}
+
+void write_snapshot(util::JsonWriter& w, const util::TraceSnapshot& snap) {
+  w.begin_object();
+  w.key("spans").begin_array();
+  for (const util::SpanRecord& s : snap.spans) {
+    w.begin_object();
+    w.key("name").value(s.name);
+    w.key("start_us").value(static_cast<std::int64_t>(s.start_us));
+    w.key("dur_us").value(static_cast<std::int64_t>(s.dur_us));
+    w.end_object();
+  }
+  w.end_array();
+  w.key("counters").begin_object();
+  for (const auto& [name, value] : snap.counters) {
+    w.key(name).value(value);
+  }
+  w.end_object();
+  w.end_object();
+}
+
+int usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " [--jobs N] [--threads N] [--bits N] [--out FILE]"
+               " [--verify-serial]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int jobs = 0;
+  int threads = 0;
+  int bits = 8;
+  std::string out_path = "hlts_batch_report.json";
+  bool verify_serial = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next_int = [&](int& dst) {
+      if (i + 1 >= argc) return false;
+      try {
+        dst = std::stoi(argv[++i]);
+      } catch (const std::exception&) {
+        std::cerr << arg << ": expected a number, got '" << argv[i] << "'\n";
+        return false;
+      }
+      return true;
+    };
+    if (arg == "--jobs") {
+      if (!next_int(jobs)) return usage(argv[0]);
+    } else if (arg == "--threads") {
+      if (!next_int(threads)) return usage(argv[0]);
+    } else if (arg == "--bits") {
+      if (!next_int(bits)) return usage(argv[0]);
+    } else if (arg == "--out") {
+      if (i + 1 >= argc) return usage(argv[0]);
+      out_path = argv[++i];
+    } else if (arg == "--verify-serial") {
+      verify_serial = true;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+
+  const std::vector<std::string> bench_names = {"ex", "dct", "diffeq", "ewf"};
+  const std::vector<core::FlowKind> kinds = {
+      core::FlowKind::Camad, core::FlowKind::Approach1,
+      core::FlowKind::Approach2, core::FlowKind::Ours};
+
+  struct JobMeta {
+    std::string benchmark;
+    core::FlowKind kind;
+    dfg::Dfg dfg;
+  };
+  std::vector<JobMeta> meta;
+  std::vector<engine::FlowRequest> requests;
+  for (const std::string& bench : bench_names) {
+    dfg::Dfg g = benchmarks::make_benchmark(bench);
+    for (core::FlowKind kind : kinds) {
+      engine::FlowRequest r;
+      r.name = bench + "/" + core::flow_name(kind);
+      r.kind = kind;
+      r.dfg = g;
+      r.params = bench::paper_params(bits);
+      requests.push_back(std::move(r));
+      meta.push_back({bench, kind, g});
+    }
+  }
+
+  engine::Engine eng({.max_concurrent_jobs = jobs, .threads_per_job = threads});
+  std::cout << "hlts_batch: " << requests.size() << " jobs ("
+            << bench_names.size() << " benchmarks x " << kinds.size()
+            << " flows), " << eng.max_concurrent_jobs() << " concurrent x "
+            << eng.threads_per_job() << " trial threads, " << bits
+            << "-bit datapath\n";
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<engine::JobPtr> handles = eng.submit_batch(std::move(requests));
+  eng.wait_all();
+  const double total_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                t0)
+          .count();
+
+  int failures = 0;
+  int mismatches = 0;
+  util::JsonWriter w;
+  w.begin_object();
+  w.key("config").begin_object();
+  w.key("jobs").value(eng.max_concurrent_jobs());
+  w.key("threads_per_job").value(eng.threads_per_job());
+  w.key("bits").value(bits);
+  w.key("verify_serial").value(verify_serial);
+  w.end_object();
+  w.key("jobs").begin_array();
+  for (std::size_t i = 0; i < handles.size(); ++i) {
+    const engine::JobPtr& job = handles[i];
+    w.begin_object();
+    w.key("name").value(job->name());
+    w.key("benchmark").value(meta[i].benchmark);
+    w.key("flow").value(core::flow_name(meta[i].kind));
+    w.key("state").value(engine::job_state_name(job->state()));
+    w.key("wall_ms").value(job->wall_ms());
+    w.key("iterations")
+        .value(static_cast<std::int64_t>(job->progress().size()));
+    if (job->state() == engine::JobState::Succeeded) {
+      const core::FlowResult& r = *job->result();
+      w.key("result").begin_object();
+      w.key("exec_time").value(r.exec_time);
+      w.key("registers").value(r.registers);
+      w.key("modules").value(r.modules);
+      w.key("muxes").value(r.muxes);
+      w.key("self_loops").value(r.self_loops);
+      w.key("area").value(r.cost.total());
+      w.key("balance_index").value(r.balance_index);
+      w.key("module_allocation").begin_array();
+      for (const std::string& s : r.module_allocation) w.value(s);
+      w.end_array();
+      w.key("register_allocation").begin_array();
+      for (const std::string& s : r.register_allocation) w.value(s);
+      w.end_array();
+      w.end_object();
+      if (verify_serial) {
+        core::FlowResult serial =
+            core::run_flow(meta[i].kind, meta[i].dfg, bench::paper_params(bits));
+        const bool same = identical(serial, r);
+        w.key("verify").value(same ? "identical" : "mismatch");
+        if (!same) {
+          ++mismatches;
+          std::cerr << "MISMATCH vs serial run_flow: " << job->name() << "\n";
+        }
+      }
+    } else {
+      ++failures;
+      w.key("error").value(job->error());
+      std::cerr << "job " << job->name() << " "
+                << engine::job_state_name(job->state()) << ": " << job->error()
+                << "\n";
+    }
+    w.key("trace");
+    write_snapshot(w, job->trace());
+    w.end_object();
+  }
+  w.end_array();
+  w.key("engine");
+  write_snapshot(w, eng.metrics());
+  w.key("wall_ms_total").value(total_ms);
+  w.end_object();
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::cerr << "cannot write " << out_path << "\n";
+    return 1;
+  }
+  out << w.str() << "\n";
+
+  std::cout << "hlts_batch: " << handles.size() - failures << "/"
+            << handles.size() << " jobs succeeded in " << total_ms
+            << " ms; report: " << out_path << "\n";
+  if (verify_serial) {
+    std::cout << "hlts_batch: serial verification "
+              << (mismatches == 0 ? "passed (all bit-identical)"
+                                  : "FAILED")
+              << "\n";
+  }
+  return (failures == 0 && mismatches == 0) ? 0 : 1;
+}

@@ -5,6 +5,10 @@
 //   ./custom_spec [path-to-spec]
 //
 // Without an argument, a built-in second-order IIR filter section is used.
+// The example shows both front-end entry points: compile_or_error() for
+// untrusted input (a file from the command line -- malformed text becomes a
+// Diagnostic with line/column, not an exception) and the throwing compile()
+// for the known-good built-in spec.
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -35,7 +39,7 @@ design biquad {
 int main(int argc, char** argv) {
   using namespace hlts;
 
-  std::string source = kDefaultSpec;
+  dfg::Dfg g;
   if (argc > 1) {
     std::ifstream in(argv[1]);
     if (!in) {
@@ -44,10 +48,23 @@ int main(int argc, char** argv) {
     }
     std::ostringstream buffer;
     buffer << in.rdbuf();
-    source = buffer.str();
+    // User-supplied specs go through the non-throwing entry point: a syntax
+    // or semantic error is reported with its source position and a clean
+    // exit instead of an unhandled exception.
+    frontend::CompileResult compiled = frontend::compile_or_error(buffer.str());
+    if (!compiled) {
+      std::cerr << argv[1];
+      if (compiled.error.line > 0) {
+        std::cerr << ":" << compiled.error.line << ":" << compiled.error.column;
+      }
+      std::cerr << ": " << compiled.error.message << "\n";
+      return 1;
+    }
+    g = std::move(*compiled.dfg);
+  } else {
+    // The built-in spec is known good, so the throwing compile() is fine.
+    g = frontend::compile(kDefaultSpec);
   }
-
-  dfg::Dfg g = frontend::compile(source);
   std::cout << "compiled design '" << g.name() << "': " << g.num_ops()
             << " operations, " << g.num_vars() << " variables, critical path "
             << g.critical_path_ops() << "\n\n";

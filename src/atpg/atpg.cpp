@@ -8,6 +8,7 @@
 #include "util/error.hpp"
 #include "util/log.hpp"
 #include "util/rng.hpp"
+#include "util/trace.hpp"
 
 namespace hlts::atpg {
 
@@ -55,6 +56,7 @@ int find_reset(const gates::Netlist& nl) {
 AtpgResult run_atpg(const gates::Netlist& nl, int period,
                     const AtpgOptions& options) {
   HLTS_REQUIRE(period >= 1, "controller period must be >= 1");
+  HLTS_SPAN("atpg.run");
   const auto t0 = std::chrono::steady_clock::now();
 
   AtpgResult result;
@@ -67,6 +69,9 @@ AtpgResult run_atpg(const gates::Netlist& nl, int period,
       options.sequence_cycles > 0 ? options.sequence_cycles : 2 * period;
   Rng rng(options.seed);
   FaultSimulator fsim(nl);
+
+  util::count("atpg.faults_total",
+              static_cast<std::int64_t>(result.total_faults));
 
   // --- random phase ----------------------------------------------------------
   int idle_rounds = 0;
@@ -89,9 +94,12 @@ AtpgResult run_atpg(const gates::Netlist& nl, int period,
     }
   }
   result.detected_random = result.total_faults - remaining.size();
+  util::count("atpg.detected_random",
+              static_cast<std::int64_t>(result.detected_random));
 
   // --- deterministic phase ----------------------------------------------------
   if (options.deterministic_phase && !remaining.empty()) {
+    HLTS_SPAN("atpg.podem_phase");
     const int frames =
         options.podem_frames > 0 ? options.podem_frames : 2 * period;
     TimeFramePodem podem(nl, frames);
@@ -126,6 +134,8 @@ AtpgResult run_atpg(const gates::Netlist& nl, int period,
     }
     result.detected_deterministic =
         result.total_faults - result.detected_random - remaining.size();
+    util::count("atpg.detected_deterministic",
+                static_cast<std::int64_t>(result.detected_deterministic));
   }
 
   // --- static compaction -------------------------------------------------------
@@ -133,6 +143,7 @@ AtpgResult run_atpg(const gates::Netlist& nl, int period,
     result.uncompacted_cycles += static_cast<long>(seq.size());
   }
   if (options.compact && !result.test_set.empty()) {
+    HLTS_SPAN("atpg.compaction");
     CompactionResult c = compact_test_set(nl, result.test_set, universe.faults());
     std::vector<TestSequence> kept;
     for (std::size_t i : c.kept) kept.push_back(std::move(result.test_set[i]));

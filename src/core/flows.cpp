@@ -4,6 +4,7 @@
 #include "sched/fds.hpp"
 #include "sched/mobility_path.hpp"
 #include "util/error.hpp"
+#include "util/trace.hpp"
 
 namespace hlts::core {
 
@@ -21,6 +22,7 @@ namespace {
 
 FlowResult finalize(FlowKind kind, const dfg::Dfg& g, sched::Schedule schedule,
                     etpn::Binding binding, const FlowParams& params) {
+  HLTS_SPAN("flow.finalize");  // ETPN rebuild + cost + testability metrics
   FlowResult r;
   r.kind = kind;
   r.name = flow_name(kind);
@@ -52,17 +54,11 @@ FlowResult finalize(FlowKind kind, const dfg::Dfg& g, sched::Schedule schedule,
 }  // namespace
 
 FlowResult run_flow(FlowKind kind, const dfg::Dfg& g, const FlowParams& params) {
+  util::ScopedSpan flow_span(flow_name(kind));
   switch (kind) {
     case FlowKind::Camad: {
       SynthesisParams p;
-      p.k = params.k;
-      p.alpha = params.alpha;
-      p.beta = params.beta;
-      p.bits = params.bits;
-      p.max_latency = params.max_latency;
-      p.num_threads = params.num_threads;
-      p.trial_cache = params.trial_cache;
-      p.library = params.library;
+      static_cast<AlgorithmOptions&>(p) = params;
       p.policy = SelectionPolicy::Connectivity;
       p.order = OrderStrategy::Plain;
       p.compat = etpn::ModuleCompat::AluClass;  // CAMAD's combined (+-) ALUs
@@ -74,28 +70,28 @@ FlowResult run_flow(FlowKind kind, const dfg::Dfg& g, const FlowParams& params) 
     case FlowKind::Approach1: {
       const int latency = params.max_latency > 0 ? params.max_latency
                                                  : g.critical_path_ops() + 1;
-      sched::Schedule s = sched::force_directed_schedule(g, {.latency = latency});
+      sched::Schedule s;
+      {
+        HLTS_SPAN("schedule.fds");
+        s = sched::force_directed_schedule(g, {.latency = latency});
+      }
       etpn::Binding b = alloc::allocate(g, s, {.lee_rules = false});
       return finalize(kind, g, std::move(s), std::move(b), params);
     }
     case FlowKind::Approach2: {
       const int latency = params.max_latency > 0 ? params.max_latency
                                                  : g.critical_path_ops() + 1;
-      sched::Schedule s =
-          sched::mobility_path_schedule(g, {.latency = latency});
+      sched::Schedule s;
+      {
+        HLTS_SPAN("schedule.mobility_path");
+        s = sched::mobility_path_schedule(g, {.latency = latency});
+      }
       etpn::Binding b = alloc::allocate(g, s, {.lee_rules = true});
       return finalize(kind, g, std::move(s), std::move(b), params);
     }
     case FlowKind::Ours: {
       SynthesisParams p;
-      p.k = params.k;
-      p.alpha = params.alpha;
-      p.beta = params.beta;
-      p.bits = params.bits;
-      p.max_latency = params.max_latency;
-      p.num_threads = params.num_threads;
-      p.trial_cache = params.trial_cache;
-      p.library = params.library;
+      static_cast<AlgorithmOptions&>(p) = params;
       p.policy = SelectionPolicy::BalanceTestability;
       p.order = OrderStrategy::Testability;
       SynthesisResult s = integrated_synthesis(g, p);

@@ -21,23 +21,9 @@ enum class FlowKind { Camad, Approach1, Approach2, Ours };
 
 [[nodiscard]] const char* flow_name(FlowKind kind);
 
-/// Parameters shared by all flows (Algorithm-1 knobs apply to Camad/Ours).
-struct FlowParams {
-  int bits = 8;
-  int k = 5;
-  double alpha = 2.0;
-  double beta = 1.0;
-  /// Latency budget shared by all flows; 0 = critical path + 1.
-  int max_latency = 0;
-  /// Trial-evaluation concurrency of the Algorithm-1 flows (Camad/Ours);
-  /// 0 = auto (HLTS_THREADS, else hardware_concurrency).  Bit-identical
-  /// results for every value; see SynthesisParams::num_threads.
-  int num_threads = 0;
-  /// Cross-iteration dE/dH reuse for the Algorithm-1 flows; off by default
-  /// so the paper tables stay exact (see SynthesisParams::trial_cache).
-  bool trial_cache = false;
-  cost::ModuleLibrary library = cost::ModuleLibrary::standard();
-};
+// FlowParams is the shared AlgorithmOptions knob set (see core/options.hpp);
+// SynthesisParams embeds the same struct, so the two APIs can no longer
+// drift apart.
 
 /// The uniform result record the benches print.
 struct FlowResult {

@@ -1,0 +1,81 @@
+// The single declaration of the Algorithm-1 knob set.
+//
+// `core::FlowParams` (the flow-level API) and `core::SynthesisParams` (the
+// algorithm-level API) used to declare k/alpha/beta/bits/max_latency/
+// num_threads/trial_cache/library twice and copy them by hand in flows.cpp;
+// AlgorithmOptions is the one shared struct both now embed.  FlowParams is
+// an alias of it (it carried exactly these fields), which keeps designated
+// initializers like `run_flow(kind, g, {.bits = 4})` working; SynthesisParams
+// inherits it, so `p.k = ...` member access is unchanged and run_flow copies
+// the whole knob set with one slice assignment.  The engine's FlowRequest
+// carries a FlowParams, so every entry point shares this declaration.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <string>
+
+#include "cost/module_library.hpp"
+
+namespace hlts::core {
+
+/// One committed merger of Algorithm 1's trajectory.
+struct IterationRecord {
+  std::string description;  ///< e.g. "merge modules (*: N21 | *: N24)"
+  double delta_e = 0;       ///< relative execution-time change
+  double delta_h = 0;       ///< relative hardware-cost change
+  double delta_c = 0;       ///< alpha*dE + beta*dH
+  int exec_time = 0;        ///< schedule length after the merger
+  double hw_cost = 0;       ///< hardware cost after the merger
+  int registers = 0;
+  int modules = 0;
+  double balance_index = 0;  ///< testability balance after the merger
+};
+
+/// Knobs shared by all synthesis entry points (the Algorithm-1 parameters
+/// apply to the Camad/Ours flows; bits/max_latency/library to all four).
+struct AlgorithmOptions {
+  int bits = 8;        ///< data path width for the cost model
+  int k = 5;           ///< candidate pairs evaluated per iteration
+  double alpha = 2.0;  ///< weight of dE (control steps)
+  double beta = 1.0;   ///< weight of dH (units of 0.01 mm^2)
+  /// Latency budget: a merger whose rescheduled length exceeds this is
+  /// infeasible.  0 means "critical path + 1" (one control step of slack
+  /// for sharing, which is what the paper's schedules in Figs. 2-3 use).
+  int max_latency = 0;
+  /// Concurrency of the per-iteration trial evaluation (binding copy ->
+  /// reschedule -> ETPN rebuild -> cost estimate): 0 means
+  /// util::ThreadPool::default_threads() (the HLTS_THREADS environment
+  /// variable, else std::thread::hardware_concurrency()); 1 forces the
+  /// serial path.  The result is bit-identical for every value -- trials
+  /// are independent and the reduction is deterministic (smallest dC, ties
+  /// broken by candidate rank).
+  int num_threads = 0;
+  /// Cross-iteration trial cache: candidate pairs untouched by the
+  /// committed merger keep their estimated dE/dH for the next iteration
+  /// instead of paying a fresh reschedule + cost estimate (1.7-2x on EWF).
+  /// Cached values only *rank* candidates; the winning merger is always
+  /// re-evaluated fresh before it is committed, so every committed
+  /// schedule/binding is exact.  Off by default: the stale dE/dH ranking
+  /// can pick a different (near-tie) merger than exact Algorithm 1, and
+  /// the default must reproduce the paper's tables.
+  bool trial_cache = false;
+  cost::ModuleLibrary library = cost::ModuleLibrary::standard();
+
+  // --- run hooks (never influence the synthesized result) -----------------
+  /// Cooperative cancellation: when set and the pointee becomes true, the
+  /// Algorithm-1 merger loop stops at the next iteration boundary and the
+  /// partial (but fully consistent) design is returned.  The pointee may be
+  /// flipped from any thread.
+  const std::atomic<bool>* cancel = nullptr;
+  /// Progress streaming: called on the synthesizing thread after each
+  /// committed merger, with the iteration's record.  Combined with `cancel`
+  /// this bounds cancellation latency to one Algorithm-1 iteration.
+  std::function<void(const IterationRecord&)> on_iteration = nullptr;
+};
+
+/// Flow-level parameter set: exactly the shared knob set.  An alias rather
+/// than a wrapper so aggregate/designated initialization keeps working.
+using FlowParams = AlgorithmOptions;
+
+}  // namespace hlts::core

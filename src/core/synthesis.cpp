@@ -9,6 +9,7 @@
 #include "util/error.hpp"
 #include "util/log.hpp"
 #include "util/thread_pool.hpp"
+#include "util/trace.hpp"
 
 namespace hlts::core {
 
@@ -259,22 +260,38 @@ SynthesisResult integrated_synthesis(const dfg::Dfg& g,
   if (threads > 1) pool.emplace(threads);
 
   TrialCache cache;
+  // Trial evaluation fans out to pool workers, which do not inherit the
+  // caller's thread-local trace; counters go through this captured pointer
+  // (Trace is thread-safe) so worker-side work is still accounted.
+  util::Trace* trace = util::Trace::current();
 
   for (int iter = 0; iter < p.max_iterations; ++iter) {
+    // Cooperative cancellation, checked once per iteration: together with
+    // the on_iteration hook below this bounds a caller's cancel latency to
+    // one Algorithm-1 iteration.
+    if (p.cancel && p.cancel->load(std::memory_order_relaxed)) {
+      util::count("synth.cancelled");
+      break;
+    }
+    HLTS_SPAN("synth.iteration");
     // Steps 4-6: testability analysis, then candidate pairs ranked by the
     // policy.  "Select k pairs of mergable nodes": we walk the ranking in
     // order and keep the first k pairs that survive trial rescheduling, so
     // a small k concentrates the choice on the testability-best mergers
     // (the paper: "a small value of k means that more emphasis is placed on
     // improving the testability measure").
-    testability::TestabilityAnalysis analysis(e.data_path);
-    const int all = static_cast<int>(e.data_path.num_nodes() *
-                                     e.data_path.num_nodes());
-    std::vector<testability::MergeCandidate> ranking =
-        p.policy == SelectionPolicy::BalanceTestability
-            ? testability::select_balance_candidates(g, result.binding, e,
-                                                     analysis, all, p.balance)
-            : select_connectivity_candidates(g, result.binding, e, all);
+    std::vector<testability::MergeCandidate> ranking;
+    {
+      HLTS_SPAN("synth.candidates");
+      testability::TestabilityAnalysis analysis(e.data_path);
+      const int all = static_cast<int>(e.data_path.num_nodes() *
+                                       e.data_path.num_nodes());
+      ranking =
+          p.policy == SelectionPolicy::BalanceTestability
+              ? testability::select_balance_candidates(g, result.binding, e,
+                                                       analysis, all, p.balance)
+              : select_connectivity_candidates(g, result.binding, e, all);
+    }
     if (ranking.empty()) break;
 
     const double base_exec = static_cast<double>(result.exec_time);
@@ -285,6 +302,7 @@ SynthesisResult integrated_synthesis(const dfg::Dfg& g,
       for (std::size_t i = 0; i < ranking.size(); ++i) {
         auto it = cache.find(make_key(ranking[i]));
         if (it == cache.end()) continue;
+        if (trace) trace->add_counter("synth.cache_hits");
         Outcome& o = outcomes[i];
         o.state = Outcome::State::Cached;
         o.feasible = it->second.feasible;
@@ -296,6 +314,7 @@ SynthesisResult integrated_synthesis(const dfg::Dfg& g,
 
     // Evaluates ranking[i] for real and records it in outcomes + cache.
     auto evaluate_at = [&](std::size_t i) {
+      if (trace) trace->add_counter("synth.trials_evaluated");
       Outcome& o = outcomes[i];
       o.eval = evaluate_trial(g, p, result.binding, result.schedule,
                               ranking[i], max_latency);
@@ -320,6 +339,7 @@ SynthesisResult integrated_synthesis(const dfg::Dfg& g,
     // before commitment (and the selection re-run on its exact numbers), so
     // the committed schedule/binding always reflects the current state.
     std::optional<std::size_t> winner;
+    const std::uint64_t trials_start = trace ? trace->now_us() : 0;
     for (;;) {
       std::vector<std::size_t> chosen;
       std::vector<std::size_t> wave;
@@ -363,6 +383,10 @@ SynthesisResult integrated_synthesis(const dfg::Dfg& g,
       evaluate_at(best);
       remember(best);
     }
+    if (trace) {
+      trace->add_span("synth.trials", trials_start,
+                      trace->now_us() - trials_start);
+    }
 
     // Step 15: "until no merger exists".  dC selects *which* merger to
     // commit this iteration; termination happens only when no pair can be
@@ -374,6 +398,7 @@ SynthesisResult integrated_synthesis(const dfg::Dfg& g,
     if (p.require_improvement && win.delta_c >= -1e-12) break;
 
     // Steps 12-14: commit the merger.
+    HLTS_SPAN("synth.commit");
     const testability::MergeCandidate& cand = ranking[*winner];
     std::string description =
         candidate_description(g, result.binding, cand);
@@ -408,6 +433,8 @@ SynthesisResult integrated_synthesis(const dfg::Dfg& g,
     HLTS_DEBUG("iter " << iter << ": " << rec.description << " dC=" << rec.delta_c
                        << " E=" << rec.exec_time << " H=" << rec.hw_cost);
     result.trajectory.push_back(std::move(rec));
+    util::count("synth.mergers");
+    if (p.on_iteration) p.on_iteration(result.trajectory.back());
   }
 
   result.binding.validate(g);

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "cost/cost.hpp"
+#include "core/options.hpp"
 #include "core/resched.hpp"
 #include "etpn/etpn.hpp"
 #include "testability/balance.hpp"
@@ -36,21 +37,19 @@ enum class SelectionPolicy {
   Connectivity,
 };
 
-struct SynthesisParams {
-  int k = 3;           ///< candidate pairs evaluated per iteration
-  double alpha = 2.0;  ///< weight of dE (control steps)
-  double beta = 1.0;   ///< weight of dH (units of 0.01 mm^2)
-  int bits = 8;        ///< data path width for the cost model
-  /// Latency budget: a merger whose rescheduled length exceeds this is
-  /// infeasible.  0 means "critical path + 1" (one control step of slack
-  /// for sharing, which is what the paper's schedules in Figs. 2-3 use).
-  int max_latency = 0;
+/// Algorithm-level parameter set: the shared knob set (see options.hpp for
+/// its documentation) plus the policy switches that distinguish the paper's
+/// Algorithm 1 from the CAMAD baseline.
+struct SynthesisParams : AlgorithmOptions {
+  /// Direct algorithm-level runs default to a narrower candidate beam
+  /// (k = 3, the paper's §5 setting) than the flow-level default.
+  SynthesisParams() { k = 3; }
+
   SelectionPolicy policy = SelectionPolicy::BalanceTestability;
   OrderStrategy order = OrderStrategy::Testability;
   /// Module sharing rule: CAMAD merges add/sub/compare into combined (+-)
   /// ALUs; the Lee-style flows and ours keep kinds separate.
   etpn::ModuleCompat compat = etpn::ModuleCompat::ExactKind;
-  cost::ModuleLibrary library = cost::ModuleLibrary::standard();
   testability::BalanceOptions balance;
   int max_iterations = 10000;
   /// When true, the loop additionally stops as soon as no candidate
@@ -58,43 +57,12 @@ struct SynthesisParams {
   /// baseline).  When false -- the paper's Algorithm 1 -- merging continues
   /// until no feasible merger exists, with dC only ranking the candidates.
   bool require_improvement = false;
-  /// Concurrency of the per-iteration trial evaluation (binding copy ->
-  /// reschedule -> ETPN rebuild -> cost estimate): 0 means
-  /// util::ThreadPool::default_threads() (the HLTS_THREADS environment
-  /// variable, else std::thread::hardware_concurrency()); 1 forces the
-  /// serial path.  The result is bit-identical for every value -- trials
-  /// are independent and the reduction is deterministic (smallest dC, ties
-  /// broken by candidate rank).
-  int num_threads = 0;
-  /// Cross-iteration trial cache: candidate pairs untouched by the
-  /// committed merger keep their estimated dE/dH for the next iteration
-  /// instead of paying a fresh reschedule + cost estimate (1.7-2x on EWF).
-  /// Cached values only *rank* candidates; the winning merger is always
-  /// re-evaluated fresh before it is committed, so every committed
-  /// schedule/binding is exact.  Invalidation is by binding-group
-  /// intersection with the committed pair.  Off by default: the stale
-  /// dE/dH ranking can pick a different (near-tie) merger than exact
-  /// Algorithm 1, and the default must reproduce the paper's tables.
-  bool trial_cache = false;
 };
 
 /// Scale of the dH term: hardware cost differences are expressed in units
 /// of this many mm^2, so that alpha and beta trade off one control step
 /// against one small-module-sized piece of area.
 inline constexpr double kAreaUnit = 0.01;
-
-/// One committed merger.
-struct IterationRecord {
-  std::string description;  ///< e.g. "merge modules (*: N21 | *: N24)"
-  double delta_e = 0;       ///< relative execution-time change
-  double delta_h = 0;       ///< relative hardware-cost change
-  double delta_c = 0;       ///< alpha*dE + beta*dH
-  int exec_time = 0;        ///< schedule length after the merger
-  double hw_cost = 0;       ///< hardware cost after the merger
-  int registers = 0;
-  int modules = 0;
-  double balance_index = 0;  ///< testability balance after the merger
-};
 
 struct SynthesisResult {
   sched::Schedule schedule;

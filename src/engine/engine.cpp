@@ -1,0 +1,266 @@
+#include "engine/engine.hpp"
+
+#include <algorithm>
+
+#include "frontend/parser.hpp"
+#include "util/error.hpp"
+#include "util/thread_pool.hpp"
+
+namespace hlts::engine {
+
+namespace {
+
+bool is_terminal(JobState state) {
+  return state != JobState::Pending && state != JobState::Running;
+}
+
+}  // namespace
+
+const char* job_state_name(JobState state) {
+  switch (state) {
+    case JobState::Pending: return "pending";
+    case JobState::Running: return "running";
+    case JobState::Succeeded: return "succeeded";
+    case JobState::Failed: return "failed";
+    case JobState::Cancelled: return "cancelled";
+    case JobState::TimedOut: return "timed_out";
+  }
+  return "?";
+}
+
+// --- Job -------------------------------------------------------------------
+
+Job::Job(FlowRequest request, JobOptions options, std::string name)
+    : request_(std::move(request)),
+      options_(std::move(options)),
+      name_(std::move(name)) {}
+
+JobState Job::state() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return state_;
+}
+
+bool Job::finished() const { return is_terminal(state()); }
+
+void Job::cancel() { cancel_.store(true, std::memory_order_relaxed); }
+
+void Job::wait() const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [&] { return is_terminal(state_); });
+}
+
+bool Job::wait_for(std::chrono::milliseconds timeout) const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  return cv_.wait_for(lock, timeout, [&] { return is_terminal(state_); });
+}
+
+// The post-completion accessors return references without holding the lock:
+// every write to these fields happens-before the terminal state store that
+// finished() observes, and nothing writes them afterwards.
+const std::optional<core::FlowResult>& Job::result() const {
+  HLTS_REQUIRE(finished(), "Job::result() before the job finished");
+  return result_;
+}
+
+const std::string& Job::error() const {
+  HLTS_REQUIRE(finished(), "Job::error() before the job finished");
+  return error_;
+}
+
+const util::TraceSnapshot& Job::trace() const {
+  HLTS_REQUIRE(finished(), "Job::trace() before the job finished");
+  return trace_;
+}
+
+double Job::wall_ms() const {
+  HLTS_REQUIRE(finished(), "Job::wall_ms() before the job finished");
+  return wall_ms_;
+}
+
+std::vector<core::IterationRecord> Job::progress() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return progress_;
+}
+
+void Job::finish(JobState state) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    state_ = state;
+  }
+  cv_.notify_all();
+}
+
+// --- Engine ----------------------------------------------------------------
+
+Engine::Engine(EngineOptions options) {
+  const int total = static_cast<int>(util::ThreadPool::default_threads());
+  num_workers_ = options.max_concurrent_jobs > 0 ? options.max_concurrent_jobs
+                                                 : std::min(total, 4);
+  num_workers_ = std::max(num_workers_, 1);
+  threads_per_job_ = options.threads_per_job > 0
+                         ? options.threads_per_job
+                         : std::max(1, total / num_workers_);
+  workers_.reserve(static_cast<std::size_t>(num_workers_));
+  for (int i = 0; i < num_workers_; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+Engine::~Engine() {
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    stop_ = true;
+  }
+  queue_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+JobPtr Engine::submit(FlowRequest request, JobOptions options) {
+  JobPtr job;
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    HLTS_REQUIRE(!stop_, "Engine::submit during shutdown");
+    const std::uint64_t id = ++next_id_;
+    std::string name = std::move(request.name);
+    if (name.empty()) {
+      name = "job" + std::to_string(id) + "." + core::flow_name(request.kind);
+    }
+    job.reset(new Job(std::move(request), std::move(options), std::move(name)));
+    queue_.push_back(job);
+    ++in_flight_;
+  }
+  trace_.add_counter("jobs.submitted");
+  queue_cv_.notify_one();
+  return job;
+}
+
+std::vector<JobPtr> Engine::submit_batch(std::vector<FlowRequest> requests,
+                                         const JobOptions& options) {
+  std::vector<JobPtr> jobs;
+  jobs.reserve(requests.size());
+  for (FlowRequest& request : requests) {
+    jobs.push_back(submit(std::move(request), options));
+  }
+  return jobs;
+}
+
+void Engine::wait_all() {
+  std::unique_lock<std::mutex> lock(queue_mutex_);
+  drain_cv_.wait(lock, [&] { return in_flight_ == 0; });
+}
+
+util::TraceSnapshot Engine::metrics() const { return trace_.snapshot(); }
+
+void Engine::worker_loop() {
+  for (;;) {
+    JobPtr job;
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      queue_cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop requested and queue drained
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    run_job(job);
+    {
+      std::lock_guard<std::mutex> lock(queue_mutex_);
+      --in_flight_;
+    }
+    drain_cv_.notify_all();
+  }
+}
+
+void Engine::run_job(const JobPtr& job) {
+  if (job->cancel_.load(std::memory_order_relaxed)) {
+    trace_.add_counter("jobs.cancelled");
+    job->finish(JobState::Cancelled);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(job->mutex_);
+    job->state_ = JobState::Running;
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const bool has_deadline = job->options_.timeout.count() > 0;
+  const auto deadline = t0 + job->options_.timeout;
+  const std::uint64_t span_start = trace_.now_us();
+
+  // The job's own trace, installed for this worker thread: every
+  // instrumented phase the flow passes through records into it.
+  util::Trace trace;
+  util::Trace::Scope scope(&trace);
+
+  std::optional<core::FlowResult> result;
+  std::string error;
+  try {
+    const dfg::Dfg* g = nullptr;
+    std::optional<dfg::Dfg> compiled;
+    if (job->request_.dfg) {
+      g = &*job->request_.dfg;
+    } else {
+      frontend::CompileResult cr =
+          frontend::compile_or_error(job->request_.source);
+      if (!cr) {
+        error = cr.error.message;
+      } else {
+        compiled = std::move(cr.dfg);
+        g = &*compiled;
+      }
+    }
+    if (g != nullptr) {
+      core::FlowParams params = job->request_.params;
+      if (params.num_threads == 0) params.num_threads = threads_per_job_;
+      params.cancel = &job->cancel_;
+      // Chain rather than replace a hook the caller put in the request.
+      const auto chained = params.on_iteration;
+      params.on_iteration = [&](const core::IterationRecord& rec) {
+        {
+          std::lock_guard<std::mutex> lock(job->mutex_);
+          job->progress_.push_back(rec);
+        }
+        if (job->options_.on_iteration) job->options_.on_iteration(rec);
+        if (chained) chained(rec);
+        if (has_deadline && std::chrono::steady_clock::now() >= deadline) {
+          job->timed_out_.store(true, std::memory_order_relaxed);
+          job->cancel_.store(true, std::memory_order_relaxed);
+        }
+      };
+      result = core::run_flow(job->request_.kind, *g, params);
+    }
+  } catch (const std::exception& e) {
+    // Nothing may cross the thread boundary: synthesis contract violations
+    // become this job's diagnostic, siblings keep running.
+    error = e.what();
+    result.reset();
+  }
+
+  const double wall_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                t0)
+          .count();
+  JobState final_state;
+  if (!error.empty()) {
+    final_state = JobState::Failed;
+  } else if (job->timed_out_.load(std::memory_order_relaxed)) {
+    final_state = JobState::TimedOut;
+  } else if (job->cancel_.load(std::memory_order_relaxed)) {
+    final_state = JobState::Cancelled;
+  } else {
+    final_state = JobState::Succeeded;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(job->mutex_);
+    job->result_ = std::move(result);
+    job->error_ = std::move(error);
+    job->trace_ = trace.snapshot();
+    job->wall_ms_ = wall_ms;
+  }
+  trace_.add_span("job." + job->name_, span_start,
+                  trace_.now_us() - span_start);
+  trace_.add_counter(std::string("jobs.") + job_state_name(final_state));
+  job->finish(final_state);
+}
+
+}  // namespace hlts::engine

@@ -1,0 +1,202 @@
+// Asynchronous batch synthesis engine.
+//
+// The paper's evaluation (§5) is itself a batch workload -- four flows on
+// four benchmarks -- and the ROADMAP north star is a service that
+// synthesizes many designs concurrently.  The engine accepts batches of
+// FlowRequest jobs (DFG or DSL source + FlowKind + FlowParams), runs them
+// over a fixed set of job workers, and hands back Job handles with:
+//
+//   - per-iteration progress streaming (Algorithm-1 IterationRecords),
+//   - cooperative cancellation, bounded to one Algorithm-1 iteration,
+//   - a wall-clock timeout enforced at the same iteration granularity,
+//   - a per-job trace/metrics snapshot (util::Trace spans + counters
+//     covering frontend -> scheduling -> iterations -> ETPN rebuild ->
+//     cost), exportable as JSON.
+//
+// Two-level threading model: the engine fans jobs out over
+// `max_concurrent_jobs` job workers, and each job's Algorithm-1 trial
+// evaluation still parallelizes internally over util::ThreadPool with
+// `threads_per_job` threads.  The defaults divide
+// util::ThreadPool::default_threads() (which honours HLTS_THREADS) between
+// the two levels so a full batch never oversubscribes the machine.
+// Precedence for a job's inner thread count: FlowParams::num_threads when
+// positive > EngineOptions::threads_per_job > default_threads() / jobs.
+//
+// Determinism contract: a job's FlowResult is bit-identical to a direct
+// `core::run_flow(kind, dfg, params)` call for every engine configuration
+// -- PR 1 made synthesis results invariant under the trial thread count,
+// and the engine changes nothing else about the computation.
+//
+// Failure contract: no exception crosses a thread boundary.  Parse errors
+// (via frontend::compile_or_error) and synthesis errors become the job's
+// error() string and a Failed state; sibling jobs are unaffected.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/flows.hpp"
+#include "dfg/dfg.hpp"
+#include "util/trace.hpp"
+
+namespace hlts::engine {
+
+/// One unit of work: which flow to run on which design, with which knobs.
+/// Provide either a pre-built DFG or DSL `source` the engine compiles
+/// (a per-job parse failure fails only that job).
+struct FlowRequest {
+  std::string name{};  ///< report label; auto-generated when empty
+  core::FlowKind kind = core::FlowKind::Ours;
+  std::optional<dfg::Dfg> dfg{};
+  std::string source{};  ///< compiled with compile_or_error when dfg is empty
+  core::FlowParams params{};
+};
+
+enum class JobState {
+  Pending,    ///< queued, not yet picked up by a worker
+  Running,
+  Succeeded,
+  Failed,     ///< parse or synthesis error; see Job::error()
+  Cancelled,  ///< Job::cancel() took effect
+  TimedOut,   ///< the JobOptions::timeout deadline passed
+};
+
+[[nodiscard]] const char* job_state_name(JobState state);
+
+/// Per-job run options (the algorithmic knobs live in FlowRequest::params).
+struct JobOptions {
+  /// Called on the job's worker thread after every committed Algorithm-1
+  /// merger.  Must be thread-safe against the submitting thread.
+  std::function<void(const core::IterationRecord&)> on_iteration = nullptr;
+  /// Wall-clock budget measured from the moment the job starts running;
+  /// zero means unlimited.  Enforced at Algorithm-1 iteration boundaries
+  /// (the same cooperative hook cancellation uses).
+  std::chrono::milliseconds timeout{0};
+};
+
+class Engine;
+
+/// Handle to one submitted job.  All accessors are thread-safe; the
+/// result/error/trace accessors require finished() (they fail a contract
+/// check otherwise, since the fields are still being written).
+class Job {
+ public:
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] core::FlowKind kind() const { return request_.kind; }
+
+  [[nodiscard]] JobState state() const;
+  [[nodiscard]] bool finished() const;
+
+  /// Requests cooperative cancellation: a pending job never starts, a
+  /// running Algorithm-1 flow stops within one iteration.  Idempotent;
+  /// cancelling a finished job is a no-op.
+  void cancel();
+
+  /// Blocks until the job reaches a terminal state.
+  void wait() const;
+  /// Bounded wait; true when the job finished within `timeout`.
+  [[nodiscard]] bool wait_for(std::chrono::milliseconds timeout) const;
+
+  /// The synthesized design.  Engaged for Succeeded jobs; a Cancelled or
+  /// TimedOut Algorithm-1 job keeps the partial (but fully consistent)
+  /// design it had committed so far, when it got far enough to have one.
+  [[nodiscard]] const std::optional<core::FlowResult>& result() const;
+  /// Diagnostic for Failed jobs ("" otherwise).
+  [[nodiscard]] const std::string& error() const;
+  /// Spans + counters recorded while the job ran.
+  [[nodiscard]] const util::TraceSnapshot& trace() const;
+  /// Wall-clock duration of the run (0 for jobs cancelled while pending).
+  [[nodiscard]] double wall_ms() const;
+
+  /// Snapshot of the streamed iteration records; callable at any time.
+  [[nodiscard]] std::vector<core::IterationRecord> progress() const;
+
+ private:
+  friend class Engine;
+  Job(FlowRequest request, JobOptions options, std::string name);
+
+  void finish(JobState state);
+
+  FlowRequest request_;
+  JobOptions options_;
+  std::string name_;
+
+  mutable std::mutex mutex_;
+  mutable std::condition_variable cv_;
+  JobState state_ = JobState::Pending;
+  std::atomic<bool> cancel_{false};
+  std::atomic<bool> timed_out_{false};
+  std::optional<core::FlowResult> result_;
+  std::string error_;
+  util::TraceSnapshot trace_;
+  double wall_ms_ = 0;
+  std::vector<core::IterationRecord> progress_;
+};
+
+using JobPtr = std::shared_ptr<Job>;
+
+struct EngineOptions {
+  /// Jobs running concurrently; 0 = min(util::ThreadPool::default_threads(),
+  /// 4).  Further submissions queue in FIFO order.
+  int max_concurrent_jobs = 0;
+  /// Inner trial-evaluation threads given to each job whose
+  /// FlowParams::num_threads is 0 (auto); 0 = default_threads() divided by
+  /// the job workers, never below 1 -- i.e. a loaded engine uses about
+  /// default_threads() threads in total across both levels.
+  int threads_per_job = 0;
+};
+
+class Engine {
+ public:
+  explicit Engine(EngineOptions options = {});
+  /// Drains: waits for every submitted job (cancel first for a fast exit),
+  /// then joins all workers -- no thread outlives the engine.
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  [[nodiscard]] JobPtr submit(FlowRequest request, JobOptions options = {});
+  [[nodiscard]] std::vector<JobPtr> submit_batch(
+      std::vector<FlowRequest> requests, const JobOptions& options = {});
+
+  /// Blocks until every job submitted so far is finished.
+  void wait_all();
+
+  [[nodiscard]] int max_concurrent_jobs() const { return num_workers_; }
+  [[nodiscard]] int threads_per_job() const { return threads_per_job_; }
+
+  /// Engine-level metrics: job-state counters plus one span per executed
+  /// job (named "job.<name>").
+  [[nodiscard]] util::TraceSnapshot metrics() const;
+
+ private:
+  void worker_loop();
+  void run_job(const JobPtr& job);
+
+  int num_workers_ = 1;
+  int threads_per_job_ = 1;
+
+  std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;   // workers wait for work / stop
+  std::condition_variable drain_cv_;   // wait_all waits for in-flight == 0
+  std::deque<JobPtr> queue_;
+  std::size_t in_flight_ = 0;  ///< submitted and not yet finished
+  std::uint64_t next_id_ = 0;
+  bool stop_ = false;
+
+  util::Trace trace_;  ///< engine-level spans/counters (thread-safe)
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace hlts::engine

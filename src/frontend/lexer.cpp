@@ -44,8 +44,7 @@ std::vector<Token> tokenize(const std::string& source) {
   std::size_t i = 0;
 
   auto fail = [&](const std::string& message) {
-    throw Error("lex error at " + std::to_string(line) + ":" +
-                std::to_string(column) + ": " + message);
+    throw ParseError("lex", message, line, column);
   };
   auto push = [&](TokenKind kind, std::string text) {
     tokens.push_back({kind, std::move(text), line, column});

@@ -20,7 +20,35 @@
 #include <string>
 #include <vector>
 
+#include "util/error.hpp"
+
 namespace hlts::frontend {
+
+/// Thrown by the lexer and parser on malformed input.  An hlts::Error (so
+/// existing catch sites keep working) that additionally carries the bare
+/// message and the 1-based source position, for callers that report
+/// diagnostics structurally (frontend::compile_or_error).
+class ParseError : public Error {
+ public:
+  /// `phase` is "lex" or "parse"; what() is formatted exactly as before:
+  /// "<phase> error at <line>:<column>: <message>".
+  ParseError(const std::string& phase, std::string message, int line,
+             int column)
+      : Error(phase + " error at " + std::to_string(line) + ":" +
+              std::to_string(column) + ": " + message),
+        message_(std::move(message)),
+        line_(line),
+        column_(column) {}
+
+  [[nodiscard]] const std::string& message() const { return message_; }
+  [[nodiscard]] int line() const { return line_; }
+  [[nodiscard]] int column() const { return column_; }
+
+ private:
+  std::string message_;
+  int line_;
+  int column_;
+};
 
 enum class TokenKind {
   Identifier,

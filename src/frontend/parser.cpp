@@ -5,6 +5,7 @@
 
 #include "frontend/lexer.hpp"
 #include "util/error.hpp"
+#include "util/trace.hpp"
 
 namespace hlts::frontend {
 
@@ -37,8 +38,7 @@ class Parser {
  private:
   [[noreturn]] void fail(const std::string& message) {
     const Token& t = peek();
-    throw Error("parse error at " + std::to_string(t.line) + ":" +
-                std::to_string(t.column) + ": " + message);
+    throw ParseError("parse", message, t.line, t.column);
   }
 
   const Token& peek() const { return tokens_[pos_]; }
@@ -268,6 +268,23 @@ class Parser {
 
 }  // namespace
 
-dfg::Dfg compile(const std::string& source) { return Parser(source).run(); }
+dfg::Dfg compile(const std::string& source) {
+  HLTS_SPAN("frontend.compile");
+  return Parser(source).run();
+}
+
+CompileResult compile_or_error(const std::string& source) {
+  HLTS_SPAN("frontend.compile");
+  CompileResult r;
+  try {
+    r.dfg = Parser(source).run();
+  } catch (const ParseError& e) {
+    r.error = {e.what(), e.line(), e.column()};
+  } catch (const Error& e) {
+    // Position-free semantic errors ("output never assigned").
+    r.error = {e.what(), 0, 0};
+  }
+  return r;
+}
 
 }  // namespace hlts::frontend

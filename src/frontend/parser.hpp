@@ -18,6 +18,7 @@
 // t1, t2, ...; each operator application becomes one operation N1, N2, ...
 #pragma once
 
+#include <optional>
 #include <string>
 
 #include "dfg/dfg.hpp"
@@ -28,5 +29,30 @@ namespace hlts::frontend {
 /// positions on syntax or semantic errors (undefined variable, redefined
 /// variable, undeclared output, output never assigned).
 [[nodiscard]] dfg::Dfg compile(const std::string& source);
+
+/// A compilation diagnostic: the full human-readable message plus the
+/// 1-based source position.  line/column are 0 when the error has no
+/// position (e.g. "output never assigned", reported at design level).
+struct Diagnostic {
+  std::string message;
+  int line = 0;
+  int column = 0;
+};
+
+/// Result-or-diagnostic of compile_or_error: the DFG on success, the
+/// diagnostic otherwise.
+struct CompileResult {
+  std::optional<dfg::Dfg> dfg;
+  Diagnostic error;  ///< meaningful only when !ok()
+
+  [[nodiscard]] bool ok() const { return dfg.has_value(); }
+  explicit operator bool() const { return ok(); }
+};
+
+/// Non-throwing alternative to compile(): malformed input becomes a
+/// Diagnostic instead of an exception, so batch callers (the job engine)
+/// can report per-job parse failures without exceptions crossing thread
+/// boundaries.
+[[nodiscard]] CompileResult compile_or_error(const std::string& source);
 
 }  // namespace hlts::frontend

@@ -1,0 +1,43 @@
+// Minimal JSON emission for reports (trace exports, hlts_batch).
+//
+// Writer-only: the repo consumes JSON with external tooling, never parses
+// it back.  JsonWriter tracks nesting and comma placement; values are
+// escaped per RFC 8259, doubles printed round-trippably.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hlts::util {
+
+/// Escapes `s` for inclusion inside a JSON string literal (no quotes added).
+[[nodiscard]] std::string json_escape(const std::string& s);
+
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+  /// Object member key; must be followed by a value or begin_*.
+  JsonWriter& key(const std::string& k);
+  JsonWriter& value(const std::string& v);
+  JsonWriter& value(const char* v);
+  JsonWriter& value(double v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(int v);
+  JsonWriter& value(bool v);
+
+  [[nodiscard]] const std::string& str() const { return out_; }
+
+ private:
+  /// Emits the separating comma when a container already has an element.
+  void element();
+
+  std::string out_;
+  std::vector<bool> has_elements_;  // per open container
+  bool after_key_ = false;
+};
+
+}  // namespace hlts::util

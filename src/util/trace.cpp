@@ -1,0 +1,77 @@
+#include "util/trace.hpp"
+
+#include "util/json.hpp"
+
+namespace hlts::util {
+
+namespace {
+
+thread_local Trace* t_current = nullptr;
+
+}  // namespace
+
+Trace::Trace() : epoch_(std::chrono::steady_clock::now()) {}
+
+void Trace::add_span(std::string name, std::uint64_t start_us,
+                     std::uint64_t dur_us) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  spans_.push_back({std::move(name), start_us, dur_us});
+}
+
+void Trace::add_counter(const std::string& name, std::int64_t delta) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  counters_[name] += delta;
+}
+
+TraceSnapshot Trace::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return {spans_, counters_};
+}
+
+std::uint64_t Trace::now_us() const {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+}
+
+Trace* Trace::current() { return t_current; }
+
+Trace::Scope::Scope(Trace* trace) : prev_(t_current) { t_current = trace; }
+
+Trace::Scope::~Scope() { t_current = prev_; }
+
+ScopedSpan::ScopedSpan(const char* name) : trace_(t_current), name_(name) {
+  if (trace_) start_us_ = trace_->now_us();
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (trace_) trace_->add_span(name_, start_us_, trace_->now_us() - start_us_);
+}
+
+void count(const char* name, std::int64_t delta) {
+  if (t_current) t_current->add_counter(name, delta);
+}
+
+std::string TraceSnapshot::to_json() const {
+  JsonWriter w;
+  w.begin_object();
+  w.key("spans").begin_array();
+  for (const SpanRecord& s : spans) {
+    w.begin_object();
+    w.key("name").value(s.name);
+    w.key("start_us").value(static_cast<std::int64_t>(s.start_us));
+    w.key("dur_us").value(static_cast<std::int64_t>(s.dur_us));
+    w.end_object();
+  }
+  w.end_array();
+  w.key("counters").begin_object();
+  for (const auto& [name, value] : counters) {
+    w.key(name).value(value);
+  }
+  w.end_object();
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace hlts::util

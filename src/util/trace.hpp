@@ -1,0 +1,106 @@
+// Lightweight tracing/metrics: named wall-clock spans plus monotonic
+// counters, collected per Trace object and exported as JSON.
+//
+// The synthesis pipeline (frontend -> scheduling -> Algorithm-1 iterations
+// -> ETPN rebuild -> cost -> ATPG) is instrumented with HLTS_SPAN /
+// util::count calls that record into the *calling thread's current* Trace.
+// With no trace installed every instrumentation point is a single
+// thread-local pointer test, so standalone runs pay nothing; the batch
+// engine installs one Trace per job for the job's lifetime and aggregates
+// the snapshots into its report.
+//
+// Concurrency contract: one Trace may be written from several threads
+// (Algorithm 1's trial workers increment counters); add_span/add_counter
+// are mutex-guarded.  The thread-local `current` pointer is installed per
+// thread with Trace::Scope, so traces of concurrently running jobs never
+// mix.  Span/counter *contents* are deterministic for a deterministic run;
+// span wall-clock fields and the interleaving order of worker-thread spans
+// are not.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace hlts::util {
+
+/// One closed span: a named region of wall-clock time.
+struct SpanRecord {
+  std::string name;
+  std::uint64_t start_us = 0;  ///< offset from the owning trace's epoch
+  std::uint64_t dur_us = 0;
+};
+
+/// Immutable copy of a trace's contents, detached from any locking.
+struct TraceSnapshot {
+  std::vector<SpanRecord> spans;
+  std::map<std::string, std::int64_t> counters;
+
+  /// {"spans": [{"name": ..., "start_us": ..., "dur_us": ...}, ...],
+  ///  "counters": {"name": value, ...}}
+  [[nodiscard]] std::string to_json() const;
+};
+
+class Trace {
+ public:
+  Trace();
+
+  void add_span(std::string name, std::uint64_t start_us, std::uint64_t dur_us);
+  void add_counter(const std::string& name, std::int64_t delta = 1);
+
+  [[nodiscard]] TraceSnapshot snapshot() const;
+
+  /// Microseconds elapsed since this trace was constructed (span timebase).
+  [[nodiscard]] std::uint64_t now_us() const;
+
+  /// The calling thread's installed trace, or nullptr.
+  [[nodiscard]] static Trace* current();
+
+  /// Installs a trace as the calling thread's current one for the scope's
+  /// lifetime (restores the previous trace on destruction).
+  class Scope {
+   public:
+    explicit Scope(Trace* trace);
+    ~Scope();
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    Trace* prev_;
+  };
+
+ private:
+  std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mutex_;
+  std::vector<SpanRecord> spans_;
+  std::map<std::string, std::int64_t> counters_;
+};
+
+/// RAII span recorded into the current trace; no-op when none is installed.
+/// The name must outlive the span (string literals in practice).
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name);
+  ~ScopedSpan();
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  Trace* trace_;  ///< captured at construction: scope moves are impossible
+  const char* name_;
+  std::uint64_t start_us_ = 0;
+};
+
+/// Bumps a counter on the current trace; no-op when none is installed.
+void count(const char* name, std::int64_t delta = 1);
+
+}  // namespace hlts::util
+
+/// Names a span covering the rest of the enclosing block.
+#define HLTS_SPAN_CONCAT2(a, b) a##b
+#define HLTS_SPAN_CONCAT(a, b) HLTS_SPAN_CONCAT2(a, b)
+#define HLTS_SPAN(name) \
+  ::hlts::util::ScopedSpan HLTS_SPAN_CONCAT(hlts_span_, __LINE__)(name)

@@ -1,0 +1,7 @@
+# Applied after gtest discovery (see TEST_INCLUDE_FILES in CMakeLists.txt):
+# labels every hlts_engine_tests test `engine` and `tsan`, which
+# gtest_discover_tests(PROPERTIES LABELS ...) cannot express for more than
+# one label.
+foreach(test_name IN LISTS hlts_engine_test_names)
+  set_tests_properties("${test_name}" PROPERTIES LABELS "engine;tsan")
+endforeach()

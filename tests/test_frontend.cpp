@@ -207,5 +207,51 @@ TEST(Parser, CompiledDesignRunsThroughValidation) {
   EXPECT_GE(g.num_ops(), 6u);
 }
 
+TEST(Parser, CompileOrErrorSuccess) {
+  frontend::CompileResult r = frontend::compile_or_error(R"(
+    design ok {
+      input a, b;
+      output register s;
+      s = a * b + a;
+    }
+  )");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(static_cast<bool>(r));
+  EXPECT_TRUE(r.error.message.empty());
+  EXPECT_GE(r.dfg->num_ops(), 2u);
+}
+
+TEST(Parser, CompileOrErrorReportsLexPosition) {
+  frontend::CompileResult r = frontend::compile_or_error(
+      "design d {\n  input a;\n  output register s;\n  s = a $ a;\n}");
+  ASSERT_FALSE(r.ok());
+  EXPECT_FALSE(r.dfg.has_value());
+  EXPECT_EQ(r.error.line, 4);
+  EXPECT_GT(r.error.column, 0);
+  EXPECT_NE(r.error.message.find("lex"), std::string::npos);
+}
+
+TEST(Parser, CompileOrErrorReportsParsePosition) {
+  frontend::CompileResult r = frontend::compile_or_error(
+      "design d {\n  input a;\n  output register s;\n  s = a + ;\n}");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error.line, 4);
+  EXPECT_GT(r.error.column, 0);
+}
+
+TEST(Parser, ParseErrorExceptionCarriesPosition) {
+  try {
+    dfg::Dfg g = frontend::compile("design d {\n  input a;\n  s = a @ a;\n}");
+    FAIL() << "expected ParseError";
+  } catch (const frontend::ParseError& e) {
+    EXPECT_EQ(e.line(), 3);
+    EXPECT_GT(e.column(), 0);
+    EXPECT_FALSE(e.message().empty());
+    // what() still carries the classic "phase error at line:col" banner, so
+    // existing catch(Error) callers lose nothing.
+    EXPECT_NE(std::string(e.what()).find("3:"), std::string::npos);
+  }
+}
+
 }  // namespace
 }  // namespace hlts

@@ -1,12 +1,16 @@
 // Unit tests for the utility layer: strong ids, RNG determinism, strings.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <set>
+#include <string>
 
 #include "util/error.hpp"
 #include "util/ids.hpp"
+#include "util/json.hpp"
 #include "util/rng.hpp"
 #include "util/strings.hpp"
+#include "util/trace.hpp"
 
 namespace hlts {
 namespace {
@@ -103,6 +107,65 @@ TEST(Error, RequireMacroThrowsWithLocation) {
     EXPECT_NE(std::string(e.what()).find("boom"), std::string::npos);
     EXPECT_NE(std::string(e.what()).find("test_util.cpp"), std::string::npos);
   }
+}
+
+TEST(Json, WriterTracksCommasAndEscapes) {
+  util::JsonWriter w;
+  w.begin_object();
+  w.key("s").value("a\"b\\c\n");
+  w.key("n").value(42);
+  w.key("b").value(true);
+  w.key("arr").begin_array().value(1).value(2).end_array();
+  w.key("obj").begin_object().key("k").value("v").end_object();
+  w.end_object();
+  EXPECT_EQ(w.str(),
+            "{\"s\":\"a\\\"b\\\\c\\n\",\"n\":42,\"b\":true,"
+            "\"arr\":[1,2],\"obj\":{\"k\":\"v\"}}");
+}
+
+TEST(Json, NonFiniteDoublesBecomeNull) {
+  util::JsonWriter w;
+  w.begin_array().value(1.5).value(std::nan("")).end_array();
+  EXPECT_EQ(w.str(), "[1.5,null]");
+}
+
+TEST(Trace, RecordsSpansAndCountersAndExportsJson) {
+  util::Trace trace;
+  {
+    util::Trace::Scope scope(&trace);
+    ASSERT_EQ(util::Trace::current(), &trace);
+    HLTS_SPAN("outer");
+    util::count("widgets", 2);
+    util::count("widgets");
+  }
+  util::TraceSnapshot snap = trace.snapshot();
+  ASSERT_EQ(snap.spans.size(), 1u);
+  EXPECT_EQ(snap.spans[0].name, "outer");
+  EXPECT_EQ(snap.counters.at("widgets"), 3);
+  const std::string json = snap.to_json();
+  EXPECT_NE(json.find("\"name\":\"outer\""), std::string::npos);
+  EXPECT_NE(json.find("\"widgets\":3"), std::string::npos);
+}
+
+TEST(Trace, InstrumentationIsNoopWithoutInstalledTrace) {
+  ASSERT_EQ(util::Trace::current(), nullptr);
+  HLTS_SPAN("ignored");
+  util::count("ignored");
+}
+
+TEST(Trace, ScopeRestoresPreviousTrace) {
+  util::Trace a;
+  util::Trace b;
+  util::Trace::Scope outer(&a);
+  {
+    util::Trace::Scope inner(&b);
+    util::count("inner");
+  }
+  EXPECT_EQ(util::Trace::current(), &a);
+  util::count("outer");
+  EXPECT_EQ(a.snapshot().counters.count("inner"), 0u);
+  EXPECT_EQ(b.snapshot().counters.at("inner"), 1);
+  EXPECT_EQ(a.snapshot().counters.at("outer"), 1);
 }
 
 }  // namespace
