@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/failpoint.hpp"
+
 namespace hlts::atpg {
 
 namespace {
@@ -45,6 +47,7 @@ FaultSimulator::FaultSimulator(const gates::Netlist& nl, int num_threads)
 
 std::vector<std::size_t> FaultSimulator::detected_by(
     const TestSequence& sequence, const std::vector<Fault>& faults) {
+  HLTS_FAILPOINT("atpg.fault_sim");
   const std::size_t num_batches = (faults.size() + 62) / 63;
   if (!pool_ || num_batches < 2) {
     std::vector<std::size_t> detected;

@@ -265,7 +265,7 @@ Dfg make_benchmark(const std::string& name) {
   if (name == "ewf") return make_ewf();
   if (name == "paulin") return make_paulin();
   if (name == "tseng") return make_tseng();
-  throw Error("unknown benchmark: " + name);
+  throw Error("unknown benchmark: " + name, ErrorKind::Input);
 }
 
 }  // namespace hlts::benchmarks

@@ -1,6 +1,7 @@
 #include "core/flows.hpp"
 
 #include "alloc/alloc.hpp"
+#include "core/validate.hpp"
 #include "sched/fds.hpp"
 #include "sched/mobility_path.hpp"
 #include "util/error.hpp"
@@ -18,16 +19,29 @@ const char* flow_name(FlowKind kind) {
   return "?";
 }
 
+const char* completeness_name(Completeness c) {
+  switch (c) {
+    case Completeness::Full: return "full";
+    case Completeness::Partial: return "partial";
+  }
+  return "?";
+}
+
 namespace {
 
 FlowResult finalize(FlowKind kind, const dfg::Dfg& g, sched::Schedule schedule,
-                    etpn::Binding binding, const FlowParams& params) {
+                    etpn::Binding binding, const FlowParams& params,
+                    Completeness completeness = Completeness::Full,
+                    int iterations = 0, std::string stop_reason = "complete") {
   HLTS_SPAN("flow.finalize");  // ETPN rebuild + cost + testability metrics
   FlowResult r;
   r.kind = kind;
   r.name = flow_name(kind);
   r.schedule = std::move(schedule);
   r.binding = std::move(binding);
+  r.completeness = completeness;
+  r.iterations = iterations;
+  r.stop_reason = std::move(stop_reason);
   r.exec_time = r.schedule.length();
   r.registers = r.binding.num_alive_regs();
   r.modules = r.binding.num_alive_modules();
@@ -48,6 +62,10 @@ FlowResult finalize(FlowKind kind, const dfg::Dfg& g, sched::Schedule schedule,
   for (etpn::RegId reg : r.binding.alive_regs()) {
     r.register_allocation.push_back(r.binding.reg_label(g, reg));
   }
+  if (params.audit) {
+    enforce_audit(audit_design(g, r.schedule, r.binding), "flow.finalize");
+    enforce_audit(audit_etpn(g, e, r.binding), "flow.finalize.etpn");
+  }
   return r;
 }
 
@@ -65,7 +83,8 @@ FlowResult run_flow(FlowKind kind, const dfg::Dfg& g, const FlowParams& params) 
       p.require_improvement = true;  // conventional cost-driven termination
       SynthesisResult s = integrated_synthesis(g, p);
       return finalize(kind, g, std::move(s.schedule), std::move(s.binding),
-                      params);
+                      params, s.completeness, s.iterations,
+                      std::move(s.stop_reason));
     }
     case FlowKind::Approach1: {
       const int latency = params.max_latency > 0 ? params.max_latency
@@ -96,10 +115,11 @@ FlowResult run_flow(FlowKind kind, const dfg::Dfg& g, const FlowParams& params) 
       p.order = OrderStrategy::Testability;
       SynthesisResult s = integrated_synthesis(g, p);
       return finalize(kind, g, std::move(s.schedule), std::move(s.binding),
-                      params);
+                      params, s.completeness, s.iterations,
+                      std::move(s.stop_reason));
     }
   }
-  throw Error("unknown flow kind");
+  throw Error("unknown flow kind", ErrorKind::Input);
 }
 
 std::vector<FlowResult> run_all_flows(const dfg::Dfg& g,

@@ -43,6 +43,18 @@ struct FlowResult {
   /// Table-style allocation strings ("(*): N21, N24" / "R: a, c, x").
   std::vector<std::string> module_allocation;
   std::vector<std::string> register_allocation;
+
+  // --- anytime bookkeeping (see core/options.hpp) ---------------------------
+  /// Full for a naturally terminated run; Partial when the Algorithm-1 loop
+  /// stopped early (cancel, timeout, budget, graceful degradation).  The
+  /// non-iterative flows (Approach 1/2) are always Full.
+  Completeness completeness = Completeness::Full;
+  /// Committed Algorithm-1 mergers behind this result (0 for Approach 1/2).
+  int iterations = 0;
+  /// Why the run stopped: "converged" / "cancelled" / "iteration_budget" /
+  /// "memory_budget" / "degraded: ..." for Camad/Ours, "complete" for the
+  /// one-shot flows.
+  std::string stop_reason = "complete";
 };
 
 /// Runs one flow end to end on a DFG.

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <atomic>
+#include <cstddef>
 #include <functional>
 #include <string>
 
@@ -31,6 +32,22 @@ struct IterationRecord {
   int modules = 0;
   double balance_index = 0;  ///< testability balance after the merger
 };
+
+/// How much of the requested computation a result represents.
+///
+/// Algorithm 1 is an *anytime* algorithm: every committed merger leaves a
+/// complete, valid schedule + allocation, so a run stopped early --
+/// cancellation, timeout, iteration/memory budget, or graceful degradation
+/// after a transient fault -- still returns the best design it had, tagged
+/// Partial.  A Partial result at iteration k is bit-identical to a run
+/// capped at max_iterations = k.
+enum class Completeness {
+  Full,     ///< the algorithm ran to its natural termination
+  Partial,  ///< stopped early; the result is the last committed checkpoint
+};
+
+/// "full" / "partial".
+[[nodiscard]] const char* completeness_name(Completeness c);
 
 /// Knobs shared by all synthesis entry points (the Algorithm-1 parameters
 /// apply to the Camad/Ours flows; bits/max_latency/library to all four).
@@ -60,6 +77,22 @@ struct AlgorithmOptions {
   /// can pick a different (near-tie) merger than exact Algorithm 1, and
   /// the default must reproduce the paper's tables.
   bool trial_cache = false;
+  /// Iteration budget for the merger loop.  A run that exhausts it returns
+  /// its current design tagged Completeness::Partial -- the anytime
+  /// contract's "capped run", and the reference a cancelled run at the same
+  /// iteration count is bit-identical to.
+  int max_iterations = 10000;
+  /// Approximate working-set budget in bytes for one iteration's trial
+  /// evaluations (the dominant allocation: up to one binding + schedule
+  /// copy per ranked candidate).  When the estimate for the coming
+  /// iteration exceeds the budget, the loop stops gracefully with a
+  /// Partial result instead of risking an OOM kill.  0 = unlimited.
+  std::size_t memory_budget_bytes = 0;
+  /// Runs the core/validate invariant auditor (DFG/schedule/binding/ETPN
+  /// structural checks) on the initial state and after every committed
+  /// merger; a violation throws hlts::Error(ErrorKind::Internal).  Off by
+  /// default: auditing is for tests, fault-injection soaks, and debugging.
+  bool audit = false;
   cost::ModuleLibrary library = cost::ModuleLibrary::standard();
 
   // --- run hooks (never influence the synthesized result) -----------------

@@ -7,6 +7,7 @@
 #include "sched/constraint_graph.hpp"
 #include "sched/lifetime.hpp"
 #include "util/error.hpp"
+#include "util/failpoint.hpp"
 
 namespace hlts::core {
 
@@ -98,6 +99,7 @@ bool schedule_respects_binding(const dfg::Dfg& g, const etpn::Binding& b,
 ReschedOutcome reschedule(const dfg::Dfg& g, const etpn::Binding& b,
                           const sched::Schedule& hint,
                           OrderStrategy strategy) {
+  HLTS_FAILPOINT("sched.reschedule");
   ReschedOutcome out;
 
   // --- derive initial chains from the previous schedule ---------------------

@@ -5,6 +5,7 @@
 #include <optional>
 #include <unordered_map>
 
+#include "core/validate.hpp"
 #include "sched/schedule.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
@@ -168,6 +169,15 @@ struct Outcome {
   TrialEval eval;  ///< populated when state == Fresh and feasible
 };
 
+/// Approximate heap bytes held by one evaluated trial (a binding copy plus
+/// a schedule): the dominant per-iteration allocation, used to honour
+/// AlgorithmOptions::memory_budget_bytes without instrumenting the
+/// allocator.  Deliberately generous (vector headers included) so the
+/// budget errs on stopping early rather than OOMing.
+std::size_t approx_trial_bytes(const dfg::Dfg& g) {
+  return (g.num_ops() + g.num_vars()) * 48 + 256;
+}
+
 std::string candidate_description(const dfg::Dfg& g, const etpn::Binding& b,
                                   const testability::MergeCandidate& c) {
   if (c.kind == testability::MergeCandidate::Kind::Modules) {
@@ -234,8 +244,10 @@ std::vector<testability::MergeCandidate> select_connectivity_candidates(
 
 SynthesisResult integrated_synthesis(const dfg::Dfg& g,
                                      const SynthesisParams& p) {
-  HLTS_REQUIRE(p.k >= 1, "synthesis: k must be >= 1");
-  HLTS_REQUIRE(p.num_threads >= 0, "synthesis: num_threads must be >= 0");
+  HLTS_REQUIRE_INPUT(p.k >= 1, "synthesis: k must be >= 1");
+  HLTS_REQUIRE_INPUT(p.num_threads >= 0, "synthesis: num_threads must be >= 0");
+  HLTS_REQUIRE_INPUT(p.max_iterations >= 0,
+                     "synthesis: max_iterations must be >= 0");
   g.validate();
 
   SynthesisResult result;
@@ -265,14 +277,31 @@ SynthesisResult integrated_synthesis(const dfg::Dfg& g,
   // (Trace is thread-safe) so worker-side work is still accounted.
   util::Trace* trace = util::Trace::current();
 
+  if (p.audit) {
+    enforce_audit(audit_design(g, result.schedule, result.binding),
+                  "initial schedule/allocation");
+    enforce_audit(audit_etpn(g, e, result.binding), "initial ETPN");
+  }
+
+  // Anytime bookkeeping.  `result` only ever holds a fully committed,
+  // consistent design: each iteration stages its entire new state in locals
+  // and commits by move, so a fault anywhere in an iteration leaves the
+  // previous checkpoint intact.  The flags record which exit the loop took.
+  bool cancelled = false;
+  bool converged = false;
+  bool memory_stop = false;
+  std::string degraded;  // transient fault absorbed at an iteration boundary
+
   for (int iter = 0; iter < p.max_iterations; ++iter) {
     // Cooperative cancellation, checked once per iteration: together with
     // the on_iteration hook below this bounds a caller's cancel latency to
     // one Algorithm-1 iteration.
     if (p.cancel && p.cancel->load(std::memory_order_relaxed)) {
       util::count("synth.cancelled");
+      cancelled = true;
       break;
     }
+    try {
     HLTS_SPAN("synth.iteration");
     // Steps 4-6: testability analysis, then candidate pairs ranked by the
     // policy.  "Select k pairs of mergable nodes": we walk the ranking in
@@ -292,7 +321,21 @@ SynthesisResult integrated_synthesis(const dfg::Dfg& g,
                                                        analysis, all, p.balance)
               : select_connectivity_candidates(g, result.binding, e, all);
     }
-    if (ranking.empty()) break;
+    if (ranking.empty()) {
+      converged = true;
+      break;
+    }
+
+    // Memory budget: the coming wave may hold one evaluated trial (binding
+    // copy + schedule) per ranked candidate.  Stopping here -- before
+    // anything is allocated or mutated -- keeps the current checkpoint
+    // exact, so the degraded run equals a run capped at this iteration.
+    if (p.memory_budget_bytes != 0 &&
+        ranking.size() * approx_trial_bytes(g) > p.memory_budget_bytes) {
+      util::count("synth.memory_budget_stops");
+      memory_stop = true;
+      break;
+    }
 
     const double base_exec = static_cast<double>(result.exec_time);
     const double base_hw = result.cost.total();
@@ -393,15 +436,41 @@ SynthesisResult integrated_synthesis(const dfg::Dfg& g,
     // merged at all within the latency budget (mergers monotonically shrink
     // the candidate space, so this always terminates).  The cost-driven
     // variant additionally stops when the best candidate no longer pays.
-    if (!winner) break;
+    if (!winner) {
+      converged = true;
+      break;
+    }
     Outcome& win = outcomes[*winner];
-    if (p.require_improvement && win.delta_c >= -1e-12) break;
+    if (p.require_improvement && win.delta_c >= -1e-12) {
+      converged = true;
+      break;
+    }
 
-    // Steps 12-14: commit the merger.
+    // Steps 12-14: commit the merger.  Everything that can fail (ETPN
+    // rebuild, cost estimate, testability analysis) is computed into locals
+    // *before* the first mutation of `result`, and the mutations themselves
+    // are moves: the commit is exception-atomic, which is what makes the
+    // catch below safe to resume from.
     HLTS_SPAN("synth.commit");
     const testability::MergeCandidate& cand = ranking[*winner];
     std::string description =
         candidate_description(g, result.binding, cand);
+    etpn::Etpn next_e =
+        etpn::build_etpn(g, win.eval.schedule, win.eval.binding);
+    const cost::HardwareCost next_cost =
+        cost::estimate_cost(next_e.data_path, p.library, p.bits);
+    testability::TestabilityAnalysis post(next_e.data_path);
+    IterationRecord rec;
+    rec.description = std::move(description);
+    rec.delta_e = win.delta_e;
+    rec.delta_h = win.delta_h;
+    rec.delta_c = win.delta_c;
+    rec.exec_time = win.eval.exec_time;
+    rec.hw_cost = next_cost.total();
+    rec.registers = win.eval.binding.num_alive_regs();
+    rec.modules = win.eval.binding.num_alive_modules();
+    rec.balance_index = post.balance_index();
+
     if (p.trial_cache) {
       // Drop every cached trial that touches one of the committed pair's
       // binding groups: the surviving group changed content and the other
@@ -416,25 +485,50 @@ SynthesisResult integrated_synthesis(const dfg::Dfg& g,
     }
     result.binding = std::move(win.eval.binding);
     result.schedule = std::move(win.eval.schedule);
-    result.exec_time = win.eval.exec_time;
-    e = etpn::build_etpn(g, result.schedule, result.binding);
-    result.cost = cost::estimate_cost(e.data_path, p.library, p.bits);
-    testability::TestabilityAnalysis post(e.data_path);
-    IterationRecord rec;
-    rec.description = std::move(description);
-    rec.delta_e = win.delta_e;
-    rec.delta_h = win.delta_h;
-    rec.delta_c = win.delta_c;
-    rec.exec_time = result.exec_time;
-    rec.hw_cost = result.cost.total();
-    rec.registers = result.binding.num_alive_regs();
-    rec.modules = result.binding.num_alive_modules();
-    rec.balance_index = post.balance_index();
+    result.exec_time = rec.exec_time;
+    result.cost = next_cost;
+    e = std::move(next_e);
     HLTS_DEBUG("iter " << iter << ": " << rec.description << " dC=" << rec.delta_c
                        << " E=" << rec.exec_time << " H=" << rec.hw_cost);
     result.trajectory.push_back(std::move(rec));
     util::count("synth.mergers");
+    util::count("synth.checkpoints");
+    if (p.audit) {
+      enforce_audit(audit_design(g, result.schedule, result.binding),
+                    "iteration commit");
+      enforce_audit(audit_etpn(g, e, result.binding), "iteration commit");
+    }
     if (p.on_iteration) p.on_iteration(result.trajectory.back());
+    } catch (const std::exception& ex) {
+      // Anytime degradation: a *transient* fault (injected failpoint,
+      // allocation failure under memory pressure) anywhere in the iteration
+      // is absorbed at this boundary -- `result` still holds the previous
+      // checkpoint, which is returned as a Partial result.  Input and
+      // Internal errors (contract violations, audit failures) stay fatal:
+      // corruption must escape loudly, never as a "valid" partial design.
+      if (classify_exception(ex) != ErrorKind::Transient) throw;
+      degraded = ex.what();
+      util::count("synth.degraded");
+      break;
+    }
+  }
+
+  result.iterations = static_cast<int>(result.trajectory.size());
+  if (cancelled) {
+    result.completeness = Completeness::Partial;
+    result.stop_reason = "cancelled";
+  } else if (!degraded.empty()) {
+    result.completeness = Completeness::Partial;
+    result.stop_reason = "degraded: " + degraded;
+  } else if (memory_stop) {
+    result.completeness = Completeness::Partial;
+    result.stop_reason = "memory_budget";
+  } else if (converged) {
+    result.completeness = Completeness::Full;
+    result.stop_reason = "converged";
+  } else {
+    result.completeness = Completeness::Partial;
+    result.stop_reason = "iteration_budget";
   }
 
   result.binding.validate(g);

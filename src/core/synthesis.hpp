@@ -51,7 +51,7 @@ struct SynthesisParams : AlgorithmOptions {
   /// ALUs; the Lee-style flows and ours keep kinds separate.
   etpn::ModuleCompat compat = etpn::ModuleCompat::ExactKind;
   testability::BalanceOptions balance;
-  int max_iterations = 10000;
+  // max_iterations lives in the shared AlgorithmOptions knob set.
   /// When true, the loop additionally stops as soon as no candidate
   /// *improves* dC (conventional cost-driven synthesis, i.e. the CAMAD
   /// baseline).  When false -- the paper's Algorithm 1 -- merging continues
@@ -70,6 +70,21 @@ struct SynthesisResult {
   int exec_time = 0;
   cost::HardwareCost cost;
   std::vector<IterationRecord> trajectory;
+
+  // --- anytime bookkeeping --------------------------------------------------
+  /// Full when the merger loop reached natural termination ("no merger
+  /// exists"); Partial when it stopped early.  Either way schedule/binding
+  /// are a complete, validated design.
+  Completeness completeness = Completeness::Full;
+  /// Committed mergers (== trajectory.size()); the checkpoint this result
+  /// represents.  A Partial result at iteration k is bit-identical to a
+  /// run with max_iterations = k.
+  int iterations = 0;
+  /// Why the loop stopped: "converged", "cancelled", "iteration_budget",
+  /// "memory_budget", or "degraded: <message>" when a transient fault
+  /// (injected failpoint, allocation failure) was absorbed at an iteration
+  /// boundary.
+  std::string stop_reason = "converged";
 };
 
 /// Runs the iterative synthesis.  The initial "simple default

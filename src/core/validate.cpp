@@ -1,0 +1,189 @@
+#include "core/validate.hpp"
+
+#include <algorithm>
+
+#include "sched/lifetime.hpp"
+#include "util/error.hpp"
+
+namespace hlts::core {
+
+namespace {
+
+void add(AuditReport& report, std::string message) {
+  report.violations.push_back(std::move(message));
+}
+
+}  // namespace
+
+std::string AuditReport::summary() const {
+  if (violations.empty()) return "ok";
+  std::string out;
+  for (const std::string& v : violations) {
+    if (!out.empty()) out += "; ";
+    out += v;
+  }
+  return out;
+}
+
+AuditReport audit_design(const dfg::Dfg& g, const sched::Schedule& s,
+                         const etpn::Binding& b) {
+  AuditReport report;
+
+  try {
+    g.validate();
+  } catch (const std::exception& ex) {
+    add(report, std::string("dfg: ") + ex.what());
+  }
+
+  if (s.num_ops() != g.num_ops()) {
+    add(report, "schedule: op count " + std::to_string(s.num_ops()) +
+                    " does not match DFG op count " +
+                    std::to_string(g.num_ops()));
+    return report;  // step-based checks below would index out of range
+  }
+
+  // Precedence: every operation strictly after all of its data
+  // predecessors, in a positive control step (step 0 is the PI load step).
+  for (dfg::OpId op : g.op_ids()) {
+    const int step = s.step(op);
+    if (step < 1) {
+      add(report, "schedule: op " + g.op(op).name + " in non-positive step " +
+                      std::to_string(step));
+      continue;
+    }
+    for (dfg::VarId in : g.op(op).inputs) {
+      const dfg::OpId def = g.var(in).def;
+      if (!def.valid()) continue;  // primary input, loaded in step 0
+      if (s.step(def) >= step) {
+        add(report, "schedule: precedence violation, op " + g.op(op).name +
+                        " (step " + std::to_string(step) + ") reads " +
+                        g.var(in).name + " defined by " + g.op(def).name +
+                        " (step " + std::to_string(s.step(def)) + ")");
+      }
+    }
+  }
+
+  try {
+    b.validate(g);
+  } catch (const std::exception& ex) {
+    add(report, std::string("binding: ") + ex.what());
+    return report;  // module/register walks below assume a sane binding
+  }
+
+  // Module conflicts: no two operations of one module in the same step.
+  for (etpn::ModuleId m : b.alive_modules()) {
+    const std::vector<dfg::OpId>& ops = b.module_ops(m);
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+      for (std::size_t j = i + 1; j < ops.size(); ++j) {
+        if (s.step(ops[i]) == s.step(ops[j])) {
+          add(report, "binding: module conflict, ops " + g.op(ops[i]).name +
+                          " and " + g.op(ops[j]).name +
+                          " share a module in step " +
+                          std::to_string(s.step(ops[i])));
+        }
+      }
+    }
+  }
+
+  // Register lifetime overlaps within every register group.
+  const sched::LifetimeTable lifetimes = sched::LifetimeTable::compute(g, s);
+  for (etpn::RegId r : b.alive_regs()) {
+    const std::vector<dfg::VarId>& vars = b.reg_vars(r);
+    for (std::size_t i = 0; i < vars.size(); ++i) {
+      for (std::size_t j = i + 1; j < vars.size(); ++j) {
+        if (!lifetimes.disjoint(vars[i], vars[j])) {
+          add(report, "binding: register lifetime overlap, variables " +
+                          g.var(vars[i]).name + " and " + g.var(vars[j]).name +
+                          " share a register with overlapping lifetimes");
+        }
+      }
+    }
+  }
+
+  return report;
+}
+
+AuditReport audit_etpn(const dfg::Dfg& g, const etpn::Etpn& e,
+                       const etpn::Binding& b) {
+  AuditReport report;
+  const etpn::DataPath& dp = e.data_path;
+
+  for (etpn::DpArcId a : dp.arc_ids()) {
+    const etpn::DpArc& arc = dp.arc(a);
+    const bool from_ok = arc.from.valid() && arc.from.index() < dp.num_nodes();
+    const bool to_ok = arc.to.valid() && arc.to.index() < dp.num_nodes();
+    if (!from_ok || !to_ok) {
+      add(report, "etpn: dangling arc " + std::to_string(a.value()) +
+                      " (endpoint out of range)");
+      continue;
+    }
+    const std::vector<etpn::DpArcId>& outs = dp.node(arc.from).out_arcs;
+    const std::vector<etpn::DpArcId>& ins = dp.node(arc.to).in_arcs;
+    if (std::find(outs.begin(), outs.end(), a) == outs.end()) {
+      add(report, "etpn: arc " + std::to_string(a.value()) +
+                      " missing from its source's out_arcs (" +
+                      dp.node(arc.from).name + ")");
+    }
+    if (std::find(ins.begin(), ins.end(), a) == ins.end()) {
+      add(report, "etpn: arc " + std::to_string(a.value()) +
+                      " missing from its destination's in_arcs (" +
+                      dp.node(arc.to).name + ")");
+    }
+    if (!std::is_sorted(arc.steps.begin(), arc.steps.end()) ||
+        std::adjacent_find(arc.steps.begin(), arc.steps.end()) !=
+            arc.steps.end()) {
+      add(report, "etpn: arc " + std::to_string(a.value()) +
+                      " has unsorted or duplicate step annotations");
+    }
+    if (!arc.steps.empty() && arc.steps.front() < 0) {
+      add(report, "etpn: arc " + std::to_string(a.value()) +
+                      " active in a negative step");
+    }
+  }
+
+  // Every node's arc lists must reference real arcs anchored at that node.
+  for (etpn::DpNodeId n : dp.node_ids()) {
+    const etpn::DpNode& node = dp.node(n);
+    for (etpn::DpArcId a : node.out_arcs) {
+      if (!a.valid() || a.index() >= dp.num_arcs() || dp.arc(a).from != n) {
+        add(report, "etpn: node " + node.name + " lists a bad out-arc");
+      }
+    }
+    for (etpn::DpArcId a : node.in_arcs) {
+      if (!a.valid() || a.index() >= dp.num_arcs() || dp.arc(a).to != n) {
+        add(report, "etpn: node " + node.name + " lists a bad in-arc");
+      }
+    }
+  }
+
+  // Alive binding groups must be materialized as nodes of the right kind.
+  for (etpn::ModuleId m : b.alive_modules()) {
+    const etpn::DpNodeId n =
+        e.module_node.contains(m) ? e.module_node[m] : etpn::DpNodeId::invalid();
+    if (!n.valid() || n.index() >= dp.num_nodes() ||
+        dp.node(n).kind != etpn::DpNodeKind::Module) {
+      add(report, "etpn: alive module " + b.module_label(g, m) +
+                      " has no Module data-path node");
+    }
+  }
+  for (etpn::RegId r : b.alive_regs()) {
+    const etpn::DpNodeId n =
+        e.reg_node.contains(r) ? e.reg_node[r] : etpn::DpNodeId::invalid();
+    if (!n.valid() || n.index() >= dp.num_nodes() ||
+        dp.node(n).kind != etpn::DpNodeKind::Register) {
+      add(report, "etpn: alive register " + b.reg_label(g, r) +
+                      " has no Register data-path node");
+    }
+  }
+
+  return report;
+}
+
+void enforce_audit(const AuditReport& report, const char* where) {
+  if (report.ok()) return;
+  throw Error(std::string("audit failed at ") + where + ": " +
+                  report.summary(),
+              ErrorKind::Internal);
+}
+
+}  // namespace hlts::core

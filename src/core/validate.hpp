@@ -1,0 +1,63 @@
+// Invariant auditor: structural checks over the (DFG, schedule, binding)
+// triple and the materialized ETPN.
+//
+// The synthesis loop maintains one consistency contract -- operations
+// scheduled after their operands, no two operations of a module in the same
+// step, variables of a register with pairwise-disjoint lifetimes, every arc
+// of the data path anchored at both ends -- and each individual structure
+// already has throwing validate() methods.  The auditor is different in two
+// ways: it checks the *cross-structure* invariants those methods cannot see
+// from inside one object, and it reports every violation it finds instead
+// of throwing at the first, so a corrupted design produces an actionable
+// list rather than a single opaque message.
+//
+// Run it at every Algorithm-1 iteration boundary with
+// AlgorithmOptions::audit = true (zero cost when false: one branch).  The
+// fault-injection tests use it to prove that no failure mode -- injected
+// exception, bad_alloc, cancellation -- ever lets a structurally invalid
+// design escape as a "valid" result.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dfg/dfg.hpp"
+#include "etpn/binding.hpp"
+#include "etpn/etpn.hpp"
+#include "sched/schedule.hpp"
+
+namespace hlts::core {
+
+/// Outcome of one audit pass: empty means every invariant held.
+struct AuditReport {
+  std::vector<std::string> violations;
+
+  [[nodiscard]] bool ok() const { return violations.empty(); }
+  /// "ok" or the violations joined with "; ".
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Audits a scheduled, bound design:
+///   - the DFG's own structural validity (wrapped, non-throwing),
+///   - every operation scheduled in a positive step strictly after all of
+///     its data predecessors (precedence violations),
+///   - the binding's own validity (wrapped, non-throwing),
+///   - no two operations of one module in the same control step,
+///   - pairwise-disjoint register lifetimes within every register group.
+[[nodiscard]] AuditReport audit_design(const dfg::Dfg& g,
+                                       const sched::Schedule& s,
+                                       const etpn::Binding& b);
+
+/// Audits a materialized ETPN against its binding:
+///   - every arc's endpoints are valid nodes and back-linked from both
+///     (no dangling arcs),
+///   - arc step annotations are sorted, unique and non-negative,
+///   - every alive module/register has a data-path node of the right kind.
+[[nodiscard]] AuditReport audit_etpn(const dfg::Dfg& g, const etpn::Etpn& e,
+                                     const etpn::Binding& b);
+
+/// Throws hlts::Error(ErrorKind::Internal) listing every violation when the
+/// report is not ok; `where` names the checkpoint for the message.
+void enforce_audit(const AuditReport& report, const char* where);
+
+}  // namespace hlts::core

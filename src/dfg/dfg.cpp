@@ -93,7 +93,7 @@ bool ops_module_compatible(OpKind a, OpKind b) {
 }
 
 VarId Dfg::add_input(const std::string& name) {
-  HLTS_REQUIRE(!find_var(name), "duplicate variable name: " + name);
+  HLTS_REQUIRE_INPUT(!find_var(name), "duplicate variable name: " + name);
   Variable v;
   v.name = name;
   v.is_primary_input = true;
@@ -101,14 +101,14 @@ VarId Dfg::add_input(const std::string& name) {
 }
 
 VarId Dfg::add_variable(const std::string& name) {
-  HLTS_REQUIRE(!find_var(name), "duplicate variable name: " + name);
+  HLTS_REQUIRE_INPUT(!find_var(name), "duplicate variable name: " + name);
   Variable v;
   v.name = name;
   return vars_.push_back(std::move(v));
 }
 
 void Dfg::mark_output(VarId var, bool registered) {
-  HLTS_REQUIRE(vars_.contains(var), "mark_output: bad variable id");
+  HLTS_REQUIRE_INPUT(vars_.contains(var), "mark_output: bad variable id");
   vars_[var].is_primary_output = true;
   vars_[var].po_registered = registered;
 }
@@ -122,14 +122,15 @@ bool Dfg::needs_register(VarId var) const {
 
 OpId Dfg::add_op(const std::string& name, OpKind kind,
                  const std::vector<VarId>& inputs, VarId output) {
-  HLTS_REQUIRE(!find_op(name), "duplicate operation name: " + name);
-  HLTS_REQUIRE(static_cast<int>(inputs.size()) == op_arity(kind),
-               "operation " + name + ": arity mismatch");
-  HLTS_REQUIRE(vars_.contains(output), "operation " + name + ": bad output var");
-  HLTS_REQUIRE(!vars_[output].def.valid() && !vars_[output].is_primary_input,
-               "operation " + name + ": output already defined");
+  HLTS_REQUIRE_INPUT(!find_op(name), "duplicate operation name: " + name);
+  HLTS_REQUIRE_INPUT(static_cast<int>(inputs.size()) == op_arity(kind),
+                     "operation " + name + ": arity mismatch");
+  HLTS_REQUIRE_INPUT(vars_.contains(output),
+                     "operation " + name + ": bad output var");
+  HLTS_REQUIRE_INPUT(!vars_[output].def.valid() && !vars_[output].is_primary_input,
+                     "operation " + name + ": output already defined");
   for (VarId in : inputs) {
-    HLTS_REQUIRE(vars_.contains(in), "operation " + name + ": bad input var");
+    HLTS_REQUIRE_INPUT(vars_.contains(in), "operation " + name + ": bad input var");
   }
   Operation op;
   op.name = name;

@@ -4,6 +4,7 @@
 
 #include "frontend/parser.hpp"
 #include "util/error.hpp"
+#include "util/failpoint.hpp"
 #include "util/thread_pool.hpp"
 
 namespace hlts::engine {
@@ -12,6 +13,31 @@ namespace {
 
 bool is_terminal(JobState state) {
   return state != JobState::Pending && state != JobState::Running;
+}
+
+std::int64_t now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Exponential backoff with a deterministic jitter: hashing the job name
+/// and attempt number (FNV-1a) de-clusters a batch of simultaneous retries
+/// identically on every run, keeping failure tests reproducible.
+std::chrono::milliseconds retry_delay(const std::string& job_name, int attempt,
+                                      std::chrono::milliseconds base) {
+  if (base.count() <= 0) return std::chrono::milliseconds{0};
+  std::uint64_t h = 1469598103934665603ull;
+  for (const char c : job_name) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  h ^= static_cast<std::uint64_t>(attempt);
+  h *= 1099511628211ull;
+  const std::int64_t exp = base.count() << std::min(attempt - 1, 6);
+  const std::int64_t jitter =
+      static_cast<std::int64_t>(h % static_cast<std::uint64_t>(base.count() + 1));
+  return std::chrono::milliseconds(exp + jitter);
 }
 
 }  // namespace
@@ -92,7 +118,7 @@ void Job::finish(JobState state) {
 
 // --- Engine ----------------------------------------------------------------
 
-Engine::Engine(EngineOptions options) {
+Engine::Engine(EngineOptions options) : options_(options) {
   const int total = static_cast<int>(util::ThreadPool::default_threads());
   num_workers_ = options.max_concurrent_jobs > 0 ? options.max_concurrent_jobs
                                                  : std::min(total, 4);
@@ -100,9 +126,13 @@ Engine::Engine(EngineOptions options) {
   threads_per_job_ = options.threads_per_job > 0
                          ? options.threads_per_job
                          : std::max(1, total / num_workers_);
+  options_.max_retries = std::max(0, options_.max_retries);
   workers_.reserve(static_cast<std::size_t>(num_workers_));
   for (int i = 0; i < num_workers_; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
+  }
+  if (options_.stall_deadline.count() > 0) {
+    watchdog_ = std::thread([this] { watchdog_loop(); });
   }
 }
 
@@ -112,7 +142,9 @@ Engine::~Engine() {
     stop_ = true;
   }
   queue_cv_.notify_all();
+  watchdog_cv_.notify_all();
   for (std::thread& w : workers_) w.join();
+  if (watchdog_.joinable()) watchdog_.join();
 }
 
 JobPtr Engine::submit(FlowRequest request, JobOptions options) {
@@ -180,6 +212,10 @@ void Engine::run_job(const JobPtr& job) {
     std::lock_guard<std::mutex> lock(job->mutex_);
     job->state_ = JobState::Running;
   }
+  {
+    std::lock_guard<std::mutex> lock(running_mutex_);
+    running_.push_back(job);
+  }
 
   const auto t0 = std::chrono::steady_clock::now();
   const bool has_deadline = job->options_.timeout.count() > 0;
@@ -191,49 +227,100 @@ void Engine::run_job(const JobPtr& job) {
   util::Trace trace;
   util::Trace::Scope scope(&trace);
 
+  // Attempt loop: Transient failures (ErrorKind::Transient exceptions and
+  // flows that degraded to a Partial checkpoint) are retried with backoff
+  // up to options_.max_retries extra times; the best checkpoint (most
+  // committed iterations) survives across attempts.  Input/Internal errors
+  // fail the job on the spot.
   std::optional<core::FlowResult> result;
   std::string error;
-  try {
-    const dfg::Dfg* g = nullptr;
-    std::optional<dfg::Dfg> compiled;
-    if (job->request_.dfg) {
-      g = &*job->request_.dfg;
-    } else {
-      frontend::CompileResult cr =
-          frontend::compile_or_error(job->request_.source);
-      if (!cr) {
-        error = cr.error.message;
+  bool error_transient = false;
+  for (int attempt = 1;; ++attempt) {
+    job->attempts_.store(attempt, std::memory_order_relaxed);
+    job->heartbeat_ns_.store(now_ns(), std::memory_order_relaxed);
+
+    std::optional<core::FlowResult> attempt_result;
+    std::string attempt_error;
+    bool transient = false;
+    try {
+      HLTS_FAILPOINT("engine.worker");
+      const dfg::Dfg* g = nullptr;
+      std::optional<dfg::Dfg> compiled;
+      if (job->request_.dfg) {
+        g = &*job->request_.dfg;
       } else {
-        compiled = std::move(cr.dfg);
-        g = &*compiled;
+        frontend::CompileResult cr =
+            frontend::compile_or_error(job->request_.source);
+        if (!cr) {
+          attempt_error = cr.error.message;  // malformed input: never retried
+        } else {
+          compiled = std::move(cr.dfg);
+          g = &*compiled;
+        }
       }
+      if (g != nullptr) {
+        core::FlowParams params = job->request_.params;
+        if (params.num_threads == 0) params.num_threads = threads_per_job_;
+        params.cancel = &job->cancel_;
+        // Chain rather than replace a hook the caller put in the request.
+        const auto chained = params.on_iteration;
+        params.on_iteration = [&](const core::IterationRecord& rec) {
+          job->heartbeat_ns_.store(now_ns(), std::memory_order_relaxed);
+          {
+            std::lock_guard<std::mutex> lock(job->mutex_);
+            job->progress_.push_back(rec);
+          }
+          if (job->options_.on_iteration) job->options_.on_iteration(rec);
+          if (chained) chained(rec);
+          if (has_deadline && std::chrono::steady_clock::now() >= deadline) {
+            job->timed_out_.store(true, std::memory_order_relaxed);
+            job->cancel_.store(true, std::memory_order_relaxed);
+          }
+        };
+        attempt_result = core::run_flow(job->request_.kind, *g, params);
+      }
+    } catch (const std::exception& e) {
+      // Nothing may cross the thread boundary: synthesis contract
+      // violations become this job's diagnostic, siblings keep running.
+      attempt_error = e.what();
+      transient = classify_exception(e) == ErrorKind::Transient;
     }
-    if (g != nullptr) {
-      core::FlowParams params = job->request_.params;
-      if (params.num_threads == 0) params.num_threads = threads_per_job_;
-      params.cancel = &job->cancel_;
-      // Chain rather than replace a hook the caller put in the request.
-      const auto chained = params.on_iteration;
-      params.on_iteration = [&](const core::IterationRecord& rec) {
-        {
-          std::lock_guard<std::mutex> lock(job->mutex_);
-          job->progress_.push_back(rec);
-        }
-        if (job->options_.on_iteration) job->options_.on_iteration(rec);
-        if (chained) chained(rec);
-        if (has_deadline && std::chrono::steady_clock::now() >= deadline) {
-          job->timed_out_.store(true, std::memory_order_relaxed);
-          job->cancel_.store(true, std::memory_order_relaxed);
-        }
-      };
-      result = core::run_flow(job->request_.kind, *g, params);
+
+    if (attempt_result) {
+      error.clear();
+      error_transient = false;
+      const bool degraded =
+          attempt_result->completeness == core::Completeness::Partial &&
+          attempt_result->stop_reason.rfind("degraded", 0) == 0;
+      if (!result || attempt_result->iterations >= result->iterations) {
+        result = std::move(attempt_result);
+      }
+      if (!degraded) break;  // Full, or a deliberate Partial (cancel/budget)
+      transient = true;      // an absorbed fault cut the run short: retry
+      attempt_error = result->stop_reason;
+    } else if (!attempt_error.empty()) {
+      error = attempt_error;
+      error_transient = transient;
+    } else {
+      break;  // defensive: no result and no diagnostic
     }
-  } catch (const std::exception& e) {
-    // Nothing may cross the thread boundary: synthesis contract violations
-    // become this job's diagnostic, siblings keep running.
-    error = e.what();
-    result.reset();
+
+    if (!transient || attempt > options_.max_retries ||
+        job->cancel_.load(std::memory_order_relaxed)) {
+      break;
+    }
+    trace_.add_counter("jobs.retries");
+    std::this_thread::sleep_for(
+        retry_delay(job->name_, attempt, options_.retry_backoff));
   }
+  // A best-effort checkpoint beats a transient diagnostic; an Input or
+  // Internal error still fails the job even when an earlier attempt left a
+  // partial result behind (a possibly broken invariant must fail loudly).
+  if (result && error_transient) {
+    error.clear();
+    error_transient = false;
+  }
+  if (!error.empty()) result.reset();
 
   const double wall_ms =
       std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
@@ -257,10 +344,40 @@ void Engine::run_job(const JobPtr& job) {
     job->trace_ = trace.snapshot();
     job->wall_ms_ = wall_ms;
   }
+  {
+    std::lock_guard<std::mutex> lock(running_mutex_);
+    running_.erase(std::find(running_.begin(), running_.end(), job));
+  }
   trace_.add_span("job." + job->name_, span_start,
                   trace_.now_us() - span_start);
   trace_.add_counter(std::string("jobs.") + job_state_name(final_state));
   job->finish(final_state);
+}
+
+void Engine::watchdog_loop() {
+  const auto deadline_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                               options_.stall_deadline)
+                               .count();
+  const auto period = std::max(options_.stall_deadline / 4,
+                               std::chrono::milliseconds{5});
+  std::unique_lock<std::mutex> lock(queue_mutex_);
+  while (!stop_) {
+    watchdog_cv_.wait_for(lock, period);
+    if (stop_) break;
+    std::vector<JobPtr> running;
+    {
+      std::lock_guard<std::mutex> rlock(running_mutex_);
+      running = running_;
+    }
+    const std::int64_t now = now_ns();
+    for (const JobPtr& job : running) {
+      const std::int64_t hb = job->heartbeat_ns_.load(std::memory_order_relaxed);
+      if (hb != 0 && now - hb > deadline_ns &&
+          !job->stalled_.exchange(true, std::memory_order_relaxed)) {
+        trace_.add_counter("jobs.stall_flagged");
+      }
+    }
+  }
 }
 
 }  // namespace hlts::engine

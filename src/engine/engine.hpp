@@ -29,13 +29,21 @@
 //
 // Failure contract: no exception crosses a thread boundary.  Parse errors
 // (via frontend::compile_or_error) and synthesis errors become the job's
-// error() string and a Failed state; sibling jobs are unaffected.
+// error() string and a Failed state; sibling jobs are unaffected.  Failures
+// are classified by hlts::ErrorKind: Transient failures (injected faults,
+// bad_alloc) are retried up to EngineOptions::max_retries times with
+// exponential backoff and deterministic jitter, and a job whose flow
+// degraded to a Partial result keeps the best checkpoint across attempts;
+// Input and Internal errors fail the job immediately.  An optional
+// watchdog (EngineOptions::stall_deadline) flags running jobs whose
+// iteration heartbeat has gone quiet.
 #pragma once
 
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
@@ -121,6 +129,18 @@ class Job {
   /// Snapshot of the streamed iteration records; callable at any time.
   [[nodiscard]] std::vector<core::IterationRecord> progress() const;
 
+  /// Times the engine has started (or restarted) this job; a value above 1
+  /// means Transient failures were retried.  Callable at any time.
+  [[nodiscard]] int attempts() const {
+    return attempts_.load(std::memory_order_relaxed);
+  }
+  /// True once the watchdog flagged this job's iteration heartbeat as
+  /// older than EngineOptions::stall_deadline.  Sticky; callable at any
+  /// time.
+  [[nodiscard]] bool stalled() const {
+    return stalled_.load(std::memory_order_relaxed);
+  }
+
  private:
   friend class Engine;
   Job(FlowRequest request, JobOptions options, std::string name);
@@ -136,6 +156,11 @@ class Job {
   JobState state_ = JobState::Pending;
   std::atomic<bool> cancel_{false};
   std::atomic<bool> timed_out_{false};
+  std::atomic<int> attempts_{0};
+  std::atomic<bool> stalled_{false};
+  /// steady_clock nanoseconds of the last sign of life (attempt start or
+  /// committed iteration); 0 until the job first runs.
+  std::atomic<std::int64_t> heartbeat_ns_{0};
   std::optional<core::FlowResult> result_;
   std::string error_;
   util::TraceSnapshot trace_;
@@ -154,6 +179,21 @@ struct EngineOptions {
   /// the job workers, never below 1 -- i.e. a loaded engine uses about
   /// default_threads() threads in total across both levels.
   int threads_per_job = 0;
+  /// Extra runs granted to a job that fails with a Transient error
+  /// (ErrorKind::Transient: injected fault, bad_alloc) or degrades to a
+  /// Partial result mid-flow.  0 disables retries.
+  int max_retries = 2;
+  /// Base delay before a retry; doubles per attempt, plus a deterministic
+  /// jitter derived from the job name so a batch of retries de-clusters
+  /// the same way on every run.
+  std::chrono::milliseconds retry_backoff{25};
+  /// Watchdog deadline: a Running job whose last heartbeat (attempt start
+  /// or committed iteration) is older than this is flagged via
+  /// Job::stalled() and the "jobs.stall_flagged" metrics counter.  The
+  /// job is not killed -- Algorithm-1 iterations vary widely in length, so
+  /// the flag is a diagnostic, not an abort.  0 disables the watchdog
+  /// thread entirely.
+  std::chrono::milliseconds stall_deadline{0};
 };
 
 class Engine {
@@ -183,20 +223,27 @@ class Engine {
  private:
   void worker_loop();
   void run_job(const JobPtr& job);
+  void watchdog_loop();
 
   int num_workers_ = 1;
   int threads_per_job_ = 1;
+  EngineOptions options_;  ///< retry/watchdog knobs (thread counts resolved above)
 
   std::mutex queue_mutex_;
   std::condition_variable queue_cv_;   // workers wait for work / stop
   std::condition_variable drain_cv_;   // wait_all waits for in-flight == 0
+  std::condition_variable watchdog_cv_;  // watchdog sleeps, woken on stop
   std::deque<JobPtr> queue_;
   std::size_t in_flight_ = 0;  ///< submitted and not yet finished
   std::uint64_t next_id_ = 0;
   bool stop_ = false;
 
+  std::mutex running_mutex_;
+  std::vector<JobPtr> running_;  ///< jobs currently inside run_job()
+
   util::Trace trace_;  ///< engine-level spans/counters (thread-safe)
   std::vector<std::thread> workers_;
+  std::thread watchdog_;
 };
 
 }  // namespace hlts::engine

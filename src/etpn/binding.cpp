@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/error.hpp"
+#include "util/failpoint.hpp"
 #include "util/strings.hpp"
 
 namespace hlts::etpn {
@@ -57,6 +58,7 @@ bool Binding::can_merge_modules(const dfg::Dfg& g, ModuleId a, ModuleId b) const
 }
 
 void Binding::merge_modules(const dfg::Dfg& g, ModuleId into, ModuleId from) {
+  HLTS_FAILPOINT("alloc.merge");  // before any mutation: a throw leaves `this` intact
   HLTS_REQUIRE(can_merge_modules(g, into, from), "illegal module merger");
   for (dfg::OpId op : module_ops_[from]) {
     op_to_module_[op] = into;
@@ -83,6 +85,7 @@ bool Binding::can_merge_regs(RegId a, RegId b) const {
 }
 
 void Binding::merge_regs(RegId into, RegId from) {
+  HLTS_FAILPOINT("alloc.merge");  // before any mutation: a throw leaves `this` intact
   HLTS_REQUIRE(can_merge_regs(into, from), "illegal register merger");
   for (dfg::VarId v : reg_vars_[from]) {
     var_to_reg_[v] = into;

@@ -64,6 +64,10 @@ class DataPath {
   [[nodiscard]] std::size_t num_arcs() const { return arcs_.size(); }
   [[nodiscard]] const DpNode& node(DpNodeId n) const { return nodes_[n]; }
   [[nodiscard]] const DpArc& arc(DpArcId a) const { return arcs_[a]; }
+  /// Mutable node access for transformation passes and corruption tests.
+  /// Editing arc lists can break the back-link invariant; the
+  /// core/validate auditor exists to catch exactly that.
+  [[nodiscard]] DpNode& node(DpNodeId n) { return nodes_[n]; }
   [[nodiscard]] IdRange<DpNodeId> node_ids() const {
     return id_range<DpNodeId>(nodes_.size());
   }

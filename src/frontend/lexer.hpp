@@ -35,7 +35,8 @@ class ParseError : public Error {
   ParseError(const std::string& phase, std::string message, int line,
              int column)
       : Error(phase + " error at " + std::to_string(line) + ":" +
-              std::to_string(column) + ": " + message),
+                  std::to_string(column) + ": " + message,
+              ErrorKind::Input),
         message_(std::move(message)),
         line_(line),
         column_(column) {}

@@ -5,6 +5,7 @@
 
 #include "frontend/lexer.hpp"
 #include "util/error.hpp"
+#include "util/failpoint.hpp"
 #include "util/trace.hpp"
 
 namespace hlts::frontend {
@@ -246,7 +247,8 @@ class Parser {
     for (const auto& [name, registered] : outputs_) {
       auto v = out.find_var(name);
       if (!v || (!out.var(*v).def.valid() && !out.var(*v).is_primary_input)) {
-        throw Error("output '" + name + "' is never assigned");
+        throw Error("output '" + name + "' is never assigned",
+                    ErrorKind::Input);
       }
       out.mark_output(*v, registered);
     }
@@ -270,6 +272,7 @@ class Parser {
 
 dfg::Dfg compile(const std::string& source) {
   HLTS_SPAN("frontend.compile");
+  HLTS_FAILPOINT("frontend.parse");
   return Parser(source).run();
 }
 
@@ -277,11 +280,15 @@ CompileResult compile_or_error(const std::string& source) {
   HLTS_SPAN("frontend.compile");
   CompileResult r;
   try {
+    HLTS_FAILPOINT("frontend.parse");
     r.dfg = Parser(source).run();
   } catch (const ParseError& e) {
     r.error = {e.what(), e.line(), e.column()};
   } catch (const Error& e) {
-    // Position-free semantic errors ("output never assigned").
+    // Only user-input errors become diagnostics ("output never assigned");
+    // Transient (injected) and Internal errors propagate to the caller's
+    // retry / failure handling.
+    if (e.kind() != ErrorKind::Input) throw;
     r.error = {e.what(), 0, 0};
   }
   return r;

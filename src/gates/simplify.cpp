@@ -311,7 +311,7 @@ SimplifyResult simplify(const Netlist& in) {
         map1[g] = build.mk_mux(ins[0], ins[1], ins[2]);
         break;
       default:
-        throw Error("simplify: unexpected combinational gate");
+        throw Error("simplify: unexpected combinational gate", ErrorKind::Internal);
     }
   }
   // Constant-valued gates that never appeared in the levelized order (e.g.

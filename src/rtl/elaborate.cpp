@@ -61,7 +61,7 @@ Word fu_core(Netlist& nl, dfg::OpKind kind, const Word& a, const Word& b,
     case OpKind::Move:
       return a;
   }
-  throw Error("fu_core: unhandled op kind");
+  throw Error("fu_core: unhandled op kind", ErrorKind::Internal);
 }
 
 /// Fibonacci-LFSR feedback taps (bit indices) for common widths; the

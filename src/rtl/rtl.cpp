@@ -10,7 +10,7 @@ namespace hlts::rtl {
 
 RtlDesign RtlDesign::from_synthesis(const dfg::Dfg& g, const sched::Schedule& s,
                                     const etpn::Binding& b, int bits) {
-  HLTS_REQUIRE(bits >= 1, "RTL width must be >= 1");
+  HLTS_REQUIRE_INPUT(bits >= 1, "RTL width must be >= 1");
   RtlDesign d;
   d.name_ = g.name();
   d.bits_ = bits;

@@ -43,8 +43,8 @@ Schedule asap(const dfg::Dfg& g) {
 }
 
 Schedule alap(const dfg::Dfg& g, int latency) {
-  HLTS_REQUIRE(latency >= g.critical_path_ops(),
-               "alap: latency below critical path length");
+  HLTS_REQUIRE_INPUT(latency >= g.critical_path_ops(),
+                     "alap: latency below critical path length");
   Schedule s(g.num_ops());
   std::vector<dfg::OpId> order = g.topo_order();
   for (auto it = order.rbegin(); it != order.rend(); ++it) {

@@ -1,13 +1,32 @@
 #include "util/error.hpp"
 
+#include <new>
 #include <sstream>
 
 namespace hlts {
 
-void throw_error(const char* file, int line, const std::string& message) {
+const char* error_kind_name(ErrorKind kind) {
+  switch (kind) {
+    case ErrorKind::Transient: return "transient";
+    case ErrorKind::Input: return "input";
+    case ErrorKind::Internal: return "internal";
+  }
+  return "?";
+}
+
+ErrorKind classify_exception(const std::exception& e) {
+  if (const auto* err = dynamic_cast<const Error*>(&e)) return err->kind();
+  if (dynamic_cast<const std::bad_alloc*>(&e) != nullptr) {
+    return ErrorKind::Transient;
+  }
+  return ErrorKind::Internal;
+}
+
+void throw_error(const char* file, int line, const std::string& message,
+                 ErrorKind kind) {
   std::ostringstream os;
   os << message << " (" << file << ":" << line << ")";
-  throw Error(os.str());
+  throw Error(os.str(), kind);
 }
 
 }  // namespace hlts

@@ -3,27 +3,79 @@
 // The synthesis pipeline is a chain of graph transformations; a silently
 // corrupted graph is far worse than an exception, so structural invariants
 // are checked eagerly in both build types.
+//
+// Every Error carries an ErrorKind so callers that supervise work (the batch
+// engine, hlts_batch) can decide what a failure *means* without parsing
+// message strings:
+//
+//   Transient -- the computation itself is fine but this attempt was hit by
+//                an environmental fault (injected failpoint, resource
+//                exhaustion).  Retrying the same work may succeed; the
+//                engine retries these with exponential backoff.
+//   Input     -- the caller's input or parameters are malformed (parse
+//                error, unknown benchmark, k = 0).  Retrying is pointless;
+//                the error is reported to whoever supplied the input.
+//   Internal  -- a structural invariant of the pipeline itself broke.  This
+//                is a bug (or injected corruption the invariant auditor
+//                caught); it must fail loudly and is never retried.
+//
+// std::bad_alloc classifies as Transient: memory pressure is an attribute
+// of the moment, not of the input, and the anytime synthesis loop degrades
+// to its best-so-far checkpoint instead of propagating the OOM.
 #pragma once
 
+#include <exception>
 #include <stdexcept>
 #include <string>
 
 namespace hlts {
 
+enum class ErrorKind {
+  Transient,  ///< environmental; retry may succeed
+  Input,      ///< malformed input/parameters; retry is pointless
+  Internal,   ///< broken pipeline invariant; a bug, never retried
+};
+
+/// "transient" / "input" / "internal".
+[[nodiscard]] const char* error_kind_name(ErrorKind kind);
+
 /// Exception thrown on contract violations and malformed inputs.
 class Error : public std::runtime_error {
  public:
-  explicit Error(const std::string& what) : std::runtime_error(what) {}
+  explicit Error(const std::string& what, ErrorKind kind = ErrorKind::Internal)
+      : std::runtime_error(what), kind_(kind) {}
+
+  [[nodiscard]] ErrorKind kind() const { return kind_; }
+
+ private:
+  ErrorKind kind_;
 };
 
-[[noreturn]] void throw_error(const char* file, int line, const std::string& message);
+/// Maps any caught exception onto the taxonomy: hlts::Error reports its own
+/// kind, std::bad_alloc is Transient, everything else is Internal.
+[[nodiscard]] ErrorKind classify_exception(const std::exception& e);
+
+[[noreturn]] void throw_error(const char* file, int line,
+                              const std::string& message,
+                              ErrorKind kind = ErrorKind::Internal);
 
 }  // namespace hlts
 
-/// Checks a precondition / invariant; throws hlts::Error with location info.
+/// Checks an internal precondition / invariant; throws hlts::Error
+/// (ErrorKind::Internal) with location info.
 #define HLTS_REQUIRE(cond, message)                         \
   do {                                                      \
     if (!(cond)) {                                          \
       ::hlts::throw_error(__FILE__, __LINE__, (message));   \
+    }                                                       \
+  } while (false)
+
+/// Checks a condition on caller-supplied input; throws hlts::Error with
+/// ErrorKind::Input, so supervisors know not to retry.
+#define HLTS_REQUIRE_INPUT(cond, message)                   \
+  do {                                                      \
+    if (!(cond)) {                                          \
+      ::hlts::throw_error(__FILE__, __LINE__, (message),    \
+                          ::hlts::ErrorKind::Input);        \
     }                                                       \
   } while (false)

@@ -1,0 +1,221 @@
+#include "util/failpoint.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <new>
+#include <stdexcept>
+#include <thread>
+
+#include "util/error.hpp"
+
+namespace hlts::util::failpoint {
+
+namespace {
+
+/// Runtime state of one configured site: the spec plus its hit counters.
+/// The draw counter drives the deterministic pseudo-random stream, so one
+/// configuration produces one trigger sequence regardless of wall clock.
+struct SiteState {
+  Spec spec;
+  std::int64_t hits = 0;
+  std::int64_t triggers = 0;
+};
+
+std::mutex g_mutex;
+std::vector<SiteState>& states() {
+  static std::vector<SiteState> s;
+  return s;
+}
+
+/// splitmix64: a full-period mixer, enough to turn (seed, draw index) into
+/// an i.i.d.-looking uniform stream.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+double uniform01(std::uint64_t seed, std::uint64_t n) {
+  // 53 mantissa bits -> [0, 1).
+  return static_cast<double>(mix64(seed ^ mix64(n)) >> 11) * 0x1.0p-53;
+}
+
+bool parse_mode(const std::string& text, Mode* out) {
+  if (text == "error") { *out = Mode::Error; return true; }
+  if (text == "badalloc") { *out = Mode::BadAlloc; return true; }
+  if (text == "delay") { *out = Mode::Delay; return true; }
+  return false;
+}
+
+std::vector<std::string> split(const std::string& text, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  for (;;) {
+    const std::size_t end = text.find(sep, start);
+    out.push_back(text.substr(start, end - start));
+    if (end == std::string::npos) break;
+    start = end + 1;
+  }
+  return out;
+}
+
+bool parse_spec(const std::string& text, Spec* out, std::string* error) {
+  const std::vector<std::string> fields = split(text, ':');
+  if (fields.size() < 4 || fields.size() > 5) {
+    *error = "failpoint spec '" + text +
+             "': expected site:mode:probability:seed[:param]";
+    return false;
+  }
+  Spec spec;
+  spec.site = fields[0];
+  const std::vector<std::string>& sites = known_sites();
+  if (std::find(sites.begin(), sites.end(), spec.site) == sites.end()) {
+    *error = "failpoint spec '" + text + "': unknown site '" + spec.site + "'";
+    return false;
+  }
+  if (!parse_mode(fields[1], &spec.mode)) {
+    *error = "failpoint spec '" + text + "': unknown mode '" + fields[1] +
+             "' (expected error|badalloc|delay)";
+    return false;
+  }
+  try {
+    std::size_t pos = 0;
+    spec.probability = std::stod(fields[2], &pos);
+    if (pos != fields[2].size()) throw std::invalid_argument(fields[2]);
+    spec.seed = std::stoull(fields[3], &pos);
+    if (pos != fields[3].size()) throw std::invalid_argument(fields[3]);
+    if (fields.size() == 5) {
+      spec.param = std::stoll(fields[4], &pos);
+      if (pos != fields[4].size()) throw std::invalid_argument(fields[4]);
+    } else if (spec.mode == Mode::Delay) {
+      spec.param = 50;  // default sleep ms
+    }
+  } catch (const std::exception&) {
+    *error = "failpoint spec '" + text + "': malformed number";
+    return false;
+  }
+  if (spec.probability < 0 || spec.probability > 1) {
+    *error = "failpoint spec '" + text + "': probability must be in [0, 1]";
+    return false;
+  }
+  if (spec.param < 0) {
+    *error = "failpoint spec '" + text + "': param must be >= 0";
+    return false;
+  }
+  *out = spec;
+  return true;
+}
+
+/// Arms from HLTS_FAILPOINTS once, before main() runs.  A malformed value
+/// is a hard configuration error: better to refuse the whole process than
+/// to run a "fault-injection soak" that silently injects nothing.
+struct EnvInit {
+  EnvInit() {
+    const char* env = std::getenv("HLTS_FAILPOINTS");
+    if (env == nullptr || *env == '\0') return;
+    std::string error;
+    if (!configure(env, &error)) {
+      std::fprintf(stderr, "HLTS_FAILPOINTS: %s\n", error.c_str());
+      std::abort();
+    }
+  }
+};
+const EnvInit g_env_init;
+
+}  // namespace
+
+namespace detail {
+std::atomic<bool> g_armed{false};
+}  // namespace detail
+
+const std::vector<std::string>& known_sites() {
+  static const std::vector<std::string> sites = {
+      "frontend.parse", "sched.reschedule", "alloc.merge",
+      "atpg.fault_sim", "engine.worker",    "pool.task",
+  };
+  return sites;
+}
+
+bool configure(const std::string& spec_list, std::string* error) {
+  std::vector<SiteState> parsed;
+  if (!spec_list.empty()) {
+    for (const std::string& text : split(spec_list, ',')) {
+      Spec spec;
+      std::string local_error;
+      if (!parse_spec(text, &spec, &local_error)) {
+        if (error != nullptr) *error = local_error;
+        return false;
+      }
+      parsed.push_back(SiteState{spec, 0, 0});
+    }
+  }
+  std::lock_guard<std::mutex> lock(g_mutex);
+  states() = std::move(parsed);
+  detail::g_armed.store(!states().empty(), std::memory_order_relaxed);
+  return true;
+}
+
+void clear() {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  states().clear();
+  detail::g_armed.store(false, std::memory_order_relaxed);
+}
+
+std::vector<Spec> active() {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  std::vector<Spec> out;
+  for (const SiteState& s : states()) out.push_back(s.spec);
+  return out;
+}
+
+std::vector<SiteStats> stats() {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  std::vector<SiteStats> out;
+  for (const SiteState& s : states()) {
+    out.push_back(SiteStats{s.spec.site, s.hits, s.triggers});
+  }
+  return out;
+}
+
+void hit(const char* site) {
+  Mode mode = Mode::Error;
+  std::int64_t delay_ms = 0;
+  std::string site_name;
+  bool fire = false;
+  {
+    std::lock_guard<std::mutex> lock(g_mutex);
+    for (SiteState& s : states()) {
+      if (s.spec.site != site) continue;
+      const std::uint64_t draw = static_cast<std::uint64_t>(s.hits);
+      ++s.hits;
+      if (uniform01(s.spec.seed, draw) >= s.spec.probability) continue;
+      const bool counted = s.spec.mode != Mode::Delay;
+      if (counted && s.spec.param > 0 && s.triggers >= s.spec.param) {
+        continue;  // trigger budget exhausted: site stays passive
+      }
+      ++s.triggers;
+      fire = true;
+      mode = s.spec.mode;
+      delay_ms = s.spec.param;
+      site_name = s.spec.site;
+      break;
+    }
+  }
+  if (!fire) return;
+  switch (mode) {
+    case Mode::Error:
+      throw Error("failpoint '" + site_name + "' injected error",
+                  ErrorKind::Transient);
+    case Mode::BadAlloc:
+      throw std::bad_alloc();
+    case Mode::Delay:
+      std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+      return;
+  }
+}
+
+}  // namespace hlts::util::failpoint

@@ -1,0 +1,107 @@
+// Failpoints: named fault-injection sites compiled into the pipeline.
+//
+// A failpoint is a place where the code asks "should this step fail right
+// now?".  The engine's failure paths (retry, graceful Partial completion,
+// watchdog, per-job isolation) are only trustworthy if they are *exercised*;
+// failpoints let tests and the hlts_batch soak inject faults exactly where
+// real ones would occur, deterministically.
+//
+// Sites (one literal name per injection point):
+//
+//   frontend.parse    -- entry of the DSL compiler
+//   sched.reschedule  -- entry of core::reschedule (every trial evaluation)
+//   alloc.merge       -- etpn::Binding::merge_modules / merge_regs
+//   atpg.fault_sim    -- entry of a fault-simulation batch
+//   engine.worker     -- start of every engine job attempt
+//   pool.task         -- before every util::ThreadPool task body
+//
+// Configuration: the HLTS_FAILPOINTS environment variable (read once at
+// process start) or failpoint::configure(), both taking a comma-separated
+// list of
+//
+//   site:mode:probability:seed[:param]
+//
+//   mode         error    -- throw hlts::Error with ErrorKind::Transient
+//                badalloc -- throw std::bad_alloc
+//                delay    -- sleep `param` milliseconds (default 50)
+//   probability  0..1, evaluated with a deterministic counter-hash stream
+//                seeded by `seed` (same hit sequence => same triggers)
+//   param        error/badalloc: maximum number of triggers, 0 = unlimited
+//                delay: sleep duration in ms
+//
+// e.g. HLTS_FAILPOINTS=sched.reschedule:error:0.1:42,engine.worker:delay:1:0:20
+//
+// Cost when not configured: HLTS_FAILPOINT(site) is one relaxed atomic bool
+// load and a never-taken branch -- nothing is looked up, formatted, or
+// locked.  The whole framework is inert unless a spec arms it.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hlts::util::failpoint {
+
+enum class Mode { Error, BadAlloc, Delay };
+
+/// One configured injection: parsed form of site:mode:probability:seed[:param].
+struct Spec {
+  std::string site;
+  Mode mode = Mode::Error;
+  double probability = 1.0;
+  std::uint64_t seed = 0;
+  /// error/badalloc: max triggers (0 = unlimited); delay: milliseconds.
+  std::int64_t param = 0;
+};
+
+/// Per-site observability for tests and the soak report.
+struct SiteStats {
+  std::string site;
+  std::int64_t hits = 0;      ///< times the site was evaluated while armed
+  std::int64_t triggers = 0;  ///< times a fault actually fired
+};
+
+/// The closed set of site names compiled into the code; configure() rejects
+/// anything else so a typo in a spec fails fast instead of silently never
+/// firing.
+[[nodiscard]] const std::vector<std::string>& known_sites();
+
+/// Replaces the active configuration with the parsed `spec_list` (the
+/// HLTS_FAILPOINTS syntax above).  Returns false and fills `*error` on a
+/// malformed spec or unknown site, leaving the previous configuration
+/// untouched.  An empty list disarms everything (same as clear()).
+bool configure(const std::string& spec_list, std::string* error = nullptr);
+
+/// Disarms all failpoints and resets statistics.
+void clear();
+
+/// Parsed view of the active configuration.
+[[nodiscard]] std::vector<Spec> active();
+
+/// Statistics for every site touched since the last configure()/clear().
+[[nodiscard]] std::vector<SiteStats> stats();
+
+namespace detail {
+extern std::atomic<bool> g_armed;
+}  // namespace detail
+
+/// True when any failpoint is configured.  This is the only check on the
+/// fast path; keep it a single relaxed load.
+[[nodiscard]] inline bool armed() {
+  return detail::g_armed.load(std::memory_order_relaxed);
+}
+
+/// Slow path: evaluates the site against the active configuration and
+/// performs the configured action (throw / sleep).  Only call when armed().
+void hit(const char* site);
+
+}  // namespace hlts::util::failpoint
+
+/// Marks one injection site.  Disarmed cost: one relaxed atomic load.
+#define HLTS_FAILPOINT(site)                              \
+  do {                                                    \
+    if (::hlts::util::failpoint::armed()) [[unlikely]] {  \
+      ::hlts::util::failpoint::hit(site);                 \
+    }                                                     \
+  } while (false)

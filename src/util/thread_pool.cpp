@@ -3,6 +3,8 @@
 #include <cstdlib>
 #include <limits>
 
+#include "util/failpoint.hpp"
+
 namespace hlts::util {
 
 namespace {
@@ -54,6 +56,7 @@ void ThreadPool::run_indices(const std::function<void(std::size_t)>& fn,
     const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
     if (i >= n) break;
     try {
+      HLTS_FAILPOINT("pool.task");
       fn(i);
     } catch (...) {
       std::lock_guard<std::mutex> lock(mutex_);

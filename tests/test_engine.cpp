@@ -305,6 +305,93 @@ TEST(Engine, DestructorDrainsPendingJobs) {
   }
 }
 
+// The anytime acceptance criterion: a job cancelled after k committed
+// iterations holds a Partial result bit-identical to a clean run capped at
+// max_iterations = k -- across several cut points and thread configs.
+TEST(Engine, CancelledAfterKIterationsMatchesCappedRun) {
+  dfg::Dfg g = benchmarks::make_benchmark("diffeq");
+  for (const int cut : {1, 2}) {
+    core::FlowParams capped = paper_params();
+    capped.num_threads = 1;
+    capped.max_iterations = cut;
+    const core::FlowResult reference =
+        core::run_flow(core::FlowKind::Ours, g, capped);
+    ASSERT_EQ(reference.iterations, cut);
+    ASSERT_EQ(reference.completeness, core::Completeness::Partial);
+    ASSERT_EQ(reference.stop_reason, "iteration_budget");
+
+    for (const int threads : {1, 2}) {
+      SCOPED_TRACE("cut=" + std::to_string(cut) +
+                   " threads=" + std::to_string(threads));
+      engine::Engine eng(
+          {.max_concurrent_jobs = 1, .threads_per_job = threads});
+      std::mutex handle_mutex;
+      engine::JobPtr job;
+      std::atomic<int> records{0};
+      engine::JobOptions options;
+      options.on_iteration = [&](const core::IterationRecord&) {
+        if (records.fetch_add(1, std::memory_order_relaxed) + 1 == cut) {
+          std::lock_guard<std::mutex> lock(handle_mutex);
+          job->cancel();
+        }
+      };
+      {
+        std::lock_guard<std::mutex> lock(handle_mutex);
+        job = eng.submit({.name = "cut",
+                          .kind = core::FlowKind::Ours,
+                          .dfg = g,
+                          .params = paper_params()},
+                         options);
+      }
+      job->wait();
+
+      ASSERT_EQ(job->state(), engine::JobState::Cancelled);
+      ASSERT_TRUE(job->result().has_value());
+      const core::FlowResult& partial = *job->result();
+      EXPECT_EQ(partial.completeness, core::Completeness::Partial);
+      EXPECT_EQ(partial.stop_reason, "cancelled");
+      EXPECT_EQ(partial.iterations, cut);
+      expect_identical(reference, partial);
+    }
+  }
+}
+
+TEST(Engine, CompletenessTagsAndAttemptDefaults) {
+  engine::Engine eng({.max_concurrent_jobs = 1, .threads_per_job = 1});
+  engine::JobPtr job = eng.submit({.name = "clean",
+                                   .kind = core::FlowKind::Ours,
+                                   .dfg = benchmarks::make_benchmark("ex"),
+                                   .params = paper_params()});
+  job->wait();
+  ASSERT_EQ(job->state(), engine::JobState::Succeeded);
+  EXPECT_EQ(job->attempts(), 1);
+  EXPECT_FALSE(job->stalled());
+  ASSERT_TRUE(job->result().has_value());
+  EXPECT_EQ(job->result()->completeness, core::Completeness::Full);
+  EXPECT_EQ(job->result()->stop_reason, "converged");
+  EXPECT_EQ(static_cast<std::size_t>(job->result()->iterations),
+            job->progress().size());
+  EXPECT_STREQ(core::completeness_name(core::Completeness::Full), "full");
+  EXPECT_STREQ(core::completeness_name(core::Completeness::Partial),
+               "partial");
+}
+
+TEST(Engine, TimedOutJobIsTaggedPartial) {
+  engine::Engine eng({.max_concurrent_jobs = 1, .threads_per_job = 1});
+  engine::JobOptions options;
+  options.timeout = std::chrono::milliseconds(1);
+  engine::JobPtr job = eng.submit({.name = "deadline",
+                                   .kind = core::FlowKind::Ours,
+                                   .dfg = benchmarks::make_benchmark("ewf"),
+                                   .params = paper_params()},
+                                  options);
+  job->wait();
+  ASSERT_EQ(job->state(), engine::JobState::TimedOut);
+  ASSERT_TRUE(job->result().has_value());
+  EXPECT_EQ(job->result()->completeness, core::Completeness::Partial);
+  EXPECT_EQ(job->result()->stop_reason, "cancelled");  // timeout uses cancel
+}
+
 TEST(Engine, JobStateNames) {
   EXPECT_STREQ(engine::job_state_name(engine::JobState::Pending), "pending");
   EXPECT_STREQ(engine::job_state_name(engine::JobState::Succeeded),

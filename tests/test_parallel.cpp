@@ -97,6 +97,39 @@ TEST(ThreadPool, LowestIndexExceptionWins) {
   }
 }
 
+TEST(ThreadPool, AllIndicesAttemptedDespiteExceptions) {
+  // A throwing task must not abort the job: every other index still runs,
+  // so a parallel stage's side effects are complete when the exception
+  // surfaces (the synthesis loop relies on this to stay exception-atomic).
+  util::ThreadPool pool(4);
+  std::vector<std::atomic<int>> ran(64);
+  try {
+    pool.parallel_for(64, [&](std::size_t i) {
+      ran[i].fetch_add(1, std::memory_order_relaxed);
+      if (i % 7 == 3) throw std::runtime_error("injected");
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error&) {
+  }
+  for (std::size_t i = 0; i < ran.size(); ++i) {
+    EXPECT_EQ(ran[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, BadAllocPropagatesAndPoolSurvives) {
+  util::ThreadPool pool(3);
+  for (int rep = 0; rep < 3; ++rep) {
+    EXPECT_THROW(pool.parallel_for(8,
+                                   [](std::size_t i) {
+                                     if (i == 0) throw std::bad_alloc();
+                                   }),
+                 std::bad_alloc);
+  }
+  std::atomic<int> ok{0};
+  pool.parallel_for(10, [&](std::size_t) { ok.fetch_add(1); });
+  EXPECT_EQ(ok.load(), 10);
+}
+
 TEST(ThreadPool, NestedCallRunsInlineWithoutDeadlock) {
   util::ThreadPool pool(2);
   std::atomic<int> inner_calls{0};

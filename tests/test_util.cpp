@@ -2,7 +2,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <new>
 #include <set>
+#include <stdexcept>
 #include <string>
 
 #include "util/error.hpp"
@@ -106,6 +108,30 @@ TEST(Error, RequireMacroThrowsWithLocation) {
   } catch (const Error& e) {
     EXPECT_NE(std::string(e.what()).find("boom"), std::string::npos);
     EXPECT_NE(std::string(e.what()).find("test_util.cpp"), std::string::npos);
+  }
+}
+
+TEST(Error, KindTaxonomyAndClassification) {
+  EXPECT_STREQ(error_kind_name(ErrorKind::Transient), "transient");
+  EXPECT_STREQ(error_kind_name(ErrorKind::Input), "input");
+  EXPECT_STREQ(error_kind_name(ErrorKind::Internal), "internal");
+
+  // Errors default to Internal (a bare contract check is a bug report).
+  EXPECT_EQ(Error("x").kind(), ErrorKind::Internal);
+  EXPECT_EQ(Error("x", ErrorKind::Transient).kind(), ErrorKind::Transient);
+
+  EXPECT_EQ(classify_exception(Error("x", ErrorKind::Input)), ErrorKind::Input);
+  EXPECT_EQ(classify_exception(std::bad_alloc()), ErrorKind::Transient);
+  EXPECT_EQ(classify_exception(std::runtime_error("x")), ErrorKind::Internal);
+}
+
+TEST(Error, RequireInputMacroCarriesInputKind) {
+  try {
+    HLTS_REQUIRE_INPUT(false, "bad k");
+    FAIL() << "should have thrown";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::Input);
+    EXPECT_NE(std::string(e.what()).find("bad k"), std::string::npos);
   }
 }
 
