@@ -7,7 +7,12 @@
 //     iteration fan out across a reusable pool (bit-identical results for
 //     every thread count, verified here on every run);
 //   - SynthesisParams::trial_cache -- candidates untouched by the committed
-//     merger reuse their dE/dH across iterations.
+//     merger reuse their dE/dH across iterations;
+//   - SynthesisParams::incremental -- committed-state analyses are patched
+//     in place (etpn::apply_merge_patch + TestabilityAnalysis::update over
+//     the dirty cone) instead of rebuilt from scratch.  The bench reports
+//     wall-clock and the testability.node_visits counter for both modes;
+//     the visit ratio is the measured dirty-cone saving.
 //
 // The sweep configs run with the cache on (that is the production-scale
 // configuration); the baseline row is the seed-equivalent exact path
@@ -27,6 +32,7 @@
 #include "benchmarks/benchmarks.hpp"
 #include "core/synthesis.hpp"
 #include "util/thread_pool.hpp"
+#include "util/trace.hpp"
 
 namespace {
 
@@ -59,6 +65,34 @@ double best_of(int reps, const hlts::dfg::Dfg& g, const SynthesisParams& p,
     if (rep == 0) *sig = signature(r);
   }
   return best;
+}
+
+/// One run of a mode (incremental on/off) with a trace installed: best
+/// wall-clock over `reps` plus the deterministic analysis-work counters of
+/// a single run.
+struct ModeSample {
+  double ms = 0;
+  std::string sig;
+  std::int64_t node_visits = 0;       ///< testability.node_visits
+  std::int64_t incremental_updates = 0;
+};
+
+ModeSample sample_mode(int reps, const hlts::dfg::Dfg& g,
+                       const SynthesisParams& p) {
+  ModeSample s;
+  s.ms = best_of(reps, g, p, &s.sig);
+  hlts::util::Trace trace;
+  {
+    hlts::util::Trace::Scope scope(&trace);
+    (void)hlts::core::integrated_synthesis(g, p);
+  }
+  const auto counters = trace.snapshot().counters;
+  if (auto it = counters.find("testability.node_visits"); it != counters.end())
+    s.node_visits = it->second;
+  if (auto it = counters.find("testability.incremental_updates");
+      it != counters.end())
+    s.incremental_updates = it->second;
+  return s;
 }
 
 }  // namespace
@@ -141,7 +175,46 @@ int main(int argc, char** argv) {
            << ", \"identical_to_serial\": " << (identical ? "true" : "false")
            << "}" << (ci + 1 < thread_configs.size() ? "," : "") << "\n";
     }
-    json << "      ]\n    }";
+    json << "      ],\n";
+
+    // Incremental analysis layer vs full recompute, serial so the counter
+    // ratio is exactly the dirty-cone saving per committed merger.
+    SynthesisParams full_mode = common;
+    full_mode.num_threads = 1;
+    full_mode.trial_cache = true;
+    full_mode.incremental = false;
+    SynthesisParams inc_mode = full_mode;
+    inc_mode.incremental = true;
+    const ModeSample full_s = sample_mode(reps, g, full_mode);
+    const ModeSample inc_s = sample_mode(reps, g, inc_mode);
+    const bool inc_identical = inc_s.sig == full_s.sig;
+    if (!inc_identical) ++not_identical;
+    const double inc_speedup = inc_s.ms > 0 ? full_s.ms / inc_s.ms : 0;
+    const double visit_ratio =
+        inc_s.node_visits > 0
+            ? static_cast<double>(full_s.node_visits) / inc_s.node_visits
+            : 0;
+    std::printf(
+        "%-7s incremental: %8.1f ms vs full %8.1f ms (%.2fx); node visits "
+        "%lld vs %lld (%.2fx fewer, %lld updates)  identical=%s\n",
+        name, inc_s.ms, full_s.ms, inc_speedup,
+        static_cast<long long>(inc_s.node_visits),
+        static_cast<long long>(full_s.node_visits), visit_ratio,
+        static_cast<long long>(inc_s.incremental_updates),
+        inc_identical ? "yes" : "NO");
+    json << "      \"incremental\": {\n"
+         << "        \"full_ms\": " << full_s.ms << ",\n"
+         << "        \"incremental_ms\": " << inc_s.ms << ",\n"
+         << "        \"speedup_vs_full\": " << inc_speedup << ",\n"
+         << "        \"node_visits_full\": " << full_s.node_visits << ",\n"
+         << "        \"node_visits_incremental\": " << inc_s.node_visits
+         << ",\n"
+         << "        \"node_visit_reduction\": " << visit_ratio << ",\n"
+         << "        \"incremental_updates\": " << inc_s.incremental_updates
+         << ",\n"
+         << "        \"identical_to_full\": "
+         << (inc_identical ? "true" : "false") << "\n"
+         << "      }\n    }";
   }
   json << "\n  ]\n}\n";
 

@@ -225,13 +225,29 @@ int main(int argc, char** argv) {
       // iteration than the fault-free serial reference.
       if (verify_serial && job->state() == engine::JobState::Succeeded &&
           r.completeness == core::Completeness::Full) {
+        const core::FlowParams params = bench::paper_params(bits);
         core::FlowResult serial =
-            core::run_flow(meta[i].kind, meta[i].dfg, bench::paper_params(bits));
-        const bool same = identical(serial, r);
-        w.key("verify").value(same ? "identical" : "mismatch");
-        if (!same) {
+            core::run_flow(meta[i].kind, meta[i].dfg, params);
+        // Cross-check the incremental analysis layer against its
+        // from-scratch reference: the same serial flow with the opposite
+        // `incremental` setting must produce the same bits (the
+        // HLTS_INCREMENTAL contract).
+        core::FlowParams flipped = params;
+        flipped.incremental = !params.incremental;
+        core::FlowResult other =
+            core::run_flow(meta[i].kind, meta[i].dfg, flipped);
+        const bool same_serial = identical(serial, r);
+        const bool same_flipped = identical(other, r);
+        w.key("verify").value(same_serial && same_flipped ? "identical"
+                                                          : "mismatch");
+        if (!same_serial) {
           ++mismatches;
           std::cerr << "MISMATCH vs serial run_flow: " << job->name() << "\n";
+        }
+        if (!same_flipped) {
+          ++mismatches;
+          std::cerr << "MISMATCH incremental vs full recompute: "
+                    << job->name() << "\n";
         }
       }
     }

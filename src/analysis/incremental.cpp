@@ -1,0 +1,134 @@
+#include "analysis/incremental.hpp"
+
+#include <string>
+#include <utility>
+
+#include "util/error.hpp"
+#include "util/failpoint.hpp"
+#include "util/trace.hpp"
+
+namespace hlts::analysis {
+
+DesignDelta::DesignDelta(const dfg::Dfg& g, TrialWorkspace& ws,
+                         const testability::MergeCandidate& cand)
+    : ws_(ws), cand_(cand) {
+  into_old_size_ = cand.is_modules()
+                       ? ws.binding.module_ops(cand.module_a).size()
+                       : ws.binding.reg_vars(cand.reg_a).size();
+  // The binding merge's failpoint fires before any mutation, so a throw
+  // here leaves the workspace untouched.
+  cand.apply(g, ws.binding);
+  const auto [into, from] = cand.nodes(ws.etpn);
+  try {
+    patch_ = etpn::apply_merge_patch(ws.etpn.data_path, into, from);
+  } catch (...) {
+    // apply_merge_patch rolled the data path back (strong guarantee); undo
+    // the binding half too.  If *that* also fails, the copy is inconsistent:
+    // mark it stale so the next checkout re-syncs instead of reusing it.
+    try {
+      if (cand_.is_modules()) {
+        ws_.binding.undo_merge_modules(cand_.module_a, cand_.module_b,
+                                       into_old_size_);
+      } else {
+        ws_.binding.undo_merge_regs(cand_.reg_a, cand_.reg_b, into_old_size_);
+      }
+    } catch (...) {
+      ws_.epoch = 0;
+    }
+    throw;
+  }
+}
+
+DesignDelta::~DesignDelta() {
+  etpn::revert_merge_patch(ws_.etpn.data_path, patch_);
+  if (cand_.is_modules()) {
+    ws_.binding.undo_merge_modules(cand_.module_a, cand_.module_b,
+                                   into_old_size_);
+  } else {
+    ws_.binding.undo_merge_regs(cand_.reg_a, cand_.reg_b, into_old_size_);
+  }
+}
+
+IncrementalContext::IncrementalContext(const dfg::Dfg& g,
+                                       const cost::ModuleLibrary& lib,
+                                       int bits)
+    : g_(g), lib_(lib), bits_(bits) {}
+
+void IncrementalContext::attach(const sched::Schedule& s,
+                                const etpn::Binding& b) {
+  HLTS_REQUIRE(!poisoned_, "incremental context is poisoned");
+  b_ = b;
+  s_ = s;
+  analysis_.reset();  // holds a reference into *e_; drop before replacing
+  e_ = std::make_unique<etpn::Etpn>(etpn::build_etpn(g_, s_, b_));
+  analysis_.emplace(e_->data_path);
+  ++epoch_;
+}
+
+IncrementalContext::CommitResult IncrementalContext::commit(
+    const testability::MergeCandidate& cand, const etpn::Binding& b_after,
+    const sched::Schedule& s_after) {
+  HLTS_REQUIRE(!poisoned_, "incremental context is poisoned");
+  HLTS_REQUIRE(e_ != nullptr, "commit before attach");
+  HLTS_FAILPOINT("analysis.commit");
+  try {
+    const auto [into, from] = cand.nodes(*e_);
+    const std::string label = cand.merged_label(g_, b_after);
+    const etpn::MergePatch patch =
+        etpn::apply_merge_patch(e_->data_path, into, from, &label);
+    etpn::refresh_etpn_steps(*e_, g_, s_after, b_after);
+
+    // dE: the control part is a chain of unit-delay step places, so the
+    // (cached, signature-checked) Petri-net critical path must equal the
+    // schedule length the caller measured -- a cheap cross-check that the
+    // patched control part agrees with the reschedule.
+    const petri::CriticalPathResult& cp = critical_path_.recompute(e_->control);
+    HLTS_REQUIRE(cp.length == s_after.length(),
+                 "incremental critical path diverged from schedule length");
+
+    CommitResult out;
+    out.stats = analysis_->update({into});
+    out.cost = cost::estimate_cost(e_->data_path, lib_, bits_, cost_scratch_);
+    b_ = b_after;
+    s_ = s_after;
+    ++epoch_;
+    util::count("analysis.commits");
+    util::count("analysis.patch_saved_arcs",
+                static_cast<std::int64_t>(patch.saved_arcs.size()));
+    return out;
+  } catch (...) {
+    poisoned_ = true;
+    throw;
+  }
+}
+
+void IncrementalContext::refresh(TrialWorkspace& ws) const {
+  if (ws.epoch == epoch_) return;
+  ws.binding = b_;
+  ws.etpn = *e_;
+  ws.epoch = epoch_;
+}
+
+std::unique_ptr<TrialWorkspace> IncrementalContext::checkout() {
+  HLTS_REQUIRE(!poisoned_, "incremental context is poisoned");
+  HLTS_REQUIRE(e_ != nullptr, "checkout before attach");
+  std::unique_ptr<TrialWorkspace> ws;
+  {
+    const std::lock_guard<std::mutex> lock(pool_mutex_);
+    if (!pool_.empty()) {
+      ws = std::move(pool_.back());
+      pool_.pop_back();
+    }
+  }
+  if (!ws) ws = std::make_unique<TrialWorkspace>();
+  refresh(*ws);
+  return ws;
+}
+
+void IncrementalContext::checkin(std::unique_ptr<TrialWorkspace> ws) {
+  if (!ws) return;
+  const std::lock_guard<std::mutex> lock(pool_mutex_);
+  pool_.push_back(std::move(ws));
+}
+
+}  // namespace hlts::analysis

@@ -1,5 +1,8 @@
 #include "core/flows.hpp"
 
+#include <cstdlib>
+#include <string>
+
 #include "alloc/alloc.hpp"
 #include "core/validate.hpp"
 #include "sched/fds.hpp"
@@ -25,6 +28,13 @@ const char* completeness_name(Completeness c) {
     case Completeness::Partial: return "partial";
   }
   return "?";
+}
+
+bool incremental_default() {
+  const char* env = std::getenv("HLTS_INCREMENTAL");
+  if (env == nullptr) return true;
+  const std::string v = env;
+  return !(v == "0" || v == "false" || v == "off");
 }
 
 namespace {

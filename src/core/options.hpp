@@ -49,6 +49,10 @@ enum class Completeness {
 /// "full" / "partial".
 [[nodiscard]] const char* completeness_name(Completeness c);
 
+/// Default of AlgorithmOptions::incremental: the HLTS_INCREMENTAL
+/// environment variable ("0"/"false"/"off" disable), else on.
+[[nodiscard]] bool incremental_default();
+
 /// Knobs shared by all synthesis entry points (the Algorithm-1 parameters
 /// apply to the Camad/Ours flows; bits/max_latency/library to all four).
 struct AlgorithmOptions {
@@ -93,6 +97,14 @@ struct AlgorithmOptions {
   /// merger; a violation throws hlts::Error(ErrorKind::Internal).  Off by
   /// default: auditing is for tests, fault-injection soaks, and debugging.
   bool audit = false;
+  /// Incremental analysis layer (src/analysis): trials run as merge
+  /// patches over per-worker workspaces instead of full binding copies +
+  /// ETPN rebuilds, and the committed design's testability / critical-path
+  /// / cost state is updated over the merger's dirty cone at each commit.
+  /// Bit-identical to the from-scratch pipeline for every design, flow and
+  /// thread count; the escape hatch HLTS_INCREMENTAL=0 (the default of
+  /// this knob) keeps the old path selectable as the reference.
+  bool incremental = incremental_default();
   cost::ModuleLibrary library = cost::ModuleLibrary::standard();
 
   // --- run hooks (never influence the synthesized result) -----------------

@@ -98,7 +98,8 @@ bool schedule_respects_binding(const dfg::Dfg& g, const etpn::Binding& b,
 
 ReschedOutcome reschedule(const dfg::Dfg& g, const etpn::Binding& b,
                           const sched::Schedule& hint,
-                          OrderStrategy strategy) {
+                          OrderStrategy strategy,
+                          const etpn::Etpn* premerged) {
   HLTS_FAILPOINT("sched.reschedule");
   ReschedOutcome out;
 
@@ -133,7 +134,16 @@ ReschedOutcome reschedule(const dfg::Dfg& g, const etpn::Binding& b,
   // and its result heads toward an observable register one step sooner),
   // falling back to the smallest critical-path increase.  The plain
   // strategy swaps only when forced or when it shortens the schedule.
-  const etpn::Etpn e = etpn::build_etpn(g, hint, b);
+  // Register distances are a pure BFS over the alive data-path topology --
+  // step annotations never enter -- so a caller-supplied merge-patched graph
+  // (structurally identical, stale steps) yields the same distances as the
+  // fresh build and therefore the identical schedule.
+  std::optional<etpn::Etpn> local_e;
+  if (premerged == nullptr) {
+    local_e.emplace(etpn::build_etpn(g, hint, b));
+    premerged = &*local_e;
+  }
+  const etpn::Etpn& e = *premerged;
   const etpn::DataPath::RegisterDistances dist =
       e.data_path.register_distances();
   auto op_controllability_key = [&](dfg::OpId op) {

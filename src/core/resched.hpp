@@ -47,10 +47,18 @@ struct ReschedOutcome {
 /// staying close to the previous schedule `hint`.  Returns infeasible when
 /// the binding's constraints are cyclic (the attempted merger must then be
 /// rejected).
+///
+/// The SR1/SR2 ordering refinement needs the register-distance profile of
+/// `b`'s data path.  By default an ETPN for `b` is built internally just for
+/// that; callers that already hold a materialized (e.g. merge-patched) ETPN
+/// of `b` pass it as `premerged` to skip the rebuild -- register distances
+/// ignore step annotations, so a structurally up-to-date graph with stale
+/// steps yields the identical schedule.
 [[nodiscard]] ReschedOutcome reschedule(const dfg::Dfg& g,
                                         const etpn::Binding& b,
                                         const sched::Schedule& hint,
-                                        OrderStrategy strategy);
+                                        OrderStrategy strategy,
+                                        const etpn::Etpn* premerged = nullptr);
 
 /// Validation helper: true when `s` is consistent with `b` -- no two ops of
 /// one module share a step, and all variables of one register have pairwise

@@ -108,6 +108,9 @@ AuditReport audit_etpn(const dfg::Dfg& g, const etpn::Etpn& e,
   AuditReport report;
   const etpn::DataPath& dp = e.data_path;
 
+  // Arc anchoring.  A merge-patched graph carries tombstones: dead arcs
+  // must be detached from every adjacency list, alive arcs must join two
+  // alive nodes and appear in both endpoints' lists.
   for (etpn::DpArcId a : dp.arc_ids()) {
     const etpn::DpArc& arc = dp.arc(a);
     const bool from_ok = arc.from.valid() && arc.from.index() < dp.num_nodes();
@@ -119,12 +122,25 @@ AuditReport audit_etpn(const dfg::Dfg& g, const etpn::Etpn& e,
     }
     const std::vector<etpn::DpArcId>& outs = dp.node(arc.from).out_arcs;
     const std::vector<etpn::DpArcId>& ins = dp.node(arc.to).in_arcs;
-    if (std::find(outs.begin(), outs.end(), a) == outs.end()) {
+    const bool in_outs = std::find(outs.begin(), outs.end(), a) != outs.end();
+    const bool in_ins = std::find(ins.begin(), ins.end(), a) != ins.end();
+    if (!dp.alive(a)) {
+      if (in_outs || in_ins) {
+        add(report, "etpn: dead arc " + std::to_string(a.value()) +
+                        " still listed by an endpoint");
+      }
+      continue;  // step annotations of tombstones are irrelevant
+    }
+    if (!dp.alive(arc.from) || !dp.alive(arc.to)) {
+      add(report, "etpn: alive arc " + std::to_string(a.value()) +
+                      " touches a dead node");
+    }
+    if (!in_outs) {
       add(report, "etpn: arc " + std::to_string(a.value()) +
                       " missing from its source's out_arcs (" +
                       dp.node(arc.from).name + ")");
     }
-    if (std::find(ins.begin(), ins.end(), a) == ins.end()) {
+    if (!in_ins) {
       add(report, "etpn: arc " + std::to_string(a.value()) +
                       " missing from its destination's in_arcs (" +
                       dp.node(arc.to).name + ")");
@@ -141,38 +157,46 @@ AuditReport audit_etpn(const dfg::Dfg& g, const etpn::Etpn& e,
     }
   }
 
-  // Every node's arc lists must reference real arcs anchored at that node.
+  // Every node's arc lists must reference real, alive arcs anchored at that
+  // node; dead nodes must be fully detached.
   for (etpn::DpNodeId n : dp.node_ids()) {
     const etpn::DpNode& node = dp.node(n);
+    if (!dp.alive(n) && !(node.in_arcs.empty() && node.out_arcs.empty())) {
+      add(report, "etpn: dead node " + node.name + " still lists arcs");
+      continue;
+    }
     for (etpn::DpArcId a : node.out_arcs) {
-      if (!a.valid() || a.index() >= dp.num_arcs() || dp.arc(a).from != n) {
+      if (!a.valid() || a.index() >= dp.num_arcs() || dp.arc(a).from != n ||
+          !dp.alive(a)) {
         add(report, "etpn: node " + node.name + " lists a bad out-arc");
       }
     }
     for (etpn::DpArcId a : node.in_arcs) {
-      if (!a.valid() || a.index() >= dp.num_arcs() || dp.arc(a).to != n) {
+      if (!a.valid() || a.index() >= dp.num_arcs() || dp.arc(a).to != n ||
+          !dp.alive(a)) {
         add(report, "etpn: node " + node.name + " lists a bad in-arc");
       }
     }
   }
 
-  // Alive binding groups must be materialized as nodes of the right kind.
+  // Alive binding groups must be materialized as alive nodes of the right
+  // kind (merged-away groups become tombstoned nodes).
   for (etpn::ModuleId m : b.alive_modules()) {
     const etpn::DpNodeId n =
         e.module_node.contains(m) ? e.module_node[m] : etpn::DpNodeId::invalid();
-    if (!n.valid() || n.index() >= dp.num_nodes() ||
+    if (!n.valid() || n.index() >= dp.num_nodes() || !dp.alive(n) ||
         dp.node(n).kind != etpn::DpNodeKind::Module) {
       add(report, "etpn: alive module " + b.module_label(g, m) +
-                      " has no Module data-path node");
+                      " has no alive Module data-path node");
     }
   }
   for (etpn::RegId r : b.alive_regs()) {
     const etpn::DpNodeId n =
         e.reg_node.contains(r) ? e.reg_node[r] : etpn::DpNodeId::invalid();
-    if (!n.valid() || n.index() >= dp.num_nodes() ||
+    if (!n.valid() || n.index() >= dp.num_nodes() || !dp.alive(n) ||
         dp.node(n).kind != etpn::DpNodeKind::Register) {
       add(report, "etpn: alive register " + b.reg_label(g, r) +
-                      " has no Register data-path node");
+                      " has no alive Register data-path node");
     }
   }
 

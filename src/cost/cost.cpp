@@ -4,9 +4,16 @@ namespace hlts::cost {
 
 HardwareCost estimate_cost(const etpn::DataPath& dp, const ModuleLibrary& lib,
                            int bits) {
+  CostScratch scratch;
+  return estimate_cost(dp, lib, bits, scratch);
+}
+
+HardwareCost estimate_cost(const etpn::DataPath& dp, const ModuleLibrary& lib,
+                           int bits, CostScratch& scratch) {
   HardwareCost cost;
 
   for (etpn::DpNodeId n : dp.node_ids()) {
+    if (!dp.alive(n)) continue;
     const etpn::DpNode& node = dp.node(n);
     switch (node.kind) {
       case etpn::DpNodeKind::Register:
@@ -29,10 +36,11 @@ HardwareCost estimate_cost(const etpn::DataPath& dp, const ModuleLibrary& lib,
     }
   }
 
-  const Floorplan plan = floorplan(dp, lib, bits);
+  floorplan(dp, lib, bits, scratch.plan, scratch.floorplan);
   for (etpn::DpArcId a : dp.arc_ids()) {
+    if (!dp.alive(a)) continue;
     const etpn::DpArc& arc = dp.arc(a);
-    const double len = plan.distance(arc.from, arc.to);
+    const double len = scratch.plan.distance(arc.from, arc.to);
     const double wid = static_cast<double>(bits) * lib.wire_pitch();
     cost.wire_area += len * wid;
   }

@@ -23,9 +23,20 @@ struct HardwareCost {
   }
 };
 
+/// Reusable buffers for repeated cost estimation (one per trial worker).
+struct CostScratch {
+  Floorplan plan;
+  FloorplanScratch floorplan;
+};
+
 /// Estimates the hardware cost of a data path at the given bit width,
-/// running the floorplanner internally.
+/// running the floorplanner internally.  Tombstoned nodes and arcs are
+/// skipped, so a merge-patched graph costs exactly like a fresh build.
 [[nodiscard]] HardwareCost estimate_cost(const etpn::DataPath& dp,
                                          const ModuleLibrary& lib, int bits);
+/// As above, reusing `scratch`'s buffers across calls (bit-identical).
+[[nodiscard]] HardwareCost estimate_cost(const etpn::DataPath& dp,
+                                         const ModuleLibrary& lib, int bits,
+                                         CostScratch& scratch);
 
 }  // namespace hlts::cost

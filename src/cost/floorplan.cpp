@@ -3,8 +3,6 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdlib>
-#include <set>
-#include <vector>
 
 namespace hlts::cost {
 
@@ -34,58 +32,74 @@ double node_area(const etpn::DpNode& node, const ModuleLibrary& lib, int bits) {
 Floorplan floorplan(const etpn::DataPath& dp, const ModuleLibrary& lib,
                     int bits) {
   Floorplan plan;
+  FloorplanScratch scratch;
+  floorplan(dp, lib, bits, plan, scratch);
+  return plan;
+}
+
+void floorplan(const etpn::DataPath& dp, const ModuleLibrary& lib, int bits,
+               Floorplan& plan, FloorplanScratch& scratch) {
   plan.position.assign(dp.num_nodes(), {0, 0});
-  if (dp.num_nodes() == 0) return plan;
+  plan.pitch = 0.0;
+  const std::size_t alive = dp.num_alive_nodes();
+  if (alive == 0) return;
 
   // Pitch: side of the average cell footprint.
   double total_area = 0;
   for (etpn::DpNodeId n : dp.node_ids()) {
+    if (!dp.alive(n)) continue;
     total_area += node_area(dp.node(n), lib, bits);
   }
   plan.pitch =
-      std::sqrt(std::max(total_area, 1e-9) / static_cast<double>(dp.num_nodes()));
+      std::sqrt(std::max(total_area, 1e-9) / static_cast<double>(alive));
 
   // Connectivity (number of arcs) per node, and neighbour lists.
-  std::vector<int> connectivity(dp.num_nodes(), 0);
-  std::vector<std::vector<std::uint32_t>> neighbours(dp.num_nodes());
+  scratch.connectivity.assign(dp.num_nodes(), 0);
+  scratch.neighbours.resize(dp.num_nodes());
+  for (auto& nb : scratch.neighbours) nb.clear();
   for (etpn::DpArcId a : dp.arc_ids()) {
+    if (!dp.alive(a)) continue;
     const etpn::DpArc& arc = dp.arc(a);
-    ++connectivity[arc.from.index()];
-    ++connectivity[arc.to.index()];
-    neighbours[arc.from.index()].push_back(arc.to.value());
-    neighbours[arc.to.index()].push_back(arc.from.value());
+    ++scratch.connectivity[arc.from.index()];
+    ++scratch.connectivity[arc.to.index()];
+    scratch.neighbours[arc.from.index()].push_back(arc.to.value());
+    scratch.neighbours[arc.to.index()].push_back(arc.from.value());
   }
 
-  std::vector<std::uint32_t> order(dp.num_nodes());
-  for (std::uint32_t i = 0; i < order.size(); ++i) order[i] = i;
-  std::stable_sort(order.begin(), order.end(),
+  scratch.order.clear();
+  for (etpn::DpNodeId n : dp.node_ids()) {
+    if (dp.alive(n)) scratch.order.push_back(n.value());
+  }
+  std::stable_sort(scratch.order.begin(), scratch.order.end(),
                    [&](std::uint32_t a, std::uint32_t b) {
-                     return connectivity[a] > connectivity[b];
+                     return scratch.connectivity[a] > scratch.connectivity[b];
                    });
 
-  std::set<std::pair<int, int>> occupied;
-  std::vector<bool> placed(dp.num_nodes(), false);
+  scratch.occupied.clear();
+  scratch.placed.assign(dp.num_nodes(), false);
   // Spiral candidate positions around the origin, enough for all nodes.
-  std::vector<std::pair<int, int>> spiral;
+  scratch.spiral.clear();
   const int radius =
-      static_cast<int>(std::ceil(std::sqrt(dp.num_nodes()))) + 2;
+      static_cast<int>(std::ceil(std::sqrt(static_cast<double>(alive)))) + 2;
   for (int r = 0; r <= radius; ++r) {
     for (int x = -r; x <= r; ++x) {
       for (int y = -r; y <= r; ++y) {
-        if (std::max(std::abs(x), std::abs(y)) == r) spiral.push_back({x, y});
+        if (std::max(std::abs(x), std::abs(y)) == r) {
+          scratch.spiral.push_back({x, y});
+        }
       }
     }
   }
 
-  for (std::uint32_t idx : order) {
+  for (std::uint32_t idx : scratch.order) {
     etpn::DpNodeId n{idx};
     std::pair<int, int> best_pos{0, 0};
     double best_cost = 1e300;
-    for (const auto& pos : spiral) {
-      if (occupied.count(pos)) continue;
+    for (const auto& pos : scratch.spiral) {
+      if (scratch.occupied.count(pos)) continue;
       double cost = 0;
-      for (std::uint32_t nb : neighbours[idx]) {
-        if (!placed[nb]) continue;
+      for (std::uint32_t nb : scratch.neighbours[idx]) {
+        if (!scratch.placed[nb]) continue;
         const auto [nx, ny] = plan.position[etpn::DpNodeId{nb}];
         cost += std::abs(pos.first - nx) + std::abs(pos.second - ny);
       }
@@ -97,10 +111,9 @@ Floorplan floorplan(const etpn::DataPath& dp, const ModuleLibrary& lib,
       }
     }
     plan.position[n] = best_pos;
-    occupied.insert(best_pos);
-    placed[idx] = true;
+    scratch.occupied.insert(best_pos);
+    scratch.placed[idx] = true;
   }
-  return plan;
 }
 
 }  // namespace hlts::cost

@@ -6,9 +6,16 @@
 // its already-placed neighbours.  The physical pitch of a grid cell is
 // derived from the average cell footprint, so wire length contributions
 // scale correctly with bit width.
+//
+// Tombstoned (dead) nodes and arcs are skipped throughout, so a patched
+// graph floorplans exactly like a freshly built compact one: the same alive
+// nodes in the same relative order compete for the same spiral positions.
 #pragma once
 
+#include <cstdint>
+#include <set>
 #include <utility>
+#include <vector>
 
 #include "cost/module_library.hpp"
 #include "etpn/datapath.hpp"
@@ -26,7 +33,24 @@ struct Floorplan {
   [[nodiscard]] double distance(etpn::DpNodeId a, etpn::DpNodeId b) const;
 };
 
+/// Reusable buffers for repeated floorplan runs.  Trial evaluation calls the
+/// floorplanner once per candidate merger; keeping one scratch per worker
+/// removes the per-trial allocation churn without changing any result (the
+/// scratch-taking overloads produce bit-identical output to the plain ones).
+struct FloorplanScratch {
+  std::vector<int> connectivity;
+  std::vector<std::vector<std::uint32_t>> neighbours;
+  std::vector<std::uint32_t> order;
+  std::vector<bool> placed;
+  std::vector<std::pair<int, int>> spiral;
+  std::set<std::pair<int, int>> occupied;
+};
+
 [[nodiscard]] Floorplan floorplan(const etpn::DataPath& dp,
                                   const ModuleLibrary& lib, int bits);
+
+/// As above, writing into `plan` and reusing `scratch`'s buffers.
+void floorplan(const etpn::DataPath& dp, const ModuleLibrary& lib, int bits,
+               Floorplan& plan, FloorplanScratch& scratch);
 
 }  // namespace hlts::cost

@@ -68,6 +68,20 @@ void Binding::merge_modules(const dfg::Dfg& g, ModuleId into, ModuleId from) {
   module_alive_[from] = false;
 }
 
+void Binding::undo_merge_modules(ModuleId into, ModuleId from,
+                                 std::size_t into_old_size) {
+  HLTS_REQUIRE(module_alive_[into] && !module_alive_[from],
+               "undo_merge_modules: bad tombstone state");
+  auto& ops = module_ops_[into];
+  HLTS_REQUIRE(into_old_size <= ops.size(), "undo_merge_modules: bad size");
+  auto& from_ops = module_ops_[from];
+  from_ops.assign(ops.begin() + static_cast<std::ptrdiff_t>(into_old_size),
+                  ops.end());
+  ops.resize(into_old_size);
+  for (dfg::OpId op : from_ops) op_to_module_[op] = from;
+  module_alive_[from] = true;
+}
+
 std::vector<RegId> Binding::alive_regs() const {
   std::vector<RegId> out;
   for (RegId r : id_range<RegId>(reg_vars_.size())) {
@@ -93,6 +107,19 @@ void Binding::merge_regs(RegId into, RegId from) {
   }
   reg_vars_[from].clear();
   reg_alive_[from] = false;
+}
+
+void Binding::undo_merge_regs(RegId into, RegId from, std::size_t into_old_size) {
+  HLTS_REQUIRE(reg_alive_[into] && !reg_alive_[from],
+               "undo_merge_regs: bad tombstone state");
+  auto& vars = reg_vars_[into];
+  HLTS_REQUIRE(into_old_size <= vars.size(), "undo_merge_regs: bad size");
+  auto& from_vars = reg_vars_[from];
+  from_vars.assign(vars.begin() + static_cast<std::ptrdiff_t>(into_old_size),
+                   vars.end());
+  vars.resize(into_old_size);
+  for (dfg::VarId v : from_vars) var_to_reg_[v] = from;
+  reg_alive_[from] = true;
 }
 
 std::string Binding::module_label(const dfg::Dfg& g, ModuleId m) const {

@@ -8,11 +8,29 @@
 
 namespace hlts::etpn {
 
-DpNodeId DataPath::add_node(DpNode node) { return nodes_.push_back(std::move(node)); }
+DpNodeId DataPath::add_node(DpNode node) {
+  node_alive_.push_back(true);
+  ++alive_nodes_;
+  return nodes_.push_back(std::move(node));
+}
+
+void DataPath::set_alive(DpNodeId n, bool alive) {
+  if (node_alive_[n] == alive) return;
+  node_alive_[n] = alive;
+  alive ? ++alive_nodes_ : --alive_nodes_;
+}
+
+void DataPath::set_alive(DpArcId a, bool alive) {
+  if (arc_alive_[a] == alive) return;
+  arc_alive_[a] = alive;
+  alive ? ++alive_arcs_ : --alive_arcs_;
+}
 
 DpArcId DataPath::add_transfer(DpNodeId from, DpNodeId to, int to_port, int step) {
   HLTS_REQUIRE(nodes_.contains(from) && nodes_.contains(to),
                "add_transfer: bad node id");
+  HLTS_REQUIRE(node_alive_[from] && node_alive_[to],
+               "add_transfer: dead node");
   HLTS_REQUIRE(step >= 0, "add_transfer: negative step");
   for (DpArcId a : nodes_[from].out_arcs) {
     DpArc& arc = arcs_[a];
@@ -29,6 +47,8 @@ DpArcId DataPath::add_transfer(DpNodeId from, DpNodeId to, int to_port, int step
   arc.to = to;
   arc.to_port = to_port;
   arc.steps = {step};
+  arc_alive_.push_back(true);
+  ++alive_arcs_;
   DpArcId id = arcs_.push_back(std::move(arc));
   nodes_[from].out_arcs.push_back(id);
   nodes_[to].in_arcs.push_back(id);
@@ -58,6 +78,7 @@ int DataPath::num_ports(DpNodeId n) const {
 int DataPath::mux_count() const {
   int muxes = 0;
   for (DpNodeId n : node_ids()) {
+    if (!node_alive_[n]) continue;
     for (int port = 0; port < num_ports(n); ++port) {
       if (port_sources(n, port).size() >= 2) ++muxes;
     }
@@ -68,7 +89,7 @@ int DataPath::mux_count() const {
 int DataPath::self_loop_count() const {
   int loops = 0;
   for (DpNodeId n : node_ids()) {
-    if (nodes_[n].kind != DpNodeKind::Register) continue;
+    if (!node_alive_[n] || nodes_[n].kind != DpNodeKind::Register) continue;
     // Register -> module -> same register, or register -> itself.
     for (DpArcId a : nodes_[n].out_arcs) {
       const DpArc& arc = arcs_[a];
@@ -97,7 +118,7 @@ DataPath::SeqDepthStats DataPath::sequential_depth() const {
   const RegisterDistances dist = register_distances();
   SeqDepthStats stats;
   for (DpNodeId n : node_ids()) {
-    if (nodes_[n].kind != DpNodeKind::Register) continue;
+    if (!node_alive_[n] || nodes_[n].kind != DpNodeKind::Register) continue;
     const int in = dist.d_in[n.index()];
     const int out = dist.d_out[n.index()];
     if (in < 0 || out < 0) {
@@ -132,7 +153,7 @@ DataPath::RegisterDistances DataPath::register_distances() const {
   };
 
   for (DpNodeId n : node_ids()) {
-    if (nodes_[n].kind != DpNodeKind::Register) continue;
+    if (!node_alive_[n] || nodes_[n].kind != DpNodeKind::Register) continue;
     regs.push_back(n.value());
     std::vector<std::uint32_t> targets;
     reg_targets_of(n, reg_targets_of, false, targets);
@@ -187,6 +208,7 @@ std::string DataPath::to_dot() const {
   std::ostringstream os;
   os << "digraph datapath {\n  rankdir=TB;\n";
   for (DpNodeId n : node_ids()) {
+    if (!node_alive_[n]) continue;
     const DpNode& node = nodes_[n];
     const char* shape = "box";
     switch (node.kind) {
@@ -199,6 +221,7 @@ std::string DataPath::to_dot() const {
        << "];\n";
   }
   for (DpArcId a : arc_ids()) {
+    if (!arc_alive_[a]) continue;
     const DpArc& arc = arcs_[a];
     os << "  n" << arc.from.value() << " -> n" << arc.to.value() << " [label=\"";
     for (std::size_t i = 0; i < arc.steps.size(); ++i) {

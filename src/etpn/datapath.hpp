@@ -62,12 +62,31 @@ class DataPath {
 
   [[nodiscard]] std::size_t num_nodes() const { return nodes_.size(); }
   [[nodiscard]] std::size_t num_arcs() const { return arcs_.size(); }
+
+  /// --- aliveness -----------------------------------------------------------
+  // In-place transformation passes (etpn/patch) retire merged-away nodes and
+  // deduplicated arcs as *tombstones* instead of erasing them, so ids held by
+  // analysis tables (testability CC/CO vectors, Etpn node maps) stay stable
+  // across a synthesis run.  Dead arcs are removed from their endpoints' arc
+  // lists; dead nodes keep empty lists.  Every structural query and every
+  // consumer pass skips tombstones, which keeps all derived quantities equal
+  // to those of a freshly built compact graph.
+  [[nodiscard]] bool alive(DpNodeId n) const { return node_alive_[n]; }
+  [[nodiscard]] bool alive(DpArcId a) const { return arc_alive_[a]; }
+  [[nodiscard]] std::size_t num_alive_nodes() const { return alive_nodes_; }
+  [[nodiscard]] std::size_t num_alive_arcs() const { return alive_arcs_; }
   [[nodiscard]] const DpNode& node(DpNodeId n) const { return nodes_[n]; }
   [[nodiscard]] const DpArc& arc(DpArcId a) const { return arcs_[a]; }
-  /// Mutable node access for transformation passes and corruption tests.
+  /// Mutable node/arc access for transformation passes and corruption tests.
   /// Editing arc lists can break the back-link invariant; the
   /// core/validate auditor exists to catch exactly that.
   [[nodiscard]] DpNode& node(DpNodeId n) { return nodes_[n]; }
+  [[nodiscard]] DpArc& arc(DpArcId a) { return arcs_[a]; }
+  /// Flips an aliveness flag, maintaining the alive counts.  List surgery
+  /// (detaching a dead arc from its endpoints) is the caller's job; see
+  /// etpn/patch for the invariant-preserving merge patcher.
+  void set_alive(DpNodeId n, bool alive);
+  void set_alive(DpArcId a, bool alive);
   [[nodiscard]] IdRange<DpNodeId> node_ids() const {
     return id_range<DpNodeId>(nodes_.size());
   }
@@ -117,6 +136,10 @@ class DataPath {
  private:
   IndexVec<DpNodeId, DpNode> nodes_;
   IndexVec<DpArcId, DpArc> arcs_;
+  IndexVec<DpNodeId, bool> node_alive_;
+  IndexVec<DpArcId, bool> arc_alive_;
+  std::size_t alive_nodes_ = 0;
+  std::size_t alive_arcs_ = 0;
 };
 
 }  // namespace hlts::etpn

@@ -2,11 +2,95 @@
 
 #include <algorithm>
 
+#include "etpn/patch.hpp"
 #include "util/error.hpp"
 
 namespace hlts::etpn {
 
 int Etpn::execution_time() const { return petri::critical_path(control).length; }
+
+namespace {
+
+/// Replays the canonical data-transfer emission scan: PI loads (step 0) in
+/// variable order, then per operation in op-id order its operand fetches,
+/// result store, and output-port connection.  Shared by build_etpn (which
+/// materializes arcs) and refresh_etpn_steps (which re-stamps step sets on
+/// an already-patched structure), so the two can never drift apart.
+template <typename Emit>
+void for_each_transfer(const dfg::Dfg& g, const sched::Schedule& s,
+                       const Binding& b, const Etpn& e, Emit&& emit) {
+  const int length = s.length();
+  for (dfg::VarId v : g.var_ids()) {
+    if (!g.var(v).is_primary_input) continue;
+    emit(e.inport_node[v], e.reg_node[b.reg_of(v)], 0, 0);
+  }
+  for (dfg::OpId op : g.op_ids()) {
+    const dfg::Operation& o = g.op(op);
+    const int step = s.step(op);
+    DpNodeId mod = e.module_node[b.module_of(op)];
+    for (std::size_t i = 0; i < o.inputs.size(); ++i) {
+      RegId src = b.reg_of(o.inputs[i]);
+      HLTS_REQUIRE(src.valid(), "operand variable is not register-resident");
+      emit(e.reg_node[src], mod, static_cast<int>(i), step);
+    }
+    const dfg::Variable& out = g.var(o.output);
+    RegId dst = b.reg_of(o.output);
+    if (dst.valid()) {
+      emit(mod, e.reg_node[dst], 0, step);
+      if (out.is_primary_output) {
+        // Registered PO: the held value is presented at the port after the
+        // last step.
+        emit(e.reg_node[dst], e.outport_node[o.output], 0, length + 1);
+      }
+    } else {
+      HLTS_REQUIRE(out.is_primary_output,
+                   "unregistered variable must be a primary output");
+      emit(mod, e.outport_node[o.output], 0, step);
+    }
+  }
+}
+
+/// Builds the control part: a chain of control places S0 (load) .. SL, plus
+/// optionally a guarded loop back to S1 and a guarded exit to a final place.
+void build_control(Etpn& e, const dfg::Dfg& g, int length,
+                   const EtpnOptions& options) {
+  e.control = petri::PetriNet{};
+  e.step_place.assign(length + 1, petri::PlaceId::invalid());
+  e.step_place[0] = e.control.add_place("S0", /*delay=*/0, /*marked=*/true);
+  for (int step = 1; step <= length; ++step) {
+    e.step_place[step] =
+        e.control.add_place("S" + std::to_string(step), /*delay=*/1);
+  }
+  for (int step = 0; step < length; ++step) {
+    e.control.add_transition("t" + std::to_string(step) + "_" +
+                                 std::to_string(step + 1),
+                             {e.step_place[step]}, {e.step_place[step + 1]});
+  }
+
+  // Condition output: a port-direct comparison result.
+  dfg::VarId cond = dfg::VarId::invalid();
+  for (dfg::VarId v : g.var_ids()) {
+    const dfg::Variable& var = g.var(v);
+    if (var.is_primary_output && !g.needs_register(v) && var.def.valid() &&
+        dfg::op_is_comparison(g.op(var.def).kind)) {
+      cond = v;
+      break;
+    }
+  }
+
+  if (options.loop_on_condition && cond.valid() && length >= 1) {
+    petri::PlaceId done = e.control.add_place("done", /*delay=*/0);
+    e.control.add_transition("t_loop", {e.step_place[length]},
+                             {e.step_place[1]}, /*guard_group=*/1,
+                             /*polarity=*/true);
+    e.control.add_transition("t_exit", {e.step_place[length]}, {done},
+                             /*guard_group=*/1, /*polarity=*/false);
+  }
+
+  e.control.validate();
+}
+
+}  // namespace
 
 Etpn build_etpn(const dfg::Dfg& g, const sched::Schedule& s, const Binding& b,
                 const EtpnOptions& options) {
@@ -15,7 +99,6 @@ Etpn build_etpn(const dfg::Dfg& g, const sched::Schedule& s, const Binding& b,
 
   Etpn e;
   DataPath& dp = e.data_path;
-  const int length = s.length();
 
   // --- data path nodes ------------------------------------------------------
   e.module_node.resize(b.num_module_slots());
@@ -57,74 +140,36 @@ Etpn build_etpn(const dfg::Dfg& g, const sched::Schedule& s, const Binding& b,
   }
 
   // --- data path arcs -------------------------------------------------------
-  // Primary input loads (step 0).
-  for (dfg::VarId v : g.var_ids()) {
-    if (!g.var(v).is_primary_input) continue;
-    dp.add_transfer(e.inport_node[v], e.reg_node[b.reg_of(v)], 0, 0);
-  }
-  // Operand fetches and result stores.
-  for (dfg::OpId op : g.op_ids()) {
-    const dfg::Operation& o = g.op(op);
-    const int step = s.step(op);
-    DpNodeId mod = e.module_node[b.module_of(op)];
-    for (std::size_t i = 0; i < o.inputs.size(); ++i) {
-      RegId src = b.reg_of(o.inputs[i]);
-      HLTS_REQUIRE(src.valid(), "operand variable is not register-resident");
-      dp.add_transfer(e.reg_node[src], mod, static_cast<int>(i), step);
-    }
-    const dfg::Variable& out = g.var(o.output);
-    RegId dst = b.reg_of(o.output);
-    if (dst.valid()) {
-      dp.add_transfer(mod, e.reg_node[dst], 0, step);
-      if (out.is_primary_output) {
-        // Registered PO: the held value is presented at the port after the
-        // last step.
-        dp.add_transfer(e.reg_node[dst], e.outport_node[o.output], 0, length + 1);
-      }
-    } else {
-      HLTS_REQUIRE(out.is_primary_output,
-                   "unregistered variable must be a primary output");
-      dp.add_transfer(mod, e.outport_node[o.output], 0, step);
-    }
-  }
+  for_each_transfer(g, s, b, e, [&](DpNodeId from, DpNodeId to, int port, int step) {
+    dp.add_transfer(from, to, port, step);
+  });
 
   // --- control part ---------------------------------------------------------
-  // A chain of control places S0 (load) .. SL, plus optionally a guarded
-  // loop back to S1 and a guarded exit to a final place.
-  e.step_place.resize(length + 1);
-  e.step_place[0] = e.control.add_place("S0", /*delay=*/0, /*marked=*/true);
-  for (int step = 1; step <= length; ++step) {
-    e.step_place[step] =
-        e.control.add_place("S" + std::to_string(step), /*delay=*/1);
-  }
-  for (int step = 0; step < length; ++step) {
-    e.control.add_transition("t" + std::to_string(step) + "_" +
-                                 std::to_string(step + 1),
-                             {e.step_place[step]}, {e.step_place[step + 1]});
-  }
-
-  // Condition output: a port-direct comparison result.
-  dfg::VarId cond = dfg::VarId::invalid();
-  for (dfg::VarId v : g.var_ids()) {
-    const dfg::Variable& var = g.var(v);
-    if (var.is_primary_output && !g.needs_register(v) && var.def.valid() &&
-        dfg::op_is_comparison(g.op(var.def).kind)) {
-      cond = v;
-      break;
-    }
-  }
-
-  if (options.loop_on_condition && cond.valid() && length >= 1) {
-    petri::PlaceId done = e.control.add_place("done", /*delay=*/0);
-    e.control.add_transition("t_loop", {e.step_place[length]},
-                             {e.step_place[1]}, /*guard_group=*/1,
-                             /*polarity=*/true);
-    e.control.add_transition("t_exit", {e.step_place[length]}, {done},
-                             /*guard_group=*/1, /*polarity=*/false);
-  }
-
-  e.control.validate();
+  build_control(e, g, s.length(), options);
   return e;
+}
+
+void refresh_etpn_steps(Etpn& e, const dfg::Dfg& g, const sched::Schedule& s,
+                        const Binding& b, const EtpnOptions& options) {
+  HLTS_REQUIRE(s.num_ops() == g.num_ops(), "schedule does not match DFG");
+  DataPath& dp = e.data_path;
+  for (DpArcId a : dp.arc_ids()) {
+    if (dp.alive(a)) dp.arc(a).steps.clear();
+  }
+  for_each_transfer(g, s, b, e, [&](DpNodeId from, DpNodeId to, int port, int step) {
+    for (DpArcId a : dp.node(from).out_arcs) {
+      DpArc& arc = dp.arc(a);
+      if (arc.to == to && arc.to_port == port) {
+        if (!std::binary_search(arc.steps.begin(), arc.steps.end(), step)) {
+          arc.steps.insert(
+              std::upper_bound(arc.steps.begin(), arc.steps.end(), step), step);
+        }
+        return;
+      }
+    }
+    HLTS_REQUIRE(false, "refresh_etpn_steps: transfer has no arc");
+  });
+  build_control(e, g, s.length(), options);
 }
 
 }  // namespace hlts::etpn

@@ -1,0 +1,169 @@
+#include "etpn/patch.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace hlts::etpn {
+
+namespace {
+
+/// Sorted-unique union of two sorted-unique step sets -- exactly the result
+/// a fresh build's repeated add_transfer insertions would accumulate.
+std::vector<int> union_steps(const std::vector<int>& a, const std::vector<int>& b) {
+  std::vector<int> out;
+  out.reserve(a.size() + b.size());
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(), std::back_inserter(out));
+  return out;
+}
+
+void erase_arc(std::vector<DpArcId>& list, DpArcId a) {
+  auto it = std::find(list.begin(), list.end(), a);
+  HLTS_REQUIRE(it != list.end(), "merge patch: arc missing from endpoint list");
+  list.erase(it);
+}
+
+}  // namespace
+
+std::size_t MergePatch::approx_bytes() const {
+  std::size_t bytes = sizeof(MergePatch);
+  bytes += saved_arcs.size() * (sizeof(ArcState) + 4 * sizeof(int));
+  for (const auto& [node, list] : saved_in_lists) bytes += list.size() * sizeof(DpArcId);
+  for (const auto& [node, list] : saved_out_lists) bytes += list.size() * sizeof(DpArcId);
+  return bytes;
+}
+
+MergePatch apply_merge_patch(DataPath& dp, DpNodeId into, DpNodeId from,
+                             const std::string* new_into_name) {
+  HLTS_REQUIRE(into != from, "merge patch: self-merge");
+  HLTS_REQUIRE(dp.alive(into) && dp.alive(from), "merge patch: dead endpoint");
+  HLTS_REQUIRE(dp.node(into).kind == dp.node(from).kind,
+               "merge patch: kind mismatch");
+  HLTS_REQUIRE(dp.node(into).kind == DpNodeKind::Module ||
+                   dp.node(into).kind == DpNodeKind::Register,
+               "merge patch: only modules and registers merge");
+
+  MergePatch patch;
+  patch.into = into;
+  patch.from = from;
+  patch.old_into_name = dp.node(into).name;
+
+  // The touched neighbourhood: every arc incident to either endpoint (any of
+  // them can be redirected, absorb steps, or be killed by duplicate
+  // collapse), and every node incident to one of those arcs (its adjacency
+  // list can lose a dead arc).
+  std::vector<DpArcId> touched_arcs;
+  auto collect = [&](DpNodeId n) {
+    const DpNode& node = dp.node(n);
+    touched_arcs.insert(touched_arcs.end(), node.in_arcs.begin(), node.in_arcs.end());
+    touched_arcs.insert(touched_arcs.end(), node.out_arcs.begin(), node.out_arcs.end());
+  };
+  collect(into);
+  collect(from);
+  std::sort(touched_arcs.begin(), touched_arcs.end());
+  touched_arcs.erase(std::unique(touched_arcs.begin(), touched_arcs.end()),
+                     touched_arcs.end());
+
+  std::vector<DpNodeId> touched_nodes{into, from};
+  for (DpArcId a : touched_arcs) {
+    touched_nodes.push_back(dp.arc(a).from);
+    touched_nodes.push_back(dp.arc(a).to);
+  }
+  std::sort(touched_nodes.begin(), touched_nodes.end());
+  touched_nodes.erase(std::unique(touched_nodes.begin(), touched_nodes.end()),
+                      touched_nodes.end());
+
+  patch.saved_arcs.reserve(touched_arcs.size());
+  for (DpArcId a : touched_arcs) {
+    const DpArc& arc = dp.arc(a);
+    patch.saved_arcs.push_back({a, arc.from, arc.to, arc.steps, dp.alive(a)});
+  }
+  patch.saved_in_lists.reserve(touched_nodes.size());
+  patch.saved_out_lists.reserve(touched_nodes.size());
+  for (DpNodeId n : touched_nodes) {
+    patch.saved_in_lists.emplace_back(n, dp.node(n).in_arcs);
+    patch.saved_out_lists.emplace_back(n, dp.node(n).out_arcs);
+  }
+
+  // --- mutate ---------------------------------------------------------------
+  // Snapshots above are complete, so any failure below can roll the graph
+  // back to its pre-call state (set_alive is idempotent; revert restores the
+  // saved lists verbatim), giving the strong exception guarantee.
+  try {
+  // 1. Redirect every arc of `from` to `into`.
+  DpNode& from_node = dp.node(from);
+  DpNode& into_node = dp.node(into);
+  for (DpArcId a : from_node.in_arcs) dp.arc(a).to = into;
+  for (DpArcId a : from_node.out_arcs) dp.arc(a).from = into;
+
+  // 2. Splice the lists and restore the ascending-id invariant.
+  into_node.in_arcs.insert(into_node.in_arcs.end(), from_node.in_arcs.begin(),
+                           from_node.in_arcs.end());
+  into_node.out_arcs.insert(into_node.out_arcs.end(), from_node.out_arcs.begin(),
+                            from_node.out_arcs.end());
+  from_node.in_arcs.clear();
+  from_node.out_arcs.clear();
+  std::sort(into_node.in_arcs.begin(), into_node.in_arcs.end());
+  std::sort(into_node.out_arcs.begin(), into_node.out_arcs.end());
+
+  // 3. Collapse duplicates.  Lists are ascending, so the first arc seen for
+  // a (peer, port) key is the min-id survivor; a later collision absorbs its
+  // steps into the survivor and dies.  (No module-module or register-
+  // register arcs exist, so a merger never creates self-arcs, and duplicates
+  // only ever pair one redirected arc with one pre-existing arc.)
+  auto dedup = [&](std::vector<DpArcId>& list, bool incoming) {
+    std::vector<DpArcId> kept;
+    kept.reserve(list.size());
+    for (DpArcId a : list) {
+      DpArc& arc = dp.arc(a);
+      const DpNodeId peer = incoming ? arc.from : arc.to;
+      DpArcId winner = DpArcId::invalid();
+      for (DpArcId k : kept) {
+        const DpArc& karc = dp.arc(k);
+        if ((incoming ? karc.from : karc.to) == peer && karc.to_port == arc.to_port) {
+          winner = k;
+          break;
+        }
+      }
+      if (!winner.valid()) {
+        kept.push_back(a);
+        continue;
+      }
+      DpArc& warc = dp.arc(winner);
+      warc.steps = union_steps(warc.steps, arc.steps);
+      dp.set_alive(a, false);
+      // Detach the loser from its *other* endpoint's list; `list` itself is
+      // replaced by `kept` below.
+      erase_arc(incoming ? dp.node(peer).out_arcs : dp.node(peer).in_arcs, a);
+      ++patch.arcs_deduped;
+    }
+    list = std::move(kept);
+  };
+  dedup(into_node.in_arcs, /*incoming=*/true);
+  dedup(into_node.out_arcs, /*incoming=*/false);
+
+  // 4. Retire `from` and take over the merged label.
+  dp.set_alive(from, false);
+  if (new_into_name != nullptr) into_node.name = *new_into_name;
+  } catch (...) {
+    revert_merge_patch(dp, patch);
+    throw;
+  }
+  return patch;
+}
+
+void revert_merge_patch(DataPath& dp, const MergePatch& patch) {
+  dp.node(patch.into).name = patch.old_into_name;
+  for (const MergePatch::ArcState& st : patch.saved_arcs) {
+    DpArc& arc = dp.arc(st.id);
+    arc.from = st.from;
+    arc.to = st.to;
+    arc.steps = st.steps;
+    dp.set_alive(st.id, st.alive);
+  }
+  for (const auto& [n, list] : patch.saved_in_lists) dp.node(n).in_arcs = list;
+  for (const auto& [n, list] : patch.saved_out_lists) dp.node(n).out_arcs = list;
+  dp.set_alive(patch.from, true);
+}
+
+}  // namespace hlts::etpn

@@ -1,0 +1,83 @@
+// In-place merge patching of the data path graph.
+//
+// A merger transformation (two modules or two registers fused) perturbs only
+// the immediate neighbourhood of the two nodes, so instead of rebuilding the
+// whole ETPN per trial, `apply_merge_patch` redirects the doomed node's arcs
+// to the survivor and retires the node as a tombstone.  The returned
+// `MergePatch` is an exact undo log: `revert_merge_patch` restores the graph
+// bit-for-bit, which is what lets one shared graph serve many trial
+// evaluations.
+//
+// Bit-identity contract (relied on by cost estimation and testability):
+// a patched graph is *indistinguishable by iteration order* from a graph
+// freshly built for the merged binding.  Three invariants make this hold:
+//
+//  1. Fresh builds assign arc ids in emission order, and every node's arc
+//     lists are ascending in arc id.  The patcher preserves the sorted-list
+//     invariant by re-sorting the survivor's lists after splicing.
+//  2. When a redirected arc collides with an existing arc (same from, to and
+//     port), the arc with the *smaller* id survives and absorbs the loser's
+//     step set.  A fresh build of the merged binding would emit the combined
+//     arc at the first position either original arc was emitted, so min-id
+//     survival keeps "alive arcs in ascending id order" equal to the fresh
+//     build's emission order -- inductively, across any number of mergers.
+//  3. Dead arcs are detached from both endpoints' lists and dead nodes keep
+//     empty lists, so consumers that walk lists or skip tombstones visit
+//     exactly the fresh build's elements, in the fresh build's order.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "etpn/etpn.hpp"
+
+namespace hlts::etpn {
+
+/// Exact undo log for one in-place merger; see revert_merge_patch.
+struct MergePatch {
+  DpNodeId into;
+  DpNodeId from;
+  std::string old_into_name;
+
+  struct ArcState {
+    DpArcId id;
+    DpNodeId from;
+    DpNodeId to;
+    std::vector<int> steps;
+    bool alive = true;
+  };
+  std::vector<ArcState> saved_arcs;
+  /// Pre-patch adjacency lists of every node in the merger's neighbourhood.
+  std::vector<std::pair<DpNodeId, std::vector<DpArcId>>> saved_in_lists;
+  std::vector<std::pair<DpNodeId, std::vector<DpArcId>>> saved_out_lists;
+
+  /// Number of arcs killed by duplicate-collapse (the mux savings of the
+  /// merger); alive arc count drops by exactly this much.
+  int arcs_deduped = 0;
+
+  /// Rough transient footprint of this patch (saved arcs + lists), used by
+  /// the memory-budget accounting in core/synthesis.
+  [[nodiscard]] std::size_t approx_bytes() const;
+};
+
+/// Fuses data-path node `from` into `into` in place (both must be alive and
+/// of the same kind: two Modules or two Registers).  `new_into_name`, when
+/// non-null, renames the survivor to the merged binding's label so the
+/// patched graph matches a fresh build's node names.
+MergePatch apply_merge_patch(DataPath& dp, DpNodeId into, DpNodeId from,
+                             const std::string* new_into_name = nullptr);
+
+/// Restores the graph to its exact pre-patch state.  Patches must be
+/// reverted in LIFO order when stacked.
+void revert_merge_patch(DataPath& dp, const MergePatch& patch);
+
+/// Recomputes every alive arc's step annotations for a (new) schedule and
+/// rebuilds the control chain, replaying the same emission scan as
+/// build_etpn.  Used after a committed merger is rescheduled: the arc
+/// *structure* of the ETPN is schedule-independent, only the step sets and
+/// the control part change.
+void refresh_etpn_steps(Etpn& e, const dfg::Dfg& g, const sched::Schedule& s,
+                        const Binding& b, const EtpnOptions& options = {});
+
+}  // namespace hlts::etpn

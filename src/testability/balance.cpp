@@ -70,6 +70,36 @@ bool intersects(const std::set<std::uint32_t>& a,
 
 }  // namespace
 
+void MergeCandidate::apply(const dfg::Dfg& g, etpn::Binding& b) const {
+  if (is_modules()) {
+    b.merge_modules(g, module_a, module_b);
+  } else {
+    b.merge_regs(reg_a, reg_b);
+  }
+}
+
+std::pair<etpn::DpNodeId, etpn::DpNodeId> MergeCandidate::nodes(
+    const etpn::Etpn& e) const {
+  return is_modules()
+             ? std::pair{e.module_node[module_a], e.module_node[module_b]}
+             : std::pair{e.reg_node[reg_a], e.reg_node[reg_b]};
+}
+
+std::string MergeCandidate::description(const dfg::Dfg& g,
+                                        const etpn::Binding& b) const {
+  if (is_modules()) {
+    return "merge modules [" + b.module_label(g, module_a) + " | " +
+           b.module_label(g, module_b) + "]";
+  }
+  return "merge registers [" + b.reg_label(g, reg_a) + " | " +
+         b.reg_label(g, reg_b) + "]";
+}
+
+std::string MergeCandidate::merged_label(const dfg::Dfg& g,
+                                         const etpn::Binding& b) const {
+  return is_modules() ? b.module_label(g, module_a) : b.reg_label(g, reg_a);
+}
+
 bool register_merge_impossible(const dfg::Dfg& g, const etpn::Binding& b,
                                etpn::RegId ra, etpn::RegId rb) {
   // Case (2): an operation uses variables of both registers as inputs.
@@ -163,7 +193,7 @@ std::vector<MergeCandidate> select_balance_candidates(
       // writes the other (after merging it reads and writes the same one).
       bool self_loop = false;
       for (etpn::DpNodeId m : dp.node_ids()) {
-        if (dp.node(m).kind != etpn::DpNodeKind::Module) continue;
+        if (!dp.alive(m) || dp.node(m).kind != etpn::DpNodeKind::Module) continue;
         std::set<std::uint32_t> reads, writes;
         module_reg_sets(dp, m, reads, writes);
         const bool touches_read = reads.count(n1.value()) || reads.count(n2.value());

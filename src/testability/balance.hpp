@@ -10,6 +10,9 @@
 // for Algorithm 1's cost evaluation.
 #pragma once
 
+#include <cstdint>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "etpn/etpn.hpp"
@@ -27,6 +30,31 @@ struct MergeCandidate {
   double score = 0.0;
   /// True when the merger would create a register<->module self-loop.
   bool creates_self_loop = false;
+
+  // Kind dispatch, in one place.  Cache keying, trial evaluation and commit
+  // descriptions all used to switch on `kind` by hand; these helpers are the
+  // single source of truth for "which two binding groups does this candidate
+  // name and how is the merger applied".
+  [[nodiscard]] bool is_modules() const { return kind == Kind::Modules; }
+  /// The raw ids of the two binding groups (module or register ids).
+  [[nodiscard]] std::pair<std::uint32_t, std::uint32_t> group_ids() const {
+    return is_modules() ? std::pair{module_a.value(), module_b.value()}
+                        : std::pair{reg_a.value(), reg_b.value()};
+  }
+  /// Applies the merger to `b` (merge_modules or merge_regs; the first
+  /// group survives).
+  void apply(const dfg::Dfg& g, etpn::Binding& b) const;
+  /// Data-path nodes of the two groups under `e`'s node maps
+  /// {survivor, merged-away}.
+  [[nodiscard]] std::pair<etpn::DpNodeId, etpn::DpNodeId> nodes(
+      const etpn::Etpn& e) const;
+  /// "merge modules [(+): N1 | (+): N2]" -- the trajectory notation.
+  [[nodiscard]] std::string description(const dfg::Dfg& g,
+                                        const etpn::Binding& b) const;
+  /// Post-merge label of the surviving group (what a fresh build would name
+  /// the merged data-path node); `b` must already reflect the merger.
+  [[nodiscard]] std::string merged_label(const dfg::Dfg& g,
+                                         const etpn::Binding& b) const;
 };
 
 struct BalanceOptions {

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "util/error.hpp"
+#include "util/trace.hpp"
 
 namespace hlts::testability {
 
@@ -17,6 +18,27 @@ bool Measure::better_than(const Measure& o) const {
   if (comb < o.comb - kEps) return false;
   return seq < o.seq - kEps;
 }
+
+namespace {
+
+/// Propagation update rule: should `v` replace the stored value `s`?
+///
+/// `better_than` alone is eps-tolerant, so inside an eps-plateau (values
+/// equal to within kEps, e.g. two loop unrollings whose rounded products
+/// differ in the last ulp) the stored value would be whichever candidate
+/// happened to arrive first -- a *history-dependent* fixpoint.  The
+/// incremental update (TestabilityAnalysis::update) replays a different
+/// history than the from-scratch propagation, so plateau ties must be
+/// broken deterministically: within a plateau the exact lexicographic
+/// maximum (bitwise larger comb, then bitwise smaller seq) wins, making
+/// the converged value a canonical function of the graph alone.
+bool should_replace(const Measure& v, const Measure& s) {
+  if (v.better_than(s)) return true;
+  if (s.better_than(v)) return false;
+  return v.comb > s.comb || (v.comb == s.comb && v.seq < s.seq);
+}
+
+}  // namespace
 
 double Measure::scalar(double lambda) const {
   return comb / (1.0 + lambda * seq);
@@ -82,8 +104,19 @@ double observability_transfer(dfg::OpKind kind) {
 TestabilityAnalysis::TestabilityAnalysis(const etpn::DataPath& dp) : dp_(dp) {
   cc_.assign(dp.num_arcs(), Measure{});
   co_.assign(dp.num_arcs(), Measure{});
+  cc_hist_.assign(dp.num_arcs(), {});
+  co_hist_.assign(dp.num_arcs(), {});
   propagate_controllability();
   propagate_observability();
+}
+
+Measure TestabilityAnalysis::history_at(const History& h, int round) {
+  Measure v{};
+  for (const auto& [r, m] : h) {
+    if (r > round) break;
+    v = m;
+  }
+  return v;
 }
 
 namespace {
@@ -104,65 +137,113 @@ Measure best_over(const Arcs& arcs, const Table& table, Measure def) {
 
 }  // namespace
 
+Measure TestabilityAnalysis::controllability_of(etpn::DpNodeId n) const {
+  using etpn::DpArcId;
+  using etpn::DpNodeKind;
+  const etpn::DpNode& node = dp_.node(n);
+  switch (node.kind) {
+    case DpNodeKind::InPort:
+      return {1.0, 0.0};
+    case DpNodeKind::Register: {
+      // Load through the best input line; one more clocked stage.
+      Measure best = best_over(node.in_arcs, cc_, Measure{});
+      return {best.comb, best.seq + 1.0};
+    }
+    case DpNodeKind::Module: {
+      // Both operand ports must be justified simultaneously.
+      const int arity = dp_.num_ports(n);
+      double comb = controllability_transfer(node.op_class);
+      double seq = 0;
+      for (int port = 0; port < arity; ++port) {
+        Measure best{};
+        bool any = false;
+        for (DpArcId a : node.in_arcs) {
+          if (dp_.arc(a).to_port != port) continue;
+          if (!any || cc_[a].better_than(best)) {
+            best = cc_[a];
+            any = true;
+          }
+        }
+        if (!any) best = Measure{};
+        comb *= best.comb;
+        seq = std::max(seq, best.seq);
+      }
+      return {comb, seq};
+    }
+    case DpNodeKind::OutPort:
+      break;  // no output lines; value unused
+  }
+  return {};
+}
+
+Measure TestabilityAnalysis::observability_of(etpn::DpNodeId n,
+                                              etpn::DpArcId in) const {
+  using etpn::DpArcId;
+  using etpn::DpNodeKind;
+  const etpn::DpNode& node = dp_.node(n);
+  switch (node.kind) {
+    case DpNodeKind::OutPort:
+      return {1.0, 0.0};
+    case DpNodeKind::Register: {
+      Measure best = best_over(node.out_arcs, co_, Measure{});
+      return {best.comb, best.seq + 1.0};
+    }
+    case DpNodeKind::Module: {
+      // Observe through the best output line; the other operand must
+      // be set to a non-masking value, so its controllability scales
+      // the result.
+      Measure out_best = best_over(node.out_arcs, co_, Measure{});
+      double side = 1.0;
+      const int arity = dp_.num_ports(n);
+      if (arity > 1) {
+        const int other = 1 - dp_.arc(in).to_port;
+        Measure best{};
+        bool any = false;
+        for (DpArcId a : node.in_arcs) {
+          if (dp_.arc(a).to_port != other) continue;
+          if (!any || cc_[a].better_than(best)) {
+            best = cc_[a];
+            any = true;
+          }
+        }
+        side = any ? best.comb : 0.0;
+      }
+      return {observability_transfer(node.op_class) * out_best.comb * side,
+              out_best.seq};
+    }
+    case DpNodeKind::InPort:
+      break;  // no input lines; value unused
+  }
+  return {};
+}
+
 void TestabilityAnalysis::propagate_controllability() {
   using etpn::DpArcId;
   using etpn::DpNodeId;
   using etpn::DpNodeKind;
 
+  std::int64_t visits = 0;
   for (int round = 0; round < kMaxRounds; ++round) {
     bool changed = false;
     for (DpNodeId n : dp_.node_ids()) {
+      if (!dp_.alive(n)) continue;
       const etpn::DpNode& node = dp_.node(n);
-      Measure out;
-      switch (node.kind) {
-        case DpNodeKind::InPort:
-          out = {1.0, 0.0};
-          break;
-        case DpNodeKind::Register: {
-          // Load through the best input line; one more clocked stage.
-          Measure best = best_over(node.in_arcs, cc_, Measure{});
-          out = {best.comb, best.seq + 1.0};
-          break;
-        }
-        case DpNodeKind::Module: {
-          // Both operand ports must be justified simultaneously.
-          const int arity = dp_.num_ports(n);
-          double comb = controllability_transfer(node.op_class);
-          double seq = 0;
-          for (int port = 0; port < arity; ++port) {
-            Measure best{};
-            bool any = false;
-            for (DpArcId a : node.in_arcs) {
-              if (dp_.arc(a).to_port != port) continue;
-              if (!any || cc_[a].better_than(best)) {
-                best = cc_[a];
-                any = true;
-              }
-            }
-            if (!any) best = Measure{};
-            comb *= best.comb;
-            seq = std::max(seq, best.seq);
-          }
-          out = {comb, seq};
-          break;
-        }
-        case DpNodeKind::OutPort:
-          continue;  // no output lines
-      }
+      if (node.kind == DpNodeKind::OutPort) continue;  // no output lines
+      ++visits;
+      const Measure out = controllability_of(n);
       for (DpArcId a : node.out_arcs) {
-        if (std::abs(cc_[a].comb - out.comb) > kEps ||
-            std::abs(cc_[a].seq - out.seq) > kEps) {
-          // Monotone update: only improve, so the fixpoint is reached from
-          // below and loops cannot oscillate.
-          if (out.better_than(cc_[a])) {
-            cc_[a] = out;
-            changed = true;
-          }
+        // Monotone update: only improve, so the fixpoint is reached from
+        // below and loops cannot oscillate.
+        if (should_replace(out, cc_[a])) {
+          cc_[a] = out;
+          cc_hist_[a].push_back({round, out});
+          changed = true;
         }
       }
     }
-    if (!changed) return;
+    if (!changed) break;
   }
+  util::count("testability.node_visits", visits);
 }
 
 void TestabilityAnalysis::propagate_observability() {
@@ -170,57 +251,196 @@ void TestabilityAnalysis::propagate_observability() {
   using etpn::DpNodeId;
   using etpn::DpNodeKind;
 
+  std::int64_t visits = 0;
   for (int round = 0; round < kMaxRounds; ++round) {
     bool changed = false;
     for (DpNodeId n : dp_.node_ids()) {
+      if (!dp_.alive(n)) continue;
       const etpn::DpNode& node = dp_.node(n);
+      if (node.kind == DpNodeKind::InPort) continue;  // no input lines
+      ++visits;
       // Compute the observability each *input line* of `n` inherits.
       for (DpArcId in : node.in_arcs) {
-        Measure val{};
-        switch (node.kind) {
-          case DpNodeKind::OutPort:
-            val = {1.0, 0.0};
-            break;
-          case DpNodeKind::Register: {
-            Measure best = best_over(node.out_arcs, co_, Measure{});
-            val = {best.comb, best.seq + 1.0};
-            break;
-          }
-          case DpNodeKind::Module: {
-            // Observe through the best output line; the other operand must
-            // be set to a non-masking value, so its controllability scales
-            // the result.
-            Measure out_best = best_over(node.out_arcs, co_, Measure{});
-            double side = 1.0;
-            const int arity = dp_.num_ports(n);
-            if (arity > 1) {
-              const int other = 1 - dp_.arc(in).to_port;
-              Measure best{};
-              bool any = false;
-              for (DpArcId a : node.in_arcs) {
-                if (dp_.arc(a).to_port != other) continue;
-                if (!any || cc_[a].better_than(best)) {
-                  best = cc_[a];
-                  any = true;
-                }
-              }
-              side = any ? best.comb : 0.0;
-            }
-            val = {observability_transfer(node.op_class) * out_best.comb * side,
-                   out_best.seq};
-            break;
-          }
-          case DpNodeKind::InPort:
-            continue;  // no input lines
-        }
-        if (val.better_than(co_[in])) {
+        const Measure val = observability_of(n, in);
+        if (should_replace(val, co_[in])) {
           co_[in] = val;
+          co_hist_[in].push_back({round, val});
           changed = true;
         }
       }
     }
-    if (!changed) return;
+    if (!changed) break;
   }
+  util::count("testability.node_visits", visits);
+}
+
+TestabilityAnalysis::UpdateStats TestabilityAnalysis::update(
+    const std::vector<etpn::DpNodeId>& changed_nodes) {
+  using etpn::DpArcId;
+  using etpn::DpNodeId;
+  using etpn::DpNodeKind;
+
+  UpdateStats stats;
+  std::vector<bool> cc_dirty(dp_.num_arcs(), false);
+  std::vector<bool> in_cone(dp_.num_nodes(), false);
+
+  // Forward cone: every out-arc of a changed node is dirty; a node with a
+  // dirty in-arc has dirty out-arcs, transitively (loops close the cone).
+  std::vector<DpNodeId> worklist;
+  auto enqueue = [&](DpNodeId n, std::vector<bool>& seen) {
+    if (seen[n.index()]) return;
+    seen[n.index()] = true;
+    worklist.push_back(n);
+  };
+  for (DpNodeId n : changed_nodes) {
+    if (dp_.alive(n)) enqueue(n, in_cone);
+  }
+  std::vector<DpNodeId> cc_nodes;
+  while (!worklist.empty()) {
+    DpNodeId n = worklist.back();
+    worklist.pop_back();
+    cc_nodes.push_back(n);
+    for (DpArcId a : dp_.node(n).out_arcs) {
+      if (!cc_dirty[a.index()]) {
+        cc_dirty[a.index()] = true;
+        ++stats.cc_dirty_arcs;
+      }
+      enqueue(dp_.arc(a).to, in_cone);
+    }
+  }
+  std::sort(cc_nodes.begin(), cc_nodes.end());
+  for (DpArcId a : dp_.arc_ids()) {
+    if (cc_dirty[a.index()]) {
+      cc_[a] = Measure{};
+      cc_hist_[a].clear();
+    }
+  }
+  // Exact replay of the from-scratch iteration, restricted to the cone:
+  // cone nodes are visited in the same ascending-id order as the full
+  // propagation, and every frontier (non-dirty) operand is read at the
+  // value the scratch run would show at this exact (round, node) position
+  // -- its recorded history entry, shifted by one round when the writer
+  // node comes later in the visit order.  Frontier trajectories are
+  // unchanged by the patch (they form a closed subsystem), so every
+  // transfer evaluation sees bit-identical operands and the cone converges
+  // to the bit-identical fixpoint.
+  int cc_frontier_rounds = 0;
+  for (DpNodeId n : cc_nodes) {
+    for (DpArcId a : dp_.node(n).in_arcs) {
+      if (!cc_dirty[a.index()] && !cc_hist_[a].empty()) {
+        cc_frontier_rounds =
+            std::max(cc_frontier_rounds, cc_hist_[a].back().first);
+      }
+    }
+  }
+  for (int round = 0; round < kMaxRounds; ++round) {
+    bool changed = false;
+    for (DpNodeId n : cc_nodes) {
+      const etpn::DpNode& node = dp_.node(n);
+      if (node.kind == DpNodeKind::OutPort) continue;
+      ++stats.node_visits;
+      for (DpArcId a : node.in_arcs) {
+        if (cc_dirty[a.index()]) continue;  // live Gauss-Seidel value
+        const int eff = dp_.arc(a).from < n ? round : round - 1;
+        cc_[a] = history_at(cc_hist_[a], eff);
+      }
+      const Measure out = controllability_of(n);
+      for (DpArcId a : node.out_arcs) {
+        if (should_replace(out, cc_[a])) {
+          cc_[a] = out;
+          cc_hist_[a].push_back({round, out});
+          changed = true;
+        }
+      }
+    }
+    // A frontier arc written at round r by a later-id node only becomes
+    // visible to earlier-id cone readers at round r + 1 (the writer shift),
+    // so quiescence can only be trusted strictly past the frontier bound.
+    if (!changed && round > cc_frontier_rounds) break;
+  }
+  // Restore the materialized frontier arcs to their converged values.
+  for (DpNodeId n : cc_nodes) {
+    for (DpArcId a : dp_.node(n).in_arcs) {
+      if (!cc_dirty[a.index()]) cc_[a] = history_at(cc_hist_[a], kMaxRounds);
+    }
+  }
+
+  // Backward cone: seeded from the changed nodes and from the destination of
+  // every cc-dirty arc (module input-line observability reads sibling-port
+  // controllability).  Every in-arc of a cone node is dirty; its source
+  // joins the cone, transitively.
+  std::vector<bool> co_dirty(dp_.num_arcs(), false);
+  std::vector<bool> in_bcone(dp_.num_nodes(), false);
+  for (DpNodeId n : changed_nodes) {
+    if (dp_.alive(n)) enqueue(n, in_bcone);
+  }
+  for (DpArcId a : dp_.arc_ids()) {
+    if (cc_dirty[a.index()] && dp_.alive(a)) enqueue(dp_.arc(a).to, in_bcone);
+  }
+  std::vector<DpNodeId> co_nodes;
+  while (!worklist.empty()) {
+    DpNodeId n = worklist.back();
+    worklist.pop_back();
+    co_nodes.push_back(n);
+    for (DpArcId a : dp_.node(n).in_arcs) {
+      if (!co_dirty[a.index()]) {
+        co_dirty[a.index()] = true;
+        ++stats.co_dirty_arcs;
+      }
+      enqueue(dp_.arc(a).from, in_bcone);
+    }
+  }
+  std::sort(co_nodes.begin(), co_nodes.end());
+  for (DpArcId a : dp_.arc_ids()) {
+    if (co_dirty[a.index()]) {
+      co_[a] = Measure{};
+      co_hist_[a].clear();
+    }
+  }
+  // Exact replay, as above.  A co arc is written when its *destination*
+  // node is visited, so the frontier shift keys on arc.to; sibling-port cc
+  // reads see final controllability in the scratch run too (observability
+  // propagates only after controllability has fully converged).
+  int co_frontier_rounds = 0;
+  for (DpNodeId n : co_nodes) {
+    for (DpArcId a : dp_.node(n).out_arcs) {
+      if (!co_dirty[a.index()] && !co_hist_[a].empty()) {
+        co_frontier_rounds =
+            std::max(co_frontier_rounds, co_hist_[a].back().first);
+      }
+    }
+  }
+  for (int round = 0; round < kMaxRounds; ++round) {
+    bool changed = false;
+    for (DpNodeId n : co_nodes) {
+      const etpn::DpNode& node = dp_.node(n);
+      if (node.kind == DpNodeKind::InPort) continue;
+      ++stats.node_visits;
+      for (DpArcId a : node.out_arcs) {
+        if (co_dirty[a.index()]) continue;  // live Gauss-Seidel value
+        const int eff = dp_.arc(a).to < n ? round : round - 1;
+        co_[a] = history_at(co_hist_[a], eff);
+      }
+      for (DpArcId in : node.in_arcs) {
+        const Measure val = observability_of(n, in);
+        if (should_replace(val, co_[in])) {
+          co_[in] = val;
+          co_hist_[in].push_back({round, val});
+          changed = true;
+        }
+      }
+    }
+    if (!changed && round > co_frontier_rounds) break;
+  }
+  for (DpNodeId n : co_nodes) {
+    for (DpArcId a : dp_.node(n).out_arcs) {
+      if (!co_dirty[a.index()]) co_[a] = history_at(co_hist_[a], kMaxRounds);
+    }
+  }
+
+  util::count("testability.node_visits", stats.node_visits);
+  util::count("testability.incremental_updates");
+  return stats;
 }
 
 Measure TestabilityAnalysis::node_controllability(etpn::DpNodeId n) const {
@@ -239,6 +459,7 @@ double TestabilityAnalysis::balance_index() const {
   double sum = 0;
   int count = 0;
   for (etpn::DpNodeId n : dp_.node_ids()) {
+    if (!dp_.alive(n)) continue;
     const auto kind = dp_.node(n).kind;
     if (kind != etpn::DpNodeKind::Register && kind != etpn::DpNodeKind::Module) {
       continue;

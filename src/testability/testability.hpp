@@ -16,6 +16,7 @@
 // bounded, so Kleene iteration converges.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "etpn/etpn.hpp"
@@ -51,6 +52,35 @@ class TestabilityAnalysis {
   /// propagations to fixpoint.
   explicit TestabilityAnalysis(const etpn::DataPath& dp);
 
+  /// Work done by one update() call, for bench accounting.
+  struct UpdateStats {
+    std::int64_t cc_dirty_arcs = 0;
+    std::int64_t co_dirty_arcs = 0;
+    std::int64_t node_visits = 0;
+  };
+
+  /// Incrementally re-runs the fixed point after an in-place merge patch
+  /// (etpn::apply_merge_patch) changed the structure around `changed_nodes`.
+  ///
+  /// Dirty-set semantics: controllability can only change on the *forward
+  /// cone* of a changed node (its out-arcs, then the out-arcs of any node
+  /// with a dirty in-arc, transitively -- loops close the cone).
+  /// Observability can change on the *backward cone* seeded from the
+  /// changed nodes and from the destination of every dirty-controllability
+  /// arc (a module's input-line observability reads the sibling port's
+  /// controllability, so cc dirt leaks into co).  Dirty arcs are reset to
+  /// bottom and re-converged by an *exact replay* of the full propagation
+  /// restricted to the cone: cone nodes are visited in the same ascending
+  /// node-id order, and frontier (non-dirty) operands are read at their
+  /// recorded per-round trajectory values rather than their converged
+  /// values -- eps-tolerant plateau ties on data-path cycles are history
+  /// dependent, so reading the frontier mid-flight is what makes the
+  /// result *bit-identical* to a from-scratch analysis of the patched
+  /// graph.  Arcs outside the cones keep values (and trajectories) that
+  /// are already at the from-scratch fixpoint (their inputs are
+  /// untouched).
+  UpdateStats update(const std::vector<etpn::DpNodeId>& changed_nodes);
+
   /// Line measures (lines are identified with data path arcs).
   [[nodiscard]] Measure line_controllability(etpn::DpArcId a) const {
     return cc_[a];
@@ -73,12 +103,33 @@ class TestabilityAnalysis {
   [[nodiscard]] const etpn::DataPath& data_path() const { return dp_; }
 
  private:
+  /// The (round, value) assignments the canonical from-scratch propagation
+  /// makes to one arc, in round order.  The incremental update replays the
+  /// scratch iteration over the dirty cone, and a cone node must read each
+  /// frontier (non-dirty) operand at the value the scratch run would show
+  /// at that exact (round, node) position -- not at its converged value --
+  /// or eps-plateau ties on data-path cycles resolve differently and the
+  /// fixpoints drift apart in the last ulp.  Histories are tiny (an arc
+  /// typically improves one to three times before converging).
+  using History = std::vector<std::pair<int, Measure>>;
+  /// Value an arc with history `h` holds at the end of `round` (bottom
+  /// before its first assignment; negative rounds yield bottom).
+  [[nodiscard]] static Measure history_at(const History& h, int round);
+
   void propagate_controllability();
   void propagate_observability();
+  /// One controllability evaluation of `n` (reads in-arc cc); returns the
+  /// measure its output lines carry.
+  [[nodiscard]] Measure controllability_of(etpn::DpNodeId n) const;
+  /// One observability evaluation of input line `in` of `n` (reads out-arc
+  /// co and, for modules, sibling-port cc).
+  [[nodiscard]] Measure observability_of(etpn::DpNodeId n, etpn::DpArcId in) const;
 
   const etpn::DataPath& dp_;
   IndexVec<etpn::DpArcId, Measure> cc_;
   IndexVec<etpn::DpArcId, Measure> co_;
+  IndexVec<etpn::DpArcId, History> cc_hist_;
+  IndexVec<etpn::DpArcId, History> co_hist_;
 };
 
 }  // namespace hlts::testability

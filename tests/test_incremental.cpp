@@ -1,0 +1,466 @@
+// Tests of the incremental analysis layer (src/analysis + etpn/patch +
+// testability cone updates), ctest label `incremental`:
+//
+//  - etpn::apply_merge_patch / revert_merge_patch round-trip the data path
+//    exactly (arcs, adjacency lists, aliveness, names);
+//  - a merge-patched + step-refreshed graph is equal, up to the tombstone
+//    id projection, to a fresh build_etpn of the merged binding;
+//  - TestabilityAnalysis::update(dirty) reproduces a from-scratch analysis
+//    of the patched graph bit-for-bit;
+//  - analysis::DesignDelta leaves a workspace untouched after destruction;
+//  - an incremental trial produces bit-identical numbers to the
+//    from-scratch trial pipeline;
+//  - full flows with AlgorithmOptions::incremental on and off are
+//    bit-identical on every benchmark, every flow, and random designs.
+#include <gtest/gtest.h>
+
+#include <iterator>
+#include <memory>
+#include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "analysis/incremental.hpp"
+#include "benchmarks/benchmarks.hpp"
+#include "core/flows.hpp"
+#include "core/resched.hpp"
+#include "core/synthesis.hpp"
+#include "cost/cost.hpp"
+#include "etpn/patch.hpp"
+#include "petri/petri.hpp"
+#include "sched/schedule.hpp"
+#include "testability/balance.hpp"
+#include "util/rng.hpp"
+
+namespace hlts {
+namespace {
+
+/// Random DAG generator (same shape as the test_random_designs fuzzer).
+dfg::Dfg random_dfg(std::uint64_t seed, int num_inputs, int num_ops) {
+  Rng rng(seed);
+  dfg::Dfg g("rand" + std::to_string(seed));
+  std::vector<dfg::VarId> pool;
+  for (int i = 0; i < num_inputs; ++i) {
+    pool.push_back(g.add_input("i" + std::to_string(i)));
+  }
+  const dfg::OpKind kinds[] = {
+      dfg::OpKind::Add, dfg::OpKind::Add, dfg::OpKind::Sub, dfg::OpKind::Sub,
+      dfg::OpKind::Mul, dfg::OpKind::And, dfg::OpKind::Or,  dfg::OpKind::Xor,
+      dfg::OpKind::Less};
+  std::vector<dfg::VarId> produced;
+  for (int i = 0; i < num_ops; ++i) {
+    const dfg::OpKind kind = kinds[rng.next_below(std::size(kinds))];
+    std::vector<dfg::VarId> ins;
+    for (int j = 0; j < dfg::op_arity(kind); ++j) {
+      ins.push_back(pool[rng.next_below(pool.size())]);
+    }
+    dfg::OpId op = g.add_op_new_var("N" + std::to_string(i), kind, ins,
+                                    "v" + std::to_string(i));
+    pool.push_back(g.op(op).output);
+    produced.push_back(g.op(op).output);
+  }
+  for (dfg::VarId v : produced) {
+    if (g.var(v).uses.empty()) {
+      g.mark_output(v, rng.next_bool(0.5));
+    }
+  }
+  g.validate();
+  return g;
+}
+
+/// Complete observable state of a data path, for exact round-trip checks.
+struct DpSnapshot {
+  struct Node {
+    etpn::DpNodeKind kind;
+    std::string name;
+    bool alive;
+    std::vector<etpn::DpArcId> in_arcs, out_arcs;
+    bool operator==(const Node&) const = default;
+  };
+  struct Arc {
+    etpn::DpNodeId from, to;
+    int to_port;
+    std::vector<int> steps;
+    bool alive;
+    bool operator==(const Arc&) const = default;
+  };
+  std::vector<Node> nodes;
+  std::vector<Arc> arcs;
+  std::size_t alive_nodes = 0, alive_arcs = 0;
+  bool operator==(const DpSnapshot&) const = default;
+};
+
+DpSnapshot dp_snapshot(const etpn::DataPath& dp) {
+  DpSnapshot s;
+  for (etpn::DpNodeId n : dp.node_ids()) {
+    const etpn::DpNode& node = dp.node(n);
+    s.nodes.push_back(
+        {node.kind, node.name, dp.alive(n), node.in_arcs, node.out_arcs});
+  }
+  for (etpn::DpArcId a : dp.arc_ids()) {
+    const etpn::DpArc& arc = dp.arc(a);
+    s.arcs.push_back({arc.from, arc.to, arc.to_port, arc.steps, dp.alive(a)});
+  }
+  s.alive_nodes = dp.num_alive_nodes();
+  s.alive_arcs = dp.num_alive_arcs();
+  return s;
+}
+
+/// Structural snapshot of a binding's group contents.
+struct BindingSnapshot {
+  std::vector<std::pair<std::uint32_t, std::vector<dfg::OpId>>> modules;
+  std::vector<std::pair<std::uint32_t, std::vector<dfg::VarId>>> regs;
+  bool operator==(const BindingSnapshot&) const = default;
+};
+
+BindingSnapshot binding_snapshot(const etpn::Binding& b) {
+  BindingSnapshot s;
+  for (etpn::ModuleId m : b.alive_modules()) {
+    s.modules.emplace_back(m.value(), b.module_ops(m));
+  }
+  for (etpn::RegId r : b.alive_regs()) {
+    s.regs.emplace_back(r.value(), b.reg_vars(r));
+  }
+  return s;
+}
+
+/// Initial design of a DFG: ASAP schedule, identity binding, fresh ETPN.
+struct Design {
+  sched::Schedule s;
+  etpn::Binding b;
+  etpn::Etpn e;
+};
+
+Design make_design(const dfg::Dfg& g) {
+  Design d;
+  d.s = sched::asap(g);
+  d.b = etpn::Binding::default_binding(g, etpn::ModuleCompat::ExactKind);
+  d.e = etpn::build_etpn(g, d.s, d.b);
+  return d;
+}
+
+std::vector<testability::MergeCandidate> all_candidates(const dfg::Dfg& g,
+                                                        const Design& d) {
+  testability::TestabilityAnalysis analysis(d.e.data_path);
+  const int all = static_cast<int>(d.e.data_path.num_nodes() *
+                                   d.e.data_path.num_nodes());
+  return testability::select_balance_candidates(g, d.b, d.e, analysis, all,
+                                                {});
+}
+
+class OnBenchmark : public ::testing::TestWithParam<std::string> {};
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, OnBenchmark,
+                         ::testing::ValuesIn(benchmarks::benchmark_names()),
+                         [](const auto& info) { return info.param; });
+
+TEST_P(OnBenchmark, MergePatchRoundTrips) {
+  dfg::Dfg g = benchmarks::make_benchmark(GetParam());
+  Design d = make_design(g);
+  std::vector<testability::MergeCandidate> cands = all_candidates(g, d);
+  ASSERT_FALSE(cands.empty());
+
+  const DpSnapshot before = dp_snapshot(d.e.data_path);
+  int tried = 0;
+  for (const testability::MergeCandidate& cand : cands) {
+    if (tried >= 8) break;
+    ++tried;
+    const auto [into, from] = cand.nodes(d.e);
+    const std::string label = "merged";
+    etpn::MergePatch patch =
+        etpn::apply_merge_patch(d.e.data_path, into, from, &label);
+    EXPECT_FALSE(d.e.data_path.alive(from));
+    EXPECT_EQ(d.e.data_path.node(into).name, "merged");
+    EXPECT_GT(patch.approx_bytes(), 0u);
+    etpn::revert_merge_patch(d.e.data_path, patch);
+    EXPECT_EQ(dp_snapshot(d.e.data_path), before) << cand.description(g, d.b);
+  }
+}
+
+/// Checks that the alive projection of `patched` equals the compact graph
+/// `fresh`: same nodes in the same order (kind + name), same arcs in the
+/// same order (mapped endpoints, port, steps).
+void expect_alive_projection_equal(const etpn::DataPath& patched,
+                                   const etpn::DataPath& fresh) {
+  std::vector<int> node_rank(patched.num_nodes(), -1);
+  std::vector<etpn::DpNodeId> alive_nodes;
+  for (etpn::DpNodeId n : patched.node_ids()) {
+    if (!patched.alive(n)) continue;
+    node_rank[n.index()] = static_cast<int>(alive_nodes.size());
+    alive_nodes.push_back(n);
+  }
+  ASSERT_EQ(alive_nodes.size(), fresh.num_nodes());
+  for (std::size_t i = 0; i < alive_nodes.size(); ++i) {
+    const etpn::DpNode& pn = patched.node(alive_nodes[i]);
+    const etpn::DpNode& fn =
+        fresh.node(etpn::DpNodeId{static_cast<std::uint32_t>(i)});
+    EXPECT_EQ(pn.kind, fn.kind) << "node " << i;
+    EXPECT_EQ(pn.name, fn.name) << "node " << i;
+  }
+  std::vector<etpn::DpArcId> alive_arcs;
+  for (etpn::DpArcId a : patched.arc_ids()) {
+    if (patched.alive(a)) alive_arcs.push_back(a);
+  }
+  ASSERT_EQ(alive_arcs.size(), fresh.num_arcs());
+  for (std::size_t i = 0; i < alive_arcs.size(); ++i) {
+    const etpn::DpArc& pa = patched.arc(alive_arcs[i]);
+    const etpn::DpArc& fa =
+        fresh.arc(etpn::DpArcId{static_cast<std::uint32_t>(i)});
+    EXPECT_EQ(node_rank[pa.from.index()], static_cast<int>(fa.from.value()))
+        << "arc " << i;
+    EXPECT_EQ(node_rank[pa.to.index()], static_cast<int>(fa.to.value()))
+        << "arc " << i;
+    EXPECT_EQ(pa.to_port, fa.to_port) << "arc " << i;
+    EXPECT_EQ(pa.steps, fa.steps) << "arc " << i;
+  }
+}
+
+TEST_P(OnBenchmark, PatchedGraphMatchesFreshBuild) {
+  dfg::Dfg g = benchmarks::make_benchmark(GetParam());
+  Design d = make_design(g);
+  std::vector<testability::MergeCandidate> cands = all_candidates(g, d);
+  ASSERT_FALSE(cands.empty());
+
+  int checked = 0;
+  for (const testability::MergeCandidate& cand : cands) {
+    if (checked >= 5) break;
+    etpn::Binding merged = d.b;
+    cand.apply(g, merged);
+    core::ReschedOutcome r =
+        core::reschedule(g, merged, d.s, core::OrderStrategy::Testability);
+    if (!r.feasible) continue;
+    ++checked;
+
+    etpn::Etpn patched = d.e;
+    const auto [into, from] = cand.nodes(patched);
+    const std::string label = cand.merged_label(g, merged);
+    etpn::apply_merge_patch(patched.data_path, into, from, &label);
+    etpn::refresh_etpn_steps(patched, g, r.schedule, merged);
+
+    etpn::Etpn fresh = etpn::build_etpn(g, r.schedule, merged);
+    expect_alive_projection_equal(patched.data_path, fresh.data_path);
+    EXPECT_EQ(petri::critical_path(patched.control).length,
+              petri::critical_path(fresh.control).length);
+  }
+  EXPECT_GT(checked, 0) << "no feasible candidate on " << GetParam();
+}
+
+TEST_P(OnBenchmark, TestabilityUpdateEqualsFromScratch) {
+  dfg::Dfg g = benchmarks::make_benchmark(GetParam());
+  Design d = make_design(g);
+  std::vector<testability::MergeCandidate> cands = all_candidates(g, d);
+  ASSERT_FALSE(cands.empty());
+
+  int checked = 0;
+  for (const testability::MergeCandidate& cand : cands) {
+    if (checked >= 5) break;
+    ++checked;
+    etpn::Etpn patched = d.e;  // private copy; the patch is not reverted
+    testability::TestabilityAnalysis incremental(patched.data_path);
+    const auto [into, from] = cand.nodes(patched);
+    etpn::apply_merge_patch(patched.data_path, into, from);
+    const testability::TestabilityAnalysis::UpdateStats stats =
+        incremental.update({into});
+    EXPECT_GT(stats.node_visits, 0);
+
+    const testability::TestabilityAnalysis scratch(patched.data_path);
+    for (etpn::DpArcId a : patched.data_path.arc_ids()) {
+      if (!patched.data_path.alive(a)) continue;
+      EXPECT_EQ(incremental.line_controllability(a).comb,
+                scratch.line_controllability(a).comb)
+          << "cc arc " << a.value();
+      EXPECT_EQ(incremental.line_controllability(a).seq,
+                scratch.line_controllability(a).seq)
+          << "cc arc " << a.value();
+      EXPECT_EQ(incremental.line_observability(a).comb,
+                scratch.line_observability(a).comb)
+          << "co arc " << a.value();
+      EXPECT_EQ(incremental.line_observability(a).seq,
+                scratch.line_observability(a).seq)
+          << "co arc " << a.value();
+    }
+    EXPECT_EQ(incremental.balance_index(), scratch.balance_index());
+  }
+}
+
+TEST_P(OnBenchmark, DesignDeltaRestoresWorkspace) {
+  dfg::Dfg g = benchmarks::make_benchmark(GetParam());
+  core::SynthesisParams p;
+  analysis::IncrementalContext ctx(g, p.library, p.bits);
+  Design d = make_design(g);
+  ctx.attach(d.s, d.b);
+  std::vector<testability::MergeCandidate> cands = all_candidates(g, d);
+  ASSERT_FALSE(cands.empty());
+
+  std::unique_ptr<analysis::TrialWorkspace> ws = ctx.checkout();
+  const DpSnapshot dp_before = dp_snapshot(ws->etpn.data_path);
+  const BindingSnapshot b_before = binding_snapshot(ws->binding);
+  for (std::size_t i = 0; i < cands.size() && i < 6; ++i) {
+    {
+      analysis::DesignDelta delta(g, *ws, cands[i]);
+      EXPECT_NE(dp_snapshot(ws->etpn.data_path), dp_before);
+    }
+    EXPECT_EQ(dp_snapshot(ws->etpn.data_path), dp_before);
+    EXPECT_EQ(binding_snapshot(ws->binding), b_before);
+  }
+  ctx.checkin(std::move(ws));
+}
+
+TEST_P(OnBenchmark, IncrementalTrialMatchesFullTrial) {
+  dfg::Dfg g = benchmarks::make_benchmark(GetParam());
+  core::SynthesisParams p;
+  Design d = make_design(g);
+  const int max_latency = g.critical_path_ops() + 1;
+  analysis::IncrementalContext ctx(g, p.library, p.bits);
+  ctx.attach(d.s, d.b);
+
+  std::vector<testability::MergeCandidate> cands = all_candidates(g, d);
+  ASSERT_FALSE(cands.empty());
+  for (std::size_t i = 0; i < cands.size() && i < 10; ++i) {
+    const testability::MergeCandidate& cand = cands[i];
+    // Full pipeline: binding copy -> reschedule -> fresh ETPN -> cost.
+    etpn::Binding full_b = d.b;
+    cand.apply(g, full_b);
+    core::ReschedOutcome full_r =
+        core::reschedule(g, full_b, d.s, core::OrderStrategy::Testability);
+    double full_cost = 0;
+    const bool full_feasible =
+        full_r.feasible && full_r.schedule.length() <= max_latency;
+    if (full_feasible) {
+      etpn::Etpn full_e = etpn::build_etpn(g, full_r.schedule, full_b);
+      full_cost =
+          cost::estimate_cost(full_e.data_path, p.library, p.bits).total();
+    }
+
+    // Incremental pipeline: workspace patch -> premerged reschedule ->
+    // tombstone-aware cost.
+    std::unique_ptr<analysis::TrialWorkspace> ws = ctx.checkout();
+    bool inc_feasible = false;
+    double inc_cost = 0;
+    int inc_len = 0;
+    {
+      analysis::DesignDelta delta(g, *ws, cand);
+      core::ReschedOutcome inc_r = core::reschedule(
+          g, ws->binding, d.s, core::OrderStrategy::Testability, &ws->etpn);
+      inc_feasible = inc_r.feasible && inc_r.schedule.length() <= max_latency;
+      if (inc_feasible) {
+        inc_len = inc_r.schedule.length();
+        inc_cost = cost::estimate_cost(ws->etpn.data_path, p.library, p.bits,
+                                       ws->cost)
+                       .total();
+        EXPECT_EQ(inc_r.schedule, full_r.schedule);
+      }
+    }
+    ctx.checkin(std::move(ws));
+
+    EXPECT_EQ(inc_feasible, full_feasible) << cand.description(g, d.b);
+    if (full_feasible && inc_feasible) {
+      EXPECT_EQ(inc_len, full_r.schedule.length());
+      EXPECT_EQ(inc_cost, full_cost) << cand.description(g, d.b);
+    }
+  }
+}
+
+TEST_P(OnBenchmark, CommittedStatePassesAuditAndMatchesScratch) {
+  dfg::Dfg g = benchmarks::make_benchmark(GetParam());
+  core::SynthesisParams p;
+  p.incremental = true;
+  p.audit = true;  // tombstone-aware audit runs after every commit
+  core::SynthesisResult inc = core::integrated_synthesis(g, p);
+  p.incremental = false;
+  core::SynthesisResult full = core::integrated_synthesis(g, p);
+  EXPECT_EQ(inc.schedule, full.schedule);
+  EXPECT_EQ(inc.exec_time, full.exec_time);
+  EXPECT_EQ(inc.cost.total(), full.cost.total());
+  EXPECT_EQ(inc.iterations, full.iterations);
+  EXPECT_EQ(inc.stop_reason, full.stop_reason);
+  ASSERT_EQ(inc.trajectory.size(), full.trajectory.size());
+  for (std::size_t i = 0; i < inc.trajectory.size(); ++i) {
+    EXPECT_EQ(inc.trajectory[i].description, full.trajectory[i].description);
+    EXPECT_EQ(inc.trajectory[i].delta_e, full.trajectory[i].delta_e);
+    EXPECT_EQ(inc.trajectory[i].delta_h, full.trajectory[i].delta_h);
+    EXPECT_EQ(inc.trajectory[i].hw_cost, full.trajectory[i].hw_cost);
+    EXPECT_EQ(inc.trajectory[i].balance_index,
+              full.trajectory[i].balance_index);
+  }
+}
+
+class FlowGrid
+    : public ::testing::TestWithParam<std::tuple<std::string, core::FlowKind>> {
+};
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarksAllFlows, FlowGrid,
+    ::testing::Combine(::testing::ValuesIn(benchmarks::benchmark_names()),
+                       ::testing::Values(core::FlowKind::Camad,
+                                         core::FlowKind::Approach1,
+                                         core::FlowKind::Approach2,
+                                         core::FlowKind::Ours)),
+    [](const auto& info) {
+      return std::get<0>(info.param) + "_flow" +
+             std::to_string(static_cast<int>(std::get<1>(info.param)));
+    });
+
+TEST_P(FlowGrid, IncrementalFlowBitIdenticalToFullRecompute) {
+  const auto& [bench, kind] = GetParam();
+  dfg::Dfg g = benchmarks::make_benchmark(bench);
+  core::FlowParams on;
+  on.incremental = true;
+  core::FlowParams off;
+  off.incremental = false;
+  core::FlowResult a = core::run_flow(kind, g, on);
+  core::FlowResult b = core::run_flow(kind, g, off);
+  EXPECT_EQ(a.schedule, b.schedule);
+  EXPECT_EQ(a.exec_time, b.exec_time);
+  EXPECT_EQ(a.registers, b.registers);
+  EXPECT_EQ(a.modules, b.modules);
+  EXPECT_EQ(a.muxes, b.muxes);
+  EXPECT_EQ(a.self_loops, b.self_loops);
+  EXPECT_EQ(a.cost.total(), b.cost.total());
+  EXPECT_EQ(a.balance_index, b.balance_index);
+  EXPECT_EQ(a.module_allocation, b.module_allocation);
+  EXPECT_EQ(a.register_allocation, b.register_allocation);
+  EXPECT_EQ(a.iterations, b.iterations);
+}
+
+TEST(IncrementalRandomDesigns, FlowsBitIdenticalAcrossModes) {
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    dfg::Dfg g = random_dfg(4200 + seed, 4 + static_cast<int>(seed % 4),
+                            8 + static_cast<int>(seed) * 2);
+    for (auto kind : {core::FlowKind::Camad, core::FlowKind::Ours}) {
+      core::FlowParams on;
+      on.incremental = true;
+      core::FlowParams off;
+      off.incremental = false;
+      core::FlowResult a = core::run_flow(kind, g, on);
+      core::FlowResult b = core::run_flow(kind, g, off);
+      EXPECT_EQ(a.schedule, b.schedule) << "seed " << seed;
+      EXPECT_EQ(a.cost.total(), b.cost.total()) << "seed " << seed;
+      EXPECT_EQ(a.balance_index, b.balance_index) << "seed " << seed;
+      EXPECT_EQ(a.module_allocation, b.module_allocation) << "seed " << seed;
+      EXPECT_EQ(a.register_allocation, b.register_allocation)
+          << "seed " << seed;
+    }
+  }
+}
+
+TEST(IncrementalRandomDesigns, PatchUndoRoundTripsOnRandomGraphs) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    dfg::Dfg g = random_dfg(5100 + seed, 3 + static_cast<int>(seed % 5),
+                            6 + static_cast<int>(seed) * 2);
+    Design d = make_design(g);
+    std::vector<testability::MergeCandidate> cands = all_candidates(g, d);
+    const DpSnapshot before = dp_snapshot(d.e.data_path);
+    for (std::size_t i = 0; i < cands.size() && i < 4; ++i) {
+      const auto [into, from] = cands[i].nodes(d.e);
+      etpn::MergePatch patch =
+          etpn::apply_merge_patch(d.e.data_path, into, from);
+      etpn::revert_merge_patch(d.e.data_path, patch);
+      EXPECT_EQ(dp_snapshot(d.e.data_path), before) << "seed " << seed;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hlts

@@ -147,6 +147,27 @@ TEST_P(RandomDesigns, ElaboratedMachineMatchesSpec) {
   }
 }
 
+// The incremental analysis layer must be invisible in the results: every
+// flow on every random design yields the same bits whether trials run as
+// merge patches (incremental=true) or full rebuilds (incremental=false).
+TEST_P(RandomDesigns, IncrementalFlowMatchesFullRecompute) {
+  dfg::Dfg g = random_dfg(3000 + GetParam(), 4 + GetParam() % 3,
+                          7 + (GetParam() * 5) % 12);
+  for (core::FlowKind kind : {core::FlowKind::Camad, core::FlowKind::Ours}) {
+    core::FlowParams on{.bits = 4};
+    on.incremental = true;
+    core::FlowParams off{.bits = 4};
+    off.incremental = false;
+    core::FlowResult a = core::run_flow(kind, g, on);
+    core::FlowResult b = core::run_flow(kind, g, off);
+    EXPECT_EQ(a.schedule, b.schedule) << g.name();
+    EXPECT_EQ(a.module_allocation, b.module_allocation) << g.name();
+    EXPECT_EQ(a.register_allocation, b.register_allocation) << g.name();
+    EXPECT_EQ(a.cost.total(), b.cost.total()) << g.name();
+    EXPECT_EQ(a.balance_index, b.balance_index) << g.name();
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Fuzz, RandomDesigns, ::testing::Range(0, 12));
 
 }  // namespace
