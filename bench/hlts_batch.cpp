@@ -5,6 +5,8 @@
 //
 //   hlts_batch [--jobs N] [--threads N] [--bits N] [--out FILE]
 //              [--verify-serial] [--inject SPEC]
+//              [--journal-dir DIR] [--checkpoint-every N] [--kill-after N]
+//              [--recover] [--queue-cap N] [--policy block|reject|shed]
 //
 // --jobs / --threads control the engine's two-level split (0 = auto);
 // --verify-serial re-runs every job through a direct core::run_flow call
@@ -18,6 +20,23 @@
 // bit-identical to serial runs (jobs degraded to Partial checkpoints by an
 // injected fault are reported but not compared).  Injected failures do not
 // fail the exit code; crashes, hangs, and verify mismatches do.
+//
+// Durability soak: --journal-dir enables the engine's write-ahead journal
+// (checkpoints every --checkpoint-every committed mergers, default 1);
+// --kill-after N _exit(137)s the process at the N-th checkpoint
+// persistence (shorthand for --inject journal.checkpoint:kill:1:0:N); a
+// second invocation with --recover replays the interrupted directory
+// through Engine::recover instead of submitting a fresh grid, and
+// --verify-serial then checks the recovered results are bit-identical to
+// uninterrupted runs:
+//
+//   hlts_batch --journal-dir /tmp/j --kill-after 3   # dies at 137
+//   hlts_batch --journal-dir /tmp/j --recover --verify-serial
+//
+// Overload soak: --queue-cap bounds the pending queue and --policy picks
+// the admission policy; shed/rejected jobs count as expected outcomes (not
+// failures) and the engine health snapshot lands in the report.
+#include <algorithm>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -72,10 +91,33 @@ void write_snapshot(util::JsonWriter& w, const util::TraceSnapshot& snap) {
   w.end_object();
 }
 
+void write_health(util::JsonWriter& w, const engine::EngineHealth& h) {
+  w.begin_object();
+  w.key("queue_depth").value(static_cast<std::int64_t>(h.queue_depth));
+  if (h.queue_capacity == static_cast<std::size_t>(-1)) {
+    w.key("queue_capacity").null_value();
+  } else {
+    w.key("queue_capacity").value(static_cast<std::int64_t>(h.queue_capacity));
+  }
+  w.key("in_flight").value(static_cast<std::int64_t>(h.in_flight));
+  w.key("running").value(h.running);
+  w.key("submitted").value(static_cast<std::int64_t>(h.submitted));
+  w.key("retries").value(static_cast<std::int64_t>(h.retries));
+  w.key("stalls").value(static_cast<std::int64_t>(h.stalls));
+  w.key("sheds").value(static_cast<std::int64_t>(h.sheds));
+  w.key("rejected").value(static_cast<std::int64_t>(h.rejected));
+  w.key("recovered").value(static_cast<std::int64_t>(h.recovered));
+  w.key("journal_lag").value(static_cast<std::int64_t>(h.journal_lag));
+  w.key("journaling").value(h.journaling);
+  w.end_object();
+}
+
 int usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " [--jobs N] [--threads N] [--bits N] [--out FILE]"
-               " [--verify-serial] [--inject SPEC]\n";
+               " [--verify-serial] [--inject SPEC]"
+               " [--journal-dir DIR] [--checkpoint-every N] [--kill-after N]"
+               " [--recover] [--queue-cap N] [--policy block|reject|shed]\n";
   return 2;
 }
 
@@ -88,6 +130,12 @@ int main(int argc, char** argv) {
   std::string out_path = "hlts_batch_report.json";
   bool verify_serial = false;
   std::string inject;
+  std::string journal_dir;
+  int checkpoint_every = 1;
+  int kill_after = 0;
+  bool recover = false;
+  int queue_cap = -1;  // -1 = unbounded
+  engine::OverloadPolicy policy = engine::OverloadPolicy::Block;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -115,9 +163,43 @@ int main(int argc, char** argv) {
     } else if (arg == "--inject") {
       if (i + 1 >= argc) return usage(argv[0]);
       inject = argv[++i];
+    } else if (arg == "--journal-dir") {
+      if (i + 1 >= argc) return usage(argv[0]);
+      journal_dir = argv[++i];
+    } else if (arg == "--checkpoint-every") {
+      if (!next_int(checkpoint_every)) return usage(argv[0]);
+    } else if (arg == "--kill-after") {
+      if (!next_int(kill_after)) return usage(argv[0]);
+    } else if (arg == "--recover") {
+      recover = true;
+    } else if (arg == "--queue-cap") {
+      if (!next_int(queue_cap)) return usage(argv[0]);
+    } else if (arg == "--policy") {
+      if (i + 1 >= argc) return usage(argv[0]);
+      const std::string name = argv[++i];
+      if (name == "block") {
+        policy = engine::OverloadPolicy::Block;
+      } else if (name == "reject") {
+        policy = engine::OverloadPolicy::Reject;
+      } else if (name == "shed") {
+        policy = engine::OverloadPolicy::ShedOldest;
+      } else {
+        std::cerr << "--policy: unknown policy '" << name << "'\n";
+        return usage(argv[0]);
+      }
     } else {
       return usage(argv[0]);
     }
+  }
+  if ((kill_after > 0 || recover) && journal_dir.empty()) {
+    std::cerr << "--kill-after/--recover require --journal-dir\n";
+    return usage(argv[0]);
+  }
+  if (kill_after > 0) {
+    // Shorthand for the crash soak: die inside the kill_after-th checkpoint
+    // persistence, leaving a journal a --recover run replays.
+    if (!inject.empty()) inject += ",";
+    inject += "journal.checkpoint:kill:1:0:" + std::to_string(kill_after);
   }
 
   if (!inject.empty()) {
@@ -137,31 +219,64 @@ int main(int argc, char** argv) {
     std::string benchmark;
     core::FlowKind kind;
     dfg::Dfg dfg;
+    bool known = true;  ///< benchmark resolvable (verify only known jobs)
   };
   std::vector<JobMeta> meta;
   std::vector<engine::FlowRequest> requests;
-  for (const std::string& bench : bench_names) {
-    dfg::Dfg g = benchmarks::make_benchmark(bench);
-    for (core::FlowKind kind : kinds) {
-      engine::FlowRequest r;
-      r.name = bench + "/" + core::flow_name(kind);
-      r.kind = kind;
-      r.dfg = g;
-      r.params = bench::paper_params(bits);
-      requests.push_back(std::move(r));
-      meta.push_back({bench, kind, g});
+  if (!recover) {
+    for (const std::string& bench : bench_names) {
+      dfg::Dfg g = benchmarks::make_benchmark(bench);
+      for (core::FlowKind kind : kinds) {
+        engine::FlowRequest r;
+        r.name = bench + "/" + core::flow_name(kind);
+        r.kind = kind;
+        r.dfg = g;
+        r.params = bench::paper_params(bits);
+        requests.push_back(std::move(r));
+        meta.push_back({bench, kind, g, true});
+      }
     }
   }
 
-  engine::Engine eng({.max_concurrent_jobs = jobs, .threads_per_job = threads});
-  std::cout << "hlts_batch: " << requests.size() << " jobs ("
-            << bench_names.size() << " benchmarks x " << kinds.size()
-            << " flows), " << eng.max_concurrent_jobs() << " concurrent x "
-            << eng.threads_per_job() << " trial threads, " << bits
-            << "-bit datapath\n";
+  engine::EngineOptions eopts;
+  eopts.max_concurrent_jobs = jobs;
+  eopts.threads_per_job = threads;
+  eopts.journal_dir = journal_dir;
+  eopts.checkpoint_every = checkpoint_every;
+  if (queue_cap >= 0) {
+    eopts.queue_capacity = static_cast<std::size_t>(queue_cap);
+  }
+  eopts.overload_policy = policy;
+  engine::Engine eng(eopts);
 
   const auto t0 = std::chrono::steady_clock::now();
-  std::vector<engine::JobPtr> handles = eng.submit_batch(std::move(requests));
+  std::vector<engine::JobPtr> handles;
+  if (recover) {
+    // Replay an interrupted journal instead of submitting a fresh grid.
+    engine::Engine::RecoveryReport rep = eng.recover(journal_dir);
+    for (const std::string& e : rep.errors) {
+      std::cerr << "recover: " << e << "\n";
+    }
+    handles = std::move(rep.jobs);
+    for (const engine::JobPtr& job : handles) {
+      const std::string bench = job->name().substr(0, job->name().find('/'));
+      const bool known = std::find(bench_names.begin(), bench_names.end(),
+                                   bench) != bench_names.end();
+      meta.push_back({bench, job->kind(),
+                      known ? benchmarks::make_benchmark(bench)
+                            : dfg::Dfg(bench),
+                      known});
+    }
+    std::cout << "hlts_batch: recovered " << handles.size()
+              << " unfinished job(s) from " << journal_dir << "\n";
+  } else {
+    std::cout << "hlts_batch: " << requests.size() << " jobs ("
+              << bench_names.size() << " benchmarks x " << kinds.size()
+              << " flows), " << eng.max_concurrent_jobs() << " concurrent x "
+              << eng.threads_per_job() << " trial threads, " << bits
+              << "-bit datapath\n";
+    handles = eng.submit_batch(std::move(requests));
+  }
   eng.wait_all();
   // Snapshot the injection statistics, then disarm: the --verify-serial
   // reference runs below must be fault-free baselines, and an injected
@@ -177,6 +292,7 @@ int main(int argc, char** argv) {
   int failures = 0;
   int mismatches = 0;
   int partials = 0;
+  int shed = 0;
   util::JsonWriter w;
   w.begin_object();
   w.key("config").begin_object();
@@ -185,6 +301,10 @@ int main(int argc, char** argv) {
   w.key("bits").value(bits);
   w.key("verify_serial").value(verify_serial);
   w.key("inject").value(inject);
+  w.key("journal_dir").value(journal_dir);
+  w.key("recover").value(recover);
+  w.key("queue_cap").value(queue_cap);
+  w.key("policy").value(engine::overload_policy_name(policy));
   w.end_object();
   w.key("jobs").begin_array();
   for (std::size_t i = 0; i < handles.size(); ++i) {
@@ -223,7 +343,10 @@ int main(int argc, char** argv) {
       // The determinism contract only covers complete runs: a job degraded
       // to a Partial checkpoint by an injected fault stops at an earlier
       // iteration than the fault-free serial reference.
-      if (verify_serial && job->state() == engine::JobState::Succeeded &&
+      // (Recovered jobs are verified against the same --bits the original
+      // run used; pass the matching --bits on the --recover invocation.)
+      if (verify_serial && meta[i].known &&
+          job->state() == engine::JobState::Succeeded &&
           r.completeness == core::Completeness::Full) {
         const core::FlowParams params = bench::paper_params(bits);
         core::FlowResult serial =
@@ -251,7 +374,12 @@ int main(int argc, char** argv) {
         }
       }
     }
-    if (job->state() != engine::JobState::Succeeded) {
+    if (job->state() == engine::JobState::Rejected) {
+      // Shed/rejected under an explicit queue bound is the admission
+      // policy working as configured, not a job failure.
+      ++shed;
+      w.key("error").value(job->error());
+    } else if (job->state() != engine::JobState::Succeeded) {
       ++failures;
       w.key("error").value(job->error());
       std::cerr << "job " << job->name() << " "
@@ -265,6 +393,8 @@ int main(int argc, char** argv) {
   w.end_array();
   w.key("engine");
   write_snapshot(w, eng.metrics());
+  w.key("health");
+  write_health(w, eng.health());
   if (!inject.empty()) {
     w.key("failpoints").begin_array();
     for (const util::failpoint::SiteStats& s : fp_stats) {
@@ -286,9 +416,13 @@ int main(int argc, char** argv) {
   }
   out << w.str() << "\n";
 
-  std::cout << "hlts_batch: " << handles.size() - failures << "/"
+  std::cout << "hlts_batch: " << handles.size() - failures - shed << "/"
             << handles.size() << " jobs succeeded in " << total_ms
             << " ms; report: " << out_path << "\n";
+  if (shed > 0) {
+    std::cout << "hlts_batch: " << shed
+              << " job(s) shed/rejected by admission control\n";
+  }
   if (partials > 0) {
     std::cout << "hlts_batch: " << partials
               << " job(s) returned Partial checkpoints\n";

@@ -49,6 +49,11 @@ enum class Completeness {
 /// "full" / "partial".
 [[nodiscard]] const char* completeness_name(Completeness c);
 
+/// A resumable Algorithm-1 state: the committed design after `iteration`
+/// mergers.  Defined in core/checkpoint.hpp (it carries a full schedule +
+/// binding); options only ever point at one.
+struct Checkpoint;
+
 /// Default of AlgorithmOptions::incremental: the HLTS_INCREMENTAL
 /// environment variable ("0"/"false"/"off" disable), else on.
 [[nodiscard]] bool incremental_default();
@@ -117,6 +122,27 @@ struct AlgorithmOptions {
   /// committed merger, with the iteration's record.  Combined with `cancel`
   /// this bounds cancellation latency to one Algorithm-1 iteration.
   std::function<void(const IterationRecord&)> on_iteration = nullptr;
+
+  // --- durability hooks (never influence the synthesized result) ----------
+  /// Checkpoint cadence: with on_checkpoint set, the loop hands out a
+  /// Checkpoint of the committed design every `checkpoint_every` committed
+  /// mergers (counted in *absolute* iterations, so a resumed run writes
+  /// checkpoints at the same boundaries an uninterrupted run would).
+  /// 0 disables checkpoint streaming.
+  int checkpoint_every = 0;
+  /// Called on the synthesizing thread with the best-so-far design.  The
+  /// engine's journal persists it; any callback must treat the state as
+  /// read-only.
+  std::function<void(const Checkpoint&)> on_checkpoint = nullptr;
+  /// Resume point: instead of the default ASAP schedule + identity binding,
+  /// the merger loop starts from this previously committed checkpoint.
+  /// Because the loop's entire state is (schedule, binding) -- everything
+  /// else is deterministically rederived -- the continuation is
+  /// bit-identical to the uninterrupted run from iteration
+  /// `resume_from->iteration` on (trial_cache must be off: the cache's
+  /// cross-iteration memory is not part of a checkpoint).  The pointee must
+  /// outlive the run.  Ignored by the non-iterative flows (Approach 1/2).
+  const Checkpoint* resume_from = nullptr;
 };
 
 /// Flow-level parameter set: exactly the shared knob set.  An alias rather

@@ -8,6 +8,7 @@
 #include <unordered_map>
 
 #include "analysis/incremental.hpp"
+#include "core/checkpoint.hpp"
 #include "core/validate.hpp"
 #include "sched/schedule.hpp"
 #include "util/error.hpp"
@@ -280,11 +281,39 @@ SynthesisResult integrated_synthesis(const dfg::Dfg& g,
   HLTS_REQUIRE_INPUT(p.num_threads >= 0, "synthesis: num_threads must be >= 0");
   HLTS_REQUIRE_INPUT(p.max_iterations >= 0,
                      "synthesis: max_iterations must be >= 0");
+  HLTS_REQUIRE_INPUT(p.checkpoint_every >= 0,
+                     "synthesis: checkpoint_every must be >= 0");
   g.validate();
 
+  // Crash recovery: a checkpoint is the loop's complete state (see
+  // core/checkpoint.hpp), so resuming means seeding schedule + binding from
+  // it and starting the iteration counter where it left off.  trial_cache
+  // must be off -- its cross-iteration memory is not part of a checkpoint,
+  // and resuming without it could rank a near-tie differently.
+  const Checkpoint* resume = p.resume_from;
+  if (resume != nullptr) {
+    HLTS_REQUIRE_INPUT(!p.trial_cache,
+                       "synthesis: resume_from requires trial_cache off");
+    HLTS_REQUIRE_INPUT(resume->iteration >= 0 &&
+                           resume->iteration <= p.max_iterations,
+                       "synthesis: resume iteration out of range");
+    HLTS_REQUIRE_INPUT(resume->schedule.num_ops() == g.num_ops(),
+                       "synthesis: resume schedule does not match the graph");
+    HLTS_REQUIRE_INPUT(resume->binding.module_compat() == p.compat,
+                       "synthesis: resume binding compat mismatch");
+    HLTS_REQUIRE_INPUT(resume->schedule.respects_data_deps(g),
+                       "synthesis: resume schedule violates data dependences");
+    HLTS_REQUIRE_INPUT(
+        schedule_respects_binding(g, resume->binding, resume->schedule),
+        "synthesis: resume schedule conflicts with resume binding");
+  }
+  const int start_iteration = resume != nullptr ? resume->iteration : 0;
+
   SynthesisResult result;
-  result.schedule = sched::asap(g);
-  result.binding = etpn::Binding::default_binding(g, p.compat);
+  result.schedule = resume != nullptr ? resume->schedule : sched::asap(g);
+  result.binding = resume != nullptr
+                       ? resume->binding
+                       : etpn::Binding::default_binding(g, p.compat);
   const int max_latency =
       p.max_latency > 0 ? p.max_latency : g.critical_path_ops() + 1;
 
@@ -342,7 +371,7 @@ SynthesisResult integrated_synthesis(const dfg::Dfg& g,
   bool memory_stop = false;
   std::string degraded;  // transient fault absorbed at an iteration boundary
 
-  for (int iter = 0; iter < p.max_iterations; ++iter) {
+  for (int iter = start_iteration; iter < p.max_iterations; ++iter) {
     // Cooperative cancellation, checked once per iteration: together with
     // the on_iteration hook below this bounds a caller's cancel latency to
     // one Algorithm-1 iteration.
@@ -600,6 +629,16 @@ SynthesisResult integrated_synthesis(const dfg::Dfg& g,
                     "iteration commit");
     }
     if (p.on_iteration) p.on_iteration(result.trajectory.back());
+    // Checkpoint cadence, counted in absolute iterations so resumed and
+    // uninterrupted runs hit the same boundaries.  `iter + 1` committed
+    // mergers are baked into the design at this point.  A throwing hook
+    // (e.g. a journal write hitting a fault) lands in the catch below: the
+    // just-committed design is complete, so degrading here is safe.
+    if (p.on_checkpoint && p.checkpoint_every > 0 &&
+        (iter + 1) % p.checkpoint_every == 0) {
+      util::count("synth.checkpoint_emits");
+      p.on_checkpoint(Checkpoint{iter + 1, result.schedule, result.binding});
+    }
     } catch (const std::exception& ex) {
       // Anytime degradation: a *transient* fault (injected failpoint,
       // allocation failure under memory pressure) anywhere in the iteration
@@ -614,7 +653,11 @@ SynthesisResult integrated_synthesis(const dfg::Dfg& g,
     }
   }
 
-  result.iterations = static_cast<int>(result.trajectory.size());
+  // Absolute count: a resumed run reports the same iteration number the
+  // uninterrupted run would (its trajectory only holds the mergers committed
+  // *after* the checkpoint -- the earlier ones are baked into the seed).
+  result.iterations =
+      start_iteration + static_cast<int>(result.trajectory.size());
   if (cancelled) {
     result.completeness = Completeness::Partial;
     result.stop_reason = "cancelled";

@@ -76,9 +76,12 @@ struct SynthesisResult {
   /// exists"); Partial when it stopped early.  Either way schedule/binding
   /// are a complete, validated design.
   Completeness completeness = Completeness::Full;
-  /// Committed mergers (== trajectory.size()); the checkpoint this result
-  /// represents.  A Partial result at iteration k is bit-identical to a
-  /// run with max_iterations = k.
+  /// Committed mergers behind this result; the checkpoint it represents.
+  /// Equals trajectory.size() for a from-scratch run; a run resumed from a
+  /// checkpoint counts its starting iterations too (resume_from->iteration
+  /// + trajectory.size()), so the total matches the uninterrupted run.  A
+  /// Partial result at iteration k is bit-identical to a run with
+  /// max_iterations = k.
   int iterations = 0;
   /// Why the loop stopped: "converged", "cancelled", "iteration_budget",
   /// "memory_budget", or "degraded: <message>" when a transient fault

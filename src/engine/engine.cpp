@@ -1,10 +1,14 @@
 #include "engine/engine.hpp"
 
 #include <algorithm>
+#include <cerrno>
+#include <cstdlib>
 
+#include "core/checkpoint.hpp"
 #include "frontend/parser.hpp"
 #include "util/error.hpp"
 #include "util/failpoint.hpp"
+#include "util/json.hpp"
 #include "util/thread_pool.hpp"
 
 namespace hlts::engine {
@@ -50,8 +54,72 @@ const char* job_state_name(JobState state) {
     case JobState::Failed: return "failed";
     case JobState::Cancelled: return "cancelled";
     case JobState::TimedOut: return "timed_out";
+    case JobState::Rejected: return "rejected";
   }
   return "?";
+}
+
+const char* overload_policy_name(OverloadPolicy policy) {
+  switch (policy) {
+    case OverloadPolicy::Block: return "block";
+    case OverloadPolicy::Reject: return "reject";
+    case OverloadPolicy::ShedOldest: return "shed_oldest";
+  }
+  return "?";
+}
+
+EngineOptions EngineOptions::from_env(EngineOptions base) {
+  const auto env_size = [](const char* name,
+                           std::size_t* out) {  // strict non-negative integer
+    const char* raw = std::getenv(name);
+    if (raw == nullptr || *raw == '\0') return false;
+    errno = 0;
+    char* end = nullptr;
+    const long long v = std::strtoll(raw, &end, 10);
+    HLTS_REQUIRE_INPUT(errno == 0 && end != nullptr && *end == '\0',
+                       std::string(name) + " is not an integer");
+    HLTS_REQUIRE_INPUT(v >= 0, std::string(name) + " must be >= 0");
+    *out = static_cast<std::size_t>(v);
+    return true;
+  };
+  if (base.journal_dir.empty()) {
+    if (const char* dir = std::getenv("HLTS_JOURNAL_DIR");
+        dir != nullptr && *dir != '\0') {
+      base.journal_dir = dir;
+    }
+  }
+  std::size_t v = 0;
+  if (base.queue_capacity == static_cast<std::size_t>(-1) &&
+      env_size("HLTS_QUEUE_CAP", &v)) {
+    base.queue_capacity = v;
+  }
+  if (base.memory_budget_bytes == 0 && env_size("HLTS_MEM_BUDGET", &v)) {
+    base.memory_budget_bytes = v;
+  }
+  return base;
+}
+
+std::string EngineHealth::to_json() const {
+  util::JsonWriter w;
+  w.begin_object();
+  w.key("queue_depth").value(static_cast<std::int64_t>(queue_depth));
+  if (queue_capacity == static_cast<std::size_t>(-1)) {
+    w.key("queue_capacity").null_value();  // unbounded
+  } else {
+    w.key("queue_capacity").value(static_cast<std::int64_t>(queue_capacity));
+  }
+  w.key("in_flight").value(static_cast<std::int64_t>(in_flight));
+  w.key("running").value(running);
+  w.key("submitted").value(static_cast<std::int64_t>(submitted));
+  w.key("retries").value(static_cast<std::int64_t>(retries));
+  w.key("stalls").value(static_cast<std::int64_t>(stalls));
+  w.key("sheds").value(static_cast<std::int64_t>(sheds));
+  w.key("rejected").value(static_cast<std::int64_t>(rejected));
+  w.key("recovered").value(static_cast<std::int64_t>(recovered));
+  w.key("journal_lag").value(static_cast<std::int64_t>(journal_lag));
+  w.key("journaling").value(journaling);
+  w.end_object();
+  return w.str();
 }
 
 // --- Job -------------------------------------------------------------------
@@ -119,6 +187,25 @@ void Job::finish(JobState state) {
 // --- Engine ----------------------------------------------------------------
 
 Engine::Engine(EngineOptions options) : options_(options) {
+  // Option audit: configurations that could never make progress are
+  // refused up front instead of deadlocking or silently journaling
+  // nothing.  (Negative counts/budgets cannot be expressed -- the size_t
+  // fields reject them at the from_env parsing layer.)
+  HLTS_REQUIRE_INPUT(
+      !(options_.queue_capacity == 0 &&
+        options_.overload_policy == OverloadPolicy::Block),
+      "engine options: queue_capacity 0 with the Block policy would block "
+      "every submit forever");
+  HLTS_REQUIRE_INPUT(options_.checkpoint_every >= 0,
+                     "engine options: checkpoint_every must be >= 0");
+  HLTS_REQUIRE_INPUT(
+      options_.journal_dir.empty() || options_.checkpoint_every > 0,
+      "engine options: journaling enabled with checkpoint cadence 0 would "
+      "never persist progress");
+  if (!options_.journal_dir.empty()) {
+    journal_.emplace(options_.journal_dir);
+  }
+
   const int total = static_cast<int>(util::ThreadPool::default_threads());
   num_workers_ = options.max_concurrent_jobs > 0 ? options.max_concurrent_jobs
                                                  : std::min(total, 4);
@@ -143,25 +230,144 @@ Engine::~Engine() {
   }
   queue_cv_.notify_all();
   watchdog_cv_.notify_all();
+  space_cv_.notify_all();
   for (std::thread& w : workers_) w.join();
   if (watchdog_.joinable()) watchdog_.join();
 }
 
-JobPtr Engine::submit(FlowRequest request, JobOptions options) {
-  JobPtr job;
+bool Engine::queue_deadline_expired(const JobPtr& job, std::int64_t now) {
+  const auto deadline = job->options_.queue_deadline;
+  if (deadline.count() <= 0) return false;
+  return now - job->enqueue_ns_ >
+         std::chrono::duration_cast<std::chrono::nanoseconds>(deadline).count();
+}
+
+void Engine::retire_journal(const JobPtr& job, const char* state) {
+  if (!journal_ || !job->journaled_) return;
+  try {
+    journal_->write_done(job->id_, state);
+  } catch (const std::exception&) {
+    // Durability lag, not a job failure: at worst the next recover()
+    // re-runs a finished job, which is idempotent by the determinism
+    // contract.
+    journal_lag_.fetch_add(1, std::memory_order_relaxed);
+    trace_.add_counter("journal.lag");
+  }
+}
+
+void Engine::finish_rejected(const JobPtr& job, const std::string& why,
+                             const char* counter) {
+  retire_journal(job, "rejected");
   {
-    std::lock_guard<std::mutex> lock(queue_mutex_);
+    std::lock_guard<std::mutex> lock(job->mutex_);
+    job->error_ = why;
+  }
+  trace_.add_counter(counter);
+  job->finish(JobState::Rejected);
+}
+
+std::vector<JobPtr> Engine::shed_for_space() {
+  std::vector<JobPtr> shed;
+  const std::int64_t now = now_ns();
+  // Expired-deadline jobs go first: they would be shed at dispatch anyway,
+  // so evicting them costs nothing the caller would ever have gotten.
+  for (auto it = queue_.begin();
+       it != queue_.end() && queue_.size() >= options_.queue_capacity;) {
+    if (queue_deadline_expired(*it, now)) {
+      shed.push_back(std::move(*it));
+      it = queue_.erase(it);
+      --in_flight_;
+    } else {
+      ++it;
+    }
+  }
+  while (!queue_.empty() && queue_.size() >= options_.queue_capacity) {
+    shed.push_back(std::move(queue_.front()));
+    queue_.pop_front();
+    --in_flight_;
+  }
+  return shed;
+}
+
+JobPtr Engine::submit(FlowRequest request, JobOptions options) {
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  if (journal_) {
+    // The trial cache's cross-iteration memory is not part of a checkpoint;
+    // resuming such a run could rank a near-tie differently.  Journaling
+    // promises bit-identical recovery, so the combination is refused.
+    HLTS_REQUIRE_INPUT(!request.params.trial_cache,
+                       "engine: journaling requires trial_cache off (its "
+                       "cross-iteration state is not checkpointed)");
+  }
+  JobPtr job;
+  std::vector<JobPtr> shed;
+  bool rejected = false;
+  {
+    std::unique_lock<std::mutex> lock(queue_mutex_);
     HLTS_REQUIRE(!stop_, "Engine::submit during shutdown");
+    if (queue_.size() >= options_.queue_capacity) {
+      switch (options_.overload_policy) {
+        case OverloadPolicy::Block:
+          space_cv_.wait(lock, [&] {
+            return stop_ || queue_.size() < options_.queue_capacity;
+          });
+          HLTS_REQUIRE(!stop_, "Engine::submit during shutdown");
+          break;
+        case OverloadPolicy::Reject:
+          rejected = true;
+          break;
+        case OverloadPolicy::ShedOldest:
+          shed = shed_for_space();
+          // Only a capacity of 0 leaves the queue still "full" here; the
+          // incoming job itself is the one that cannot be admitted.
+          rejected = queue_.size() >= options_.queue_capacity;
+          break;
+      }
+    }
     const std::uint64_t id = ++next_id_;
     std::string name = std::move(request.name);
     if (name.empty()) {
       name = "job" + std::to_string(id) + "." + core::flow_name(request.kind);
     }
     job.reset(new Job(std::move(request), std::move(options), std::move(name)));
-    queue_.push_back(job);
-    ++in_flight_;
+    job->id_ = id;
+    job->enqueue_ns_ = now_ns();
+    if (!rejected) {
+      if (journal_) {
+        // Write-ahead: a submission is either durable and queued or it
+        // throws (Transient fs error) without side effects.  Holding
+        // queue_mutex_ across the write serializes journal appends with id
+        // assignment; submit is not the latency-critical path.
+        JournalRecord rec;
+        rec.id = id;
+        rec.name = job->name_;
+        rec.kind = job->request_.kind;
+        rec.dfg = job->request_.dfg;
+        rec.source = job->request_.source;
+        rec.params = job->request_.params;
+        rec.timeout_ms = job->options_.timeout.count();
+        journal_->write_job(rec);
+        job->journaled_ = true;
+      }
+      queue_.push_back(job);
+      ++in_flight_;
+    }
   }
   trace_.add_counter("jobs.submitted");
+  for (const JobPtr& victim : shed) {
+    sheds_.fetch_add(1, std::memory_order_relaxed);
+    finish_rejected(victim,
+                    queue_deadline_expired(victim, now_ns())
+                        ? "shed: queue deadline exceeded under overload"
+                        : "shed: queue overloaded (ShedOldest)",
+                    "jobs.shed");
+  }
+  if (!shed.empty()) drain_cv_.notify_all();
+  if (rejected) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    finish_rejected(job, "rejected: queue at capacity", "jobs.rejected");
+    return job;
+  }
   queue_cv_.notify_one();
   return job;
 }
@@ -181,7 +387,74 @@ void Engine::wait_all() {
   drain_cv_.wait(lock, [&] { return in_flight_ == 0; });
 }
 
+Engine::RecoveryReport Engine::recover(const std::string& dir) {
+  RecoveryReport report;
+  Journal::ScanResult scan = Journal::scan(dir);
+  report.errors = std::move(scan.errors);
+  // Re-journaling (checkpoints, done markers) continues only when this
+  // engine journals into the *same* directory -- then the on-disk record
+  // the job resumes from is also the one its new checkpoints update.
+  // Otherwise the replay is one-shot: the job runs, but the old directory
+  // keeps its record (at-least-once semantics on a later recover).
+  const bool rejournal = journal_ && options_.journal_dir == dir;
+  for (Journal::Recovered& rec : scan.jobs) {
+    JobPtr job;
+    {
+      std::lock_guard<std::mutex> lock(queue_mutex_);
+      HLTS_REQUIRE(!stop_, "Engine::recover during shutdown");
+      next_id_ = std::max(next_id_, rec.record.id);
+      FlowRequest request;
+      request.name = rec.record.name;
+      request.kind = rec.record.kind;
+      request.dfg = std::move(rec.record.dfg);
+      request.source = std::move(rec.record.source);
+      request.params = rec.record.params;
+      JobOptions options;
+      options.timeout = std::chrono::milliseconds(rec.record.timeout_ms);
+      job.reset(new Job(std::move(request), std::move(options),
+                        std::move(rec.record.name)));
+      job->id_ = rec.record.id;
+      job->enqueue_ns_ = now_ns();
+      job->journaled_ = rejournal;
+      job->resume_raw_ = std::move(rec.checkpoint);
+      // Deliberately bypasses capacity/overload admission: these jobs were
+      // admitted (and journaled) before the crash; recovery must not shed
+      // durable work.
+      queue_.push_back(job);
+      ++in_flight_;
+    }
+    recovered_.fetch_add(1, std::memory_order_relaxed);
+    trace_.add_counter("jobs.recovered");
+    queue_cv_.notify_one();
+    report.jobs.push_back(std::move(job));
+  }
+  return report;
+}
+
 util::TraceSnapshot Engine::metrics() const { return trace_.snapshot(); }
+
+EngineHealth Engine::health() const {
+  EngineHealth h;
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    h.queue_depth = queue_.size();
+    h.in_flight = in_flight_;
+  }
+  {
+    std::lock_guard<std::mutex> lock(running_mutex_);
+    h.running = static_cast<int>(running_.size());
+  }
+  h.queue_capacity = options_.queue_capacity;
+  h.submitted = submitted_.load(std::memory_order_relaxed);
+  h.retries = retries_.load(std::memory_order_relaxed);
+  h.stalls = stalls_.load(std::memory_order_relaxed);
+  h.sheds = sheds_.load(std::memory_order_relaxed);
+  h.rejected = rejected_.load(std::memory_order_relaxed);
+  h.recovered = recovered_.load(std::memory_order_relaxed);
+  h.journal_lag = journal_lag_.load(std::memory_order_relaxed);
+  h.journaling = journal_.has_value();
+  return h;
+}
 
 void Engine::worker_loop() {
   for (;;) {
@@ -193,7 +466,15 @@ void Engine::worker_loop() {
       job = std::move(queue_.front());
       queue_.pop_front();
     }
-    run_job(job);
+    space_cv_.notify_one();  // a Block-policy submitter may take the slot
+    if (queue_deadline_expired(job, now_ns())) {
+      // Deadline-aware shedding at dispatch: the caller wanted freshness,
+      // not a stale answer computed long after they stopped waiting.
+      sheds_.fetch_add(1, std::memory_order_relaxed);
+      finish_rejected(job, "shed: queue deadline exceeded", "jobs.shed");
+    } else {
+      run_job(job);
+    }
     {
       std::lock_guard<std::mutex> lock(queue_mutex_);
       --in_flight_;
@@ -204,6 +485,7 @@ void Engine::worker_loop() {
 
 void Engine::run_job(const JobPtr& job) {
   if (job->cancel_.load(std::memory_order_relaxed)) {
+    retire_journal(job, "cancelled");
     trace_.add_counter("jobs.cancelled");
     job->finish(JobState::Cancelled);
     return;
@@ -246,6 +528,7 @@ void Engine::run_job(const JobPtr& job) {
       HLTS_FAILPOINT("engine.worker");
       const dfg::Dfg* g = nullptr;
       std::optional<dfg::Dfg> compiled;
+      std::optional<core::Checkpoint> resume;  // outlives run_flow below
       if (job->request_.dfg) {
         g = &*job->request_.dfg;
       } else {
@@ -261,7 +544,44 @@ void Engine::run_job(const JobPtr& job) {
       if (g != nullptr) {
         core::FlowParams params = job->request_.params;
         if (params.num_threads == 0) params.num_threads = threads_per_job_;
+        if (params.memory_budget_bytes == 0) {
+          params.memory_budget_bytes = options_.memory_budget_bytes;
+        }
         params.cancel = &job->cancel_;
+        // Recovered job: decode the journal checkpoint against the (now
+        // available) graph and resume from it.  A corrupt or incompatible
+        // document demotes the job to a from-scratch restart -- the
+        // checkpoint buys restart latency, never correctness.
+        if (job->resume_raw_) {
+          try {
+            resume = core::checkpoint_from_json(*job->resume_raw_, *g);
+          } catch (const Error&) {
+            trace_.add_counter("journal.checkpoint_invalid");
+            job->resume_raw_.reset();
+          }
+        }
+        if (resume) params.resume_from = &*resume;
+        if (journal_ && job->journaled_) {
+          if (params.checkpoint_every == 0) {
+            params.checkpoint_every = options_.checkpoint_every;
+          }
+          // chained_ckpt is local to this block but the hook runs later,
+          // inside run_flow -- capture it by value, not by reference.
+          const auto chained_ckpt = params.on_checkpoint;
+          params.on_checkpoint = [&, chained_ckpt](const core::Checkpoint& c) {
+            try {
+              journal_->write_checkpoint(job->id_, c);
+            } catch (const std::exception& e) {
+              // A failing disk must not fail (or alter) the computation:
+              // Transient write errors degrade durability, visible as
+              // journal lag.  Anything else is a real bug -- rethrow.
+              if (classify_exception(e) != ErrorKind::Transient) throw;
+              journal_lag_.fetch_add(1, std::memory_order_relaxed);
+              trace_.add_counter("journal.lag");
+            }
+            if (chained_ckpt) chained_ckpt(c);
+          };
+        }
         // Chain rather than replace a hook the caller put in the request.
         const auto chained = params.on_iteration;
         params.on_iteration = [&](const core::IterationRecord& rec) {
@@ -284,6 +604,15 @@ void Engine::run_job(const JobPtr& job) {
       // violations become this job's diagnostic, siblings keep running.
       attempt_error = e.what();
       transient = classify_exception(e) == ErrorKind::Transient;
+    } catch (...) {
+      // A non-std::exception throwable (a throw of an int, a foreign
+      // library type) would previously have escaped the worker and
+      // terminated the process.  Map it to an Internal-style failure:
+      // never retried, fails this job only.
+      attempt_error =
+          "non-standard exception escaped the flow (treated as internal "
+          "error)";
+      transient = false;
     }
 
     if (attempt_result) {
@@ -309,6 +638,7 @@ void Engine::run_job(const JobPtr& job) {
         job->cancel_.load(std::memory_order_relaxed)) {
       break;
     }
+    retries_.fetch_add(1, std::memory_order_relaxed);
     trace_.add_counter("jobs.retries");
     std::this_thread::sleep_for(
         retry_delay(job->name_, attempt, options_.retry_backoff));
@@ -348,6 +678,7 @@ void Engine::run_job(const JobPtr& job) {
     std::lock_guard<std::mutex> lock(running_mutex_);
     running_.erase(std::find(running_.begin(), running_.end(), job));
   }
+  retire_journal(job, job_state_name(final_state));
   trace_.add_span("job." + job->name_, span_start,
                   trace_.now_us() - span_start);
   trace_.add_counter(std::string("jobs.") + job_state_name(final_state));
@@ -374,6 +705,7 @@ void Engine::watchdog_loop() {
       const std::int64_t hb = job->heartbeat_ns_.load(std::memory_order_relaxed);
       if (hb != 0 && now - hb > deadline_ns &&
           !job->stalled_.exchange(true, std::memory_order_relaxed)) {
+        stalls_.fetch_add(1, std::memory_order_relaxed);
         trace_.add_counter("jobs.stall_flagged");
       }
     }

@@ -34,9 +34,28 @@
 // bad_alloc) are retried up to EngineOptions::max_retries times with
 // exponential backoff and deterministic jitter, and a job whose flow
 // degraded to a Partial result keeps the best checkpoint across attempts;
-// Input and Internal errors fail the job immediately.  An optional
-// watchdog (EngineOptions::stall_deadline) flags running jobs whose
-// iteration heartbeat has gone quiet.
+// Input and Internal errors fail the job immediately (including non-
+// std::exception throwables, which map to an Internal diagnostic).  An
+// optional watchdog (EngineOptions::stall_deadline) flags running jobs
+// whose iteration heartbeat has gone quiet.
+//
+// Durability contract (EngineOptions::journal_dir): every accepted job is
+// written ahead to the journal before submit() returns, its Algorithm-1
+// checkpoint is persisted every `checkpoint_every` committed mergers, and
+// a completion marker retires it.  Engine::recover(dir) replays an
+// interrupted journal: unfinished jobs are re-admitted (bypassing
+// admission control -- they were admitted before the crash) and resume
+// from their last checkpoint with a FlowResult bit-identical to the
+// uninterrupted run.  Checkpoint/done write failures never affect the
+// computation: they are absorbed as journal lag (EngineHealth).
+//
+// Overload contract (EngineOptions::queue_capacity): the pending queue
+// never exceeds the configured capacity.  When full, submit() applies
+// OverloadPolicy -- Block (wait for space), Reject (fail the new job with
+// JobState::Rejected), or ShedOldest (evict pending jobs, expired
+// JobOptions::queue_deadline first, then FIFO order, to make room).  A
+// pending job whose queue_deadline expires is shed at dispatch time even
+// when the queue never filled.
 #pragma once
 
 #include <atomic>
@@ -55,6 +74,8 @@
 
 #include "core/flows.hpp"
 #include "dfg/dfg.hpp"
+#include "engine/journal.hpp"
+#include "util/json.hpp"
 #include "util/trace.hpp"
 
 namespace hlts::engine {
@@ -77,6 +98,7 @@ enum class JobState {
   Failed,     ///< parse or synthesis error; see Job::error()
   Cancelled,  ///< Job::cancel() took effect
   TimedOut,   ///< the JobOptions::timeout deadline passed
+  Rejected,   ///< refused or shed by admission control; see Job::error()
 };
 
 [[nodiscard]] const char* job_state_name(JobState state);
@@ -90,6 +112,12 @@ struct JobOptions {
   /// zero means unlimited.  Enforced at Algorithm-1 iteration boundaries
   /// (the same cooperative hook cancellation uses).
   std::chrono::milliseconds timeout{0};
+  /// Freshness budget measured from submission: a job still *pending* past
+  /// this deadline is shed (JobState::Rejected) instead of run -- checked
+  /// when the queue overflows under OverloadPolicy::ShedOldest and again
+  /// when a worker picks the job up.  Zero means the job never expires.
+  /// A job that started running is never shed by this deadline.
+  std::chrono::milliseconds queue_deadline{0};
 };
 
 class Engine;
@@ -101,6 +129,8 @@ class Job {
  public:
   [[nodiscard]] const std::string& name() const { return name_; }
   [[nodiscard]] core::FlowKind kind() const { return request_.kind; }
+  /// Engine-assigned id; also the job's journal filename key.
+  [[nodiscard]] std::uint64_t id() const { return id_; }
 
   [[nodiscard]] JobState state() const;
   [[nodiscard]] bool finished() const;
@@ -150,6 +180,16 @@ class Job {
   FlowRequest request_;
   JobOptions options_;
   std::string name_;
+  std::uint64_t id_ = 0;
+  /// steady_clock nanoseconds of submission; queue_deadline counts from it.
+  std::int64_t enqueue_ns_ = 0;
+  /// Raw journal checkpoint for a recovered job; decoded against the
+  /// compiled DFG by the worker (a corrupt document demotes the job to a
+  /// from-scratch restart).
+  std::optional<util::JsonValue> resume_raw_;
+  /// True when this job's record lives in the owning engine's journal
+  /// directory -- checkpoints are persisted and a done marker retires it.
+  bool journaled_ = false;
 
   mutable std::mutex mutex_;
   mutable std::condition_variable cv_;
@@ -169,6 +209,15 @@ class Job {
 };
 
 using JobPtr = std::shared_ptr<Job>;
+
+/// What submit() does when the pending queue is at capacity.
+enum class OverloadPolicy {
+  Block,      ///< wait until a worker frees a slot (needs capacity >= 1)
+  Reject,     ///< fail the new job immediately with JobState::Rejected
+  ShedOldest, ///< evict pending jobs (expired deadlines first, then FIFO)
+};
+
+[[nodiscard]] const char* overload_policy_name(OverloadPolicy policy);
 
 struct EngineOptions {
   /// Jobs running concurrently; 0 = min(util::ThreadPool::default_threads(),
@@ -194,6 +243,63 @@ struct EngineOptions {
   /// the flag is a diagnostic, not an abort.  0 disables the watchdog
   /// thread entirely.
   std::chrono::milliseconds stall_deadline{0};
+
+  // --- durability ----------------------------------------------------------
+  /// Journal directory; empty disables journaling.  When set, submit()
+  /// writes the job ahead (and refuses FlowParams::trial_cache, whose
+  /// cross-iteration state is not checkpointed), workers persist
+  /// checkpoints at the cadence below, and Engine::recover() can replay
+  /// the directory after a crash.
+  std::string journal_dir{};
+  /// Checkpoint cadence in committed Algorithm-1 mergers, applied to
+  /// journaled jobs whose FlowParams::checkpoint_every is 0.  Must be >= 1
+  /// when journaling is enabled (a cadence of 0 would journal admission
+  /// but never persist progress -- the constructor rejects it).
+  int checkpoint_every = 25;
+
+  // --- overload ------------------------------------------------------------
+  /// Upper bound on *pending* jobs (running jobs have left the queue).
+  /// The default is effectively unbounded.  A capacity of 0 admits work
+  /// only via Reject/ShedOldest semantics and is rejected with Block,
+  /// which could never unblock.
+  std::size_t queue_capacity = static_cast<std::size_t>(-1);
+  OverloadPolicy overload_policy = OverloadPolicy::Block;
+  /// Default FlowParams::memory_budget_bytes for jobs that do not set one:
+  /// the Algorithm-1 loop stops before an iteration whose trial working
+  /// set would exceed the budget and returns the design committed so far
+  /// as a Partial result (enforced at iteration boundaries, no OOM kill).
+  /// 0 = unlimited.
+  std::size_t memory_budget_bytes = 0;
+
+  /// Applies the environment knobs on top of `base`: HLTS_JOURNAL_DIR
+  /// (journal_dir), HLTS_QUEUE_CAP (queue_capacity, >= 0), HLTS_MEM_BUDGET
+  /// (memory_budget_bytes, >= 0).  Explicitly set fields in `base` win
+  /// over the environment.  Malformed or negative values throw
+  /// hlts::Error(ErrorKind::Input).  Deliberately opt-in (the Engine
+  /// constructor does not read the environment) so tests stay hermetic.
+  [[nodiscard]] static EngineOptions from_env(EngineOptions base);
+  [[nodiscard]] static EngineOptions from_env() {
+    return from_env(EngineOptions{});
+  }
+};
+
+/// Point-in-time health snapshot for monitoring and load shedding
+/// decisions; every field is also exportable as JSON.
+struct EngineHealth {
+  std::size_t queue_depth = 0;     ///< pending jobs (never > queue_capacity)
+  std::size_t queue_capacity = 0;
+  std::size_t in_flight = 0;       ///< accepted and not yet finished
+  int running = 0;                 ///< jobs currently executing
+  std::uint64_t submitted = 0;     ///< submit() calls (accepted + rejected)
+  std::uint64_t retries = 0;       ///< transient-failure re-runs
+  std::uint64_t stalls = 0;        ///< watchdog heartbeat flags
+  std::uint64_t sheds = 0;         ///< pending jobs evicted (overflow/deadline)
+  std::uint64_t rejected = 0;      ///< submissions refused under Reject
+  std::uint64_t recovered = 0;     ///< jobs re-admitted by recover()
+  std::uint64_t journal_lag = 0;   ///< swallowed checkpoint/done write failures
+  bool journaling = false;
+
+  [[nodiscard]] std::string to_json() const;
 };
 
 class Engine {
@@ -213,6 +319,19 @@ class Engine {
   /// Blocks until every job submitted so far is finished.
   void wait_all();
 
+  /// Replays an interrupted journal directory: completes cleanups, sweeps
+  /// orphans, and re-admits every unfinished job -- resuming from its last
+  /// persisted checkpoint when one exists.  Re-admission bypasses
+  /// admission control (the jobs were admitted before the crash) and
+  /// preserves the original job ids, so an engine journaling into the same
+  /// directory keeps writing the same files.  `errors` lists skipped
+  /// malformed files; a missing directory is an empty (not error) replay.
+  struct RecoveryReport {
+    std::vector<JobPtr> jobs;
+    std::vector<std::string> errors;
+  };
+  [[nodiscard]] RecoveryReport recover(const std::string& dir);
+
   [[nodiscard]] int max_concurrent_jobs() const { return num_workers_; }
   [[nodiscard]] int threads_per_job() const { return threads_per_job_; }
 
@@ -220,26 +339,53 @@ class Engine {
   /// job (named "job.<name>").
   [[nodiscard]] util::TraceSnapshot metrics() const;
 
+  /// Current health snapshot (queue depth, in-flight, shed/retry/stall/
+  /// journal-lag counters).  Thread-safe, callable at any time.
+  [[nodiscard]] EngineHealth health() const;
+
  private:
   void worker_loop();
   void run_job(const JobPtr& job);
   void watchdog_loop();
+  /// Marks a never-run job terminal (Rejected/shed) with a diagnostic.
+  void finish_rejected(const JobPtr& job, const std::string& why,
+                       const char* counter);
+  /// Writes the job's done marker (journaled jobs only); a failing write
+  /// is absorbed as journal lag, never propagated.
+  void retire_journal(const JobPtr& job, const char* state);
+  /// Evicts pending jobs until the queue has room for one more entry:
+  /// expired queue_deadline jobs first, then FIFO order.  Caller holds
+  /// queue_mutex_; evicted jobs are returned for finishing outside it.
+  std::vector<JobPtr> shed_for_space();
+  /// True when the job sat pending past its queue_deadline.
+  static bool queue_deadline_expired(const JobPtr& job, std::int64_t now);
 
   int num_workers_ = 1;
   int threads_per_job_ = 1;
   EngineOptions options_;  ///< retry/watchdog knobs (thread counts resolved above)
+  std::optional<Journal> journal_;  ///< engaged when journal_dir is set
 
-  std::mutex queue_mutex_;
+  mutable std::mutex queue_mutex_;
   std::condition_variable queue_cv_;   // workers wait for work / stop
   std::condition_variable drain_cv_;   // wait_all waits for in-flight == 0
   std::condition_variable watchdog_cv_;  // watchdog sleeps, woken on stop
+  std::condition_variable space_cv_;   // Block-policy submitters wait for room
   std::deque<JobPtr> queue_;
   std::size_t in_flight_ = 0;  ///< submitted and not yet finished
   std::uint64_t next_id_ = 0;
   bool stop_ = false;
 
-  std::mutex running_mutex_;
+  mutable std::mutex running_mutex_;
   std::vector<JobPtr> running_;  ///< jobs currently inside run_job()
+
+  // Health counters (lock-free so health() never contends with workers).
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> retries_{0};
+  std::atomic<std::uint64_t> stalls_{0};
+  std::atomic<std::uint64_t> sheds_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<std::uint64_t> recovered_{0};
+  std::atomic<std::uint64_t> journal_lag_{0};
 
   util::Trace trace_;  ///< engine-level spans/counters (thread-safe)
   std::vector<std::thread> workers_;

@@ -1,0 +1,262 @@
+#include "engine/journal.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+#include <set>
+#include <utility>
+
+#include "util/error.hpp"
+#include "util/failpoint.hpp"
+#include "util/fs.hpp"
+
+namespace hlts::engine {
+
+namespace {
+
+using util::JsonValue;
+
+constexpr int kVersion = 1;
+
+/// Stable lowercase tokens for the journal (core::flow_name returns the
+/// report-facing names with spaces and capitals).
+const char* flow_token(core::FlowKind kind) {
+  switch (kind) {
+    case core::FlowKind::Camad: return "camad";
+    case core::FlowKind::Approach1: return "approach1";
+    case core::FlowKind::Approach2: return "approach2";
+    case core::FlowKind::Ours: return "ours";
+  }
+  return "?";
+}
+
+core::FlowKind flow_from_token(const std::string& token) {
+  for (core::FlowKind k :
+       {core::FlowKind::Camad, core::FlowKind::Approach1,
+        core::FlowKind::Approach2, core::FlowKind::Ours}) {
+    if (token == flow_token(k)) return k;
+  }
+  throw Error("journal record: unknown flow '" + token + "'", ErrorKind::Input);
+}
+
+std::string record_path(const std::string& dir, std::uint64_t id) {
+  return dir + "/job-" + std::to_string(id) + ".json";
+}
+std::string ckpt_path(const std::string& dir, std::uint64_t id) {
+  return dir + "/job-" + std::to_string(id) + ".ckpt.json";
+}
+std::string done_path(const std::string& dir, std::uint64_t id) {
+  return dir + "/job-" + std::to_string(id) + ".done.json";
+}
+
+JsonValue record_to_json(const JournalRecord& r) {
+  JsonValue::Object o{
+      {"version", JsonValue::make_int(kVersion)},
+      {"id", JsonValue::make_int(static_cast<std::int64_t>(r.id))},
+      {"name", JsonValue::make_string(r.name)},
+      {"flow", JsonValue::make_string(flow_token(r.kind))},
+      {"timeout_ms", JsonValue::make_int(r.timeout_ms)},
+      {"params", core::params_to_json(r.params)},
+  };
+  if (r.dfg) {
+    o.emplace_back("dfg", core::dfg_to_json(*r.dfg));
+  } else {
+    o.emplace_back("source", JsonValue::make_string(r.source));
+  }
+  return JsonValue::make_object(std::move(o));
+}
+
+JournalRecord record_from_json(const JsonValue& v) {
+  if (!v.is_object()) {
+    throw Error("journal record: not a JSON object", ErrorKind::Input);
+  }
+  if (v.get_int("version", -1) != kVersion) {
+    throw Error("journal record: unsupported version", ErrorKind::Input);
+  }
+  JournalRecord r;
+  const std::int64_t id = v.get_int("id", -1);
+  if (id < 1) throw Error("journal record: bad id", ErrorKind::Input);
+  r.id = static_cast<std::uint64_t>(id);
+  r.name = v.get_string("name");
+  if (r.name.empty()) {
+    throw Error("journal record: missing name", ErrorKind::Input);
+  }
+  r.kind = flow_from_token(v.get_string("flow"));
+  r.timeout_ms = v.get_int("timeout_ms", 0);
+  if (r.timeout_ms < 0) {
+    throw Error("journal record: negative timeout", ErrorKind::Input);
+  }
+  const JsonValue* params = v.find("params");
+  if (params == nullptr) {
+    throw Error("journal record: missing params", ErrorKind::Input);
+  }
+  r.params = core::params_from_json(*params);
+  const JsonValue* dfg = v.find("dfg");
+  const JsonValue* source = v.find("source");
+  if ((dfg == nullptr) == (source == nullptr)) {
+    throw Error("journal record: exactly one of 'dfg'/'source' required",
+                ErrorKind::Input);
+  }
+  if (dfg != nullptr) {
+    r.dfg = core::dfg_from_json(*dfg);
+  } else {
+    if (!source->is_string()) {
+      throw Error("journal record: 'source' must be a string", ErrorKind::Input);
+    }
+    r.source = source->as_string();
+  }
+  return r;
+}
+
+/// Parses "job-<id><suffix>" and returns the id; nullopt when `name` does
+/// not have exactly that shape.
+std::optional<std::uint64_t> parse_id(const std::string& name,
+                                      const std::string& suffix) {
+  const std::string prefix = "job-";
+  if (name.size() <= prefix.size() + suffix.size()) return std::nullopt;
+  if (name.compare(0, prefix.size(), prefix) != 0) return std::nullopt;
+  if (name.compare(name.size() - suffix.size(), suffix.size(), suffix) != 0) {
+    return std::nullopt;
+  }
+  const std::string digits =
+      name.substr(prefix.size(), name.size() - prefix.size() - suffix.size());
+  if (digits.empty() ||
+      digits.find_first_not_of("0123456789") != std::string::npos) {
+    return std::nullopt;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long id = std::strtoull(digits.c_str(), &end, 10);
+  if (errno != 0 || end == nullptr || *end != '\0') return std::nullopt;
+  return static_cast<std::uint64_t>(id);
+}
+
+}  // namespace
+
+Journal::Journal(std::string dir) : dir_(std::move(dir)) {
+  util::fs::create_directories(dir_);
+}
+
+void Journal::write_job(const JournalRecord& rec) const {
+  util::fs::write_file_atomic(record_path(dir_, rec.id),
+                              util::json_dump(record_to_json(rec)) + "\n");
+}
+
+void Journal::write_checkpoint(std::uint64_t id,
+                               const core::Checkpoint& c) const {
+  // The crash-soak hook: kill mode here models a process death at a
+  // checkpoint boundary; error mode models a failing disk (the engine
+  // absorbs it as journal lag).
+  HLTS_FAILPOINT("journal.checkpoint");
+  const JsonValue doc = JsonValue::make_object({
+      {"version", JsonValue::make_int(kVersion)},
+      {"id", JsonValue::make_int(static_cast<std::int64_t>(id))},
+      {"checkpoint", core::checkpoint_to_json(c)},
+  });
+  util::fs::write_file_atomic(ckpt_path(dir_, id),
+                              util::json_dump(doc) + "\n");
+}
+
+void Journal::write_done(std::uint64_t id, const std::string& state) const {
+  HLTS_FAILPOINT("journal.done");
+  const JsonValue doc = JsonValue::make_object({
+      {"version", JsonValue::make_int(kVersion)},
+      {"id", JsonValue::make_int(static_cast<std::int64_t>(id))},
+      {"state", JsonValue::make_string(state)},
+  });
+  // Marker first: once it is durable the job can never be resurrected, and
+  // an interrupted cleanup below is finished by the next scan.
+  util::fs::write_file_atomic(done_path(dir_, id), util::json_dump(doc) + "\n");
+  util::fs::remove_file(ckpt_path(dir_, id));
+  util::fs::remove_file(record_path(dir_, id));
+  util::fs::remove_file(done_path(dir_, id));
+}
+
+Journal::ScanResult Journal::scan(const std::string& dir) {
+  ScanResult out;
+  std::map<std::uint64_t, std::string> records;  // id -> filename
+  std::set<std::uint64_t> ckpts;
+  std::set<std::uint64_t> dones;
+  for (const std::string& name : util::fs::list_files(dir)) {
+    if (auto id = parse_id(name, ".ckpt.json")) {
+      ckpts.insert(*id);
+    } else if (auto id2 = parse_id(name, ".done.json")) {
+      dones.insert(*id2);
+    } else if (auto id3 = parse_id(name, ".json")) {
+      records.emplace(*id3, name);
+    } else {
+      out.errors.push_back(name + ": unrecognized journal file (ignored)");
+    }
+  }
+
+  // Finished jobs: complete the interrupted cleanup (marker is removed
+  // last, so a re-crash here just repeats this block).
+  for (const std::uint64_t id : dones) {
+    util::fs::remove_file(ckpt_path(dir, id));
+    util::fs::remove_file(record_path(dir, id));
+    util::fs::remove_file(done_path(dir, id));
+    records.erase(id);
+    ckpts.erase(id);
+  }
+  // Orphan checkpoints (record cleanup that died between the two removes,
+  // or a hand-deleted record): no job to attach them to.
+  for (const std::uint64_t id : ckpts) {
+    if (records.count(id) == 0) {
+      util::fs::remove_file(ckpt_path(dir, id));
+    }
+  }
+
+  for (const auto& [id, filename] : records) {
+    const std::optional<std::string> text =
+        util::fs::read_file(record_path(dir, id));
+    if (!text) {
+      out.errors.push_back(filename + ": unreadable (left in place)");
+      continue;
+    }
+    std::string parse_error;
+    const std::optional<JsonValue> doc = util::json_parse(*text, &parse_error);
+    Recovered rec;
+    if (!doc) {
+      out.errors.push_back(filename + ": " + parse_error + " (left in place)");
+      continue;
+    }
+    try {
+      rec.record = record_from_json(*doc);
+    } catch (const Error& e) {
+      out.errors.push_back(filename + ": " + e.what() + " (left in place)");
+      continue;
+    }
+    if (rec.record.id != id) {
+      out.errors.push_back(filename + ": id mismatch (left in place)");
+      continue;
+    }
+
+    if (ckpts.count(id) != 0) {
+      const std::optional<std::string> ctext =
+          util::fs::read_file(ckpt_path(dir, id));
+      std::string cerr;
+      std::optional<JsonValue> cdoc =
+          ctext ? util::json_parse(*ctext, &cerr) : std::nullopt;
+      const JsonValue* payload =
+          cdoc && cdoc->get_int("version", -1) == kVersion &&
+                  cdoc->get_int("id", -1) == static_cast<std::int64_t>(id)
+              ? cdoc->find("checkpoint")
+              : nullptr;
+      if (payload != nullptr) {
+        rec.checkpoint = *payload;
+      } else {
+        // A corrupt checkpoint only costs restart latency, never
+        // correctness: drop it and restart the job from scratch.
+        out.errors.push_back("job-" + std::to_string(id) +
+                             ".ckpt.json: corrupt checkpoint (removed; job "
+                             "restarts from scratch)");
+        util::fs::remove_file(ckpt_path(dir, id));
+      }
+    }
+    out.jobs.push_back(std::move(rec));
+  }
+  // std::map iteration already yields ascending ids.
+  return out;
+}
+
+}  // namespace hlts::engine

@@ -1,0 +1,122 @@
+// Write-ahead job journal: the engine's durability layer.
+//
+// One directory holds the whole persistent state, three files per job, all
+// committed with util::fs::write_file_atomic (temp + rename -- a reader
+// never sees a torn final file):
+//
+//   job-<id>.json       the write-ahead record, written at submit() before
+//                       the job enters the queue: name, flow kind, the
+//                       input (DSL source or serialized DFG), the
+//                       serializable FlowParams knobs, and the timeout.
+//   job-<id>.ckpt.json  the latest Algorithm-1 checkpoint (iteration +
+//                       schedule + binding, core/checkpoint.hpp), rewritten
+//                       in place every EngineOptions::checkpoint_every
+//                       committed mergers.
+//   job-<id>.done.json  the completion marker, written after the job
+//                       reaches a terminal state and *before* the record
+//                       and checkpoint are deleted.
+//
+// Recovery protocol (scan): a done marker means the job finished -- its
+// files are garbage from an interrupted cleanup and are removed.  A record
+// without a done marker is an unfinished job: it is re-admitted, resuming
+// from its checkpoint when one exists and parses (a torn or corrupt
+// checkpoint demotes the job to a from-scratch restart -- correctness never
+// depends on the checkpoint, only restart latency does).  Orphan
+// checkpoints and markers are swept.  Malformed record files are reported
+// and left in place for inspection; they are never half-replayed.
+//
+// Crash-safety argument, by crash point:
+//   - mid record write: torn job-<id>.json.tmp only; scan ignores .tmp ->
+//     the submit never happened (submit() had not returned).
+//   - after record, any time before done: record (+ maybe checkpoint) is
+//     intact -> job re-runs; Algorithm 1 resumed from checkpoint k is
+//     bit-identical to the uninterrupted run (see core/checkpoint.hpp).
+//   - mid checkpoint rewrite: rename keeps the previous checkpoint ->
+//     resume just replays a few more iterations.
+//   - mid cleanup: done marker survives first -> scan finishes the cleanup.
+//
+// Failpoint sites: `journal.checkpoint` fires on entry of
+// write_checkpoint and `journal.done` on entry of write_done (their kill
+// mode is the crash-soak hook); `journal.write` / `journal.commit` fire
+// inside write_file_atomic and model torn writes.
+//
+// The RNG question: Algorithm 1 is fully deterministic (candidate ranking,
+// wave evaluation and the dC reduction are all tie-broken by rank), so a
+// checkpoint needs no RNG state; util::Rng::state()/set_state() exist for
+// callers that do randomize inputs and want to journal their own stream.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/checkpoint.hpp"
+#include "core/flows.hpp"
+#include "dfg/dfg.hpp"
+#include "util/json.hpp"
+
+namespace hlts::engine {
+
+/// The durable image of one submitted job -- everything needed to re-create
+/// its FlowRequest in a fresh process.  Run hooks (on_iteration etc.) are
+/// process-local and deliberately absent.
+struct JournalRecord {
+  std::uint64_t id = 0;  ///< engine job id; also the journal filename key
+  std::string name;
+  core::FlowKind kind = core::FlowKind::Ours;
+  std::optional<dfg::Dfg> dfg;  ///< engaged when the request carried a DFG
+  std::string source;           ///< otherwise the DSL source text
+  core::FlowParams params;      ///< serializable knobs only
+  std::int64_t timeout_ms = 0;  ///< JobOptions::timeout
+};
+
+class Journal {
+ public:
+  /// Opens (creating if needed) the journal directory.  Throws
+  /// hlts::Error(ErrorKind::Transient) when the directory cannot be made.
+  explicit Journal(std::string dir);
+
+  [[nodiscard]] const std::string& dir() const { return dir_; }
+
+  /// Persists the write-ahead record.  Called before the job is queued;
+  /// a throw (Transient fs error) means the submission is not durable and
+  /// the engine refuses it.
+  void write_job(const JournalRecord& rec) const;
+
+  /// Rewrites the job's checkpoint in place (atomic).  Concurrency-safe
+  /// across jobs: each job owns its own file and checkpoints are written
+  /// from the job's single worker thread.
+  void write_checkpoint(std::uint64_t id, const core::Checkpoint& c) const;
+
+  /// Marks the job finished and removes its record + checkpoint.  The
+  /// marker is committed first, so a crash mid-cleanup is finished by the
+  /// next scan instead of resurrecting the job.
+  void write_done(std::uint64_t id, const std::string& state) const;
+
+  /// One unfinished job found by scan().
+  struct Recovered {
+    JournalRecord record;
+    /// Raw checkpoint document; decoded against the (possibly still to be
+    /// compiled) DFG by the worker that re-runs the job.  Disengaged when
+    /// no checkpoint existed or it was corrupt.
+    std::optional<util::JsonValue> checkpoint;
+  };
+
+  struct ScanResult {
+    std::vector<Recovered> jobs;       ///< unfinished jobs, ascending id
+    std::vector<std::string> errors;   ///< "file: what was wrong" notes
+  };
+
+  /// Replays the directory: completes interrupted cleanups, sweeps orphan
+  /// files, returns every unfinished job.  Corrupt record files are
+  /// reported in `errors` and left on disk; corrupt checkpoints are
+  /// reported, removed, and their job returned without a resume point.
+  /// A missing directory yields an empty result.
+  [[nodiscard]] static ScanResult scan(const std::string& dir);
+
+ private:
+  std::string dir_;
+};
+
+}  // namespace hlts::engine

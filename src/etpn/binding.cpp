@@ -30,6 +30,57 @@ Binding Binding::default_binding(const dfg::Dfg& g, ModuleCompat compat) {
   return b;
 }
 
+Binding Binding::from_groups(const dfg::Dfg& g, ModuleCompat compat,
+                             const std::vector<std::vector<dfg::OpId>>& module_groups,
+                             const std::vector<bool>& module_alive,
+                             const std::vector<std::vector<dfg::VarId>>& reg_groups,
+                             const std::vector<bool>& reg_alive) {
+  HLTS_REQUIRE_INPUT(module_groups.size() == module_alive.size(),
+                     "binding state: module table sizes disagree");
+  HLTS_REQUIRE_INPUT(reg_groups.size() == reg_alive.size(),
+                     "binding state: register table sizes disagree");
+  Binding b;
+  b.compat_ = compat;
+  b.op_to_module_.resize(g.num_ops());
+  for (std::size_t i = 0; i < module_groups.size(); ++i) {
+    const ModuleId m{static_cast<ModuleId::underlying_type>(i)};
+    b.module_ops_.push_back(module_groups[i]);
+    b.module_alive_.push_back(module_alive[i]);
+    for (dfg::OpId op : module_groups[i]) {
+      HLTS_REQUIRE_INPUT(op.valid() && op.index() < g.num_ops(),
+                         "binding state: module op id out of range");
+      HLTS_REQUIRE_INPUT(!b.op_to_module_[op].valid(),
+                         "binding state: op listed in two modules");
+      b.op_to_module_[op] = m;
+    }
+  }
+  b.var_to_reg_.resize(g.num_vars());
+  for (dfg::VarId v : g.var_ids()) b.var_to_reg_[v] = RegId::invalid();
+  for (std::size_t i = 0; i < reg_groups.size(); ++i) {
+    const RegId r{static_cast<RegId::underlying_type>(i)};
+    b.reg_vars_.push_back(reg_groups[i]);
+    b.reg_alive_.push_back(reg_alive[i]);
+    for (dfg::VarId v : reg_groups[i]) {
+      HLTS_REQUIRE_INPUT(v.valid() && v.index() < g.num_vars(),
+                         "binding state: register var id out of range");
+      HLTS_REQUIRE_INPUT(!b.var_to_reg_[v].valid(),
+                         "binding state: variable listed in two registers");
+      b.var_to_reg_[v] = r;
+    }
+  }
+  // The structural validator catches everything else (ops bound to dead
+  // modules, unassigned register-resident variables, kind mismatches), but
+  // it reports via HLTS_REQUIRE (Internal); re-tag as Input -- this state
+  // came from a file, not from the pipeline.
+  try {
+    b.validate(g);
+  } catch (const Error& e) {
+    throw Error(std::string("binding state invalid: ") + e.what(),
+                ErrorKind::Input);
+  }
+  return b;
+}
+
 dfg::OpKind Binding::module_kind(const dfg::Dfg& g, ModuleId m) const {
   HLTS_REQUIRE(module_alive_[m] && !module_ops_[m].empty(),
                "module_kind on dead/empty module");

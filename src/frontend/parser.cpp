@@ -175,6 +175,17 @@ class Parser {
   }
 
   dfg::VarId factor() {
+    // Nesting cap: every level of expression nesting (parens, unary chains)
+    // passes through factor(), so bounding it here bounds the recursion of
+    // the whole descent.  Without it, adversarial input like 100k '(' or
+    // '~' bytes overflows the C++ stack before any diagnostic is produced
+    // -- a crash, not a ParseError.  512 is far beyond any real design
+    // (the paper's benchmarks nest < 10 deep).
+    if (depth_ >= kMaxNesting) {
+      fail("expression nested deeper than " + std::to_string(kMaxNesting) +
+           " levels");
+    }
+    const DepthGuard guard(depth_);
     if (accept(TokenKind::Tilde)) {
       return emit(dfg::OpKind::Not, {factor()});
     }
@@ -256,8 +267,16 @@ class Parser {
     return out;
   }
 
+  static constexpr int kMaxNesting = 512;
+  struct DepthGuard {
+    int& depth;
+    explicit DepthGuard(int& d) : depth(d) { ++depth; }
+    ~DepthGuard() { --depth; }
+  };
+
   std::vector<Token> tokens_;
   std::size_t pos_ = 0;
+  int depth_ = 0;
   std::optional<dfg::Dfg> graph_;
   std::map<std::string, bool> outputs_;         // name -> registered
   std::map<std::string, dfg::VarId> named_;     // target name -> latest version

@@ -48,6 +48,7 @@ bool parse_mode(const std::string& text, Mode* out) {
   if (text == "error") { *out = Mode::Error; return true; }
   if (text == "badalloc") { *out = Mode::BadAlloc; return true; }
   if (text == "delay") { *out = Mode::Delay; return true; }
+  if (text == "kill") { *out = Mode::Kill; return true; }
   return false;
 }
 
@@ -79,7 +80,7 @@ bool parse_spec(const std::string& text, Spec* out, std::string* error) {
   }
   if (!parse_mode(fields[1], &spec.mode)) {
     *error = "failpoint spec '" + text + "': unknown mode '" + fields[1] +
-             "' (expected error|badalloc|delay)";
+             "' (expected error|badalloc|delay|kill)";
     return false;
   }
   try {
@@ -134,8 +135,10 @@ std::atomic<bool> g_armed{false};
 
 const std::vector<std::string>& known_sites() {
   static const std::vector<std::string> sites = {
-      "frontend.parse", "sched.reschedule", "alloc.merge",
-      "atpg.fault_sim", "engine.worker",    "pool.task",
+      "frontend.parse", "sched.reschedule",  "alloc.merge",
+      "atpg.fault_sim", "engine.worker",     "pool.task",
+      "journal.write",  "journal.commit",    "journal.checkpoint",
+      "journal.done",
   };
   return sites;
 }
@@ -193,11 +196,18 @@ void hit(const char* site) {
       const std::uint64_t draw = static_cast<std::uint64_t>(s.hits);
       ++s.hits;
       if (uniform01(s.spec.seed, draw) >= s.spec.probability) continue;
-      const bool counted = s.spec.mode != Mode::Delay;
-      if (counted && s.spec.param > 0 && s.triggers >= s.spec.param) {
-        continue;  // trigger budget exhausted: site stays passive
+      if (s.spec.mode == Mode::Kill) {
+        // param selects *which* trigger kills (1st, 2nd, ...): the recovery
+        // soak uses this to crash at successively later journal writes.
+        ++s.triggers;
+        if (s.triggers < std::max<std::int64_t>(1, s.spec.param)) continue;
+      } else {
+        const bool counted = s.spec.mode != Mode::Delay;
+        if (counted && s.spec.param > 0 && s.triggers >= s.spec.param) {
+          continue;  // trigger budget exhausted: site stays passive
+        }
+        ++s.triggers;
       }
-      ++s.triggers;
       fire = true;
       mode = s.spec.mode;
       delay_ms = s.spec.param;
@@ -215,6 +225,10 @@ void hit(const char* site) {
     case Mode::Delay:
       std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
       return;
+    case Mode::Kill:
+      // Immediate death, no unwinding, no atexit: the closest in-process
+      // stand-in for a crash or OOM kill.  137 = 128 + SIGKILL.
+      std::_Exit(137);
   }
 }
 

@@ -14,6 +14,12 @@
 //   atpg.fault_sim    -- entry of a fault-simulation batch
 //   engine.worker     -- start of every engine job attempt
 //   pool.task         -- before every util::ThreadPool task body
+//   journal.write     -- mid-write of a journal/checkpoint temp file (a
+//                        kill here leaves a torn `.tmp`)
+//   journal.commit    -- after the temp file is complete, before the
+//                        atomic rename
+//   journal.checkpoint-- entry of a checkpoint persistence
+//   journal.done      -- entry of a job's terminal journal record
 //
 // Configuration: the HLTS_FAILPOINTS environment variable (read once at
 // process start) or failpoint::configure(), both taking a comma-separated
@@ -24,10 +30,14 @@
 //   mode         error    -- throw hlts::Error with ErrorKind::Transient
 //                badalloc -- throw std::bad_alloc
 //                delay    -- sleep `param` milliseconds (default 50)
+//                kill     -- _exit(137) the whole process on the param-th
+//                            trigger (param <= 1: the first), simulating a
+//                            crash / OOM kill for the recovery soak
 //   probability  0..1, evaluated with a deterministic counter-hash stream
 //                seeded by `seed` (same hit sequence => same triggers)
 //   param        error/badalloc: maximum number of triggers, 0 = unlimited
 //                delay: sleep duration in ms
+//                kill: which trigger kills (1st, 2nd, ...)
 //
 // e.g. HLTS_FAILPOINTS=sched.reschedule:error:0.1:42,engine.worker:delay:1:0:20
 //
@@ -43,7 +53,7 @@
 
 namespace hlts::util::failpoint {
 
-enum class Mode { Error, BadAlloc, Delay };
+enum class Mode { Error, BadAlloc, Delay, Kill };
 
 /// One configured injection: parsed form of site:mode:probability:seed[:param].
 struct Spec {
@@ -51,7 +61,8 @@ struct Spec {
   Mode mode = Mode::Error;
   double probability = 1.0;
   std::uint64_t seed = 0;
-  /// error/badalloc: max triggers (0 = unlimited); delay: milliseconds.
+  /// error/badalloc: max triggers (0 = unlimited); delay: milliseconds;
+  /// kill: which trigger kills the process (<= 1: the first).
   std::int64_t param = 0;
 };
 

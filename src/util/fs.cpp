@@ -1,0 +1,102 @@
+#include "util/fs.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+
+#include "util/error.hpp"
+#include "util/failpoint.hpp"
+
+namespace hlts::util::fs {
+
+namespace stdfs = std::filesystem;
+
+void create_directories(const std::string& dir) {
+  std::error_code ec;
+  stdfs::create_directories(dir, ec);
+  if (ec && !stdfs::is_directory(dir)) {
+    throw Error("cannot create directory '" + dir + "': " + ec.message(),
+                ErrorKind::Transient);
+  }
+}
+
+bool file_exists(const std::string& path) {
+  std::error_code ec;
+  return stdfs::is_regular_file(path, ec);
+}
+
+std::optional<std::string> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  if (in.bad()) return std::nullopt;
+  return content;
+}
+
+void write_file_atomic(const std::string& path, const std::string& content) {
+  const std::string tmp = path + kTempSuffix;
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      throw Error("cannot open '" + tmp + "' for writing", ErrorKind::Transient);
+    }
+    // Two-part write with the torn-write failpoint in between: a kill (or
+    // injected error) at `journal.write` leaves a temp file holding only a
+    // prefix -- exactly what a real crash mid-write produces.
+    const std::size_t half = content.size() / 2;
+    out.write(content.data(), static_cast<std::streamsize>(half));
+    out.flush();
+    HLTS_FAILPOINT("journal.write");
+    out.write(content.data() + half,
+              static_cast<std::streamsize>(content.size() - half));
+    out.flush();
+    if (!out) {
+      throw Error("short write to '" + tmp + "'", ErrorKind::Transient);
+    }
+  }
+  HLTS_FAILPOINT("journal.commit");
+  std::error_code ec;
+  stdfs::rename(tmp, path, ec);
+  if (ec) {
+    throw Error("cannot rename '" + tmp + "' to '" + path + "': " + ec.message(),
+                ErrorKind::Transient);
+  }
+}
+
+void remove_file(const std::string& path) {
+  std::error_code ec;
+  stdfs::remove(path, ec);  // missing file: remove() returns false, no error
+}
+
+std::vector<std::string> list_files(const std::string& dir) {
+  std::vector<std::string> out;
+  std::error_code ec;
+  stdfs::directory_iterator it(dir, ec);
+  if (ec) return out;
+  for (const stdfs::directory_entry& entry : it) {
+    std::error_code entry_ec;
+    if (!entry.is_regular_file(entry_ec)) continue;
+    std::string name = entry.path().filename().string();
+    if (name.size() >= 4 && name.ends_with(kTempSuffix)) continue;
+    out.push_back(std::move(name));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::string sanitize_filename(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (const char c : name) {
+    const bool safe = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '-' || c == '.' || c == '_';
+    out.push_back(safe ? c : '_');
+  }
+  if (out.empty()) out = "_";
+  return out;
+}
+
+}  // namespace hlts::util::fs

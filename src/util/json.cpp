@@ -1,7 +1,11 @@
 #include "util/json.hpp"
 
+#include <cctype>
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 namespace hlts::util {
 
@@ -110,6 +114,408 @@ JsonWriter& JsonWriter::value(bool v) {
   element();
   out_ += v ? "true" : "false";
   return *this;
+}
+
+JsonWriter& JsonWriter::null_value() {
+  element();
+  out_ += "null";
+  return *this;
+}
+
+namespace {
+
+void dump_into(JsonWriter& w, const JsonValue& v) {
+  switch (v.type()) {
+    case JsonValue::Type::Null: w.null_value(); break;
+    case JsonValue::Type::Bool: w.value(v.as_bool()); break;
+    case JsonValue::Type::Number:
+      if (v.is_int()) {
+        w.value(v.as_int());
+      } else {
+        w.value(v.as_double());
+      }
+      break;
+    case JsonValue::Type::String: w.value(v.as_string()); break;
+    case JsonValue::Type::Array:
+      w.begin_array();
+      for (const JsonValue& e : v.as_array()) dump_into(w, e);
+      w.end_array();
+      break;
+    case JsonValue::Type::Object:
+      w.begin_object();
+      for (const auto& [k, e] : v.as_object()) {
+        w.key(k);
+        dump_into(w, e);
+      }
+      w.end_object();
+      break;
+  }
+}
+
+}  // namespace
+
+std::string json_dump(const JsonValue& v) {
+  JsonWriter w;
+  dump_into(w, v);
+  return w.str();
+}
+
+// --- JsonValue -------------------------------------------------------------
+
+const JsonValue* JsonValue::find(const std::string& key) const {
+  if (type_ != Type::Object) return nullptr;
+  for (const auto& [k, v] : obj_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+std::int64_t JsonValue::get_int(const std::string& key,
+                                std::int64_t fallback) const {
+  const JsonValue* v = find(key);
+  return v != nullptr && v->is_number() ? v->as_int() : fallback;
+}
+
+double JsonValue::get_double(const std::string& key, double fallback) const {
+  const JsonValue* v = find(key);
+  return v != nullptr && v->is_number() ? v->as_double() : fallback;
+}
+
+bool JsonValue::get_bool(const std::string& key, bool fallback) const {
+  const JsonValue* v = find(key);
+  return v != nullptr && v->is_bool() ? v->as_bool() : fallback;
+}
+
+std::string JsonValue::get_string(const std::string& key,
+                                  const std::string& fallback) const {
+  const JsonValue* v = find(key);
+  return v != nullptr && v->is_string() ? v->as_string() : fallback;
+}
+
+JsonValue JsonValue::make_null() { return JsonValue{}; }
+
+JsonValue JsonValue::make_bool(bool v) {
+  JsonValue out;
+  out.type_ = Type::Bool;
+  out.bool_ = v;
+  return out;
+}
+
+JsonValue JsonValue::make_number(double v) {
+  JsonValue out;
+  out.type_ = Type::Number;
+  out.num_ = v;
+  out.int_ = static_cast<std::int64_t>(v);
+  out.exact_int_ =
+      std::isfinite(v) && static_cast<double>(out.int_) == v;
+  return out;
+}
+
+JsonValue JsonValue::make_int(std::int64_t v) {
+  JsonValue out;
+  out.type_ = Type::Number;
+  out.int_ = v;
+  out.num_ = static_cast<double>(v);
+  out.exact_int_ = true;
+  return out;
+}
+
+JsonValue JsonValue::make_string(std::string v) {
+  JsonValue out;
+  out.type_ = Type::String;
+  out.str_ = std::move(v);
+  return out;
+}
+
+JsonValue JsonValue::make_array(Array v) {
+  JsonValue out;
+  out.type_ = Type::Array;
+  out.arr_ = std::move(v);
+  return out;
+}
+
+JsonValue JsonValue::make_object(Object v) {
+  JsonValue out;
+  out.type_ = Type::Object;
+  out.obj_ = std::move(v);
+  return out;
+}
+
+// --- json_parse ------------------------------------------------------------
+
+namespace {
+
+/// Recursive-descent RFC 8259 parser.  Every path either produces a value
+/// or sets a byte-offset-tagged error; no exception escapes for any input
+/// (torn journal files are a normal, expected case for the recovery scan).
+class JsonParser {
+ public:
+  JsonParser(const std::string& text, int max_depth)
+      : text_(text), max_depth_(max_depth) {}
+
+  std::optional<JsonValue> run(std::string* error) {
+    JsonValue v;
+    if (!parse_value(&v, 0)) {
+      if (error != nullptr) *error = error_;
+      return std::nullopt;
+    }
+    skip_ws();
+    if (pos_ != text_.size()) {
+      if (error != nullptr) *error = at("trailing characters after document");
+      return std::nullopt;
+    }
+    return v;
+  }
+
+ private:
+  std::string at(const std::string& message) const {
+    return "json at byte " + std::to_string(pos_) + ": " + message;
+  }
+
+  bool fail(const std::string& message) {
+    if (error_.empty()) error_ = at(message);
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool literal(const char* word) {
+    const std::size_t n = std::strlen(word);
+    if (text_.compare(pos_, n, word) != 0) return fail("invalid literal");
+    pos_ += n;
+    return true;
+  }
+
+  bool parse_string(std::string* out) {
+    ++pos_;  // opening quote
+    out->clear();
+    while (true) {
+      if (pos_ >= text_.size()) return fail("unterminated string");
+      const unsigned char c = static_cast<unsigned char>(text_[pos_]);
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c < 0x20) return fail("unescaped control character in string");
+      if (c != '\\') {
+        out->push_back(static_cast<char>(c));
+        ++pos_;
+        continue;
+      }
+      if (pos_ + 1 >= text_.size()) return fail("unterminated escape");
+      const char e = text_[pos_ + 1];
+      pos_ += 2;
+      switch (e) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'n': out->push_back('\n'); break;
+        case 'r': out->push_back('\r'); break;
+        case 't': out->push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_ + static_cast<std::size_t>(i)];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return fail("malformed \\u escape");
+            }
+          }
+          pos_ += 4;
+          // UTF-8 encode (the writer only ever emits \u00xx control
+          // escapes, but accept the full BMP; surrogate pairs are rejected
+          // as the journal never contains them).
+          if (code >= 0xD800 && code <= 0xDFFF) {
+            return fail("surrogate \\u escape unsupported");
+          }
+          if (code < 0x80) {
+            out->push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default: return fail("unknown escape character");
+      }
+    }
+  }
+
+  bool parse_number(JsonValue* out) {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    if (pos_ >= text_.size() || !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      return fail("malformed number");
+    }
+    while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    bool integral = true;
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      integral = false;
+      ++pos_;
+      if (pos_ >= text_.size() || !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        return fail("malformed number");
+      }
+      while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      integral = false;
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) ++pos_;
+      if (pos_ >= text_.size() || !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        return fail("malformed number");
+      }
+      while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    const std::string token = text_.substr(start, pos_ - start);
+    if (integral) {
+      errno = 0;
+      char* end = nullptr;
+      const long long v = std::strtoll(token.c_str(), &end, 10);
+      if (errno == 0 && end != nullptr && *end == '\0') {
+        *out = JsonValue::make_int(static_cast<std::int64_t>(v));
+        return true;
+      }
+      // Out of int64 range: fall through to the double representation.
+    }
+    errno = 0;
+    char* end = nullptr;
+    const double d = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') return fail("malformed number");
+    *out = JsonValue::make_number(d);
+    return true;
+  }
+
+  bool parse_value(JsonValue* out, int depth) {
+    skip_ws();
+    if (pos_ >= text_.size()) return fail("unexpected end of input");
+    const char c = text_[pos_];
+    switch (c) {
+      case 'n':
+        if (!literal("null")) return false;
+        *out = JsonValue::make_null();
+        return true;
+      case 't':
+        if (!literal("true")) return false;
+        *out = JsonValue::make_bool(true);
+        return true;
+      case 'f':
+        if (!literal("false")) return false;
+        *out = JsonValue::make_bool(false);
+        return true;
+      case '"': {
+        std::string s;
+        if (!parse_string(&s)) return false;
+        *out = JsonValue::make_string(std::move(s));
+        return true;
+      }
+      case '[': {
+        if (depth >= max_depth_) return fail("nesting too deep");
+        ++pos_;
+        JsonValue::Array arr;
+        skip_ws();
+        if (pos_ < text_.size() && text_[pos_] == ']') {
+          ++pos_;
+          *out = JsonValue::make_array(std::move(arr));
+          return true;
+        }
+        while (true) {
+          JsonValue element;
+          if (!parse_value(&element, depth + 1)) return false;
+          arr.push_back(std::move(element));
+          skip_ws();
+          if (pos_ >= text_.size()) return fail("unterminated array");
+          if (text_[pos_] == ',') {
+            ++pos_;
+            continue;
+          }
+          if (text_[pos_] == ']') {
+            ++pos_;
+            *out = JsonValue::make_array(std::move(arr));
+            return true;
+          }
+          return fail("expected ',' or ']' in array");
+        }
+      }
+      case '{': {
+        if (depth >= max_depth_) return fail("nesting too deep");
+        ++pos_;
+        JsonValue::Object obj;
+        skip_ws();
+        if (pos_ < text_.size() && text_[pos_] == '}') {
+          ++pos_;
+          *out = JsonValue::make_object(std::move(obj));
+          return true;
+        }
+        while (true) {
+          skip_ws();
+          if (pos_ >= text_.size() || text_[pos_] != '"') {
+            return fail("expected string key in object");
+          }
+          std::string key;
+          if (!parse_string(&key)) return false;
+          skip_ws();
+          if (pos_ >= text_.size() || text_[pos_] != ':') {
+            return fail("expected ':' after object key");
+          }
+          ++pos_;
+          JsonValue member;
+          if (!parse_value(&member, depth + 1)) return false;
+          obj.emplace_back(std::move(key), std::move(member));
+          skip_ws();
+          if (pos_ >= text_.size()) return fail("unterminated object");
+          if (text_[pos_] == ',') {
+            ++pos_;
+            continue;
+          }
+          if (text_[pos_] == '}') {
+            ++pos_;
+            *out = JsonValue::make_object(std::move(obj));
+            return true;
+          }
+          return fail("expected ',' or '}' in object");
+        }
+      }
+      default:
+        return parse_number(out);
+    }
+  }
+
+  const std::string& text_;
+  const int max_depth_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+}  // namespace
+
+std::optional<JsonValue> json_parse(const std::string& text, std::string* error,
+                                    int max_depth) {
+  return JsonParser(text, max_depth).run(error);
 }
 
 }  // namespace hlts::util

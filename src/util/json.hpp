@@ -1,12 +1,20 @@
-// Minimal JSON emission for reports (trace exports, hlts_batch).
+// Minimal JSON emission and parsing (trace exports, hlts_batch, the engine
+// journal).
 //
-// Writer-only: the repo consumes JSON with external tooling, never parses
-// it back.  JsonWriter tracks nesting and comma placement; values are
-// escaped per RFC 8259, doubles printed round-trippably.
+// JsonWriter tracks nesting and comma placement; values are escaped per
+// RFC 8259, doubles printed round-trippably.  The writer side predates the
+// parser: reports were consumed by external tooling only.  The durability
+// layer (engine journal + checkpoint recovery) made the repo its own JSON
+// consumer, so json_parse() implements the matching reader -- a strict
+// recursive-descent RFC 8259 parser with a nesting-depth cap, built to be
+// fed adversarial bytes (truncated/torn journal files) and always return a
+// diagnostic instead of throwing or overflowing the stack.
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace hlts::util {
@@ -28,6 +36,7 @@ class JsonWriter {
   JsonWriter& value(std::int64_t v);
   JsonWriter& value(int v);
   JsonWriter& value(bool v);
+  JsonWriter& null_value();
 
   [[nodiscard]] const std::string& str() const { return out_; }
 
@@ -39,5 +48,83 @@ class JsonWriter {
   std::vector<bool> has_elements_;  // per open container
   bool after_key_ = false;
 };
+
+/// A parsed JSON document node.  Numbers keep both representations: the
+/// journal stores iteration counts, byte budgets and id arrays that must
+/// round-trip exactly through std::int64_t, while metrics are doubles.
+class JsonValue {
+ public:
+  enum class Type { Null, Bool, Number, String, Array, Object };
+
+  using Array = std::vector<JsonValue>;
+  /// Members in document order (journal records are small; linear lookup
+  /// beats a map and keeps the order stable for tests).
+  using Object = std::vector<std::pair<std::string, JsonValue>>;
+
+  JsonValue() = default;
+
+  [[nodiscard]] Type type() const { return type_; }
+  [[nodiscard]] bool is_null() const { return type_ == Type::Null; }
+  [[nodiscard]] bool is_bool() const { return type_ == Type::Bool; }
+  [[nodiscard]] bool is_number() const { return type_ == Type::Number; }
+  [[nodiscard]] bool is_string() const { return type_ == Type::String; }
+  [[nodiscard]] bool is_array() const { return type_ == Type::Array; }
+  [[nodiscard]] bool is_object() const { return type_ == Type::Object; }
+
+  [[nodiscard]] bool as_bool() const { return bool_; }
+  [[nodiscard]] double as_double() const { return num_; }
+  /// Exact when the literal was integral and in range; otherwise the
+  /// truncated double (callers validate with is_int()).
+  [[nodiscard]] std::int64_t as_int() const { return int_; }
+  [[nodiscard]] bool is_int() const { return type_ == Type::Number && exact_int_; }
+  [[nodiscard]] const std::string& as_string() const { return str_; }
+  [[nodiscard]] const Array& as_array() const { return arr_; }
+  [[nodiscard]] const Object& as_object() const { return obj_; }
+
+  /// First member named `key`, or nullptr.
+  [[nodiscard]] const JsonValue* find(const std::string& key) const;
+
+  /// Typed member lookups for record readers: return the fallback when the
+  /// member is absent or of the wrong type (readers that must *distinguish*
+  /// absence use find()).
+  [[nodiscard]] std::int64_t get_int(const std::string& key,
+                                     std::int64_t fallback = 0) const;
+  [[nodiscard]] double get_double(const std::string& key,
+                                  double fallback = 0) const;
+  [[nodiscard]] bool get_bool(const std::string& key, bool fallback = false) const;
+  [[nodiscard]] std::string get_string(const std::string& key,
+                                       const std::string& fallback = "") const;
+
+  static JsonValue make_null();
+  static JsonValue make_bool(bool v);
+  static JsonValue make_number(double v);
+  static JsonValue make_int(std::int64_t v);
+  static JsonValue make_string(std::string v);
+  static JsonValue make_array(Array v);
+  static JsonValue make_object(Object v);
+
+ private:
+  Type type_ = Type::Null;
+  bool bool_ = false;
+  double num_ = 0;
+  std::int64_t int_ = 0;
+  bool exact_int_ = false;
+  std::string str_;
+  Array arr_;
+  Object obj_;
+};
+
+/// Strict RFC 8259 parse of a complete document (one value plus trailing
+/// whitespace).  Returns nullopt and fills `*error` with a position-tagged
+/// message on malformed input; never throws on bad bytes.  `max_depth`
+/// bounds container nesting so adversarial input cannot overflow the stack.
+[[nodiscard]] std::optional<JsonValue> json_parse(const std::string& text,
+                                                  std::string* error = nullptr,
+                                                  int max_depth = 64);
+
+/// Serializes a document tree back to compact text.  Exact round-trip with
+/// json_parse: integral numbers re-emit as int64 literals, doubles with 17
+/// significant digits.
+[[nodiscard]] std::string json_dump(const JsonValue& v);
 
 }  // namespace hlts::util

@@ -50,4 +50,12 @@ double Rng::next_double() {
 
 bool Rng::next_bool(double p) { return next_double() < p; }
 
+std::array<std::uint64_t, 4> Rng::state() const {
+  return {s_[0], s_[1], s_[2], s_[3]};
+}
+
+void Rng::set_state(const std::array<std::uint64_t, 4>& state) {
+  for (int i = 0; i < 4; ++i) s_[i] = state[static_cast<std::size_t>(i)];
+}
+
 }  // namespace hlts

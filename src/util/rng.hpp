@@ -4,6 +4,7 @@
 // take an explicit seed so that every run of every bench is bit-identical.
 #pragma once
 
+#include <array>
 #include <cstdint>
 
 namespace hlts {
@@ -26,6 +27,12 @@ class Rng {
 
   /// Bernoulli trial with probability `p`.
   bool next_bool(double p = 0.5);
+
+  /// The full 256-bit generator state, for durable checkpoints: a journal
+  /// can persist a mid-stream generator and set_state() resumes the exact
+  /// sequence (state()/set_state() round-trip is bit-identical).
+  [[nodiscard]] std::array<std::uint64_t, 4> state() const;
+  void set_state(const std::array<std::uint64_t, 4>& state);
 
  private:
   std::uint64_t s_[4];

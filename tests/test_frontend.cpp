@@ -2,6 +2,9 @@
 // the default-allocation DFG, and error reporting.
 #include <gtest/gtest.h>
 
+#include <string>
+#include <vector>
+
 #include "frontend/lexer.hpp"
 #include "frontend/parser.hpp"
 
@@ -237,6 +240,61 @@ TEST(Parser, CompileOrErrorReportsParsePosition) {
   ASSERT_FALSE(r.ok());
   EXPECT_EQ(r.error.line, 4);
   EXPECT_GT(r.error.column, 0);
+}
+
+// Adversarial corpus: hostile byte streams through the no-throw entry
+// point.  The contract is a Diagnostic in CompileResult::error -- no
+// exception escapes, no crash, no stack overflow -- because the engine
+// runs compile_or_error on untrusted per-job sources and one malformed
+// submission must never take down its worker.
+TEST(Parser, AdversarialCorpusAlwaysYieldsDiagnostics) {
+  const std::vector<std::string> corpus = {
+      // Truncated at every interesting boundary.
+      "",
+      "design",
+      "design d",
+      "design d {",
+      "design d { input",
+      "design d { input a, ",
+      "design d { input a; output o; o = a +",
+      "design d { input a; output o; o = (a",
+      "design d { input a; output o; o = a; } trailing garbage",
+      // Junk bytes: control characters, high bytes, embedded NULs survive
+      // std::string and must die in the lexer, not downstream.
+      std::string("\x01\x02\x7f\xff\xfe junk", 10),
+      std::string("design d { \x00 }", 14),
+      "design d { input a; output o; o = a @ $ ` a; }",
+      "\xef\xbb\xbf" "design d { }",  // UTF-8 BOM
+      // Token-shaped garbage.
+      "design 123 { }",
+      "design d { output o; o = o; }",  // use before any definition
+      "design d { input a; input a; output o; o = a; }",
+  };
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    SCOPED_TRACE("corpus entry " + std::to_string(i));
+    frontend::CompileResult r;
+    EXPECT_NO_THROW(r = frontend::compile_or_error(corpus[i]));
+    EXPECT_FALSE(r.ok());
+    EXPECT_FALSE(r.error.message.empty());
+  }
+}
+
+TEST(Parser, DeepNestingIsACleanDiagnosticNotAStackOverflow) {
+  // 100k '(' (and separately '~') would recurse factor() once per byte
+  // and overflow the C++ stack without the parser's nesting cap.
+  for (const char c : {'(', '~'}) {
+    const std::string bomb = "design d { input a; output o; o = " +
+                             std::string(100000, c) + "a; }";
+    frontend::CompileResult r;
+    EXPECT_NO_THROW(r = frontend::compile_or_error(bomb));
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.error.message.find("nested deeper"), std::string::npos);
+  }
+  // Nesting below the cap still compiles.
+  std::string deep = "design d { input a; output o; o = ";
+  deep += std::string(100, '(') + "a" + std::string(100, ')') + "; }";
+  frontend::CompileResult ok = frontend::compile_or_error(deep);
+  EXPECT_TRUE(ok.ok()) << ok.error.message;
 }
 
 TEST(Parser, ParseErrorExceptionCarriesPosition) {
