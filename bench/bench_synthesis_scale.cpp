@@ -1,8 +1,9 @@
 // Scaling bench for Algorithm 1's trial evaluation: sweeps the trial
-// thread count over EWF / DCT / Diffeq and writes BENCH_synthesis.json so
-// the perf trajectory of the synthesis loop has data.
+// thread count over all six benchmarks (ex / dct / diffeq / ewf / paulin /
+// tseng) and writes BENCH_synthesis.json so the perf trajectory of the
+// synthesis loop has data.
 //
-// Two knobs are exercised:
+// Knobs exercised:
 //   - SynthesisParams::num_threads -- the k candidate trials of each
 //     iteration fan out across a reusable pool (bit-identical results for
 //     every thread count, verified here on every run);
@@ -10,27 +11,45 @@
 //     merger reuse their dE/dH across iterations;
 //   - SynthesisParams::incremental -- committed-state analyses are patched
 //     in place (etpn::apply_merge_patch + TestabilityAnalysis::update over
-//     the dirty cone) instead of rebuilt from scratch.  The bench reports
-//     wall-clock and the testability.node_visits counter for both modes;
-//     the visit ratio is the measured dirty-cone saving.
+//     the dirty cone) instead of rebuilt from scratch;
+//   - fault-simulation packet width (HLTS_SIMD_WIDTH / FaultSimulator's
+//     simd_width): gate evaluation over 64 / 256 / 512 lanes, reported as
+//     Mgate-lane-evals/s per width with the detected fault set checked for
+//     bit-identity across widths (and thread counts with --verify-serial).
 //
 // The sweep configs run with the cache on (that is the production-scale
 // configuration); the baseline row is the seed-equivalent exact path
 // (serial, no cache), so the JSON records both the caching and the
-// threading contribution.  Usage:
+// threading contribution.  Per-trial time is wall-clock divided by the
+// synth.trials_evaluated counter of the same configuration.  Usage:
 //
-//   bench_synthesis_scale [output.json] [reps]
+//   bench_synthesis_scale [output.json] [reps] [--quick] [--verify-serial]
+//                         [--compare committed.json]
+//
+//   --quick          one rep per configuration (CI smoke)
+//   --verify-serial  extend the bit-identity matrix: fault-sim width x
+//                    thread combinations and synthesis threads x
+//                    incremental combinations
+//   --compare FILE   warn (non-gating, exit 0) when a benchmark's serial
+//                    per-trial time regressed >20% vs the committed JSON
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "atpg/fault_sim.hpp"
+#include "atpg/faults.hpp"
 #include "benchmarks/benchmarks.hpp"
+#include "core/flows.hpp"
 #include "core/synthesis.hpp"
+#include "rtl/elaborate.hpp"
+#include "rtl/rtl.hpp"
+#include "util/rng.hpp"
 #include "util/thread_pool.hpp"
 #include "util/trace.hpp"
 
@@ -75,6 +94,7 @@ struct ModeSample {
   std::string sig;
   std::int64_t node_visits = 0;       ///< testability.node_visits
   std::int64_t incremental_updates = 0;
+  std::int64_t trials = 0;            ///< synth.trials_evaluated
 };
 
 ModeSample sample_mode(int reps, const hlts::dfg::Dfg& g,
@@ -92,14 +112,124 @@ ModeSample sample_mode(int reps, const hlts::dfg::Dfg& g,
   if (auto it = counters.find("testability.incremental_updates");
       it != counters.end())
     s.incremental_updates = it->second;
+  if (auto it = counters.find("synth.trials_evaluated"); it != counters.end())
+    s.trials = it->second;
   return s;
+}
+
+// ---------------------------------------------------------------------------
+// Fault-simulation throughput: detected_by over the synthesized design's
+// netlist at every packet width, measured as Mgate-lane-evals/s.
+// ---------------------------------------------------------------------------
+struct FaultSimSample {
+  int width = 0;
+  double ms = 0;  ///< best wall-clock of one detected_by pass
+  double mgle_per_s = 0;
+  bool identical = true;           ///< detected set == width-64 serial set
+  bool threads4_identical = true;  ///< --verify-serial: 4-thread run matches
+};
+
+std::vector<FaultSimSample> fault_sim_sweep(const hlts::dfg::Dfg& g, int reps,
+                                            bool verify_serial,
+                                            std::size_t* num_faults,
+                                            std::size_t* num_gates,
+                                            int* bad_configs) {
+  namespace atpg = hlts::atpg;
+  hlts::core::FlowResult r =
+      hlts::core::run_flow(hlts::core::FlowKind::Ours, g, {.bits = 8});
+  hlts::rtl::RtlDesign design =
+      hlts::rtl::RtlDesign::from_synthesis(g, r.schedule, r.binding, 8);
+  hlts::rtl::Elaboration elab = hlts::rtl::elaborate(design);
+  const hlts::gates::Netlist& nl = elab.netlist;
+
+  atpg::FaultUniverse universe = atpg::FaultUniverse::collapsed(nl);
+  const std::vector<atpg::Fault> faults = universe.faults();
+  *num_faults = faults.size();
+  *num_gates = nl.num_gates();
+
+  // A fixed pseudo-random sequence, long enough that most batches run all
+  // cycles (early exit only fires once every lane of a batch is detected).
+  hlts::Rng rng(11);
+  atpg::TestSequence seq;
+  const int cycles = 2 * (r.exec_time + 1);
+  for (int c = 0; c < cycles; ++c) {
+    atpg::TestVector v(nl.inputs().size());
+    for (std::size_t i = 0; i < v.size(); ++i) v[i] = rng.next_bool();
+    if (c == 0 && !v.empty()) v[0] = true;  // reset
+    seq.push_back(v);
+  }
+
+  std::vector<FaultSimSample> samples;
+  std::vector<std::size_t> reference;  // width-64 serial detected set
+  for (const int width : {64, 256, 512}) {
+    atpg::FaultSimulator fsim(nl, /*num_threads=*/1, width);
+    FaultSimSample s;
+    s.width = width;
+    std::vector<std::size_t> detected;
+    std::uint64_t lane_evals = 0;
+    for (int rep = 0; rep < reps; ++rep) {
+      const std::uint64_t evals_before = fsim.gate_lane_evals();
+      const auto t0 = std::chrono::steady_clock::now();
+      detected = fsim.detected_by(seq, faults);
+      const auto t1 = std::chrono::steady_clock::now();
+      const double ms =
+          std::chrono::duration<double, std::milli>(t1 - t0).count();
+      lane_evals = fsim.gate_lane_evals() - evals_before;
+      if (rep == 0 || ms < s.ms) s.ms = ms;
+    }
+    s.mgle_per_s =
+        s.ms > 0 ? static_cast<double>(lane_evals) / (s.ms * 1e3) : 0;
+    if (width == 64) reference = detected;
+    s.identical = detected == reference;
+    if (verify_serial) {
+      atpg::FaultSimulator threaded(nl, /*num_threads=*/4, width);
+      s.threads4_identical = threaded.detected_by(seq, faults) == reference;
+    }
+    if (!s.identical || !s.threads4_identical) ++*bad_configs;
+    samples.push_back(s);
+  }
+  return samples;
+}
+
+/// Pulls `"per_trial_us": <number>` for benchmark `name` out of a committed
+/// BENCH_synthesis.json (crude scan; the file is machine-written).
+double committed_per_trial_us(const std::string& json,
+                              const std::string& name) {
+  const std::string anchor = "\"name\": \"" + name + "\"";
+  std::size_t at = json.find(anchor);
+  if (at == std::string::npos) return 0;
+  const std::string key = "\"per_trial_us\": ";
+  at = json.find(key, at);
+  if (at == std::string::npos) return 0;
+  return std::strtod(json.c_str() + at + key.size(), nullptr);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::string out_path = argc > 1 ? argv[1] : "BENCH_synthesis.json";
-  const int reps = argc > 2 ? std::max(1, std::atoi(argv[2])) : 3;
+  std::string out_path = "BENCH_synthesis.json";
+  int reps = 3;
+  bool quick = false;
+  bool verify_serial = false;
+  std::string compare_path;
+  int positional = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") {
+      quick = true;
+    } else if (arg == "--verify-serial") {
+      verify_serial = true;
+    } else if (arg == "--compare" && i + 1 < argc) {
+      compare_path = argv[++i];
+    } else if (positional == 0) {
+      out_path = arg;
+      ++positional;
+    } else if (positional == 1) {
+      reps = std::max(1, std::atoi(arg.c_str()));
+      ++positional;
+    }
+  }
+  if (quick) reps = 1;
 
   const std::size_t hw = hlts::util::ThreadPool::default_threads();
   std::vector<int> thread_configs{1, 2, 4, static_cast<int>(hw)};
@@ -114,6 +244,18 @@ int main(int argc, char** argv) {
                  // so each iteration has enough independent trials to fill
                  // the pool
 
+  std::string committed;
+  if (!compare_path.empty()) {
+    std::ifstream in(compare_path);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    committed = buf.str();
+    if (committed.empty()) {
+      std::cerr << "WARNING: --compare " << compare_path
+                << " unreadable or empty; skipping comparison\n";
+    }
+  }
+
   std::ostringstream json;
   json.precision(17);
   json << "{\n"
@@ -126,33 +268,45 @@ int main(int argc, char** argv) {
 
   bool first_bench = true;
   int not_identical = 0;
-  for (const char* name : {"ewf", "dct", "diffeq"}) {
+  int regressions = 0;
+  for (const char* name : {"ex", "dct", "diffeq", "ewf", "paulin", "tseng"}) {
     hlts::dfg::Dfg g = hlts::benchmarks::make_benchmark(name);
 
     // Seed-equivalent exact path: serial, no trial cache.
     SynthesisParams baseline = common;
     baseline.num_threads = 1;
     baseline.trial_cache = false;
-    std::string baseline_sig;
-    const double baseline_ms = best_of(reps, g, baseline, &baseline_sig);
+    const ModeSample baseline_s = sample_mode(reps, g, baseline);
 
     // Serial reference for the bit-identity check of the sweep configs.
     SynthesisParams serial = common;
     serial.num_threads = 1;
     serial.trial_cache = true;
-    std::string serial_sig;
-    const double serial_ms = best_of(reps, g, serial, &serial_sig);
+    const ModeSample serial_s = sample_mode(reps, g, serial);
+
+    const double baseline_per_trial_us =
+        baseline_s.trials > 0 ? baseline_s.ms * 1e3 / baseline_s.trials : 0;
+    const double per_trial_us =
+        serial_s.trials > 0 ? serial_s.ms * 1e3 / serial_s.trials : 0;
 
     SynthesisResult shape = hlts::core::integrated_synthesis(g, baseline);
-    std::printf("%-7s baseline (serial, no cache): %8.1f ms  (%zu mergers)\n",
-                name, baseline_ms, shape.trajectory.size());
+    std::printf(
+        "%-7s baseline (serial, no cache): %8.1f ms  (%zu mergers, "
+        "%lld trials, %.1f us/trial)\n",
+        name, baseline_s.ms, shape.trajectory.size(),
+        static_cast<long long>(baseline_s.trials), baseline_per_trial_us);
 
     if (!first_bench) json << ",\n";
     first_bench = false;
     json << "    {\n"
          << "      \"name\": \"" << name << "\",\n"
          << "      \"mergers\": " << shape.trajectory.size() << ",\n"
-         << "      \"baseline_serial_nocache_ms\": " << baseline_ms << ",\n"
+         << "      \"baseline_serial_nocache_ms\": " << baseline_s.ms << ",\n"
+         << "      \"baseline_trials\": " << baseline_s.trials << ",\n"
+         << "      \"baseline_per_trial_us\": " << baseline_per_trial_us
+         << ",\n"
+         << "      \"trials\": " << serial_s.trials << ",\n"
+         << "      \"per_trial_us\": " << per_trial_us << ",\n"
          << "      \"configs\": [\n";
 
     for (std::size_t ci = 0; ci < thread_configs.size(); ++ci) {
@@ -161,11 +315,12 @@ int main(int argc, char** argv) {
       p.num_threads = threads;
       p.trial_cache = true;
       std::string sig;
-      const double ms = threads == 1 ? serial_ms : best_of(reps, g, p, &sig);
-      if (threads == 1) sig = serial_sig;
-      const bool identical = sig == serial_sig;
+      const double ms =
+          threads == 1 ? serial_s.ms : best_of(reps, g, p, &sig);
+      if (threads == 1) sig = serial_s.sig;
+      const bool identical = sig == serial_s.sig;
       if (!identical) ++not_identical;
-      const double speedup = ms > 0 ? baseline_ms / ms : 0;
+      const double speedup = ms > 0 ? baseline_s.ms / ms : 0;
       std::printf(
           "%-7s threads=%-2d cache=on: %8.1f ms   speedup vs baseline %.2fx"
           "   identical_to_serial=%s\n",
@@ -187,7 +342,20 @@ int main(int argc, char** argv) {
     inc_mode.incremental = true;
     const ModeSample full_s = sample_mode(reps, g, full_mode);
     const ModeSample inc_s = sample_mode(reps, g, inc_mode);
-    const bool inc_identical = inc_s.sig == full_s.sig;
+    bool inc_identical = inc_s.sig == full_s.sig;
+    if (verify_serial) {
+      // Full matrix: threads {1,4} x incremental {on,off} all agree.
+      for (const int threads : {1, 4}) {
+        for (const bool incremental : {false, true}) {
+          SynthesisParams p = full_mode;
+          p.num_threads = threads;
+          p.incremental = incremental;
+          std::string sig;
+          (void)best_of(1, g, p, &sig);
+          if (sig != full_s.sig) inc_identical = false;
+        }
+      }
+    }
     if (!inc_identical) ++not_identical;
     const double inc_speedup = inc_s.ms > 0 ? full_s.ms / inc_s.ms : 0;
     const double visit_ratio =
@@ -214,7 +382,45 @@ int main(int argc, char** argv) {
          << ",\n"
          << "        \"identical_to_full\": "
          << (inc_identical ? "true" : "false") << "\n"
-         << "      }\n    }";
+         << "      },\n";
+
+    // Fault-sim throughput per packet width over the synthesized design.
+    std::size_t num_faults = 0;
+    std::size_t num_gates = 0;
+    const std::vector<FaultSimSample> fsim_samples = fault_sim_sweep(
+        g, reps, verify_serial, &num_faults, &num_gates, &not_identical);
+    json << "      \"fault_sim\": {\n"
+         << "        \"gates\": " << num_gates << ",\n"
+         << "        \"faults\": " << num_faults << ",\n"
+         << "        \"widths\": [\n";
+    for (std::size_t wi = 0; wi < fsim_samples.size(); ++wi) {
+      const FaultSimSample& s = fsim_samples[wi];
+      std::printf(
+          "%-7s fault-sim width=%-3d: %8.2f ms   %8.1f Mgate-lane-evals/s"
+          "   identical=%s%s\n",
+          name, s.width, s.ms, s.mgle_per_s, s.identical ? "yes" : "NO",
+          verify_serial ? (s.threads4_identical ? " threads4=yes"
+                                                : " threads4=NO")
+                        : "");
+      json << "          {\"width\": " << s.width << ", \"ms\": " << s.ms
+           << ", \"mgate_lane_evals_per_s\": " << s.mgle_per_s
+           << ", \"identical\": " << (s.identical ? "true" : "false")
+           << ", \"threads4_identical\": "
+           << (s.threads4_identical ? "true" : "false") << "}"
+           << (wi + 1 < fsim_samples.size() ? "," : "") << "\n";
+    }
+    json << "        ]\n      }\n    }";
+
+    if (!committed.empty()) {
+      const double old_us = committed_per_trial_us(committed, name);
+      if (old_us > 0 && per_trial_us > old_us * 1.2) {
+        ++regressions;
+        std::fprintf(stderr,
+                     "WARNING: %s per-trial time regressed %.1f -> %.1f us "
+                     "(>20%% vs %s)\n",
+                     name, old_us, per_trial_us, compare_path.c_str());
+      }
+    }
   }
   json << "\n  ]\n}\n";
 
@@ -225,9 +431,14 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::cout << "wrote " << out_path << "\n";
+  if (regressions > 0) {
+    std::cerr << "WARNING: " << regressions
+              << " benchmark(s) regressed >20% on per-trial time "
+                 "(non-gating)\n";
+  }
   if (not_identical > 0) {
     std::cerr << "ERROR: " << not_identical
-              << " config(s) diverged from the serial trajectory\n";
+              << " config(s) diverged from the serial reference\n";
     return 1;
   }
   return 0;

@@ -20,8 +20,10 @@ DesignDelta::DesignDelta(const dfg::Dfg& g, TrialWorkspace& ws,
   cand.apply(g, ws.binding);
   const auto [into, from] = cand.nodes(ws.etpn);
   try {
-    patch_ = etpn::apply_merge_patch(ws.etpn.data_path, into, from);
+    patch_ = etpn::apply_merge_patch(ws.etpn.data_path, ws.arena, into, from);
   } catch (...) {
+    // The failed patch's arena carves are orphaned; rewind them.
+    ws_.arena.reset();
     // apply_merge_patch rolled the data path back (strong guarantee); undo
     // the binding half too.  If *that* also fails, the copy is inconsistent:
     // mark it stale so the next checkout re-syncs instead of reusing it.
@@ -47,6 +49,9 @@ DesignDelta::~DesignDelta() {
   } else {
     ws_.binding.undo_merge_regs(cand_.reg_a, cand_.reg_b, into_old_size_);
   }
+  // The undo log lived in the workspace arena and the patch is now fully
+  // reverted; rewind the arena for the next trial (blocks retained).
+  ws_.arena.reset();
 }
 
 IncrementalContext::IncrementalContext(const dfg::Dfg& g,
@@ -74,8 +79,9 @@ IncrementalContext::CommitResult IncrementalContext::commit(
   try {
     const auto [into, from] = cand.nodes(*e_);
     const std::string label = cand.merged_label(g_, b_after);
-    const etpn::MergePatch patch =
-        etpn::apply_merge_patch(e_->data_path, into, from, &label);
+    commit_arena_.reset();  // the previous commit's patch is long dead
+    const etpn::MergePatch patch = etpn::apply_merge_patch(
+        e_->data_path, commit_arena_, into, from, &label);
     etpn::refresh_etpn_steps(*e_, g_, s_after, b_after);
 
     // dE: the control part is a chain of unit-delay step places, so the

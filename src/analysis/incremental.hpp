@@ -34,6 +34,7 @@
 #include "sched/schedule.hpp"
 #include "testability/balance.hpp"
 #include "testability/testability.hpp"
+#include "util/arena.hpp"
 
 namespace hlts::analysis {
 
@@ -45,6 +46,10 @@ struct TrialWorkspace {
   etpn::Binding binding;
   etpn::Etpn etpn;
   cost::CostScratch cost;
+  /// Backs the trial's merge-patch undo log and worklists; reset (not
+  /// freed) when the DesignDelta comes off, so a steady-state trial carves
+  /// from retained blocks and performs zero heap allocations.
+  util::Arena arena;
   /// Committed-design epoch this copy mirrors; 0 = never synchronized
   /// (also the stale sentinel set when a failed trial may have left the
   /// copy inconsistent).
@@ -144,6 +149,7 @@ class IncrementalContext {
   std::optional<testability::TestabilityAnalysis> analysis_;
   petri::IncrementalCriticalPath critical_path_;
   cost::CostScratch cost_scratch_;
+  util::Arena commit_arena_;  ///< backs commit()'s (never-reverted) patch
   std::mutex pool_mutex_;
   std::vector<std::unique_ptr<TrialWorkspace>> pool_;
 };

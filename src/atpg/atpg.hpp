@@ -43,6 +43,10 @@ struct AtpgOptions {
   int podem_max_targets = 600;
   /// Apply reverse-order static compaction to the generated test set.
   bool compact = true;
+  /// Fault-simulation packet width in lanes (64, 256 or 512); 0 resolves
+  /// the HLTS_SIMD_WIDTH environment variable.  The detected fault sets --
+  /// and hence every ATPG result -- are bit-identical at every width.
+  int simd_width = 0;
 };
 
 struct AtpgResult {

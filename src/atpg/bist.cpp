@@ -4,7 +4,7 @@
 
 namespace hlts::atpg {
 
-BistResult run_bist(const gates::Netlist& nl, int cycles) {
+BistResult run_bist(const gates::Netlist& nl, int cycles, int simd_width) {
   HLTS_REQUIRE(cycles >= 1, "BIST session needs at least one cycle");
   int reset_index = -1;
   int bist_index = -1;
@@ -26,7 +26,7 @@ BistResult run_bist(const gates::Netlist& nl, int cycles) {
 
   FaultUniverse universe = FaultUniverse::collapsed(nl);
   std::vector<Fault> remaining = universe.faults();
-  FaultSimulator fsim(nl);
+  FaultSimulator fsim(nl, /*num_threads=*/0, simd_width);
   fsim.drop_detected(session, remaining);
 
   BistResult result;

@@ -6,9 +6,10 @@ namespace hlts::atpg {
 
 CompactionResult compact_test_set(const gates::Netlist& nl,
                                   const std::vector<TestSequence>& sequences,
-                                  const std::vector<Fault>& faults) {
+                                  const std::vector<Fault>& faults,
+                                  int simd_width) {
   CompactionResult result;
-  FaultSimulator fsim(nl);
+  FaultSimulator fsim(nl, /*num_threads=*/0, simd_width);
 
   // Baseline coverage and length.
   std::vector<Fault> remaining = faults;

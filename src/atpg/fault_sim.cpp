@@ -1,7 +1,9 @@
 #include "atpg/fault_sim.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 
+#include "util/error.hpp"
 #include "util/failpoint.hpp"
 
 namespace hlts::atpg {
@@ -10,7 +12,8 @@ namespace {
 
 /// Runs faults [base, base + batch) through `sim` and appends the detected
 /// indices (into the full fault list) to `out`, in ascending order.
-void run_batch(ParallelSimulator& sim, const TestSequence& sequence,
+template <int W>
+void run_batch(WideSimulator<W>& sim, const TestSequence& sequence,
                const std::vector<Fault>& faults, std::size_t base,
                std::size_t batch, std::vector<std::size_t>& out) {
   sim.clear_faults();
@@ -19,17 +22,18 @@ void run_batch(ParallelSimulator& sim, const TestSequence& sequence,
   }
   sim.reset_state();
   // Lanes 1..batch carry faults; lane 0 is the fault-free reference.
-  const std::uint64_t all_lanes =
-      batch == 63 ? ~std::uint64_t{1}
-                  : ((std::uint64_t{1} << (batch + 1)) - 2);
-  std::uint64_t caught = 0;
+  Packet<W> all_lanes = Packet<W>::zero();
+  for (std::size_t i = 0; i < batch; ++i) {
+    all_lanes.set_lane(static_cast<int>(i + 1));
+  }
+  Packet<W> caught = Packet<W>::zero();
   for (const TestVector& v : sequence) {
     caught |= sim.step(v);
     // All injected lanes of this batch already detected: stop early.
     if ((caught & all_lanes) == all_lanes) break;
   }
   for (std::size_t i = 0; i < batch; ++i) {
-    if (caught & (std::uint64_t{1} << (i + 1))) {
+    if (caught.lane(static_cast<int>(i + 1))) {
       out.push_back(base + i);
     }
   }
@@ -37,41 +41,88 @@ void run_batch(ParallelSimulator& sim, const TestSequence& sequence,
 
 }  // namespace
 
-FaultSimulator::FaultSimulator(const gates::Netlist& nl, int num_threads)
-    : nl_(nl), sim_(nl) {
+int resolve_simd_width(int requested) {
+  if (requested == 0) {
+    if (const char* env = std::getenv("HLTS_SIMD_WIDTH")) {
+      char* end = nullptr;
+      const long v = std::strtol(env, &end, 10);
+      if (end != env && *end == '\0' &&
+          (v == 64 || v == 256 || v == 512)) {
+        return static_cast<int>(v);
+      }
+    }
+    return 256;
+  }
+  HLTS_REQUIRE(requested == 64 || requested == 256 || requested == 512,
+               "simd width must be 64, 256 or 512 lanes");
+  return requested;
+}
+
+FaultSimulator::FaultSimulator(const gates::Netlist& nl, int num_threads,
+                               int simd_width)
+    : nl_(nl), width_(resolve_simd_width(simd_width)) {
+  switch (width_) {
+    case 64:
+      sim64_ = std::make_unique<WideSimulator<1>>(nl);
+      break;
+    case 256:
+      sim256_ = std::make_unique<WideSimulator<4>>(nl);
+      break;
+    default:
+      sim512_ = std::make_unique<WideSimulator<8>>(nl);
+      break;
+  }
   const std::size_t threads =
       num_threads > 0 ? static_cast<std::size_t>(num_threads)
                       : util::ThreadPool::default_threads();
   if (threads > 1) pool_ = std::make_unique<util::ThreadPool>(threads);
 }
 
-std::vector<std::size_t> FaultSimulator::detected_by(
-    const TestSequence& sequence, const std::vector<Fault>& faults) {
-  HLTS_FAILPOINT("atpg.fault_sim");
-  const std::size_t num_batches = (faults.size() + 62) / 63;
+template <int W>
+std::vector<std::size_t> FaultSimulator::detect(
+    WideSimulator<W>& persistent, const TestSequence& sequence,
+    const std::vector<Fault>& faults) {
+  // One batch per packet: 64*W - 1 faults (lane 0 is the good machine).
+  constexpr std::size_t kCap =
+      static_cast<std::size_t>(WideSimulator<W>::kLanes) - 1;
+  const std::size_t num_batches = (faults.size() + kCap - 1) / kCap;
   if (!pool_ || num_batches < 2) {
     std::vector<std::size_t> detected;
-    for (std::size_t base = 0; base < faults.size(); base += 63) {
-      const std::size_t batch = std::min<std::size_t>(63, faults.size() - base);
-      run_batch(sim_, sequence, faults, base, batch, detected);
+    const std::uint64_t before = persistent.gate_lane_evals();
+    for (std::size_t base = 0; base < faults.size(); base += kCap) {
+      const std::size_t batch = std::min(kCap, faults.size() - base);
+      run_batch(persistent, sequence, faults, base, batch, detected);
     }
+    lane_evals_ += persistent.gate_lane_evals() - before;
     return detected;
   }
 
   // Batches are independent: fan them out, each on a private simulator, and
   // concatenate in batch order so the result matches the serial path.
   std::vector<std::vector<std::size_t>> per_batch(num_batches);
+  std::vector<std::uint64_t> per_batch_evals(num_batches, 0);
   pool_->parallel_for(num_batches, [&](std::size_t bi) {
-    const std::size_t base = bi * 63;
-    const std::size_t batch = std::min<std::size_t>(63, faults.size() - base);
-    ParallelSimulator sim(nl_);
+    const std::size_t base = bi * kCap;
+    const std::size_t batch = std::min(kCap, faults.size() - base);
+    WideSimulator<W> sim(nl_);
     run_batch(sim, sequence, faults, base, batch, per_batch[bi]);
+    per_batch_evals[bi] = sim.gate_lane_evals();
   });
   std::vector<std::size_t> detected;
-  for (const std::vector<std::size_t>& d : per_batch) {
-    detected.insert(detected.end(), d.begin(), d.end());
+  for (std::size_t bi = 0; bi < num_batches; ++bi) {
+    detected.insert(detected.end(), per_batch[bi].begin(),
+                    per_batch[bi].end());
+    lane_evals_ += per_batch_evals[bi];
   }
   return detected;
+}
+
+std::vector<std::size_t> FaultSimulator::detected_by(
+    const TestSequence& sequence, const std::vector<Fault>& faults) {
+  HLTS_FAILPOINT("atpg.fault_sim");
+  if (sim64_) return detect(*sim64_, sequence, faults);
+  if (sim256_) return detect(*sim256_, sequence, faults);
+  return detect(*sim512_, sequence, faults);
 }
 
 std::size_t FaultSimulator::drop_detected(const TestSequence& sequence,

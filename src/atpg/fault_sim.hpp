@@ -1,26 +1,46 @@
 // Sequential fault simulation with fault dropping.
+//
+// Faults are simulated in batches sized by the simulator's packet width:
+// a packet of 64*W lanes carries 64*W - 1 faults per batch (lane 0 is the
+// good machine), so the supported widths 64 / 256 / 512 give batch
+// capacities of 63 / 255 / 511 faults.  Wider packets amortize the
+// per-gate traversal cost (gate fetch, kind dispatch, levelized walk)
+// over more fault lanes and autovectorize; the detected fault set is
+// bit-identical at every width, thread count, and batch partition,
+// because each lane is evaluated independently and detected indices are
+// emitted in ascending order.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <vector>
 
-#include "atpg/simulator.hpp"
+#include "atpg/wide_sim.hpp"
 #include "util/thread_pool.hpp"
 
 namespace hlts::atpg {
 
+/// Resolves a requested packet width in lanes to one of the supported
+/// values {64, 256, 512}.  0 consults the HLTS_SIMD_WIDTH environment
+/// variable and falls back to 256 when it is absent or invalid; any other
+/// value must already be one of the supported widths.
+[[nodiscard]] int resolve_simd_width(int requested);
+
 class FaultSimulator {
  public:
-  /// `num_threads` is the concurrency of detected_by's 63-fault batches:
+  /// `num_threads` is the concurrency of detected_by's batch fan-out:
   /// 0 means util::ThreadPool::default_threads() (HLTS_THREADS, else
-  /// hardware_concurrency), 1 forces the serial path.  Results are
-  /// identical for every value -- batches are independent and detected
-  /// indices are concatenated in batch order.
-  explicit FaultSimulator(const gates::Netlist& nl, int num_threads = 0);
+  /// hardware_concurrency), 1 forces the serial path.  `simd_width` is the
+  /// packet width in lanes (see resolve_simd_width).  Results are
+  /// identical for every combination -- batches are independent and
+  /// detected indices are concatenated in batch order.
+  explicit FaultSimulator(const gates::Netlist& nl, int num_threads = 0,
+                          int simd_width = 0);
 
-  /// Simulates `sequence` (from power-up/reset) against `faults`, 63 at a
-  /// time, and returns the indices (into `faults`) of detected faults.
+  /// Simulates `sequence` (from power-up/reset) against `faults`, one
+  /// packet-width batch at a time, and returns the indices (into `faults`)
+  /// of detected faults, ascending.
   [[nodiscard]] std::vector<std::size_t> detected_by(
       const TestSequence& sequence, const std::vector<Fault>& faults);
 
@@ -29,11 +49,30 @@ class FaultSimulator {
   std::size_t drop_detected(const TestSequence& sequence,
                             std::vector<Fault>& faults);
 
+  /// The resolved packet width in lanes (64, 256 or 512).
+  [[nodiscard]] int simd_width() const { return width_; }
+  /// Cumulative gate-lane evaluations across all detected_by calls,
+  /// including the parallel path's per-batch simulators; feeds the
+  /// Mgate-lane-evals/s throughput metric in the benches.
+  [[nodiscard]] std::uint64_t gate_lane_evals() const { return lane_evals_; }
+
  private:
+  template <int W>
+  [[nodiscard]] std::vector<std::size_t> detect(WideSimulator<W>& persistent,
+                                                const TestSequence& sequence,
+                                                const std::vector<Fault>& faults);
+
   const gates::Netlist& nl_;
-  ParallelSimulator sim_;
+  int width_;
+  /// Exactly one of these is non-null, matching width_; the persistent
+  /// instance serves the serial path (the parallel path builds a private
+  /// simulator per batch).
+  std::unique_ptr<WideSimulator<1>> sim64_;
+  std::unique_ptr<WideSimulator<4>> sim256_;
+  std::unique_ptr<WideSimulator<8>> sim512_;
   /// Present only when num_threads resolved to > 1.
   std::unique_ptr<util::ThreadPool> pool_;
+  std::uint64_t lane_evals_ = 0;
 };
 
 }  // namespace hlts::atpg

@@ -1,67 +1,49 @@
 // 64-lane parallel three-valued gate-level simulator.
 //
-// Lane 0 carries the fault-free machine; lanes 1..63 carry faulty copies
-// (parallel-fault simulation).  Values are three-valued (0 / 1 / X) in the
-// classic two-plane encoding -- for each gate, plane `one` has a lane bit
-// set when that lane's value is 1, plane `zero` when it is 0; neither set
-// means X.  Flip-flops power up X: data-path registers have no reset, so a
-// test must *initialize* the machine through functional paths before it
-// can detect anything -- the sequential-ATPG reality the paper's
-// testability metrics (SC/SO) model.
-//
-// A fault is detected only by the conservative criterion: some primary
-// output where the good machine and the faulty machine both have binary
-// values and they differ.
+// The historical single-word interface, kept for the testbench, PODEM
+// confirmation and the unit tests: a thin wrapper over WideSimulator<1>
+// (see wide_sim.hpp for the simulation model and the two-plane encoding).
+// Lane 0 carries the fault-free machine; lanes 1..63 carry faulty copies.
+// Wider packets (256/512 lanes) are reached through WideSimulator<W>
+// directly, or via FaultSimulator's HLTS_SIMD_WIDTH dispatch.
 #pragma once
 
 #include <cstdint>
-#include <vector>
 
-#include "atpg/faults.hpp"
-#include "gates/netlist.hpp"
+#include "atpg/wide_sim.hpp"
 
 namespace hlts::atpg {
 
-/// Primary-input values for one clock cycle, in gates::Netlist::inputs()
-/// order.  Primary inputs are always binary (the tester drives them).
-using TestVector = std::vector<bool>;
-/// A clocked test sequence, applied from power-up (all state X).
-using TestSequence = std::vector<TestVector>;
-
 class ParallelSimulator {
  public:
-  explicit ParallelSimulator(const gates::Netlist& nl);
+  explicit ParallelSimulator(const gates::Netlist& nl) : sim_(nl) {}
 
   /// Injects `fault` into lane `lane` (1..63).  Lane 0 must stay fault-free.
-  void inject(int lane, const Fault& fault);
+  void inject(int lane, const Fault& fault) { sim_.inject(lane, fault); }
   /// Removes all injected faults.
-  void clear_faults();
+  void clear_faults() { sim_.clear_faults(); }
 
   /// Returns all flip-flops to the unknown (X) power-up state.
-  void reset_state();
+  void reset_state() { sim_.reset_state(); }
 
   /// Applies one input vector, evaluates the combinational logic and clocks
   /// the flip-flops.  Returns the set of lanes detected this cycle: a
   /// primary output where both the good and the faulty value are binary
   /// and differ.
-  std::uint64_t step(const TestVector& inputs);
+  std::uint64_t step(const TestVector& inputs) { return sim_.step(inputs).w[0]; }
 
   /// Value planes of a gate after the last evaluation.
-  [[nodiscard]] std::uint64_t plane_one(gates::GateId g) const { return one_[g]; }
+  [[nodiscard]] std::uint64_t plane_one(gates::GateId g) const {
+    return sim_.plane_one(g).w[0];
+  }
   [[nodiscard]] std::uint64_t plane_zero(gates::GateId g) const {
-    return zero_[g];
+    return sim_.plane_zero(g).w[0];
   }
 
-  [[nodiscard]] const gates::Netlist& netlist() const { return nl_; }
+  [[nodiscard]] const gates::Netlist& netlist() const { return sim_.netlist(); }
 
  private:
-  void apply_mask(gates::GateId g);
-
-  const gates::Netlist& nl_;
-  IndexVec<gates::GateId, std::uint64_t> one_, zero_;          // comb values
-  IndexVec<gates::GateId, std::uint64_t> state_one_, state_zero_;  // DFFs
-  IndexVec<gates::GateId, std::uint64_t> sa1_mask_, sa0_mask_;
-  std::vector<gates::GateId> masked_gates_;
+  WideSimulator<1> sim_;
 };
 
 }  // namespace hlts::atpg

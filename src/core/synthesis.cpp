@@ -31,12 +31,12 @@ struct NeighbourLists {
 
 NeighbourLists neighbour_lists(const etpn::DataPath& dp, etpn::DpNodeId n) {
   NeighbourLists out;
-  out.sources.reserve(dp.node(n).in_arcs.size());
-  out.dests.reserve(dp.node(n).out_arcs.size());
-  for (etpn::DpArcId a : dp.node(n).in_arcs) {
+  out.sources.reserve(dp.in_degree(n));
+  out.dests.reserve(dp.out_degree(n));
+  for (etpn::DpArcId a : dp.in_arcs(n)) {
     out.sources.push_back(dp.arc(a).from.value());
   }
-  for (etpn::DpArcId a : dp.node(n).out_arcs) {
+  for (etpn::DpArcId a : dp.out_arcs(n)) {
     out.dests.push_back(dp.arc(a).to.value());
   }
   for (auto* v : {&out.sources, &out.dests}) {

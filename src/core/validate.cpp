@@ -120,8 +120,8 @@ AuditReport audit_etpn(const dfg::Dfg& g, const etpn::Etpn& e,
                       " (endpoint out of range)");
       continue;
     }
-    const std::vector<etpn::DpArcId>& outs = dp.node(arc.from).out_arcs;
-    const std::vector<etpn::DpArcId>& ins = dp.node(arc.to).in_arcs;
+    const util::Span<etpn::DpArcId> outs = dp.out_arcs(arc.from);
+    const util::Span<etpn::DpArcId> ins = dp.in_arcs(arc.to);
     const bool in_outs = std::find(outs.begin(), outs.end(), a) != outs.end();
     const bool in_ins = std::find(ins.begin(), ins.end(), a) != ins.end();
     if (!dp.alive(a)) {
@@ -145,13 +145,13 @@ AuditReport audit_etpn(const dfg::Dfg& g, const etpn::Etpn& e,
                       " missing from its destination's in_arcs (" +
                       dp.node(arc.to).name + ")");
     }
-    if (!std::is_sorted(arc.steps.begin(), arc.steps.end()) ||
-        std::adjacent_find(arc.steps.begin(), arc.steps.end()) !=
-            arc.steps.end()) {
+    const util::Span<int> steps = dp.steps(a);
+    if (!std::is_sorted(steps.begin(), steps.end()) ||
+        std::adjacent_find(steps.begin(), steps.end()) != steps.end()) {
       add(report, "etpn: arc " + std::to_string(a.value()) +
                       " has unsorted or duplicate step annotations");
     }
-    if (!arc.steps.empty() && arc.steps.front() < 0) {
+    if (!steps.empty() && steps.front() < 0) {
       add(report, "etpn: arc " + std::to_string(a.value()) +
                       " active in a negative step");
     }
@@ -161,17 +161,17 @@ AuditReport audit_etpn(const dfg::Dfg& g, const etpn::Etpn& e,
   // node; dead nodes must be fully detached.
   for (etpn::DpNodeId n : dp.node_ids()) {
     const etpn::DpNode& node = dp.node(n);
-    if (!dp.alive(n) && !(node.in_arcs.empty() && node.out_arcs.empty())) {
+    if (!dp.alive(n) && !(dp.in_arcs(n).empty() && dp.out_arcs(n).empty())) {
       add(report, "etpn: dead node " + node.name + " still lists arcs");
       continue;
     }
-    for (etpn::DpArcId a : node.out_arcs) {
+    for (etpn::DpArcId a : dp.out_arcs(n)) {
       if (!a.valid() || a.index() >= dp.num_arcs() || dp.arc(a).from != n ||
           !dp.alive(a)) {
         add(report, "etpn: node " + node.name + " lists a bad out-arc");
       }
     }
-    for (etpn::DpArcId a : node.in_arcs) {
+    for (etpn::DpArcId a : dp.in_arcs(n)) {
       if (!a.valid() || a.index() >= dp.num_arcs() || dp.arc(a).to != n ||
           !dp.alive(a)) {
         add(report, "etpn: node " + node.name + " lists a bad in-arc");

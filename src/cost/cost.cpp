@@ -28,9 +28,9 @@ HardwareCost estimate_cost(const etpn::DataPath& dp, const ModuleLibrary& lib,
     // Multiplexers: a port with s >= 2 sources needs (s - 1) two-to-one
     // muxes.
     for (int port = 0; port < dp.num_ports(n); ++port) {
-      const auto sources = dp.port_sources(n, port);
-      if (sources.size() >= 2) {
-        cost.mux_area += (static_cast<double>(sources.size()) - 1.0) *
+      const int sources = dp.num_port_sources(n, port);
+      if (sources >= 2) {
+        cost.mux_area += (static_cast<double>(sources) - 1.0) *
                          lib.mux_area(bits);
       }
     }

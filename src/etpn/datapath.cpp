@@ -1,6 +1,7 @@
 #include "etpn/datapath.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <deque>
 #include <sstream>
 
@@ -10,6 +11,8 @@ namespace hlts::etpn {
 
 DpNodeId DataPath::add_node(DpNode node) {
   node_alive_.push_back(true);
+  in_span_.push_back(PoolSpan{});
+  out_span_.push_back(PoolSpan{});
   ++alive_nodes_;
   return nodes_.push_back(std::move(node));
 }
@@ -26,19 +29,90 @@ void DataPath::set_alive(DpArcId a, bool alive) {
   alive ? ++alive_arcs_ : --alive_arcs_;
 }
 
-DpArcId DataPath::add_transfer(DpNodeId from, DpNodeId to, int to_port, int step) {
+void DataPath::list_append(PoolSpan& s, DpArcId v) {
+  if (s.len < s.cap) {
+    arc_pool_[s.off + s.len++] = v;
+    return;
+  }
+  const std::uint32_t cap = s.cap == 0 ? 2 : s.cap * 2;
+  const std::uint32_t off = static_cast<std::uint32_t>(arc_pool_.size());
+  arc_pool_.resize(arc_pool_.size() + cap);
+  if (s.len != 0) {
+    std::memcpy(arc_pool_.data() + off, arc_pool_.data() + s.off,
+                s.len * sizeof(DpArcId));
+  }
+  s.off = off;
+  s.cap = cap;
+  arc_pool_[s.off + s.len++] = v;
+}
+
+PoolSpan DataPath::tail_copy(std::vector<DpArcId>& pool, const DpArcId* data,
+                             std::uint32_t len) {
+  PoolSpan s;
+  s.off = static_cast<std::uint32_t>(pool.size());
+  s.len = s.cap = len;
+  pool.resize(pool.size() + len);
+  if (len != 0) std::memcpy(pool.data() + s.off, data, len * sizeof(DpArcId));
+  return s;
+}
+
+void DataPath::rewrite_in_list(DpNodeId n, const DpArcId* data,
+                               std::uint32_t len) {
+  in_span_[n] = tail_copy(arc_pool_, data, len);
+}
+
+void DataPath::rewrite_out_list(DpNodeId n, const DpArcId* data,
+                                std::uint32_t len) {
+  out_span_[n] = tail_copy(arc_pool_, data, len);
+}
+
+void DataPath::rewrite_steps(DpArcId a, const int* data, std::uint32_t len) {
+  PoolSpan s;
+  s.off = static_cast<std::uint32_t>(step_pool_.size());
+  s.len = s.cap = len;
+  step_pool_.resize(step_pool_.size() + len);
+  if (len != 0) std::memcpy(step_pool_.data() + s.off, data, len * sizeof(int));
+  step_span_[a] = s;
+}
+
+void DataPath::insert_step(DpArcId a, int step) {
+  PoolSpan& s = step_span_[a];
+  int* base = step_pool_.data() + s.off;
+  const std::size_t lo = std::lower_bound(base, base + s.len, step) - base;
+  if (lo < s.len && base[lo] == step) return;
+  if (s.len < s.cap) {
+    std::memmove(base + lo + 1, base + lo, (s.len - lo) * sizeof(int));
+    base[lo] = step;
+    ++s.len;
+    return;
+  }
+  // Relocate to the tail with slack, inserting on the way.
+  const std::uint32_t cap = s.cap == 0 ? 2 : s.cap * 2;
+  const std::uint32_t off = static_cast<std::uint32_t>(step_pool_.size());
+  step_pool_.resize(step_pool_.size() + cap);
+  base = step_pool_.data() + s.off;  // resize may have moved the pool
+  int* dst = step_pool_.data() + off;
+  if (lo != 0) std::memcpy(dst, base, lo * sizeof(int));
+  dst[lo] = step;
+  if (lo != s.len) {
+    std::memcpy(dst + lo + 1, base + lo, (s.len - lo) * sizeof(int));
+  }
+  s.off = off;
+  s.cap = cap;
+  ++s.len;
+}
+
+DpArcId DataPath::add_transfer(DpNodeId from, DpNodeId to, int to_port,
+                               int step) {
   HLTS_REQUIRE(nodes_.contains(from) && nodes_.contains(to),
                "add_transfer: bad node id");
   HLTS_REQUIRE(node_alive_[from] && node_alive_[to],
                "add_transfer: dead node");
   HLTS_REQUIRE(step >= 0, "add_transfer: negative step");
-  for (DpArcId a : nodes_[from].out_arcs) {
-    DpArc& arc = arcs_[a];
+  for (DpArcId a : out_arcs(from)) {
+    const DpArc& arc = arcs_[a];
     if (arc.to == to && arc.to_port == to_port) {
-      if (!std::binary_search(arc.steps.begin(), arc.steps.end(), step)) {
-        arc.steps.insert(
-            std::upper_bound(arc.steps.begin(), arc.steps.end(), step), step);
-      }
+      insert_step(a, step);
       return a;
     }
   }
@@ -46,18 +120,58 @@ DpArcId DataPath::add_transfer(DpNodeId from, DpNodeId to, int to_port, int step
   arc.from = from;
   arc.to = to;
   arc.to_port = to_port;
-  arc.steps = {step};
   arc_alive_.push_back(true);
   ++alive_arcs_;
-  DpArcId id = arcs_.push_back(std::move(arc));
-  nodes_[from].out_arcs.push_back(id);
-  nodes_[to].in_arcs.push_back(id);
+  DpArcId id = arcs_.push_back(arc);
+  step_span_.push_back(PoolSpan{});
+  insert_step(id, step);
+  list_append(out_span_[from], id);
+  list_append(in_span_[to], id);
   return id;
+}
+
+void DataPath::compact_pools() {
+  std::vector<DpArcId> arcs;
+  arcs.reserve(arc_pool_.size());
+  for (DpNodeId n : node_ids()) {
+    PoolSpan s = in_span_[n];
+    const std::uint32_t off = static_cast<std::uint32_t>(arcs.size());
+    arcs.insert(arcs.end(), arc_pool_.begin() + s.off,
+                arc_pool_.begin() + s.off + s.len);
+    in_span_[n] = PoolSpan{off, s.len, s.len};
+    s = out_span_[n];
+    const std::uint32_t off2 = static_cast<std::uint32_t>(arcs.size());
+    arcs.insert(arcs.end(), arc_pool_.begin() + s.off,
+                arc_pool_.begin() + s.off + s.len);
+    out_span_[n] = PoolSpan{off2, s.len, s.len};
+  }
+  arc_pool_ = std::move(arcs);
+
+  std::vector<int> steps;
+  steps.reserve(step_pool_.size());
+  for (DpArcId a : arc_ids()) {
+    const PoolSpan s = step_span_[a];
+    const std::uint32_t off = static_cast<std::uint32_t>(steps.size());
+    steps.insert(steps.end(), step_pool_.begin() + s.off,
+                 step_pool_.begin() + s.off + s.len);
+    step_span_[a] = PoolSpan{off, s.len, s.len};
+  }
+  step_pool_ = std::move(steps);
+}
+
+std::size_t DataPath::pool_slack_bytes() const {
+  std::size_t live = 0;
+  for (DpNodeId n : node_ids()) live += in_span_[n].len + out_span_[n].len;
+  std::size_t bytes = (arc_pool_.size() - live) * sizeof(DpArcId);
+  live = 0;
+  for (DpArcId a : arc_ids()) live += step_span_[a].len;
+  bytes += (step_pool_.size() - live) * sizeof(int);
+  return bytes;
 }
 
 std::vector<DpNodeId> DataPath::port_sources(DpNodeId n, int port) const {
   std::vector<DpNodeId> out;
-  for (DpArcId a : nodes_[n].in_arcs) {
+  for (DpArcId a : in_arcs(n)) {
     const DpArc& arc = arcs_[a];
     if (arc.to_port != port) continue;
     if (std::find(out.begin(), out.end(), arc.from) == out.end()) {
@@ -65,6 +179,27 @@ std::vector<DpNodeId> DataPath::port_sources(DpNodeId n, int port) const {
     }
   }
   return out;
+}
+
+int DataPath::num_port_sources(DpNodeId n, int port) const {
+  // Quadratic in the port's in-degree, which is tiny (a handful of distinct
+  // sources per multiplexer); avoids the per-call vector of port_sources().
+  const util::Span<DpArcId> in = in_arcs(n);
+  int distinct = 0;
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    const DpArc& arc = arcs_[in[i]];
+    if (arc.to_port != port) continue;
+    bool seen = false;
+    for (std::size_t j = 0; j < i; ++j) {
+      const DpArc& prev = arcs_[in[j]];
+      if (prev.to_port == port && prev.from == arc.from) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) ++distinct;
+  }
+  return distinct;
 }
 
 int DataPath::num_ports(DpNodeId n) const {
@@ -80,7 +215,7 @@ int DataPath::mux_count() const {
   for (DpNodeId n : node_ids()) {
     if (!node_alive_[n]) continue;
     for (int port = 0; port < num_ports(n); ++port) {
-      if (port_sources(n, port).size() >= 2) ++muxes;
+      if (num_port_sources(n, port) >= 2) ++muxes;
     }
   }
   return muxes;
@@ -91,7 +226,7 @@ int DataPath::self_loop_count() const {
   for (DpNodeId n : node_ids()) {
     if (!node_alive_[n] || nodes_[n].kind != DpNodeKind::Register) continue;
     // Register -> module -> same register, or register -> itself.
-    for (DpArcId a : nodes_[n].out_arcs) {
+    for (DpArcId a : out_arcs(n)) {
       const DpArc& arc = arcs_[a];
       if (arc.to == n) {
         ++loops;
@@ -99,7 +234,7 @@ int DataPath::self_loop_count() const {
       }
       if (nodes_[arc.to].kind != DpNodeKind::Module) continue;
       bool closes = false;
-      for (DpArcId b : nodes_[arc.to].out_arcs) {
+      for (DpArcId b : out_arcs(arc.to)) {
         if (arcs_[b].to == n) {
           closes = true;
           break;
@@ -142,7 +277,7 @@ DataPath::RegisterDistances DataPath::register_distances() const {
 
   auto reg_targets_of = [&](DpNodeId n, auto&& self, bool through_module,
                             std::vector<std::uint32_t>& out) -> void {
-    for (DpArcId a : nodes_[n].out_arcs) {
+    for (DpArcId a : out_arcs(n)) {
       const DpNode& to = nodes_[arcs_[a].to];
       if (to.kind == DpNodeKind::Register) {
         out.push_back(arcs_[a].to.value());
@@ -162,15 +297,15 @@ DataPath::RegisterDistances DataPath::register_distances() const {
       bwd[t].push_back(n.value());
     }
     // Controllable seed: loaded directly from an input port.
-    for (DpArcId a : nodes_[n].in_arcs) {
+    for (DpArcId a : in_arcs(n)) {
       if (nodes_[arcs_[a].from].kind == DpNodeKind::InPort) d_in[n.index()] = 0;
     }
     // Observable seed: feeds an output port directly or through one module.
-    for (DpArcId a : nodes_[n].out_arcs) {
+    for (DpArcId a : out_arcs(n)) {
       const DpNode& to = nodes_[arcs_[a].to];
       if (to.kind == DpNodeKind::OutPort) d_out[n.index()] = 0;
       if (to.kind == DpNodeKind::Module) {
-        for (DpArcId b : nodes_[arcs_[a].to].out_arcs) {
+        for (DpArcId b : out_arcs(arcs_[a].to)) {
           if (nodes_[arcs_[b].to].kind == DpNodeKind::OutPort) {
             d_out[n.index()] = 0;
           }
@@ -224,9 +359,10 @@ std::string DataPath::to_dot() const {
     if (!arc_alive_[a]) continue;
     const DpArc& arc = arcs_[a];
     os << "  n" << arc.from.value() << " -> n" << arc.to.value() << " [label=\"";
-    for (std::size_t i = 0; i < arc.steps.size(); ++i) {
+    const util::Span<int> st = steps(a);
+    for (std::size_t i = 0; i < st.size(); ++i) {
       if (i) os << ",";
-      os << "S" << arc.steps[i];
+      os << "S" << st[i];
     }
     os << "\"];\n";
   }

@@ -5,14 +5,24 @@
 // Each arc records the control steps in which its transfer is active -- the
 // link between the data path and the control Petri net ("control states in
 // the control part controlling the data transfers in the data path").
+//
+// Storage layout (structure-of-arrays): adjacency lists and step sets are
+// *spans into two shared pools* (arc_pool_ / step_pool_) instead of one
+// heap vector per node/arc.  Copying a DataPath is a handful of flat
+// memcpy-able vectors (the per-trial workspace refresh), and the merge
+// patcher rewrites lists by appending fresh spans at the pool tail and
+// truncating back on revert -- the pool tail acts as the trial arena, so a
+// steady-state apply/revert cycle performs zero heap allocations.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
 #include "dfg/dfg.hpp"
 #include "etpn/binding.hpp"
 #include "util/ids.hpp"
+#include "util/span.hpp"
 
 namespace hlts::etpn {
 
@@ -39,8 +49,6 @@ struct DpNode {
   dfg::VarId port_var;
   /// Valid when kind == Module: the operation class implemented.
   dfg::OpKind op_class = dfg::OpKind::Add;
-  std::vector<DpArcId> in_arcs;
-  std::vector<DpArcId> out_arcs;
 };
 
 struct DpArc {
@@ -49,9 +57,17 @@ struct DpArc {
   /// Input port index at the destination (0/1 for module operand ports; 0
   /// for registers and out-ports).
   int to_port = 0;
-  /// Control steps in which this transfer is active (sorted, unique).
-  /// Step 0 is the primary-input load step.
-  std::vector<int> steps;
+};
+
+/// A [off, off+len) window (with slack up to cap) into one of the shared
+/// pools.  POD on purpose: the merge patcher saves and restores these by
+/// value as its undo log.
+struct PoolSpan {
+  std::uint32_t off = 0;
+  std::uint32_t len = 0;
+  std::uint32_t cap = 0;
+
+  friend bool operator==(const PoolSpan&, const PoolSpan&) = default;
 };
 
 class DataPath {
@@ -78,10 +94,30 @@ class DataPath {
   [[nodiscard]] const DpNode& node(DpNodeId n) const { return nodes_[n]; }
   [[nodiscard]] const DpArc& arc(DpArcId a) const { return arcs_[a]; }
   /// Mutable node/arc access for transformation passes and corruption tests.
-  /// Editing arc lists can break the back-link invariant; the
-  /// core/validate auditor exists to catch exactly that.
   [[nodiscard]] DpNode& node(DpNodeId n) { return nodes_[n]; }
   [[nodiscard]] DpArc& arc(DpArcId a) { return arcs_[a]; }
+
+  /// --- adjacency and step sets (span views into the pools) -----------------
+  // Views are valid until the next structural mutation of the graph (a pool
+  // relocation moves data); take them fresh per use, never store them.
+  [[nodiscard]] util::Span<DpArcId> in_arcs(DpNodeId n) const {
+    return view(arc_pool_, in_span_[n]);
+  }
+  [[nodiscard]] util::Span<DpArcId> out_arcs(DpNodeId n) const {
+    return view(arc_pool_, out_span_[n]);
+  }
+  [[nodiscard]] std::size_t in_degree(DpNodeId n) const {
+    return in_span_[n].len;
+  }
+  [[nodiscard]] std::size_t out_degree(DpNodeId n) const {
+    return out_span_[n].len;
+  }
+  /// Control steps in which this arc's transfer is active (sorted, unique).
+  /// Step 0 is the primary-input load step.
+  [[nodiscard]] util::Span<int> steps(DpArcId a) const {
+    return view(step_pool_, step_span_[a]);
+  }
+
   /// Flips an aliveness flag, maintaining the alive counts.  List surgery
   /// (detaching a dead arc from its endpoints) is the caller's job; see
   /// etpn/patch for the invariant-preserving merge patcher.
@@ -94,8 +130,52 @@ class DataPath {
     return id_range<DpArcId>(arcs_.size());
   }
 
+  /// --- layout surgery (etpn/patch, corruption tests) -----------------------
+  // The patcher's protocol: record the pool marks, save the PoolSpan of
+  // every touched node/arc, rewrite lists as fresh spans at the pool tail,
+  // and on revert restore the saved spans and truncate the pools back to
+  // the marks.  All rewritten data lives above the marks, all saved spans
+  // point below them, so the truncation exactly reclaims the patch.
+  [[nodiscard]] PoolSpan in_list_span(DpNodeId n) const { return in_span_[n]; }
+  [[nodiscard]] PoolSpan out_list_span(DpNodeId n) const {
+    return out_span_[n];
+  }
+  [[nodiscard]] PoolSpan step_list_span(DpArcId a) const {
+    return step_span_[a];
+  }
+  void set_in_list_span(DpNodeId n, PoolSpan s) { in_span_[n] = s; }
+  void set_out_list_span(DpNodeId n, PoolSpan s) { out_span_[n] = s; }
+  void set_step_list_span(DpArcId a, PoolSpan s) { step_span_[a] = s; }
+  [[nodiscard]] std::size_t arc_pool_size() const { return arc_pool_.size(); }
+  [[nodiscard]] std::size_t step_pool_size() const { return step_pool_.size(); }
+  void truncate_arc_pool(std::size_t mark) { arc_pool_.resize(mark); }
+  void truncate_step_pool(std::size_t mark) { step_pool_.resize(mark); }
+  /// Retargets `n`'s in/out list to a fresh tight span at the pool tail
+  /// holding `data[0..len)`.
+  void rewrite_in_list(DpNodeId n, const DpArcId* data, std::uint32_t len);
+  void rewrite_out_list(DpNodeId n, const DpArcId* data, std::uint32_t len);
+  /// Retargets `a`'s step set to a fresh tight span at the pool tail.
+  void rewrite_steps(DpArcId a, const int* data, std::uint32_t len);
+  /// Inserts `step` into `a`'s sorted step set (no-op when present),
+  /// growing in place when slack allows, else relocating to the tail.
+  void insert_step(DpArcId a, int step);
+  /// Empties `a`'s step set, keeping its pool window as slack for
+  /// insert_step (refresh_etpn_steps re-stamps every alive arc in place).
+  void clear_steps(DpArcId a) { step_span_[a].len = 0; }
+
+  /// Squeezes relocation slack out of the pools and re-lays lists in id
+  /// order (fresh-build layout).  Call after a build or a committed patch;
+  /// never with an outstanding un-reverted MergePatch, whose saved spans
+  /// would be invalidated.
+  void compact_pools();
+  /// Bytes wasted by relocation holes, for the compaction heuristic.
+  [[nodiscard]] std::size_t pool_slack_bytes() const;
+
   /// Distinct sources feeding input port `port` of `n`.
   [[nodiscard]] std::vector<DpNodeId> port_sources(DpNodeId n, int port) const;
+  /// Number of distinct sources feeding input port `port` of `n`, without
+  /// materializing them (allocation-free; in-degrees are small).
+  [[nodiscard]] int num_port_sources(DpNodeId n, int port) const;
   /// Number of input ports of `n` (2 for two-operand modules, else 1).
   [[nodiscard]] int num_ports(DpNodeId n) const;
 
@@ -134,10 +214,24 @@ class DataPath {
   [[nodiscard]] std::string to_dot() const;
 
  private:
+  template <typename T>
+  [[nodiscard]] static util::Span<T> view(const std::vector<T>& pool,
+                                          PoolSpan s) {
+    return util::Span<T>(pool.data() + s.off, s.len);
+  }
+  void list_append(PoolSpan& s, DpArcId v);
+  PoolSpan tail_copy(std::vector<DpArcId>& pool, const DpArcId* data,
+                     std::uint32_t len);
+
   IndexVec<DpNodeId, DpNode> nodes_;
   IndexVec<DpArcId, DpArc> arcs_;
   IndexVec<DpNodeId, bool> node_alive_;
   IndexVec<DpArcId, bool> arc_alive_;
+  IndexVec<DpNodeId, PoolSpan> in_span_;
+  IndexVec<DpNodeId, PoolSpan> out_span_;
+  IndexVec<DpArcId, PoolSpan> step_span_;
+  std::vector<DpArcId> arc_pool_;
+  std::vector<int> step_pool_;
   std::size_t alive_nodes_ = 0;
   std::size_t alive_arcs_ = 0;
 };

@@ -143,6 +143,9 @@ Etpn build_etpn(const dfg::Dfg& g, const sched::Schedule& s, const Binding& b,
   for_each_transfer(g, s, b, e, [&](DpNodeId from, DpNodeId to, int port, int step) {
     dp.add_transfer(from, to, port, step);
   });
+  // Squeeze incremental-growth slack out of the pools so a fresh build's
+  // layout is the canonical dense one (spans in id order, cap == len).
+  dp.compact_pools();
 
   // --- control part ---------------------------------------------------------
   build_control(e, g, s.length(), options);
@@ -154,21 +157,21 @@ void refresh_etpn_steps(Etpn& e, const dfg::Dfg& g, const sched::Schedule& s,
   HLTS_REQUIRE(s.num_ops() == g.num_ops(), "schedule does not match DFG");
   DataPath& dp = e.data_path;
   for (DpArcId a : dp.arc_ids()) {
-    if (dp.alive(a)) dp.arc(a).steps.clear();
+    if (dp.alive(a)) dp.clear_steps(a);
   }
   for_each_transfer(g, s, b, e, [&](DpNodeId from, DpNodeId to, int port, int step) {
-    for (DpArcId a : dp.node(from).out_arcs) {
-      DpArc& arc = dp.arc(a);
+    for (DpArcId a : dp.out_arcs(from)) {
+      const DpArc& arc = dp.arc(a);
       if (arc.to == to && arc.to_port == port) {
-        if (!std::binary_search(arc.steps.begin(), arc.steps.end(), step)) {
-          arc.steps.insert(
-              std::upper_bound(arc.steps.begin(), arc.steps.end(), step), step);
-        }
+        dp.insert_step(a, step);
         return;
       }
     }
     HLTS_REQUIRE(false, "refresh_etpn_steps: transfer has no arc");
   });
+  // Re-stamping can relocate step spans to the tail; restore the dense
+  // canonical layout (this is the commit path, never the trial hot path).
+  dp.compact_pools();
   build_control(e, g, s.length(), options);
 }
 

@@ -10,31 +10,44 @@ namespace {
 
 /// Sorted-unique union of two sorted-unique step sets -- exactly the result
 /// a fresh build's repeated add_transfer insertions would accumulate.
-std::vector<int> union_steps(const std::vector<int>& a, const std::vector<int>& b) {
-  std::vector<int> out;
+/// Writes into an arena-backed buffer (cleared first).
+void union_steps(util::Span<int> a, util::Span<int> b,
+                 util::PodVec<int>& out) {
+  out.clear();
   out.reserve(a.size() + b.size());
-  std::set_union(a.begin(), a.end(), b.begin(), b.end(), std::back_inserter(out));
-  return out;
-}
-
-void erase_arc(std::vector<DpArcId>& list, DpArcId a) {
-  auto it = std::find(list.begin(), list.end(), a);
-  HLTS_REQUIRE(it != list.end(), "merge patch: arc missing from endpoint list");
-  list.erase(it);
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      out.push_back(a[i++]);
+    } else if (b[j] < a[i]) {
+      out.push_back(b[j++]);
+    } else {
+      out.push_back(a[i++]);
+      ++j;
+    }
+  }
+  while (i < a.size()) out.push_back(a[i++]);
+  while (j < b.size()) out.push_back(b[j++]);
 }
 
 }  // namespace
 
 std::size_t MergePatch::approx_bytes() const {
   std::size_t bytes = sizeof(MergePatch);
-  bytes += saved_arcs.size() * (sizeof(ArcState) + 4 * sizeof(int));
-  for (const auto& [node, list] : saved_in_lists) bytes += list.size() * sizeof(DpArcId);
-  for (const auto& [node, list] : saved_out_lists) bytes += list.size() * sizeof(DpArcId);
+  bytes += saved_arcs.size() * sizeof(ArcState);
+  bytes += saved_nodes.size() * sizeof(NodeState);
+  // The saved spans pin their pool windows (and the rewritten tail mirrors
+  // them), so count the spanned payload too.
+  for (const ArcState& st : saved_arcs) bytes += st.steps.len * sizeof(int);
+  for (const NodeState& st : saved_nodes) {
+    bytes += (st.in.len + st.out.len) * sizeof(DpArcId);
+  }
   return bytes;
 }
 
-MergePatch apply_merge_patch(DataPath& dp, DpNodeId into, DpNodeId from,
-                             const std::string* new_into_name) {
+MergePatch apply_merge_patch(DataPath& dp, util::Arena& arena, DpNodeId into,
+                             DpNodeId from, const std::string* new_into_name) {
   HLTS_REQUIRE(into != from, "merge patch: self-merge");
   HLTS_REQUIRE(dp.alive(into) && dp.alive(from), "merge patch: dead endpoint");
   HLTS_REQUIRE(dp.node(into).kind == dp.node(from).kind,
@@ -46,105 +59,144 @@ MergePatch apply_merge_patch(DataPath& dp, DpNodeId into, DpNodeId from,
   MergePatch patch;
   patch.into = into;
   patch.from = from;
-  patch.old_into_name = dp.node(into).name;
+  patch.saved_arcs.bind(arena);
+  patch.saved_nodes.bind(arena);
+  patch.arc_pool_mark = dp.arc_pool_size();
+  patch.step_pool_mark = dp.step_pool_size();
+  if (new_into_name != nullptr) {
+    patch.old_into_name = dp.node(into).name;
+    patch.renamed = true;
+  }
 
   // The touched neighbourhood: every arc incident to either endpoint (any of
   // them can be redirected, absorb steps, or be killed by duplicate
   // collapse), and every node incident to one of those arcs (its adjacency
   // list can lose a dead arc).
-  std::vector<DpArcId> touched_arcs;
+  util::PodVec<DpArcId> touched_arcs(arena);
   auto collect = [&](DpNodeId n) {
-    const DpNode& node = dp.node(n);
-    touched_arcs.insert(touched_arcs.end(), node.in_arcs.begin(), node.in_arcs.end());
-    touched_arcs.insert(touched_arcs.end(), node.out_arcs.begin(), node.out_arcs.end());
+    const util::Span<DpArcId> in = dp.in_arcs(n);
+    const util::Span<DpArcId> out = dp.out_arcs(n);
+    touched_arcs.append(in.data(), in.size());
+    touched_arcs.append(out.data(), out.size());
   };
   collect(into);
   collect(from);
   std::sort(touched_arcs.begin(), touched_arcs.end());
-  touched_arcs.erase(std::unique(touched_arcs.begin(), touched_arcs.end()),
-                     touched_arcs.end());
+  touched_arcs.resize_down(
+      std::unique(touched_arcs.begin(), touched_arcs.end()) -
+      touched_arcs.begin());
 
-  std::vector<DpNodeId> touched_nodes{into, from};
+  util::PodVec<DpNodeId> touched_nodes(arena);
+  touched_nodes.push_back(into);
+  touched_nodes.push_back(from);
   for (DpArcId a : touched_arcs) {
     touched_nodes.push_back(dp.arc(a).from);
     touched_nodes.push_back(dp.arc(a).to);
   }
   std::sort(touched_nodes.begin(), touched_nodes.end());
-  touched_nodes.erase(std::unique(touched_nodes.begin(), touched_nodes.end()),
-                      touched_nodes.end());
+  touched_nodes.resize_down(
+      std::unique(touched_nodes.begin(), touched_nodes.end()) -
+      touched_nodes.begin());
 
   patch.saved_arcs.reserve(touched_arcs.size());
   for (DpArcId a : touched_arcs) {
     const DpArc& arc = dp.arc(a);
-    patch.saved_arcs.push_back({a, arc.from, arc.to, arc.steps, dp.alive(a)});
+    patch.saved_arcs.push_back(
+        {a, arc.from, arc.to, dp.step_list_span(a), dp.alive(a)});
   }
-  patch.saved_in_lists.reserve(touched_nodes.size());
-  patch.saved_out_lists.reserve(touched_nodes.size());
+  patch.saved_nodes.reserve(touched_nodes.size());
   for (DpNodeId n : touched_nodes) {
-    patch.saved_in_lists.emplace_back(n, dp.node(n).in_arcs);
-    patch.saved_out_lists.emplace_back(n, dp.node(n).out_arcs);
+    patch.saved_nodes.push_back({n, dp.in_list_span(n), dp.out_list_span(n)});
   }
 
   // --- mutate ---------------------------------------------------------------
-  // Snapshots above are complete, so any failure below can roll the graph
-  // back to its pre-call state (set_alive is idempotent; revert restores the
-  // saved lists verbatim), giving the strong exception guarantee.
+  // Snapshots above are complete and every mutation below either edits POD
+  // fields captured in them or appends above the pool marks, so any failure
+  // can roll the graph back to its pre-call state (set_alive is idempotent;
+  // revert restores the saved descriptors and truncates the pools), giving
+  // the strong exception guarantee.
   try {
-  // 1. Redirect every arc of `from` to `into`.
-  DpNode& from_node = dp.node(from);
-  DpNode& into_node = dp.node(into);
-  for (DpArcId a : from_node.in_arcs) dp.arc(a).to = into;
-  for (DpArcId a : from_node.out_arcs) dp.arc(a).from = into;
+    // 1. Redirect every arc of `from` to `into` (field edits; no pool moves).
+    for (DpArcId a : dp.in_arcs(from)) dp.arc(a).to = into;
+    for (DpArcId a : dp.out_arcs(from)) dp.arc(a).from = into;
 
-  // 2. Splice the lists and restore the ascending-id invariant.
-  into_node.in_arcs.insert(into_node.in_arcs.end(), from_node.in_arcs.begin(),
-                           from_node.in_arcs.end());
-  into_node.out_arcs.insert(into_node.out_arcs.end(), from_node.out_arcs.begin(),
-                            from_node.out_arcs.end());
-  from_node.in_arcs.clear();
-  from_node.out_arcs.clear();
-  std::sort(into_node.in_arcs.begin(), into_node.in_arcs.end());
-  std::sort(into_node.out_arcs.begin(), into_node.out_arcs.end());
+    // 2. Splice both endpoints' lists into scratch and restore the
+    // ascending-id invariant.  `from` keeps empty lists from here on.
+    util::PodVec<DpArcId> merged_in(arena);
+    util::PodVec<DpArcId> merged_out(arena);
+    auto splice = [](util::PodVec<DpArcId>& dst, util::Span<DpArcId> a,
+                     util::Span<DpArcId> b) {
+      dst.reserve(a.size() + b.size());
+      dst.append(a.data(), a.size());
+      dst.append(b.data(), b.size());
+      std::sort(dst.begin(), dst.end());
+    };
+    splice(merged_in, dp.in_arcs(into), dp.in_arcs(from));
+    splice(merged_out, dp.out_arcs(into), dp.out_arcs(from));
+    dp.set_in_list_span(from, PoolSpan{});
+    dp.set_out_list_span(from, PoolSpan{});
 
-  // 3. Collapse duplicates.  Lists are ascending, so the first arc seen for
-  // a (peer, port) key is the min-id survivor; a later collision absorbs its
-  // steps into the survivor and dies.  (No module-module or register-
-  // register arcs exist, so a merger never creates self-arcs, and duplicates
-  // only ever pair one redirected arc with one pre-existing arc.)
-  auto dedup = [&](std::vector<DpArcId>& list, bool incoming) {
-    std::vector<DpArcId> kept;
-    kept.reserve(list.size());
-    for (DpArcId a : list) {
-      DpArc& arc = dp.arc(a);
-      const DpNodeId peer = incoming ? arc.from : arc.to;
-      DpArcId winner = DpArcId::invalid();
-      for (DpArcId k : kept) {
-        const DpArc& karc = dp.arc(k);
-        if ((incoming ? karc.from : karc.to) == peer && karc.to_port == arc.to_port) {
-          winner = k;
-          break;
+    // 3. Collapse duplicates.  Lists are ascending, so the first arc seen
+    // for a (peer, port) key is the min-id survivor; a later collision
+    // absorbs its steps into the survivor and dies.  (No module-module or
+    // register-register arcs exist, so a merger never creates self-arcs, and
+    // duplicates only ever pair one redirected arc with one pre-existing
+    // arc.)
+    util::PodVec<DpArcId> kept(arena);
+    util::PodVec<int> union_buf(arena);
+    util::PodVec<DpArcId> peer_buf(arena);
+    auto dedup = [&](util::PodVec<DpArcId>& list, bool incoming) {
+      kept.clear();
+      for (std::size_t idx = 0; idx < list.size(); ++idx) {
+        const DpArcId a = list[idx];
+        const DpArc arc = dp.arc(a);
+        const DpNodeId peer = incoming ? arc.from : arc.to;
+        DpArcId winner = DpArcId::invalid();
+        for (DpArcId k : kept) {
+          const DpArc& karc = dp.arc(k);
+          if ((incoming ? karc.from : karc.to) == peer &&
+              karc.to_port == arc.to_port) {
+            winner = k;
+            break;
+          }
         }
+        if (!winner.valid()) {
+          kept.push_back(a);
+          continue;
+        }
+        union_steps(dp.steps(winner), dp.steps(a), union_buf);
+        dp.rewrite_steps(winner, union_buf.data(),
+                         static_cast<std::uint32_t>(union_buf.size()));
+        dp.set_alive(a, false);
+        // Detach the loser from its *other* endpoint's list; the survivor's
+        // own list is rewritten from `kept` after the pass.
+        peer_buf.clear();
+        const util::Span<DpArcId> plist =
+            incoming ? dp.out_arcs(peer) : dp.in_arcs(peer);
+        for (DpArcId id : plist) {
+          if (id != a) peer_buf.push_back(id);
+        }
+        HLTS_REQUIRE(peer_buf.size() + 1 == plist.size(),
+                     "merge patch: arc missing from endpoint list");
+        const std::uint32_t len = static_cast<std::uint32_t>(peer_buf.size());
+        if (incoming) {
+          dp.rewrite_out_list(peer, peer_buf.data(), len);
+        } else {
+          dp.rewrite_in_list(peer, peer_buf.data(), len);
+        }
+        ++patch.arcs_deduped;
       }
-      if (!winner.valid()) {
-        kept.push_back(a);
-        continue;
-      }
-      DpArc& warc = dp.arc(winner);
-      warc.steps = union_steps(warc.steps, arc.steps);
-      dp.set_alive(a, false);
-      // Detach the loser from its *other* endpoint's list; `list` itself is
-      // replaced by `kept` below.
-      erase_arc(incoming ? dp.node(peer).out_arcs : dp.node(peer).in_arcs, a);
-      ++patch.arcs_deduped;
-    }
-    list = std::move(kept);
-  };
-  dedup(into_node.in_arcs, /*incoming=*/true);
-  dedup(into_node.out_arcs, /*incoming=*/false);
+    };
+    dedup(merged_in, /*incoming=*/true);
+    dp.rewrite_in_list(into, kept.data(),
+                       static_cast<std::uint32_t>(kept.size()));
+    dedup(merged_out, /*incoming=*/false);
+    dp.rewrite_out_list(into, kept.data(),
+                        static_cast<std::uint32_t>(kept.size()));
 
-  // 4. Retire `from` and take over the merged label.
-  dp.set_alive(from, false);
-  if (new_into_name != nullptr) into_node.name = *new_into_name;
+    // 4. Retire `from` and take over the merged label.
+    dp.set_alive(from, false);
+    if (new_into_name != nullptr) dp.node(into).name = *new_into_name;
   } catch (...) {
     revert_merge_patch(dp, patch);
     throw;
@@ -153,16 +205,20 @@ MergePatch apply_merge_patch(DataPath& dp, DpNodeId into, DpNodeId from,
 }
 
 void revert_merge_patch(DataPath& dp, const MergePatch& patch) {
-  dp.node(patch.into).name = patch.old_into_name;
+  if (patch.renamed) dp.node(patch.into).name = patch.old_into_name;
   for (const MergePatch::ArcState& st : patch.saved_arcs) {
     DpArc& arc = dp.arc(st.id);
     arc.from = st.from;
     arc.to = st.to;
-    arc.steps = st.steps;
+    dp.set_step_list_span(st.id, st.steps);
     dp.set_alive(st.id, st.alive);
   }
-  for (const auto& [n, list] : patch.saved_in_lists) dp.node(n).in_arcs = list;
-  for (const auto& [n, list] : patch.saved_out_lists) dp.node(n).out_arcs = list;
+  for (const MergePatch::NodeState& st : patch.saved_nodes) {
+    dp.set_in_list_span(st.id, st.in);
+    dp.set_out_list_span(st.id, st.out);
+  }
+  dp.truncate_arc_pool(patch.arc_pool_mark);
+  dp.truncate_step_pool(patch.step_pool_mark);
   dp.set_alive(patch.from, true);
 }
 

@@ -8,6 +8,17 @@
 // bit-for-bit, which is what lets one shared graph serve many trial
 // evaluations.
 //
+// Undo-log mechanics under the pooled (SoA) DataPath layout: the patcher
+// records the two pool high-water marks, saves only POD state -- per-arc
+// {endpoints, aliveness, step PoolSpan} and per-node {in/out PoolSpan} for
+// the touched neighbourhood -- into arena-carved arrays, then rewrites every
+// changed list/step-set as a fresh span at the pool tail.  Data below the
+// marks is never overwritten, so revert = restore the saved descriptors and
+// truncate the pools back to the marks.  With a warmed arena and pool slack,
+// an apply/revert cycle performs zero heap allocations (bench/micro_perf
+// counts this).  Stacked patches revert in LIFO order: an outer patch's
+// saved spans all point below an inner patch's marks.
+//
 // Bit-identity contract (relied on by cost estimation and testability):
 // a patched graph is *indistinguishable by iteration order* from a graph
 // freshly built for the merged binding.  Three invariants make this hold:
@@ -27,45 +38,58 @@
 #pragma once
 
 #include <string>
-#include <utility>
-#include <vector>
 
 #include "etpn/etpn.hpp"
+#include "util/arena.hpp"
 
 namespace hlts::etpn {
 
-/// Exact undo log for one in-place merger; see revert_merge_patch.
+/// Exact undo log for one in-place merger; see revert_merge_patch.  Holds
+/// only POD descriptors in arena storage -- the arena (and thus the patch's
+/// memory) must outlive the patch and not be reset before its revert.
 struct MergePatch {
   DpNodeId into;
   DpNodeId from;
+  /// Survivor's pre-patch name; saved only when the patch renamed it.
   std::string old_into_name;
+  bool renamed = false;
 
   struct ArcState {
     DpArcId id;
     DpNodeId from;
     DpNodeId to;
-    std::vector<int> steps;
+    PoolSpan steps;
     bool alive = true;
   };
-  std::vector<ArcState> saved_arcs;
-  /// Pre-patch adjacency lists of every node in the merger's neighbourhood.
-  std::vector<std::pair<DpNodeId, std::vector<DpArcId>>> saved_in_lists;
-  std::vector<std::pair<DpNodeId, std::vector<DpArcId>>> saved_out_lists;
+  struct NodeState {
+    DpNodeId id;
+    PoolSpan in;
+    PoolSpan out;
+  };
+  util::PodVec<ArcState> saved_arcs;
+  /// Pre-patch adjacency spans of every node in the merger's neighbourhood.
+  util::PodVec<NodeState> saved_nodes;
+  /// Pool sizes at apply time; revert truncates back to these.
+  std::size_t arc_pool_mark = 0;
+  std::size_t step_pool_mark = 0;
 
   /// Number of arcs killed by duplicate-collapse (the mux savings of the
   /// merger); alive arc count drops by exactly this much.
   int arcs_deduped = 0;
 
-  /// Rough transient footprint of this patch (saved arcs + lists), used by
-  /// the memory-budget accounting in core/synthesis.
+  /// Rough transient footprint of this patch (saved descriptors + the pool
+  /// tail it grew), used by the memory-budget accounting in core/synthesis.
   [[nodiscard]] std::size_t approx_bytes() const;
 };
 
 /// Fuses data-path node `from` into `into` in place (both must be alive and
-/// of the same kind: two Modules or two Registers).  `new_into_name`, when
-/// non-null, renames the survivor to the merged binding's label so the
-/// patched graph matches a fresh build's node names.
-MergePatch apply_merge_patch(DataPath& dp, DpNodeId into, DpNodeId from,
+/// of the same kind: two Modules or two Registers).  `arena` backs the undo
+/// log and the patcher's internal worklists; reset it only after the patch
+/// is reverted or abandoned.  `new_into_name`, when non-null, renames the
+/// survivor to the merged binding's label so the patched graph matches a
+/// fresh build's node names.
+MergePatch apply_merge_patch(DataPath& dp, util::Arena& arena, DpNodeId into,
+                             DpNodeId from,
                              const std::string* new_into_name = nullptr);
 
 /// Restores the graph to its exact pre-patch state.  Patches must be

@@ -50,12 +50,12 @@ std::vector<dfg::OpId> lifetime_ops(const dfg::Dfg& g, dfg::VarId v) {
 void module_reg_sets(const etpn::DataPath& dp, etpn::DpNodeId m,
                      std::set<std::uint32_t>& reads,
                      std::set<std::uint32_t>& writes) {
-  for (etpn::DpArcId a : dp.node(m).in_arcs) {
+  for (etpn::DpArcId a : dp.in_arcs(m)) {
     if (dp.node(dp.arc(a).from).kind == etpn::DpNodeKind::Register) {
       reads.insert(dp.arc(a).from.value());
     }
   }
-  for (etpn::DpArcId a : dp.node(m).out_arcs) {
+  for (etpn::DpArcId a : dp.out_arcs(m)) {
     if (dp.node(dp.arc(a).to).kind == etpn::DpNodeKind::Register) {
       writes.insert(dp.arc(a).to.value());
     }

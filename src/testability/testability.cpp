@@ -106,17 +106,66 @@ TestabilityAnalysis::TestabilityAnalysis(const etpn::DataPath& dp) : dp_(dp) {
   co_.assign(dp.num_arcs(), Measure{});
   cc_hist_.assign(dp.num_arcs(), {});
   co_hist_.assign(dp.num_arcs(), {});
+  hist_pool_.reserve(dp.num_arcs() * 4);
   propagate_controllability();
   propagate_observability();
 }
 
-Measure TestabilityAnalysis::history_at(const History& h, int round) {
+Measure TestabilityAnalysis::history_at(const HistRef& h, int round) const {
   Measure v{};
-  for (const auto& [r, m] : h) {
-    if (r > round) break;
-    v = m;
+  for (std::int32_t i = h.head; i >= 0;) {
+    const HistEntry& e = hist_pool_[static_cast<std::size_t>(i)];
+    if (e.round > round) break;
+    v = e.m;
+    i = e.next;
   }
   return v;
+}
+
+void TestabilityAnalysis::hist_push(HistRef& h, int round, const Measure& m) {
+  const std::int32_t idx = static_cast<std::int32_t>(hist_pool_.size());
+  hist_pool_.push_back(HistEntry{round, m, -1});
+  if (h.tail >= 0) {
+    hist_pool_[static_cast<std::size_t>(h.tail)].next = idx;
+  } else {
+    h.head = idx;
+  }
+  h.tail = idx;
+  ++h.len;
+}
+
+void TestabilityAnalysis::hist_clear(HistRef& h) {
+  hist_dead_ += h.len;
+  h = HistRef{};
+}
+
+void TestabilityAnalysis::maybe_compact_histories() {
+  if (hist_dead_ * 2 <= static_cast<std::int64_t>(hist_pool_.size())) return;
+  hist_scratch_.clear();
+  hist_scratch_.reserve(hist_pool_.size());
+  auto rebuild = [&](HistRef& h) {
+    HistRef out;
+    for (std::int32_t i = h.head; i >= 0;) {
+      const HistEntry& e = hist_pool_[static_cast<std::size_t>(i)];
+      const std::int32_t idx = static_cast<std::int32_t>(hist_scratch_.size());
+      hist_scratch_.push_back(HistEntry{e.round, e.m, -1});
+      if (out.tail >= 0) {
+        hist_scratch_[static_cast<std::size_t>(out.tail)].next = idx;
+      } else {
+        out.head = idx;
+      }
+      out.tail = idx;
+      ++out.len;
+      i = e.next;
+    }
+    h = out;
+  };
+  for (etpn::DpArcId a : dp_.arc_ids()) {
+    rebuild(cc_hist_[a]);
+    rebuild(co_hist_[a]);
+  }
+  hist_pool_.swap(hist_scratch_);
+  hist_dead_ = 0;
 }
 
 namespace {
@@ -146,7 +195,7 @@ Measure TestabilityAnalysis::controllability_of(etpn::DpNodeId n) const {
       return {1.0, 0.0};
     case DpNodeKind::Register: {
       // Load through the best input line; one more clocked stage.
-      Measure best = best_over(node.in_arcs, cc_, Measure{});
+      Measure best = best_over(dp_.in_arcs(n), cc_, Measure{});
       return {best.comb, best.seq + 1.0};
     }
     case DpNodeKind::Module: {
@@ -157,7 +206,7 @@ Measure TestabilityAnalysis::controllability_of(etpn::DpNodeId n) const {
       for (int port = 0; port < arity; ++port) {
         Measure best{};
         bool any = false;
-        for (DpArcId a : node.in_arcs) {
+        for (DpArcId a : dp_.in_arcs(n)) {
           if (dp_.arc(a).to_port != port) continue;
           if (!any || cc_[a].better_than(best)) {
             best = cc_[a];
@@ -185,21 +234,21 @@ Measure TestabilityAnalysis::observability_of(etpn::DpNodeId n,
     case DpNodeKind::OutPort:
       return {1.0, 0.0};
     case DpNodeKind::Register: {
-      Measure best = best_over(node.out_arcs, co_, Measure{});
+      Measure best = best_over(dp_.out_arcs(n), co_, Measure{});
       return {best.comb, best.seq + 1.0};
     }
     case DpNodeKind::Module: {
       // Observe through the best output line; the other operand must
       // be set to a non-masking value, so its controllability scales
       // the result.
-      Measure out_best = best_over(node.out_arcs, co_, Measure{});
+      Measure out_best = best_over(dp_.out_arcs(n), co_, Measure{});
       double side = 1.0;
       const int arity = dp_.num_ports(n);
       if (arity > 1) {
         const int other = 1 - dp_.arc(in).to_port;
         Measure best{};
         bool any = false;
-        for (DpArcId a : node.in_arcs) {
+        for (DpArcId a : dp_.in_arcs(n)) {
           if (dp_.arc(a).to_port != other) continue;
           if (!any || cc_[a].better_than(best)) {
             best = cc_[a];
@@ -231,12 +280,12 @@ void TestabilityAnalysis::propagate_controllability() {
       if (node.kind == DpNodeKind::OutPort) continue;  // no output lines
       ++visits;
       const Measure out = controllability_of(n);
-      for (DpArcId a : node.out_arcs) {
+      for (DpArcId a : dp_.out_arcs(n)) {
         // Monotone update: only improve, so the fixpoint is reached from
         // below and loops cannot oscillate.
         if (should_replace(out, cc_[a])) {
           cc_[a] = out;
-          cc_hist_[a].push_back({round, out});
+          hist_push(cc_hist_[a], round, out);
           changed = true;
         }
       }
@@ -260,11 +309,11 @@ void TestabilityAnalysis::propagate_observability() {
       if (node.kind == DpNodeKind::InPort) continue;  // no input lines
       ++visits;
       // Compute the observability each *input line* of `n` inherits.
-      for (DpArcId in : node.in_arcs) {
+      for (DpArcId in : dp_.in_arcs(n)) {
         const Measure val = observability_of(n, in);
         if (should_replace(val, co_[in])) {
           co_[in] = val;
-          co_hist_[in].push_back({round, val});
+          hist_push(co_hist_[in], round, val);
           changed = true;
         }
       }
@@ -281,38 +330,39 @@ TestabilityAnalysis::UpdateStats TestabilityAnalysis::update(
   using etpn::DpNodeKind;
 
   UpdateStats stats;
-  std::vector<bool> cc_dirty(dp_.num_arcs(), false);
-  std::vector<bool> in_cone(dp_.num_nodes(), false);
+  maybe_compact_histories();
+  cc_dirty_.assign(dp_.num_arcs(), 0);
+  in_cone_.assign(dp_.num_nodes(), 0);
 
   // Forward cone: every out-arc of a changed node is dirty; a node with a
   // dirty in-arc has dirty out-arcs, transitively (loops close the cone).
-  std::vector<DpNodeId> worklist;
-  auto enqueue = [&](DpNodeId n, std::vector<bool>& seen) {
+  worklist_.clear();
+  auto enqueue = [&](DpNodeId n, std::vector<std::uint8_t>& seen) {
     if (seen[n.index()]) return;
-    seen[n.index()] = true;
-    worklist.push_back(n);
+    seen[n.index()] = 1;
+    worklist_.push_back(n);
   };
   for (DpNodeId n : changed_nodes) {
-    if (dp_.alive(n)) enqueue(n, in_cone);
+    if (dp_.alive(n)) enqueue(n, in_cone_);
   }
-  std::vector<DpNodeId> cc_nodes;
-  while (!worklist.empty()) {
-    DpNodeId n = worklist.back();
-    worklist.pop_back();
-    cc_nodes.push_back(n);
-    for (DpArcId a : dp_.node(n).out_arcs) {
-      if (!cc_dirty[a.index()]) {
-        cc_dirty[a.index()] = true;
+  cc_nodes_.clear();
+  while (!worklist_.empty()) {
+    DpNodeId n = worklist_.back();
+    worklist_.pop_back();
+    cc_nodes_.push_back(n);
+    for (DpArcId a : dp_.out_arcs(n)) {
+      if (!cc_dirty_[a.index()]) {
+        cc_dirty_[a.index()] = 1;
         ++stats.cc_dirty_arcs;
       }
-      enqueue(dp_.arc(a).to, in_cone);
+      enqueue(dp_.arc(a).to, in_cone_);
     }
   }
-  std::sort(cc_nodes.begin(), cc_nodes.end());
+  std::sort(cc_nodes_.begin(), cc_nodes_.end());
   for (DpArcId a : dp_.arc_ids()) {
-    if (cc_dirty[a.index()]) {
+    if (cc_dirty_[a.index()]) {
       cc_[a] = Measure{};
-      cc_hist_[a].clear();
+      hist_clear(cc_hist_[a]);
     }
   }
   // Exact replay of the from-scratch iteration, restricted to the cone:
@@ -325,30 +375,30 @@ TestabilityAnalysis::UpdateStats TestabilityAnalysis::update(
   // transfer evaluation sees bit-identical operands and the cone converges
   // to the bit-identical fixpoint.
   int cc_frontier_rounds = 0;
-  for (DpNodeId n : cc_nodes) {
-    for (DpArcId a : dp_.node(n).in_arcs) {
-      if (!cc_dirty[a.index()] && !cc_hist_[a].empty()) {
+  for (DpNodeId n : cc_nodes_) {
+    for (DpArcId a : dp_.in_arcs(n)) {
+      if (!cc_dirty_[a.index()] && !hist_empty(cc_hist_[a])) {
         cc_frontier_rounds =
-            std::max(cc_frontier_rounds, cc_hist_[a].back().first);
+            std::max(cc_frontier_rounds, hist_last_round(cc_hist_[a]));
       }
     }
   }
   for (int round = 0; round < kMaxRounds; ++round) {
     bool changed = false;
-    for (DpNodeId n : cc_nodes) {
+    for (DpNodeId n : cc_nodes_) {
       const etpn::DpNode& node = dp_.node(n);
       if (node.kind == DpNodeKind::OutPort) continue;
       ++stats.node_visits;
-      for (DpArcId a : node.in_arcs) {
-        if (cc_dirty[a.index()]) continue;  // live Gauss-Seidel value
+      for (DpArcId a : dp_.in_arcs(n)) {
+        if (cc_dirty_[a.index()]) continue;  // live Gauss-Seidel value
         const int eff = dp_.arc(a).from < n ? round : round - 1;
         cc_[a] = history_at(cc_hist_[a], eff);
       }
       const Measure out = controllability_of(n);
-      for (DpArcId a : node.out_arcs) {
+      for (DpArcId a : dp_.out_arcs(n)) {
         if (should_replace(out, cc_[a])) {
           cc_[a] = out;
-          cc_hist_[a].push_back({round, out});
+          hist_push(cc_hist_[a], round, out);
           changed = true;
         }
       }
@@ -359,9 +409,9 @@ TestabilityAnalysis::UpdateStats TestabilityAnalysis::update(
     if (!changed && round > cc_frontier_rounds) break;
   }
   // Restore the materialized frontier arcs to their converged values.
-  for (DpNodeId n : cc_nodes) {
-    for (DpArcId a : dp_.node(n).in_arcs) {
-      if (!cc_dirty[a.index()]) cc_[a] = history_at(cc_hist_[a], kMaxRounds);
+  for (DpNodeId n : cc_nodes_) {
+    for (DpArcId a : dp_.in_arcs(n)) {
+      if (!cc_dirty_[a.index()]) cc_[a] = history_at(cc_hist_[a], kMaxRounds);
     }
   }
 
@@ -369,32 +419,32 @@ TestabilityAnalysis::UpdateStats TestabilityAnalysis::update(
   // every cc-dirty arc (module input-line observability reads sibling-port
   // controllability).  Every in-arc of a cone node is dirty; its source
   // joins the cone, transitively.
-  std::vector<bool> co_dirty(dp_.num_arcs(), false);
-  std::vector<bool> in_bcone(dp_.num_nodes(), false);
+  co_dirty_.assign(dp_.num_arcs(), 0);
+  in_bcone_.assign(dp_.num_nodes(), 0);
   for (DpNodeId n : changed_nodes) {
-    if (dp_.alive(n)) enqueue(n, in_bcone);
+    if (dp_.alive(n)) enqueue(n, in_bcone_);
   }
   for (DpArcId a : dp_.arc_ids()) {
-    if (cc_dirty[a.index()] && dp_.alive(a)) enqueue(dp_.arc(a).to, in_bcone);
+    if (cc_dirty_[a.index()] && dp_.alive(a)) enqueue(dp_.arc(a).to, in_bcone_);
   }
-  std::vector<DpNodeId> co_nodes;
-  while (!worklist.empty()) {
-    DpNodeId n = worklist.back();
-    worklist.pop_back();
-    co_nodes.push_back(n);
-    for (DpArcId a : dp_.node(n).in_arcs) {
-      if (!co_dirty[a.index()]) {
-        co_dirty[a.index()] = true;
+  co_nodes_.clear();
+  while (!worklist_.empty()) {
+    DpNodeId n = worklist_.back();
+    worklist_.pop_back();
+    co_nodes_.push_back(n);
+    for (DpArcId a : dp_.in_arcs(n)) {
+      if (!co_dirty_[a.index()]) {
+        co_dirty_[a.index()] = 1;
         ++stats.co_dirty_arcs;
       }
-      enqueue(dp_.arc(a).from, in_bcone);
+      enqueue(dp_.arc(a).from, in_bcone_);
     }
   }
-  std::sort(co_nodes.begin(), co_nodes.end());
+  std::sort(co_nodes_.begin(), co_nodes_.end());
   for (DpArcId a : dp_.arc_ids()) {
-    if (co_dirty[a.index()]) {
+    if (co_dirty_[a.index()]) {
       co_[a] = Measure{};
-      co_hist_[a].clear();
+      hist_clear(co_hist_[a]);
     }
   }
   // Exact replay, as above.  A co arc is written when its *destination*
@@ -402,39 +452,39 @@ TestabilityAnalysis::UpdateStats TestabilityAnalysis::update(
   // reads see final controllability in the scratch run too (observability
   // propagates only after controllability has fully converged).
   int co_frontier_rounds = 0;
-  for (DpNodeId n : co_nodes) {
-    for (DpArcId a : dp_.node(n).out_arcs) {
-      if (!co_dirty[a.index()] && !co_hist_[a].empty()) {
+  for (DpNodeId n : co_nodes_) {
+    for (DpArcId a : dp_.out_arcs(n)) {
+      if (!co_dirty_[a.index()] && !hist_empty(co_hist_[a])) {
         co_frontier_rounds =
-            std::max(co_frontier_rounds, co_hist_[a].back().first);
+            std::max(co_frontier_rounds, hist_last_round(co_hist_[a]));
       }
     }
   }
   for (int round = 0; round < kMaxRounds; ++round) {
     bool changed = false;
-    for (DpNodeId n : co_nodes) {
+    for (DpNodeId n : co_nodes_) {
       const etpn::DpNode& node = dp_.node(n);
       if (node.kind == DpNodeKind::InPort) continue;
       ++stats.node_visits;
-      for (DpArcId a : node.out_arcs) {
-        if (co_dirty[a.index()]) continue;  // live Gauss-Seidel value
+      for (DpArcId a : dp_.out_arcs(n)) {
+        if (co_dirty_[a.index()]) continue;  // live Gauss-Seidel value
         const int eff = dp_.arc(a).to < n ? round : round - 1;
         co_[a] = history_at(co_hist_[a], eff);
       }
-      for (DpArcId in : node.in_arcs) {
+      for (DpArcId in : dp_.in_arcs(n)) {
         const Measure val = observability_of(n, in);
         if (should_replace(val, co_[in])) {
           co_[in] = val;
-          co_hist_[in].push_back({round, val});
+          hist_push(co_hist_[in], round, val);
           changed = true;
         }
       }
     }
     if (!changed && round > co_frontier_rounds) break;
   }
-  for (DpNodeId n : co_nodes) {
-    for (DpArcId a : dp_.node(n).out_arcs) {
-      if (!co_dirty[a.index()]) co_[a] = history_at(co_hist_[a], kMaxRounds);
+  for (DpNodeId n : co_nodes_) {
+    for (DpArcId a : dp_.out_arcs(n)) {
+      if (!co_dirty_[a.index()]) co_[a] = history_at(co_hist_[a], kMaxRounds);
     }
   }
 
@@ -444,15 +494,13 @@ TestabilityAnalysis::UpdateStats TestabilityAnalysis::update(
 }
 
 Measure TestabilityAnalysis::node_controllability(etpn::DpNodeId n) const {
-  const etpn::DpNode& node = dp_.node(n);
-  if (node.kind == etpn::DpNodeKind::InPort) return {1.0, 0.0};
-  return best_over(node.in_arcs, cc_, Measure{});
+  if (dp_.node(n).kind == etpn::DpNodeKind::InPort) return {1.0, 0.0};
+  return best_over(dp_.in_arcs(n), cc_, Measure{});
 }
 
 Measure TestabilityAnalysis::node_observability(etpn::DpNodeId n) const {
-  const etpn::DpNode& node = dp_.node(n);
-  if (node.kind == etpn::DpNodeKind::OutPort) return {1.0, 0.0};
-  return best_over(node.out_arcs, co_, Measure{});
+  if (dp_.node(n).kind == etpn::DpNodeKind::OutPort) return {1.0, 0.0};
+  return best_over(dp_.out_arcs(n), co_, Measure{});
 }
 
 double TestabilityAnalysis::balance_index() const {

@@ -111,10 +111,34 @@ class TestabilityAnalysis {
   /// or eps-plateau ties on data-path cycles resolve differently and the
   /// fixpoints drift apart in the last ulp.  Histories are tiny (an arc
   /// typically improves one to three times before converging).
-  using History = std::vector<std::pair<int, Measure>>;
+  ///
+  /// Storage: linked entries in one shared pool (hist_pool_) headed by a
+  /// per-arc HistRef instead of one heap vector per arc.  Appends are pool
+  /// push_backs, clears are O(1) dead-marking, and the pool compacts itself
+  /// once mostly dead, so a steady-state update() call performs no heap
+  /// allocations (bench/micro_perf counts this).
+  struct HistEntry {
+    int round;
+    Measure m;
+    std::int32_t next;  ///< pool index of the next entry; -1 terminates
+  };
+  struct HistRef {
+    std::int32_t head = -1;
+    std::int32_t tail = -1;
+    std::int32_t len = 0;
+  };
   /// Value an arc with history `h` holds at the end of `round` (bottom
   /// before its first assignment; negative rounds yield bottom).
-  [[nodiscard]] static Measure history_at(const History& h, int round);
+  [[nodiscard]] Measure history_at(const HistRef& h, int round) const;
+  void hist_push(HistRef& h, int round, const Measure& m);
+  void hist_clear(HistRef& h);
+  [[nodiscard]] bool hist_empty(const HistRef& h) const { return h.head < 0; }
+  /// Round of the last entry; `h` must be non-empty.
+  [[nodiscard]] int hist_last_round(const HistRef& h) const {
+    return hist_pool_[static_cast<std::size_t>(h.tail)].round;
+  }
+  /// Rebuilds the pool dense (dropping dead entries) when they dominate.
+  void maybe_compact_histories();
 
   void propagate_controllability();
   void propagate_observability();
@@ -128,8 +152,21 @@ class TestabilityAnalysis {
   const etpn::DataPath& dp_;
   IndexVec<etpn::DpArcId, Measure> cc_;
   IndexVec<etpn::DpArcId, Measure> co_;
-  IndexVec<etpn::DpArcId, History> cc_hist_;
-  IndexVec<etpn::DpArcId, History> co_hist_;
+  IndexVec<etpn::DpArcId, HistRef> cc_hist_;
+  IndexVec<etpn::DpArcId, HistRef> co_hist_;
+  std::vector<HistEntry> hist_pool_;
+  std::vector<HistEntry> hist_scratch_;  ///< compaction buffer, reused
+  std::int64_t hist_dead_ = 0;           ///< dead entries in hist_pool_
+
+  // update() scratch, reused across calls so the steady state allocates
+  // nothing (uint8_t, not vector<bool>, for memset-able assigns).
+  std::vector<std::uint8_t> cc_dirty_;
+  std::vector<std::uint8_t> co_dirty_;
+  std::vector<std::uint8_t> in_cone_;
+  std::vector<std::uint8_t> in_bcone_;
+  std::vector<etpn::DpNodeId> worklist_;
+  std::vector<etpn::DpNodeId> cc_nodes_;
+  std::vector<etpn::DpNodeId> co_nodes_;
 };
 
 }  // namespace hlts::testability

@@ -1,0 +1,183 @@
+// Bump-pointer arena for trial-scoped POD state.
+//
+// The per-trial hot path (etpn::apply_merge_patch's undo log, its internal
+// worklists, the rewritten adjacency spans) used to allocate dozens of
+// small node-level vectors per candidate merger.  An Arena turns all of
+// that into pointer bumps over a handful of retained blocks: reset() at a
+// trial boundary rewinds the pointers without freeing, so the steady-state
+// heap-allocation count of a trial is zero (bench/micro_perf counts it).
+//
+// Alignment contract: every carve is aligned to the requested alignment
+// (at least alignof(std::max_align_t) never exceeded -- allocate() rejects
+// stricter requests), and block bases come from operator new, so
+// arena-carved SoA blocks satisfy alignof(T) for every POD T stored in
+// them.  tests/test_layout.cpp audits this with alignof over the carve
+// types used by the patch path.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace hlts::util {
+
+class Arena {
+ public:
+  explicit Arena(std::size_t first_block_bytes = 16 * 1024)
+      : first_block_bytes_(first_block_bytes < 64 ? 64 : first_block_bytes) {}
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+  Arena(Arena&&) = default;
+  Arena& operator=(Arena&&) = default;
+
+  /// Carves `bytes` aligned to `align` (a power of two, at most
+  /// alignof(std::max_align_t)).  Memory is uninitialized and valid until
+  /// the next reset().
+  void* allocate(std::size_t bytes, std::size_t align) {
+    HLTS_REQUIRE(align != 0 && (align & (align - 1)) == 0 &&
+                     align <= alignof(std::max_align_t),
+                 "arena: unsupported alignment");
+    if (bytes == 0) bytes = 1;
+    while (current_ < blocks_.size()) {
+      Block& b = blocks_[current_];
+      const std::size_t base =
+          (b.used + align - 1) & ~static_cast<std::size_t>(align - 1);
+      if (base + bytes <= b.size) {
+        b.used = base + bytes;
+        return b.data.get() + base;
+      }
+      // This block is full for a request of this size; later allocations
+      // may still be served by fresh blocks (never rewind past reset()).
+      ++current_;
+    }
+    const std::size_t last = blocks_.empty() ? first_block_bytes_ / 2
+                                             : blocks_.back().size;
+    std::size_t size = last * 2;
+    if (size < bytes + align) size = bytes + align;
+    blocks_.push_back(Block{std::make_unique<std::byte[]>(size), size, 0});
+    current_ = blocks_.size() - 1;
+    Block& b = blocks_.back();
+    b.used = bytes;
+    return b.data.get();
+  }
+
+  template <typename T>
+  [[nodiscard]] T* alloc_array(std::size_t n) {
+    static_assert(std::is_trivially_copyable_v<T> &&
+                      std::is_trivially_destructible_v<T>,
+                  "arena only stores PODs");
+    return static_cast<T*>(allocate(n * sizeof(T), alignof(T)));
+  }
+
+  /// Rewinds every block; capacity is retained for the next generation.
+  /// All previously carved memory is invalidated.
+  void reset() {
+    for (Block& b : blocks_) b.used = 0;
+    current_ = 0;
+  }
+
+  [[nodiscard]] std::size_t bytes_used() const {
+    std::size_t n = 0;
+    for (const Block& b : blocks_) n += b.used;
+    return n;
+  }
+  [[nodiscard]] std::size_t bytes_reserved() const {
+    std::size_t n = 0;
+    for (const Block& b : blocks_) n += b.size;
+    return n;
+  }
+  [[nodiscard]] std::size_t num_blocks() const { return blocks_.size(); }
+
+ private:
+  struct Block {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size = 0;
+    std::size_t used = 0;
+  };
+  std::size_t first_block_bytes_;
+  std::vector<Block> blocks_;
+  std::size_t current_ = 0;
+};
+
+/// Minimal growable POD array carved from an Arena.  Growth relocates into
+/// a fresh carve (the old region is wasted until the arena resets), which
+/// is fine for trial-scoped scratch whose lifetime is one arena generation.
+/// Not owning: the arena must outlive the vector, and reset() invalidates
+/// its contents.
+template <typename T>
+class PodVec {
+  static_assert(std::is_trivially_copyable_v<T> &&
+                std::is_trivially_destructible_v<T>);
+
+ public:
+  PodVec() = default;
+  explicit PodVec(Arena& arena) : arena_(&arena) {}
+  PodVec(const PodVec&) = delete;
+  PodVec& operator=(const PodVec&) = delete;
+  PodVec(PodVec&& o) noexcept { *this = static_cast<PodVec&&>(o); }
+  PodVec& operator=(PodVec&& o) noexcept {
+    arena_ = o.arena_;
+    data_ = o.data_;
+    size_ = o.size_;
+    cap_ = o.cap_;
+    o.data_ = nullptr;
+    o.size_ = o.cap_ = 0;
+    return *this;
+  }
+
+  void bind(Arena& arena) { arena_ = &arena; }
+
+  void push_back(const T& v) {
+    if (size_ == cap_) grow(size_ + 1);
+    data_[size_++] = v;
+  }
+  void append(const T* src, std::size_t n) {
+    if (size_ + n > cap_) grow(size_ + n);
+    if (n != 0) std::memcpy(data_ + size_, src, n * sizeof(T));
+    size_ += n;
+  }
+  void reserve(std::size_t n) {
+    if (n > cap_) grow(n);
+  }
+  void clear() { size_ = 0; }
+  void resize_down(std::size_t n) {
+    HLTS_REQUIRE(n <= size_, "PodVec: resize_down grows");
+    size_ = n;
+  }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] T* data() { return data_; }
+  [[nodiscard]] const T* data() const { return data_; }
+  [[nodiscard]] T& operator[](std::size_t i) { return data_[i]; }
+  [[nodiscard]] const T& operator[](std::size_t i) const { return data_[i]; }
+  [[nodiscard]] T* begin() { return data_; }
+  [[nodiscard]] T* end() { return data_ + size_; }
+  [[nodiscard]] const T* begin() const { return data_; }
+  [[nodiscard]] const T* end() const { return data_ + size_; }
+  [[nodiscard]] T& back() { return data_[size_ - 1]; }
+
+ private:
+  void grow(std::size_t need) {
+    HLTS_REQUIRE(arena_ != nullptr, "PodVec: not bound to an arena");
+    std::size_t cap = cap_ == 0 ? 8 : cap_ * 2;
+    if (cap < need) cap = need;
+    T* next = arena_->alloc_array<T>(cap);
+    if (size_ != 0) std::memcpy(next, data_, size_ * sizeof(T));
+    data_ = next;
+    cap_ = cap;
+  }
+
+  Arena* arena_ = nullptr;
+  T* data_ = nullptr;
+  std::size_t size_ = 0;
+  std::size_t cap_ = 0;
+};
+
+}  // namespace hlts::util

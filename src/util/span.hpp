@@ -1,0 +1,59 @@
+// Minimal contiguous views over pooled SoA storage.
+//
+// The data-path graph and the testability tables store per-node and
+// per-arc variable-length data (adjacency lists, step sets, trajectory
+// histories) as spans into shared flat pools instead of one heap vector
+// per element.  Consumers iterate a Span exactly like they iterated the
+// old vectors; the pool owner hands spans out by value, so a pool
+// reallocation never leaves a dangling long-lived reference (spans are
+// taken fresh per use and not stored).
+#pragma once
+
+#include <cstddef>
+
+namespace hlts::util {
+
+template <typename T>
+class Span {
+ public:
+  constexpr Span() = default;
+  constexpr Span(const T* data, std::size_t size) : data_(data), size_(size) {}
+
+  [[nodiscard]] constexpr const T* begin() const { return data_; }
+  [[nodiscard]] constexpr const T* end() const { return data_ + size_; }
+  [[nodiscard]] constexpr const T* data() const { return data_; }
+  [[nodiscard]] constexpr std::size_t size() const { return size_; }
+  [[nodiscard]] constexpr bool empty() const { return size_ == 0; }
+  [[nodiscard]] constexpr const T& operator[](std::size_t i) const {
+    return data_[i];
+  }
+  [[nodiscard]] constexpr const T& front() const { return data_[0]; }
+  [[nodiscard]] constexpr const T& back() const { return data_[size_ - 1]; }
+
+ private:
+  const T* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+template <typename T>
+class MutSpan {
+ public:
+  constexpr MutSpan() = default;
+  constexpr MutSpan(T* data, std::size_t size) : data_(data), size_(size) {}
+
+  [[nodiscard]] constexpr T* begin() const { return data_; }
+  [[nodiscard]] constexpr T* end() const { return data_ + size_; }
+  [[nodiscard]] constexpr T* data() const { return data_; }
+  [[nodiscard]] constexpr std::size_t size() const { return size_; }
+  [[nodiscard]] constexpr bool empty() const { return size_ == 0; }
+  [[nodiscard]] constexpr T& operator[](std::size_t i) const {
+    return data_[i];
+  }
+  constexpr operator Span<T>() const { return Span<T>(data_, size_); }
+
+ private:
+  T* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace hlts::util

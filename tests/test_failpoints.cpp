@@ -405,8 +405,13 @@ TEST(Auditor, CatchesDanglingEtpnArc) {
   // must report it as dangling.
   ASSERT_GT(e.data_path.num_arcs(), 0u);
   const etpn::DpArcId victim = *e.data_path.arc_ids().begin();
-  etpn::DpNode& to = e.data_path.node(e.data_path.arc(victim).to);
-  std::erase(to.in_arcs, victim);
+  const etpn::DpNodeId to = e.data_path.arc(victim).to;
+  std::vector<etpn::DpArcId> pruned;
+  for (etpn::DpArcId a : e.data_path.in_arcs(to)) {
+    if (a != victim) pruned.push_back(a);
+  }
+  e.data_path.rewrite_in_list(to, pruned.data(),
+                              static_cast<std::uint32_t>(pruned.size()));
 
   core::AuditReport report = core::audit_etpn(g, e, r.binding);
   EXPECT_FALSE(report.ok());

@@ -95,12 +95,18 @@ DpSnapshot dp_snapshot(const etpn::DataPath& dp) {
   DpSnapshot s;
   for (etpn::DpNodeId n : dp.node_ids()) {
     const etpn::DpNode& node = dp.node(n);
-    s.nodes.push_back(
-        {node.kind, node.name, dp.alive(n), node.in_arcs, node.out_arcs});
+    const util::Span<etpn::DpArcId> in = dp.in_arcs(n);
+    const util::Span<etpn::DpArcId> out = dp.out_arcs(n);
+    s.nodes.push_back({node.kind, node.name, dp.alive(n),
+                       std::vector<etpn::DpArcId>(in.begin(), in.end()),
+                       std::vector<etpn::DpArcId>(out.begin(), out.end())});
   }
   for (etpn::DpArcId a : dp.arc_ids()) {
     const etpn::DpArc& arc = dp.arc(a);
-    s.arcs.push_back({arc.from, arc.to, arc.to_port, arc.steps, dp.alive(a)});
+    const util::Span<int> steps = dp.steps(a);
+    s.arcs.push_back({arc.from, arc.to, arc.to_port,
+                      std::vector<int>(steps.begin(), steps.end()),
+                      dp.alive(a)});
   }
   s.alive_nodes = dp.num_alive_nodes();
   s.alive_arcs = dp.num_alive_arcs();
@@ -168,8 +174,9 @@ TEST_P(OnBenchmark, MergePatchRoundTrips) {
     ++tried;
     const auto [into, from] = cand.nodes(d.e);
     const std::string label = "merged";
+    util::Arena arena;
     etpn::MergePatch patch =
-        etpn::apply_merge_patch(d.e.data_path, into, from, &label);
+        etpn::apply_merge_patch(d.e.data_path, arena, into, from, &label);
     EXPECT_FALSE(d.e.data_path.alive(from));
     EXPECT_EQ(d.e.data_path.node(into).name, "merged");
     EXPECT_GT(patch.approx_bytes(), 0u);
@@ -212,7 +219,12 @@ void expect_alive_projection_equal(const etpn::DataPath& patched,
     EXPECT_EQ(node_rank[pa.to.index()], static_cast<int>(fa.to.value()))
         << "arc " << i;
     EXPECT_EQ(pa.to_port, fa.to_port) << "arc " << i;
-    EXPECT_EQ(pa.steps, fa.steps) << "arc " << i;
+    const util::Span<int> psteps = patched.steps(alive_arcs[i]);
+    const util::Span<int> fsteps =
+        fresh.steps(etpn::DpArcId{static_cast<std::uint32_t>(i)});
+    EXPECT_TRUE(std::equal(psteps.begin(), psteps.end(), fsteps.begin(),
+                           fsteps.end()))
+        << "arc " << i;
   }
 }
 
@@ -235,7 +247,8 @@ TEST_P(OnBenchmark, PatchedGraphMatchesFreshBuild) {
     etpn::Etpn patched = d.e;
     const auto [into, from] = cand.nodes(patched);
     const std::string label = cand.merged_label(g, merged);
-    etpn::apply_merge_patch(patched.data_path, into, from, &label);
+    util::Arena arena;
+    etpn::apply_merge_patch(patched.data_path, arena, into, from, &label);
     etpn::refresh_etpn_steps(patched, g, r.schedule, merged);
 
     etpn::Etpn fresh = etpn::build_etpn(g, r.schedule, merged);
@@ -259,7 +272,8 @@ TEST_P(OnBenchmark, TestabilityUpdateEqualsFromScratch) {
     etpn::Etpn patched = d.e;  // private copy; the patch is not reverted
     testability::TestabilityAnalysis incremental(patched.data_path);
     const auto [into, from] = cand.nodes(patched);
-    etpn::apply_merge_patch(patched.data_path, into, from);
+    util::Arena arena;
+    etpn::apply_merge_patch(patched.data_path, arena, into, from);
     const testability::TestabilityAnalysis::UpdateStats stats =
         incremental.update({into});
     EXPECT_GT(stats.node_visits, 0);
@@ -454,8 +468,9 @@ TEST(IncrementalRandomDesigns, PatchUndoRoundTripsOnRandomGraphs) {
     const DpSnapshot before = dp_snapshot(d.e.data_path);
     for (std::size_t i = 0; i < cands.size() && i < 4; ++i) {
       const auto [into, from] = cands[i].nodes(d.e);
+      util::Arena arena;
       etpn::MergePatch patch =
-          etpn::apply_merge_patch(d.e.data_path, into, from);
+          etpn::apply_merge_patch(d.e.data_path, arena, into, from);
       etpn::revert_merge_patch(d.e.data_path, patch);
       EXPECT_EQ(dp_snapshot(d.e.data_path), before) << "seed " << seed;
     }

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "atpg/atpg.hpp"
+#include "atpg/simulator.hpp"
 #include "benchmarks/benchmarks.hpp"
 #include "core/flows.hpp"
 #include "rtl/elaborate.hpp"
