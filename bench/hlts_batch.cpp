@@ -37,12 +37,12 @@
 // the admission policy; shed/rejected jobs count as expected outcomes (not
 // failures) and the engine health snapshot lands in the report.
 #include <algorithm>
-#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "api/api.hpp"
 #include "benchmarks/benchmarks.hpp"
 #include "core/flows.hpp"
 #include "engine/engine.hpp"
@@ -55,21 +55,12 @@ namespace {
 
 using namespace hlts;
 
-bool bits_equal(double a, double b) {
-  return std::memcmp(&a, &b, sizeof(double)) == 0;
-}
-
-/// Bit-identical comparison of two flow results (the engine's determinism
+/// Bit-identical comparison through the wire DTO (the engine's determinism
 /// contract: same schedule, binding-derived counts, and cost bit patterns).
-bool identical(const core::FlowResult& a, const core::FlowResult& b) {
-  return a.exec_time == b.exec_time && a.registers == b.registers &&
-         a.modules == b.modules && a.muxes == b.muxes &&
-         a.self_loops == b.self_loops &&
-         bits_equal(a.cost.total(), b.cost.total()) &&
-         bits_equal(a.balance_index, b.balance_index) &&
-         a.schedule == b.schedule &&
-         a.module_allocation == b.module_allocation &&
-         a.register_allocation == b.register_allocation;
+/// Routing the check through api::FlowResultV1 also proves the DTO carries
+/// every field the contract compares.
+bool identical(const core::FlowResult& a, const api::FlowResultV1& b) {
+  return api::FlowResultV1::from_result(b.name, a).design_identical(b);
 }
 
 void write_snapshot(util::JsonWriter& w, const util::TraceSnapshot& snap) {
@@ -88,27 +79,6 @@ void write_snapshot(util::JsonWriter& w, const util::TraceSnapshot& snap) {
     w.key(name).value(value);
   }
   w.end_object();
-  w.end_object();
-}
-
-void write_health(util::JsonWriter& w, const engine::EngineHealth& h) {
-  w.begin_object();
-  w.key("queue_depth").value(static_cast<std::int64_t>(h.queue_depth));
-  if (h.queue_capacity == static_cast<std::size_t>(-1)) {
-    w.key("queue_capacity").null_value();
-  } else {
-    w.key("queue_capacity").value(static_cast<std::int64_t>(h.queue_capacity));
-  }
-  w.key("in_flight").value(static_cast<std::int64_t>(h.in_flight));
-  w.key("running").value(h.running);
-  w.key("submitted").value(static_cast<std::int64_t>(h.submitted));
-  w.key("retries").value(static_cast<std::int64_t>(h.retries));
-  w.key("stalls").value(static_cast<std::int64_t>(h.stalls));
-  w.key("sheds").value(static_cast<std::int64_t>(h.sheds));
-  w.key("rejected").value(static_cast<std::int64_t>(h.rejected));
-  w.key("recovered").value(static_cast<std::int64_t>(h.recovered));
-  w.key("journal_lag").value(static_cast<std::int64_t>(h.journal_lag));
-  w.key("journaling").value(h.journaling);
   w.end_object();
 }
 
@@ -222,12 +192,12 @@ int main(int argc, char** argv) {
     bool known = true;  ///< benchmark resolvable (verify only known jobs)
   };
   std::vector<JobMeta> meta;
-  std::vector<engine::FlowRequest> requests;
+  std::vector<api::FlowRequestV1> requests;
   if (!recover) {
     for (const std::string& bench : bench_names) {
       dfg::Dfg g = benchmarks::make_benchmark(bench);
       for (core::FlowKind kind : kinds) {
-        engine::FlowRequest r;
+        api::FlowRequestV1 r;
         r.name = bench + "/" + core::flow_name(kind);
         r.kind = kind;
         r.dfg = g;
@@ -275,7 +245,10 @@ int main(int argc, char** argv) {
               << " flows), " << eng.max_concurrent_jobs() << " concurrent x "
               << eng.threads_per_job() << " trial threads, " << bits
               << "-bit datapath\n";
-    handles = eng.submit_batch(std::move(requests));
+    handles.reserve(requests.size());
+    for (const api::FlowRequestV1& r : requests) {
+      handles.push_back(eng.submit(r));
+    }
   }
   eng.wait_all();
   // Snapshot the injection statistics, then disarm: the --verify-serial
@@ -309,37 +282,42 @@ int main(int argc, char** argv) {
   w.key("jobs").begin_array();
   for (std::size_t i = 0; i < handles.size(); ++i) {
     const engine::JobPtr& job = handles[i];
+    // Everything the report says about a job flows through the versioned
+    // DTO -- the same record the wire protocol and the journal carry.
+    const api::FlowResultV1 res = engine::job_result_to_api(*job);
     w.begin_object();
-    w.key("name").value(job->name());
+    w.key("name").value(res.name);
     w.key("benchmark").value(meta[i].benchmark);
     w.key("flow").value(core::flow_name(meta[i].kind));
-    w.key("state").value(engine::job_state_name(job->state()));
-    w.key("wall_ms").value(job->wall_ms());
+    w.key("state").value(res.state);
+    w.key("wall_ms").value(res.wall_ms);
     w.key("attempts").value(job->attempts());
     w.key("stalled").value(job->stalled());
     // Cancelled/TimedOut (and degraded-Partial Succeeded) jobs still carry
     // their best checkpoint: report it wherever it exists.
-    if (job->result().has_value()) {
-      const core::FlowResult& r = *job->result();
-      w.key("completeness").value(core::completeness_name(r.completeness));
-      w.key("stop_reason").value(r.stop_reason);
-      w.key("iterations").value(r.iterations);
+    if (res.has_design) {
+      w.key("completeness").value(res.completeness);
+      w.key("stop_reason").value(res.stop_reason);
+      w.key("iterations").value(res.iterations);
       w.key("result").begin_object();
-      w.key("exec_time").value(r.exec_time);
-      w.key("registers").value(r.registers);
-      w.key("modules").value(r.modules);
-      w.key("muxes").value(r.muxes);
-      w.key("self_loops").value(r.self_loops);
-      w.key("area").value(r.cost.total());
-      w.key("balance_index").value(r.balance_index);
+      w.key("exec_time").value(res.exec_time);
+      w.key("registers").value(res.registers);
+      w.key("modules").value(res.modules);
+      w.key("muxes").value(res.muxes);
+      w.key("self_loops").value(res.self_loops);
+      w.key("area").value(res.area);
+      w.key("balance_index").value(res.balance_index);
       w.key("module_allocation").begin_array();
-      for (const std::string& s : r.module_allocation) w.value(s);
+      for (const std::string& s : res.module_allocation) w.value(s);
       w.end_array();
       w.key("register_allocation").begin_array();
-      for (const std::string& s : r.register_allocation) w.value(s);
+      for (const std::string& s : res.register_allocation) w.value(s);
       w.end_array();
       w.end_object();
-      if (r.completeness == core::Completeness::Partial) ++partials;
+      if (res.completeness ==
+          core::completeness_name(core::Completeness::Partial)) {
+        ++partials;
+      }
       // The determinism contract only covers complete runs: a job degraded
       // to a Partial checkpoint by an injected fault stops at an earlier
       // iteration than the fault-free serial reference.
@@ -347,7 +325,8 @@ int main(int argc, char** argv) {
       // run used; pass the matching --bits on the --recover invocation.)
       if (verify_serial && meta[i].known &&
           job->state() == engine::JobState::Succeeded &&
-          r.completeness == core::Completeness::Full) {
+          res.completeness ==
+              core::completeness_name(core::Completeness::Full)) {
         const core::FlowParams params = bench::paper_params(bits);
         core::FlowResult serial =
             core::run_flow(meta[i].kind, meta[i].dfg, params);
@@ -359,18 +338,18 @@ int main(int argc, char** argv) {
         flipped.incremental = !params.incremental;
         core::FlowResult other =
             core::run_flow(meta[i].kind, meta[i].dfg, flipped);
-        const bool same_serial = identical(serial, r);
-        const bool same_flipped = identical(other, r);
+        const bool same_serial = identical(serial, res);
+        const bool same_flipped = identical(other, res);
         w.key("verify").value(same_serial && same_flipped ? "identical"
                                                           : "mismatch");
         if (!same_serial) {
           ++mismatches;
-          std::cerr << "MISMATCH vs serial run_flow: " << job->name() << "\n";
+          std::cerr << "MISMATCH vs serial run_flow: " << res.name << "\n";
         }
         if (!same_flipped) {
           ++mismatches;
-          std::cerr << "MISMATCH incremental vs full recompute: "
-                    << job->name() << "\n";
+          std::cerr << "MISMATCH incremental vs full recompute: " << res.name
+                    << "\n";
         }
       }
     }
@@ -378,12 +357,11 @@ int main(int argc, char** argv) {
       // Shed/rejected under an explicit queue bound is the admission
       // policy working as configured, not a job failure.
       ++shed;
-      w.key("error").value(job->error());
+      w.key("error").value(res.error);
     } else if (job->state() != engine::JobState::Succeeded) {
       ++failures;
-      w.key("error").value(job->error());
-      std::cerr << "job " << job->name() << " "
-                << engine::job_state_name(job->state()) << ": " << job->error()
+      w.key("error").value(res.error);
+      std::cerr << "job " << res.name << " " << res.state << ": " << res.error
                 << "\n";
     }
     w.key("trace");
@@ -393,8 +371,9 @@ int main(int argc, char** argv) {
   w.end_array();
   w.key("engine");
   write_snapshot(w, eng.metrics());
-  w.key("health");
-  write_health(w, eng.health());
+  // The health block is the same api::HealthV1 document a serving shard
+  // reports (shard 0: a batch run is a single-shard cluster).
+  w.key("health").raw_value(util::json_dump(eng.health().to_api(0).to_json()));
   if (!inject.empty()) {
     w.key("failpoints").begin_array();
     for (const util::failpoint::SiteStats& s : fp_stats) {

@@ -1,0 +1,230 @@
+// hlts_load: load-driving client for hlts_serve.
+//
+// Opens --conns connections and pumps --jobs synthesis requests through
+// them (each connection runs synchronous submits; concurrency = the
+// connection count), measuring per-request latency end to end through the
+// wire protocol.  Optionally SIGKILLs a shard mid-run (--kill-shard /
+// --kill-after-ms) to exercise the supervisor's journal-adoption failover
+// under load.  Writes a JSON report (latency percentiles, per-state counts,
+// the cluster health snapshot with shed/reject counters) to --out.
+//
+//   hlts_load --port P [--jobs N] [--conns C] [--bench ex|dct|...|mix]
+//             [--flow camad|approach1|approach2|ours] [--bits N]
+//             [--kill-shard K --kill-after-ms M] [--shutdown] [--out FILE]
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "benchmarks/benchmarks.hpp"
+#include "core/checkpoint.hpp"
+#include "serve/client.hpp"
+#include "util/error.hpp"
+#include "util/json.hpp"
+
+namespace {
+
+using namespace hlts;
+using Clock = std::chrono::steady_clock;
+
+struct Sample {
+  double latency_ms = 0;
+  std::string state;  ///< FlowResultV1 state, or "error" for protocol errors
+};
+
+double percentile(std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0;
+  const std::size_t n = sorted.size();
+  std::size_t idx = static_cast<std::size_t>(q * static_cast<double>(n));
+  if (idx >= n) idx = n - 1;
+  return sorted[idx];
+}
+
+int usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " --port P [--jobs N] [--conns C] [--bench NAME|mix]"
+               " [--flow NAME] [--bits N] [--kill-shard K --kill-after-ms M]"
+               " [--shutdown] [--out FILE]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int port = -1;
+  int jobs = 64;
+  int conns = 4;
+  int bits = 8;
+  std::string bench = "mix";
+  std::string flow = "ours";
+  int kill_shard = -1;
+  int kill_after_ms = 0;
+  bool shutdown_after = false;
+  std::string out_path = "BENCH_serving.json";
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      auto next = [&]() -> std::string {
+        if (i + 1 >= argc) throw Error(arg + " needs a value", ErrorKind::Input);
+        return argv[++i];
+      };
+      if (arg == "--port") port = std::stoi(next());
+      else if (arg == "--jobs") jobs = std::stoi(next());
+      else if (arg == "--conns") conns = std::stoi(next());
+      else if (arg == "--bits") bits = std::stoi(next());
+      else if (arg == "--bench") bench = next();
+      else if (arg == "--flow") flow = next();
+      else if (arg == "--kill-shard") kill_shard = std::stoi(next());
+      else if (arg == "--kill-after-ms") kill_after_ms = std::stoi(next());
+      else if (arg == "--shutdown") shutdown_after = true;
+      else if (arg == "--out") out_path = next();
+      else return usage(argv[0]);
+    }
+    if (port < 0 || jobs < 1 || conns < 1) return usage(argv[0]);
+
+    const std::vector<std::string> mix =
+        bench == "mix" ? benchmarks::benchmark_names()
+                       : std::vector<std::string>{bench};
+    const core::FlowKind kind = api::flow_from_token(flow);
+
+    // Pre-serialize one request document per benchmark in the mix; each
+    // submitted job clones it under a unique name.
+    std::vector<api::FlowRequestV1> protos;
+    for (const std::string& b : mix) {
+      api::FlowRequestV1 req;
+      req.kind = kind;
+      req.dfg = benchmarks::make_benchmark(b);
+      req.params.bits = bits;
+      req.params.num_threads = 1;  // the server's engines own the cores
+      protos.push_back(std::move(req));
+    }
+
+    std::atomic<int> next_job{0};
+    std::mutex samples_mutex;
+    std::vector<Sample> samples;
+    samples.reserve(static_cast<std::size_t>(jobs));
+
+    const auto t0 = Clock::now();
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(conns));
+    for (int c = 0; c < conns; ++c) {
+      threads.emplace_back([&, c] {
+        try {
+          serve::Client client(port);
+          while (true) {
+            const int j = next_job.fetch_add(1);
+            if (j >= jobs) break;
+            api::FlowRequestV1 req = protos[static_cast<std::size_t>(j) % protos.size()];
+            req.name = "load-" + std::to_string(j) + "-" +
+                       mix[static_cast<std::size_t>(j) % mix.size()];
+            const auto start = Clock::now();
+            const serve::Client::Response resp = client.submit(req);
+            const double ms =
+                std::chrono::duration<double, std::milli>(Clock::now() - start)
+                    .count();
+            Sample s;
+            s.latency_ms = ms;
+            s.state = resp.ok && resp.result ? resp.result->state : "error";
+            std::lock_guard<std::mutex> lock(samples_mutex);
+            samples.push_back(std::move(s));
+          }
+        } catch (const Error& e) {
+          std::cerr << "conn " << c << ": " << e.what() << "\n";
+        }
+      });
+    }
+
+    // The chaos hook: kill one shard while the fleet is under load.
+    std::thread killer;
+    if (kill_shard >= 0) {
+      killer = std::thread([&] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(kill_after_ms));
+        try {
+          serve::Client chaos(port);
+          if (!chaos.kill_shard(kill_shard)) {
+            std::cerr << "kill-shard " << kill_shard << " refused\n";
+          }
+        } catch (const Error& e) {
+          std::cerr << "kill-shard: " << e.what() << "\n";
+        }
+      });
+    }
+
+    for (std::thread& t : threads) t.join();
+    if (killer.joinable()) killer.join();
+    const double wall_ms =
+        std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+
+    serve::Client tail(port);
+    const serve::Client::Response health = tail.health();
+    if (shutdown_after && !tail.shutdown()) {
+      std::cerr << "shutdown not acknowledged\n";
+    }
+
+    std::vector<double> lat;
+    std::map<std::string, int> states;
+    lat.reserve(samples.size());
+    for (const Sample& s : samples) {
+      lat.push_back(s.latency_ms);
+      ++states[s.state];
+    }
+    std::sort(lat.begin(), lat.end());
+    double sum = 0;
+    for (const double v : lat) sum += v;
+
+    util::JsonWriter w;
+    w.begin_object();
+    w.key("bench").value("serving");
+    w.key("jobs").value(jobs);
+    w.key("conns").value(conns);
+    w.key("flow").value(flow);
+    w.key("mix").begin_array();
+    for (const std::string& b : mix) w.value(b);
+    w.end_array();
+    w.key("completed").value(static_cast<std::int64_t>(samples.size()));
+    w.key("wall_ms").value(wall_ms);
+    w.key("throughput_jobs_per_s")
+        .value(wall_ms > 0 ? 1000.0 * static_cast<double>(samples.size()) / wall_ms
+                           : 0.0);
+    w.key("latency_ms").begin_object();
+    w.key("p50").value(percentile(lat, 0.50));
+    w.key("p95").value(percentile(lat, 0.95));
+    w.key("p99").value(percentile(lat, 0.99));
+    w.key("mean").value(lat.empty() ? 0.0 : sum / static_cast<double>(lat.size()));
+    w.key("max").value(lat.empty() ? 0.0 : lat.back());
+    w.end_object();
+    w.key("states").begin_object();
+    for (const auto& [state, count] : states) w.key(state).value(count);
+    w.end_object();
+    if (kill_shard >= 0) {
+      w.key("killed_shard").value(kill_shard);
+      w.key("kill_after_ms").value(kill_after_ms);
+    }
+    w.key("cluster_health");
+    if (health.ok && health.health) {
+      w.raw_value(util::json_dump(*health.health));
+    } else {
+      w.null_value();
+    }
+    w.end_object();
+
+    std::ofstream out(out_path);
+    out << w.str() << "\n";
+    std::cout << "wrote " << out_path << " (" << samples.size() << "/" << jobs
+              << " responses, p50 " << percentile(lat, 0.50) << " ms)\n";
+    const int errors = states.count("error") != 0 ? states.at("error") : 0;
+    return samples.size() == static_cast<std::size_t>(jobs) && errors == 0 ? 0
+                                                                           : 1;
+  } catch (const Error& e) {
+    std::cerr << "hlts_load: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,101 @@
+// hlts_serve: the multi-process synthesis server.
+//
+// A supervisor forks N shard workers (each an engine::Engine with its own
+// journal directory under --journal-root) and serves the NDJSON line
+// protocol of serve/protocol.hpp on a loopback TCP port, plus HTTP
+// `GET /health`.  Worker death is survived by journal adoption: see
+// serve/supervisor.hpp and DESIGN.md section 13.
+//
+//   hlts_serve --journal-root DIR [--shards N] [--port P]
+//              [--max-request-bytes N] [--queue-cap N]
+//              [--overload block|reject|shed] [--checkpoint-every N]
+//
+// Environment knobs (see util/knobs.hpp): HLTS_SERVE_SHARDS,
+// HLTS_SERVE_PORT, HLTS_SERVE_MAX_REQUEST_BYTES, and the engine's
+// HLTS_QUEUE_CAP / HLTS_MEM_BUDGET / HLTS_JOURNAL_DIR family.  Explicit
+// flags win over the environment.
+//
+// Prints "listening on port <P>" on stdout once ready (scrapeable for
+// --port 0 / ephemeral).
+
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "serve/supervisor.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+using namespace hlts;
+
+int usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " --journal-root DIR [--shards N] [--port P]"
+               " [--max-request-bytes N] [--queue-cap N]"
+               " [--overload block|reject|shed] [--checkpoint-every N]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  serve::ServerOptions options;
+  options.shards = 0;  // sentinel: fall back to env/default below
+  options.port = -1;
+  options.max_request_bytes = 0;
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      auto next = [&]() -> std::string {
+        if (i + 1 >= argc) throw Error(arg + " needs a value", ErrorKind::Input);
+        return argv[++i];
+      };
+      if (arg == "--journal-root") {
+        options.journal_root = next();
+      } else if (arg == "--shards") {
+        options.shards = std::stoi(next());
+      } else if (arg == "--port") {
+        options.port = std::stoi(next());
+      } else if (arg == "--max-request-bytes") {
+        options.max_request_bytes = static_cast<std::size_t>(std::stoull(next()));
+      } else if (arg == "--queue-cap") {
+        options.engine.queue_capacity = static_cast<std::size_t>(std::stoull(next()));
+      } else if (arg == "--checkpoint-every") {
+        options.engine.checkpoint_every = std::stoi(next());
+      } else if (arg == "--overload") {
+        const std::string policy = next();
+        if (policy == "block") {
+          options.engine.overload_policy = engine::OverloadPolicy::Block;
+        } else if (policy == "reject") {
+          options.engine.overload_policy = engine::OverloadPolicy::Reject;
+        } else if (policy == "shed") {
+          options.engine.overload_policy = engine::OverloadPolicy::ShedOldest;
+        } else {
+          throw Error("unknown overload policy '" + policy + "'",
+                      ErrorKind::Input);
+        }
+      } else {
+        return usage(argv[0]);
+      }
+    }
+    // Environment fills whatever the flags left at the sentinel, then the
+    // compiled-in defaults take over.
+    serve::ServerOptions env = serve::ServerOptions::from_env({});
+    if (options.shards <= 0) options.shards = env.shards;
+    if (options.port < 0) options.port = env.port;
+    if (options.max_request_bytes == 0) {
+      options.max_request_bytes = env.max_request_bytes;
+    }
+    if (options.journal_root.empty()) return usage(argv[0]);
+
+    serve::Server server(std::move(options));
+    std::cout << "listening on port " << server.port() << std::endl;
+    server.run();
+    std::cout << "shutdown complete" << std::endl;
+    return 0;
+  } catch (const hlts::Error& e) {
+    std::cerr << "hlts_serve: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,303 @@
+#include "api/api.hpp"
+
+#include <cstring>
+#include <limits>
+#include <utility>
+
+#include "core/checkpoint.hpp"
+#include "util/error.hpp"
+#include "util/ids.hpp"
+
+namespace hlts::api {
+
+namespace {
+
+using util::JsonValue;
+
+[[noreturn]] void bad(const std::string& doc, const std::string& what) {
+  throw Error("api: " + doc + ": " + what, ErrorKind::Input);
+}
+
+/// Shared envelope checks: every DTO document is an object whose
+/// schema_version is a positive int no newer than this reader understands
+/// plus its forward-compatibility window (same major: any version >= 1 is
+/// accepted, unknown fields are ignored).
+void check_envelope(const JsonValue& v, const std::string& doc) {
+  if (!v.is_object()) bad(doc, "not a JSON object");
+  const JsonValue* ver = v.find("schema_version");
+  if (ver == nullptr || !ver->is_int()) bad(doc, "missing schema_version");
+  if (ver->as_int() < 1) bad(doc, "schema_version must be >= 1");
+}
+
+std::int64_t require_nonneg(const JsonValue& v, const std::string& doc,
+                            const std::string& key, std::int64_t fallback) {
+  const JsonValue* m = v.find(key);
+  if (m == nullptr) return fallback;
+  if (!m->is_int() || m->as_int() < 0) bad(doc, "'" + key + "' must be >= 0");
+  return m->as_int();
+}
+
+int require_int32(const JsonValue& v, const std::string& doc,
+                  const std::string& key) {
+  const JsonValue* m = v.find(key);
+  if (m == nullptr) return 0;
+  if (!m->is_int() || m->as_int() < std::numeric_limits<int>::min() ||
+      m->as_int() > std::numeric_limits<int>::max()) {
+    bad(doc, "'" + key + "' must be a 32-bit integer");
+  }
+  return static_cast<int>(m->as_int());
+}
+
+std::vector<std::string> string_array(const JsonValue& v,
+                                      const std::string& doc,
+                                      const std::string& key) {
+  std::vector<std::string> out;
+  const JsonValue* m = v.find(key);
+  if (m == nullptr) return out;
+  if (!m->is_array()) bad(doc, "'" + key + "' must be an array");
+  out.reserve(m->as_array().size());
+  for (const JsonValue& e : m->as_array()) {
+    if (!e.is_string()) bad(doc, "'" + key + "' must hold strings");
+    out.push_back(e.as_string());
+  }
+  return out;
+}
+
+bool bits_equal(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+}  // namespace
+
+const char* flow_token(core::FlowKind kind) {
+  switch (kind) {
+    case core::FlowKind::Camad: return "camad";
+    case core::FlowKind::Approach1: return "approach1";
+    case core::FlowKind::Approach2: return "approach2";
+    case core::FlowKind::Ours: return "ours";
+  }
+  return "?";
+}
+
+core::FlowKind flow_from_token(const std::string& token) {
+  for (core::FlowKind k :
+       {core::FlowKind::Camad, core::FlowKind::Approach1,
+        core::FlowKind::Approach2, core::FlowKind::Ours}) {
+    if (token == flow_token(k)) return k;
+  }
+  throw Error("api: unknown flow '" + token + "'", ErrorKind::Input);
+}
+
+// --- FlowRequestV1 ----------------------------------------------------------
+
+util::JsonValue FlowRequestV1::to_json() const {
+  JsonValue::Object o{
+      {"schema_version", JsonValue::make_int(schema_version)},
+      {"name", JsonValue::make_string(name)},
+      {"flow", JsonValue::make_string(flow_token(kind))},
+      {"timeout_ms", JsonValue::make_int(timeout_ms)},
+      {"queue_deadline_ms", JsonValue::make_int(queue_deadline_ms)},
+      {"params", core::params_to_json(params)},
+  };
+  if (dfg) {
+    o.emplace_back("dfg", core::dfg_to_json(*dfg));
+  } else {
+    o.emplace_back("source", JsonValue::make_string(source));
+  }
+  return JsonValue::make_object(std::move(o));
+}
+
+FlowRequestV1 FlowRequestV1::from_json(const util::JsonValue& v) {
+  const std::string doc = "FlowRequestV1";
+  check_envelope(v, doc);
+  FlowRequestV1 r;
+  r.schema_version = static_cast<int>(v.get_int("schema_version", 1));
+  r.name = v.get_string("name");
+  if (r.name.empty()) bad(doc, "missing name");
+  r.kind = flow_from_token(v.get_string("flow"));
+  r.timeout_ms = require_nonneg(v, doc, "timeout_ms", 0);
+  r.queue_deadline_ms = require_nonneg(v, doc, "queue_deadline_ms", 0);
+  const JsonValue* params = v.find("params");
+  if (params == nullptr) bad(doc, "missing params");
+  r.params = core::params_from_json(*params);
+  const JsonValue* dfg = v.find("dfg");
+  const JsonValue* source = v.find("source");
+  if ((dfg == nullptr) == (source == nullptr)) {
+    bad(doc, "exactly one of 'dfg'/'source' required");
+  }
+  if (dfg != nullptr) {
+    r.dfg = core::dfg_from_json(*dfg);
+  } else {
+    if (!source->is_string()) bad(doc, "'source' must be a string");
+    r.source = source->as_string();
+  }
+  return r;
+}
+
+// --- FlowResultV1 -----------------------------------------------------------
+
+util::JsonValue FlowResultV1::to_json() const {
+  JsonValue::Object o{
+      {"schema_version", JsonValue::make_int(schema_version)},
+      {"name", JsonValue::make_string(name)},
+      {"flow", JsonValue::make_string(flow_token(kind))},
+      {"state", JsonValue::make_string(state)},
+      {"wall_ms", JsonValue::make_number(wall_ms)},
+  };
+  if (!error.empty()) o.emplace_back("error", JsonValue::make_string(error));
+  if (has_design) {
+    JsonValue::Array steps;
+    steps.reserve(schedule_steps.size());
+    for (const int s : schedule_steps) steps.push_back(JsonValue::make_int(s));
+    JsonValue::Array mods;
+    mods.reserve(module_allocation.size());
+    for (const std::string& m : module_allocation) {
+      mods.push_back(JsonValue::make_string(m));
+    }
+    JsonValue::Array regs;
+    regs.reserve(register_allocation.size());
+    for (const std::string& m : register_allocation) {
+      regs.push_back(JsonValue::make_string(m));
+    }
+    o.emplace_back("completeness", JsonValue::make_string(completeness));
+    o.emplace_back("stop_reason", JsonValue::make_string(stop_reason));
+    o.emplace_back("iterations", JsonValue::make_int(iterations));
+    o.emplace_back("exec_time", JsonValue::make_int(exec_time));
+    o.emplace_back("registers", JsonValue::make_int(registers));
+    o.emplace_back("modules", JsonValue::make_int(modules));
+    o.emplace_back("muxes", JsonValue::make_int(muxes));
+    o.emplace_back("self_loops", JsonValue::make_int(self_loops));
+    o.emplace_back("area", JsonValue::make_number(area));
+    o.emplace_back("balance_index", JsonValue::make_number(balance_index));
+    o.emplace_back("schedule", JsonValue::make_array(std::move(steps)));
+    o.emplace_back("module_allocation", JsonValue::make_array(std::move(mods)));
+    o.emplace_back("register_allocation",
+                   JsonValue::make_array(std::move(regs)));
+  }
+  return JsonValue::make_object(std::move(o));
+}
+
+FlowResultV1 FlowResultV1::from_json(const util::JsonValue& v) {
+  const std::string doc = "FlowResultV1";
+  check_envelope(v, doc);
+  FlowResultV1 r;
+  r.schema_version = static_cast<int>(v.get_int("schema_version", 1));
+  r.name = v.get_string("name");
+  r.kind = flow_from_token(v.get_string("flow"));
+  r.state = v.get_string("state");
+  if (r.state.empty()) bad(doc, "missing state");
+  r.error = v.get_string("error");
+  r.wall_ms = v.get_double("wall_ms");
+  // The design block is present exactly when a schedule was serialized.
+  r.has_design = v.find("schedule") != nullptr;
+  if (!r.has_design) return r;
+  r.completeness = v.get_string("completeness", "full");
+  r.stop_reason = v.get_string("stop_reason");
+  r.iterations = require_int32(v, doc, "iterations");
+  r.exec_time = require_int32(v, doc, "exec_time");
+  r.registers = require_int32(v, doc, "registers");
+  r.modules = require_int32(v, doc, "modules");
+  r.muxes = require_int32(v, doc, "muxes");
+  r.self_loops = require_int32(v, doc, "self_loops");
+  r.area = v.get_double("area");
+  r.balance_index = v.get_double("balance_index");
+  const JsonValue* steps = v.find("schedule");
+  if (!steps->is_array()) bad(doc, "'schedule' must be an array");
+  r.schedule_steps.reserve(steps->as_array().size());
+  for (const JsonValue& s : steps->as_array()) {
+    if (!s.is_int() || s.as_int() < 0 ||
+        s.as_int() > std::numeric_limits<int>::max()) {
+      bad(doc, "schedule step out of range");
+    }
+    r.schedule_steps.push_back(static_cast<int>(s.as_int()));
+  }
+  r.module_allocation = string_array(v, doc, "module_allocation");
+  r.register_allocation = string_array(v, doc, "register_allocation");
+  return r;
+}
+
+FlowResultV1 FlowResultV1::from_result(std::string name,
+                                       const core::FlowResult& r) {
+  FlowResultV1 out;
+  out.name = std::move(name);
+  out.kind = r.kind;
+  out.has_design = true;
+  out.completeness = core::completeness_name(r.completeness);
+  out.stop_reason = r.stop_reason;
+  out.iterations = r.iterations;
+  out.exec_time = r.exec_time;
+  out.registers = r.registers;
+  out.modules = r.modules;
+  out.muxes = r.muxes;
+  out.self_loops = r.self_loops;
+  out.area = r.cost.total();
+  out.balance_index = r.balance_index;
+  out.schedule_steps.reserve(r.schedule.num_ops());
+  for (dfg::OpId op : id_range<dfg::OpId>(r.schedule.num_ops())) {
+    out.schedule_steps.push_back(r.schedule.step(op));
+  }
+  out.module_allocation = r.module_allocation;
+  out.register_allocation = r.register_allocation;
+  return out;
+}
+
+bool FlowResultV1::design_identical(const FlowResultV1& other) const {
+  return has_design == other.has_design && exec_time == other.exec_time &&
+         registers == other.registers && modules == other.modules &&
+         muxes == other.muxes && self_loops == other.self_loops &&
+         bits_equal(area, other.area) &&
+         bits_equal(balance_index, other.balance_index) &&
+         schedule_steps == other.schedule_steps &&
+         module_allocation == other.module_allocation &&
+         register_allocation == other.register_allocation;
+}
+
+// --- HealthV1 ---------------------------------------------------------------
+
+util::JsonValue HealthV1::to_json() const {
+  return JsonValue::make_object({
+      {"schema_version", JsonValue::make_int(schema_version)},
+      {"shard", JsonValue::make_int(shard)},
+      {"queue_depth", JsonValue::make_int(queue_depth)},
+      {"queue_capacity", JsonValue::make_int(queue_capacity)},
+      {"in_flight", JsonValue::make_int(in_flight)},
+      {"running", JsonValue::make_int(running)},
+      {"submitted", JsonValue::make_int(submitted)},
+      {"retries", JsonValue::make_int(retries)},
+      {"stalls", JsonValue::make_int(stalls)},
+      {"sheds", JsonValue::make_int(sheds)},
+      {"rejected", JsonValue::make_int(rejected)},
+      {"recovered", JsonValue::make_int(recovered)},
+      {"journal_lag", JsonValue::make_int(journal_lag)},
+      {"journaling", JsonValue::make_bool(journaling)},
+  });
+}
+
+HealthV1 HealthV1::from_json(const util::JsonValue& v) {
+  const std::string doc = "HealthV1";
+  check_envelope(v, doc);
+  HealthV1 h;
+  h.schema_version = static_cast<int>(v.get_int("schema_version", 1));
+  h.shard = require_int32(v, doc, "shard");
+  h.queue_depth = require_nonneg(v, doc, "queue_depth", 0);
+  const JsonValue* cap = v.find("queue_capacity");
+  if (cap != nullptr) {
+    if (!cap->is_int() || cap->as_int() < -1) {
+      bad(doc, "'queue_capacity' must be an int >= -1");
+    }
+    h.queue_capacity = cap->as_int();
+  }
+  h.in_flight = require_nonneg(v, doc, "in_flight", 0);
+  h.running = require_nonneg(v, doc, "running", 0);
+  h.submitted = require_nonneg(v, doc, "submitted", 0);
+  h.retries = require_nonneg(v, doc, "retries", 0);
+  h.stalls = require_nonneg(v, doc, "stalls", 0);
+  h.sheds = require_nonneg(v, doc, "sheds", 0);
+  h.rejected = require_nonneg(v, doc, "rejected", 0);
+  h.recovered = require_nonneg(v, doc, "recovered", 0);
+  h.journal_lag = require_nonneg(v, doc, "journal_lag", 0);
+  h.journaling = v.get_bool("journaling");
+  return h;
+}
+
+}  // namespace hlts::api

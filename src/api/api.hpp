@@ -1,0 +1,135 @@
+// The versioned request/response surface shared by every job path.
+//
+// Before this layer, the CLI handed engine::FlowRequest structs to the
+// engine, the journal serialized its own ad-hoc record shape, and nothing
+// could cross a process boundary: there was no stable contract for what a
+// "job" or a "result" looks like as bytes.  src/api is that contract --
+// plain DTO structs with explicit JSON encode/decode on util::JsonValue:
+//
+//   api::FlowRequestV1  one unit of synthesis work (flow kind, DSL source
+//                       or serialized DFG, the serializable knob set,
+//                       timeout/deadline) -- what hlts_batch submits, what
+//                       the journal writes ahead, what the wire protocol
+//                       carries;
+//   api::FlowResultV1   the uniform result record (state, counts, cost
+//                       bits, schedule steps, allocation strings) --
+//                       everything the bit-identity contract compares;
+//   api::HealthV1       one shard's EngineHealth snapshot, the unit the
+//                       serving layer merges into a cluster view.
+//
+// Versioning rules (DESIGN.md section 13):
+//   - every document carries "schema_version"; readers accept any version
+//     >= their own major and *ignore unknown fields*, so a V1 reader keeps
+//     working when a V1.x writer adds fields (forward compatibility);
+//   - removing or re-typing a field requires a new DTO struct (V2) and a
+//     new schema_version -- existing fields never change meaning;
+//   - decode treats input as untrusted bytes: structural problems throw
+//     hlts::Error(ErrorKind::Input) with a descriptive message, never
+//     crash, and numbers that must be exact round-trip through int64.
+//
+// Layering: api depends only on core/dfg/util (the DTOs embed the
+// serializable AlgorithmOptions knob set and reuse core/checkpoint's
+// params/dfg JSON round-trip).  The engine and the serving layer depend on
+// api, never the other way around.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/flows.hpp"
+#include "dfg/dfg.hpp"
+#include "util/json.hpp"
+
+namespace hlts::api {
+
+inline constexpr int kSchemaVersion = 1;
+
+/// Stable lowercase wire tokens for the four flows ("camad", "approach1",
+/// "approach2", "ours"); the report-facing names (core::flow_name) have
+/// spaces and capitals and are NOT part of the wire contract.
+[[nodiscard]] const char* flow_token(core::FlowKind kind);
+/// Inverse of flow_token; throws Error(Input) on an unknown token.
+[[nodiscard]] core::FlowKind flow_from_token(const std::string& token);
+
+/// One unit of synthesis work as it crosses a process boundary.  Exactly
+/// one of `dfg` / `source` is set; run hooks (callbacks, cancel flags) are
+/// process-local and deliberately not representable.
+struct FlowRequestV1 {
+  int schema_version = kSchemaVersion;
+  std::string name;
+  core::FlowKind kind = core::FlowKind::Ours;
+  std::optional<dfg::Dfg> dfg;
+  std::string source;
+  core::FlowParams params{};  ///< serializable knobs only
+  std::int64_t timeout_ms = 0;
+  std::int64_t queue_deadline_ms = 0;
+
+  [[nodiscard]] util::JsonValue to_json() const;
+  [[nodiscard]] static FlowRequestV1 from_json(const util::JsonValue& v);
+};
+
+/// The uniform result record: terminal state plus (when a design exists)
+/// every field of the bit-identity contract -- the schedule steps, the
+/// allocation strings and the exact cost/balance doubles, all of which
+/// round-trip bitwise through the JSON encoding.
+struct FlowResultV1 {
+  int schema_version = kSchemaVersion;
+  std::string name;
+  core::FlowKind kind = core::FlowKind::Ours;
+  std::string state;  ///< engine::job_state_name token ("succeeded", ...)
+  std::string error;  ///< diagnostic for failed/rejected jobs
+  double wall_ms = 0;
+
+  bool has_design = false;  ///< the fields below are meaningful
+  std::string completeness = "full";
+  std::string stop_reason;
+  int iterations = 0;
+  int exec_time = 0;
+  int registers = 0;
+  int modules = 0;
+  int muxes = 0;
+  int self_loops = 0;
+  double area = 0;
+  double balance_index = 0;
+  std::vector<int> schedule_steps;  ///< per-op control step, id order
+  std::vector<std::string> module_allocation;
+  std::vector<std::string> register_allocation;
+
+  [[nodiscard]] util::JsonValue to_json() const;
+  [[nodiscard]] static FlowResultV1 from_json(const util::JsonValue& v);
+  /// Builds the DTO from a finished core::FlowResult.
+  [[nodiscard]] static FlowResultV1 from_result(std::string name,
+                                               const core::FlowResult& r);
+
+  /// True when both describe the same design bit for bit (the cross-process
+  /// determinism check: doubles compared by bit pattern, schedules and
+  /// allocations exactly).
+  [[nodiscard]] bool design_identical(const FlowResultV1& other) const;
+};
+
+/// One shard's engine health snapshot.  All counters are monotone over a
+/// shard's lifetime except the three gauges (queue_depth, in_flight,
+/// running), which the cluster aggregation treats as last-observed values.
+struct HealthV1 {
+  int schema_version = kSchemaVersion;
+  int shard = 0;
+  std::int64_t queue_depth = 0;
+  std::int64_t queue_capacity = -1;  ///< -1 = unbounded
+  std::int64_t in_flight = 0;
+  std::int64_t running = 0;
+  std::int64_t submitted = 0;
+  std::int64_t retries = 0;
+  std::int64_t stalls = 0;
+  std::int64_t sheds = 0;
+  std::int64_t rejected = 0;
+  std::int64_t recovered = 0;
+  std::int64_t journal_lag = 0;
+  bool journaling = false;
+
+  [[nodiscard]] util::JsonValue to_json() const;
+  [[nodiscard]] static HealthV1 from_json(const util::JsonValue& v);
+};
+
+}  // namespace hlts::api

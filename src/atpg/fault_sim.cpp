@@ -5,6 +5,7 @@
 
 #include "util/error.hpp"
 #include "util/failpoint.hpp"
+#include "util/knobs.hpp"
 
 namespace hlts::atpg {
 
@@ -43,13 +44,12 @@ void run_batch(WideSimulator<W>& sim, const TestSequence& sequence,
 
 int resolve_simd_width(int requested) {
   if (requested == 0) {
-    if (const char* env = std::getenv("HLTS_SIMD_WIDTH")) {
-      char* end = nullptr;
-      const long v = std::strtol(env, &end, 10);
-      if (end != env && *end == '\0' &&
-          (v == 64 || v == 256 || v == 512)) {
-        return static_cast<int>(v);
-      }
+    // Registry-audited read; unsupported widths fall back to the default
+    // (the knob's documented Ignore policy).
+    if (const std::optional<long long> v =
+            util::knobs::read_int("HLTS_SIMD_WIDTH");
+        v && (*v == 64 || *v == 256 || *v == 512)) {
+      return static_cast<int>(*v);
     }
     return 256;
   }

@@ -6,6 +6,7 @@
 #include <deque>
 
 #include "util/error.hpp"
+#include "util/knobs.hpp"
 #include "util/rng.hpp"
 
 namespace hlts::atpg {
@@ -627,7 +628,8 @@ PodemResult TimeFramePodem::Impl::run(const Fault& fault, int backtrack_limit) {
     propagate_from(pi);
   };
 
-  const bool debug = std::getenv("HLTS_PODEM_DEBUG") != nullptr;
+  const bool debug =
+      util::knobs::read_flag("HLTS_PODEM_DEBUG").value_or(false);
   while (true) {
     if (detected()) {
       result.status = PodemStatus::Detected;

@@ -8,6 +8,7 @@
 #include "sched/fds.hpp"
 #include "sched/mobility_path.hpp"
 #include "util/error.hpp"
+#include "util/knobs.hpp"
 #include "util/trace.hpp"
 
 namespace hlts::core {
@@ -31,10 +32,7 @@ const char* completeness_name(Completeness c) {
 }
 
 bool incremental_default() {
-  const char* env = std::getenv("HLTS_INCREMENTAL");
-  if (env == nullptr) return true;
-  const std::string v = env;
-  return !(v == "0" || v == "false" || v == "off");
+  return util::knobs::read_flag("HLTS_INCREMENTAL").value_or(true);
 }
 
 namespace {

@@ -9,6 +9,7 @@
 #include "util/error.hpp"
 #include "util/failpoint.hpp"
 #include "util/json.hpp"
+#include "util/knobs.hpp"
 #include "util/thread_pool.hpp"
 
 namespace hlts::engine {
@@ -69,32 +70,26 @@ const char* overload_policy_name(OverloadPolicy policy) {
 }
 
 EngineOptions EngineOptions::from_env(EngineOptions base) {
-  const auto env_size = [](const char* name,
-                           std::size_t* out) {  // strict non-negative integer
-    const char* raw = std::getenv(name);
-    if (raw == nullptr || *raw == '\0') return false;
-    errno = 0;
-    char* end = nullptr;
-    const long long v = std::strtoll(raw, &end, 10);
-    HLTS_REQUIRE_INPUT(errno == 0 && end != nullptr && *end == '\0',
-                       std::string(name) + " is not an integer");
-    HLTS_REQUIRE_INPUT(v >= 0, std::string(name) + " must be >= 0");
-    *out = static_cast<std::size_t>(v);
-    return true;
-  };
+  // All three reads go through the audited knob registry (util/knobs):
+  // malformed or negative values throw Error(Input), per the knobs' Throw
+  // policy; explicitly set fields in `base` still win over the environment.
   if (base.journal_dir.empty()) {
-    if (const char* dir = std::getenv("HLTS_JOURNAL_DIR");
-        dir != nullptr && *dir != '\0') {
-      base.journal_dir = dir;
+    if (const std::optional<std::string> dir =
+            util::knobs::read_string("HLTS_JOURNAL_DIR")) {
+      base.journal_dir = *dir;
     }
   }
-  std::size_t v = 0;
-  if (base.queue_capacity == static_cast<std::size_t>(-1) &&
-      env_size("HLTS_QUEUE_CAP", &v)) {
-    base.queue_capacity = v;
+  if (base.queue_capacity == static_cast<std::size_t>(-1)) {
+    if (const std::optional<std::size_t> v =
+            util::knobs::read_size("HLTS_QUEUE_CAP")) {
+      base.queue_capacity = *v;
+    }
   }
-  if (base.memory_budget_bytes == 0 && env_size("HLTS_MEM_BUDGET", &v)) {
-    base.memory_budget_bytes = v;
+  if (base.memory_budget_bytes == 0) {
+    if (const std::optional<std::size_t> v =
+            util::knobs::read_size("HLTS_MEM_BUDGET")) {
+      base.memory_budget_bytes = *v;
+    }
   }
   return base;
 }
@@ -120,6 +115,40 @@ std::string EngineHealth::to_json() const {
   w.key("journaling").value(journaling);
   w.end_object();
   return w.str();
+}
+
+api::HealthV1 EngineHealth::to_api(int shard) const {
+  api::HealthV1 h;
+  h.shard = shard;
+  h.queue_depth = static_cast<std::int64_t>(queue_depth);
+  h.queue_capacity = queue_capacity == static_cast<std::size_t>(-1)
+                         ? -1
+                         : static_cast<std::int64_t>(queue_capacity);
+  h.in_flight = static_cast<std::int64_t>(in_flight);
+  h.running = running;
+  h.submitted = static_cast<std::int64_t>(submitted);
+  h.retries = static_cast<std::int64_t>(retries);
+  h.stalls = static_cast<std::int64_t>(stalls);
+  h.sheds = static_cast<std::int64_t>(sheds);
+  h.rejected = static_cast<std::int64_t>(rejected);
+  h.recovered = static_cast<std::int64_t>(recovered);
+  h.journal_lag = static_cast<std::int64_t>(journal_lag);
+  h.journaling = journaling;
+  return h;
+}
+
+api::FlowResultV1 job_result_to_api(const Job& job) {
+  api::FlowResultV1 out;
+  if (job.result().has_value()) {
+    out = api::FlowResultV1::from_result(job.name(), *job.result());
+  } else {
+    out.name = job.name();
+    out.kind = job.kind();
+  }
+  out.state = job_state_name(job.state());
+  out.error = job.error();
+  out.wall_ms = job.wall_ms();
+  return out;
 }
 
 // --- Job -------------------------------------------------------------------
@@ -370,6 +399,19 @@ JobPtr Engine::submit(FlowRequest request, JobOptions options) {
   }
   queue_cv_.notify_one();
   return job;
+}
+
+JobPtr Engine::submit(const api::FlowRequestV1& request) {
+  FlowRequest req;
+  req.name = request.name;
+  req.kind = request.kind;
+  req.dfg = request.dfg;
+  req.source = request.source;
+  req.params = request.params;
+  JobOptions options;
+  options.timeout = std::chrono::milliseconds(request.timeout_ms);
+  options.queue_deadline = std::chrono::milliseconds(request.queue_deadline_ms);
+  return submit(std::move(req), std::move(options));
 }
 
 std::vector<JobPtr> Engine::submit_batch(std::vector<FlowRequest> requests,

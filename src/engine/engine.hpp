@@ -72,6 +72,7 @@
 #include <thread>
 #include <vector>
 
+#include "api/api.hpp"
 #include "core/flows.hpp"
 #include "dfg/dfg.hpp"
 #include "engine/journal.hpp"
@@ -300,7 +301,15 @@ struct EngineHealth {
   bool journaling = false;
 
   [[nodiscard]] std::string to_json() const;
+  /// The snapshot as the versioned wire DTO, tagged with a shard id (the
+  /// serving layer's per-worker health unit).
+  [[nodiscard]] api::HealthV1 to_api(int shard) const;
 };
+
+/// A finished job as the versioned wire DTO: state/error/wall-clock always,
+/// plus the full bit-identity design block when the job produced one.
+/// Requires job.finished().
+[[nodiscard]] api::FlowResultV1 job_result_to_api(const Job& job);
 
 class Engine {
  public:
@@ -313,6 +322,9 @@ class Engine {
   Engine& operator=(const Engine&) = delete;
 
   [[nodiscard]] JobPtr submit(FlowRequest request, JobOptions options = {});
+  /// Submission from the versioned wire DTO (the serving layer's entry
+  /// point): the DTO's timeout/queue-deadline become the JobOptions.
+  [[nodiscard]] JobPtr submit(const api::FlowRequestV1& request);
   [[nodiscard]] std::vector<JobPtr> submit_batch(
       std::vector<FlowRequest> requests, const JobOptions& options = {});
 

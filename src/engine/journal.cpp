@@ -6,6 +6,7 @@
 #include <set>
 #include <utility>
 
+#include "api/api.hpp"
 #include "util/error.hpp"
 #include "util/failpoint.hpp"
 #include "util/fs.hpp"
@@ -16,28 +17,11 @@ namespace {
 
 using util::JsonValue;
 
-constexpr int kVersion = 1;
-
-/// Stable lowercase tokens for the journal (core::flow_name returns the
-/// report-facing names with spaces and capitals).
-const char* flow_token(core::FlowKind kind) {
-  switch (kind) {
-    case core::FlowKind::Camad: return "camad";
-    case core::FlowKind::Approach1: return "approach1";
-    case core::FlowKind::Approach2: return "approach2";
-    case core::FlowKind::Ours: return "ours";
-  }
-  return "?";
-}
-
-core::FlowKind flow_from_token(const std::string& token) {
-  for (core::FlowKind k :
-       {core::FlowKind::Camad, core::FlowKind::Approach1,
-        core::FlowKind::Approach2, core::FlowKind::Ours}) {
-    if (token == flow_token(k)) return k;
-  }
-  throw Error("journal record: unknown flow '" + token + "'", ErrorKind::Input);
-}
+// Version 2: the job payload is an api::FlowRequestV1 document under
+// "request" -- the journal shares the wire schema instead of keeping a
+// private record shape.  (Version 1 spelled the same fields out inline;
+// no deployed journal outlives its process fleet, so v1 is not read back.)
+constexpr int kVersion = 2;
 
 std::string record_path(const std::string& dir, std::uint64_t id) {
   return dir + "/job-" + std::to_string(id) + ".json";
@@ -50,20 +34,11 @@ std::string done_path(const std::string& dir, std::uint64_t id) {
 }
 
 JsonValue record_to_json(const JournalRecord& r) {
-  JsonValue::Object o{
+  return JsonValue::make_object({
       {"version", JsonValue::make_int(kVersion)},
       {"id", JsonValue::make_int(static_cast<std::int64_t>(r.id))},
-      {"name", JsonValue::make_string(r.name)},
-      {"flow", JsonValue::make_string(flow_token(r.kind))},
-      {"timeout_ms", JsonValue::make_int(r.timeout_ms)},
-      {"params", core::params_to_json(r.params)},
-  };
-  if (r.dfg) {
-    o.emplace_back("dfg", core::dfg_to_json(*r.dfg));
-  } else {
-    o.emplace_back("source", JsonValue::make_string(r.source));
-  }
-  return JsonValue::make_object(std::move(o));
+      {"request", r.to_request().to_json()},
+  });
 }
 
 JournalRecord record_from_json(const JsonValue& v) {
@@ -73,39 +48,14 @@ JournalRecord record_from_json(const JsonValue& v) {
   if (v.get_int("version", -1) != kVersion) {
     throw Error("journal record: unsupported version", ErrorKind::Input);
   }
-  JournalRecord r;
   const std::int64_t id = v.get_int("id", -1);
   if (id < 1) throw Error("journal record: bad id", ErrorKind::Input);
-  r.id = static_cast<std::uint64_t>(id);
-  r.name = v.get_string("name");
-  if (r.name.empty()) {
-    throw Error("journal record: missing name", ErrorKind::Input);
+  const JsonValue* request = v.find("request");
+  if (request == nullptr) {
+    throw Error("journal record: missing request", ErrorKind::Input);
   }
-  r.kind = flow_from_token(v.get_string("flow"));
-  r.timeout_ms = v.get_int("timeout_ms", 0);
-  if (r.timeout_ms < 0) {
-    throw Error("journal record: negative timeout", ErrorKind::Input);
-  }
-  const JsonValue* params = v.find("params");
-  if (params == nullptr) {
-    throw Error("journal record: missing params", ErrorKind::Input);
-  }
-  r.params = core::params_from_json(*params);
-  const JsonValue* dfg = v.find("dfg");
-  const JsonValue* source = v.find("source");
-  if ((dfg == nullptr) == (source == nullptr)) {
-    throw Error("journal record: exactly one of 'dfg'/'source' required",
-                ErrorKind::Input);
-  }
-  if (dfg != nullptr) {
-    r.dfg = core::dfg_from_json(*dfg);
-  } else {
-    if (!source->is_string()) {
-      throw Error("journal record: 'source' must be a string", ErrorKind::Input);
-    }
-    r.source = source->as_string();
-  }
-  return r;
+  return JournalRecord::from_request(static_cast<std::uint64_t>(id),
+                                     api::FlowRequestV1::from_json(*request));
 }
 
 /// Parses "job-<id><suffix>" and returns the id; nullopt when `name` does
@@ -132,6 +82,33 @@ std::optional<std::uint64_t> parse_id(const std::string& name,
 }
 
 }  // namespace
+
+api::FlowRequestV1 JournalRecord::to_request() const {
+  api::FlowRequestV1 req;
+  req.name = name;
+  req.kind = kind;
+  req.dfg = dfg;
+  req.source = source;
+  req.params = params;
+  req.timeout_ms = timeout_ms;
+  return req;
+}
+
+JournalRecord JournalRecord::from_request(std::uint64_t id,
+                                          api::FlowRequestV1 req) {
+  JournalRecord r;
+  r.id = id;
+  r.name = std::move(req.name);
+  r.kind = req.kind;
+  r.dfg = std::move(req.dfg);
+  r.source = std::move(req.source);
+  r.params = req.params;
+  if (req.timeout_ms < 0) {
+    throw Error("journal record: negative timeout", ErrorKind::Input);
+  }
+  r.timeout_ms = req.timeout_ms;
+  return r;
+}
 
 Journal::Journal(std::string dir) : dir_(std::move(dir)) {
   util::fs::create_directories(dir_);

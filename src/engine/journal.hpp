@@ -51,6 +51,7 @@
 #include <string>
 #include <vector>
 
+#include "api/api.hpp"
 #include "core/checkpoint.hpp"
 #include "core/flows.hpp"
 #include "dfg/dfg.hpp"
@@ -60,7 +61,9 @@ namespace hlts::engine {
 
 /// The durable image of one submitted job -- everything needed to re-create
 /// its FlowRequest in a fresh process.  Run hooks (on_iteration etc.) are
-/// process-local and deliberately absent.
+/// process-local and deliberately absent.  On disk the payload is an
+/// api::FlowRequestV1 document (the journal shares the wire schema); the
+/// flat fields here are the engine-side view of the same data.
 struct JournalRecord {
   std::uint64_t id = 0;  ///< engine job id; also the journal filename key
   std::string name;
@@ -69,6 +72,12 @@ struct JournalRecord {
   std::string source;           ///< otherwise the DSL source text
   core::FlowParams params;      ///< serializable knobs only
   std::int64_t timeout_ms = 0;  ///< JobOptions::timeout
+
+  /// The record as the versioned DTO the journal persists.
+  [[nodiscard]] api::FlowRequestV1 to_request() const;
+  /// Rebuilds the engine-side view from a decoded DTO.
+  [[nodiscard]] static JournalRecord from_request(std::uint64_t id,
+                                                  api::FlowRequestV1 req);
 };
 
 class Journal {

@@ -1,0 +1,81 @@
+#include "serve/client.hpp"
+
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace hlts::serve {
+
+namespace {
+using util::JsonValue;
+}  // namespace
+
+Client::Client(int port, std::size_t max_line_bytes)
+    : fd_(util::net::connect_local(port)),
+      reader_(fd_.get(), max_line_bytes) {}
+
+void Client::send_submit(const api::FlowRequestV1& request) {
+  const JsonValue doc = JsonValue::make_object({
+      {"op", JsonValue::make_string("submit")},
+      {"request", request.to_json()},
+  });
+  util::net::write_all(fd_.get(), util::json_dump(doc) + "\n");
+}
+
+std::optional<Client::Response> Client::read_response() {
+  const auto line = reader_.read_line();
+  if (!line) return std::nullopt;
+  const auto doc = util::json_parse(*line);
+  Response r;
+  if (!doc || !doc->is_object()) {
+    r.error = "malformed response line";
+    return r;
+  }
+  r.ok = doc->get_bool("ok");
+  r.error = doc->get_string("error");
+  if (const JsonValue* result = doc->find("result")) {
+    r.result = api::FlowResultV1::from_json(*result);
+  }
+  if (const JsonValue* health = doc->find("health")) r.health = *health;
+  return r;
+}
+
+Client::Response Client::submit(const api::FlowRequestV1& request) {
+  send_submit(request);
+  auto r = read_response();
+  if (!r) {
+    Response dead;
+    dead.error = "connection closed";
+    return dead;
+  }
+  return *r;
+}
+
+Client::Response Client::health() {
+  util::net::write_all(fd_.get(), "{\"op\":\"health\"}\n");
+  auto r = read_response();
+  if (!r) {
+    Response dead;
+    dead.error = "connection closed";
+    return dead;
+  }
+  return *r;
+}
+
+bool Client::kill_shard(int shard) {
+  const JsonValue doc = JsonValue::make_object({
+      {"op", JsonValue::make_string("kill")},
+      {"shard", JsonValue::make_int(shard)},
+  });
+  util::net::write_all(fd_.get(), util::json_dump(doc) + "\n");
+  const auto r = read_response();
+  return r && r->ok;
+}
+
+bool Client::shutdown() {
+  util::net::write_all(fd_.get(), "{\"op\":\"shutdown\"}\n");
+  const auto r = read_response();
+  return r && r->ok;
+}
+
+}  // namespace hlts::serve

@@ -1,0 +1,51 @@
+// Blocking NDJSON client for hlts_serve (used by hlts_load and the serve
+// test suite).
+//
+// One Client owns one TCP connection.  submit() is synchronous; for load
+// generation the split send_submit()/read_response() pair pipelines many
+// requests on one connection (responses arrive in completion order --
+// correlate by FlowResultV1::name, so give every request a unique name).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "api/api.hpp"
+#include "util/json.hpp"
+#include "util/socket.hpp"
+
+namespace hlts::serve {
+
+class Client {
+ public:
+  /// Connects to 127.0.0.1:`port`; throws Error(Transient) on refusal.
+  explicit Client(int port, std::size_t max_line_bytes = 16u << 20);
+
+  struct Response {
+    bool ok = false;
+    std::string error;                        ///< when !ok
+    std::optional<api::FlowResultV1> result;  ///< submit responses
+    std::optional<util::JsonValue> health;    ///< health responses
+  };
+
+  /// Fire-and-forget half of a pipelined submit.
+  void send_submit(const api::FlowRequestV1& request);
+  /// Next response line; nullopt on connection close.
+  [[nodiscard]] std::optional<Response> read_response();
+
+  /// Synchronous submit (send + one response).
+  [[nodiscard]] Response submit(const api::FlowRequestV1& request);
+  /// Cluster health snapshot.
+  [[nodiscard]] Response health();
+  /// Asks the supervisor to SIGKILL shard `shard` (test/chaos hook).
+  [[nodiscard]] bool kill_shard(int shard);
+  /// Orderly cluster shutdown; true when the server acknowledged.
+  bool shutdown();
+
+ private:
+  util::net::Fd fd_;
+  util::net::LineReader reader_;
+};
+
+}  // namespace hlts::serve

@@ -1,0 +1,67 @@
+#include "serve/health.hpp"
+
+namespace hlts::serve {
+
+namespace {
+using util::JsonValue;
+}  // namespace
+
+void ClusterView::observe(const api::HealthV1& h) {
+  counters_.merge_at(h.shard, h);
+  last_[h.shard] = h;
+}
+
+util::JsonValue ClusterView::to_json(const std::map<int, bool>& alive) const {
+  std::int64_t submitted = 0, retries = 0, stalls = 0, sheds = 0, rejected = 0,
+               recovered = 0, journal_lag = 0;
+  bool journaling = false;
+  for (const auto& [shard, c] : counters_.reveal()) {
+    submitted += c.submitted.reveal();
+    retries += c.retries.reveal();
+    stalls += c.stalls.reveal();
+    sheds += c.sheds.reveal();
+    rejected += c.rejected.reveal();
+    recovered += c.recovered.reveal();
+    journal_lag += c.journal_lag.reveal();
+    journaling = journaling || c.journaling.reveal();
+  }
+  std::int64_t queue_depth = 0, in_flight = 0, running = 0;
+  int live = 0;
+  JsonValue::Array shards;
+  shards.reserve(last_.size());
+  for (const auto& [shard, h] : last_) {
+    const auto it = alive.find(shard);
+    const bool is_alive = it != alive.end() && it->second;
+    if (is_alive) {
+      queue_depth += h.queue_depth;
+      in_flight += h.in_flight;
+      running += h.running;
+      ++live;
+    }
+    JsonValue doc = h.to_json();
+    JsonValue::Object o = doc.as_object();
+    o.emplace_back("alive", JsonValue::make_bool(is_alive));
+    shards.push_back(JsonValue::make_object(std::move(o)));
+  }
+  return JsonValue::make_object({
+      {"schema_version", JsonValue::make_int(1)},
+      {"cluster",
+       JsonValue::make_object({
+           {"live_shards", JsonValue::make_int(live)},
+           {"queue_depth", JsonValue::make_int(queue_depth)},
+           {"in_flight", JsonValue::make_int(in_flight)},
+           {"running", JsonValue::make_int(running)},
+           {"submitted", JsonValue::make_int(submitted)},
+           {"retries", JsonValue::make_int(retries)},
+           {"stalls", JsonValue::make_int(stalls)},
+           {"sheds", JsonValue::make_int(sheds)},
+           {"rejected", JsonValue::make_int(rejected)},
+           {"recovered", JsonValue::make_int(recovered)},
+           {"journal_lag", JsonValue::make_int(journal_lag)},
+           {"journaling", JsonValue::make_bool(journaling)},
+       })},
+      {"shards", JsonValue::make_array(std::move(shards))},
+  });
+}
+
+}  // namespace hlts::serve

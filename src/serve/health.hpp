@@ -1,0 +1,75 @@
+// Cluster health: per-shard HealthV1 snapshots merged into one view.
+//
+// The supervisor polls each worker for its api::HealthV1 snapshot and folds
+// them into a ClusterView.  The monotone counters (submitted, retries, ...)
+// go through join-semilattices (util/lattice.hpp): a MapLattice keyed by
+// shard id holding a MaxLattice per counter, so merging is associative,
+// commutative and idempotent -- a re-delivered or stale snapshot can never
+// double-count, and the cluster total is just the sum of the revealed
+// per-shard maxima.  The three gauges (queue_depth, in_flight, running) are
+// not monotone; the view keeps the latest observation per shard and sums
+// those.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "api/api.hpp"
+#include "util/json.hpp"
+#include "util/lattice.hpp"
+
+namespace hlts::serve {
+
+/// The lattice image of one shard's monotone health counters; element type
+/// for merges is api::HealthV1.  Join is fieldwise.
+class ShardCounters : public util::LatticeMixin<ShardCounters> {
+ public:
+  void do_merge(const api::HealthV1& h) {
+    submitted.merge(h.submitted);
+    retries.merge(h.retries);
+    stalls.merge(h.stalls);
+    sheds.merge(h.sheds);
+    rejected.merge(h.rejected);
+    recovered.merge(h.recovered);
+    journal_lag.merge(h.journal_lag);
+    journaling.merge(h.journaling);
+  }
+  void do_merge(const ShardCounters& o) {
+    submitted.merge_in(o.submitted);
+    retries.merge_in(o.retries);
+    stalls.merge_in(o.stalls);
+    sheds.merge_in(o.sheds);
+    rejected.merge_in(o.rejected);
+    recovered.merge_in(o.recovered);
+    journal_lag.merge_in(o.journal_lag);
+    journaling.merge_in(o.journaling);
+  }
+  /// The mixin's merge_in joins reveal(); for a product lattice that is the
+  /// lattice itself.
+  [[nodiscard]] const ShardCounters& reveal() const { return *this; }
+
+  util::MaxLattice<std::int64_t> submitted{0}, retries{0}, stalls{0}, sheds{0},
+      rejected{0}, recovered{0}, journal_lag{0};
+  util::BoolLattice journaling;
+};
+
+/// The supervisor's merged view of the whole cluster.  Not thread-safe; the
+/// owner serializes access.
+class ClusterView {
+ public:
+  /// Folds one snapshot in (idempotent for the counters; last-observation
+  /// for the gauges).
+  void observe(const api::HealthV1& h);
+
+  /// {"schema_version":1,"cluster":{totals...},"shards":[HealthV1...]}.
+  /// `alive` marks shards still running (dead shards keep reporting their
+  /// final counters -- those jobs happened).
+  [[nodiscard]] util::JsonValue to_json(
+      const std::map<int, bool>& alive) const;
+
+ private:
+  util::MapLattice<int, ShardCounters> counters_;
+  std::map<int, api::HealthV1> last_;  ///< latest raw snapshot per shard
+};
+
+}  // namespace hlts::serve

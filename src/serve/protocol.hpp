@@ -1,0 +1,73 @@
+// The NDJSON wire protocol shared by hlts_serve, its forked shard workers,
+// and the clients (hlts_load, tests).
+//
+// Framing is one JSON object per '\n'-terminated line on both transports
+// (client <-> supervisor TCP, supervisor <-> worker socketpair); the
+// payloads are the versioned DTOs from src/api.  DESIGN.md section 13
+// documents the full grammar; the shapes are:
+//
+//   client -> supervisor   {"op":"submit","request":{FlowRequestV1}}
+//                          {"op":"health"} | {"op":"kill","shard":K}
+//                          {"op":"shutdown"}
+//                          "GET /health ..." (HTTP probe, one-shot)
+//   supervisor -> client   {"ok":true,"result":{FlowResultV1}}
+//                          {"ok":true,"health":{cluster}} | {"ok":false,
+//                          "error":"..."}
+//   supervisor -> worker   {"op":"submit","tag":T,"request":{...}}
+//                          {"op":"health","tag":T}
+//                          {"op":"adopt","tag":T,"dir":"..."}
+//                          {"op":"quit"}
+//   worker -> supervisor   {"kind":"result","tag":T,"result":{...}}
+//                          {"kind":"health","tag":T,"health":{HealthV1}}
+//                          {"kind":"adopted","tag":T,"tags":[...]}
+//
+// Tag correlation: the supervisor assigns every in-flight request a unique
+// uint64 tag and embeds it in the job *name* ("t<tag>|<client name>") before
+// the worker submits to its engine.  The name -- and therefore the tag --
+// is part of the write-ahead journal record, so when a worker dies and a
+// peer adopts its journal, the recovered jobs still identify the client
+// requests they answer.  Results strip the prefix before leaving the
+// supervisor.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "api/api.hpp"
+#include "util/json.hpp"
+
+namespace hlts::serve::proto {
+
+// --- supervisor -> worker frames -------------------------------------------
+[[nodiscard]] std::string submit_line(std::uint64_t tag,
+                                      const util::JsonValue& request);
+[[nodiscard]] std::string health_line(std::uint64_t tag);
+[[nodiscard]] std::string adopt_line(std::uint64_t tag, const std::string& dir);
+[[nodiscard]] std::string quit_line();
+
+// --- worker -> supervisor frames -------------------------------------------
+[[nodiscard]] std::string result_frame(std::uint64_t tag,
+                                       const api::FlowResultV1& result);
+[[nodiscard]] std::string health_frame(std::uint64_t tag,
+                                       const api::HealthV1& health);
+[[nodiscard]] std::string adopted_frame(std::uint64_t tag,
+                                        const std::vector<std::uint64_t>& tags);
+
+// --- supervisor -> client frames -------------------------------------------
+[[nodiscard]] std::string ok_result_line(const util::JsonValue& result);
+[[nodiscard]] std::string ok_health_line(const util::JsonValue& health);
+[[nodiscard]] std::string ok_line();
+[[nodiscard]] std::string error_line(const std::string& message);
+
+// --- tag embedding ----------------------------------------------------------
+/// "t<tag>|<name>" -- the crash-durable request correlation key.
+[[nodiscard]] std::string embed_tag(std::uint64_t tag, const std::string& name);
+struct TaggedName {
+  std::uint64_t tag = 0;
+  std::string name;  ///< the client-visible name (prefix stripped)
+};
+/// Inverse of embed_tag; nullopt when `name` does not carry a tag prefix.
+[[nodiscard]] std::optional<TaggedName> split_tag(const std::string& name);
+
+}  // namespace hlts::serve::proto

@@ -1,0 +1,45 @@
+#include "serve/router.hpp"
+
+#include "util/error.hpp"
+
+namespace hlts::serve {
+
+std::uint64_t fnv1a64(const std::string& s) {
+  std::uint64_t h = 14695981039346656037ULL;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+ShardRouter::ShardRouter(int shards) : shards_(shards) {
+  HLTS_REQUIRE_INPUT(shards >= 1, "ShardRouter: need at least one shard");
+  alive_.assign(static_cast<std::size_t>(shards), true);
+}
+
+int ShardRouter::live_count() const {
+  int n = 0;
+  for (const bool a : alive_) n += a ? 1 : 0;
+  return n;
+}
+
+int ShardRouter::route(const std::string& name) const {
+  std::vector<int> live;
+  live.reserve(alive_.size());
+  for (int s = 0; s < shards_; ++s) {
+    if (alive_[s]) live.push_back(s);
+  }
+  if (live.empty()) return -1;
+  return live[fnv1a64(name) % live.size()];
+}
+
+int ShardRouter::peer_of(int shard) const {
+  for (int step = 1; step < shards_; ++step) {
+    const int s = (shard + step) % shards_;
+    if (alive_[s]) return s;
+  }
+  return -1;
+}
+
+}  // namespace hlts::serve

@@ -1,0 +1,44 @@
+// Deterministic job-name -> shard routing.
+//
+// The supervisor shards incoming jobs across its worker processes by
+// hashing the job name (FNV-1a 64) over the set of *live* shards.  Two
+// properties matter:
+//
+//   - determinism: the same (name, live set) always routes to the same
+//     shard, on every platform and every run -- no RNG, no std::hash
+//     (whose value is implementation-defined);
+//   - liveness masking: when a shard dies it simply leaves the candidate
+//     set; names redistribute over the survivors without any state.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hlts::serve {
+
+/// FNV-1a 64-bit -- the fixed, platform-independent name hash.
+[[nodiscard]] std::uint64_t fnv1a64(const std::string& s);
+
+class ShardRouter {
+ public:
+  explicit ShardRouter(int shards);
+
+  [[nodiscard]] int shards() const { return shards_; }
+  [[nodiscard]] bool alive(int shard) const { return alive_[shard]; }
+  [[nodiscard]] int live_count() const;
+  void mark_dead(int shard) { alive_[shard] = false; }
+
+  /// The live shard `name` routes to; -1 when no shard is alive.
+  [[nodiscard]] int route(const std::string& name) const;
+
+  /// The failover peer for a dead shard: the next live shard after it in
+  /// ring order (-1 when none remain).
+  [[nodiscard]] int peer_of(int shard) const;
+
+ private:
+  int shards_;
+  std::vector<bool> alive_;
+};
+
+}  // namespace hlts::serve

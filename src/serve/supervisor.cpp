@@ -1,0 +1,442 @@
+#include "serve/supervisor.hpp"
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <utility>
+
+#include "serve/protocol.hpp"
+#include "serve/worker.hpp"
+#include "util/error.hpp"
+#include "util/knobs.hpp"
+
+namespace hlts::serve {
+
+namespace {
+
+using util::JsonValue;
+
+std::string http_response(const std::string& body, const char* status) {
+  return std::string("HTTP/1.1 ") + status +
+         "\r\nContent-Type: application/json\r\nContent-Length: " +
+         std::to_string(body.size()) + "\r\nConnection: close\r\n\r\n" + body;
+}
+
+}  // namespace
+
+ServerOptions ServerOptions::from_env(ServerOptions base) {
+  if (const auto v = util::knobs::read_int("HLTS_SERVE_SHARDS"); v && *v >= 1) {
+    base.shards = static_cast<int>(*v);
+  }
+  if (const auto v = util::knobs::read_int("HLTS_SERVE_PORT"); v && *v >= 0) {
+    base.port = static_cast<int>(*v);
+  }
+  if (const auto v = util::knobs::read_size("HLTS_SERVE_MAX_REQUEST_BYTES")) {
+    base.max_request_bytes = *v;
+  }
+  return base;
+}
+
+Server::Server(ServerOptions options)
+    : options_(std::move(options)),
+      listener_(options_.port),
+      router_(options_.shards) {
+  HLTS_REQUIRE_INPUT(!options_.journal_root.empty(),
+                     "Server: journal_root is required");
+  // Fork every worker before any thread exists in this process (run()
+  // starts the first ones); a fork after that would clone locked mutexes
+  // into the child.
+  workers_.reserve(static_cast<std::size_t>(options_.shards));
+  for (int shard = 0; shard < options_.shards; ++shard) {
+    auto [parent_end, child_end] = util::net::socket_pair();
+    const pid_t pid = ::fork();
+    HLTS_REQUIRE(pid >= 0, "Server: fork failed");
+    if (pid == 0) {
+      // Child: drop every fd that belongs to the supervisor side.
+      listener_.close_now();
+      parent_end.close();
+      for (auto& w : workers_) w->fd.close();
+      WorkerConfig config;
+      config.shard = shard;
+      config.journal_dir =
+          options_.journal_root + "/shard-" + std::to_string(shard);
+      config.engine = options_.engine;
+      config.max_line_bytes = options_.max_request_bytes + (1u << 20);
+      run_worker(child_end.get(), config);
+      // Skip global destructors: this child shares no state worth tearing
+      // down, and the engine drained inside run_worker.
+      std::_Exit(0);
+    }
+    auto w = std::make_unique<Worker>();
+    w->shard = shard;
+    w->pid = pid;
+    w->fd = std::move(parent_end);
+    w->journal_dir = options_.journal_root + "/shard-" + std::to_string(shard);
+    workers_.push_back(std::move(w));
+  }
+}
+
+Server::~Server() {
+  stop();
+  for (const auto& w : workers_) {
+    if (w->reader.joinable()) w->reader.join();
+  }
+  for (const auto& w : workers_) {
+    (void)::waitpid(w->pid, nullptr, 0);  // ECHILD when already reaped
+  }
+  {
+    std::lock_guard<std::mutex> lock(conns_mutex_);
+    for (const ConnPtr& c : conns_) util::net::shutdown_fd(c->fd.get());
+  }
+  for (std::thread& t : conn_threads_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void Server::run() {
+  for (const auto& w : workers_) {
+    w->reader = std::thread(&Server::worker_reader_loop, this, w->shard);
+  }
+  while (true) {
+    util::net::Fd client = listener_.accept();
+    if (!client.valid()) break;  // shutdown_now(): orderly shutdown
+    auto conn = std::make_shared<Conn>();
+    conn->fd = std::move(client);
+    std::lock_guard<std::mutex> lock(conns_mutex_);
+    conns_.push_back(conn);
+    conn_threads_.emplace_back(&Server::client_loop, this, conn);
+  }
+  // Workers drain (finish + flush every accepted job) before their EOF.
+  for (const auto& w : workers_) {
+    if (w->reader.joinable()) w->reader.join();
+  }
+  std::lock_guard<std::mutex> lock(conns_mutex_);
+  for (const ConnPtr& c : conns_) util::net::shutdown_fd(c->fd.get());
+  for (std::thread& t : conn_threads_) {
+    if (t.joinable()) t.join();
+  }
+  conn_threads_.clear();
+}
+
+void Server::stop() {
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    if (stopping_) return;
+    stopping_ = true;
+  }
+  for (const auto& w : workers_) {
+    bool alive;
+    {
+      std::lock_guard<std::mutex> lock(state_mutex_);
+      alive = w->alive;
+    }
+    if (alive) send_to_worker(w->shard, proto::quit_line());
+  }
+  listener_.shutdown_now();
+}
+
+void Server::send_to_worker(int shard, const std::string& frame) {
+  Worker& w = *workers_[static_cast<std::size_t>(shard)];
+  std::lock_guard<std::mutex> lock(w.write_mutex);
+  try {
+    util::net::write_all(w.fd.get(), frame);
+  } catch (const Error&) {
+    // Worker just died: its reader thread's EOF runs the failover machine,
+    // which re-covers everything this frame carried (pending table).
+  }
+}
+
+void Server::reply(const ConnPtr& conn, const std::string& line) {
+  std::lock_guard<std::mutex> lock(conn->write_mutex);
+  try {
+    util::net::write_all(conn->fd.get(), line);
+  } catch (const Error&) {
+    // Client gone; results for its tags are dropped on arrival.
+  }
+}
+
+std::map<int, bool> Server::alive_map_locked() const {
+  std::map<int, bool> alive;
+  for (const auto& w : workers_) alive[w->shard] = w->alive;
+  return alive;
+}
+
+void Server::forward_locked(std::uint64_t tag) {
+  auto it = pending_.find(tag);
+  if (it == pending_.end()) return;
+  const int shard = router_.route(it->second.name);
+  if (shard < 0) {
+    const ConnPtr conn = it->second.conn;
+    pending_.erase(it);
+    reply(conn, proto::error_line("no live shard"));
+    return;
+  }
+  it->second.shard = shard;
+  send_to_worker(shard, proto::submit_line(tag, it->second.request));
+}
+
+void Server::handle_submit(const ConnPtr& conn, const util::JsonValue& doc) {
+  const JsonValue* request = doc.find("request");
+  if (request == nullptr) {
+    reply(conn, proto::error_line("submit: missing request"));
+    return;
+  }
+  std::string name;
+  try {
+    // Full schema validation at the boundary; the worker re-validates on
+    // its trusted link but never sees a malformed document.
+    name = api::FlowRequestV1::from_json(*request).name;
+  } catch (const Error& e) {
+    reply(conn, proto::error_line(e.what()));
+    return;
+  }
+  const std::uint64_t tag = next_tag();
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  if (stopping_) {
+    reply(conn, proto::error_line("server is shutting down"));
+    return;
+  }
+  pending_[tag] = Pending{-1, std::move(name), *request, conn};
+  forward_locked(tag);
+}
+
+void Server::handle_health(const ConnPtr& conn, bool http) {
+  std::vector<int> live;
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    for (const auto& w : workers_) {
+      if (w->alive) live.push_back(w->shard);
+    }
+    if (live.empty()) {
+      const std::string body = util::json_dump(view_.to_json(alive_map_locked()));
+      reply(conn, http ? http_response(body, "200 OK")
+                       : proto::ok_health_line(util::json_parse(body).value()));
+      if (http) util::net::shutdown_fd(conn->fd.get());
+      return;
+    }
+    auto query = std::make_shared<HealthQuery>();
+    query->conn = conn;
+    query->http = http;
+    std::vector<std::pair<std::uint64_t, int>> probes;
+    probes.reserve(live.size());
+    for (const int shard : live) {
+      const std::uint64_t tag = next_tag();
+      query->outstanding.insert(tag);
+      health_probes_[tag] = ProbeEntry{query, shard};
+      probes.emplace_back(tag, shard);
+    }
+    for (const auto& [tag, shard] : probes) {
+      send_to_worker(shard, proto::health_line(tag));
+    }
+  }
+}
+
+void Server::finish_health_probe(std::uint64_t tag) {
+  // state_mutex_ held by caller.
+  const auto it = health_probes_.find(tag);
+  if (it == health_probes_.end()) return;
+  const std::shared_ptr<HealthQuery> query = it->second.query;
+  health_probes_.erase(it);
+  query->outstanding.erase(tag);
+  if (!query->outstanding.empty()) return;
+  const std::string body = util::json_dump(view_.to_json(alive_map_locked()));
+  if (query->http) {
+    reply(query->conn, http_response(body, "200 OK"));
+    util::net::shutdown_fd(query->conn->fd.get());
+  } else {
+    reply(query->conn, proto::ok_health_line(util::json_parse(body).value()));
+  }
+}
+
+void Server::worker_reader_loop(int shard) {
+  Worker& w = *workers_[static_cast<std::size_t>(shard)];
+  util::net::LineReader reader(w.fd.get(),
+                               options_.max_request_bytes + (2u << 20));
+  try {
+    while (const auto line = reader.read_line()) {
+      const auto doc = util::json_parse(*line);
+      if (!doc || !doc->is_object()) continue;
+      const std::string kind = doc->get_string("kind");
+      const std::uint64_t tag =
+          static_cast<std::uint64_t>(doc->get_int("tag", 0));
+      if (kind == "result") {
+        const JsonValue* result = doc->find("result");
+        if (result == nullptr) continue;
+        ConnPtr conn;
+        {
+          std::lock_guard<std::mutex> lock(state_mutex_);
+          const auto it = pending_.find(tag);
+          if (it == pending_.end()) continue;  // duplicate / orphan replay
+          conn = it->second.conn;
+          pending_.erase(it);
+        }
+        reply(conn, proto::ok_result_line(*result));
+      } else if (kind == "health") {
+        const JsonValue* health = doc->find("health");
+        if (health == nullptr) continue;
+        std::lock_guard<std::mutex> lock(state_mutex_);
+        try {
+          view_.observe(api::HealthV1::from_json(*health));
+        } catch (const Error&) {
+          // Malformed snapshot: still resolve the probe.
+        }
+        finish_health_probe(tag);
+      } else if (kind == "adopted") {
+        std::set<std::uint64_t> adopted;
+        if (const JsonValue* tags = doc->find("tags"); tags && tags->is_array()) {
+          for (const JsonValue& t : tags->as_array()) {
+            if (t.is_int()) adopted.insert(static_cast<std::uint64_t>(t.as_int()));
+          }
+        }
+        std::lock_guard<std::mutex> lock(state_mutex_);
+        const auto it = adoptions_.find(tag);
+        if (it == adoptions_.end()) continue;
+        const Adoption adoption = it->second;
+        adoptions_.erase(it);
+        for (const std::uint64_t t : adoption.owned) {
+          const auto p = pending_.find(t);
+          if (p == pending_.end()) continue;  // result arrived meanwhile
+          if (adopted.count(t) != 0) {
+            // Journaled before the crash: resumes on the peer from its
+            // last checkpoint.
+            p->second.shard = adoption.peer;
+          } else {
+            // Died before its write-ahead record: replay the supervisor's
+            // copy onto a live shard.
+            forward_locked(t);
+          }
+        }
+      }
+    }
+  } catch (const Error&) {
+    // Poisoned frame from the worker: treat as a dead worker.
+  }
+  on_worker_death(shard);
+}
+
+void Server::on_worker_death(int shard) {
+  Worker& w = *workers_[static_cast<std::size_t>(shard)];
+  (void)::waitpid(w.pid, nullptr, 0);
+
+  std::vector<std::pair<ConnPtr, std::string>> replies;
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    if (!w.alive) return;
+    w.alive = false;
+    router_.mark_dead(shard);
+
+    // Health fan-outs waiting on this shard would hang forever: strike its
+    // probes and complete any query that only waited on it.
+    std::vector<std::uint64_t> dead_probes;
+    for (const auto& [tag, entry] : health_probes_) {
+      if (entry.shard == shard) dead_probes.push_back(tag);
+    }
+    for (const std::uint64_t tag : dead_probes) finish_health_probe(tag);
+
+    if (stopping_) return;  // orderly drain, nothing to fail over
+
+    // Requests the dead shard owned, plus requests from adoptions it had
+    // accepted but not yet answered (their journal state is unknown: replay
+    // them from the pending table -- duplicate execution is benign, the
+    // first result wins and results are bit-identical anyway).
+    std::set<std::uint64_t> owned;
+    for (const auto& [tag, p] : pending_) {
+      if (p.shard == shard) owned.insert(tag);
+    }
+    std::set<std::uint64_t> resubmit;
+    std::vector<std::uint64_t> stale_adopts;
+    for (auto& [tag, adoption] : adoptions_) {
+      if (adoption.peer != shard) continue;
+      for (const std::uint64_t t : adoption.owned) {
+        if (pending_.count(t) != 0) resubmit.insert(t);
+      }
+      stale_adopts.push_back(tag);
+    }
+    for (const std::uint64_t tag : stale_adopts) adoptions_.erase(tag);
+
+    const int peer = router_.peer_of(shard);
+    if (peer < 0) {
+      for (const std::uint64_t t : owned) {
+        replies.emplace_back(pending_[t].conn,
+                             proto::error_line("all shards dead"));
+        pending_.erase(t);
+      }
+      for (const std::uint64_t t : resubmit) {
+        if (pending_.count(t) == 0) continue;
+        replies.emplace_back(pending_[t].conn,
+                             proto::error_line("all shards dead"));
+        pending_.erase(t);
+      }
+    } else {
+      const std::uint64_t adopt_tag = next_tag();
+      adoptions_[adopt_tag] = Adoption{shard, peer, owned};
+      send_to_worker(peer, proto::adopt_line(adopt_tag, w.journal_dir));
+      for (const std::uint64_t t : resubmit) forward_locked(t);
+    }
+  }
+  for (const auto& [conn, line] : replies) reply(conn, line);
+}
+
+void Server::client_loop(ConnPtr conn) {
+  util::net::LineReader reader(conn->fd.get(), options_.max_request_bytes);
+  while (true) {
+    std::optional<std::string> line;
+    try {
+      line = reader.read_line();
+    } catch (const Error& e) {
+      // The server-boundary document cap: refuse and drop the connection
+      // (the reader cannot resynchronize inside an oversized line).
+      reply(conn, proto::error_line(e.what()));
+      util::net::shutdown_fd(conn->fd.get());
+      return;
+    }
+    if (!line) return;
+    if (line->rfind("GET ", 0) == 0) {
+      // Minimal HTTP probe support.  Drain the request head, then serve.
+      while (const auto header = reader.read_line()) {
+        if (header->empty() || *header == "\r") break;
+      }
+      if (line->rfind("GET /health", 0) == 0) {
+        handle_health(conn, /*http=*/true);
+      } else {
+        reply(conn, http_response("{\"error\":\"not found\"}\n", "404 Not Found"));
+        util::net::shutdown_fd(conn->fd.get());
+      }
+      return;
+    }
+    const auto doc = util::json_parse(*line);
+    if (!doc || !doc->is_object()) {
+      reply(conn, proto::error_line("malformed request line"));
+      continue;
+    }
+    const std::string op = doc->get_string("op");
+    if (op == "submit") {
+      handle_submit(conn, *doc);
+    } else if (op == "health") {
+      handle_health(conn, /*http=*/false);
+    } else if (op == "kill") {
+      const int shard = static_cast<int>(doc->get_int("shard", -1));
+      bool ok = false;
+      {
+        std::lock_guard<std::mutex> lock(state_mutex_);
+        if (shard >= 0 && shard < options_.shards &&
+            workers_[static_cast<std::size_t>(shard)]->alive) {
+          ok = ::kill(workers_[static_cast<std::size_t>(shard)]->pid,
+                      SIGKILL) == 0;
+        }
+      }
+      reply(conn, ok ? proto::ok_line()
+                     : proto::error_line("kill: no such live shard"));
+    } else if (op == "shutdown") {
+      reply(conn, proto::ok_line());
+      stop();
+      return;
+    } else {
+      reply(conn, proto::error_line("unknown op '" + op + "'"));
+    }
+  }
+}
+
+}  // namespace hlts::serve

@@ -1,0 +1,171 @@
+// The hlts_serve supervisor: fork/monitor/failover over N shard workers.
+//
+// Process model (DESIGN.md section 13): the supervisor forks every worker
+// *before* starting any thread (fork from a multithreaded process would be
+// undefined for the child's locks), then runs threads only in the parent:
+//
+//   - one acceptor thread feeding per-connection client threads,
+//   - one reader thread per worker socketpair, delivering result/health
+//     frames and detecting worker death (EOF on the pair).
+//
+// Job flow: a client submit is validated (size cap at the line reader,
+// schema by api::FlowRequestV1), tagged, routed by ShardRouter over the
+// live shards, and forwarded; the worker's result frame is matched back to
+// the waiting connection by tag.  Requests are kept in the pending table
+// (tag -> shard, request document, connection) until their result arrives
+// -- the supervisor's own replay copy.
+//
+// Failover state machine per worker death:
+//   EOF -> reap the pid, mark the shard dead, pick the ring peer ->
+//   send `adopt <dead journal dir>` to the peer -> on the adopted reply,
+//   every pending tag of the dead shard is either (a) in the adopted set:
+//   its journaled job resumes on the peer from its last checkpoint, or
+//   (b) absent: it died before its write-ahead record, so the supervisor
+//   resubmits it from the pending table to a live shard.  Either way the
+//   client gets exactly one result, and results stay bit-identical to a
+//   single-process run (the engine's recovery contract).  If the peer dies
+//   too, its own EOF repeats the machine -- including re-targeting adopts
+//   it had not answered.
+//
+// Health: per-worker HealthV1 snapshots merge into the lattice-backed
+// ClusterView; `{"op":"health"}` and HTTP `GET /health` both serve it.
+#pragma once
+
+#include <sys/types.h>
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/engine.hpp"
+#include "serve/health.hpp"
+#include "serve/router.hpp"
+#include "util/json.hpp"
+#include "util/socket.hpp"
+
+namespace hlts::serve {
+
+struct ServerOptions {
+  int shards = 4;             ///< worker processes (HLTS_SERVE_SHARDS)
+  int port = 0;               ///< 0 = ephemeral (HLTS_SERVE_PORT)
+  std::size_t max_request_bytes = 4u << 20;  ///< request-line cap
+  std::string journal_root;   ///< required; shard k journals in shard-<k>/
+  engine::EngineOptions engine{};  ///< base options for every worker
+
+  /// Applies HLTS_SERVE_SHARDS / HLTS_SERVE_PORT /
+  /// HLTS_SERVE_MAX_REQUEST_BYTES on top of `base` (explicit fields win;
+  /// malformed values throw Error(Input) via the knob registry).
+  [[nodiscard]] static ServerOptions from_env(ServerOptions base);
+};
+
+class Server {
+ public:
+  /// Binds the listener and forks the workers.  No threads yet.
+  explicit Server(ServerOptions options);
+  /// Joins everything; if run() was never driven to shutdown, stops first.
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  [[nodiscard]] int port() const { return listener_.port(); }
+
+  /// Serves until a client sends {"op":"shutdown"} (or stop() is called
+  /// from another thread).  Drains workers before returning.
+  void run();
+
+  /// Initiates the same orderly shutdown as the protocol op.
+  void stop();
+
+ private:
+  struct Worker {
+    int shard = 0;
+    pid_t pid = -1;
+    util::net::Fd fd;        ///< supervisor end of the socketpair
+    std::mutex write_mutex;  ///< serializes frames onto fd
+    std::thread reader;
+    bool alive = true;       ///< guarded by state_mutex_
+    std::string journal_dir;
+  };
+
+  /// One client connection; result frames are written from worker-reader
+  /// threads, so writes go through the mutex.
+  struct Conn {
+    util::net::Fd fd;
+    std::mutex write_mutex;
+  };
+  using ConnPtr = std::shared_ptr<Conn>;
+
+  /// A request awaiting its result -- the supervisor's replay copy.
+  struct Pending {
+    int shard = -1;
+    std::string name;          ///< client-visible job name (routing key)
+    util::JsonValue request;   ///< FlowRequestV1 document (for resubmit)
+    ConnPtr conn;
+  };
+
+  /// An outstanding cluster-health fan-out.
+  struct HealthQuery {
+    ConnPtr conn;
+    std::set<std::uint64_t> outstanding;  ///< per-worker probe tags
+    bool http = false;  ///< reply as an HTTP response and close
+  };
+  /// One probe tag of a health fan-out, with the shard it went to (so a
+  /// dying shard can be struck from the query instead of hanging it).
+  struct ProbeEntry {
+    std::shared_ptr<HealthQuery> query;
+    int shard = -1;
+  };
+
+  /// An outstanding adopt sent to `peer` for `dead`'s journal.
+  struct Adoption {
+    int dead = -1;
+    int peer = -1;
+    std::set<std::uint64_t> owned;  ///< pending tags the dead shard held
+  };
+
+  void accept_loop();
+  void client_loop(ConnPtr conn);
+  void worker_reader_loop(int shard);
+  /// The failover state machine (see file comment).  Called from the dead
+  /// worker's reader thread after EOF.
+  void on_worker_death(int shard);
+  void handle_submit(const ConnPtr& conn, const util::JsonValue& doc);
+  void handle_health(const ConnPtr& conn, bool http);
+  void finish_health_probe(std::uint64_t tag);
+  /// Routes + forwards one pending request (state_mutex_ held by caller).
+  void forward_locked(std::uint64_t tag);
+  void send_to_worker(int shard, const std::string& frame);
+  void reply(const ConnPtr& conn, const std::string& line);
+  [[nodiscard]] std::uint64_t next_tag() {
+    return tag_counter_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+  [[nodiscard]] std::map<int, bool> alive_map_locked() const;
+
+  ServerOptions options_;
+  util::net::Listener listener_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+
+  std::mutex state_mutex_;
+  ShardRouter router_;
+  ClusterView view_;
+  std::map<std::uint64_t, Pending> pending_;
+  std::map<std::uint64_t, ProbeEntry> health_probes_;
+  std::map<std::uint64_t, Adoption> adoptions_;
+  bool stopping_ = false;
+
+  std::mutex conns_mutex_;
+  std::vector<ConnPtr> conns_;
+  std::vector<std::thread> conn_threads_;
+
+  std::atomic<std::uint64_t> tag_counter_{0};
+  std::thread acceptor_;
+};
+
+}  // namespace hlts::serve

@@ -1,0 +1,127 @@
+#include "serve/worker.hpp"
+
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "serve/protocol.hpp"
+#include "util/error.hpp"
+#include "util/json.hpp"
+#include "util/socket.hpp"
+
+namespace hlts::serve {
+
+namespace {
+
+using util::JsonValue;
+
+/// A failed-before-running submission still answers with a FlowResultV1 so
+/// the supervisor/client sees a uniform result stream.
+api::FlowResultV1 refusal(const std::string& name, const std::string& error) {
+  api::FlowResultV1 r;
+  r.name = name;
+  r.state = "rejected";
+  r.error = error;
+  return r;
+}
+
+}  // namespace
+
+void run_worker(int fd, const WorkerConfig& config) {
+  engine::EngineOptions opts = config.engine;
+  opts.journal_dir = config.journal_dir;
+  engine::Engine engine(opts);
+
+  std::mutex write_mutex;
+  std::vector<std::thread> waiters;
+
+  auto send = [&](const std::string& frame) {
+    std::lock_guard<std::mutex> lock(write_mutex);
+    try {
+      util::net::write_all(fd, frame);
+    } catch (const Error&) {
+      // Supervisor gone; the protocol loop will see EOF and drain.
+    }
+  };
+
+  // One waiter per job: blocks until the job finishes, then flushes its
+  // result frame.  The job name carries the supervisor's tag.
+  auto deliver = [&](const engine::JobPtr& job) {
+    waiters.emplace_back([&send, job] {
+      job->wait();
+      api::FlowResultV1 result = engine::job_result_to_api(*job);
+      std::uint64_t tag = 0;
+      if (const auto tagged = proto::split_tag(result.name)) {
+        tag = tagged->tag;
+        result.name = tagged->name;
+      }
+      send(proto::result_frame(tag, result));
+    });
+  };
+
+  // A restarted worker first replays its own journal (re-journaling mode:
+  // same directory, so checkpoints and done markers keep flowing).
+  {
+    const engine::Engine::RecoveryReport report = engine.recover(config.journal_dir);
+    for (const engine::JobPtr& job : report.jobs) deliver(job);
+  }
+
+  util::net::LineReader reader(fd, config.max_line_bytes);
+  try {
+    while (const auto line = reader.read_line()) {
+      std::string parse_error;
+      const auto doc = util::json_parse(*line, &parse_error);
+      if (!doc || !doc->is_object()) continue;  // trusted link; skip noise
+      const std::string op = doc->get_string("op");
+      const std::uint64_t tag =
+          static_cast<std::uint64_t>(doc->get_int("tag", 0));
+      if (op == "quit") break;
+      if (op == "health") {
+        send(proto::health_frame(tag, engine.health().to_api(config.shard)));
+      } else if (op == "submit") {
+        const JsonValue* request = doc->find("request");
+        if (request == nullptr) {
+          send(proto::result_frame(tag, refusal("", "submit: missing request")));
+          continue;
+        }
+        try {
+          api::FlowRequestV1 req = api::FlowRequestV1::from_json(*request);
+          req.name = proto::embed_tag(tag, req.name);
+          deliver(engine.submit(req));
+        } catch (const Error& e) {
+          send(proto::result_frame(
+              tag, refusal(request->get_string("name"), e.what())));
+        }
+      } else if (op == "adopt") {
+        // Replay a dead peer's journal.  One-shot mode (foreign directory):
+        // recovered jobs resume from their checkpoints and complete here.
+        const std::string dir = doc->get_string("dir");
+        std::vector<std::uint64_t> adopted;
+        try {
+          const engine::Engine::RecoveryReport report = engine.recover(dir);
+          adopted.reserve(report.jobs.size());
+          for (const engine::JobPtr& job : report.jobs) {
+            if (const auto tagged = proto::split_tag(job->name())) {
+              adopted.push_back(tagged->tag);
+            }
+            deliver(job);
+          }
+        } catch (const Error&) {
+          // Unreadable directory: adopted stays empty; the supervisor
+          // resubmits every affected request from its own copy.
+        }
+        send(proto::adopted_frame(tag, adopted));
+      }
+    }
+  } catch (const Error&) {
+    // Oversized/poisoned frame on the trusted link: treat as EOF and drain.
+  }
+
+  // Drain: every accepted job runs to completion and its result frame is
+  // flushed before the process exits (graceful shutdown loses nothing).
+  for (std::thread& t : waiters) t.join();
+}
+
+}  // namespace hlts::serve

@@ -10,6 +10,7 @@
 #include <thread>
 
 #include "util/error.hpp"
+#include "util/knobs.hpp"
 
 namespace hlts::util::failpoint {
 
@@ -116,10 +117,11 @@ bool parse_spec(const std::string& text, Spec* out, std::string* error) {
 /// to run a "fault-injection soak" that silently injects nothing.
 struct EnvInit {
   EnvInit() {
-    const char* env = std::getenv("HLTS_FAILPOINTS");
-    if (env == nullptr || *env == '\0') return;
+    const std::optional<std::string> env =
+        knobs::read_string("HLTS_FAILPOINTS");
+    if (!env) return;
     std::string error;
-    if (!configure(env, &error)) {
+    if (!configure(*env, &error)) {
       std::fprintf(stderr, "HLTS_FAILPOINTS: %s\n", error.c_str());
       std::abort();
     }

@@ -9,26 +9,107 @@
 
 namespace hlts::util {
 
+namespace {
+
+void append_u16_escape(std::string& out, unsigned code) {
+  char buf[8];
+  std::snprintf(buf, sizeof buf, "\\u%04x", code & 0xFFFFu);
+  out += buf;
+}
+
+/// Decodes one UTF-8 sequence starting at s[i]; advances i past it and
+/// returns the code point, or nullopt (i advanced by one byte) when the
+/// bytes are not valid UTF-8.
+std::optional<std::uint32_t> decode_utf8(const std::string& s,
+                                         std::size_t& i) {
+  const auto byte = [&](std::size_t k) {
+    return static_cast<unsigned char>(s[k]);
+  };
+  const unsigned char b0 = byte(i);
+  std::size_t len = 0;
+  std::uint32_t code = 0;
+  if (b0 < 0x80) {
+    ++i;
+    return b0;
+  }
+  if ((b0 & 0xE0) == 0xC0) {
+    len = 2;
+    code = b0 & 0x1Fu;
+  } else if ((b0 & 0xF0) == 0xE0) {
+    len = 3;
+    code = b0 & 0x0Fu;
+  } else if ((b0 & 0xF8) == 0xF0) {
+    len = 4;
+    code = b0 & 0x07u;
+  } else {
+    ++i;
+    return std::nullopt;
+  }
+  if (i + len > s.size()) {
+    ++i;
+    return std::nullopt;
+  }
+  for (std::size_t k = 1; k < len; ++k) {
+    const unsigned char b = byte(i + k);
+    if ((b & 0xC0) != 0x80) {
+      ++i;
+      return std::nullopt;
+    }
+    code = (code << 6) | (b & 0x3Fu);
+  }
+  // Reject overlong encodings, surrogates and out-of-range code points --
+  // they must not round-trip as if they were the short form.
+  static constexpr std::uint32_t kMin[] = {0, 0, 0x80, 0x800, 0x10000};
+  if (code < kMin[len] || code > 0x10FFFF ||
+      (code >= 0xD800 && code <= 0xDFFF)) {
+    ++i;
+    return std::nullopt;
+  }
+  i += len;
+  return code;
+}
+
+}  // namespace
+
 std::string json_escape(const std::string& s) {
+  // Wire-hardened escaping: the output is pure ASCII.  Control bytes use
+  // the RFC 8259 escapes, non-ASCII text is \u-escaped by decoded code
+  // point (surrogate pairs above the BMP), and bytes that are not valid
+  // UTF-8 become U+FFFD -- a malformed name can then never smuggle raw
+  // bytes into a journal record or across the wire protocol.
   std::string out;
   out.reserve(s.size());
-  for (const char c : s) {
+  std::size_t i = 0;
+  while (i < s.size()) {
+    const char c = s[i];
     switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\b': out += "\\b"; break;
-      case '\f': out += "\\f"; break;
-      case '\n': out += "\\n"; break;
-      case '\r': out += "\\r"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
+      case '"': out += "\\\""; ++i; continue;
+      case '\\': out += "\\\\"; ++i; continue;
+      case '\b': out += "\\b"; ++i; continue;
+      case '\f': out += "\\f"; ++i; continue;
+      case '\n': out += "\\n"; ++i; continue;
+      case '\r': out += "\\r"; ++i; continue;
+      case '\t': out += "\\t"; ++i; continue;
+      default: break;
+    }
+    const unsigned char u = static_cast<unsigned char>(c);
+    if (u >= 0x20 && u < 0x7F) {  // printable ASCII passes through
+      out += c;
+      ++i;
+      continue;
+    }
+    if (u < 0x20 || u == 0x7F) {  // control bytes, including DEL
+      append_u16_escape(out, u);
+      ++i;
+      continue;
+    }
+    const std::uint32_t code = decode_utf8(s, i).value_or(0xFFFD);
+    if (code < 0x10000) {
+      append_u16_escape(out, code);
+    } else {  // astral plane: UTF-16 surrogate pair
+      const std::uint32_t v = code - 0x10000;
+      append_u16_escape(out, 0xD800 + (v >> 10));
+      append_u16_escape(out, 0xDC00 + (v & 0x3FF));
     }
   }
   return out;
@@ -113,6 +194,12 @@ JsonWriter& JsonWriter::value(int v) { return value(static_cast<std::int64_t>(v)
 JsonWriter& JsonWriter::value(bool v) {
   element();
   out_ += v ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::raw_value(const std::string& json) {
+  element();
+  out_ += json;
   return *this;
 }
 
@@ -292,6 +379,27 @@ class JsonParser {
     return true;
   }
 
+  /// Consumes exactly four hex digits into `*code`.
+  bool parse_hex4(unsigned* code) {
+    if (pos_ + 4 > text_.size()) return fail("truncated \\u escape");
+    *code = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char h = text_[pos_ + static_cast<std::size_t>(i)];
+      *code <<= 4;
+      if (h >= '0' && h <= '9') {
+        *code |= static_cast<unsigned>(h - '0');
+      } else if (h >= 'a' && h <= 'f') {
+        *code |= static_cast<unsigned>(h - 'a' + 10);
+      } else if (h >= 'A' && h <= 'F') {
+        *code |= static_cast<unsigned>(h - 'A' + 10);
+      } else {
+        return fail("malformed \\u escape");
+      }
+    }
+    pos_ += 4;
+    return true;
+  }
+
   bool parse_string(std::string* out) {
     ++pos_;  // opening quote
     out->clear();
@@ -321,37 +429,44 @@ class JsonParser {
         case 'r': out->push_back('\r'); break;
         case 't': out->push_back('\t'); break;
         case 'u': {
-          if (pos_ + 4 > text_.size()) return fail("truncated \\u escape");
           unsigned code = 0;
-          for (int i = 0; i < 4; ++i) {
-            const char h = text_[pos_ + static_cast<std::size_t>(i)];
-            code <<= 4;
-            if (h >= '0' && h <= '9') {
-              code |= static_cast<unsigned>(h - '0');
-            } else if (h >= 'a' && h <= 'f') {
-              code |= static_cast<unsigned>(h - 'a' + 10);
-            } else if (h >= 'A' && h <= 'F') {
-              code |= static_cast<unsigned>(h - 'A' + 10);
-            } else {
-              return fail("malformed \\u escape");
+          if (!parse_hex4(&code)) return false;
+          // UTF-8 encode the escaped code point.  The writer escapes all
+          // non-ASCII text, so the full UTF-16 repertoire must decode:
+          // a high surrogate combines with the following \uDC00-\uDFFF low
+          // surrogate into one astral code point; lone surrogates stay
+          // malformed input.
+          std::uint32_t cp = code;
+          if (code >= 0xD800 && code <= 0xDBFF) {
+            if (pos_ + 2 > text_.size() || text_[pos_] != '\\' ||
+                text_[pos_ + 1] != 'u') {
+              return fail("high surrogate without low surrogate");
             }
+            pos_ += 2;
+            unsigned low = 0;
+            if (!parse_hex4(&low)) return false;
+            if (low < 0xDC00 || low > 0xDFFF) {
+              return fail("high surrogate followed by non-low surrogate");
+            }
+            cp = 0x10000 + ((static_cast<std::uint32_t>(code) - 0xD800) << 10) +
+                 (low - 0xDC00);
+          } else if (code >= 0xDC00 && code <= 0xDFFF) {
+            return fail("lone low surrogate");
           }
-          pos_ += 4;
-          // UTF-8 encode (the writer only ever emits \u00xx control
-          // escapes, but accept the full BMP; surrogate pairs are rejected
-          // as the journal never contains them).
-          if (code >= 0xD800 && code <= 0xDFFF) {
-            return fail("surrogate \\u escape unsupported");
-          }
-          if (code < 0x80) {
-            out->push_back(static_cast<char>(code));
-          } else if (code < 0x800) {
-            out->push_back(static_cast<char>(0xC0 | (code >> 6)));
-            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          if (cp < 0x80) {
+            out->push_back(static_cast<char>(cp));
+          } else if (cp < 0x800) {
+            out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+            out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+          } else if (cp < 0x10000) {
+            out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+            out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+            out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
           } else {
-            out->push_back(static_cast<char>(0xE0 | (code >> 12)));
-            out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
-            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            out->push_back(static_cast<char>(0xF0 | (cp >> 18)));
+            out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+            out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+            out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
           }
           break;
         }

@@ -19,7 +19,10 @@
 
 namespace hlts::util {
 
-/// Escapes `s` for inclusion inside a JSON string literal (no quotes added).
+/// Escapes `s` for inclusion inside a JSON string literal (no quotes
+/// added).  Wire-hardened: the output is pure ASCII -- control bytes and
+/// DEL use \u00xx escapes, valid UTF-8 is \u-escaped by code point
+/// (surrogate pairs above the BMP), and invalid UTF-8 bytes become U+FFFD.
 [[nodiscard]] std::string json_escape(const std::string& s);
 
 class JsonWriter {
@@ -36,6 +39,9 @@ class JsonWriter {
   JsonWriter& value(std::int64_t v);
   JsonWriter& value(int v);
   JsonWriter& value(bool v);
+  /// Splices pre-serialized JSON in as one value (caller guarantees it is a
+  /// complete, valid document fragment -- e.g. json_dump output).
+  JsonWriter& raw_value(const std::string& json);
   JsonWriter& null_value();
 
   [[nodiscard]] const std::string& str() const { return out_; }

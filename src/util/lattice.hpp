@@ -1,0 +1,132 @@
+// Coordination-free monotonic merge lattices for cross-shard aggregation.
+//
+// The serving layer (src/serve) aggregates per-shard EngineHealth snapshots
+// into one cluster view without any cross-process coordination: each shard's
+// counters only ever grow, so a supervisor that merges snapshots -- in any
+// order, any number of times, including replays of stale ones -- converges
+// to the same cluster totals.  The algebra that guarantees this is the
+// bounded join-semilattice: merge must be associative, commutative and
+// idempotent, which makes delivery order, duplication and retries all
+// harmless (the CvRDT argument).
+//
+// The CRTP mixin mirrors the tiered-storage lattice library's shape: a
+// derived lattice supplies `do_merge` (the join) and the mixin provides the
+// uniform merge/reveal surface.  Four concrete lattices cover the health
+// aggregation:
+//
+//   BoolLattice      -- join is OR ("any shard is journaling / unhealthy")
+//   MaxLattice<T>    -- join is max (monotone per-shard counters, high-water
+//                       gauges)
+//   MinLattice<T>    -- join is min (first-seen timestamps, tightest caps)
+//   MapLattice<K,L>  -- pointwise join of per-key lattices.  This is how a
+//                       cluster-wide *sum* of monotone counters stays
+//                       idempotent: keep MaxLattice per shard id and sum the
+//                       revealed per-shard maxima.  Re-merging an old
+//                       snapshot can never double-count.
+//
+// Everything is header-only and allocation-free except MapLattice's map.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <map>
+
+namespace hlts::util {
+
+/// CRTP base: `Derived` supplies `do_merge(const Element&)` (the join) and
+/// exposes its element type; the mixin provides the uniform API.  A lattice
+/// default-constructs to its bottom element, so merging into a fresh
+/// instance is the identity.
+template <class Derived>
+class LatticeMixin {
+ public:
+  /// Joins `e` into this lattice (monotone: reveal() never moves down).
+  template <class Element>
+  void merge(const Element& e) {
+    self().do_merge(e);
+  }
+  /// Joins another instance of the same lattice.
+  void merge_in(const Derived& other) { self().do_merge(other.reveal()); }
+
+ private:
+  Derived& self() { return static_cast<Derived&>(*this); }
+};
+
+/// Join = logical OR; bottom = false.
+class BoolLattice : public LatticeMixin<BoolLattice> {
+ public:
+  BoolLattice() = default;
+  explicit BoolLattice(bool e) : element_(e) {}
+  void do_merge(bool e) { element_ = element_ || e; }
+  [[nodiscard]] bool reveal() const { return element_; }
+
+ private:
+  bool element_ = false;
+};
+
+/// Join = max; bottom = the type's lowest value (0 for the unsigned counters
+/// the health snapshot uses).
+template <class T>
+class MaxLattice : public LatticeMixin<MaxLattice<T>> {
+ public:
+  MaxLattice() = default;
+  explicit MaxLattice(T e) : element_(e) {}
+  void do_merge(const T& e) {
+    if (element_ < e) element_ = e;
+  }
+  [[nodiscard]] const T& reveal() const { return element_; }
+
+ private:
+  T element_ = std::numeric_limits<T>::lowest();
+};
+
+/// Join = min; bottom = the type's highest value.
+template <class T>
+class MinLattice : public LatticeMixin<MinLattice<T>> {
+ public:
+  MinLattice() = default;
+  explicit MinLattice(T e) : element_(e) {}
+  void do_merge(const T& e) {
+    if (e < element_) element_ = e;
+  }
+  [[nodiscard]] const T& reveal() const { return element_; }
+
+ private:
+  T element_ = std::numeric_limits<T>::max();
+};
+
+/// Pointwise join of per-key inner lattices; bottom = the empty map.
+/// Merging {k -> e} joins e into the lattice at k (default-constructing the
+/// bottom inner lattice on first sight of k).
+template <class K, class Inner>
+class MapLattice : public LatticeMixin<MapLattice<K, Inner>> {
+ public:
+  using Map = std::map<K, Inner>;
+
+  void do_merge(const Map& other) {
+    for (const auto& [k, inner] : other) map_[k].merge_in(inner);
+  }
+  /// Joins one element into the inner lattice at `k`.
+  template <class Element>
+  void merge_at(const K& k, const Element& e) {
+    map_[k].merge(e);
+  }
+  [[nodiscard]] const Map& reveal() const { return map_; }
+
+  /// Sum of the revealed inner values -- the idempotent cluster-wide total
+  /// when the inner lattice is a per-shard MaxLattice of a monotone counter.
+  [[nodiscard]] auto sum() const {
+    decltype(map_.begin()->second.reveal() + 0) total{};
+    for (const auto& [k, inner] : map_) total += inner.reveal();
+    return total;
+  }
+
+ private:
+  Map map_;
+};
+
+/// Per-shard monotone counter: the standard composition for "sum a counter
+/// across shards, tolerating re-delivered snapshots".
+using ShardCounterLattice = MapLattice<int, MaxLattice<std::uint64_t>>;
+
+}  // namespace hlts::util

@@ -1,0 +1,139 @@
+#include "util/socket.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/error.hpp"
+
+namespace hlts::util::net {
+
+namespace {
+
+[[noreturn]] void sys_fail(const std::string& what) {
+  throw Error(what + ": " + std::strerror(errno), ErrorKind::Transient);
+}
+
+}  // namespace
+
+void Fd::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Listener::Listener(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) sys_fail("socket");
+  fd_ = Fd(fd);
+  const int one = 1;
+  (void)::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    sys_fail("bind 127.0.0.1:" + std::to_string(port));
+  }
+  if (::listen(fd, 128) != 0) sys_fail("listen");
+  socklen_t len = sizeof addr;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    sys_fail("getsockname");
+  }
+  port_ = static_cast<int>(ntohs(addr.sin_port));
+}
+
+Fd Listener::accept() {
+  while (true) {
+    const int fd = ::accept(fd_.get(), nullptr, nullptr);
+    if (fd >= 0) return Fd(fd);
+    if (errno == EINTR) continue;
+    // EBADF/EINVAL after close_now() is the orderly-shutdown signal; any
+    // other failure on a loopback listener is equally terminal for the
+    // accept loop.
+    return Fd();
+  }
+}
+
+void Listener::close_now() { fd_.close(); }
+
+void Listener::shutdown_now() { shutdown_fd(fd_.get()); }
+
+Fd connect_local(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) sys_fail("socket");
+  Fd out(fd);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  while (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    if (errno == EINTR) continue;
+    sys_fail("connect 127.0.0.1:" + std::to_string(port));
+  }
+  return out;
+}
+
+std::pair<Fd, Fd> socket_pair() {
+  int fds[2] = {-1, -1};
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) sys_fail("socketpair");
+  return {Fd(fds[0]), Fd(fds[1])};
+}
+
+void write_all(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+#ifdef MSG_NOSIGNAL
+    const ssize_t n =
+        ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+#else
+    const ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+#endif
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    sys_fail("write");
+  }
+}
+
+void shutdown_fd(int fd) {
+  if (fd >= 0) (void)::shutdown(fd, SHUT_RDWR);
+}
+
+std::optional<std::string> LineReader::read_line() {
+  while (true) {
+    // Scan only bytes not examined before (scanned_ is monotone).
+    const std::size_t nl = buffer_.find('\n', scanned_);
+    if (nl != std::string::npos) {
+      std::string line = buffer_.substr(0, nl);
+      buffer_.erase(0, nl + 1);
+      scanned_ = 0;
+      return line;
+    }
+    scanned_ = buffer_.size();
+    if (buffer_.size() > max_line_) {
+      throw Error("wire: request line exceeds " + std::to_string(max_line_) +
+                      " bytes",
+                  ErrorKind::Input);
+    }
+    char chunk[4096];
+    const ssize_t n = ::read(fd_, chunk, sizeof chunk);
+    if (n > 0) {
+      buffer_.append(chunk, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    // EOF or reset: a half-line at EOF is discarded (torn trailing write).
+    return std::nullopt;
+  }
+}
+
+}  // namespace hlts::util::net

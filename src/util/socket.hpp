@@ -1,0 +1,114 @@
+// Thin POSIX TCP/socketpair wrappers for the serving layer (src/serve).
+//
+// Deliberately minimal and dependency-free: blocking file descriptors, RAII
+// ownership, EINTR-restarting read/write loops, and a size-capped line
+// reader -- everything the line-protocol server needs and nothing more.
+// Failures report as hlts::Error(ErrorKind::Transient): network and peer
+// hiccups are environmental, and the caller owns the retry policy.
+//
+// The same Fd/line primitives serve both transports: TCP sockets between
+// clients and the hlts_serve supervisor, and AF_UNIX socketpairs between
+// the supervisor and its forked shard workers.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace hlts::util::net {
+
+/// Owning file descriptor.  Movable, closes on destruction; -1 = empty.
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) : fd_(fd) {}
+  ~Fd() { close(); }
+  Fd(Fd&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Fd& operator=(Fd&& other) noexcept {
+    if (this != &other) {
+      close();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+
+  [[nodiscard]] int get() const { return fd_; }
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+  /// Releases ownership (caller closes).
+  [[nodiscard]] int release() {
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+  void close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Listening IPv4 TCP socket bound to 127.0.0.1:`port` (0 = kernel-chosen
+/// ephemeral port; `port()` reports the actual one).  SO_REUSEADDR is set so
+/// test servers can rebind promptly.
+class Listener {
+ public:
+  explicit Listener(int port);
+
+  [[nodiscard]] int port() const { return port_; }
+  /// Blocks for one connection; empty Fd when the listener was shut down
+  /// (close_now from another thread) rather than on transient errors.
+  [[nodiscard]] Fd accept();
+  /// Closes the fd outright.  Only safe when no thread is blocked in
+  /// accept() (e.g. a forked child dropping its inherited copy) -- close()
+  /// does NOT wake a blocked accept() on Linux, and the fd number could be
+  /// reused under the accepting thread.
+  void close_now();
+  /// ::shutdown()s the listening socket, waking a blocked accept() in
+  /// another thread (it returns an empty Fd).  The fd itself stays open
+  /// until destruction, so there is no fd-reuse race.  NOT for forked
+  /// children: shutdown() acts on the shared socket object and would kill
+  /// the parent's listener too.
+  void shutdown_now();
+
+ private:
+  Fd fd_;
+  int port_ = 0;
+};
+
+/// Blocking connect to 127.0.0.1:`port`; throws Error(Transient) on refusal.
+[[nodiscard]] Fd connect_local(int port);
+
+/// AF_UNIX stream socketpair (supervisor <-> forked worker transport).
+[[nodiscard]] std::pair<Fd, Fd> socket_pair();
+
+/// Writes all of `data`, restarting on EINTR; throws Error(Transient) when
+/// the peer is gone.  SIGPIPE is suppressed (MSG_NOSIGNAL / signal mask).
+void write_all(int fd, const std::string& data);
+
+/// ::shutdown(fd, SHUT_RDWR) -- unblocks a reader in another thread without
+/// racing fd reuse the way close() would.  Safe on an already-shut-down fd.
+void shutdown_fd(int fd);
+
+/// Buffered, size-capped line reader: framing for the NDJSON wire protocol.
+/// One LineReader per fd; lines are returned without the trailing '\n'.
+class LineReader {
+ public:
+  explicit LineReader(int fd, std::size_t max_line_bytes)
+      : fd_(fd), max_line_(max_line_bytes) {}
+
+  /// Next line, or nullopt on orderly EOF / peer reset.  A line longer than
+  /// the cap throws Error(Input) -- the serving layer's document-size guard:
+  /// oversized requests are refused before any JSON parsing.
+  [[nodiscard]] std::optional<std::string> read_line();
+
+ private:
+  int fd_;
+  std::size_t max_line_;
+  std::string buffer_;
+  std::size_t scanned_ = 0;  ///< prefix of buffer_ known to hold no '\n'
+};
+
+}  // namespace hlts::util::net

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "util/failpoint.hpp"
+#include "util/knobs.hpp"
 
 namespace hlts::util {
 
@@ -33,12 +34,11 @@ ThreadPool::~ThreadPool() {
 }
 
 std::size_t ThreadPool::default_threads() {
-  if (const char* env = std::getenv("HLTS_THREADS")) {
-    char* end = nullptr;
-    const long v = std::strtol(env, &end, 10);
-    if (end != env && *end == '\0' && v >= 1) {
-      return static_cast<std::size_t>(v);
-    }
+  // Registry-audited read; malformed or < 1 values fall back to the
+  // hardware default (the knob's documented Ignore policy).
+  if (const std::optional<long long> v = knobs::read_int("HLTS_THREADS");
+      v && *v >= 1) {
+    return static_cast<std::size_t>(*v);
   }
   const unsigned hw = std::thread::hardware_concurrency();
   return hw > 0 ? hw : 1;

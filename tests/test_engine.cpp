@@ -151,11 +151,11 @@ TEST(Engine, CancelBeforeStartSkipsTheRun) {
   engine::Engine eng({.max_concurrent_jobs = 1, .threads_per_job = 1});
   // The first job occupies the single worker long enough for the second to
   // still be pending when it is cancelled.
-  engine::JobPtr busy = eng.submit({.name = "busy",
+  engine::JobPtr busy = eng.submit(engine::FlowRequest{.name = "busy",
                                     .kind = core::FlowKind::Ours,
                                     .dfg = benchmarks::make_benchmark("ewf"),
                                     .params = paper_params()});
-  engine::JobPtr doomed = eng.submit({.name = "doomed",
+  engine::JobPtr doomed = eng.submit(engine::FlowRequest{.name = "doomed",
                                       .kind = core::FlowKind::Ours,
                                       .dfg = benchmarks::make_benchmark("ex"),
                                       .params = paper_params()});
@@ -172,7 +172,7 @@ TEST(Engine, TimeoutCancelsAtIterationBoundary) {
   engine::Engine eng({.max_concurrent_jobs = 1, .threads_per_job = 1});
   engine::JobOptions options;
   options.timeout = std::chrono::milliseconds(1);
-  engine::JobPtr job = eng.submit({.name = "deadline",
+  engine::JobPtr job = eng.submit(engine::FlowRequest{.name = "deadline",
                                    .kind = core::FlowKind::Ours,
                                    .dfg = benchmarks::make_benchmark("ewf"),
                                    .params = paper_params()},
@@ -209,7 +209,7 @@ TEST(Engine, SynthesisErrorBecomesFailedState) {
   engine::Engine eng({.max_concurrent_jobs = 1, .threads_per_job = 1});
   core::FlowParams params = paper_params();
   params.k = 0;  // trips the synthesis contract check on the worker thread
-  engine::JobPtr job = eng.submit({.name = "infeasible",
+  engine::JobPtr job = eng.submit(engine::FlowRequest{.name = "infeasible",
                                    .kind = core::FlowKind::Ours,
                                    .dfg = benchmarks::make_benchmark("ex"),
                                    .params = params});
@@ -226,7 +226,7 @@ TEST(Engine, StreamsProgressAndRecordsTrace) {
     callbacks.fetch_add(1, std::memory_order_relaxed);
     EXPECT_FALSE(rec.description.empty());
   };
-  engine::JobPtr job = eng.submit({.name = "traced",
+  engine::JobPtr job = eng.submit(engine::FlowRequest{.name = "traced",
                                    .kind = core::FlowKind::Ours,
                                    .dfg = benchmarks::make_benchmark("ex"),
                                    .params = paper_params()},
@@ -292,7 +292,7 @@ TEST(Engine, DestructorDrainsPendingJobs) {
   {
     engine::Engine eng({.max_concurrent_jobs = 1, .threads_per_job = 1});
     for (const char* bench : {"ex", "diffeq", "ex", "diffeq"}) {
-      jobs.push_back(eng.submit({.name = bench,
+      jobs.push_back(eng.submit(engine::FlowRequest{.name = bench,
                                  .kind = core::FlowKind::Ours,
                                  .dfg = benchmarks::make_benchmark(bench),
                                  .params = paper_params()}));
@@ -337,7 +337,7 @@ TEST(Engine, CancelledAfterKIterationsMatchesCappedRun) {
       };
       {
         std::lock_guard<std::mutex> lock(handle_mutex);
-        job = eng.submit({.name = "cut",
+        job = eng.submit(engine::FlowRequest{.name = "cut",
                           .kind = core::FlowKind::Ours,
                           .dfg = g,
                           .params = paper_params()},
@@ -358,7 +358,7 @@ TEST(Engine, CancelledAfterKIterationsMatchesCappedRun) {
 
 TEST(Engine, CompletenessTagsAndAttemptDefaults) {
   engine::Engine eng({.max_concurrent_jobs = 1, .threads_per_job = 1});
-  engine::JobPtr job = eng.submit({.name = "clean",
+  engine::JobPtr job = eng.submit(engine::FlowRequest{.name = "clean",
                                    .kind = core::FlowKind::Ours,
                                    .dfg = benchmarks::make_benchmark("ex"),
                                    .params = paper_params()});
@@ -380,7 +380,7 @@ TEST(Engine, TimedOutJobIsTaggedPartial) {
   engine::Engine eng({.max_concurrent_jobs = 1, .threads_per_job = 1});
   engine::JobOptions options;
   options.timeout = std::chrono::milliseconds(1);
-  engine::JobPtr job = eng.submit({.name = "deadline",
+  engine::JobPtr job = eng.submit(engine::FlowRequest{.name = "deadline",
                                    .kind = core::FlowKind::Ours,
                                    .dfg = benchmarks::make_benchmark("ewf"),
                                    .params = paper_params()},

@@ -223,7 +223,7 @@ TEST(Failpoints, EngineRetriesTransientAndRecovers) {
                       .threads_per_job = 1,
                       .max_retries = 2,
                       .retry_backoff = std::chrono::milliseconds(1)});
-  engine::JobPtr job = eng.submit({.name = "retried",
+  engine::JobPtr job = eng.submit(engine::FlowRequest{.name = "retried",
                                    .kind = core::FlowKind::Ours,
                                    .dfg = g,
                                    .params = params});
@@ -300,7 +300,7 @@ TEST(Failpoints, WatchdogFlagsAStalledJob) {
   core::FlowParams params;
   params.num_threads = 1;
   params.max_iterations = 1;  // bound the injected delays
-  engine::JobPtr job = eng.submit({.name = "slow",
+  engine::JobPtr job = eng.submit(engine::FlowRequest{.name = "slow",
                                    .kind = core::FlowKind::Ours,
                                    .dfg = g,
                                    .params = params});
