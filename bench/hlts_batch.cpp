@@ -46,6 +46,7 @@
 #include "benchmarks/benchmarks.hpp"
 #include "core/flows.hpp"
 #include "engine/engine.hpp"
+#include "util/error.hpp"
 #include "util/failpoint.hpp"
 #include "util/json.hpp"
 
@@ -247,7 +248,16 @@ int main(int argc, char** argv) {
               << "-bit datapath\n";
     handles.reserve(requests.size());
     for (const api::FlowRequestV1& r : requests) {
-      handles.push_back(eng.submit(r));
+      try {
+        handles.push_back(eng.submit(r));
+      } catch (const Error& e) {
+        // Write-ahead journaling refuses the submission (no side effects)
+        // when the journal append hits a transient fs error -- e.g. an
+        // ENOSPC injected via HLTS_IO_FAULTS.  Report and move on; a
+        // non-transient error is a real bug and still propagates.
+        if (e.kind() != ErrorKind::Transient) throw;
+        std::cerr << "hlts_batch: submission refused: " << e.what() << "\n";
+      }
     }
   }
   eng.wait_all();

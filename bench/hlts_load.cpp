@@ -11,24 +11,48 @@
 //   hlts_load --port P [--jobs N] [--conns C] [--bench ex|dct|...|mix]
 //             [--flow camad|approach1|approach2|ours] [--bits N]
 //             [--kill-shard K --kill-after-ms M] [--shutdown] [--out FILE]
+//
+// Chaos-grid mode (--chaos-grid) drives the full fault matrix instead: it
+// spawns its own hlts_serve (--serve-bin) once per cell of a fault-type x
+// rate grid -- clean baseline, SIGKILL failover, injected disk faults
+// (HLTS_IO_FAULTS in the server), injected network faults (client-side
+// HLTS_NET_FAULTS grammar), graceful drain (SIGTERM mid-run), and one cell
+// combining kill + disk + net.  Every cell pushes --jobs requests through
+// idempotent RetryClients and must end with zero lost jobs, zero duplicate
+// replies, and every successful design bit-identical to the baseline cell;
+// afterwards every shard journal is scrubbed (zero corrupt files) and the
+// server must have exited 0.  Counters land in --out under "chaos_grid".
+//
+//   hlts_load --chaos-grid --serve-bin PATH [--jobs N] [--conns C]
+//             [--bench NAME|mix] [--bits N] [--root DIR] [--out FILE]
+
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <map>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "benchmarks/benchmarks.hpp"
 #include "core/checkpoint.hpp"
+#include "engine/engine.hpp"
 #include "serve/client.hpp"
 #include "util/error.hpp"
+#include "util/fs.hpp"
 #include "util/json.hpp"
+#include "util/net_chaos.hpp"
 
 namespace {
 
@@ -52,15 +76,399 @@ int usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " --port P [--jobs N] [--conns C] [--bench NAME|mix]"
                " [--flow NAME] [--bits N] [--kill-shard K --kill-after-ms M]"
-               " [--shutdown] [--out FILE]\n";
+               " [--shutdown] [--out FILE]\n"
+            << "   or: " << argv0
+            << " --chaos-grid --serve-bin PATH [--jobs N] [--conns C]"
+               " [--bench NAME|mix] [--bits N] [--root DIR] [--out FILE]\n";
   return 2;
+}
+
+// --- chaos grid -------------------------------------------------------------
+
+/// One cell of the fault matrix.
+struct CellSpec {
+  std::string name;
+  std::string io_faults;   ///< HLTS_IO_FAULTS for the spawned server
+  std::string net_faults;  ///< HLTS_NET_FAULTS grammar, armed client-side
+  bool kill = false;       ///< SIGKILL shard 0 mid-run (protocol kill op)
+  bool drain = false;      ///< SIGTERM the server mid-run
+};
+
+/// What one cell produced; "pass" is the zero-lost / zero-duplicate /
+/// zero-corrupt / bit-identical contract.
+struct CellOutcome {
+  std::string name;
+  int jobs = 0;
+  int replied = 0;     ///< terminal result delivered ("succeeded"/"failed")
+  int refused = 0;     ///< explicit refusal (admission, drain, journal fault)
+  int lost = 0;        ///< no classified outcome after the retry budget
+  int duplicates = 0;  ///< a job name answered more than once
+  int mismatches = 0;  ///< succeeded design != baseline bit-for-bit
+  std::int64_t reconnects = 0;
+  std::int64_t corrupt_files = 0;
+  std::int64_t tmp_leftovers = 0;
+  std::int64_t orphans = 0;
+  int server_exit = -1;
+  double wall_ms = 0;
+
+  [[nodiscard]] bool pass() const {
+    return lost == 0 && duplicates == 0 && mismatches == 0 &&
+           corrupt_files == 0 && server_exit == 0 &&
+           replied + refused == jobs;
+  }
+};
+
+/// A spawned hlts_serve child with its scraped port and stdout drainer.
+struct ServerProc {
+  pid_t pid = -1;
+  int port = -1;
+  int out_fd = -1;
+  std::thread drainer;
+};
+
+/// Forks + execs the server, scrapes "listening on port N" from its
+/// stdout, and leaves a drainer thread consuming the rest of the pipe.
+std::optional<ServerProc> spawn_server(const std::string& serve_bin,
+                                       const std::string& journal_root,
+                                       int shards,
+                                       const std::string& io_faults) {
+  int fds[2];
+  if (::pipe(fds) != 0) {
+    std::cerr << "chaos-grid: pipe failed\n";
+    return std::nullopt;
+  }
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    std::cerr << "chaos-grid: fork failed\n";
+    ::close(fds[0]);
+    ::close(fds[1]);
+    return std::nullopt;
+  }
+  if (pid == 0) {
+    ::dup2(fds[1], 1);
+    ::close(fds[0]);
+    ::close(fds[1]);
+    if (io_faults.empty()) {
+      ::unsetenv("HLTS_IO_FAULTS");
+    } else {
+      ::setenv("HLTS_IO_FAULTS", io_faults.c_str(), 1);
+    }
+    ::unsetenv("HLTS_NET_FAULTS");  // net chaos is client-side only
+    const std::string shard_count = std::to_string(shards);
+    ::execl(serve_bin.c_str(), serve_bin.c_str(), "--journal-root",
+            journal_root.c_str(), "--shards", shard_count.c_str(), "--port",
+            "0", static_cast<char*>(nullptr));
+    std::_Exit(127);  // exec failed
+  }
+  ::close(fds[1]);
+
+  ServerProc proc;
+  proc.pid = pid;
+  proc.out_fd = fds[0];
+  std::string seen;
+  char buf[256];
+  const std::string marker = "listening on port ";
+  while (true) {
+    const auto pos = seen.find(marker);
+    if (pos != std::string::npos) {
+      const auto eol = seen.find('\n', pos);
+      if (eol != std::string::npos) {
+        proc.port = std::atoi(seen.c_str() + pos + marker.size());
+        break;
+      }
+    }
+    const ssize_t n = ::read(fds[0], buf, sizeof(buf));
+    if (n <= 0) break;  // died before announcing the port
+    seen.append(buf, static_cast<std::size_t>(n));
+  }
+  if (proc.port <= 0) {
+    std::cerr << "chaos-grid: server failed to start (output: " << seen
+              << ")\n";
+    ::close(fds[0]);
+    (void)::kill(pid, SIGKILL);
+    (void)::waitpid(pid, nullptr, 0);
+    return std::nullopt;
+  }
+  proc.drainer = std::thread([fd = fds[0]] {
+    char sink[1024];
+    while (::read(fd, sink, sizeof(sink)) > 0) {
+    }
+  });
+  return proc;
+}
+
+/// Waits for the child to exit (bounded); returns its exit code, or -1
+/// after a timeout-forced SIGKILL.
+int wait_server(ServerProc& proc, int timeout_ms) {
+  int status = 0;
+  const auto deadline =
+      Clock::now() + std::chrono::milliseconds(timeout_ms);
+  while (true) {
+    const pid_t r = ::waitpid(proc.pid, &status, WNOHANG);
+    if (r == proc.pid) break;
+    if (r < 0) {
+      status = -1;
+      break;
+    }
+    if (Clock::now() >= deadline) {
+      (void)::kill(proc.pid, SIGKILL);
+      (void)::waitpid(proc.pid, &status, 0);
+      status = -1;
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  if (proc.drainer.joinable()) proc.drainer.join();
+  ::close(proc.out_fd);
+  if (status == -1) return -1;
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+/// Runs one grid cell end to end: spawn, load (with the cell's chaos),
+/// stop, scrub.  `baseline` is empty for the baseline cell itself and the
+/// per-job reference results afterwards.
+CellOutcome run_cell(const CellSpec& cell, const std::string& serve_bin,
+                     const std::string& root, int shards, int jobs,
+                     int conns,
+                     const std::vector<api::FlowRequestV1>& protos,
+                     std::vector<std::optional<api::FlowResultV1>>& baseline,
+                     std::vector<std::optional<api::FlowResultV1>>* results_out) {
+  CellOutcome out;
+  out.name = cell.name;
+  out.jobs = jobs;
+
+  const std::string journal_root = root + "/" + cell.name;
+  util::fs::create_directories(journal_root);
+
+  std::string chaos_error;
+  if (!util::net_chaos::configure(cell.net_faults, &chaos_error)) {
+    std::cerr << "chaos-grid: bad net spec: " << chaos_error << "\n";
+    return out;
+  }
+
+  auto proc = spawn_server(serve_bin, journal_root, shards, cell.io_faults);
+  if (!proc) {
+    util::net_chaos::clear();
+    return out;
+  }
+  const int port = proc->port;
+
+  std::vector<std::optional<api::FlowResultV1>> results(
+      static_cast<std::size_t>(jobs));
+  std::atomic<int> next_job{0};
+  std::mutex tally_mutex;
+  std::map<std::string, int> reply_names;
+
+  serve::ClientOptions opts;
+  opts.connect_timeout_ms = 5000;
+  opts.read_timeout_ms = 120000;  // bounds injected stalls, not real work
+  opts.write_timeout_ms = 5000;
+  opts.retries = 12;
+  opts.chaos = !cell.net_faults.empty();
+  opts.retry_rejected = !cell.io_faults.empty();
+
+  const auto t0 = Clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(conns));
+  for (int c = 0; c < conns; ++c) {
+    threads.emplace_back([&] {
+      serve::RetryClient client(port, opts);
+      while (true) {
+        const int j = next_job.fetch_add(1);
+        if (j >= jobs) break;
+        api::FlowRequestV1 req =
+            protos[static_cast<std::size_t>(j) % protos.size()];
+        req.name = "grid-" + std::to_string(j);
+        const serve::Client::Response resp = client.submit(req);
+        std::lock_guard<std::mutex> lock(tally_mutex);
+        if (resp.result && resp.result->state != "rejected") {
+          ++out.replied;
+          if (++reply_names[resp.result->name] > 1) ++out.duplicates;
+          results[static_cast<std::size_t>(j)] = *resp.result;
+        } else if (resp.result) {
+          ++out.refused;  // explicit "rejected" after the retry budget
+        } else if (resp.error.find("shutting down") != std::string::npos ||
+                   (cell.drain &&
+                    (resp.error.find("connect") != std::string::npos ||
+                     resp.error == "connection closed"))) {
+          ++out.refused;  // drained server: refusal is the contract
+        } else {
+          ++out.lost;
+          std::cerr << "chaos-grid[" << cell.name << "]: job " << j
+                    << " lost: " << resp.error << "\n";
+        }
+      }
+      std::lock_guard<std::mutex> lock(tally_mutex);
+      out.reconnects += client.reconnects();
+    });
+  }
+
+  // The cell's mid-run chaos: SIGKILL a shard over the protocol, and/or
+  // SIGTERM the whole server (graceful drain).
+  std::thread chaos_thread;
+  if (cell.kill || cell.drain) {
+    chaos_thread = std::thread([&] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(200));
+      if (cell.kill) {
+        try {
+          serve::Client killer(port);  // plain client: no chaos on this conn
+          if (!killer.kill_shard(0)) {
+            std::cerr << "chaos-grid[" << cell.name << "]: kill refused\n";
+          }
+        } catch (const Error& e) {
+          std::cerr << "chaos-grid[" << cell.name << "]: kill: " << e.what()
+                    << "\n";
+        }
+      }
+      if (cell.drain) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(300));
+        (void)::kill(proc->pid, SIGTERM);
+      }
+    });
+  }
+
+  for (std::thread& t : threads) t.join();
+  if (chaos_thread.joinable()) chaos_thread.join();
+  out.wall_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+  util::net_chaos::clear();
+
+  // Orderly stop for cells the chaos did not already drain.
+  if (!cell.drain) {
+    try {
+      serve::Client tail(port);
+      (void)tail.shutdown();
+    } catch (const Error&) {
+      // Server already gone; wait_server settles it either way.
+    }
+  }
+  out.server_exit = wait_server(*proc, 60000);
+
+  // Post-mortem scrub of every shard journal: injected faults and SIGKILL
+  // may leave refusals and .tmp debris, but never a corrupt committed
+  // record.
+  for (int k = 0; k < shards; ++k) {
+    const engine::Journal::ScrubReport report =
+        engine::Engine::scrub(journal_root + "/shard-" + std::to_string(k));
+    out.corrupt_files += report.corrupt + report.unknown;
+    out.tmp_leftovers += report.temp_leftovers;
+    out.orphans += report.orphans;
+  }
+
+  // Bit-identity against the clean cell: every successful design must
+  // match the baseline design for the same job index exactly.
+  for (int j = 0; j < jobs; ++j) {
+    const auto& got = results[static_cast<std::size_t>(j)];
+    if (!got || got->state != "succeeded") continue;
+    const auto& want = baseline[static_cast<std::size_t>(j)];
+    if (!want || !want->has_design) continue;
+    if (!got->design_identical(*want)) {
+      ++out.mismatches;
+      std::cerr << "chaos-grid[" << cell.name << "]: job " << j
+                << " design differs from baseline\n";
+    }
+  }
+  if (results_out != nullptr) *results_out = std::move(results);
+  return out;
+}
+
+int run_chaos_grid(const std::string& serve_bin, const std::string& root,
+                   int jobs, int conns,
+                   const std::vector<api::FlowRequestV1>& protos,
+                   const std::string& out_path) {
+  const int shards = 3;
+  // Rates are per-operation probabilities; seeds make every cell
+  // reproducible.  "low" is background noise, "high" is a genuinely sick
+  // environment.
+  const std::vector<CellSpec> grid = {
+      // name            io_faults (server)        net_faults (client)
+      {"baseline", "", "", false, false},
+      {"kill", "", "", true, false},
+      {"disk-low", "write:short:0.05:7,fsync:eio:0.05:11", "", false, false},
+      {"disk-high",
+       "write:enospc:0.2:13,rename:eio:0.1:17,fsync:eio:0.15:19", "", false,
+       false},
+      {"net-low", "", "read:stall:0.05:23:20,write:reset:0.05:29", false,
+       false},
+      {"net-high", "",
+       "connect:stall:0.2:31:30,read:truncate:0.1:37:3,write:reset:0.15:41",
+       false, false},
+      {"drain", "", "", false, true},
+      {"kill-disk-net", "write:short:0.05:43,fsync:eio:0.05:47",
+       "read:stall:0.05:53:20,write:reset:0.05:59", true, false},
+  };
+
+  std::vector<std::optional<api::FlowResultV1>> baseline(
+      static_cast<std::size_t>(jobs));
+  std::vector<CellOutcome> outcomes;
+  for (const CellSpec& cell : grid) {
+    std::cout << "chaos-grid: cell " << cell.name << " (" << jobs
+              << " jobs)...\n";
+    if (cell.name == "baseline") {
+      outcomes.push_back(run_cell(cell, serve_bin, root, shards, jobs, conns,
+                                  protos, baseline, &baseline));
+      // The reference cell must be perfect or the grid is meaningless.
+      if (!outcomes.back().pass() || outcomes.back().refused != 0) {
+        std::cerr << "chaos-grid: baseline cell failed\n";
+      }
+    } else {
+      outcomes.push_back(run_cell(cell, serve_bin, root, shards, jobs, conns,
+                                  protos, baseline, nullptr));
+    }
+    const CellOutcome& o = outcomes.back();
+    std::cout << "chaos-grid: cell " << o.name << ": replied " << o.replied
+              << ", refused " << o.refused << ", lost " << o.lost
+              << ", duplicates " << o.duplicates << ", mismatches "
+              << o.mismatches << ", corrupt " << o.corrupt_files
+              << ", tmp " << o.tmp_leftovers << ", reconnects "
+              << o.reconnects << ", server_exit " << o.server_exit
+              << (o.pass() ? " [pass]" : " [FAIL]") << "\n";
+  }
+
+  util::JsonWriter w;
+  w.begin_object();
+  w.key("bench").value("serving");
+  w.key("mode").value("chaos_grid");
+  w.key("jobs_per_cell").value(jobs);
+  w.key("conns").value(conns);
+  w.key("shards").value(shards);
+  w.key("chaos_grid").begin_array();
+  bool all_pass = true;
+  for (const CellOutcome& o : outcomes) {
+    all_pass = all_pass && o.pass();
+    w.begin_object();
+    w.key("cell").value(o.name);
+    w.key("jobs").value(o.jobs);
+    w.key("replied").value(o.replied);
+    w.key("refused").value(o.refused);
+    w.key("lost").value(o.lost);
+    w.key("duplicates").value(o.duplicates);
+    w.key("mismatches").value(o.mismatches);
+    w.key("reconnects").value(o.reconnects);
+    w.key("corrupt_files").value(o.corrupt_files);
+    w.key("tmp_leftovers").value(o.tmp_leftovers);
+    w.key("orphan_checkpoints").value(o.orphans);
+    w.key("server_exit").value(o.server_exit);
+    w.key("wall_ms").value(o.wall_ms);
+    w.key("pass").value(o.pass());
+    w.end_object();
+  }
+  w.end_array();
+  w.key("pass").value(all_pass);
+  w.end_object();
+
+  std::ofstream out(out_path);
+  out << w.str() << "\n";
+  std::cout << "wrote " << out_path << " ("
+            << (all_pass ? "all cells pass" : "FAILURES") << ")\n";
+  return all_pass ? 0 : 1;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   int port = -1;
-  int jobs = 64;
+  int jobs = -1;  // default: 64 load mode, 24 per cell in grid mode
   int conns = 4;
   int bits = 8;
   std::string bench = "mix";
@@ -68,6 +476,9 @@ int main(int argc, char** argv) {
   int kill_shard = -1;
   int kill_after_ms = 0;
   bool shutdown_after = false;
+  bool chaos_grid = false;
+  std::string serve_bin;
+  std::string root = "chaos-grid";
   std::string out_path = "BENCH_serving.json";
   try {
     for (int i = 1; i < argc; ++i) {
@@ -85,10 +496,18 @@ int main(int argc, char** argv) {
       else if (arg == "--kill-shard") kill_shard = std::stoi(next());
       else if (arg == "--kill-after-ms") kill_after_ms = std::stoi(next());
       else if (arg == "--shutdown") shutdown_after = true;
+      else if (arg == "--chaos-grid") chaos_grid = true;
+      else if (arg == "--serve-bin") serve_bin = next();
+      else if (arg == "--root") root = next();
       else if (arg == "--out") out_path = next();
       else return usage(argv[0]);
     }
-    if (port < 0 || jobs < 1 || conns < 1) return usage(argv[0]);
+    if (jobs < 0) jobs = chaos_grid ? 24 : 64;
+    if (chaos_grid) {
+      if (serve_bin.empty() || jobs < 1 || conns < 1) return usage(argv[0]);
+    } else if (port < 0 || jobs < 1 || conns < 1) {
+      return usage(argv[0]);
+    }
 
     const std::vector<std::string> mix =
         bench == "mix" ? benchmarks::benchmark_names()
@@ -105,6 +524,10 @@ int main(int argc, char** argv) {
       req.params.bits = bits;
       req.params.num_threads = 1;  // the server's engines own the cores
       protos.push_back(std::move(req));
+    }
+
+    if (chaos_grid) {
+      return run_chaos_grid(serve_bin, root, jobs, conns, protos, out_path);
     }
 
     std::atomic<int> next_job{0};

@@ -17,10 +17,22 @@
 //
 // Prints "listening on port <P>" on stdout once ready (scrapeable for
 // --port 0 / ephemeral).
+//
+// Graceful drain: SIGTERM / SIGINT trigger the same orderly shutdown as
+// the protocol's {"op":"shutdown"} -- admission stops, every in-flight
+// job checkpoints and its journal retires, workers exit, and the process
+// exits 0.  Both signals are blocked *before* the Server constructor
+// forks the workers, so workers inherit the blocked mask and never die
+// from a stray terminal signal -- only from SIGKILL (chaos) or their quit
+// frame (drain).
 
+#include <signal.h>
+
+#include <atomic>
 #include <cstring>
 #include <iostream>
 #include <string>
+#include <thread>
 
 #include "serve/supervisor.hpp"
 #include "util/error.hpp"
@@ -89,9 +101,35 @@ int main(int argc, char** argv) {
     }
     if (options.journal_root.empty()) return usage(argv[0]);
 
+    // Block the drain signals before the ctor forks workers (see file
+    // comment); a dedicated thread polls for them with sigtimedwait so
+    // run() itself never has to be interruptible.
+    sigset_t drain_set;
+    sigemptyset(&drain_set);
+    sigaddset(&drain_set, SIGTERM);
+    sigaddset(&drain_set, SIGINT);
+    pthread_sigmask(SIG_BLOCK, &drain_set, nullptr);
+
     serve::Server server(std::move(options));
     std::cout << "listening on port " << server.port() << std::endl;
+
+    std::atomic<bool> done{false};
+    std::thread signal_waiter([&] {
+      timespec tick{};
+      tick.tv_nsec = 200 * 1000 * 1000;  // 200ms poll, so join() is prompt
+      while (!done.load(std::memory_order_relaxed)) {
+        if (sigtimedwait(&drain_set, nullptr, &tick) > 0) {
+          std::cout << "drain: signal received, stopping admission"
+                    << std::endl;
+          server.stop();
+          return;
+        }
+      }
+    });
+
     server.run();
+    done.store(true, std::memory_order_relaxed);
+    signal_waiter.join();
     std::cout << "shutdown complete" << std::endl;
     return 0;
   } catch (const hlts::Error& e) {

@@ -94,11 +94,14 @@ util::JsonValue FlowRequestV1::to_json() const {
   JsonValue::Object o{
       {"schema_version", JsonValue::make_int(schema_version)},
       {"name", JsonValue::make_string(name)},
-      {"flow", JsonValue::make_string(flow_token(kind))},
+      {"flow", JsonValue::make_string(api::flow_token(kind))},
       {"timeout_ms", JsonValue::make_int(timeout_ms)},
       {"queue_deadline_ms", JsonValue::make_int(queue_deadline_ms)},
       {"params", core::params_to_json(params)},
   };
+  if (!flow_token.empty()) {
+    o.emplace_back("flow_token", JsonValue::make_string(flow_token));
+  }
   if (dfg) {
     o.emplace_back("dfg", core::dfg_to_json(*dfg));
   } else {
@@ -117,6 +120,10 @@ FlowRequestV1 FlowRequestV1::from_json(const util::JsonValue& v) {
   r.kind = flow_from_token(v.get_string("flow"));
   r.timeout_ms = require_nonneg(v, doc, "timeout_ms", 0);
   r.queue_deadline_ms = require_nonneg(v, doc, "queue_deadline_ms", 0);
+  if (const JsonValue* token = v.find("flow_token")) {
+    if (!token->is_string()) bad(doc, "'flow_token' must be a string");
+    r.flow_token = token->as_string();
+  }
   const JsonValue* params = v.find("params");
   if (params == nullptr) bad(doc, "missing params");
   r.params = core::params_from_json(*params);
@@ -140,7 +147,7 @@ util::JsonValue FlowResultV1::to_json() const {
   JsonValue::Object o{
       {"schema_version", JsonValue::make_int(schema_version)},
       {"name", JsonValue::make_string(name)},
-      {"flow", JsonValue::make_string(flow_token(kind))},
+      {"flow", JsonValue::make_string(api::flow_token(kind))},
       {"state", JsonValue::make_string(state)},
       {"wall_ms", JsonValue::make_number(wall_ms)},
   };

@@ -65,6 +65,11 @@ struct FlowRequestV1 {
   core::FlowParams params{};  ///< serializable knobs only
   std::int64_t timeout_ms = 0;
   std::int64_t queue_deadline_ms = 0;
+  /// Optional idempotency key: retries of one logical request carry the
+  /// same token, and the serving layer answers every token exactly once
+  /// (a duplicate gets the original, bit-identical reply).  Empty = no
+  /// dedup.  Added in V1.1; V1 readers ignore it (unknown-field rule).
+  std::string flow_token;
 
   [[nodiscard]] util::JsonValue to_json() const;
   [[nodiscard]] static FlowRequestV1 from_json(const util::JsonValue& v);

@@ -473,6 +473,10 @@ Engine::RecoveryReport Engine::recover(const std::string& dir) {
   return report;
 }
 
+Journal::ScrubReport Engine::scrub(const std::string& dir, bool quarantine) {
+  return Journal::scrub(dir, quarantine);
+}
+
 util::TraceSnapshot Engine::metrics() const { return trace_.snapshot(); }
 
 EngineHealth Engine::health() const {

@@ -344,6 +344,15 @@ class Engine {
   };
   [[nodiscard]] RecoveryReport recover(const std::string& dir);
 
+  /// Integrity audit of a journal directory without replaying anything:
+  /// classifies every file, CRC-verifies committed documents, and (with
+  /// `quarantine`) moves corrupt files and temp leftovers into
+  /// `<dir>/quarantine/` so a subsequent recover() sees only trustworthy
+  /// state.  Static because it must be usable on a dead engine's directory
+  /// (the hlts_fsck CLI, the chaos grid's post-cell audit).
+  [[nodiscard]] static Journal::ScrubReport scrub(const std::string& dir,
+                                                  bool quarantine = false);
+
   [[nodiscard]] int max_concurrent_jobs() const { return num_workers_; }
   [[nodiscard]] int threads_per_job() const { return threads_per_job_; }
 

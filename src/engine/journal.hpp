@@ -35,6 +35,16 @@
 //     resume just replays a few more iterations.
 //   - mid cleanup: done marker survives first -> scan finishes the cleanup.
 //
+// Integrity framing (version 3): every journal document -- record,
+// checkpoint, done marker -- carries a "crc32c" member holding the CRC-32C
+// of the document's canonical serialization *without* that member.  The
+// scan and the scrubber recompute it on read, so a bit flip, a truncation
+// that still parses, or a duplicated/garbled tail is detected instead of
+// replayed: recovery refuses corrupt state (the record stays on disk, the
+// job is not resurrected from lies).  Version-2 documents (pre-checksum)
+// are still readable; they simply have no integrity proof, which the
+// scrubber reports as `legacy_v2`.
+//
 // Failpoint sites: `journal.checkpoint` fires on entry of
 // write_checkpoint and `journal.done` on entry of write_done (their kill
 // mode is the crash-soak hook); `journal.write` / `journal.commit` fire
@@ -123,6 +133,51 @@ class Journal {
   /// reported, removed, and their job returned without a resume point.
   /// A missing directory yields an empty result.
   [[nodiscard]] static ScanResult scan(const std::string& dir);
+
+  /// One file's verdict from scrub().
+  struct ScrubFinding {
+    std::string file;    ///< name inside the journal directory
+    std::string kind;    ///< record | checkpoint | done | temp | unknown
+    /// ok | legacy_v2 | zero_length | torn | trailing_garbage |
+    /// checksum_mismatch | unsupported_version | id_mismatch |
+    /// invalid_record | orphan_checkpoint | temp_leftover | unknown_file |
+    /// unreadable
+    std::string status;
+    std::string detail;       ///< human-readable evidence
+    bool corrupt = false;     ///< the file's content cannot be trusted
+    bool quarantined = false; ///< moved to <dir>/quarantine/
+  };
+
+  /// Read-only (unless quarantining) integrity audit of a journal
+  /// directory: every file is classified, committed records/checkpoints/
+  /// markers are CRC-verified, and nothing is replayed or repaired.
+  struct ScrubReport {
+    std::string dir;
+    std::vector<ScrubFinding> findings;  ///< one per file, sorted by name
+    std::int64_t files = 0;
+    std::int64_t ok = 0;             ///< intact v3 files
+    std::int64_t legacy = 0;         ///< intact pre-checksum v2 files
+    std::int64_t corrupt = 0;        ///< torn/bit-flipped/duplicated/...
+    std::int64_t orphans = 0;        ///< checkpoints with no record
+    std::int64_t temp_leftovers = 0; ///< interrupted-commit .tmp files
+    std::int64_t unknown = 0;        ///< files the journal never writes
+
+    /// No corruption and no debris: what a retired or healthy journal
+    /// directory looks like.
+    [[nodiscard]] bool clean() const {
+      return corrupt == 0 && orphans == 0 && temp_leftovers == 0 &&
+             unknown == 0;
+    }
+    [[nodiscard]] util::JsonValue to_json() const;
+  };
+
+  /// Audits `dir` without replaying anything (recovery's preflight and the
+  /// hlts_fsck CLI).  With `quarantine`, corrupt files and temp leftovers
+  /// are moved into `<dir>/quarantine/` so a subsequent recovery scan sees
+  /// only trustworthy state.  A missing directory yields an empty, clean
+  /// report.
+  [[nodiscard]] static ScrubReport scrub(const std::string& dir,
+                                         bool quarantine = false);
 
  private:
   std::string dir_;

@@ -1,8 +1,14 @@
 #include "serve/client.hpp"
 
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
 #include <utility>
 
 #include "util/error.hpp"
+#include "util/knobs.hpp"
 
 namespace hlts::serve {
 
@@ -10,16 +16,47 @@ namespace {
 using util::JsonValue;
 }  // namespace
 
-Client::Client(int port, std::size_t max_line_bytes)
-    : fd_(util::net::connect_local(port)),
-      reader_(fd_.get(), max_line_bytes) {}
+ClientOptions ClientOptions::from_env(ClientOptions base) {
+  if (const auto v = util::knobs::read_int("HLTS_CLIENT_CONNECT_TIMEOUT_MS");
+      v && *v >= 0) {
+    base.connect_timeout_ms = static_cast<int>(*v);
+  }
+  if (const auto v = util::knobs::read_int("HLTS_CLIENT_READ_TIMEOUT_MS");
+      v && *v >= 0) {
+    base.read_timeout_ms = static_cast<int>(*v);
+  }
+  if (const auto v = util::knobs::read_int("HLTS_CLIENT_WRITE_TIMEOUT_MS");
+      v && *v >= 0) {
+    base.write_timeout_ms = static_cast<int>(*v);
+  }
+  if (const auto v = util::knobs::read_int("HLTS_CLIENT_RETRIES");
+      v && *v >= 0) {
+    base.retries = static_cast<int>(*v);
+  }
+  return base;
+}
+
+Client::Client(int port, std::size_t max_line_bytes,
+               const ClientOptions& options)
+    : chaos_(options.chaos),
+      fd_(util::net::connect_local(port, options.connect_timeout_ms,
+                                   options.chaos)),
+      reader_(fd_.get(), max_line_bytes) {
+  if (options.read_timeout_ms > 0) {
+    reader_.set_read_timeout_ms(options.read_timeout_ms);
+  }
+  if (options.write_timeout_ms > 0) {
+    util::net::set_send_timeout_ms(fd_.get(), options.write_timeout_ms);
+  }
+  if (options.chaos) reader_.enable_chaos();
+}
 
 void Client::send_submit(const api::FlowRequestV1& request) {
   const JsonValue doc = JsonValue::make_object({
       {"op", JsonValue::make_string("submit")},
       {"request", request.to_json()},
   });
-  util::net::write_all(fd_.get(), util::json_dump(doc) + "\n");
+  util::net::write_all(fd_.get(), util::json_dump(doc) + "\n", chaos_);
 }
 
 std::optional<Client::Response> Client::read_response() {
@@ -52,7 +89,7 @@ Client::Response Client::submit(const api::FlowRequestV1& request) {
 }
 
 Client::Response Client::health() {
-  util::net::write_all(fd_.get(), "{\"op\":\"health\"}\n");
+  util::net::write_all(fd_.get(), "{\"op\":\"health\"}\n", chaos_);
   auto r = read_response();
   if (!r) {
     Response dead;
@@ -67,15 +104,75 @@ bool Client::kill_shard(int shard) {
       {"op", JsonValue::make_string("kill")},
       {"shard", JsonValue::make_int(shard)},
   });
-  util::net::write_all(fd_.get(), util::json_dump(doc) + "\n");
+  util::net::write_all(fd_.get(), util::json_dump(doc) + "\n", chaos_);
   const auto r = read_response();
   return r && r->ok;
 }
 
 bool Client::shutdown() {
-  util::net::write_all(fd_.get(), "{\"op\":\"shutdown\"}\n");
+  util::net::write_all(fd_.get(), "{\"op\":\"shutdown\"}\n", chaos_);
   const auto r = read_response();
   return r && r->ok;
+}
+
+// --- RetryClient ------------------------------------------------------------
+
+RetryClient::RetryClient(int port, ClientOptions options,
+                         std::size_t max_line_bytes)
+    : port_(port), options_(options), max_line_bytes_(max_line_bytes) {}
+
+Client::Response RetryClient::submit(api::FlowRequestV1 request) {
+  if (request.flow_token.empty()) {
+    // Unique per process + client + request; retries below reuse it, which
+    // is the whole point.
+    request.flow_token = "tok-" + std::to_string(::getpid()) + "-" +
+                         std::to_string(reinterpret_cast<std::uintptr_t>(this)) +
+                         "-" + std::to_string(++token_counter_);
+  }
+  Client::Response last;
+  last.error = "no attempt made";
+  int backoff_ms = options_.backoff_ms;
+  const int attempts = options_.retries + 1;
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+      backoff_ms = std::min(backoff_ms * 2, options_.backoff_cap_ms);
+    }
+    try {
+      if (!client_) {
+        client_.emplace(port_, max_line_bytes_, options_);
+      }
+      last = client_->submit(request);
+    } catch (const Error& e) {
+      // Connect refusal/timeout, send timeout, read timeout, injected
+      // reset: drop the connection and retry with the same token.
+      last = Client::Response{};
+      last.error = e.what();
+      client_.reset();
+      ++reconnects_;
+      continue;
+    }
+    const bool transport_failure =
+        !last.ok && !last.result &&
+        (last.error == "connection closed" ||
+         last.error == "malformed response line");
+    if (transport_failure) {
+      client_.reset();
+      ++reconnects_;
+      continue;
+    }
+    const bool rejected =
+        last.result && last.result->state == "rejected";
+    if (rejected && options_.retry_rejected) {
+      // An explicit refusal (admission control, journal write failure
+      // under injected disk faults).  The job never executed -- the
+      // supervisor does not memoize refusals -- so resubmitting the same
+      // token is safe.
+      continue;
+    }
+    return last;
+  }
+  return last;
 }
 
 }  // namespace hlts::serve

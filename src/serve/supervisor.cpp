@@ -163,13 +163,33 @@ std::map<int, bool> Server::alive_map_locked() const {
   return alive;
 }
 
+void Server::erase_pending_locked(
+    std::map<std::uint64_t, Pending>::iterator it) {
+  if (!it->second.token.empty()) token_inflight_.erase(it->second.token);
+  pending_.erase(it);
+}
+
+void Server::remember_token_locked(const std::string& token,
+                                   const std::string& line, bool memoize) {
+  if (token.empty()) return;
+  token_inflight_.erase(token);
+  if (!memoize) return;  // refusals re-execute on retry, never replay
+  if (token_done_.emplace(token, line).second) {
+    token_done_order_.push_back(token);
+    while (token_done_order_.size() > kTokenCacheCap) {
+      token_done_.erase(token_done_order_.front());
+      token_done_order_.pop_front();
+    }
+  }
+}
+
 void Server::forward_locked(std::uint64_t tag) {
   auto it = pending_.find(tag);
   if (it == pending_.end()) return;
   const int shard = router_.route(it->second.name);
   if (shard < 0) {
     const ConnPtr conn = it->second.conn;
-    pending_.erase(it);
+    erase_pending_locked(it);
     reply(conn, proto::error_line("no live shard"));
     return;
   }
@@ -184,21 +204,43 @@ void Server::handle_submit(const ConnPtr& conn, const util::JsonValue& doc) {
     return;
   }
   std::string name;
+  std::string token;
   try {
     // Full schema validation at the boundary; the worker re-validates on
     // its trusted link but never sees a malformed document.
-    name = api::FlowRequestV1::from_json(*request).name;
+    api::FlowRequestV1 parsed = api::FlowRequestV1::from_json(*request);
+    name = std::move(parsed.name);
+    token = std::move(parsed.flow_token);
   } catch (const Error& e) {
     reply(conn, proto::error_line(e.what()));
     return;
   }
   const std::uint64_t tag = next_tag();
   std::lock_guard<std::mutex> lock(state_mutex_);
+  if (!token.empty()) {
+    // Idempotent retry protocol: a token already answered replays the
+    // exact reply line; a token still in flight re-attaches this (newer)
+    // connection to the outstanding job instead of executing it twice.
+    if (const auto done = token_done_.find(token); done != token_done_.end()) {
+      reply(conn, done->second);
+      return;
+    }
+    if (const auto fly = token_inflight_.find(token);
+        fly != token_inflight_.end()) {
+      const auto p = pending_.find(fly->second);
+      if (p != pending_.end()) {
+        p->second.conn = conn;
+        return;
+      }
+      token_inflight_.erase(fly);  // stale index row; fall through
+    }
+  }
   if (stopping_) {
     reply(conn, proto::error_line("server is shutting down"));
     return;
   }
-  pending_[tag] = Pending{-1, std::move(name), *request, conn};
+  pending_[tag] = Pending{-1, std::move(name), *request, conn, token};
+  if (!token.empty()) token_inflight_[token] = tag;
   forward_locked(tag);
 }
 
@@ -265,14 +307,20 @@ void Server::worker_reader_loop(int shard) {
         const JsonValue* result = doc->find("result");
         if (result == nullptr) continue;
         ConnPtr conn;
+        const std::string reply_line = proto::ok_result_line(*result);
         {
           std::lock_guard<std::mutex> lock(state_mutex_);
           const auto it = pending_.find(tag);
           if (it == pending_.end()) continue;  // duplicate / orphan replay
           conn = it->second.conn;
+          // Memoize the exact reply line under the flow token so a retry
+          // gets the bit-identical answer -- unless the worker refused the
+          // job ("rejected": it never executed), which must stay retryable.
+          remember_token_locked(it->second.token, reply_line,
+                                result->get_string("state") != "rejected");
           pending_.erase(it);
         }
-        reply(conn, proto::ok_result_line(*result));
+        reply(conn, reply_line);
       } else if (kind == "health") {
         const JsonValue* health = doc->find("health");
         if (health == nullptr) continue;
@@ -359,15 +407,18 @@ void Server::on_worker_death(int shard) {
     const int peer = router_.peer_of(shard);
     if (peer < 0) {
       for (const std::uint64_t t : owned) {
-        replies.emplace_back(pending_[t].conn,
+        const auto it = pending_.find(t);
+        if (it == pending_.end()) continue;
+        replies.emplace_back(it->second.conn,
                              proto::error_line("all shards dead"));
-        pending_.erase(t);
+        erase_pending_locked(it);
       }
       for (const std::uint64_t t : resubmit) {
-        if (pending_.count(t) == 0) continue;
-        replies.emplace_back(pending_[t].conn,
+        const auto it = pending_.find(t);
+        if (it == pending_.end()) continue;
+        replies.emplace_back(it->second.conn,
                              proto::error_line("all shards dead"));
-        pending_.erase(t);
+        erase_pending_locked(it);
       }
     } else {
       const std::uint64_t adopt_tag = next_tag();

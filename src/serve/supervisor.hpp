@@ -35,6 +35,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -108,6 +109,7 @@ class Server {
     std::string name;          ///< client-visible job name (routing key)
     util::JsonValue request;   ///< FlowRequestV1 document (for resubmit)
     ConnPtr conn;
+    std::string token;         ///< flow_token ("" = no dedup)
   };
 
   /// An outstanding cluster-health fan-out.
@@ -152,12 +154,29 @@ class Server {
   util::net::Listener listener_;
   std::vector<std::unique_ptr<Worker>> workers_;
 
+  /// Removes one pending entry and its flow-token index row (state_mutex_
+  /// held).  Every pending_ erase goes through here so the in-flight token
+  /// map can never dangle.
+  void erase_pending_locked(std::map<std::uint64_t, Pending>::iterator it);
+  /// Memoizes a delivered result line under its flow_token (bounded FIFO;
+  /// refusals are not memoized so a retry can re-execute).
+  void remember_token_locked(const std::string& token,
+                             const std::string& line, bool memoize);
+
   std::mutex state_mutex_;
   ShardRouter router_;
   ClusterView view_;
   std::map<std::uint64_t, Pending> pending_;
   std::map<std::uint64_t, ProbeEntry> health_probes_;
   std::map<std::uint64_t, Adoption> adoptions_;
+  /// Idempotency (flow_token dedup): a token in flight maps to its pending
+  /// tag (a retried submit re-attaches to it); a completed token maps to
+  /// the exact serialized reply line (a retried submit replays it
+  /// bit-identically).  The done cache is FIFO-bounded by kTokenCacheCap.
+  std::map<std::string, std::uint64_t> token_inflight_;
+  std::map<std::string, std::string> token_done_;
+  std::deque<std::string> token_done_order_;
+  static constexpr std::size_t kTokenCacheCap = 4096;
   bool stopping_ = false;
 
   std::mutex conns_mutex_;

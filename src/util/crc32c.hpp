@@ -1,0 +1,65 @@
+// CRC-32C (Castagnoli, polynomial 0x1EDC6F41) over raw bytes.
+//
+// The journal's integrity check: every version-3 record, checkpoint and
+// done marker carries the CRC of its payload bytes, so the scrubber and the
+// recovery scan can tell a bit-flipped or truncated file from a valid one
+// without trusting the JSON parser to notice.  Castagnoli rather than the
+// zlib polynomial because its error-detection properties for short
+// JSON-sized messages are strictly better and it is what modern storage
+// stacks (iSCSI, ext4, Btrfs) standardized on.
+//
+// Plain table-driven software implementation (no SSE4.2 dependency): one
+// 256-entry table built at first use, ~1 byte/cycle -- far faster than the
+// disk writes the checksums protect.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace hlts::util {
+
+namespace detail {
+
+inline const std::array<std::uint32_t, 256>& crc32c_table() {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        // Reflected polynomial of 0x1EDC6F41.
+        crc = (crc >> 1) ^ ((crc & 1u) ? 0x82F63B78u : 0u);
+      }
+      t[i] = crc;
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace detail
+
+/// CRC-32C of `data` (standard reflected form, init/final-xor 0xFFFFFFFF).
+[[nodiscard]] inline std::uint32_t crc32c(std::string_view data) {
+  const auto& table = detail::crc32c_table();
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (const char c : data) {
+    crc = (crc >> 8) ^ table[(crc ^ static_cast<unsigned char>(c)) & 0xFFu];
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+/// Fixed-width lowercase hex of a CRC (8 characters, zero padded) -- the
+/// wire/disk spelling used by journal v3 documents.
+[[nodiscard]] inline std::string crc32c_hex(std::uint32_t crc) {
+  static const char* digits = "0123456789abcdef";
+  std::string out(8, '0');
+  for (int i = 7; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = digits[crc & 0xFu];
+    crc >>= 4;
+  }
+  return out;
+}
+
+}  // namespace hlts::util

@@ -1,0 +1,211 @@
+#include "util/io_faults.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <stdexcept>
+
+#include "util/knobs.hpp"
+
+namespace hlts::util::io_faults {
+
+namespace {
+
+struct SpecState {
+  Spec spec;
+  std::int64_t hits = 0;
+  std::int64_t triggers = 0;
+};
+
+std::mutex g_mutex;
+std::vector<SpecState>& states() {
+  static std::vector<SpecState> s;
+  return s;
+}
+
+/// splitmix64 -- same mixer as util/failpoint, so one (seed, counter) pair
+/// produces one trigger sequence regardless of wall clock or thread timing.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+double uniform01(std::uint64_t seed, std::uint64_t n) {
+  return static_cast<double>(mix64(seed ^ mix64(n)) >> 11) * 0x1.0p-53;
+}
+
+bool parse_op(const std::string& text, Op* out) {
+  if (text == "open") { *out = Op::Open; return true; }
+  if (text == "write") { *out = Op::Write; return true; }
+  if (text == "fsync") { *out = Op::Fsync; return true; }
+  if (text == "rename") { *out = Op::Rename; return true; }
+  return false;
+}
+
+bool parse_mode(const std::string& text, Mode* out) {
+  if (text == "short") { *out = Mode::Short; return true; }
+  if (text == "enospc") { *out = Mode::Enospc; return true; }
+  if (text == "eio") { *out = Mode::Eio; return true; }
+  return false;
+}
+
+std::vector<std::string> split(const std::string& text, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  for (;;) {
+    const std::size_t end = text.find(sep, start);
+    out.push_back(text.substr(start, end - start));
+    if (end == std::string::npos) break;
+    start = end + 1;
+  }
+  return out;
+}
+
+bool parse_spec(const std::string& text, Spec* out, std::string* error) {
+  const std::vector<std::string> fields = split(text, ':');
+  if (fields.size() < 4 || fields.size() > 5) {
+    *error = "io-fault spec '" + text +
+             "': expected op:mode:probability:seed[:param]";
+    return false;
+  }
+  Spec spec;
+  if (!parse_op(fields[0], &spec.op)) {
+    *error = "io-fault spec '" + text + "': unknown op '" + fields[0] +
+             "' (expected open|write|fsync|rename)";
+    return false;
+  }
+  if (!parse_mode(fields[1], &spec.mode)) {
+    *error = "io-fault spec '" + text + "': unknown mode '" + fields[1] +
+             "' (expected short|enospc|eio)";
+    return false;
+  }
+  if (spec.mode == Mode::Short && spec.op != Op::Write) {
+    *error = "io-fault spec '" + text + "': mode 'short' applies to op "
+             "'write' only";
+    return false;
+  }
+  try {
+    std::size_t pos = 0;
+    spec.probability = std::stod(fields[2], &pos);
+    if (pos != fields[2].size()) throw std::invalid_argument(fields[2]);
+    spec.seed = std::stoull(fields[3], &pos);
+    if (pos != fields[3].size()) throw std::invalid_argument(fields[3]);
+    if (fields.size() == 5) {
+      spec.param = std::stoll(fields[4], &pos);
+      if (pos != fields[4].size()) throw std::invalid_argument(fields[4]);
+    }
+  } catch (const std::exception&) {
+    *error = "io-fault spec '" + text + "': malformed number";
+    return false;
+  }
+  if (spec.probability < 0 || spec.probability > 1) {
+    *error = "io-fault spec '" + text + "': probability must be in [0, 1]";
+    return false;
+  }
+  if (spec.param < 0) {
+    *error = "io-fault spec '" + text + "': param must be >= 0";
+    return false;
+  }
+  *out = spec;
+  return true;
+}
+
+/// Arms from HLTS_IO_FAULTS once, before main().  A malformed value aborts
+/// rather than running a chaos soak that silently injects nothing.
+struct EnvInit {
+  EnvInit() {
+    const std::optional<std::string> env =
+        knobs::read_string("HLTS_IO_FAULTS");
+    if (!env) return;
+    std::string error;
+    if (!configure(*env, &error)) {
+      std::fprintf(stderr, "HLTS_IO_FAULTS: %s\n", error.c_str());
+      std::abort();
+    }
+  }
+};
+const EnvInit g_env_init;
+
+}  // namespace
+
+namespace detail {
+std::atomic<bool> g_armed{false};
+}  // namespace detail
+
+const char* op_name(Op op) {
+  switch (op) {
+    case Op::Open: return "open";
+    case Op::Write: return "write";
+    case Op::Fsync: return "fsync";
+    case Op::Rename: return "rename";
+  }
+  return "?";
+}
+
+const char* mode_name(Mode mode) {
+  switch (mode) {
+    case Mode::Short: return "short";
+    case Mode::Enospc: return "enospc";
+    case Mode::Eio: return "eio";
+  }
+  return "?";
+}
+
+bool configure(const std::string& spec_list, std::string* error) {
+  std::vector<SpecState> parsed;
+  if (!spec_list.empty()) {
+    for (const std::string& text : split(spec_list, ',')) {
+      Spec spec;
+      std::string local_error;
+      if (!parse_spec(text, &spec, &local_error)) {
+        if (error != nullptr) *error = local_error;
+        return false;
+      }
+      parsed.push_back(SpecState{spec, 0, 0});
+    }
+  }
+  std::lock_guard<std::mutex> lock(g_mutex);
+  states() = std::move(parsed);
+  detail::g_armed.store(!states().empty(), std::memory_order_relaxed);
+  return true;
+}
+
+void clear() {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  states().clear();
+  detail::g_armed.store(false, std::memory_order_relaxed);
+}
+
+std::vector<Spec> active() {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  std::vector<Spec> out;
+  for (const SpecState& s : states()) out.push_back(s.spec);
+  return out;
+}
+
+std::vector<OpStats> stats() {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  std::vector<OpStats> out;
+  for (const SpecState& s : states()) {
+    out.push_back(OpStats{op_name(s.spec.op), s.hits, s.triggers});
+  }
+  return out;
+}
+
+std::optional<Injected> consult(Op op) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  for (SpecState& s : states()) {
+    if (s.spec.op != op) continue;
+    const std::uint64_t draw = static_cast<std::uint64_t>(s.hits);
+    ++s.hits;
+    if (uniform01(s.spec.seed, draw) >= s.spec.probability) continue;
+    if (s.spec.param > 0 && s.triggers >= s.spec.param) continue;
+    ++s.triggers;
+    return Injected{s.spec.mode};
+  }
+  return std::nullopt;
+}
+
+}  // namespace hlts::util::io_faults

@@ -1,0 +1,95 @@
+// Injectable filesystem faults: the disk half of the chaos harness.
+//
+// util::fs routes every syscall that matters for durability (open, write,
+// fsync, rename) through this shim, so tests and the chaos grid can make
+// the "disk" fail the way real disks fail -- short writes that tear a file,
+// ENOSPC, EIO, a rename or fsync that never lands -- without mocking the
+// filesystem or patching the binary.
+//
+// Relationship to util/failpoint: failpoints are *named code sites*
+// ("journal.commit") that fire an action; io_faults are *operation types*
+// that fire wherever util::fs performs that operation.  The spec grammar,
+// the deterministic counter-hash probability stream and the armed()
+// fast-path are deliberately the same idiom.
+//
+// Configuration: the HLTS_IO_FAULTS environment variable (read once at
+// process start) or io_faults::configure(), a comma-separated list of
+//
+//   op:mode:probability:seed[:param]
+//
+//   op           open | write | fsync | rename
+//   mode         short  -- (write only) persist a prefix of the chunk, then
+//                          fail: the torn-file case
+//                enospc -- fail with a disk-full error (surfaced distinctly
+//                          in the Error message)
+//                eio    -- fail with a generic I/O error
+//   probability  0..1, deterministic counter-hash stream seeded by `seed`
+//   param        maximum number of triggers, 0 = unlimited
+//
+// e.g. HLTS_IO_FAULTS=write:short:0.05:7,fsync:eio:0.1:11,rename:enospc:0.02:13
+//
+// All injected failures surface as hlts::Error(ErrorKind::Transient), like
+// their real counterparts: the engine's retry/refuse machinery owns them.
+// Cost when not configured: one relaxed atomic load per fs operation.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace hlts::util::io_faults {
+
+enum class Op { Open, Write, Fsync, Rename };
+enum class Mode { Short, Enospc, Eio };
+
+[[nodiscard]] const char* op_name(Op op);
+[[nodiscard]] const char* mode_name(Mode mode);
+
+/// Parsed form of one op:mode:probability:seed[:param] spec.
+struct Spec {
+  Op op = Op::Write;
+  Mode mode = Mode::Eio;
+  double probability = 1.0;
+  std::uint64_t seed = 0;
+  std::int64_t param = 0;  ///< max triggers, 0 = unlimited
+};
+
+/// Per-op observability for tests and the chaos-grid report.
+struct OpStats {
+  std::string op;
+  std::int64_t hits = 0;      ///< operations evaluated while armed
+  std::int64_t triggers = 0;  ///< faults actually injected
+};
+
+/// Replaces the active configuration (HLTS_IO_FAULTS grammar).  Returns
+/// false and fills `*error` on a malformed spec, leaving the previous
+/// configuration untouched.  An empty list disarms everything.
+bool configure(const std::string& spec_list, std::string* error = nullptr);
+
+/// Disarms all injections and resets statistics.
+void clear();
+
+[[nodiscard]] std::vector<Spec> active();
+[[nodiscard]] std::vector<OpStats> stats();
+
+namespace detail {
+extern std::atomic<bool> g_armed;
+}  // namespace detail
+
+/// True when any injection is configured -- the only fast-path check.
+[[nodiscard]] inline bool armed() {
+  return detail::g_armed.load(std::memory_order_relaxed);
+}
+
+/// The fault to inject right now for one `op`, or nullopt to proceed
+/// normally.  Draws from the deterministic per-spec stream; only call when
+/// armed().  The *caller* (util::fs) performs the fault so it can model it
+/// faithfully (a short write really leaves a prefix on disk).
+struct Injected {
+  Mode mode = Mode::Eio;
+};
+[[nodiscard]] std::optional<Injected> consult(Op op);
+
+}  // namespace hlts::util::io_faults

@@ -26,6 +26,31 @@ const Knob kRegistry[] = {
      "util::failpoint (static init)",
      "arms fault-injection sites, grammar site:mode:prob:seed[:param]; a "
      "malformed spec aborts the process before main"},
+    {"HLTS_IO_FAULTS", Kind::String, OnMalformed::Throw, "unset",
+     "util::io_faults (static init)",
+     "injects disk faults into util/fs, grammar op:mode:prob:seed[:param] "
+     "with ops open|write|fsync|rename and modes short|enospc|eio; a "
+     "malformed spec aborts the process before main"},
+    {"HLTS_NET_FAULTS", Kind::String, OnMalformed::Throw, "unset",
+     "util::net_chaos (static init)",
+     "injects network faults into chaos-enabled sockets, grammar "
+     "op:mode:prob:seed[:param] with ops connect|read|write and modes "
+     "reset|truncate|stall; a malformed spec aborts the process before main"},
+    {"HLTS_CLIENT_CONNECT_TIMEOUT_MS", Kind::Int, OnMalformed::Throw, "10000",
+     "serve::ClientOptions::from_env",
+     "serve client connect timeout in ms; 0 blocks indefinitely"},
+    {"HLTS_CLIENT_READ_TIMEOUT_MS", Kind::Int, OnMalformed::Throw,
+     "0 (no timeout)", "serve::ClientOptions::from_env",
+     "serve client per-response read timeout in ms; 0 waits forever "
+     "(synthesis jobs can legitimately run long)"},
+    {"HLTS_CLIENT_WRITE_TIMEOUT_MS", Kind::Int, OnMalformed::Throw, "10000",
+     "serve::ClientOptions::from_env",
+     "serve client send timeout in ms; 0 blocks indefinitely"},
+    {"HLTS_CLIENT_RETRIES", Kind::Int, OnMalformed::Throw, "0",
+     "serve::ClientOptions::from_env",
+     "extra reconnect-and-resubmit attempts by serve::RetryClient after a "
+     "transport failure; safe because retries reuse the request's "
+     "flow_token and the supervisor deduplicates"},
     {"HLTS_SANITIZE", Kind::ConfigTime, OnMalformed::Throw, "unset",
      "CMakeLists.txt",
      "configure-time: 'thread' or 'address' builds the tree under TSan / "

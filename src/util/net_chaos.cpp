@@ -1,0 +1,215 @@
+#include "util/net_chaos.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <stdexcept>
+
+#include "util/knobs.hpp"
+
+namespace hlts::util::net_chaos {
+
+namespace {
+
+struct SpecState {
+  Spec spec;
+  std::int64_t hits = 0;
+  std::int64_t triggers = 0;
+};
+
+std::mutex g_mutex;
+std::vector<SpecState>& states() {
+  static std::vector<SpecState> s;
+  return s;
+}
+
+/// splitmix64 -- same deterministic stream as util/failpoint.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+double uniform01(std::uint64_t seed, std::uint64_t n) {
+  return static_cast<double>(mix64(seed ^ mix64(n)) >> 11) * 0x1.0p-53;
+}
+
+bool parse_op(const std::string& text, Op* out) {
+  if (text == "connect") { *out = Op::Connect; return true; }
+  if (text == "read") { *out = Op::Read; return true; }
+  if (text == "write") { *out = Op::Write; return true; }
+  return false;
+}
+
+bool parse_mode(const std::string& text, Mode* out) {
+  if (text == "reset") { *out = Mode::Reset; return true; }
+  if (text == "truncate") { *out = Mode::Truncate; return true; }
+  if (text == "stall") { *out = Mode::Stall; return true; }
+  return false;
+}
+
+std::vector<std::string> split(const std::string& text, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  for (;;) {
+    const std::size_t end = text.find(sep, start);
+    out.push_back(text.substr(start, end - start));
+    if (end == std::string::npos) break;
+    start = end + 1;
+  }
+  return out;
+}
+
+bool parse_spec(const std::string& text, Spec* out, std::string* error) {
+  const std::vector<std::string> fields = split(text, ':');
+  if (fields.size() < 4 || fields.size() > 5) {
+    *error = "net-fault spec '" + text +
+             "': expected op:mode:probability:seed[:param]";
+    return false;
+  }
+  Spec spec;
+  if (!parse_op(fields[0], &spec.op)) {
+    *error = "net-fault spec '" + text + "': unknown op '" + fields[0] +
+             "' (expected connect|read|write)";
+    return false;
+  }
+  if (!parse_mode(fields[1], &spec.mode)) {
+    *error = "net-fault spec '" + text + "': unknown mode '" + fields[1] +
+             "' (expected reset|truncate|stall)";
+    return false;
+  }
+  if (spec.mode == Mode::Truncate && spec.op == Op::Connect) {
+    *error = "net-fault spec '" + text + "': mode 'truncate' applies to "
+             "read/write only";
+    return false;
+  }
+  try {
+    std::size_t pos = 0;
+    spec.probability = std::stod(fields[2], &pos);
+    if (pos != fields[2].size()) throw std::invalid_argument(fields[2]);
+    spec.seed = std::stoull(fields[3], &pos);
+    if (pos != fields[3].size()) throw std::invalid_argument(fields[3]);
+    if (fields.size() == 5) {
+      spec.param = std::stoll(fields[4], &pos);
+      if (pos != fields[4].size()) throw std::invalid_argument(fields[4]);
+    } else if (spec.mode == Mode::Truncate) {
+      spec.param = 1;  // default: deliver a single byte of the frame
+    } else if (spec.mode == Mode::Stall) {
+      spec.param = 50;  // default sleep ms
+    }
+  } catch (const std::exception&) {
+    *error = "net-fault spec '" + text + "': malformed number";
+    return false;
+  }
+  if (spec.probability < 0 || spec.probability > 1) {
+    *error = "net-fault spec '" + text + "': probability must be in [0, 1]";
+    return false;
+  }
+  if (spec.param < 0) {
+    *error = "net-fault spec '" + text + "': param must be >= 0";
+    return false;
+  }
+  *out = spec;
+  return true;
+}
+
+/// Arms from HLTS_NET_FAULTS once, before main().  Malformed values abort:
+/// a chaos soak that silently injects nothing is worse than no soak.
+struct EnvInit {
+  EnvInit() {
+    const std::optional<std::string> env =
+        knobs::read_string("HLTS_NET_FAULTS");
+    if (!env) return;
+    std::string error;
+    if (!configure(*env, &error)) {
+      std::fprintf(stderr, "HLTS_NET_FAULTS: %s\n", error.c_str());
+      std::abort();
+    }
+  }
+};
+const EnvInit g_env_init;
+
+}  // namespace
+
+namespace detail {
+std::atomic<bool> g_armed{false};
+}  // namespace detail
+
+const char* op_name(Op op) {
+  switch (op) {
+    case Op::Connect: return "connect";
+    case Op::Read: return "read";
+    case Op::Write: return "write";
+  }
+  return "?";
+}
+
+const char* mode_name(Mode mode) {
+  switch (mode) {
+    case Mode::Reset: return "reset";
+    case Mode::Truncate: return "truncate";
+    case Mode::Stall: return "stall";
+  }
+  return "?";
+}
+
+bool configure(const std::string& spec_list, std::string* error) {
+  std::vector<SpecState> parsed;
+  if (!spec_list.empty()) {
+    for (const std::string& text : split(spec_list, ',')) {
+      Spec spec;
+      std::string local_error;
+      if (!parse_spec(text, &spec, &local_error)) {
+        if (error != nullptr) *error = local_error;
+        return false;
+      }
+      parsed.push_back(SpecState{spec, 0, 0});
+    }
+  }
+  std::lock_guard<std::mutex> lock(g_mutex);
+  states() = std::move(parsed);
+  detail::g_armed.store(!states().empty(), std::memory_order_relaxed);
+  return true;
+}
+
+void clear() {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  states().clear();
+  detail::g_armed.store(false, std::memory_order_relaxed);
+}
+
+std::vector<Spec> active() {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  std::vector<Spec> out;
+  for (const SpecState& s : states()) out.push_back(s.spec);
+  return out;
+}
+
+std::vector<OpStats> stats() {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  std::vector<OpStats> out;
+  for (const SpecState& s : states()) {
+    out.push_back(OpStats{op_name(s.spec.op), s.hits, s.triggers});
+  }
+  return out;
+}
+
+std::optional<Injected> consult(Op op) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  for (SpecState& s : states()) {
+    if (s.spec.op != op) continue;
+    const std::uint64_t draw = static_cast<std::uint64_t>(s.hits);
+    ++s.hits;
+    if (uniform01(s.spec.seed, draw) >= s.spec.probability) continue;
+    if (s.spec.mode == Mode::Reset && s.spec.param > 0 &&
+        s.triggers >= s.spec.param) {
+      continue;  // trigger budget exhausted
+    }
+    ++s.triggers;
+    return Injected{s.spec.mode, s.spec.param};
+  }
+  return std::nullopt;
+}
+
+}  // namespace hlts::util::net_chaos

@@ -1,0 +1,94 @@
+// Injectable network faults: the wire half of the chaos harness.
+//
+// The socket layer exposes chaos-aware variants of its primitives
+// (connect_local with chaos enabled, write_all's chaos flag, LineReader::
+// enable_chaos); this module decides *when* those variants misbehave and
+// *how*.  Enabling is per call site, never ambient: a process that arms
+// HLTS_NET_FAULTS only perturbs the connections that opted in (the serve
+// client), so a supervisor's worker socketpairs in the same process stay
+// deterministic.
+//
+// Configuration: the HLTS_NET_FAULTS environment variable (read once at
+// process start) or net_chaos::configure(), a comma-separated list of
+//
+//   op:mode:probability:seed[:param]
+//
+//   op           connect | read | write
+//   mode         reset    -- the peer "resets": connect/write throw a
+//                            Transient error, a read sees EOF; param caps
+//                            triggers (0 = unlimited)
+//                truncate -- deliver/send only `param` bytes (default 1)
+//                            of the chunk, then the stream ends: the torn
+//                            line / slow-loris partial-frame case
+//                stall    -- sleep `param` ms (default 50) before the
+//                            operation: a stalled or drip-feeding peer;
+//                            timeouts are what make this survivable
+//   probability  0..1, deterministic counter-hash stream seeded by `seed`
+//
+// e.g. HLTS_NET_FAULTS=read:stall:0.2:3:200,read:reset:0.05:9,connect:reset:0.1:5
+//
+// Same spec grammar, probability stream and armed() fast path as
+// util/failpoint and util/io_faults.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace hlts::util::net_chaos {
+
+enum class Op { Connect, Read, Write };
+enum class Mode { Reset, Truncate, Stall };
+
+[[nodiscard]] const char* op_name(Op op);
+[[nodiscard]] const char* mode_name(Mode mode);
+
+/// Parsed form of one op:mode:probability:seed[:param] spec.
+struct Spec {
+  Op op = Op::Read;
+  Mode mode = Mode::Reset;
+  double probability = 1.0;
+  std::uint64_t seed = 0;
+  /// reset: max triggers (0 = unlimited); truncate: bytes delivered
+  /// (default 1); stall: sleep milliseconds (default 50).
+  std::int64_t param = 0;
+};
+
+struct OpStats {
+  std::string op;
+  std::int64_t hits = 0;
+  std::int64_t triggers = 0;
+};
+
+/// Replaces the active configuration (HLTS_NET_FAULTS grammar).  Returns
+/// false and fills `*error` on a malformed spec, leaving the previous
+/// configuration untouched.  An empty list disarms everything.
+bool configure(const std::string& spec_list, std::string* error = nullptr);
+
+/// Disarms all injections and resets statistics.
+void clear();
+
+[[nodiscard]] std::vector<Spec> active();
+[[nodiscard]] std::vector<OpStats> stats();
+
+namespace detail {
+extern std::atomic<bool> g_armed;
+}  // namespace detail
+
+/// True when any injection is configured -- the only fast-path check.
+[[nodiscard]] inline bool armed() {
+  return detail::g_armed.load(std::memory_order_relaxed);
+}
+
+/// The fault to inject right now for one `op`, or nullopt to proceed
+/// normally.  Stall sleeps are performed by the caller (so it can sleep
+/// outside its locks); only call when armed().
+struct Injected {
+  Mode mode = Mode::Reset;
+  std::int64_t param = 0;  ///< resolved param (defaults applied)
+};
+[[nodiscard]] std::optional<Injected> consult(Op op);
+
+}  // namespace hlts::util::net_chaos

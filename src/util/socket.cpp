@@ -1,15 +1,22 @@
 #include "util/socket.hpp"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <sys/types.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 #include "util/error.hpp"
+#include "util/net_chaos.hpp"
 
 namespace hlts::util::net {
 
@@ -17,6 +24,17 @@ namespace {
 
 [[noreturn]] void sys_fail(const std::string& what) {
   throw Error(what + ": " + std::strerror(errno), ErrorKind::Transient);
+}
+
+void chaos_sleep(std::int64_t ms) {
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+void set_nonblocking(int fd, bool on) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) sys_fail("fcntl(F_GETFL)");
+  const int want = on ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (::fcntl(fd, F_SETFL, want) < 0) sys_fail("fcntl(F_SETFL)");
 }
 
 }  // namespace
@@ -65,7 +83,18 @@ void Listener::close_now() { fd_.close(); }
 
 void Listener::shutdown_now() { shutdown_fd(fd_.get()); }
 
-Fd connect_local(int port) {
+Fd connect_local(int port, int timeout_ms, bool chaos) {
+  if (chaos && net_chaos::armed()) {
+    if (const auto fault = net_chaos::consult(net_chaos::Op::Connect)) {
+      if (fault->mode == net_chaos::Mode::Stall) {
+        chaos_sleep(fault->param);
+      } else {
+        throw Error("connect 127.0.0.1:" + std::to_string(port) +
+                        ": injected connection reset",
+                    ErrorKind::Transient);
+      }
+    }
+  }
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) sys_fail("socket");
   Fd out(fd);
@@ -73,10 +102,44 @@ Fd connect_local(int port) {
   addr.sin_family = AF_INET;
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
   addr.sin_port = htons(static_cast<std::uint16_t>(port));
-  while (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
-    if (errno == EINTR) continue;
-    sys_fail("connect 127.0.0.1:" + std::to_string(port));
+  if (timeout_ms <= 0) {
+    while (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) !=
+           0) {
+      if (errno == EINTR) continue;
+      sys_fail("connect 127.0.0.1:" + std::to_string(port));
+    }
+    return out;
   }
+  // Bounded connect: non-blocking + poll for writability, then read the
+  // final status from SO_ERROR.
+  set_nonblocking(fd, true);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    if (errno != EINPROGRESS && errno != EINTR) {
+      sys_fail("connect 127.0.0.1:" + std::to_string(port));
+    }
+    pollfd pfd{fd, POLLOUT, 0};
+    while (true) {
+      const int rc = ::poll(&pfd, 1, timeout_ms);
+      if (rc > 0) break;
+      if (rc == 0) {
+        throw Error("connect 127.0.0.1:" + std::to_string(port) +
+                        ": timeout after " + std::to_string(timeout_ms) + "ms",
+                    ErrorKind::Transient);
+      }
+      if (errno != EINTR) sys_fail("poll(connect)");
+    }
+    int err = 0;
+    socklen_t len = sizeof err;
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0) {
+      sys_fail("getsockopt(SO_ERROR)");
+    }
+    if (err != 0) {
+      throw Error("connect 127.0.0.1:" + std::to_string(port) + ": " +
+                      std::strerror(err),
+                  ErrorKind::Transient);
+    }
+  }
+  set_nonblocking(fd, false);
   return out;
 }
 
@@ -86,21 +149,58 @@ std::pair<Fd, Fd> socket_pair() {
   return {Fd(fds[0]), Fd(fds[1])};
 }
 
-void write_all(int fd, const std::string& data) {
+void set_send_timeout_ms(int fd, int timeout_ms) {
+  timeval tv{};
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  if (::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv) != 0) {
+    sys_fail("setsockopt(SO_SNDTIMEO)");
+  }
+}
+
+void write_all(int fd, const std::string& data, bool chaos) {
+  std::size_t limit = data.size();
+  bool injected_truncate = false;
+  if (chaos && net_chaos::armed()) {
+    if (const auto fault = net_chaos::consult(net_chaos::Op::Write)) {
+      switch (fault->mode) {
+        case net_chaos::Mode::Stall:
+          chaos_sleep(fault->param);
+          break;
+        case net_chaos::Mode::Reset:
+          throw Error("write: injected connection reset",
+                      ErrorKind::Transient);
+        case net_chaos::Mode::Truncate:
+          limit = std::min(limit, static_cast<std::size_t>(fault->param));
+          injected_truncate = true;
+          break;
+      }
+    }
+  }
   std::size_t off = 0;
-  while (off < data.size()) {
+  while (off < limit) {
 #ifdef MSG_NOSIGNAL
     const ssize_t n =
-        ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+        ::send(fd, data.data() + off, limit - off, MSG_NOSIGNAL);
 #else
-    const ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+    const ssize_t n = ::write(fd, data.data() + off, limit - off);
 #endif
     if (n > 0) {
       off += static_cast<std::size_t>(n);
       continue;
     }
     if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      throw Error("write: send timeout", ErrorKind::Transient);
+    }
     sys_fail("write");
+  }
+  if (injected_truncate) {
+    // The peer got a torn frame; tell it so (and the caller too).
+    (void)::shutdown(fd, SHUT_WR);
+    throw Error("write: injected truncation after " + std::to_string(limit) +
+                    " bytes",
+                ErrorKind::Transient);
   }
 }
 
@@ -124,13 +224,48 @@ std::optional<std::string> LineReader::read_line() {
                       " bytes",
                   ErrorKind::Input);
     }
+    // An injected truncation earlier delivered a partial frame; the rest
+    // of the stream is gone, like a peer that died mid-send.
+    if (chaos_eof_) return std::nullopt;
+    std::size_t keep = 4096;
+    if (chaos_ && net_chaos::armed()) {
+      if (const auto fault = net_chaos::consult(net_chaos::Op::Read)) {
+        switch (fault->mode) {
+          case net_chaos::Mode::Stall:
+            chaos_sleep(fault->param);
+            break;
+          case net_chaos::Mode::Reset:
+            return std::nullopt;  // the peer "reset" us mid-stream
+          case net_chaos::Mode::Truncate:
+            keep = static_cast<std::size_t>(fault->param);
+            chaos_eof_ = true;
+            break;
+        }
+      }
+    }
+    if (read_timeout_ms_ > 0) {
+      pollfd pfd{fd_, POLLIN, 0};
+      while (true) {
+        const int rc = ::poll(&pfd, 1, read_timeout_ms_);
+        if (rc > 0) break;
+        if (rc == 0) {
+          throw Error("read: timeout after " +
+                          std::to_string(read_timeout_ms_) + "ms",
+                      ErrorKind::Transient);
+        }
+        if (errno != EINTR) sys_fail("poll(read)");
+      }
+    }
     char chunk[4096];
     const ssize_t n = ::read(fd_, chunk, sizeof chunk);
     if (n > 0) {
-      buffer_.append(chunk, static_cast<std::size_t>(n));
+      buffer_.append(chunk, std::min(static_cast<std::size_t>(n), keep));
       continue;
     }
     if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      throw Error("read: timeout", ErrorKind::Transient);
+    }
     // EOF or reset: a half-line at EOF is discarded (torn trailing write).
     return std::nullopt;
   }

@@ -9,6 +9,18 @@
 // The same Fd/line primitives serve both transports: TCP sockets between
 // clients and the hlts_serve supervisor, and AF_UNIX socketpairs between
 // the supervisor and its forked shard workers.
+//
+// Two opt-in extensions added for the chaos harness:
+//   - timeouts: connect_local takes a timeout, LineReader takes a read
+//     timeout and write_all honors a send timeout set via
+//     set_send_timeout_ms -- a stalled peer becomes a Transient error
+//     instead of a forever-block;
+//   - chaos: connect_local/write_all take a `chaos` flag and LineReader
+//     has enable_chaos(); enabled paths consult util/net_chaos
+//     (HLTS_NET_FAULTS) and can see injected resets, truncations and
+//     stalls.  Chaos is strictly per call site: the supervisor<->worker
+//     socketpairs in the same process never opt in, so arming the shim in
+//     a test process only perturbs the client connections under test.
 #pragma once
 
 #include <cstddef>
@@ -78,15 +90,27 @@ class Listener {
   int port_ = 0;
 };
 
-/// Blocking connect to 127.0.0.1:`port`; throws Error(Transient) on refusal.
-[[nodiscard]] Fd connect_local(int port);
+/// Connect to 127.0.0.1:`port`; throws Error(Transient) on refusal.
+/// `timeout_ms` > 0 bounds the connect (non-blocking + poll; expiry throws
+/// Error(Transient) mentioning "timeout"); 0 blocks indefinitely.  With
+/// `chaos`, consults util/net_chaos: an injected connect reset throws, a
+/// stall sleeps first.
+[[nodiscard]] Fd connect_local(int port, int timeout_ms = 0,
+                               bool chaos = false);
 
 /// AF_UNIX stream socketpair (supervisor <-> forked worker transport).
 [[nodiscard]] std::pair<Fd, Fd> socket_pair();
 
 /// Writes all of `data`, restarting on EINTR; throws Error(Transient) when
-/// the peer is gone.  SIGPIPE is suppressed (MSG_NOSIGNAL / signal mask).
-void write_all(int fd, const std::string& data);
+/// the peer is gone or a send timeout (set_send_timeout_ms) expires.
+/// SIGPIPE is suppressed (MSG_NOSIGNAL / signal mask).  With `chaos`, an
+/// injected write reset throws, a truncation sends a prefix and then
+/// throws (the peer sees a torn frame), a stall sleeps first.
+void write_all(int fd, const std::string& data, bool chaos = false);
+
+/// Kernel-level send timeout (SO_SNDTIMEO); 0 disables.  An expired send
+/// surfaces from write_all as Error(Transient) mentioning "timeout".
+void set_send_timeout_ms(int fd, int timeout_ms);
 
 /// ::shutdown(fd, SHUT_RDWR) -- unblocks a reader in another thread without
 /// racing fd reuse the way close() would.  Safe on an already-shut-down fd.
@@ -99,6 +123,16 @@ class LineReader {
   explicit LineReader(int fd, std::size_t max_line_bytes)
       : fd_(fd), max_line_(max_line_bytes) {}
 
+  /// A read blocked longer than this throws Error(Transient) mentioning
+  /// "timeout"; 0 (default) waits forever.  Buffered complete lines are
+  /// still returned without touching the socket.
+  void set_read_timeout_ms(int timeout_ms) { read_timeout_ms_ = timeout_ms; }
+
+  /// Routes reads through util/net_chaos (HLTS_NET_FAULTS): injected
+  /// resets end the stream, truncations deliver a partial frame and then
+  /// EOF, stalls sleep (slow-loris when probabilistic).
+  void enable_chaos() { chaos_ = true; }
+
   /// Next line, or nullopt on orderly EOF / peer reset.  A line longer than
   /// the cap throws Error(Input) -- the serving layer's document-size guard:
   /// oversized requests are refused before any JSON parsing.
@@ -109,6 +143,9 @@ class LineReader {
   std::size_t max_line_;
   std::string buffer_;
   std::size_t scanned_ = 0;  ///< prefix of buffer_ known to hold no '\n'
+  int read_timeout_ms_ = 0;
+  bool chaos_ = false;
+  bool chaos_eof_ = false;  ///< an injected truncation ended the stream
 };
 
 }  // namespace hlts::util::net

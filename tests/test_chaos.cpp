@@ -1,0 +1,476 @@
+// Chaos-harness tests (`ctest -L chaos`): the io_faults / net_chaos spec
+// grammars and their deterministic probability streams, disk-fault
+// injection through util/fs (short writes, ENOSPC, EIO -- and that the
+// journal's atomic-commit protocol turns them into clean refusals, never
+// corruption), socket timeouts against real sockets, and the idempotent
+// retry protocol end to end: a RetryClient against a live forked-worker
+// supervisor, where a retried flow_token is answered exactly once with
+// the original bit-identical reply.
+//
+// Fault configuration (io_faults, net_chaos) is process-global; ctest runs
+// each test in its own process, and every test clears what it armed.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/api.hpp"
+#include "benchmarks/benchmarks.hpp"
+#include "core/flows.hpp"
+#include "engine/engine.hpp"
+#include "serve/client.hpp"
+#include "serve/supervisor.hpp"
+#include "util/crc32c.hpp"
+#include "util/error.hpp"
+#include "util/fs.hpp"
+#include "util/io_faults.hpp"
+#include "util/json.hpp"
+#include "util/net_chaos.hpp"
+#include "util/socket.hpp"
+
+namespace hlts {
+namespace {
+
+namespace iof = util::io_faults;
+namespace nc = util::net_chaos;
+
+/// Fresh scratch tree under TMPDIR, recursively removed on scope exit.
+struct TempRoot {
+  std::string path;
+  TempRoot() {
+    const char* base = std::getenv("TMPDIR");
+    std::string tmpl =
+        std::string(base != nullptr ? base : "/tmp") + "/hlts_chaos_XXXXXX";
+    std::vector<char> buf(tmpl.begin(), tmpl.end());
+    buf.push_back('\0');
+    char* made = mkdtemp(buf.data());
+    EXPECT_NE(made, nullptr);
+    path = made != nullptr ? made : tmpl;
+  }
+  ~TempRoot() {
+    std::error_code ec;
+    std::filesystem::remove_all(path, ec);
+  }
+};
+
+/// Disarms every process-global fault shim on scope exit.
+struct FaultGuard {
+  ~FaultGuard() {
+    iof::clear();
+    nc::clear();
+  }
+};
+
+// ---------------------------------------------------------------------------
+// CRC32C: the checksum under the journal's v3 framing.
+
+TEST(Crc32c, MatchesKnownVectors) {
+  // RFC 3720 appendix B.4 test vector: 32 zero bytes.
+  EXPECT_EQ(util::crc32c(std::string(32, '\0')), 0x8A9136AAu);
+  // "123456789", the classic check value for Castagnoli.
+  EXPECT_EQ(util::crc32c("123456789"), 0xE3069283u);
+  EXPECT_EQ(util::crc32c(""), 0x00000000u);
+  EXPECT_EQ(util::crc32c_hex(0xE3069283u), "e3069283");
+  EXPECT_EQ(util::crc32c_hex(0x1u), "00000001");
+}
+
+TEST(Crc32c, AnySingleByteChangeChangesTheSum) {
+  const std::string base = "{\"id\":7,\"name\":\"ex/ours\",\"version\":3}";
+  const std::uint32_t sum = util::crc32c(base);
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    std::string mutated = base;
+    mutated[i] = static_cast<char>(mutated[i] ^ 0x20);
+    EXPECT_NE(util::crc32c(mutated), sum) << "byte " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Spec grammar: parse, reject, arm/disarm.
+
+TEST(IoFaults, ParsesAndRejectsSpecs) {
+  const FaultGuard guard;
+  std::string error;
+  EXPECT_TRUE(iof::configure("write:short:0.5:7", &error)) << error;
+  EXPECT_TRUE(iof::armed());
+  ASSERT_EQ(iof::active().size(), 1u);
+  EXPECT_EQ(iof::active()[0].probability, 0.5);
+
+  EXPECT_TRUE(iof::configure(
+      "open:eio:0.1:1,write:enospc:1:2:3,fsync:eio:0.25:4,rename:eio:0:5",
+      &error))
+      << error;
+  EXPECT_EQ(iof::active().size(), 4u);
+
+  // Malformed specs leave the previous configuration untouched.
+  EXPECT_FALSE(iof::configure("chmod:eio:1:0", &error));  // unknown op
+  EXPECT_FALSE(iof::configure("write:melt:1:0", &error));  // unknown mode
+  EXPECT_FALSE(iof::configure("fsync:short:1:0", &error));  // short != write
+  EXPECT_FALSE(iof::configure("write:eio:1.5:0", &error));  // p out of range
+  EXPECT_FALSE(iof::configure("write:eio:1:0:-2", &error));  // bad param
+  EXPECT_FALSE(iof::configure("write:eio", &error));  // too few fields
+  EXPECT_EQ(iof::active().size(), 4u);
+
+  EXPECT_TRUE(iof::configure("", &error));
+  EXPECT_FALSE(iof::armed());
+}
+
+TEST(IoFaults, ProbabilityStreamIsDeterministic) {
+  const FaultGuard guard;
+  auto draw_sequence = [] {
+    std::vector<bool> fired;
+    EXPECT_TRUE(iof::configure("write:eio:0.5:42"));
+    for (int i = 0; i < 64; ++i) fired.push_back(iof::consult(
+        iof::Op::Write).has_value());
+    return fired;
+  };
+  const std::vector<bool> first = draw_sequence();
+  const std::vector<bool> second = draw_sequence();
+  EXPECT_EQ(first, second);
+  // ~half fire at p=0.5; the exact count is pinned by the seed.
+  int fired = 0;
+  for (const bool b : first) fired += b ? 1 : 0;
+  EXPECT_GT(fired, 16);
+  EXPECT_LT(fired, 48);
+  // A different seed gives a different stream.
+  EXPECT_TRUE(iof::configure("write:eio:0.5:43"));
+  std::vector<bool> other;
+  for (int i = 0; i < 64; ++i) other.push_back(iof::consult(
+      iof::Op::Write).has_value());
+  EXPECT_NE(first, other);
+}
+
+TEST(NetChaos, ParsesDefaultsAndRejections) {
+  const FaultGuard guard;
+  std::string error;
+  EXPECT_TRUE(nc::configure("read:truncate:1:0,read:stall:1:1", &error))
+      << error;
+  ASSERT_EQ(nc::active().size(), 2u);
+  EXPECT_EQ(nc::active()[0].param, 1);   // truncate default: 1 byte
+  EXPECT_EQ(nc::active()[1].param, 50);  // stall default: 50 ms
+  EXPECT_FALSE(nc::configure("connect:truncate:1:0", &error));
+  EXPECT_FALSE(nc::configure("accept:reset:1:0", &error));
+  EXPECT_TRUE(nc::configure("", &error));
+  EXPECT_FALSE(nc::armed());
+}
+
+// ---------------------------------------------------------------------------
+// Disk-fault injection through util/fs.
+
+TEST(IoFaults, ShortWriteLeavesTornTempNeverTheFinalFile) {
+  const FaultGuard guard;
+  const TempRoot root;
+  const std::string path = root.path + "/victim.json";
+  const std::string content(4096, 'x');
+  ASSERT_TRUE(iof::configure("write:short:1:0:1"));  // exactly one trigger
+  try {
+    util::fs::write_file_atomic(path, content);
+    FAIL() << "short write did not surface";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::Transient);
+    EXPECT_NE(std::string(e.what()).find("injected fault"),
+              std::string::npos);
+  }
+  // The torn bytes are only ever in the temp file; the destination name
+  // either does not exist or is complete.
+  EXPECT_FALSE(util::fs::file_exists(path));
+  EXPECT_TRUE(util::fs::file_exists(path + ".tmp"));
+
+  // Trigger budget spent: the retry commits and repairs the temp debris.
+  util::fs::write_file_atomic(path, content);
+  EXPECT_EQ(util::fs::read_file(path), content);
+}
+
+TEST(IoFaults, EnospcIsNamedDistinctlyAndEioIsNot) {
+  const FaultGuard guard;
+  const TempRoot root;
+  ASSERT_TRUE(iof::configure("fsync:enospc:1:0:1"));
+  try {
+    util::fs::write_file_atomic(root.path + "/full.json", "{}");
+    FAIL() << "enospc did not surface";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("disk full: ENOSPC"),
+              std::string::npos)
+        << e.what();
+  }
+  ASSERT_TRUE(iof::configure("rename:eio:1:0:1"));
+  try {
+    util::fs::write_file_atomic(root.path + "/sick.json", "{}");
+    FAIL() << "eio did not surface";
+  } catch (const Error& e) {
+    EXPECT_EQ(std::string(e.what()).find("disk full"), std::string::npos);
+  }
+}
+
+TEST(IoFaults, JournalUnderDiskFaultsRefusesButNeverCorrupts) {
+  const FaultGuard guard;
+  const TempRoot root;
+  // Heavy mixed faults: many writes tear, fsyncs and renames fail.  The
+  // engine may refuse submissions (write-ahead record failed) or absorb
+  // checkpoint failures as journal lag, but every file that *commits*
+  // must verify, and results must stay bit-identical.
+  ASSERT_TRUE(iof::configure(
+      "write:short:0.3:7,fsync:eio:0.2:11,rename:enospc:0.1:13"));
+  int refused = 0;
+  int succeeded = 0;
+  core::FlowParams params;
+  params.num_threads = 1;
+  const core::FlowResult reference = core::run_flow(
+      core::FlowKind::Ours, benchmarks::make_benchmark("ex"), params);
+  {
+    engine::Engine eng({.max_concurrent_jobs = 1,
+                        .max_retries = 0,
+                        .journal_dir = root.path,
+                        .checkpoint_every = 1});
+    for (int i = 0; i < 12; ++i) {
+      engine::FlowRequest r;
+      r.name = "chaos-" + std::to_string(i);
+      r.kind = core::FlowKind::Ours;
+      r.dfg = benchmarks::make_benchmark("ex");
+      r.params = params;
+      try {
+        const engine::JobPtr job = eng.submit(std::move(r));
+        job->wait();
+        if (job->state() == engine::JobState::Succeeded) {
+          ++succeeded;
+          EXPECT_EQ(job->result()->exec_time, reference.exec_time);
+          EXPECT_EQ(job->result()->registers, reference.registers);
+        }
+      } catch (const Error&) {
+        ++refused;  // admission refused: the write-ahead record failed
+      }
+    }
+  }
+  iof::clear();
+  EXPECT_GT(succeeded, 0);
+  EXPECT_GT(refused, 0) << "faults never fired; the test is vacuous";
+  const engine::Journal::ScrubReport report = engine::Engine::scrub(
+      root.path);
+  EXPECT_EQ(report.corrupt, 0) << "a committed journal file failed its CRC";
+}
+
+// ---------------------------------------------------------------------------
+// Socket timeouts and wire-level chaos.
+
+TEST(SocketTimeout, ReadTimesOutAgainstASilentPeer) {
+  util::net::Listener listener(0);
+  std::thread accepter([&] {
+    const util::net::Fd peer = listener.accept();
+    std::this_thread::sleep_for(std::chrono::milliseconds(400));
+  });
+  util::net::Fd fd = util::net::connect_local(listener.port());
+  util::net::LineReader reader(fd.get(), 1024);
+  reader.set_read_timeout_ms(50);
+  try {
+    (void)reader.read_line();
+    FAIL() << "silent peer did not time out";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::Transient);
+    EXPECT_NE(std::string(e.what()).find("timeout"), std::string::npos);
+  }
+  accepter.join();
+}
+
+TEST(SocketTimeout, ConnectToDeadPortFailsFast) {
+  // Bind-then-close: the port was just proven free, so connect must fail
+  // (refused) rather than hang, with the timeout machinery engaged.
+  int dead_port = 0;
+  {
+    util::net::Listener probe(0);
+    dead_port = probe.port();
+    probe.close_now();
+  }
+  EXPECT_THROW((void)util::net::connect_local(dead_port, 2000), Error);
+}
+
+TEST(NetChaos, InjectedResetSurfacesAsTransportError) {
+  const FaultGuard guard;
+  util::net::Listener listener(0);
+  std::thread accepter([&] { (void)listener.accept(); });
+  ASSERT_TRUE(nc::configure("write:reset:1:0:1"));
+  util::net::Fd fd = util::net::connect_local(listener.port(), 0,
+                                              /*chaos=*/true);
+  EXPECT_THROW(util::net::write_all(fd.get(), "hello\n", /*chaos=*/true),
+               Error);
+  accepter.join();
+}
+
+TEST(NetChaos, TruncatedReadEndsTheStreamMidLine) {
+  const FaultGuard guard;
+  util::net::Listener listener(0);
+  std::thread sender([&] {
+    const util::net::Fd peer = listener.accept();
+    util::net::write_all(peer.get(), "a-full-response-line\n");
+  });
+  util::net::Fd fd = util::net::connect_local(listener.port());
+  util::net::LineReader reader(fd.get(), 1024);
+  reader.enable_chaos();
+  ASSERT_TRUE(nc::configure("read:truncate:1:0:3"));
+  // Three bytes arrive, then the injected EOF: no complete line.
+  EXPECT_EQ(reader.read_line(), std::nullopt);
+  sender.join();
+}
+
+// ---------------------------------------------------------------------------
+// Idempotent retry against a live supervisor.
+
+core::FlowParams paper_params() {
+  core::FlowParams p;
+  p.k = 5;
+  p.alpha = 2;
+  p.beta = 1;
+  p.num_threads = 1;
+  return p;
+}
+
+api::FlowRequestV1 make_request(const std::string& name,
+                                const std::string& bench) {
+  api::FlowRequestV1 req;
+  req.name = name;
+  req.kind = core::FlowKind::Ours;
+  req.dfg = benchmarks::make_benchmark(bench);
+  req.params = paper_params();
+  return req;
+}
+
+class ChaosServeFixture : public ::testing::Test {
+ protected:
+  /// Must run before any other thread exists (the ctor forks workers).
+  serve::Server& make_server(int shards) {
+    serve::ServerOptions opts;
+    opts.shards = shards;
+    opts.port = 0;
+    opts.journal_root = root_.path;
+    server_ = std::make_unique<serve::Server>(std::move(opts));
+    runner_ = std::thread([s = server_.get()] { s->run(); });
+    return *server_;
+  }
+
+  void TearDown() override {
+    if (server_ != nullptr) server_->stop();
+    if (runner_.joinable()) runner_.join();
+    server_.reset();
+  }
+
+  TempRoot root_;
+  std::unique_ptr<serve::Server> server_;
+  std::thread runner_;
+};
+
+TEST_F(ChaosServeFixture, SameFlowTokenIsAnsweredOnceBitIdentically) {
+  serve::Server& server = make_server(2);
+  api::FlowRequestV1 req = make_request("dedup/ours", "ex");
+  req.flow_token = "tok-fixed-1";
+
+  serve::Client first(server.port());
+  const auto a = first.submit(req);
+  ASSERT_TRUE(a.ok) << a.error;
+  ASSERT_TRUE(a.result.has_value());
+  EXPECT_EQ(a.result->state, "succeeded");
+
+  // A different connection retrying the same token must get the memoized
+  // reply -- the identical serialized document, not a re-execution.
+  serve::Client second(server.port());
+  const auto b = second.submit(req);
+  ASSERT_TRUE(b.ok) << b.error;
+  ASSERT_TRUE(b.result.has_value());
+  EXPECT_EQ(util::json_dump(a.result->to_json()),
+            util::json_dump(b.result->to_json()));
+
+  // Exactly one execution: the cluster counted one submitted job.
+  const auto health = second.health();
+  ASSERT_TRUE(health.ok) << health.error;
+  ASSERT_TRUE(health.health.has_value());
+  const util::JsonValue* cluster = health.health->find("cluster");
+  ASSERT_NE(cluster, nullptr);
+  EXPECT_EQ(cluster->get_int("submitted", -1), 1);
+}
+
+TEST_F(ChaosServeFixture, DistinctTokensExecuteIndependently) {
+  serve::Server& server = make_server(2);
+  serve::Client client(server.port());
+  api::FlowRequestV1 req = make_request("solo/ours", "ex");
+  req.flow_token = "tok-a";
+  const auto a = client.submit(req);
+  ASSERT_TRUE(a.ok) << a.error;
+  req.flow_token = "tok-b";
+  const auto b = client.submit(req);
+  ASSERT_TRUE(b.ok) << b.error;
+  const auto health = client.health();
+  ASSERT_TRUE(health.ok);
+  const util::JsonValue* cluster = health.health->find("cluster");
+  ASSERT_NE(cluster, nullptr);
+  EXPECT_EQ(cluster->get_int("submitted", -1), 2);
+}
+
+TEST_F(ChaosServeFixture, RetryClientSurvivesInjectedResets) {
+  const FaultGuard guard;
+  serve::Server& server = make_server(2);
+
+  // Every third read on the chaos connection resets; the retry layer must
+  // reconnect with the same token and still deliver each job exactly once,
+  // bit-identical to a serial run.
+  ASSERT_TRUE(nc::configure("read:reset:0.34:5"));
+  serve::ClientOptions opts;
+  opts.retries = 8;
+  opts.backoff_ms = 10;
+  opts.chaos = true;
+  serve::RetryClient client(server.port(), opts);
+
+  const core::FlowResult serial = core::run_flow(
+      core::FlowKind::Ours, benchmarks::make_benchmark("ex"), paper_params());
+  for (int i = 0; i < 6; ++i) {
+    const auto resp = client.submit(
+        make_request("retry-" + std::to_string(i) + "/ours", "ex"));
+    ASSERT_TRUE(resp.ok) << resp.error;
+    ASSERT_TRUE(resp.result.has_value());
+    ASSERT_EQ(resp.result->state, "succeeded");
+    const api::FlowResultV1 expected =
+        api::FlowResultV1::from_result(resp.result->name, serial);
+    EXPECT_TRUE(expected.design_identical(*resp.result)) << i;
+  }
+  EXPECT_GT(client.reconnects(), 0) << "no reset ever fired; vacuous test";
+  nc::clear();
+
+  // Exactly six executions despite the reconnect storm.
+  serve::Client tail(server.port());
+  const auto health = tail.health();
+  ASSERT_TRUE(health.ok) << health.error;
+  const util::JsonValue* cluster = health.health->find("cluster");
+  ASSERT_NE(cluster, nullptr);
+  EXPECT_EQ(cluster->get_int("submitted", -1), 6);
+}
+
+TEST_F(ChaosServeFixture, FailedValidationDoesNotPoisonTheToken) {
+  serve::Server& server = make_server(1);
+  // A malformed request carrying a flow_token is refused at the schema
+  // boundary -- before the token is registered -- so a corrected retry
+  // with the same token must execute normally, not replay the refusal.
+  util::net::Fd raw = util::net::connect_local(server.port());
+  util::net::LineReader reader(raw.get(), 1u << 20);
+  util::net::write_all(
+      raw.get(),
+      "{\"op\":\"submit\",\"request\":{\"schema_version\":1,"
+      "\"flow_token\":\"tok-fixup\",\"name\":\"broken\"}}\n");
+  const auto error_line = reader.read_line();
+  ASSERT_TRUE(error_line.has_value());
+  const auto error_doc = util::json_parse(*error_line);
+  ASSERT_TRUE(error_doc.has_value());
+  EXPECT_FALSE(error_doc->get_bool("ok", true));
+
+  serve::Client client(server.port());
+  api::FlowRequestV1 req = make_request("fixup/ours", "ex");
+  req.flow_token = "tok-fixup";
+  const auto good = client.submit(req);
+  ASSERT_TRUE(good.ok) << good.error;
+  EXPECT_EQ(good.result->state, "succeeded");
+}
+
+}  // namespace
+}  // namespace hlts

@@ -24,6 +24,7 @@
 #include <condition_variable>
 #include <cstdlib>
 #include <cstring>
+#include <functional>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -63,7 +64,7 @@ struct TempDir {
     path = made != nullptr ? made : tmpl;
   }
   ~TempDir() {
-    for (const std::string& name : util::fs::list_files(path)) {
+    for (const std::string& name : util::fs::list_all_files(path)) {
       util::fs::remove_file(path + "/" + name);
     }
     ::rmdir(path.c_str());
@@ -630,6 +631,213 @@ TEST(KillRecoverSoak, CrashBeforeAnyCheckpoint) {
   // Only the write-ahead record is durable: recovery restarts from
   // scratch and still converges to the identical result.
   kill_and_recover("journal.checkpoint:kill:1:0:1", "ex", 1);
+}
+
+// --- journal scrub (adversarial corruption corpus) --------------------------
+
+/// Reads a journal file, applies `mutate` to its bytes, writes it back.
+void damage_file(const std::string& path,
+                 const std::function<std::string(std::string)>& mutate) {
+  const std::optional<std::string> content = util::fs::read_file(path);
+  ASSERT_TRUE(content.has_value()) << path;
+  util::fs::write_file_atomic(path, mutate(*content));
+}
+
+/// The scrub finding for `file`, or nullptr.
+const engine::Journal::ScrubFinding* finding_for(
+    const engine::Journal::ScrubReport& report, const std::string& file) {
+  for (const auto& f : report.findings) {
+    if (f.file == file) return &f;
+  }
+  return nullptr;
+}
+
+void expect_status(const engine::Journal::ScrubReport& report,
+                   const std::string& file, const std::string& status,
+                   bool corrupt) {
+  const engine::Journal::ScrubFinding* f = finding_for(report, file);
+  ASSERT_NE(f, nullptr) << file << " missing from scrub report";
+  EXPECT_EQ(f->status, status) << file << ": " << f->detail;
+  EXPECT_EQ(f->corrupt, corrupt) << file;
+}
+
+TEST(Scrub, CleanJournalHasNoFindings) {
+  const TempDir dir;
+  const engine::Journal j(dir.path);
+  j.write_job(make_record(1, "ex"));
+  j.write_job(make_record(2, "dct"));
+
+  const dfg::Dfg g = benchmarks::make_benchmark("ex");
+  std::vector<core::Checkpoint> ckpts;
+  core::FlowParams rec = test_params(1);
+  rec.checkpoint_every = 1;
+  rec.on_checkpoint = [&](const core::Checkpoint& c) { ckpts.push_back(c); };
+  (void)core::run_flow(core::FlowKind::Ours, g, rec);
+  ASSERT_FALSE(ckpts.empty());
+  j.write_checkpoint(1, ckpts.front());
+
+  // Zero false positives: every committed file verifies.
+  const engine::Journal::ScrubReport report = engine::Engine::scrub(dir.path);
+  EXPECT_TRUE(report.clean());
+  EXPECT_EQ(report.files, 3);
+  EXPECT_EQ(report.ok, 3);
+  EXPECT_EQ(report.corrupt, 0);
+  EXPECT_EQ(report.legacy, 0);
+  for (const auto& f : report.findings) EXPECT_EQ(f.status, "ok") << f.file;
+
+  // A missing directory is an empty clean report, not an error.
+  EXPECT_TRUE(engine::Engine::scrub(dir.path + "/nonexistent").clean());
+}
+
+TEST(Scrub, DetectsEveryInjectedCorruption) {
+  const TempDir dir;
+  const engine::Journal j(dir.path);
+  for (const std::uint64_t id : {1, 2, 3, 4, 9}) {
+    j.write_job(make_record(id, "ex"));
+  }
+  const dfg::Dfg g = benchmarks::make_benchmark("ex");
+  std::vector<core::Checkpoint> ckpts;
+  core::FlowParams rec = test_params(1);
+  rec.checkpoint_every = 1;
+  rec.on_checkpoint = [&](const core::Checkpoint& c) { ckpts.push_back(c); };
+  (void)core::run_flow(core::FlowKind::Ours, g, rec);
+  ASSERT_FALSE(ckpts.empty());
+  j.write_checkpoint(9, ckpts.front());
+
+  // The corpus: one of each corruption the fault model can produce.
+  damage_file(dir.path + "/job-1.json", [](std::string s) {
+    return s.substr(0, s.size() / 2);  // torn write
+  });
+  damage_file(dir.path + "/job-2.json", [](std::string s) {
+    const std::size_t at = s.find("\"name\":\"ex");
+    EXPECT_NE(at, std::string::npos);
+    s[at + 9] = 'y';  // bit-flip inside a value: still valid JSON
+    return s;
+  });
+  damage_file(dir.path + "/job-3.json",
+              [](std::string s) { return s + s; });  // duplicated record
+  damage_file(dir.path + "/job-4.json",
+              [](std::string) { return std::string(); });  // zero length
+  util::fs::write_file_atomic(dir.path + "/job-7.json.tmp", "{\"trunc");
+  util::fs::remove_file(dir.path + "/job-9.json");  // orphans the ckpt
+  util::fs::write_file_atomic(dir.path + "/notes.txt", "operator scribble");
+
+  const engine::Journal::ScrubReport report = engine::Engine::scrub(dir.path);
+  expect_status(report, "job-1.json", "torn", true);
+  expect_status(report, "job-2.json", "checksum_mismatch", true);
+  expect_status(report, "job-3.json", "trailing_garbage", true);
+  expect_status(report, "job-4.json", "zero_length", true);
+  expect_status(report, "job-7.json.tmp", "temp_leftover", false);
+  expect_status(report, "job-9.ckpt.json", "orphan_checkpoint", false);
+  expect_status(report, "notes.txt", "unknown_file", false);
+  EXPECT_EQ(report.corrupt, 4);
+  EXPECT_EQ(report.orphans, 1);
+  EXPECT_EQ(report.temp_leftovers, 1);
+  EXPECT_EQ(report.unknown, 1);
+  EXPECT_FALSE(report.clean());
+
+  // The report is machine-readable and its counters survive the JSON trip.
+  const util::JsonValue doc = reparse(report.to_json());
+  EXPECT_EQ(doc.get_int("corrupt", -1), 4);
+  EXPECT_FALSE(doc.get_bool("clean", true));
+  const util::JsonValue* findings = doc.find("findings");
+  ASSERT_NE(findings, nullptr);
+  EXPECT_EQ(findings->as_array().size(), report.findings.size());
+}
+
+TEST(Scrub, RecoveryNeverReplaysCorruptRecords) {
+  const TempDir dir;
+  const engine::Journal j(dir.path);
+  j.write_job(make_record(1, "ex"));
+  j.write_job(make_record(2, "dct"));
+  damage_file(dir.path + "/job-2.json", [](std::string s) {
+    const std::size_t at = s.find("\"name\":");
+    EXPECT_NE(at, std::string::npos);
+    s[at + 8] = '#';  // silent value damage; only the CRC can catch it
+    return s;
+  });
+
+  const engine::Journal::ScanResult scan = engine::Journal::scan(dir.path);
+  ASSERT_EQ(scan.jobs.size(), 1u);
+  EXPECT_EQ(scan.jobs[0].record.id, 1u);
+  ASSERT_EQ(scan.errors.size(), 1u);
+  EXPECT_NE(scan.errors[0].find("job-2.json"), std::string::npos);
+
+  engine::Engine eng({.max_concurrent_jobs = 1});
+  const engine::Engine::RecoveryReport report = eng.recover(dir.path);
+  ASSERT_EQ(report.jobs.size(), 1u);
+  EXPECT_EQ(report.jobs[0]->id(), 1u);
+  eng.wait_all();
+  EXPECT_EQ(report.jobs[0]->state(), engine::JobState::Succeeded);
+  // The damaged record is evidence, not garbage: left in place.
+  EXPECT_TRUE(util::fs::file_exists(dir.path + "/job-2.json"));
+}
+
+TEST(Scrub, LegacyV2RecordsStillReadable) {
+  const TempDir dir;
+  const engine::Journal j(dir.path);
+  j.write_job(make_record(1, "ex"));
+  // Rewrite the sealed v3 record as its pre-checksum v2 form: version
+  // field back to 2, crc32c member dropped.
+  damage_file(dir.path + "/job-1.json", [](std::string s) {
+    std::optional<util::JsonValue> doc = util::json_parse(s);
+    EXPECT_TRUE(doc.has_value());
+    util::JsonValue::Object out;
+    for (const auto& [key, value] : doc->as_object()) {
+      if (key == "crc32c") continue;
+      out.emplace_back(key, key == "version" ? util::JsonValue::make_int(2)
+                                             : value);
+    }
+    return util::json_dump(util::JsonValue::make_object(std::move(out))) +
+           "\n";
+  });
+
+  const engine::Journal::ScrubReport report = engine::Engine::scrub(dir.path);
+  EXPECT_TRUE(report.clean());
+  EXPECT_EQ(report.legacy, 1);
+  expect_status(report, "job-1.json", "legacy_v2", false);
+
+  // And it replays like any committed record.
+  const engine::Journal::ScanResult scan = engine::Journal::scan(dir.path);
+  EXPECT_TRUE(scan.errors.empty());
+  ASSERT_EQ(scan.jobs.size(), 1u);
+  EXPECT_EQ(scan.jobs[0].record.id, 1u);
+  EXPECT_EQ(scan.jobs[0].record.name, "ex/ours");
+}
+
+TEST(Scrub, QuarantineMovesCorruptFilesAside) {
+  const TempDir dir;
+  const engine::Journal j(dir.path);
+  j.write_job(make_record(1, "ex"));
+  j.write_job(make_record(2, "ex"));
+  damage_file(dir.path + "/job-2.json",
+              [](std::string s) { return s.substr(0, s.size() / 3); });
+  util::fs::write_file_atomic(dir.path + "/job-8.json.tmp", "{\"part");
+
+  const engine::Journal::ScrubReport report =
+      engine::Engine::scrub(dir.path, /*quarantine=*/true);
+  EXPECT_EQ(report.corrupt, 1);
+  const engine::Journal::ScrubFinding* torn = finding_for(report,
+                                                          "job-2.json");
+  ASSERT_NE(torn, nullptr);
+  EXPECT_TRUE(torn->quarantined);
+  EXPECT_FALSE(util::fs::file_exists(dir.path + "/job-2.json"));
+  EXPECT_TRUE(util::fs::file_exists(dir.path + "/quarantine/job-2.json"));
+  EXPECT_FALSE(util::fs::file_exists(dir.path + "/job-8.json.tmp"));
+
+  // After quarantine the directory recovers with no errors at all.
+  const engine::Journal::ScanResult scan = engine::Journal::scan(dir.path);
+  EXPECT_TRUE(scan.errors.empty());
+  ASSERT_EQ(scan.jobs.size(), 1u);
+  EXPECT_EQ(scan.jobs[0].record.id, 1u);
+
+  // Manual cleanup of the quarantine subdirectory (TempDir only sweeps
+  // the top level).
+  for (const std::string& name :
+       util::fs::list_all_files(dir.path + "/quarantine")) {
+    util::fs::remove_file(dir.path + "/quarantine/" + name);
+  }
+  ::rmdir((dir.path + "/quarantine").c_str());
 }
 
 // --- admission control ------------------------------------------------------
