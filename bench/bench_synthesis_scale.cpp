@@ -42,6 +42,7 @@
 #include <string>
 #include <vector>
 
+#include "atpg/atpg.hpp"
 #include "atpg/fault_sim.hpp"
 #include "atpg/faults.hpp"
 #include "benchmarks/benchmarks.hpp"
@@ -188,6 +189,56 @@ std::vector<FaultSimSample> fault_sim_sweep(const hlts::dfg::Dfg& g, int reps,
     if (!s.identical || !s.threads4_identical) ++*bad_configs;
     samples.push_back(s);
   }
+  return samples;
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic-ATPG backends: full run_atpg under "timeframe" (random +
+// PODEM) and "hybrid" (random + SAT on the survivors) over the same
+// synthesized design, so the JSON tracks per-backend TG time and coverage.
+// ---------------------------------------------------------------------------
+struct AtpgBackendSample {
+  std::string backend;
+  double coverage = 0;
+  double efficiency = 0;
+  double tg_ms = 0;
+  std::size_t detected = 0;
+  std::size_t untestable = 0;
+  std::size_t aborted = 0;
+  std::size_t unconfirmed = 0;
+};
+
+std::vector<AtpgBackendSample> atpg_backend_sweep(const hlts::dfg::Dfg& g,
+                                                  bool* hybrid_ge_timeframe) {
+  namespace atpg = hlts::atpg;
+  hlts::core::FlowResult r =
+      hlts::core::run_flow(hlts::core::FlowKind::Ours, g, {.bits = 8});
+  hlts::rtl::RtlDesign design =
+      hlts::rtl::RtlDesign::from_synthesis(g, r.schedule, r.binding, 8);
+  hlts::rtl::Elaboration elab = hlts::rtl::elaborate(design);
+
+  std::vector<AtpgBackendSample> samples;
+  for (const char* backend : {"timeframe", "hybrid"}) {
+    atpg::AtpgOptions options;
+    options.backend = backend;
+    // The same modest per-fault budget the sat test suite uses: the hybrid
+    // rescue pass preserves coverage dominance and the six-benchmark sweep
+    // stays affordable in the perf-smoke job.
+    options.sat_conflict_budget = 2000;
+    const atpg::AtpgResult res =
+        atpg::run_atpg(elab.netlist, design.steps() + 1, options);
+    AtpgBackendSample s;
+    s.backend = backend;
+    s.coverage = res.fault_coverage;
+    s.efficiency = res.fault_efficiency;
+    s.tg_ms = res.tg_time_ms;
+    s.detected = res.detected();
+    s.untestable = res.untestable_proved;
+    s.aborted = res.aborted;
+    s.unconfirmed = res.unconfirmed;
+    samples.push_back(std::move(s));
+  }
+  *hybrid_ge_timeframe = samples[1].coverage >= samples[0].coverage;
   return samples;
 }
 
@@ -409,7 +460,42 @@ int main(int argc, char** argv) {
            << (s.threads4_identical ? "true" : "false") << "}"
            << (wi + 1 < fsim_samples.size() ? "," : "") << "\n";
     }
-    json << "        ]\n      }\n    }";
+    json << "        ]\n      },\n";
+
+    // Deterministic-ATPG backend comparison on the same design: the hybrid
+    // (random + SAT) mode must cover at least what the timeframe (random +
+    // PODEM) mode covers -- SAT is complete within the shared frame bound
+    // where PODEM's bounded backtracking aborts.
+    bool hybrid_ge_timeframe = true;
+    const std::vector<AtpgBackendSample> atpg_samples =
+        atpg_backend_sweep(g, &hybrid_ge_timeframe);
+    if (!hybrid_ge_timeframe) ++not_identical;
+    json << "      \"atpg_backends\": [\n";
+    for (std::size_t ai = 0; ai < atpg_samples.size(); ++ai) {
+      const AtpgBackendSample& s = atpg_samples[ai];
+      std::printf(
+          "%-7s atpg backend=%-9s: coverage %6.2f%%  efficiency %6.2f%%  "
+          "tg %7.1f ms  untestable %zu  aborted %zu%s\n",
+          name, s.backend.c_str(), 100 * s.coverage, 100 * s.efficiency,
+          s.tg_ms, s.untestable, s.aborted,
+          s.backend == "hybrid"
+              ? (hybrid_ge_timeframe ? "  >=timeframe=yes" : "  >=timeframe=NO")
+              : "");
+      json << "        {\"backend\": \"" << s.backend << "\""
+           << ", \"fault_coverage\": " << s.coverage
+           << ", \"fault_efficiency\": " << s.efficiency
+           << ", \"tg_ms\": " << s.tg_ms
+           << ", \"detected\": " << s.detected
+           << ", \"untestable\": " << s.untestable
+           << ", \"aborted\": " << s.aborted
+           << ", \"unconfirmed\": " << s.unconfirmed;
+      if (s.backend == "hybrid") {
+        json << ", \"coverage_ge_timeframe\": "
+             << (hybrid_ge_timeframe ? "true" : "false");
+      }
+      json << "}" << (ai + 1 < atpg_samples.size() ? "," : "") << "\n";
+    }
+    json << "      ]\n    }";
 
     if (!committed.empty()) {
       const double old_us = committed_per_trial_us(committed, name);

@@ -7,10 +7,18 @@
 //              [--verify-serial] [--inject SPEC]
 //              [--journal-dir DIR] [--checkpoint-every N] [--kill-after N]
 //              [--recover] [--queue-cap N] [--policy block|reject|shed]
+//              [--atpg-backend timeframe|sat|hybrid] [--dump-cnf DIR]
 //
 // --jobs / --threads control the engine's two-level split (0 = auto);
 // --verify-serial re-runs every job through a direct core::run_flow call
 // and checks the engine result is bit-identical (exit 1 on any mismatch).
+//
+// --atpg-backend enables a post-synthesis testability evaluation: every
+// job that completed Full is elaborated to gates and run through ATPG
+// under the named deterministic backend (atpg/atpg.hpp documents the
+// modes); per-job coverage/efficiency/TG-time land in the report's "atpg"
+// block.  --dump-cnf DIR makes the SAT backend write each target's CNF as
+// DIMACS (with a comment-line variable map) into DIR.
 //
 // --inject SPEC is the fault-injection soak: SPEC is the HLTS_FAILPOINTS
 // grammar (site:mode:probability:seed[:param], comma-separated; see
@@ -88,7 +96,8 @@ int usage(const char* argv0) {
             << " [--jobs N] [--threads N] [--bits N] [--out FILE]"
                " [--verify-serial] [--inject SPEC]"
                " [--journal-dir DIR] [--checkpoint-every N] [--kill-after N]"
-               " [--recover] [--queue-cap N] [--policy block|reject|shed]\n";
+               " [--recover] [--queue-cap N] [--policy block|reject|shed]"
+               " [--atpg-backend timeframe|sat|hybrid] [--dump-cnf DIR]\n";
   return 2;
 }
 
@@ -107,6 +116,8 @@ int main(int argc, char** argv) {
   bool recover = false;
   int queue_cap = -1;  // -1 = unbounded
   engine::OverloadPolicy policy = engine::OverloadPolicy::Block;
+  std::string atpg_backend;  // empty = no post-synthesis ATPG evaluation
+  std::string dump_cnf;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -158,9 +169,25 @@ int main(int argc, char** argv) {
         std::cerr << "--policy: unknown policy '" << name << "'\n";
         return usage(argv[0]);
       }
+    } else if (arg == "--atpg-backend") {
+      if (i + 1 >= argc) return usage(argv[0]);
+      atpg_backend = argv[++i];
+      if (atpg_backend != "timeframe" && atpg_backend != "sat" &&
+          atpg_backend != "hybrid") {
+        std::cerr << "--atpg-backend: unknown backend '" << atpg_backend
+                  << "'\n";
+        return usage(argv[0]);
+      }
+    } else if (arg == "--dump-cnf") {
+      if (i + 1 >= argc) return usage(argv[0]);
+      dump_cnf = argv[++i];
     } else {
       return usage(argv[0]);
     }
+  }
+  if (!dump_cnf.empty() && atpg_backend.empty()) {
+    std::cerr << "--dump-cnf requires --atpg-backend sat or hybrid\n";
+    return usage(argv[0]);
   }
   if ((kill_after > 0 || recover) && journal_dir.empty()) {
     std::cerr << "--kill-after/--recover require --journal-dir\n";
@@ -203,6 +230,9 @@ int main(int argc, char** argv) {
         r.kind = kind;
         r.dfg = g;
         r.params = bench::paper_params(bits);
+        // Journaled with the request, so a --recover replay re-evaluates
+        // testability under the same backend.
+        r.params.atpg_backend = atpg_backend;
         requests.push_back(std::move(r));
         meta.push_back({bench, kind, g, true});
       }
@@ -288,6 +318,8 @@ int main(int argc, char** argv) {
   w.key("recover").value(recover);
   w.key("queue_cap").value(queue_cap);
   w.key("policy").value(engine::overload_policy_name(policy));
+  w.key("atpg_backend").value(atpg_backend);
+  w.key("dump_cnf").value(dump_cnf);
   w.end_object();
   w.key("jobs").begin_array();
   for (std::size_t i = 0; i < handles.size(); ++i) {
@@ -362,6 +394,46 @@ int main(int argc, char** argv) {
                     << "\n";
         }
       }
+    }
+    // Post-synthesis testability evaluation under the selected backend.
+    // Full results only: a Partial checkpoint's coverage would not be
+    // comparable across runs.  The backend comes from the job's own
+    // (journaled) parameters, so a --recover replay re-evaluates under
+    // whatever backend the interrupted run selected.
+    const std::string& job_backend = job->params().atpg_backend;
+    if (!job_backend.empty() && meta[i].known &&
+        job->state() == engine::JobState::Succeeded && res.has_design &&
+        res.completeness ==
+            core::completeness_name(core::Completeness::Full) &&
+        job->result().has_value()) {
+      const core::FlowResult& fr = *job->result();
+      rtl::RtlDesign design = rtl::RtlDesign::from_synthesis(
+          meta[i].dfg, fr.schedule, fr.binding, bits);
+      rtl::Elaboration elab = rtl::elaborate(design);
+      atpg::AtpgOptions ao;
+      ao.backend = job_backend;
+      ao.sat_frames = job->params().sat_frames;
+      ao.sat_conflict_budget = job->params().sat_conflict_budget;
+      ao.dump_cnf_dir = dump_cnf;
+      const atpg::AtpgResult ar =
+          atpg::run_atpg(elab.netlist, design.steps() + 1, ao);
+      w.key("atpg").begin_object();
+      w.key("backend").value(ar.backend);
+      w.key("total_faults").value(static_cast<std::int64_t>(ar.total_faults));
+      w.key("detected").value(static_cast<std::int64_t>(ar.detected()));
+      w.key("detected_random")
+          .value(static_cast<std::int64_t>(ar.detected_random));
+      w.key("detected_deterministic")
+          .value(static_cast<std::int64_t>(ar.detected_deterministic));
+      w.key("untestable_proved")
+          .value(static_cast<std::int64_t>(ar.untestable_proved));
+      w.key("aborted").value(static_cast<std::int64_t>(ar.aborted));
+      w.key("unconfirmed").value(static_cast<std::int64_t>(ar.unconfirmed));
+      w.key("fault_coverage").value(ar.fault_coverage);
+      w.key("fault_efficiency").value(ar.fault_efficiency);
+      w.key("tg_time_ms").value(ar.tg_time_ms);
+      w.key("test_cycles").value(ar.test_cycles);
+      w.end_object();
     }
     if (job->state() == engine::JobState::Rejected) {
       // Shed/rejected under an explicit queue bound is the admission

@@ -126,9 +126,13 @@ std::vector<std::size_t> FaultSimulator::detected_by(
 }
 
 std::size_t FaultSimulator::drop_detected(const TestSequence& sequence,
-                                          std::vector<Fault>& faults) {
+                                          std::vector<Fault>& faults,
+                                          std::vector<Fault>* dropped) {
   std::vector<std::size_t> hit = detected_by(sequence, faults);
   if (hit.empty()) return 0;
+  if (dropped != nullptr) {
+    for (const std::size_t i : hit) dropped->push_back(faults[i]);
+  }
   // Erase by index, back to front (indices are ascending).
   for (auto it = hit.rbegin(); it != hit.rend(); ++it) {
     faults.erase(faults.begin() + static_cast<std::ptrdiff_t>(*it));

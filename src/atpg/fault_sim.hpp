@@ -45,9 +45,12 @@ class FaultSimulator {
       const TestSequence& sequence, const std::vector<Fault>& faults);
 
   /// Convenience: runs `sequence`, erases detected faults from `faults`
-  /// in place, and returns how many were dropped.
+  /// in place, and returns how many were dropped.  When `dropped` is
+  /// non-null the erased faults are appended to it (in ascending-index
+  /// order), so callers keeping per-fault ledgers can attribute the drops.
   std::size_t drop_detected(const TestSequence& sequence,
-                            std::vector<Fault>& faults);
+                            std::vector<Fault>& faults,
+                            std::vector<Fault>* dropped = nullptr);
 
   /// The resolved packet width in lanes (64, 256 or 512).
   [[nodiscard]] int simd_width() const { return width_; }

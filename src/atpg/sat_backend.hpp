@@ -1,0 +1,63 @@
+// SAT deterministic backend: CNF time-frame unrolling + CDCL.
+//
+// One TimeFrameCnf instance (gates/cnf.hpp) encodes the good-machine
+// unrolling once; each generate() call adds the target fault's miter cone
+// under a fresh activation literal, solves under that single assumption
+// with the per-fault conflict budget, and retires the activation literal
+// afterwards.  Learned clauses therefore persist across the whole fault
+// list -- the assumption-based incremental idiom -- which is what makes
+// per-fault SAT affordable on the benchmark netlists.
+//
+// Retiring a fault deactivates its detection clause but leaves the faulty
+// cone's definition clauses in the database, so unit propagation would
+// slow down linearly in the number of targets processed (quadratic over a
+// run).  The backend therefore rebuilds the encoding from scratch whenever
+// the clause count exceeds twice the good-machine baseline, bounding the
+// garbage carried into any solve by one baseline's worth of clauses.  The
+// trigger depends only on clause counts, so runs stay deterministic.
+//
+// Outcome mapping: Sat -> Detected with the model's extracted input
+// sequence (confirmable by the fault simulator by construction of the
+// dual-rail encoding); Unsat -> Untestable within the frame bound (the
+// same bound the PODEM backend searches, but a complete proof rather than
+// a search-exhaustion claim); Unknown (budget) -> Aborted.
+#pragma once
+
+#include <memory>
+
+#include "atpg/backend.hpp"
+#include "gates/cnf.hpp"
+
+namespace hlts::atpg {
+
+class SatBackend final : public DeterministicBackend {
+ public:
+  SatBackend(const gates::Netlist& nl, const BackendConfig& config);
+
+  [[nodiscard]] const char* name() const override { return "sat"; }
+  [[nodiscard]] BackendResult generate(const Fault& fault) override;
+  [[nodiscard]] const BackendStats& stats() const override { return stats_; }
+
+  /// The underlying encoding, for tests (literal numbering, DIMACS dump).
+  [[nodiscard]] gates::TimeFrameCnf& cnf() { return *cnf_; }
+
+ private:
+  /// Replaces cnf_ with a fresh good-machine encoding once retired fault
+  /// cones have doubled the clause count (see the header comment).
+  void maybe_rebuild();
+
+  const gates::Netlist& nl_;
+  std::unique_ptr<gates::TimeFrameCnf> cnf_;
+  std::int64_t conflict_budget_;
+  std::string dump_dir_;
+  int frames_;
+  int reset_index_;
+  std::size_t base_clauses_ = 0;   ///< clause count of the fault-free encoding
+  std::uint64_t carried_conflicts_ = 0;  ///< stats from discarded solvers
+  std::uint64_t carried_decisions_ = 0;
+  std::uint64_t carried_propagations_ = 0;
+  std::uint64_t carried_learned_ = 0;
+  BackendStats stats_;
+};
+
+}  // namespace hlts::atpg

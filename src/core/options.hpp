@@ -13,6 +13,7 @@
 
 #include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <string>
 
@@ -110,6 +111,18 @@ struct AlgorithmOptions {
   /// thread count; the escape hatch HLTS_INCREMENTAL=0 (the default of
   /// this knob) keeps the old path selectable as the reference.
   bool incremental = incremental_default();
+  /// Deterministic-ATPG orchestration mode for the flow's testability
+  /// evaluation: "timeframe", "sat" or "hybrid" (atpg/atpg.hpp documents
+  /// the escalation order).  Empty resolves the HLTS_ATPG_BACKEND
+  /// environment knob, then falls back to "timeframe".  Journaled, so a
+  /// replayed run re-evaluates testability under the same backend.
+  std::string atpg_backend = {};
+  /// Time frames the SAT backend unrolls the netlist over; 0 resolves
+  /// HLTS_SAT_FRAMES, then two controller periods.
+  int sat_frames = 0;
+  /// Per-fault CDCL conflict budget for the SAT backend; 0 resolves
+  /// HLTS_SAT_CONFLICT_BUDGET, then 20000.
+  std::int64_t sat_conflict_budget = 0;
   cost::ModuleLibrary library = cost::ModuleLibrary::standard();
 
   // --- run hooks (never influence the synthesized result) -----------------

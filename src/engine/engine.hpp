@@ -130,6 +130,12 @@ class Job {
  public:
   [[nodiscard]] const std::string& name() const { return name_; }
   [[nodiscard]] core::FlowKind kind() const { return request_.kind; }
+  /// The parameters the job was submitted (or recovered) with -- a
+  /// --recover replay reads journaled per-job settings (e.g. the ATPG
+  /// backend) from here rather than from the new command line.
+  [[nodiscard]] const core::FlowParams& params() const {
+    return request_.params;
+  }
   /// Engine-assigned id; also the job's journal filename key.
   [[nodiscard]] std::uint64_t id() const { return id_; }
 

@@ -1,0 +1,335 @@
+#include "gates/cnf.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace hlts::gates {
+
+using util::cdcl::Lit;
+using util::cdcl::Var;
+
+TimeFrameCnf::TimeFrameCnf(const Netlist& nl, int frames, int reset_index)
+    : nl_(nl), frames_(frames), reset_index_(reset_index) {
+  HLTS_REQUIRE_INPUT(frames >= 1, "cnf: need at least one time frame");
+  HLTS_REQUIRE_INPUT(
+      reset_index < static_cast<int>(nl.inputs().size()),
+      "cnf: reset index out of range");
+  nl.validate();
+
+  // A shared constant-true literal; constants and stuck values reuse it.
+  note_context_ = "const";
+  true_lit_ = fresh("true");
+  solver_.add_clause(true_lit_);
+  const Lit false_lit = ~true_lit_;
+
+  const std::size_t slots =
+      static_cast<std::size_t>(frames) * nl.num_gates();
+  good_one_.assign(slots, false_lit);
+  good_zero_.assign(slots, false_lit);
+  faulty_one_.assign(slots, false_lit);
+  faulty_zero_.assign(slots, false_lit);
+  in_cone_.assign(slots, 0);
+
+  // Good machine, frame-major.  Mirrors WideSimulator<W>::step exactly:
+  // sources first (PIs binary, constants fixed, DFFs chained / X at power
+  // up), then the combinational gates in levelized order.
+  for (int t = 0; t < frames_; ++t) {
+    const std::string frame_tag = "f" + std::to_string(t);
+    for (std::size_t i = 0; i < nl.inputs().size(); ++i) {
+      const GateId g = nl.inputs()[i];
+      note_context_ = frame_tag + ":pi:" + nl.gate(g).name;
+      const Lit x = fresh("value");
+      good_one_[slot(g, t)] = x;
+      good_zero_[slot(g, t)] = ~x;
+      if (static_cast<int>(i) == reset_index_) {
+        // Forced base state: reset high in frame 0, low afterwards.
+        solver_.add_clause(t == 0 ? x : ~x);
+      }
+    }
+    for (const GateId g : nl.gate_ids()) {
+      const GateKind kind = nl.gate(g).kind;
+      if (kind == GateKind::Const0) {
+        good_one_[slot(g, t)] = false_lit;
+        good_zero_[slot(g, t)] = true_lit_;
+      } else if (kind == GateKind::Const1) {
+        good_one_[slot(g, t)] = true_lit_;
+        good_zero_[slot(g, t)] = false_lit;
+      }
+    }
+    for (const GateId d : nl.dffs()) {
+      if (t == 0) {
+        // Power-up X: neither plane set.
+        good_one_[slot(d, 0)] = false_lit;
+        good_zero_[slot(d, 0)] = false_lit;
+      } else {
+        const GateId src = nl.gate(d).inputs[0];
+        good_one_[slot(d, t)] = good_one_[slot(src, t - 1)];
+        good_zero_[slot(d, t)] = good_zero_[slot(src, t - 1)];
+      }
+    }
+    for (const GateId g : nl.levelized()) {
+      const Gate& gate = nl.gate(g);
+      note_context_ = frame_tag + ":" + gate_kind_name(gate.kind) + ":" +
+                      (gate.name.empty() ? std::to_string(g.index())
+                                         : gate.name);
+      std::vector<Lit> in_one;
+      std::vector<Lit> in_zero;
+      in_one.reserve(gate.inputs.size());
+      in_zero.reserve(gate.inputs.size());
+      for (const GateId in : gate.inputs) {
+        in_one.push_back(good_one_[slot(in, t)]);
+        in_zero.push_back(good_zero_[slot(in, t)]);
+      }
+      encode_gate(gate, in_one, in_zero, good_one_[slot(g, t)],
+                  good_zero_[slot(g, t)]);
+    }
+  }
+}
+
+Lit TimeFrameCnf::fresh(std::string note) {
+  const Var v = solver_.new_var();
+  var_notes_.push_back(note_context_ + ":" + std::move(note));
+  return util::cdcl::mk_lit(v);
+}
+
+Lit TimeFrameCnf::make_and(std::vector<Lit> lits) {
+  // Constant folding keeps the unrolling small: Const0/Const1 gates and
+  // stuck fault sites feed fixed literals into half the plane equations.
+  std::vector<Lit> kept;
+  kept.reserve(lits.size());
+  for (const Lit l : lits) {
+    if (l == true_lit_) continue;
+    if (l == ~true_lit_) return ~true_lit_;
+    kept.push_back(l);
+  }
+  if (kept.empty()) return true_lit_;
+  if (kept.size() == 1) return kept[0];
+  const Lit y = fresh("and");
+  std::vector<Lit> big;
+  big.reserve(kept.size() + 1);
+  big.push_back(y);
+  for (const Lit l : kept) {
+    solver_.add_clause(~y, l);  // y -> l
+    big.push_back(~l);
+  }
+  solver_.add_clause(big);  // (AND of l) -> y
+  return y;
+}
+
+Lit TimeFrameCnf::make_or(std::vector<Lit> lits) {
+  for (Lit& l : lits) l = ~l;
+  return ~make_and(std::move(lits));
+}
+
+void TimeFrameCnf::encode_gate(const Gate& gate,
+                               const std::vector<Lit>& in_one,
+                               const std::vector<Lit>& in_zero, Lit& out_one,
+                               Lit& out_zero) {
+  switch (gate.kind) {
+    case GateKind::Buf:
+    case GateKind::Output:
+      out_one = in_one[0];
+      out_zero = in_zero[0];
+      break;
+    case GateKind::Not:
+      out_one = in_zero[0];
+      out_zero = in_one[0];
+      break;
+    case GateKind::And:
+    case GateKind::Nand: {
+      Lit v1 = make_and(in_one);
+      Lit v0 = make_or(in_zero);
+      if (gate.kind == GateKind::Nand) std::swap(v1, v0);
+      out_one = v1;
+      out_zero = v0;
+      break;
+    }
+    case GateKind::Or:
+    case GateKind::Nor: {
+      Lit v1 = make_or(in_one);
+      Lit v0 = make_and(in_zero);
+      if (gate.kind == GateKind::Nor) std::swap(v1, v0);
+      out_one = v1;
+      out_zero = v0;
+      break;
+    }
+    case GateKind::Xor:
+    case GateKind::Xnor: {
+      const Lit a1 = in_one[0];
+      const Lit a0 = in_zero[0];
+      const Lit b1 = in_one[1];
+      const Lit b0 = in_zero[1];
+      Lit v1 = make_or({make_and({a1, b0}), make_and({a0, b1})});
+      Lit v0 = make_or({make_and({a1, b1}), make_and({a0, b0})});
+      if (gate.kind == GateKind::Xnor) std::swap(v1, v0);
+      out_one = v1;
+      out_zero = v0;
+      break;
+    }
+    case GateKind::Mux: {
+      const Lit s1 = in_one[0];
+      const Lit s0 = in_zero[0];
+      const Lit a1 = in_one[1];
+      const Lit a0 = in_zero[1];
+      const Lit b1 = in_one[2];
+      const Lit b0 = in_zero[2];
+      out_one = make_or(
+          {make_and({s0, a1}), make_and({s1, b1}), make_and({a1, b1})});
+      out_zero = make_or(
+          {make_and({s0, a0}), make_and({s1, b0}), make_and({a0, b0})});
+      break;
+    }
+    default:
+      HLTS_REQUIRE(false, "cnf: source gate reached combinational encoding");
+  }
+}
+
+Lit TimeFrameCnf::add_fault(GateId site, bool stuck_at_one) {
+  HLTS_REQUIRE_INPUT(site.index() < nl_.num_gates(),
+                     "cnf: fault site out of range");
+  const std::string fault_tag =
+      std::string("fault:") +
+      (nl_.gate(site).name.empty() ? std::to_string(site.index())
+                                   : nl_.gate(site).name) +
+      (stuck_at_one ? ":sa1" : ":sa0");
+
+  // Fanout cone of the (permanent) fault: the site in every frame, closed
+  // combinationally within a frame and through DFFs into the next frame.
+  std::fill(in_cone_.begin(), in_cone_.end(), 0);
+  std::deque<std::pair<int, GateId>> work;
+  for (int t = 0; t < frames_; ++t) {
+    in_cone_[slot(site, t)] = 1;
+    work.emplace_back(t, site);
+  }
+  while (!work.empty()) {
+    const auto [t, g] = work.front();
+    work.pop_front();
+    for (const GateId out : nl_.gate(g).fanouts) {
+      const bool through_dff = nl_.gate(out).kind == GateKind::Dff;
+      const int ot = through_dff ? t + 1 : t;
+      if (ot >= frames_) continue;
+      if (in_cone_[slot(out, ot)] != 0) continue;
+      in_cone_[slot(out, ot)] = 1;
+      work.emplace_back(ot, out);
+    }
+  }
+
+  // Faulty planes: default to the good literals, override inside the cone.
+  // The site itself is tied to the stuck value -- the dual-rail image of
+  // the simulator's sa-mask (one = (one|s1)&~s0 collapses to a constant).
+  faulty_one_ = good_one_;
+  faulty_zero_ = good_zero_;
+  const Lit false_lit = ~true_lit_;
+  const Lit stuck_one = stuck_at_one ? true_lit_ : false_lit;
+  const Lit stuck_zero = stuck_at_one ? false_lit : true_lit_;
+  for (int t = 0; t < frames_; ++t) {
+    const std::string frame_tag = fault_tag + ":f" + std::to_string(t);
+    for (const GateId d : nl_.dffs()) {
+      if (d == site || t == 0 || in_cone_[slot(d, t)] == 0) continue;
+      const GateId src = nl_.gate(d).inputs[0];
+      faulty_one_[slot(d, t)] = faulty_one_[slot(src, t - 1)];
+      faulty_zero_[slot(d, t)] = faulty_zero_[slot(src, t - 1)];
+    }
+    faulty_one_[slot(site, t)] = stuck_one;
+    faulty_zero_[slot(site, t)] = stuck_zero;
+    for (const GateId g : nl_.levelized()) {
+      if (g == site || in_cone_[slot(g, t)] == 0) continue;
+      const Gate& gate = nl_.gate(g);
+      note_context_ = frame_tag + ":" + gate_kind_name(gate.kind) + ":" +
+                      (gate.name.empty() ? std::to_string(g.index())
+                                         : gate.name);
+      std::vector<Lit> in_one;
+      std::vector<Lit> in_zero;
+      in_one.reserve(gate.inputs.size());
+      in_zero.reserve(gate.inputs.size());
+      for (const GateId in : gate.inputs) {
+        in_one.push_back(faulty_one_[slot(in, t)]);
+        in_zero.push_back(faulty_zero_[slot(in, t)]);
+      }
+      encode_gate(gate, in_one, in_zero, faulty_one_[slot(g, t)],
+                  faulty_zero_[slot(g, t)]);
+    }
+  }
+
+  // Detection: some observed output differs with a binary good value --
+  // (good1 & faulty0) | (good0 & faulty1), the simulator's expression.
+  // Only cone outputs can differ; everything else aliases the good planes.
+  note_context_ = fault_tag + ":detect";
+  std::vector<Lit> detect;
+  for (int t = 0; t < frames_; ++t) {
+    for (const GateId o : nl_.outputs()) {
+      if (in_cone_[slot(o, t)] == 0) continue;
+      const Lit g1 = good_one_[slot(o, t)];
+      const Lit g0 = good_zero_[slot(o, t)];
+      const Lit f1 = faulty_one_[slot(o, t)];
+      const Lit f0 = faulty_zero_[slot(o, t)];
+      const Lit d = make_or({make_and({g1, f0}), make_and({g0, f1})});
+      if (d == ~true_lit_) continue;
+      detect.push_back(d);
+    }
+  }
+  const Lit act = fresh("act");
+  std::vector<Lit> clause;
+  clause.reserve(detect.size() + 1);
+  clause.push_back(~act);
+  for (const Lit d : detect) clause.push_back(d);
+  solver_.add_clause(clause);  // act -> some output differs somewhere
+  return act;
+}
+
+void TimeFrameCnf::retire_fault(Lit act) { solver_.add_clause(~act); }
+
+std::vector<std::vector<bool>> TimeFrameCnf::extract_sequence() const {
+  std::vector<std::vector<bool>> seq;
+  seq.reserve(static_cast<std::size_t>(frames_));
+  for (int t = 0; t < frames_; ++t) {
+    std::vector<bool> v(nl_.inputs().size(), false);
+    for (std::size_t i = 0; i < nl_.inputs().size(); ++i) {
+      v[i] = solver_.model_true(good_one_[slot(nl_.inputs()[i], t)]);
+    }
+    seq.push_back(std::move(v));
+  }
+  return seq;
+}
+
+Lit TimeFrameCnf::one_lit(GateId g, int frame) const {
+  HLTS_REQUIRE(frame >= 0 && frame < frames_, "cnf: frame out of range");
+  return good_one_[slot(g, frame)];
+}
+
+Lit TimeFrameCnf::zero_lit(GateId g, int frame) const {
+  HLTS_REQUIRE(frame >= 0 && frame < frames_, "cnf: frame out of range");
+  return good_zero_[slot(g, frame)];
+}
+
+void TimeFrameCnf::dump_dimacs(std::ostream& os, Lit assume) const {
+  const auto dimacs = [](Lit l) {
+    const int v = l.var() + 1;
+    return l.sign() ? -v : v;
+  };
+  os << "c hlts time-frame CNF: netlist=" << nl_.name()
+     << " frames=" << frames_ << "\n";
+  if (assume.x >= 0) os << "c assume " << dimacs(assume) << "\n";
+  for (std::size_t v = 0; v < var_notes_.size(); ++v) {
+    os << "c v " << (v + 1) << " " << var_notes_[v] << "\n";
+  }
+  const std::size_t units = solver_.root_literals().size();
+  os << "p cnf " << solver_.num_vars() << " "
+     << (solver_.num_clauses() + units) << "\n";
+  for (const Lit l : solver_.root_literals()) {
+    os << dimacs(l) << " 0\n";
+  }
+  solver_.for_each_problem_clause([&](const int* codes, int size) {
+    for (int i = 0; i < size; ++i) {
+      Lit l;
+      l.x = codes[i];
+      os << dimacs(l) << " ";
+    }
+    os << "0\n";
+  });
+}
+
+}  // namespace hlts::gates

@@ -1,0 +1,125 @@
+// Netlist -> CNF time-frame lowering for the SAT ATPG backend.
+//
+// TimeFrameCnf unrolls a sequential gate netlist over k time frames into
+// CNF for the util::cdcl solver, using the *same dual-rail (two-plane)
+// three-valued encoding* as the wide fault simulator (atpg/wide_sim.hpp):
+// every signal s in frame t is a pair of literals (one, zero) with
+//
+//   one=1,zero=0  ->  s = 1        one=0,zero=1  ->  s = 0
+//   one=0,zero=0  ->  s = X        one=1,zero=1  ->  (unreachable)
+//
+// and every gate's plane equations are the simulator's equations verbatim
+// (AND: v1 = AND of input one-planes, v0 = OR of input zero-planes; XOR:
+// v1 = a1 b0 | a0 b1; MUX: v1 = s0 a1 | s1 b1 | a1 b1; ...).  Primary
+// inputs are binary (one plane a free variable x, zero plane its negation),
+// constants are fixed, flip-flops power up X in frame 0 (both planes false)
+// and chain to their data input's planes of the previous frame, and the
+// "reset" input -- when present -- is forced 1 in frame 0 and 0 afterwards,
+// exactly the base state the time-frame PODEM uses.  Because the planes are
+// then *functions* of the per-frame PI variables, every model corresponds
+// to a concrete simulation run: a SAT model's extracted input sequence is
+// confirmed by the fault simulator by construction, and UNSAT is a proof
+// that no k-frame test from the X power-up state exists (the same frame
+// bound the PODEM backend searches under).
+//
+// Faults are added incrementally on top of the one shared good-machine
+// unrolling (the expensive part, encoded once in the constructor):
+// add_fault() re-encodes only the fanout cone of the fault site -- within a
+// frame combinationally, across frames through flip-flops -- against fresh
+// variables, with the site's planes tied to the stuck value (the dual-rail
+// form of fault injection: the simulator's sa-masks collapse to constants
+// in a single-fault lane).  Detection terms ((good one & faulty zero) |
+// (good zero & faulty one) at an observed output, the simulator's
+// detection expression) feed one clause guarded by a fresh activation
+// literal; the caller solves under that assumption and retires the fault
+// with a unit clause afterwards, so learned clauses carry over from fault
+// to fault.
+//
+// Variable numbering is stable and deterministic: good-machine planes are
+// allocated frame-major in gate-id order, per-fault cone variables in
+// frame-major levelized order, so identical inputs produce an identical
+// CNF bit for bit (dump_dimacs emits it with a comment-line var map).
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "gates/netlist.hpp"
+#include "util/cdcl.hpp"
+
+namespace hlts::gates {
+
+class TimeFrameCnf {
+ public:
+  /// Encodes the good-machine unrolling of `nl` over `frames` >= 1 frames.
+  /// `reset_index` is the PI position forced 1-then-0 (-1: no reset input).
+  TimeFrameCnf(const Netlist& nl, int frames, int reset_index = -1);
+
+  [[nodiscard]] util::cdcl::Solver& solver() { return solver_; }
+  [[nodiscard]] const util::cdcl::Solver& solver() const { return solver_; }
+  [[nodiscard]] int frames() const { return frames_; }
+
+  /// Encodes the faulty cone + guarded detection clause for a stuck-at
+  /// fault on `site`'s output.  Returns the activation literal: solve under
+  /// {act} to search for a test, Unsat under {act} proves the fault has no
+  /// k-frame test.  A structurally unobservable cone yields an activation
+  /// literal that is immediately refutable (clause [~act]).
+  util::cdcl::Lit add_fault(GateId site, bool stuck_at_one);
+
+  /// Permanently deactivates a fault's detection clause so later solves
+  /// are not burdened by it.  (Its cone definitions stay; they are
+  /// satisfiable definitions of otherwise-unconstrained variables.)
+  void retire_fault(util::cdcl::Lit act);
+
+  /// After solver().solve({act}) returned Sat: the per-frame PI vectors of
+  /// the model, in TestSequence shape (frames x num_inputs).
+  [[nodiscard]] std::vector<std::vector<bool>> extract_sequence() const;
+
+  /// Good-machine plane literals of gate `g` in `frame` (for tests and the
+  /// var-map dump).
+  [[nodiscard]] util::cdcl::Lit one_lit(GateId g, int frame) const;
+  [[nodiscard]] util::cdcl::Lit zero_lit(GateId g, int frame) const;
+
+  /// Writes the current clause set in DIMACS format, prefixed by a
+  /// comment-line variable map ("c v <dimacs-var> <role>") and -- when
+  /// `assume` is a real literal -- the assumption the solve ran under.
+  void dump_dimacs(std::ostream& os,
+                   util::cdcl::Lit assume = util::cdcl::Lit()) const;
+
+ private:
+  using Lit = util::cdcl::Lit;
+
+  [[nodiscard]] std::size_t slot(GateId g, int frame) const {
+    return static_cast<std::size_t>(frame) * nl_.num_gates() + g.index();
+  }
+  Lit fresh(std::string note);
+  [[nodiscard]] Lit make_and(std::vector<Lit> lits);
+  [[nodiscard]] Lit make_or(std::vector<Lit> lits);
+  /// Encodes one combinational gate's planes from the given input planes.
+  void encode_gate(const Gate& gate, const std::vector<Lit>& in_one,
+                   const std::vector<Lit>& in_zero, Lit& out_one,
+                   Lit& out_zero);
+
+  const Netlist& nl_;
+  int frames_;
+  int reset_index_;
+  util::cdcl::Solver solver_;
+  Lit true_lit_;  ///< a literal fixed true (its negation is fixed false)
+
+  // Good-machine plane literals, indexed by slot(g, frame).
+  std::vector<Lit> good_one_;
+  std::vector<Lit> good_zero_;
+
+  // Scratch for add_fault: faulty plane literals of the *current* fault
+  // (slot-indexed, defaulting to the good literals) plus the cone marks.
+  std::vector<Lit> faulty_one_;
+  std::vector<Lit> faulty_zero_;
+  std::vector<std::uint8_t> in_cone_;
+
+  // The PI sequence literals of the last encoded machine, for extraction.
+  std::string note_context_;
+  std::vector<std::string> var_notes_;  ///< per solver var, for the dump
+};
+
+}  // namespace hlts::gates

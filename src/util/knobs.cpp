@@ -59,6 +59,19 @@ const Knob kRegistry[] = {
      "atpg::podem",
      "verbose PODEM search tracing (0/false/off quiet, anything else "
      "verbose)"},
+    {"HLTS_ATPG_BACKEND", Kind::String, OnMalformed::Ignore, "timeframe",
+     "atpg::run_atpg (AtpgOptions::backend)",
+     "deterministic ATPG mode: timeframe (random phase + time-frame PODEM), "
+     "sat (SAT on the whole fault universe, no random phase), or hybrid "
+     "(random phase + SAT on the survivors)"},
+    {"HLTS_SAT_FRAMES", Kind::Int, OnMalformed::Ignore,
+     "0 (two controller periods)", "atpg::run_atpg (AtpgOptions::sat_frames)",
+     "time frames the SAT backend unrolls the netlist over; values < 1 fall "
+     "back to the default"},
+    {"HLTS_SAT_CONFLICT_BUDGET", Kind::Int, OnMalformed::Ignore, "20000",
+     "atpg::run_atpg (AtpgOptions::sat_conflict_budget)",
+     "per-fault CDCL conflict budget before the SAT backend aborts a "
+     "target; values < 1 fall back to the default"},
     {"HLTS_JOURNAL_DIR", Kind::String, OnMalformed::Throw, "unset",
      "engine::EngineOptions::from_env",
      "write-ahead job journal + checkpoint directory for the batch engine"},

@@ -192,6 +192,9 @@ TEST(CheckpointJson, ParamsRoundTrip) {
   p.memory_budget_bytes = 1 << 20;
   p.audit = true;
   p.incremental = !p.incremental;
+  p.atpg_backend = "hybrid";
+  p.sat_frames = 6;
+  p.sat_conflict_budget = 1234;
   const core::FlowParams q = core::params_from_json(
       reparse(core::params_to_json(p)));
   EXPECT_EQ(q.bits, p.bits);
@@ -204,6 +207,25 @@ TEST(CheckpointJson, ParamsRoundTrip) {
   EXPECT_EQ(q.memory_budget_bytes, p.memory_budget_bytes);
   EXPECT_EQ(q.audit, p.audit);
   EXPECT_EQ(q.incremental, p.incremental);
+  EXPECT_EQ(q.atpg_backend, p.atpg_backend);
+  EXPECT_EQ(q.sat_frames, p.sat_frames);
+  EXPECT_EQ(q.sat_conflict_budget, p.sat_conflict_budget);
+
+  // Journals written before the ATPG-backend knobs existed must stay
+  // readable: absent members resolve to the defaults.
+  util::JsonValue legacy = core::params_to_json(core::FlowParams{});
+  util::JsonValue::Object trimmed;
+  for (const auto& [key, value] : legacy.as_object()) {
+    if (key != "atpg_backend" && key != "sat_frames" &&
+        key != "sat_conflict_budget") {
+      trimmed.emplace_back(key, value);
+    }
+  }
+  const core::FlowParams old = core::params_from_json(
+      reparse(util::JsonValue::make_object(std::move(trimmed))));
+  EXPECT_EQ(old.atpg_backend, "");
+  EXPECT_EQ(old.sat_frames, 0);
+  EXPECT_EQ(old.sat_conflict_budget, 0);
 }
 
 TEST(CheckpointJson, CheckpointRoundTripsAndRejectsCorruption) {
