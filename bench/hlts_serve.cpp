@@ -9,11 +9,21 @@
 //   hlts_serve --journal-root DIR [--shards N] [--port P]
 //              [--max-request-bytes N] [--queue-cap N]
 //              [--overload block|reject|shed] [--checkpoint-every N]
+//              [--respawn] [--hedge]
+//              [--codel-target-ms N] [--codel-interval-ms N]
 //
 // Environment knobs (see util/knobs.hpp): HLTS_SERVE_SHARDS,
-// HLTS_SERVE_PORT, HLTS_SERVE_MAX_REQUEST_BYTES, and the engine's
-// HLTS_QUEUE_CAP / HLTS_MEM_BUDGET / HLTS_JOURNAL_DIR family.  Explicit
-// flags win over the environment.
+// HLTS_SERVE_PORT, HLTS_SERVE_MAX_REQUEST_BYTES, HLTS_SERVE_RESPAWN,
+// HLTS_SERVE_BREAKER_FAILURES, HLTS_SERVE_HEDGE, and the engine's
+// HLTS_QUEUE_CAP / HLTS_MEM_BUDGET / HLTS_JOURNAL_DIR /
+// HLTS_CODEL_TARGET_MS / HLTS_CODEL_INTERVAL_MS family.  Explicit flags
+// win over the environment.
+//
+// --respawn turns on the self-healing shard lifecycle (dead workers come
+// back with capped exponential backoff, replay their journal and rejoin;
+// crash-loopers are quarantined); --hedge re-issues straggling submits to
+// a second shard; --codel-target-ms enables CoDel adaptive shedding in
+// every worker engine.  All three default off.
 //
 // Prints "listening on port <P>" on stdout once ready (scrapeable for
 // --port 0 / ephemeral).
@@ -45,7 +55,9 @@ int usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " --journal-root DIR [--shards N] [--port P]"
                " [--max-request-bytes N] [--queue-cap N]"
-               " [--overload block|reject|shed] [--checkpoint-every N]\n";
+               " [--overload block|reject|shed] [--checkpoint-every N]"
+               " [--respawn] [--hedge]"
+               " [--codel-target-ms N] [--codel-interval-ms N]\n";
   return 2;
 }
 
@@ -56,6 +68,8 @@ int main(int argc, char** argv) {
   options.shards = 0;  // sentinel: fall back to env/default below
   options.port = -1;
   options.max_request_bytes = 0;
+  bool respawn_flag = false;
+  bool hedge_flag = false;
   try {
     for (int i = 1; i < argc; ++i) {
       const std::string arg = argv[i];
@@ -75,6 +89,14 @@ int main(int argc, char** argv) {
         options.engine.queue_capacity = static_cast<std::size_t>(std::stoull(next()));
       } else if (arg == "--checkpoint-every") {
         options.engine.checkpoint_every = std::stoi(next());
+      } else if (arg == "--respawn") {
+        respawn_flag = true;
+      } else if (arg == "--hedge") {
+        hedge_flag = true;
+      } else if (arg == "--codel-target-ms") {
+        options.engine.codel.target_ms = std::stoll(next());
+      } else if (arg == "--codel-interval-ms") {
+        options.engine.codel.interval_ms = std::stoll(next());
       } else if (arg == "--overload") {
         const std::string policy = next();
         if (policy == "block") {
@@ -99,6 +121,13 @@ int main(int argc, char** argv) {
     if (options.max_request_bytes == 0) {
       options.max_request_bytes = env.max_request_bytes;
     }
+    options.lifecycle = env.lifecycle;
+    if (respawn_flag) options.lifecycle.respawn = true;
+    if (hedge_flag) options.lifecycle.hedge = true;
+    // Engine env family (HLTS_QUEUE_CAP / HLTS_MEM_BUDGET /
+    // HLTS_CODEL_*): explicit flags above win, the sentinel pattern inside
+    // from_env fills the rest.
+    options.engine = engine::EngineOptions::from_env(options.engine);
     if (options.journal_root.empty()) return usage(argv[0]);
 
     // Block the drain signals before the ctor forks workers (see file

@@ -277,6 +277,12 @@ util::JsonValue HealthV1::to_json() const {
       {"recovered", JsonValue::make_int(recovered)},
       {"journal_lag", JsonValue::make_int(journal_lag)},
       {"journaling", JsonValue::make_bool(journaling)},
+      {"respawns", JsonValue::make_int(respawns)},
+      {"hedges_won", JsonValue::make_int(hedges_won)},
+      {"hedges_cancelled", JsonValue::make_int(hedges_cancelled)},
+      {"breaker", JsonValue::make_string(breaker)},
+      {"quarantined", JsonValue::make_bool(quarantined)},
+      {"uptime_ms", JsonValue::make_int(uptime_ms)},
   });
 }
 
@@ -304,6 +310,14 @@ HealthV1 HealthV1::from_json(const util::JsonValue& v) {
   h.recovered = require_nonneg(v, doc, "recovered", 0);
   h.journal_lag = require_nonneg(v, doc, "journal_lag", 0);
   h.journaling = v.get_bool("journaling");
+  // V1.1 lifecycle fields: absent in documents from older writers, so each
+  // falls back to its in-struct default instead of failing the parse.
+  h.respawns = require_nonneg(v, doc, "respawns", 0);
+  h.hedges_won = require_nonneg(v, doc, "hedges_won", 0);
+  h.hedges_cancelled = require_nonneg(v, doc, "hedges_cancelled", 0);
+  h.breaker = v.get_string("breaker", "closed");
+  h.quarantined = v.get_bool("quarantined");
+  h.uptime_ms = require_nonneg(v, doc, "uptime_ms", 0);
   return h;
 }
 

@@ -133,6 +133,19 @@ struct HealthV1 {
   std::int64_t journal_lag = 0;
   bool journaling = false;
 
+  // Lifecycle fields (V1.1, additive).  respawns / hedges_won /
+  // hedges_cancelled are monotone counters; breaker / quarantined /
+  // uptime_ms are last-observed state.  The supervisor overlays its own
+  // lifecycle bookkeeping onto each worker-reported snapshot; a v1 parser
+  // that predates these fields ignores them, and from_json defaults each
+  // when missing, so mixed-version clusters keep merging health.
+  std::int64_t respawns = 0;         ///< times this shard was respawned
+  std::int64_t hedges_won = 0;       ///< hedged submits that beat the primary
+  std::int64_t hedges_cancelled = 0; ///< hedges cancelled after a primary win
+  std::string breaker = "closed";    ///< circuit breaker: closed|open|half_open
+  bool quarantined = false;          ///< crash-looping, no further respawns
+  std::int64_t uptime_ms = 0;        ///< current worker process uptime
+
   [[nodiscard]] util::JsonValue to_json() const;
   [[nodiscard]] static HealthV1 from_json(const util::JsonValue& v);
 };

@@ -250,12 +250,11 @@ std::vector<testability::MergeCandidate> select_connectivity_candidates(
   for (std::size_t i = 0; i < regs.size(); ++i) {
     reg_nb[i] = neighbour_lists(dp, e.reg_node[regs[i]]);
   }
+  const testability::RegMergeOracle oracle(g, b);
   for (std::size_t i = 0; i < regs.size(); ++i) {
     for (std::size_t j = i + 1; j < regs.size(); ++j) {
       if (!b.can_merge_regs(regs[i], regs[j])) continue;
-      if (testability::register_merge_impossible(g, b, regs[i], regs[j])) {
-        continue;
-      }
+      if (oracle.impossible(regs[i], regs[j])) continue;
       testability::MergeCandidate c;
       c.kind = testability::MergeCandidate::Kind::Registers;
       c.reg_a = regs[i];

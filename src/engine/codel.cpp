@@ -1,0 +1,56 @@
+#include "engine/codel.hpp"
+
+#include <cmath>
+
+namespace hlts::engine {
+
+namespace {
+
+/// next_drop spacing: interval / sqrt(count), floored at 1ms so a long
+/// episode still sheds at a bounded (not unbounded) rate.
+std::int64_t control_law(std::int64_t interval_ms, std::uint64_t count) {
+  if (count == 0) return interval_ms;
+  const double spaced =
+      static_cast<double>(interval_ms) / std::sqrt(static_cast<double>(count));
+  return spaced < 1.0 ? 1 : static_cast<std::int64_t>(spaced);
+}
+
+}  // namespace
+
+bool CoDelController::should_drop(std::int64_t sojourn_ms,
+                                  std::int64_t now_ms) {
+  if (!enabled()) return false;
+  if (sojourn_ms < config_.target_ms) {
+    // Recovery: any dispatch under target ends the excursion and, when
+    // dropping, the episode -- the shed rate returns to zero immediately.
+    first_above_ms_ = -1;
+    if (dropping_) {
+      dropping_ = false;
+      episode_drops_ = 0;
+    }
+    return false;
+  }
+  if (first_above_ms_ < 0) {
+    // First sample above target: start the persistence window.  Not a drop
+    // -- bursts shorter than interval_ms are legitimate.
+    first_above_ms_ = now_ms;
+    return false;
+  }
+  if (!dropping_) {
+    if (now_ms - first_above_ms_ < config_.interval_ms) return false;
+    // Sojourn has been above target for a full interval: overload is
+    // persistent, enter the dropping episode.
+    dropping_ = true;
+    episode_drops_ = 1;
+    ++total_drops_;
+    drop_next_ms_ = now_ms + control_law(config_.interval_ms, episode_drops_);
+    return true;
+  }
+  if (now_ms < drop_next_ms_) return false;
+  ++episode_drops_;
+  ++total_drops_;
+  drop_next_ms_ = now_ms + control_law(config_.interval_ms, episode_drops_);
+  return true;
+}
+
+}  // namespace hlts::engine

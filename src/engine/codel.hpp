@@ -1,0 +1,71 @@
+// CoDel-style adaptive admission controller for the engine's pending queue.
+//
+// The fixed queue cap (EngineOptions::queue_capacity) bounds *depth*; it
+// says nothing about *staleness*.  Under sustained overload a bounded FIFO
+// converges to every admitted job waiting the full drain time of the queue
+// -- the classic "standing queue" bufferbloat failure, here measured in
+// synthesis jobs instead of packets.  CoDel (Nichols & Jacobson, "Controlling
+// Queue Delay") attacks the standing queue directly: it watches the
+// *sojourn time* of the job about to dispatch, and only intervenes when
+// sojourn has stayed above `target_ms` for a full `interval_ms` window --
+// a transient burst above target is left alone, a persistent one is real
+// overload.  Once in the dropping state, jobs are shed at dispatch with the
+// control law
+//
+//     next_drop = now + interval / sqrt(drops_this_episode)
+//
+// so the shed rate ramps gently and backs off the moment a dispatched job's
+// sojourn falls back under target (recovery: the controller leaves the
+// dropping state and the shed rate returns to zero).  This is the
+// "tightening queue_deadline" the serving layer needs: instead of a static
+// per-request freshness bound, the effective deadline contracts as measured
+// queueing delay climbs and relaxes as it recovers.
+//
+// Determinism: the controller is a pure state machine over the timestamps
+// it is fed -- no clock reads, no randomness -- so unit tests drive it with
+// synthetic time and the same input sequence always sheds the same jobs.
+//
+// Off by default (target_ms == 0): an engine without the knob behaves
+// exactly as before this controller existed.
+#pragma once
+
+#include <cstdint>
+
+namespace hlts::engine {
+
+struct CoDelConfig {
+  /// Acceptable standing sojourn in ms; 0 disables the controller.
+  std::int64_t target_ms = 0;
+  /// Sliding window a sojourn excursion must persist for before the
+  /// controller starts shedding; also the base period of the control law.
+  std::int64_t interval_ms = 100;
+};
+
+class CoDelController {
+ public:
+  explicit CoDelController(CoDelConfig config) : config_(config) {}
+
+  [[nodiscard]] bool enabled() const { return config_.target_ms > 0; }
+
+  /// Feeds the sojourn of the job about to dispatch; true means shed it
+  /// (head drop) instead of running it.  `now_ms` must be monotone.
+  [[nodiscard]] bool should_drop(std::int64_t sojourn_ms, std::int64_t now_ms);
+
+  /// True while the controller is in its dropping episode.
+  [[nodiscard]] bool dropping() const { return dropping_; }
+  /// Jobs shed across all episodes.
+  [[nodiscard]] std::uint64_t total_drops() const { return total_drops_; }
+
+ private:
+  CoDelConfig config_;
+  /// First instant the dispatch-time sojourn exceeded target with no dip
+  /// since; -1 = currently under target.  (-1, not 0: feeding a clock that
+  /// starts at zero must still register the excursion.)
+  std::int64_t first_above_ms_ = -1;
+  bool dropping_ = false;
+  std::int64_t drop_next_ms_ = 0;
+  std::uint64_t episode_drops_ = 0;
+  std::uint64_t total_drops_ = 0;
+};
+
+}  // namespace hlts::engine

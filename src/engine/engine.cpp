@@ -91,6 +91,18 @@ EngineOptions EngineOptions::from_env(EngineOptions base) {
       base.memory_budget_bytes = *v;
     }
   }
+  if (base.codel.target_ms == 0) {
+    if (const std::optional<long long> v =
+            util::knobs::read_int("HLTS_CODEL_TARGET_MS")) {
+      base.codel.target_ms = static_cast<std::int64_t>(*v);
+    }
+  }
+  if (base.codel.interval_ms == 100) {
+    if (const std::optional<long long> v =
+            util::knobs::read_int("HLTS_CODEL_INTERVAL_MS")) {
+      base.codel.interval_ms = static_cast<std::int64_t>(*v);
+    }
+  }
   return base;
 }
 
@@ -231,6 +243,11 @@ Engine::Engine(EngineOptions options) : options_(options) {
       options_.journal_dir.empty() || options_.checkpoint_every > 0,
       "engine options: journaling enabled with checkpoint cadence 0 would "
       "never persist progress");
+  HLTS_REQUIRE_INPUT(options_.codel.target_ms >= 0 &&
+                         options_.codel.interval_ms > 0,
+                     "engine options: codel target must be >= 0 and the "
+                     "interval positive");
+  codel_ = CoDelController(options_.codel);
   if (!options_.journal_dir.empty()) {
     journal_.emplace(options_.journal_dir);
   }
@@ -458,6 +475,7 @@ Engine::RecoveryReport Engine::recover(const std::string& dir) {
       job->id_ = rec.record.id;
       job->enqueue_ns_ = now_ns();
       job->journaled_ = rejournal;
+      job->recovered_ = true;
       job->resume_raw_ = std::move(rec.checkpoint);
       // Deliberately bypasses capacity/overload admission: these jobs were
       // admitted (and journaled) before the crash; recovery must not shed
@@ -513,11 +531,26 @@ void Engine::worker_loop() {
       queue_.pop_front();
     }
     space_cv_.notify_one();  // a Block-policy submitter may take the slot
-    if (queue_deadline_expired(job, now_ns())) {
+    const std::int64_t dispatch_ns = now_ns();
+    bool codel_shed = false;
+    if (codel_.enabled()) {
+      // CoDel controller: feed the dispatch-time sojourn of every head job
+      // (recovered ones too -- they measure queueing delay like any other)
+      // but never actually shed durable recovered work.
+      const std::int64_t sojourn_ms =
+          (dispatch_ns - job->enqueue_ns_) / 1'000'000;
+      std::lock_guard<std::mutex> lock(codel_mutex_);
+      codel_shed = codel_.should_drop(sojourn_ms, dispatch_ns / 1'000'000) &&
+                   !job->recovered_;
+    }
+    if (queue_deadline_expired(job, dispatch_ns)) {
       // Deadline-aware shedding at dispatch: the caller wanted freshness,
       // not a stale answer computed long after they stopped waiting.
       sheds_.fetch_add(1, std::memory_order_relaxed);
       finish_rejected(job, "shed: queue deadline exceeded", "jobs.shed");
+    } else if (codel_shed) {
+      sheds_.fetch_add(1, std::memory_order_relaxed);
+      finish_rejected(job, "shed: codel sojourn above target", "jobs.shed");
     } else {
       run_job(job);
     }

@@ -75,6 +75,7 @@
 #include "api/api.hpp"
 #include "core/flows.hpp"
 #include "dfg/dfg.hpp"
+#include "engine/codel.hpp"
 #include "engine/journal.hpp"
 #include "util/json.hpp"
 #include "util/trace.hpp"
@@ -197,6 +198,10 @@ class Job {
   /// True when this job's record lives in the owning engine's journal
   /// directory -- checkpoints are persisted and a done marker retires it.
   bool journaled_ = false;
+  /// True for jobs re-admitted by Engine::recover(): they bypassed
+  /// admission control once and the CoDel controller must not shed them --
+  /// durable work is never lost to overload.
+  bool recovered_ = false;
 
   mutable std::mutex mutex_;
   mutable std::condition_variable cv_;
@@ -277,10 +282,18 @@ struct EngineOptions {
   /// as a Partial result (enforced at iteration boundaries, no OOM kill).
   /// 0 = unlimited.
   std::size_t memory_budget_bytes = 0;
+  /// CoDel-style adaptive shedding at dispatch (engine/codel.hpp): when
+  /// target_ms > 0, a pending job whose dispatch-time sojourn has stayed
+  /// above the target for a full interval is shed (JobState::Rejected,
+  /// "sheds" counter), at a rate that ramps with persistence and returns
+  /// to zero as sojourns recover.  Recovered (journal-replayed) jobs are
+  /// exempt -- durable work is never shed.  Default off.
+  CoDelConfig codel{};
 
   /// Applies the environment knobs on top of `base`: HLTS_JOURNAL_DIR
   /// (journal_dir), HLTS_QUEUE_CAP (queue_capacity, >= 0), HLTS_MEM_BUDGET
-  /// (memory_budget_bytes, >= 0).  Explicitly set fields in `base` win
+  /// (memory_budget_bytes, >= 0), HLTS_CODEL_TARGET_MS /
+  /// HLTS_CODEL_INTERVAL_MS (codel).  Explicitly set fields in `base` win
   /// over the environment.  Malformed or negative values throw
   /// hlts::Error(ErrorKind::Input).  Deliberately opt-in (the Engine
   /// constructor does not read the environment) so tests stay hermetic.
@@ -404,6 +417,12 @@ class Engine {
 
   mutable std::mutex running_mutex_;
   std::vector<JobPtr> running_;  ///< jobs currently inside run_job()
+
+  /// Adaptive dispatch-time shedding; its own mutex so the controller's
+  /// state machine is serialized across workers without holding
+  /// queue_mutex_ through finish_rejected.
+  std::mutex codel_mutex_;
+  CoDelController codel_{CoDelConfig{}};
 
   // Health counters (lock-free so health() never contends with workers).
   std::atomic<std::uint64_t> submitted_{0};

@@ -40,27 +40,30 @@ struct Window {
 class FdsState {
  public:
   FdsState(const dfg::Dfg& g, int latency)
-      : g_(g), windows_(g.num_ops()), fixed_(g.num_ops(), false) {
+      : g_(g),
+        latency_(latency),
+        windows_(g.num_ops()),
+        fixed_(g.num_ops(), false) {
     Schedule early = asap(g);
     Schedule late = alap(g, latency);
     for (dfg::OpId op : g.op_ids()) {
       windows_[op] = {early.step(op), late.step(op)};
     }
+    rebuild_dg();
   }
 
   [[nodiscard]] bool all_fixed() const {
     return std::all_of(fixed_.begin(), fixed_.end(), [](bool b) { return b; });
   }
 
-  /// Distribution graph value for `cls` at `step`.
+  /// Distribution graph value for `cls` at `step`.  Looked up from a table
+  /// rebuilt after every window change: force evaluation probes dg() for
+  /// every (candidate op, step, window step) triple, and summing over all
+  /// ops per probe made FDS cubic-and-worse on large graphs.  The rebuild
+  /// accumulates in ascending op order -- the same order the per-probe loop
+  /// used -- so the cached sums are bit-identical to the naive ones.
   [[nodiscard]] double dg(int cls, int step) const {
-    double sum = 0;
-    for (dfg::OpId op : g_.op_ids()) {
-      if (module_class(g_.op(op).kind) != cls) continue;
-      const Window& w = windows_[op];
-      if (step >= w.lo && step <= w.hi) sum += 1.0 / w.width();
-    }
-    return sum;
+    return dg_[static_cast<std::size_t>(cls)][static_cast<std::size_t>(step)];
   }
 
   /// Self force of fixing `op` at `step` (standard Paulin-Knight formula).
@@ -112,6 +115,7 @@ class FdsState {
     windows_[op] = {step, step};
     fixed_[op] = true;
     propagate();
+    rebuild_dg();
   }
 
   [[nodiscard]] const Window& window(dfg::OpId op) const { return windows_[op]; }
@@ -141,9 +145,26 @@ class FdsState {
     }
   }
 
+  void rebuild_dg() {
+    // 6 module classes (see module_class); steps are 1-based so the rows
+    // span [0, latency] inclusive.
+    dg_.assign(6, std::vector<double>(static_cast<std::size_t>(latency_) + 1,
+                                      0.0));
+    for (dfg::OpId op : g_.op_ids()) {
+      const int cls = module_class(g_.op(op).kind);
+      const Window& w = windows_[op];
+      const double p = 1.0 / w.width();
+      for (int t = w.lo; t <= w.hi; ++t) {
+        dg_[static_cast<std::size_t>(cls)][static_cast<std::size_t>(t)] += p;
+      }
+    }
+  }
+
   const dfg::Dfg& g_;
+  int latency_;
   IndexVec<dfg::OpId, Window> windows_;
   IndexVec<dfg::OpId, bool> fixed_;
+  std::vector<std::vector<double>> dg_;
 };
 
 }  // namespace

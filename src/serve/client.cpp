@@ -3,6 +3,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <thread>
 #include <utility>
@@ -123,11 +124,16 @@ RetryClient::RetryClient(int port, ClientOptions options,
 
 Client::Response RetryClient::submit(api::FlowRequestV1 request) {
   if (request.flow_token.empty()) {
-    // Unique per process + client + request; retries below reuse it, which
-    // is the whole point.
-    request.flow_token = "tok-" + std::to_string(::getpid()) + "-" +
-                         std::to_string(reinterpret_cast<std::uintptr_t>(this)) +
-                         "-" + std::to_string(++token_counter_);
+    // Unique per process + request; retries below reuse it, which is the
+    // whole point.  The counter is process-global on purpose: an
+    // instance-local counter keyed by the client's address collides when a
+    // short-lived RetryClient is destroyed and a new one lands on the same
+    // (stack or heap) address with its counter back at zero -- the server
+    // would then replay the dead client's memoized result.
+    static std::atomic<std::uint64_t> counter{0};
+    request.flow_token =
+        "tok-" + std::to_string(::getpid()) + "-" +
+        std::to_string(counter.fetch_add(1, std::memory_order_relaxed) + 1);
   }
   Client::Response last;
   last.error = "no attempt made";

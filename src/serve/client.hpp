@@ -106,7 +106,6 @@ class RetryClient {
   std::size_t max_line_bytes_;
   std::optional<Client> client_;
   std::int64_t reconnects_ = 0;
-  std::uint64_t token_counter_ = 0;
 };
 
 }  // namespace hlts::serve

@@ -14,6 +14,8 @@ void ClusterView::observe(const api::HealthV1& h) {
 util::JsonValue ClusterView::to_json(const std::map<int, bool>& alive) const {
   std::int64_t submitted = 0, retries = 0, stalls = 0, sheds = 0, rejected = 0,
                recovered = 0, journal_lag = 0;
+  std::int64_t respawns = 0, hedges_won = 0, hedges_cancelled = 0;
+  int quarantined_shards = 0;
   bool journaling = false;
   for (const auto& [shard, c] : counters_.reveal()) {
     submitted += c.submitted.reveal();
@@ -24,10 +26,15 @@ util::JsonValue ClusterView::to_json(const std::map<int, bool>& alive) const {
     recovered += c.recovered.reveal();
     journal_lag += c.journal_lag.reveal();
     journaling = journaling || c.journaling.reveal();
+    respawns += c.respawns.reveal();
+    hedges_won += c.hedges_won.reveal();
+    hedges_cancelled += c.hedges_cancelled.reveal();
+    quarantined_shards += c.quarantined.reveal() ? 1 : 0;
   }
   std::int64_t queue_depth = 0, in_flight = 0, running = 0;
   int live = 0;
   JsonValue::Array shards;
+  JsonValue::Array warnings;
   shards.reserve(last_.size());
   for (const auto& [shard, h] : last_) {
     const auto it = alive.find(shard);
@@ -37,6 +44,14 @@ util::JsonValue ClusterView::to_json(const std::map<int, bool>& alive) const {
       in_flight += h.in_flight;
       running += h.running;
       ++live;
+    }
+    if (is_alive && h.queue_capacity < 0) {
+      // An unbounded pending queue turns overload into unbounded memory
+      // growth and stale work; surfaced as a warning, not an error, because
+      // batch deployments opt into it deliberately.
+      warnings.push_back(JsonValue::make_string(
+          "shard " + std::to_string(shard) +
+          ": unbounded queue (no admission control under overload)"));
     }
     JsonValue doc = h.to_json();
     JsonValue::Object o = doc.as_object();
@@ -59,7 +74,12 @@ util::JsonValue ClusterView::to_json(const std::map<int, bool>& alive) const {
            {"recovered", JsonValue::make_int(recovered)},
            {"journal_lag", JsonValue::make_int(journal_lag)},
            {"journaling", JsonValue::make_bool(journaling)},
+           {"respawns", JsonValue::make_int(respawns)},
+           {"hedges_won", JsonValue::make_int(hedges_won)},
+           {"hedges_cancelled", JsonValue::make_int(hedges_cancelled)},
+           {"quarantined_shards", JsonValue::make_int(quarantined_shards)},
        })},
+      {"warnings", JsonValue::make_array(std::move(warnings))},
       {"shards", JsonValue::make_array(std::move(shards))},
   });
 }

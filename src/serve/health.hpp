@@ -33,6 +33,10 @@ class ShardCounters : public util::LatticeMixin<ShardCounters> {
     recovered.merge(h.recovered);
     journal_lag.merge(h.journal_lag);
     journaling.merge(h.journaling);
+    respawns.merge(h.respawns);
+    hedges_won.merge(h.hedges_won);
+    hedges_cancelled.merge(h.hedges_cancelled);
+    quarantined.merge(h.quarantined);
   }
   void do_merge(const ShardCounters& o) {
     submitted.merge_in(o.submitted);
@@ -43,6 +47,10 @@ class ShardCounters : public util::LatticeMixin<ShardCounters> {
     recovered.merge_in(o.recovered);
     journal_lag.merge_in(o.journal_lag);
     journaling.merge_in(o.journaling);
+    respawns.merge_in(o.respawns);
+    hedges_won.merge_in(o.hedges_won);
+    hedges_cancelled.merge_in(o.hedges_cancelled);
+    quarantined.merge_in(o.quarantined);
   }
   /// The mixin's merge_in joins reveal(); for a product lattice that is the
   /// lattice itself.
@@ -51,6 +59,13 @@ class ShardCounters : public util::LatticeMixin<ShardCounters> {
   util::MaxLattice<std::int64_t> submitted{0}, retries{0}, stalls{0}, sheds{0},
       rejected{0}, recovered{0}, journal_lag{0};
   util::BoolLattice journaling;
+  // Lifecycle counters (V1.1): respawns and hedge outcomes are monotone over
+  // a shard slot's lifetime (they count supervisor-side events, surviving
+  // worker restarts); quarantine is a one-way latch by construction, so a
+  // BoolLattice models it exactly.
+  util::MaxLattice<std::int64_t> respawns{0}, hedges_won{0},
+      hedges_cancelled{0};
+  util::BoolLattice quarantined;
 };
 
 /// The supervisor's merged view of the whole cluster.  Not thread-safe; the

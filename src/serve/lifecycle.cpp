@@ -1,0 +1,132 @@
+#include "serve/lifecycle.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hlts::serve {
+
+// --- CircuitBreaker ---------------------------------------------------------
+
+bool CircuitBreaker::allow(std::int64_t now_ms) {
+  switch (state_) {
+    case State::Closed:
+      return true;
+    case State::Open:
+      if (now_ms - opened_ms_ < cooldown_ms_) return false;
+      state_ = State::HalfOpen;
+      probe_in_flight_ = true;
+      return true;  // the single half-open probe
+    case State::HalfOpen:
+      if (probe_in_flight_) return false;
+      probe_in_flight_ = true;
+      return true;
+  }
+  return false;
+}
+
+bool CircuitBreaker::would_allow(std::int64_t now_ms) const {
+  switch (state_) {
+    case State::Closed: return true;
+    case State::Open: return now_ms - opened_ms_ >= cooldown_ms_;
+    case State::HalfOpen: return !probe_in_flight_;
+  }
+  return false;
+}
+
+void CircuitBreaker::record_success() {
+  failures_ = 0;
+  probe_in_flight_ = false;
+  state_ = State::Closed;
+}
+
+void CircuitBreaker::record_failure(std::int64_t now_ms) {
+  probe_in_flight_ = false;
+  if (state_ == State::HalfOpen) {
+    // The probe failed: reopen and restart the cooldown.
+    state_ = State::Open;
+    opened_ms_ = now_ms;
+    return;
+  }
+  if (++failures_ >= threshold_ && state_ == State::Closed) {
+    state_ = State::Open;
+    opened_ms_ = now_ms;
+  }
+}
+
+void CircuitBreaker::reset() {
+  state_ = State::Closed;
+  failures_ = 0;
+  opened_ms_ = 0;
+  probe_in_flight_ = false;
+}
+
+const char* CircuitBreaker::state_name() const {
+  switch (state_) {
+    case State::Closed: return "closed";
+    case State::Open: return "open";
+    case State::HalfOpen: return "half_open";
+  }
+  return "?";
+}
+
+// --- RespawnPolicy ----------------------------------------------------------
+
+std::int64_t RespawnPolicy::on_death(std::int64_t now_ms) {
+  if (quarantined_) return -1;
+  deaths_.push_back(now_ms);
+  // Slide the flap window: only deaths inside it count.
+  deaths_.erase(std::remove_if(deaths_.begin(), deaths_.end(),
+                               [&](std::int64_t t) {
+                                 return now_ms - t > flap_window_ms_;
+                               }),
+                deaths_.end());
+  if (static_cast<int>(deaths_.size()) > flap_limit_) {
+    quarantined_ = true;
+    return -1;
+  }
+  // Capped exponential ladder: backoff * 2^attempt, saturating (shift by
+  // more than 62 would overflow, and the cap clamps far earlier anyway).
+  std::int64_t delay = backoff_cap_ms_;
+  if (attempt_ < 62) {
+    const std::int64_t raw = backoff_ms_ << attempt_;
+    delay = std::min(raw, backoff_cap_ms_);
+  }
+  ++attempt_;
+  return now_ms + delay;
+}
+
+void RespawnPolicy::on_ready() { attempt_ = 0; }
+
+// --- LatencyWindow ----------------------------------------------------------
+
+void LatencyWindow::observe(std::int64_t latency_ms) {
+  if (capacity_ == 0) return;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(latency_ms);
+  } else {
+    ring_[next_] = latency_ms;
+  }
+  next_ = (next_ + 1) % capacity_;
+}
+
+std::int64_t LatencyWindow::percentile(double q) const {
+  if (ring_.empty()) return 0;
+  std::vector<std::int64_t> sorted(ring_);
+  std::sort(sorted.begin(), sorted.end());
+  const double clamped = std::min(1.0, std::max(0.0, q));
+  // Nearest-rank: ceil(q * n), 1-indexed.
+  std::size_t rank = static_cast<std::size_t>(
+      std::ceil(clamped * static_cast<double>(sorted.size())));
+  if (rank == 0) rank = 1;
+  return sorted[rank - 1];
+}
+
+std::int64_t LatencyWindow::hedge_delay_ms(std::int64_t min_ms,
+                                           double factor) const {
+  if (ring_.size() < kMinSamples) return min_ms;
+  const double scaled = factor * static_cast<double>(percentile(0.99));
+  const std::int64_t derived = static_cast<std::int64_t>(scaled);
+  return std::max(min_ms, derived);
+}
+
+}  // namespace hlts::serve

@@ -1,0 +1,154 @@
+// Shard lifecycle primitives for the supervisor: circuit breaking, respawn
+// backoff with flap quarantine, EWMA load scores and a latency window for
+// hedge-delay estimation.
+//
+// All four classes are pure state machines over caller-supplied millisecond
+// timestamps -- no clock reads, no randomness, no threads.  The supervisor
+// feeds them wall-progress from its own monotonic clock; unit tests feed
+// synthetic time and get bit-identical traces.  Locking is the caller's
+// problem (the supervisor holds its state mutex around every touch).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hlts::serve {
+
+/// Classic three-state circuit breaker guarding one shard.
+///
+///   Closed    -> Open      after `failures` consecutive failures
+///   Open      -> HalfOpen  once `cooldown_ms` has elapsed (allow() flips it
+///                          and admits exactly one probe request)
+///   HalfOpen  -> Closed    when that probe succeeds
+///   HalfOpen  -> Open      when it fails (cooldown restarts)
+///
+/// "Failure" is anything the supervisor counts against the shard: a worker
+/// death with requests in flight, a protocol error on its pipe, a rejected
+/// probe.  Routing asks allow() before forwarding; an open breaker routes
+/// around the shard without waiting for it to die properly.
+class CircuitBreaker {
+ public:
+  enum class State { Closed, Open, HalfOpen };
+
+  CircuitBreaker(int failures, std::int64_t cooldown_ms)
+      : threshold_(failures < 1 ? 1 : failures), cooldown_ms_(cooldown_ms) {}
+
+  /// May a request be forwarded to this shard right now?  In Open state
+  /// this flips to HalfOpen after the cooldown and admits a single probe;
+  /// further calls return false until that probe reports back.
+  [[nodiscard]] bool allow(std::int64_t now_ms);
+
+  /// allow() without side effects -- for building a routing candidate set
+  /// across every shard without burning half-open probe slots on shards
+  /// the router then does not pick.  The caller promotes the chosen shard
+  /// with allow().
+  [[nodiscard]] bool would_allow(std::int64_t now_ms) const;
+
+  /// Result of a forwarded request (or probe).
+  void record_success();
+  void record_failure(std::int64_t now_ms);
+
+  /// Forces Closed with zeroed counters -- used when a shard respawns and
+  /// reports ready: the new process has no history to hold against it.
+  void reset();
+
+  [[nodiscard]] State state() const { return state_; }
+  [[nodiscard]] const char* state_name() const;
+  [[nodiscard]] int consecutive_failures() const { return failures_; }
+
+ private:
+  int threshold_;
+  std::int64_t cooldown_ms_;
+  State state_ = State::Closed;
+  int failures_ = 0;
+  std::int64_t opened_ms_ = 0;
+  bool probe_in_flight_ = false;
+};
+
+/// Respawn pacing for one shard: capped exponential backoff between respawn
+/// attempts, plus flap detection -- more than `flap_limit` deaths inside a
+/// sliding `flap_window_ms` quarantines the shard (no further respawns; its
+/// journal stays on disk for a peer or an operator).
+class RespawnPolicy {
+ public:
+  RespawnPolicy(std::int64_t backoff_ms, std::int64_t backoff_cap_ms,
+                std::int64_t flap_window_ms, int flap_limit)
+      : backoff_ms_(backoff_ms < 1 ? 1 : backoff_ms),
+        backoff_cap_ms_(backoff_cap_ms < backoff_ms_ ? backoff_ms_
+                                                     : backoff_cap_ms),
+        flap_window_ms_(flap_window_ms),
+        flap_limit_(flap_limit < 1 ? 1 : flap_limit) {}
+
+  /// Records a worker death; returns the earliest instant a respawn may be
+  /// attempted, or -1 when the death pushed the shard into quarantine.
+  [[nodiscard]] std::int64_t on_death(std::int64_t now_ms);
+
+  /// A respawned worker reported ready and survived: the backoff ladder
+  /// resets (the death history stays -- surviving briefly must not defeat
+  /// the flap window).
+  void on_ready();
+
+  [[nodiscard]] bool quarantined() const { return quarantined_; }
+  [[nodiscard]] int deaths() const { return static_cast<int>(deaths_.size()); }
+
+ private:
+  std::int64_t backoff_ms_;
+  std::int64_t backoff_cap_ms_;
+  std::int64_t flap_window_ms_;
+  int flap_limit_;
+  int attempt_ = 0;  ///< consecutive deaths without an on_ready in between
+  bool quarantined_ = false;
+  std::vector<std::int64_t> deaths_;  ///< death instants inside the window
+};
+
+/// Exponentially weighted moving average; `alpha` is the weight of each new
+/// sample.  Unprimed (no samples) reports the neutral `initial` so a fresh
+/// shard neither attracts all traffic nor repels it.
+class Ewma {
+ public:
+  explicit Ewma(double alpha = 0.2, double initial = 0.0)
+      : alpha_(alpha), value_(initial) {}
+
+  void observe(double sample) {
+    value_ = primed_ ? alpha_ * sample + (1.0 - alpha_) * value_ : sample;
+    primed_ = true;
+  }
+
+  [[nodiscard]] double value() const { return value_; }
+  [[nodiscard]] bool primed() const { return primed_; }
+
+ private:
+  double alpha_;
+  double value_;
+  bool primed_ = false;
+};
+
+/// Fixed-size ring of recent request latencies; percentile() is the
+/// nearest-rank statistic over whatever the ring holds.  hedge_delay_ms
+/// turns the p99 into a hedging trigger: max(min_ms, factor * p99), or
+/// min_ms alone while fewer than `kMinSamples` latencies have been seen
+/// (hedging on an unprimed estimate would hedge everything).
+class LatencyWindow {
+ public:
+  explicit LatencyWindow(std::size_t capacity = 256) : capacity_(capacity) {}
+
+  void observe(std::int64_t latency_ms);
+
+  /// Nearest-rank percentile (q in [0,1]); 0 when empty.
+  [[nodiscard]] std::int64_t percentile(double q) const;
+
+  [[nodiscard]] std::int64_t hedge_delay_ms(std::int64_t min_ms,
+                                            double factor) const;
+
+  [[nodiscard]] std::size_t size() const { return ring_.size(); }
+
+  static constexpr std::size_t kMinSamples = 16;
+
+ private:
+  std::size_t capacity_;
+  std::size_t next_ = 0;
+  std::vector<std::int64_t> ring_;
+};
+
+}  // namespace hlts::serve

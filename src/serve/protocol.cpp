@@ -37,6 +37,11 @@ std::string adopt_line(std::uint64_t tag, const std::string& dir) {
                     {"dir", JsonValue::make_string(dir)}});
 }
 
+std::string cancel_line(std::uint64_t tag) {
+  return dump_line(
+      {{"op", JsonValue::make_string("cancel")}, {"tag", tag_value(tag)}});
+}
+
 std::string quit_line() {
   return dump_line({{"op", JsonValue::make_string("quit")}});
 }
@@ -60,6 +65,14 @@ std::string adopted_frame(std::uint64_t tag,
   for (const std::uint64_t t : tags) arr.push_back(tag_value(t));
   return dump_line({{"kind", JsonValue::make_string("adopted")},
                     {"tag", tag_value(tag)},
+                    {"tags", JsonValue::make_array(std::move(arr))}});
+}
+
+std::string ready_frame(const std::vector<std::uint64_t>& tags) {
+  JsonValue::Array arr;
+  arr.reserve(tags.size());
+  for (const std::uint64_t t : tags) arr.push_back(tag_value(t));
+  return dump_line({{"kind", JsonValue::make_string("ready")},
                     {"tags", JsonValue::make_array(std::move(arr))}});
 }
 

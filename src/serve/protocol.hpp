@@ -16,8 +16,9 @@
 //   supervisor -> worker   {"op":"submit","tag":T,"request":{...}}
 //                          {"op":"health","tag":T}
 //                          {"op":"adopt","tag":T,"dir":"..."}
-//                          {"op":"quit"}
-//   worker -> supervisor   {"kind":"result","tag":T,"result":{...}}
+//                          {"op":"cancel","tag":T} | {"op":"quit"}
+//   worker -> supervisor   {"kind":"ready","tags":[...]} (once, at startup)
+//                          {"kind":"result","tag":T,"result":{...}}
 //                          {"kind":"health","tag":T,"health":{HealthV1}}
 //                          {"kind":"adopted","tag":T,"tags":[...]}
 //
@@ -44,6 +45,10 @@ namespace hlts::serve::proto {
                                       const util::JsonValue& request);
 [[nodiscard]] std::string health_line(std::uint64_t tag);
 [[nodiscard]] std::string adopt_line(std::uint64_t tag, const std::string& dir);
+/// Best-effort cancel of an in-flight submit (hedging: the losing copy of a
+/// hedged request is told to stop burning cycles; its result, if any, is an
+/// orphan the supervisor drops by tag).
+[[nodiscard]] std::string cancel_line(std::uint64_t tag);
 [[nodiscard]] std::string quit_line();
 
 // --- worker -> supervisor frames -------------------------------------------
@@ -53,6 +58,12 @@ namespace hlts::serve::proto {
                                        const api::HealthV1& health);
 [[nodiscard]] std::string adopted_frame(std::uint64_t tag,
                                         const std::vector<std::uint64_t>& tags);
+/// First frame a worker writes, after replaying its own journal: `tags`
+/// lists the recovered request tags.  The supervisor uses it to mark a
+/// respawned shard rejoined (ring + breaker reset) and to re-point the
+/// recovered pending requests back at it; requests it owned that are NOT
+/// listed died before their write-ahead record and are resubmitted.
+[[nodiscard]] std::string ready_frame(const std::vector<std::uint64_t>& tags);
 
 // --- supervisor -> client frames -------------------------------------------
 [[nodiscard]] std::string ok_result_line(const util::JsonValue& result);

@@ -1,5 +1,7 @@
 #include "serve/router.hpp"
 
+#include <algorithm>
+
 #include "util/error.hpp"
 
 namespace hlts::serve {
@@ -32,6 +34,44 @@ int ShardRouter::route(const std::string& name) const {
   }
   if (live.empty()) return -1;
   return live[fnv1a64(name) % live.size()];
+}
+
+int ShardRouter::route_ranked(const std::string& name,
+                              const std::vector<double>& scores,
+                              const std::vector<bool>& allowed,
+                              double tolerance) const {
+  HLTS_REQUIRE_INPUT(scores.size() == alive_.size() &&
+                         allowed.size() == alive_.size(),
+                     "route_ranked: scores/allowed must cover every shard");
+  std::vector<int> candidates;
+  candidates.reserve(alive_.size());
+  for (int s = 0; s < shards_; ++s) {
+    if (alive_[s] && allowed[s]) candidates.push_back(s);
+  }
+  if (candidates.empty()) {
+    // Every breaker open: degrade to plain liveness routing rather than
+    // refusing outright -- an open breaker is a prediction, not a death.
+    return route(name);
+  }
+  double best = scores[static_cast<std::size_t>(candidates[0])];
+  for (const int s : candidates) {
+    best = std::min(best, scores[static_cast<std::size_t>(s)]);
+  }
+  // Keep shards within the tolerance band of the best score; among those,
+  // highest-random-weight (rendezvous) hashing makes the pick sticky per
+  // name yet uniformly spread across the band.
+  const double cutoff = best <= 0.0 ? 0.0 : best * tolerance;
+  int pick = -1;
+  std::uint64_t pick_weight = 0;
+  for (const int s : candidates) {
+    if (scores[static_cast<std::size_t>(s)] > cutoff) continue;
+    const std::uint64_t w = fnv1a64(name + "#" + std::to_string(s));
+    if (pick < 0 || w > pick_weight || (w == pick_weight && s < pick)) {
+      pick = s;
+      pick_weight = w;
+    }
+  }
+  return pick;
 }
 
 int ShardRouter::peer_of(int shard) const {

@@ -28,9 +28,26 @@ class ShardRouter {
   [[nodiscard]] bool alive(int shard) const { return alive_[shard]; }
   [[nodiscard]] int live_count() const;
   void mark_dead(int shard) { alive_[shard] = false; }
+  /// Rejoin: a respawned worker reported ready and takes traffic again.
+  void mark_alive(int shard) { alive_[shard] = true; }
 
   /// The live shard `name` routes to; -1 when no shard is alive.
   [[nodiscard]] int route(const std::string& name) const;
+
+  /// Health-aware routing.  Candidates are the live shards with
+  /// `allowed[s]` true (circuit breaker not open) whose load `scores[s]`
+  /// (supervisor-maintained, e.g. EWMA latency scaled by queue depth) is
+  /// within `tolerance` times the best candidate's score; ties inside the
+  /// band break deterministically by highest-random-weight hash of
+  /// "name#shard", so the same (name, candidate set, scores) always picks
+  /// the same shard and distinct names still spread across near-equal
+  /// shards.  Falls back over all live shards when every breaker is open
+  /// (serving degraded beats serving nothing), and returns -1 only when no
+  /// shard is alive.
+  [[nodiscard]] int route_ranked(const std::string& name,
+                                 const std::vector<double>& scores,
+                                 const std::vector<bool>& allowed,
+                                 double tolerance = 1.5) const;
 
   /// The failover peer for a dead shard: the next live shard after it in
   /// ring order (-1 when none remain).

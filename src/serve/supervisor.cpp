@@ -4,6 +4,9 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <utility>
 
@@ -24,6 +27,73 @@ std::string http_response(const std::string& body, const char* status) {
          std::to_string(body.size()) + "\r\nConnection: close\r\n\r\n" + body;
 }
 
+std::int64_t now_ms() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Fixed-width pid line the zygote writes after each SCM_RIGHTS descriptor:
+/// 16 decimal digits + '\n', so the supervisor can read it with one exact-
+/// length read and never desynchronize the control stream.
+constexpr std::size_t kPidLineBytes = 17;
+
+bool read_exact(int fd, char* buf, std::size_t n) {
+  std::size_t off = 0;
+  while (off < n) {
+    const ssize_t r = ::read(fd, buf + off, n - off);
+    if (r > 0) {
+      off += static_cast<std::size_t>(r);
+      continue;
+    }
+    if (r < 0 && errno == EINTR) continue;
+    return false;  // EOF or hard error: the zygote is gone
+  }
+  return true;
+}
+
+/// The zygote: a single-threaded child forked by the Server constructor
+/// before any thread exists, so it can keep fork()ing safely forever.  It
+/// reads "spawn <shard>" lines, forks a worker per request, and hands the
+/// supervisor end of the worker socketpair back over SCM_RIGHTS followed by
+/// a fixed-width pid line.  SIGCHLD is ignored so exited workers are reaped
+/// by the kernel; the zygote itself exits on control-socket EOF.
+void run_zygote(int control_fd, const ServerOptions& options) {
+  ::signal(SIGCHLD, SIG_IGN);
+  util::net::LineReader reader(control_fd, 1u << 10);
+  try {
+    while (const auto line = reader.read_line()) {
+      if (line->rfind("spawn ", 0) != 0) continue;
+      const int shard = std::atoi(line->c_str() + 6);
+      if (shard < 0 || shard >= options.shards) continue;
+      auto [parent_end, child_end] = util::net::socket_pair();
+      const pid_t pid = ::fork();
+      if (pid < 0) std::_Exit(1);  // supervisor sees EOF, spawn fails clean
+      if (pid == 0) {
+        ::close(control_fd);
+        parent_end.close();
+        ::signal(SIGCHLD, SIG_DFL);
+        WorkerConfig config;
+        config.shard = shard;
+        config.journal_dir =
+            options.journal_root + "/shard-" + std::to_string(shard);
+        config.engine = options.engine;
+        config.max_line_bytes = options.max_request_bytes + (1u << 20);
+        run_worker(child_end.get(), config);
+        std::_Exit(0);
+      }
+      child_end.close();
+      util::net::send_fd(control_fd, parent_end.get(), 'W');
+      char pid_line[kPidLineBytes + 1];
+      std::snprintf(pid_line, sizeof pid_line, "%016lld\n",
+                    static_cast<long long>(pid));
+      util::net::write_all(control_fd, std::string(pid_line, kPidLineBytes));
+    }
+  } catch (const Error&) {
+    // Supervisor died mid-exchange; nothing left to serve.
+  }
+}
+
 }  // namespace
 
 ServerOptions ServerOptions::from_env(ServerOptions base) {
@@ -36,6 +106,16 @@ ServerOptions ServerOptions::from_env(ServerOptions base) {
   if (const auto v = util::knobs::read_size("HLTS_SERVE_MAX_REQUEST_BYTES")) {
     base.max_request_bytes = *v;
   }
+  if (const auto v = util::knobs::read_flag("HLTS_SERVE_RESPAWN")) {
+    base.lifecycle.respawn = *v;
+  }
+  if (const auto v = util::knobs::read_int("HLTS_SERVE_BREAKER_FAILURES");
+      v && *v >= 1) {
+    base.lifecycle.breaker_failures = static_cast<int>(*v);
+  }
+  if (const auto v = util::knobs::read_flag("HLTS_SERVE_HEDGE")) {
+    base.lifecycle.hedge = *v;
+  }
   return base;
 }
 
@@ -45,47 +125,71 @@ Server::Server(ServerOptions options)
       router_(options_.shards) {
   HLTS_REQUIRE_INPUT(!options_.journal_root.empty(),
                      "Server: journal_root is required");
-  // Fork every worker before any thread exists in this process (run()
-  // starts the first ones); a fork after that would clone locked mutexes
-  // into the child.
-  workers_.reserve(static_cast<std::size_t>(options_.shards));
-  for (int shard = 0; shard < options_.shards; ++shard) {
-    auto [parent_end, child_end] = util::net::socket_pair();
-    const pid_t pid = ::fork();
-    HLTS_REQUIRE(pid >= 0, "Server: fork failed");
-    if (pid == 0) {
-      // Child: drop every fd that belongs to the supervisor side.
+  // Serving default: overload control on.  An engine that was not given an
+  // explicit queue capacity gets a bounded queue, and -- only when the
+  // policy was also left at its default -- ShedOldest, because a Block
+  // submit would wedge the worker's protocol thread.  Explicit settings
+  // always win; /health flags any shard still running unbounded.
+  if (options_.engine.queue_capacity == static_cast<std::size_t>(-1)) {
+    options_.engine.queue_capacity = 256;
+    if (options_.engine.overload_policy == engine::OverloadPolicy::Block) {
+      options_.engine.overload_policy = engine::OverloadPolicy::ShedOldest;
+    }
+  }
+  // Fork the zygote before any thread exists in this process (a fork after
+  // run() starts threads would clone locked mutexes into the child).  The
+  // zygote stays single-threaded forever, so every worker -- initial or
+  // respawned -- forks through it safely.
+  {
+    auto [sup_end, zyg_end] = util::net::socket_pair();
+    const pid_t zpid = ::fork();
+    HLTS_REQUIRE(zpid >= 0, "Server: fork failed");
+    if (zpid == 0) {
       listener_.close_now();
-      parent_end.close();
-      for (auto& w : workers_) w->fd.close();
-      WorkerConfig config;
-      config.shard = shard;
-      config.journal_dir =
-          options_.journal_root + "/shard-" + std::to_string(shard);
-      config.engine = options_.engine;
-      config.max_line_bytes = options_.max_request_bytes + (1u << 20);
-      run_worker(child_end.get(), config);
+      sup_end.close();
+      run_zygote(zyg_end.get(), options_);
       // Skip global destructors: this child shares no state worth tearing
-      // down, and the engine drained inside run_worker.
+      // down.
       std::_Exit(0);
     }
+    zyg_end.close();
+    zygote_fd_ = std::move(sup_end);
+    zygote_pid_ = zpid;
+  }
+  workers_.reserve(static_cast<std::size_t>(options_.shards));
+  for (int shard = 0; shard < options_.shards; ++shard) {
     auto w = std::make_unique<Worker>();
     w->shard = shard;
-    w->pid = pid;
-    w->fd = std::move(parent_end);
     w->journal_dir = options_.journal_root + "/shard-" + std::to_string(shard);
+    w->breaker = std::make_unique<CircuitBreaker>(
+        options_.lifecycle.breaker_failures,
+        options_.lifecycle.breaker_cooldown_ms);
+    w->respawn = std::make_unique<RespawnPolicy>(
+        options_.lifecycle.respawn_backoff_ms,
+        options_.lifecycle.respawn_backoff_cap_ms,
+        options_.lifecycle.flap_window_ms, options_.lifecycle.flap_limit);
+    HLTS_REQUIRE(spawn_via_zygote(shard, &w->fd, &w->pid),
+                 "Server: zygote failed to spawn worker");
     workers_.push_back(std::move(w));
   }
 }
 
 Server::~Server() {
   stop();
+  if (lifecycle_.joinable()) lifecycle_.join();
   for (const auto& w : workers_) {
     if (w->reader.joinable()) w->reader.join();
   }
   for (const auto& w : workers_) {
-    (void)::waitpid(w->pid, nullptr, 0);  // ECHILD when already reaped
+    (void)::waitpid(w->pid, nullptr, 0);  // ECHILD: the zygote reaps workers
   }
+  {
+    // Control-socket EOF tells the zygote to exit; then reap it (it is our
+    // direct child).
+    std::lock_guard<std::mutex> lock(zygote_mutex_);
+    zygote_fd_.close();
+  }
+  if (zygote_pid_ > 0) (void)::waitpid(zygote_pid_, nullptr, 0);
   {
     std::lock_guard<std::mutex> lock(conns_mutex_);
     for (const ConnPtr& c : conns_) util::net::shutdown_fd(c->fd.get());
@@ -95,10 +199,38 @@ Server::~Server() {
   }
 }
 
+bool Server::spawn_via_zygote(int shard, util::net::Fd* fd, pid_t* pid) {
+  std::lock_guard<std::mutex> lock(zygote_mutex_);
+  if (!zygote_fd_.valid()) return false;
+  try {
+    util::net::write_all(zygote_fd_.get(),
+                         "spawn " + std::to_string(shard) + "\n");
+    auto got = util::net::recv_fd(zygote_fd_.get());
+    if (!got) {
+      zygote_fd_.close();
+      return false;
+    }
+    char pid_line[kPidLineBytes];
+    if (!read_exact(zygote_fd_.get(), pid_line, kPidLineBytes)) {
+      zygote_fd_.close();
+      return false;
+    }
+    *pid = static_cast<pid_t>(
+        std::strtoll(std::string(pid_line, kPidLineBytes - 1).c_str(), nullptr,
+                     10));
+    *fd = std::move(got->first);
+    return true;
+  } catch (const Error&) {
+    zygote_fd_.close();  // desynchronized control stream: respawns are over
+    return false;
+  }
+}
+
 void Server::run() {
   for (const auto& w : workers_) {
     w->reader = std::thread(&Server::worker_reader_loop, this, w->shard);
   }
+  lifecycle_ = std::thread(&Server::lifecycle_loop, this);
   while (true) {
     util::net::Fd client = listener_.accept();
     if (!client.valid()) break;  // shutdown_now(): orderly shutdown
@@ -108,6 +240,10 @@ void Server::run() {
     conns_.push_back(conn);
     conn_threads_.emplace_back(&Server::client_loop, this, conn);
   }
+  // The lifecycle ticker owns reader-thread replacement, so it must stop
+  // before the readers are joined.
+  lifecycle_cv_.notify_all();
+  if (lifecycle_.joinable()) lifecycle_.join();
   // Workers drain (finish + flush every accepted job) before their EOF.
   for (const auto& w : workers_) {
     if (w->reader.joinable()) w->reader.join();
@@ -126,13 +262,13 @@ void Server::stop() {
     if (stopping_) return;
     stopping_ = true;
   }
+  lifecycle_cv_.notify_all();
+  // Quit goes to every worker fd, not just the ones marked alive: a
+  // respawned worker that has not sent `ready` yet is live on the wire but
+  // not in the router, and skipping it would leave its reader blocked
+  // forever.  Writes to an actually-dead fd fail silently.
   for (const auto& w : workers_) {
-    bool alive;
-    {
-      std::lock_guard<std::mutex> lock(state_mutex_);
-      alive = w->alive;
-    }
-    if (alive) send_to_worker(w->shard, proto::quit_line());
+    send_to_worker(w->shard, proto::quit_line());
   }
   listener_.shutdown_now();
 }
@@ -186,14 +322,35 @@ void Server::remember_token_locked(const std::string& token,
 void Server::forward_locked(std::uint64_t tag) {
   auto it = pending_.find(tag);
   if (it == pending_.end()) return;
-  const int shard = router_.route(it->second.name);
+  // Health-aware routing: candidates are live shards whose breaker admits
+  // traffic, scored by EWMA latency scaled with their in-flight depth; the
+  // router keeps everything within tolerance of the best and tie-breaks
+  // deterministically (rendezvous hash).  With no latency history yet all
+  // scores are 0 and this degrades to pure deterministic hashing.
+  const std::int64_t now = now_ms();
+  std::vector<int> depth(workers_.size(), 0);
+  for (const auto& [t, p] : pending_) {
+    if (t != tag && p.shard >= 0) ++depth[static_cast<std::size_t>(p.shard)];
+  }
+  std::vector<double> scores(workers_.size(), 0.0);
+  std::vector<bool> allowed(workers_.size(), true);
+  for (const auto& w : workers_) {
+    const auto s = static_cast<std::size_t>(w->shard);
+    allowed[s] = w->breaker->would_allow(now);
+    const double lat = w->latency_ewma.primed() ? w->latency_ewma.value() : 0.0;
+    scores[s] = lat * (1.0 + depth[s]);
+  }
+  const int shard = router_.route_ranked(it->second.name, scores, allowed);
   if (shard < 0) {
     const ConnPtr conn = it->second.conn;
     erase_pending_locked(it);
     reply(conn, proto::error_line("no live shard"));
     return;
   }
+  // Consume the half-open probe slot if that is what admitted this shard.
+  (void)workers_[static_cast<std::size_t>(shard)]->breaker->allow(now);
   it->second.shard = shard;
+  it->second.sent_ms = now;
   send_to_worker(shard, proto::submit_line(tag, it->second.request));
 }
 
@@ -230,6 +387,12 @@ void Server::handle_submit(const ConnPtr& conn, const util::JsonValue& doc) {
       const auto p = pending_.find(fly->second);
       if (p != pending_.end()) {
         p->second.conn = conn;
+        if (p->second.partner != 0) {
+          // A hedged pair answers whichever copy wins; both must point at
+          // the retrying client's live connection.
+          const auto h = pending_.find(p->second.partner);
+          if (h != pending_.end()) h->second.conn = conn;
+        }
         return;
       }
       token_inflight_.erase(fly);  // stale index row; fall through
@@ -313,12 +476,39 @@ void Server::worker_reader_loop(int shard) {
           const auto it = pending_.find(tag);
           if (it == pending_.end()) continue;  // duplicate / orphan replay
           conn = it->second.conn;
+          // This shard answered: success for its breaker, a sample for its
+          // EWMA score and the cluster-wide hedge-delay window.
+          const std::int64_t latency = now_ms() - it->second.sent_ms;
+          w.breaker->record_success();
+          w.latency_ewma.observe(static_cast<double>(latency));
+          latency_window_.observe(latency);
+          const bool was_hedge = it->second.is_hedge;
+          const std::uint64_t partner = it->second.partner;
           // Memoize the exact reply line under the flow token so a retry
           // gets the bit-identical answer -- unless the worker refused the
           // job ("rejected": it never executed), which must stay retryable.
           remember_token_locked(it->second.token, reply_line,
                                 result->get_string("state") != "rejected");
           pending_.erase(it);
+          if (partner != 0) {
+            // First result of a hedged pair wins; erasing the loser's
+            // pending entry guarantees exactly one reply, and a best-effort
+            // cancel stops it burning cycles (its eventual result frame is
+            // an orphan tag, dropped above).
+            const auto loser = pending_.find(partner);
+            if (loser != pending_.end()) {
+              const int loser_shard = loser->second.shard;
+              pending_.erase(loser);
+              if (was_hedge) w.hedges_won += 1;
+              if (loser_shard >= 0) {
+                auto& lw = *workers_[static_cast<std::size_t>(loser_shard)];
+                lw.hedges_cancelled += 1;
+                if (lw.alive) {
+                  send_to_worker(loser_shard, proto::cancel_line(partner));
+                }
+              }
+            }
+          }
         }
         reply(conn, reply_line);
       } else if (kind == "health") {
@@ -326,11 +516,30 @@ void Server::worker_reader_loop(int shard) {
         if (health == nullptr) continue;
         std::lock_guard<std::mutex> lock(state_mutex_);
         try {
-          view_.observe(api::HealthV1::from_json(*health));
+          api::HealthV1 h = api::HealthV1::from_json(*health);
+          // Overlay supervisor-side lifecycle state: the worker cannot know
+          // how often it was respawned or what its breaker looks like.
+          h.respawns = w.respawns;
+          h.hedges_won = w.hedges_won;
+          h.hedges_cancelled = w.hedges_cancelled;
+          h.breaker = w.breaker->state_name();
+          h.quarantined = w.respawn->quarantined();
+          view_.observe(h);
         } catch (const Error&) {
           // Malformed snapshot: still resolve the probe.
         }
         finish_health_probe(tag);
+      } else if (kind == "ready") {
+        std::set<std::uint64_t> recovered;
+        if (const JsonValue* tags = doc->find("tags");
+            tags && tags->is_array()) {
+          for (const JsonValue& t : tags->as_array()) {
+            if (t.is_int()) {
+              recovered.insert(static_cast<std::uint64_t>(t.as_int()));
+            }
+          }
+        }
+        on_worker_ready(shard, recovered);
       } else if (kind == "adopted") {
         std::set<std::uint64_t> adopted;
         if (const JsonValue* tags = doc->find("tags"); tags && tags->is_array()) {
@@ -366,12 +575,14 @@ void Server::worker_reader_loop(int shard) {
 
 void Server::on_worker_death(int shard) {
   Worker& w = *workers_[static_cast<std::size_t>(shard)];
-  (void)::waitpid(w.pid, nullptr, 0);
+  (void)::waitpid(w.pid, nullptr, 0);  // ECHILD: the zygote reaps workers
 
   std::vector<std::pair<ConnPtr, std::string>> replies;
   {
     std::lock_guard<std::mutex> lock(state_mutex_);
-    if (!w.alive) return;
+    // w.alive may already be false: a respawned worker that died before its
+    // `ready` frame was never marked alive.  The machinery below still runs
+    // -- its pending requests and journal need an owner either way.
     w.alive = false;
     router_.mark_dead(shard);
 
@@ -385,49 +596,182 @@ void Server::on_worker_death(int shard) {
 
     if (stopping_) return;  // orderly drain, nothing to fail over
 
-    // Requests the dead shard owned, plus requests from adoptions it had
-    // accepted but not yet answered (their journal state is unknown: replay
-    // them from the pending table -- duplicate execution is benign, the
-    // first result wins and results are bit-identical anyway).
-    std::set<std::uint64_t> owned;
-    for (const auto& [tag, p] : pending_) {
-      if (p.shard == shard) owned.insert(tag);
-    }
-    std::set<std::uint64_t> resubmit;
-    std::vector<std::uint64_t> stale_adopts;
-    for (auto& [tag, adoption] : adoptions_) {
-      if (adoption.peer != shard) continue;
-      for (const std::uint64_t t : adoption.owned) {
-        if (pending_.count(t) != 0) resubmit.insert(t);
-      }
-      stale_adopts.push_back(tag);
-    }
-    for (const std::uint64_t tag : stale_adopts) adoptions_.erase(tag);
+    w.breaker->record_failure(now_ms());
 
-    const int peer = router_.peer_of(shard);
-    if (peer < 0) {
-      for (const std::uint64_t t : owned) {
-        const auto it = pending_.find(t);
-        if (it == pending_.end()) continue;
-        replies.emplace_back(it->second.conn,
-                             proto::error_line("all shards dead"));
-        erase_pending_locked(it);
+    if (options_.lifecycle.respawn) {
+      const std::int64_t at = w.respawn->on_death(now_ms());
+      if (at >= 0) {
+        // Self-healing path: schedule the respawn and leave this shard's
+        // pending requests pointed at it -- the respawned worker replays
+        // its journal and the `ready` frame sorts recovered from lost.
+        w.respawn_at_ms = at;
+        lifecycle_cv_.notify_all();
+        return;
       }
-      for (const std::uint64_t t : resubmit) {
-        const auto it = pending_.find(t);
-        if (it == pending_.end()) continue;
-        replies.emplace_back(it->second.conn,
-                             proto::error_line("all shards dead"));
-        erase_pending_locked(it);
-      }
-    } else {
-      const std::uint64_t adopt_tag = next_tag();
-      adoptions_[adopt_tag] = Adoption{shard, peer, owned};
-      send_to_worker(peer, proto::adopt_line(adopt_tag, w.journal_dir));
-      for (const std::uint64_t t : resubmit) forward_locked(t);
+      // Crash loop: the flap window overflowed and the shard is now
+      // quarantined.  Record that in the cluster view (it will never answer
+      // a health probe again) and hand its journal to a peer below.
+      api::HealthV1 q;
+      q.shard = shard;
+      q.quarantined = true;
+      q.breaker = w.breaker->state_name();
+      q.respawns = w.respawns;
+      view_.observe(q);
     }
+
+    fail_over_locked(shard, &replies);
   }
   for (const auto& [conn, line] : replies) reply(conn, line);
+}
+
+void Server::fail_over_locked(
+    int shard, std::vector<std::pair<ConnPtr, std::string>>* replies) {
+  Worker& w = *workers_[static_cast<std::size_t>(shard)];
+  // Requests the dead shard owned, plus requests from adoptions it had
+  // accepted but not yet answered (their journal state is unknown: replay
+  // them from the pending table -- duplicate execution is benign, the
+  // first result wins and results are bit-identical anyway).
+  std::set<std::uint64_t> owned;
+  for (const auto& [tag, p] : pending_) {
+    if (p.shard == shard) owned.insert(tag);
+  }
+  std::set<std::uint64_t> resubmit;
+  std::vector<std::uint64_t> stale_adopts;
+  for (auto& [tag, adoption] : adoptions_) {
+    if (adoption.peer != shard) continue;
+    for (const std::uint64_t t : adoption.owned) {
+      if (pending_.count(t) != 0) resubmit.insert(t);
+    }
+    stale_adopts.push_back(tag);
+  }
+  for (const std::uint64_t tag : stale_adopts) adoptions_.erase(tag);
+
+  const int peer = router_.peer_of(shard);
+  if (peer < 0) {
+    for (const std::uint64_t t : owned) {
+      const auto it = pending_.find(t);
+      if (it == pending_.end()) continue;
+      replies->emplace_back(it->second.conn,
+                            proto::error_line("all shards dead"));
+      erase_pending_locked(it);
+    }
+    for (const std::uint64_t t : resubmit) {
+      const auto it = pending_.find(t);
+      if (it == pending_.end()) continue;
+      replies->emplace_back(it->second.conn,
+                            proto::error_line("all shards dead"));
+      erase_pending_locked(it);
+    }
+  } else {
+    const std::uint64_t adopt_tag = next_tag();
+    adoptions_[adopt_tag] = Adoption{shard, peer, owned};
+    send_to_worker(peer, proto::adopt_line(adopt_tag, w.journal_dir));
+    for (const std::uint64_t t : resubmit) forward_locked(t);
+  }
+}
+
+void Server::on_worker_ready(int shard,
+                             const std::set<std::uint64_t>& recovered) {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  Worker& w = *workers_[static_cast<std::size_t>(shard)];
+  // The initial boot of each worker also sends `ready`; the shard is
+  // already alive then and there is nothing to rejoin.
+  if (w.alive || stopping_) return;
+  w.alive = true;
+  router_.mark_alive(shard);
+  w.breaker->reset();
+  w.respawn->on_ready();
+  w.respawns += 1;
+  // Requests this shard owned at death time: the recovered ones resume here
+  // from their checkpoints (their result frames are already on the way);
+  // the rest died before their write-ahead record and are resubmitted.
+  std::vector<std::uint64_t> resubmit;
+  const std::int64_t now = now_ms();
+  for (auto& [t, p] : pending_) {
+    if (p.shard != shard) continue;
+    if (recovered.count(t) != 0) {
+      p.sent_ms = now;  // restart the latency/hedge clock
+    } else {
+      resubmit.push_back(t);
+    }
+  }
+  for (const std::uint64_t t : resubmit) forward_locked(t);
+  // Make the rejoin visible in the cluster view even before the next
+  // health fan-out reaches this shard.
+  api::HealthV1 h;
+  h.shard = shard;
+  h.respawns = w.respawns;
+  h.breaker = w.breaker->state_name();
+  view_.observe(h);
+}
+
+void Server::lifecycle_loop() {
+  std::unique_lock<std::mutex> lock(state_mutex_);
+  while (!stopping_) {
+    lifecycle_cv_.wait_for(lock, std::chrono::milliseconds(20));
+    if (stopping_) break;
+    const std::int64_t now = now_ms();
+
+    if (options_.lifecycle.respawn) {
+      for (auto& wp : workers_) {
+        Worker& w = *wp;
+        if (w.alive || w.respawn_at_ms < 0 || now < w.respawn_at_ms) continue;
+        w.respawn_at_ms = -1;
+        // The spawn exchange does IO and the old reader must be joined (it
+        // has exited -- its EOF is what scheduled this respawn): drop the
+        // state lock for both.
+        lock.unlock();
+        if (w.reader.joinable()) w.reader.join();
+        util::net::Fd fd;
+        pid_t pid = -1;
+        const bool ok = spawn_via_zygote(w.shard, &fd, &pid);
+        lock.lock();
+        if (!ok) continue;  // zygote gone; the shard stays dead
+        if (stopping_) {
+          (void)::kill(pid, SIGKILL);
+          continue;
+        }
+        {
+          std::lock_guard<std::mutex> wl(w.write_mutex);
+          w.fd = std::move(fd);
+        }
+        w.pid = pid;
+        w.reader = std::thread(&Server::worker_reader_loop, this, w.shard);
+        // Not alive yet: the `ready` frame after journal replay rejoins it.
+      }
+    }
+
+    if (options_.lifecycle.hedge) {
+      const std::int64_t delay = latency_window_.hedge_delay_ms(
+          options_.lifecycle.hedge_min_ms, options_.lifecycle.hedge_factor);
+      std::vector<std::uint64_t> stragglers;
+      for (const auto& [t, p] : pending_) {
+        if (p.is_hedge || p.partner != 0 || p.shard < 0) continue;
+        if (now - p.sent_ms < delay) continue;
+        stragglers.push_back(t);
+      }
+      for (const std::uint64_t t : stragglers) {
+        const auto it = pending_.find(t);
+        if (it == pending_.end()) continue;
+        Pending& p = it->second;
+        const int alt = router_.peer_of(p.shard);
+        if (alt < 0 || alt == p.shard) continue;
+        const std::uint64_t htag = next_tag();
+        Pending hedge;
+        hedge.shard = alt;
+        hedge.name = p.name;
+        hedge.request = p.request;
+        hedge.conn = p.conn;
+        hedge.token = p.token;  // shared: whichever copy wins memoizes it
+        hedge.sent_ms = now;
+        hedge.is_hedge = true;
+        hedge.partner = t;
+        p.partner = htag;
+        pending_[htag] = std::move(hedge);
+        send_to_worker(alt, proto::submit_line(htag, pending_[htag].request));
+      }
+    }
+  }
 }
 
 void Server::client_loop(ConnPtr conn) {

@@ -29,6 +29,26 @@
 //
 // Health: per-worker HealthV1 snapshots merge into the lattice-backed
 // ClusterView; `{"op":"health"}` and HTTP `GET /health` both serve it.
+//
+// Self-healing lifecycle (opt-in, LifecycleOptions::respawn): because the
+// supervisor is multithreaded once run() starts, it cannot fork() safely
+// itself -- instead the constructor forks one single-threaded *zygote*
+// child before any thread exists, and every worker (initial and respawned)
+// is forked by the zygote.  The supervisor asks for a worker over a control
+// socketpair ("spawn <shard>"); the zygote forks it, hands the supervisor
+// end of the new worker socketpair back via SCM_RIGHTS, and auto-reaps its
+// children (SIGCHLD ignored).  A dead shard is respawned after a capped
+// exponential backoff; the respawn replays the shard's own journal
+// (Engine::recover), announces itself with a `ready` frame listing the
+// recovered tags, and rejoins the ring -- recovered pending requests
+// re-point to it, the rest resubmit.  A shard that keeps dying inside the
+// flap window is quarantined: no further respawns, its journal fails over
+// to a peer like a plain death.  Per-shard circuit breakers (closed /
+// open / half-open) and EWMA latency scores feed health-aware routing
+// (ShardRouter::route_ranked), and an opt-in hedging pass re-issues a
+// straggling submit to a second shard after a p99-derived delay -- the
+// first result wins, the loser is cancelled, and flow-token dedup plus the
+// pending-table erase keep replies exactly-once.
 #pragma once
 
 #include <sys/types.h>
@@ -44,13 +64,33 @@
 #include <thread>
 #include <vector>
 
+#include <condition_variable>
+
 #include "engine/engine.hpp"
 #include "serve/health.hpp"
+#include "serve/lifecycle.hpp"
 #include "serve/router.hpp"
 #include "util/json.hpp"
 #include "util/socket.hpp"
 
 namespace hlts::serve {
+
+/// Self-healing / overload-control policy.  Everything here is off by
+/// default: a server without the knobs behaves exactly like the
+/// pre-lifecycle supervisor (a dead shard stays dead, failing over to its
+/// ring peer), which several recovery tests and deployments rely on.
+struct LifecycleOptions {
+  bool respawn = false;  ///< respawn dead workers (HLTS_SERVE_RESPAWN)
+  std::int64_t respawn_backoff_ms = 200;      ///< first-respawn delay
+  std::int64_t respawn_backoff_cap_ms = 5000; ///< backoff ladder cap
+  std::int64_t flap_window_ms = 10000;  ///< sliding window for flap detection
+  int flap_limit = 5;  ///< deaths inside the window before quarantine
+  int breaker_failures = 3;  ///< consecutive failures that open the breaker
+  std::int64_t breaker_cooldown_ms = 1000;  ///< open -> half-open delay
+  bool hedge = false;  ///< hedged requests (HLTS_SERVE_HEDGE)
+  std::int64_t hedge_min_ms = 50;  ///< floor on the hedge trigger delay
+  double hedge_factor = 1.5;       ///< trigger = max(min, factor * p99)
+};
 
 struct ServerOptions {
   int shards = 4;             ///< worker processes (HLTS_SERVE_SHARDS)
@@ -58,10 +98,13 @@ struct ServerOptions {
   std::size_t max_request_bytes = 4u << 20;  ///< request-line cap
   std::string journal_root;   ///< required; shard k journals in shard-<k>/
   engine::EngineOptions engine{};  ///< base options for every worker
+  LifecycleOptions lifecycle{};
 
   /// Applies HLTS_SERVE_SHARDS / HLTS_SERVE_PORT /
-  /// HLTS_SERVE_MAX_REQUEST_BYTES on top of `base` (explicit fields win;
-  /// malformed values throw Error(Input) via the knob registry).
+  /// HLTS_SERVE_MAX_REQUEST_BYTES / HLTS_SERVE_RESPAWN /
+  /// HLTS_SERVE_BREAKER_FAILURES / HLTS_SERVE_HEDGE on top of `base`
+  /// (explicit fields win; malformed values throw Error(Input) via the
+  /// knob registry).
   [[nodiscard]] static ServerOptions from_env(ServerOptions base);
 };
 
@@ -89,10 +132,18 @@ class Server {
     int shard = 0;
     pid_t pid = -1;
     util::net::Fd fd;        ///< supervisor end of the socketpair
-    std::mutex write_mutex;  ///< serializes frames onto fd
+    std::mutex write_mutex;  ///< serializes frames onto fd (and fd swaps)
     std::thread reader;
     bool alive = true;       ///< guarded by state_mutex_
     std::string journal_dir;
+    // Lifecycle state, guarded by state_mutex_.
+    std::unique_ptr<CircuitBreaker> breaker;
+    std::unique_ptr<RespawnPolicy> respawn;
+    Ewma latency_ewma{};            ///< ms, per-result
+    std::int64_t respawn_at_ms = -1;  ///< earliest respawn instant; -1 = none
+    std::int64_t respawns = 0;
+    std::int64_t hedges_won = 0;
+    std::int64_t hedges_cancelled = 0;
   };
 
   /// One client connection; result frames are written from worker-reader
@@ -110,6 +161,9 @@ class Server {
     util::JsonValue request;   ///< FlowRequestV1 document (for resubmit)
     ConnPtr conn;
     std::string token;         ///< flow_token ("" = no dedup)
+    std::int64_t sent_ms = 0;  ///< when last forwarded (hedge/latency clock)
+    bool is_hedge = false;     ///< this entry is the hedged second copy
+    std::uint64_t partner = 0; ///< the other tag of a hedged pair (0 = none)
   };
 
   /// An outstanding cluster-health fan-out.
@@ -138,6 +192,18 @@ class Server {
   /// The failover state machine (see file comment).  Called from the dead
   /// worker's reader thread after EOF.
   void on_worker_death(int shard);
+  /// Peer adoption of a dead shard's journal + resubmits (state_mutex_
+  /// held).  Returns error replies to flush outside the lock.
+  void fail_over_locked(int shard,
+                        std::vector<std::pair<ConnPtr, std::string>>* replies);
+  /// Asks the zygote for a fresh worker process for `shard`; returns false
+  /// when the zygote is gone.  Serialized by zygote_mutex_.
+  [[nodiscard]] bool spawn_via_zygote(int shard, util::net::Fd* fd, pid_t* pid);
+  /// The respawn/hedge ticker (started by run() alongside the readers).
+  void lifecycle_loop();
+  /// A respawned worker's `ready` frame: rejoin the ring, re-point the
+  /// recovered tags, resubmit the rest.
+  void on_worker_ready(int shard, const std::set<std::uint64_t>& recovered);
   void handle_submit(const ConnPtr& conn, const util::JsonValue& doc);
   void handle_health(const ConnPtr& conn, bool http);
   void finish_health_probe(std::uint64_t tag);
@@ -153,6 +219,15 @@ class Server {
   ServerOptions options_;
   util::net::Listener listener_;
   std::vector<std::unique_ptr<Worker>> workers_;
+
+  /// The zygote: a single-threaded forked child that forks workers on
+  /// request, because this (multithreaded) process cannot.  The control
+  /// socket carries "spawn <shard>" lines one way and SCM_RIGHTS worker
+  /// descriptors + pid lines the other; zygote_mutex_ serializes the
+  /// request/response exchanges.
+  std::mutex zygote_mutex_;
+  util::net::Fd zygote_fd_;
+  pid_t zygote_pid_ = -1;
 
   /// Removes one pending entry and its flow-token index row (state_mutex_
   /// held).  Every pending_ erase goes through here so the in-flight token
@@ -185,6 +260,12 @@ class Server {
 
   std::atomic<std::uint64_t> tag_counter_{0};
   std::thread acceptor_;
+
+  /// Lifecycle ticker state.  latency_window_ feeds the hedge trigger
+  /// (p99-derived); guarded by state_mutex_ like the rest.
+  LatencyWindow latency_window_{256};
+  std::thread lifecycle_;
+  std::condition_variable lifecycle_cv_;
 };
 
 }  // namespace hlts::serve

@@ -1,5 +1,7 @@
 #include "serve/worker.hpp"
 
+#include <chrono>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -30,12 +32,19 @@ api::FlowResultV1 refusal(const std::string& name, const std::string& error) {
 }  // namespace
 
 void run_worker(int fd, const WorkerConfig& config) {
+  const auto start = std::chrono::steady_clock::now();
   engine::EngineOptions opts = config.engine;
   opts.journal_dir = config.journal_dir;
   engine::Engine engine(opts);
 
   std::mutex write_mutex;
   std::vector<std::thread> waiters;
+
+  // In-flight jobs by supervisor tag, for the best-effort cancel op (the
+  // losing side of a hedged request).  Entries are removed by the waiter
+  // once the result frame is flushed.
+  std::mutex inflight_mutex;
+  std::map<std::uint64_t, engine::JobPtr> inflight;
 
   auto send = [&](const std::string& frame) {
     std::lock_guard<std::mutex> lock(write_mutex);
@@ -49,23 +58,41 @@ void run_worker(int fd, const WorkerConfig& config) {
   // One waiter per job: blocks until the job finishes, then flushes its
   // result frame.  The job name carries the supervisor's tag.
   auto deliver = [&](const engine::JobPtr& job) {
-    waiters.emplace_back([&send, job] {
+    std::uint64_t tag = 0;
+    if (const auto tagged = proto::split_tag(job->name())) tag = tagged->tag;
+    if (tag != 0) {
+      std::lock_guard<std::mutex> lock(inflight_mutex);
+      inflight[tag] = job;
+    }
+    waiters.emplace_back([&send, &inflight_mutex, &inflight, job, tag] {
       job->wait();
       api::FlowResultV1 result = engine::job_result_to_api(*job);
-      std::uint64_t tag = 0;
       if (const auto tagged = proto::split_tag(result.name)) {
-        tag = tagged->tag;
         result.name = tagged->name;
       }
       send(proto::result_frame(tag, result));
+      if (tag != 0) {
+        std::lock_guard<std::mutex> lock(inflight_mutex);
+        inflight.erase(tag);
+      }
     });
   };
 
   // A restarted worker first replays its own journal (re-journaling mode:
-  // same directory, so checkpoints and done markers keep flowing).
+  // same directory, so checkpoints and done markers keep flowing), then
+  // announces readiness with the recovered tags so a respawn-aware
+  // supervisor can rejoin this shard and re-point those requests here.
   {
+    std::vector<std::uint64_t> recovered;
     const engine::Engine::RecoveryReport report = engine.recover(config.journal_dir);
-    for (const engine::JobPtr& job : report.jobs) deliver(job);
+    recovered.reserve(report.jobs.size());
+    for (const engine::JobPtr& job : report.jobs) {
+      if (const auto tagged = proto::split_tag(job->name())) {
+        recovered.push_back(tagged->tag);
+      }
+      deliver(job);
+    }
+    send(proto::ready_frame(recovered));
   }
 
   util::net::LineReader reader(fd, config.max_line_bytes);
@@ -79,7 +106,23 @@ void run_worker(int fd, const WorkerConfig& config) {
           static_cast<std::uint64_t>(doc->get_int("tag", 0));
       if (op == "quit") break;
       if (op == "health") {
-        send(proto::health_frame(tag, engine.health().to_api(config.shard)));
+        api::HealthV1 h = engine.health().to_api(config.shard);
+        h.uptime_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+        send(proto::health_frame(tag, h));
+      } else if (op == "cancel") {
+        engine::JobPtr job;
+        {
+          std::lock_guard<std::mutex> lock(inflight_mutex);
+          const auto it = inflight.find(tag);
+          if (it != inflight.end()) job = it->second;
+        }
+        // Best-effort: a queued job is cancelled outright, a running one
+        // stops at its next iteration boundary.  No response frame -- the
+        // job's own result frame (state "cancelled") closes the loop, and
+        // the supervisor drops it as an orphan tag.
+        if (job) job->cancel();
       } else if (op == "submit") {
         const JsonValue* request = doc->find("request");
         if (request == nullptr) {

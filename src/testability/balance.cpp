@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <set>
+#include <unordered_set>
 
 namespace hlts::testability {
 
@@ -100,30 +101,56 @@ std::string MergeCandidate::merged_label(const dfg::Dfg& g,
   return is_modules() ? b.module_label(g, module_a) : b.reg_label(g, reg_a);
 }
 
-bool register_merge_impossible(const dfg::Dfg& g, const etpn::Binding& b,
-                               etpn::RegId ra, etpn::RegId rb) {
-  // Case (2): an operation uses variables of both registers as inputs.
-  for (dfg::OpId op : g.op_ids()) {
-    bool uses_a = false;
-    bool uses_b = false;
-    for (dfg::VarId in : g.op(op).inputs) {
-      etpn::RegId r = b.reg_of(in);
-      if (r == ra) uses_a = true;
-      if (r == rb) uses_b = true;
+struct RegMergeOracle::Impl {
+  const dfg::Dfg& g;
+  const etpn::Binding& b;
+  Reachability reach;
+  /// Case (2) pairs, keyed (min_reg << 32) | max_reg.
+  std::unordered_set<std::uint64_t> op_conflicts;
+
+  Impl(const dfg::Dfg& g_in, const etpn::Binding& b_in)
+      : g(g_in), b(b_in), reach(g_in) {
+    // Case (2) in one sweep: every op that reads variables of two distinct
+    // registers forbids exactly that pair.
+    for (dfg::OpId op : g.op_ids()) {
+      const auto& ins = g.op(op).inputs;
+      for (std::size_t i = 0; i < ins.size(); ++i) {
+        const etpn::RegId ri = b.reg_of(ins[i]);
+        for (std::size_t j = i + 1; j < ins.size(); ++j) {
+          const etpn::RegId rj = b.reg_of(ins[j]);
+          if (ri == rj) continue;
+          const std::uint64_t lo = std::min(ri.value(), rj.value());
+          const std::uint64_t hi = std::max(ri.value(), rj.value());
+          op_conflicts.insert((lo << 32) | hi);
+        }
+      }
     }
-    if (uses_a && uses_b) return true;
   }
+};
+
+RegMergeOracle::RegMergeOracle(const dfg::Dfg& g, const etpn::Binding& b)
+    : impl_(std::make_unique<Impl>(g, b)) {}
+
+RegMergeOracle::~RegMergeOracle() = default;
+
+bool RegMergeOracle::impossible(etpn::RegId ra, etpn::RegId rb) const {
+  const dfg::Dfg& g = impl_->g;
+  const etpn::Binding& b = impl_->b;
+
+  // Case (2): an operation uses variables of both registers as inputs.
+  const std::uint64_t lo = std::min(ra.value(), rb.value());
+  const std::uint64_t hi = std::max(ra.value(), rb.value());
+  if (impl_->op_conflicts.count((lo << 32) | hi) != 0) return true;
 
   // Case (1): for some variable pair, data dependences force an ordering
   // arc in each direction, so the lifetimes can never be made disjoint.
-  Reachability reach(g);
   auto dir_blocked = [&](dfg::VarId before, dfg::VarId after) {
     // "before expires before after is created" is infeasible when the
     // definition of `after` strictly precedes some lifetime op of `before`.
     const dfg::Variable& va = g.var(after);
     if (!va.def.valid()) return true;  // primary input: born at step 0
     for (dfg::OpId u : lifetime_ops(g, before)) {
-      if (reach.reaches(va.def, u)) return true;
+      if (impl_->reach.reaches(va.def, u)) return true;
     }
     return false;
   };
@@ -133,6 +160,11 @@ bool register_merge_impossible(const dfg::Dfg& g, const etpn::Binding& b,
     }
   }
   return false;
+}
+
+bool register_merge_impossible(const dfg::Dfg& g, const etpn::Binding& b,
+                               etpn::RegId ra, etpn::RegId rb) {
+  return RegMergeOracle(g, b).impossible(ra, rb);
 }
 
 std::vector<MergeCandidate> select_balance_candidates(
@@ -160,17 +192,25 @@ std::vector<MergeCandidate> select_balance_candidates(
     return score;
   };
 
-  // Module pairs.
+  // Module pairs.  The read/write register sets of a module are invariant
+  // over the pair loop; computing them per pair made selection quadratic in
+  // set-building work on large graphs.
   std::vector<etpn::ModuleId> modules = b.alive_modules();
+  std::vector<std::set<std::uint32_t>> mod_reads(modules.size());
+  std::vector<std::set<std::uint32_t>> mod_writes(modules.size());
+  for (std::size_t i = 0; i < modules.size(); ++i) {
+    module_reg_sets(dp, e.module_node[modules[i]], mod_reads[i], mod_writes[i]);
+  }
   for (std::size_t i = 0; i < modules.size(); ++i) {
     for (std::size_t j = i + 1; j < modules.size(); ++j) {
       if (!b.can_merge_modules(g, modules[i], modules[j])) continue;
       etpn::DpNodeId n1 = e.module_node[modules[i]];
       etpn::DpNodeId n2 = e.module_node[modules[j]];
-      std::set<std::uint32_t> reads, writes;
-      module_reg_sets(dp, n1, reads, writes);
-      module_reg_sets(dp, n2, reads, writes);
-      const bool self_loop = intersects(reads, writes);
+      // (reads_i u reads_j) intersects (writes_i u writes_j)?
+      const bool self_loop = intersects(mod_reads[i], mod_writes[i]) ||
+                             intersects(mod_reads[i], mod_writes[j]) ||
+                             intersects(mod_reads[j], mod_writes[i]) ||
+                             intersects(mod_reads[j], mod_writes[j]);
       MergeCandidate c;
       c.kind = MergeCandidate::Kind::Modules;
       c.module_a = modules[i];
@@ -181,29 +221,32 @@ std::vector<MergeCandidate> select_balance_candidates(
     }
   }
 
-  // Register pairs.
+  // Register pairs.  A merged register self-loops when some module reads
+  // one register of the pair and writes the other (or reads and writes the
+  // same one); precompute every module's (read register, written register)
+  // pairs once so the per-pair check is four set probes instead of a walk
+  // over the whole data path.
+  std::unordered_set<std::uint64_t> rw_pairs;
+  for (std::size_t i = 0; i < modules.size(); ++i) {
+    for (std::uint32_t r : mod_reads[i]) {
+      for (std::uint32_t w : mod_writes[i]) {
+        rw_pairs.insert((std::uint64_t{r} << 32) | w);
+      }
+    }
+  }
+  auto has_rw = [&](etpn::DpNodeId r, etpn::DpNodeId w) {
+    return rw_pairs.count((std::uint64_t{r.value()} << 32) | w.value()) != 0;
+  };
+  const RegMergeOracle oracle(g, b);
   std::vector<etpn::RegId> regs = b.alive_regs();
   for (std::size_t i = 0; i < regs.size(); ++i) {
     for (std::size_t j = i + 1; j < regs.size(); ++j) {
       if (!b.can_merge_regs(regs[i], regs[j])) continue;
-      if (register_merge_impossible(g, b, regs[i], regs[j])) continue;
+      if (oracle.impossible(regs[i], regs[j])) continue;
       etpn::DpNodeId n1 = e.reg_node[regs[i]];
       etpn::DpNodeId n2 = e.reg_node[regs[j]];
-      // Self-loop check: some module reads one register of the pair and
-      // writes the other (after merging it reads and writes the same one).
-      bool self_loop = false;
-      for (etpn::DpNodeId m : dp.node_ids()) {
-        if (!dp.alive(m) || dp.node(m).kind != etpn::DpNodeKind::Module) continue;
-        std::set<std::uint32_t> reads, writes;
-        module_reg_sets(dp, m, reads, writes);
-        const bool touches_read = reads.count(n1.value()) || reads.count(n2.value());
-        const bool touches_write =
-            writes.count(n1.value()) || writes.count(n2.value());
-        if (touches_read && touches_write) {
-          self_loop = true;
-          break;
-        }
-      }
+      const bool self_loop = has_rw(n1, n1) || has_rw(n1, n2) ||
+                             has_rw(n2, n1) || has_rw(n2, n2);
       MergeCandidate c;
       c.kind = MergeCandidate::Kind::Registers;
       c.reg_a = regs[i];

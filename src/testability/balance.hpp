@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -84,9 +85,41 @@ struct BalanceOptions {
     const TestabilityAnalysis& analysis, int k,
     const BalanceOptions& options = {});
 
+/// Answers "is merging registers ra/rb structurally impossible" for many
+/// pairs against one (graph, binding) snapshot.
+///
+/// The naive per-pair check rebuilds the op-level reachability closure
+/// (O(ops^2/64 * arcs)) and scans every operation for each query; across the
+/// O(regs^2) pairs of one candidate-selection pass that dominated synthesis
+/// on large graphs.  The oracle hoists both invariants out: reachability is
+/// computed once, and the paper's case (2) -- some op reads variables of
+/// both registers -- is precomputed into a forbidden-pair set in one O(ops)
+/// sweep.  Queries then cost only the case-(1) lifetime test.  Answers are
+/// identical to register_merge_impossible.
+///
+/// The oracle borrows `g` and `b`; it must not outlive them, and `b`'s
+/// register assignment must not change between construction and the last
+/// query.
+class RegMergeOracle {
+ public:
+  RegMergeOracle(const dfg::Dfg& g, const etpn::Binding& b);
+  ~RegMergeOracle();
+  RegMergeOracle(const RegMergeOracle&) = delete;
+  RegMergeOracle& operator=(const RegMergeOracle&) = delete;
+
+  /// Same answer as register_merge_impossible(g, b, ra, rb).
+  [[nodiscard]] bool impossible(etpn::RegId ra, etpn::RegId rb) const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
 /// True when merging the two registers is structurally impossible: an
 /// operation consumes variables of both registers, or data dependences force
-/// their lifetimes to overlap in both directions.
+/// their lifetimes to overlap in both directions.  One-shot convenience
+/// wrapper over RegMergeOracle; build the oracle yourself when checking many
+/// pairs of the same binding.
 [[nodiscard]] bool register_merge_impossible(const dfg::Dfg& g,
                                              const etpn::Binding& b,
                                              etpn::RegId ra, etpn::RegId rb);

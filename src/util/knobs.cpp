@@ -91,6 +91,27 @@ const Knob kRegistry[] = {
      "4194304", "serve::ServeOptions::from_env",
      "upper bound on one wire-protocol request line; longer requests are "
      "rejected before parsing"},
+    {"HLTS_CODEL_TARGET_MS", Kind::Int, OnMalformed::Throw, "0 (off)",
+     "engine::EngineOptions::from_env",
+     "CoDel adaptive shedding: acceptable dispatch-time sojourn in ms; jobs "
+     "are shed once sojourn stays above this for a full interval, and the "
+     "shed rate returns to zero on recovery"},
+    {"HLTS_CODEL_INTERVAL_MS", Kind::Int, OnMalformed::Throw, "100",
+     "engine::EngineOptions::from_env",
+     "CoDel persistence window and control-law base period in ms"},
+    {"HLTS_SERVE_RESPAWN", Kind::Flag, OnMalformed::Ignore, "0",
+     "serve::ServeOptions::from_env",
+     "self-healing shard lifecycle: respawn dead workers with capped "
+     "exponential backoff, recover their journals and rejoin the ring; "
+     "crash-looping shards are quarantined"},
+    {"HLTS_SERVE_BREAKER_FAILURES", Kind::Int, OnMalformed::Throw, "3",
+     "serve::ServeOptions::from_env",
+     "consecutive per-shard failures that trip the circuit breaker open; "
+     "routing avoids open shards until a half-open probe succeeds"},
+    {"HLTS_SERVE_HEDGE", Kind::Flag, OnMalformed::Ignore, "0",
+     "serve::ServeOptions::from_env",
+     "hedged requests: a submit stuck past a p99-derived delay is re-issued "
+     "to a second shard, first result wins, the loser is cancelled"},
 };
 
 const char* kind_name(Kind k) {

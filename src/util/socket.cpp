@@ -149,6 +149,54 @@ std::pair<Fd, Fd> socket_pair() {
   return {Fd(fds[0]), Fd(fds[1])};
 }
 
+void send_fd(int sock, int fd_to_send, char payload) {
+  msghdr msg{};
+  iovec iov{};
+  iov.iov_base = &payload;
+  iov.iov_len = 1;
+  msg.msg_iov = &iov;
+  msg.msg_iovlen = 1;
+  alignas(cmsghdr) char control[CMSG_SPACE(sizeof(int))] = {};
+  msg.msg_control = control;
+  msg.msg_controllen = sizeof control;
+  cmsghdr* cmsg = CMSG_FIRSTHDR(&msg);
+  cmsg->cmsg_level = SOL_SOCKET;
+  cmsg->cmsg_type = SCM_RIGHTS;
+  cmsg->cmsg_len = CMSG_LEN(sizeof(int));
+  std::memcpy(CMSG_DATA(cmsg), &fd_to_send, sizeof(int));
+  while (::sendmsg(sock, &msg, MSG_NOSIGNAL) < 0) {
+    if (errno != EINTR) sys_fail("sendmsg(SCM_RIGHTS)");
+  }
+}
+
+std::optional<std::pair<Fd, char>> recv_fd(int sock) {
+  msghdr msg{};
+  char payload = 0;
+  iovec iov{};
+  iov.iov_base = &payload;
+  iov.iov_len = 1;
+  msg.msg_iov = &iov;
+  msg.msg_iovlen = 1;
+  alignas(cmsghdr) char control[CMSG_SPACE(sizeof(int))] = {};
+  msg.msg_control = control;
+  msg.msg_controllen = sizeof control;
+  ssize_t n;
+  while ((n = ::recvmsg(sock, &msg, 0)) < 0) {
+    if (errno != EINTR) sys_fail("recvmsg(SCM_RIGHTS)");
+  }
+  if (n == 0) return std::nullopt;  // peer closed: orderly EOF
+  for (cmsghdr* cmsg = CMSG_FIRSTHDR(&msg); cmsg != nullptr;
+       cmsg = CMSG_NXTHDR(&msg, cmsg)) {
+    if (cmsg->cmsg_level == SOL_SOCKET && cmsg->cmsg_type == SCM_RIGHTS &&
+        cmsg->cmsg_len == CMSG_LEN(sizeof(int))) {
+      int fd = -1;
+      std::memcpy(&fd, CMSG_DATA(cmsg), sizeof(int));
+      return std::make_pair(Fd(fd), payload);
+    }
+  }
+  throw Error("recvmsg: message carried no descriptor", ErrorKind::Transient);
+}
+
 void set_send_timeout_ms(int fd, int timeout_ms) {
   timeval tv{};
   tv.tv_sec = timeout_ms / 1000;

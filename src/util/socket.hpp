@@ -101,6 +101,19 @@ class Listener {
 /// AF_UNIX stream socketpair (supervisor <-> forked worker transport).
 [[nodiscard]] std::pair<Fd, Fd> socket_pair();
 
+/// Sends one byte of `payload` plus the file descriptor `fd_to_send` over
+/// an AF_UNIX socket (SCM_RIGHTS ancillary data).  The spawner/zygote
+/// transport: a single-threaded child forks new shard workers and hands
+/// the supervisor end of each worker socketpair back to the multithreaded
+/// parent, which could not fork safely itself.  Throws Error(Transient)
+/// when the peer is gone.
+void send_fd(int sock, int fd_to_send, char payload);
+
+/// Receives one byte + one descriptor sent by send_fd.  Returns nullopt on
+/// orderly EOF; throws Error(Transient) on a malformed message (no
+/// descriptor attached) or a socket error.
+[[nodiscard]] std::optional<std::pair<Fd, char>> recv_fd(int sock);
+
 /// Writes all of `data`, restarting on EINTR; throws Error(Transient) when
 /// the peer is gone or a send timeout (set_send_timeout_ms) expires.
 /// SIGPIPE is suppressed (MSG_NOSIGNAL / signal mask).  With `chaos`, an

@@ -1,0 +1,76 @@
+// Seeded random-DFG generator for workload synthesis.
+//
+// The six paper benchmarks (src/benchmarks) top out at 34 operations --
+// plenty for correctness but useless for soaking the serving stack, whose
+// overload behaviour only shows up when jobs are big enough to queue.  This
+// generator manufactures behavioral DFGs of arbitrary size with the same
+// structural vocabulary the benchmarks use, shaped by a small set of knobs:
+//
+//   depth            -- operations are laid out in layers; each layer
+//                       consumes values from earlier layers, so depth bounds
+//                       the critical path from below (like EWF's long adder
+//                       chains vs DCT's shallow butterflies);
+//   fanout           -- how far back an operation may reach for operands:
+//                       small fanout makes narrow chained graphs, large
+//                       fanout makes wide shareable ones;
+//   loop_density     -- fraction of operations that are loop-state updates:
+//                       a state primary input `sK` whose update writes the
+//                       registered primary output `sK_n` (the Diffeq
+//                       u/u1-x/x1-y/y1 pattern -- loop-carried values that
+//                       must hold a register across the whole schedule);
+//   self_loop_density-- of those updates, the fraction reading their own
+//                       state variable directly (a structural self-loop
+//                       candidate once sK and sK_n share a register);
+//   arithmetic mix   -- mul/div/cmp/logic fractions, remainder add/sub
+//                       (what the module library can and cannot share);
+//   memories / ports -- a memory-node class: every access to memory M port P
+//                       threads a port token variable through the access
+//                       operation, so accesses on one port serialize into a
+//                       dependence chain no scheduler can overlap -- the
+//                       DFG-level rendering of a port conflict.
+//
+// Determinism is the whole point: generate(seed, shape) is a pure function.
+// The same (seed, shape) produces a bit-identical DFG -- same names, same
+// ids, same edge lists -- on every platform, thread count and SIMD width
+// (the generator is single-threaded by construction and draws every random
+// choice from one hlts::Rng stream in program order).  tokens() serializes
+// a DFG to its canonical JSON form so tests can compare graphs by string
+// equality.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "dfg/dfg.hpp"
+
+namespace hlts::workload {
+
+/// Shape knobs for one generated DFG.  Defaults make a mid-size mixed
+/// kernel (64 ops, 8 layers) with no loops and no memory class.
+struct DfgShape {
+  int ops = 64;    ///< total operation count (>= 1)
+  int depth = 8;   ///< layer count; critical path grows with it (>= 1)
+  int fanout = 3;  ///< operand reach in layers (>= 1)
+  int inputs = 8;  ///< primary inputs (>= 1)
+  double loop_density = 0.0;       ///< ops that are loop-state updates [0,1]
+  double self_loop_density = 0.0;  ///< of those, direct self-reads [0,1]
+  double mul_fraction = 0.25;      ///< multiplications [0,1]
+  double div_fraction = 0.0;       ///< divisions [0,1]
+  double cmp_fraction = 0.05;      ///< comparisons (<, >, ==) [0,1]
+  double logic_fraction = 0.10;    ///< and/or/xor/not [0,1]
+  int memories = 0;      ///< memory nodes (0 = no memory class)
+  int memory_ports = 1;  ///< ports per memory; accesses serialize per port
+  double memory_access_density = 0.0;  ///< ops that access a memory [0,1]
+};
+
+/// Builds a DFG from `seed` and `shape`.  Deterministic (see file comment);
+/// the result always passes dfg::Dfg::validate().  The graph is named
+/// "gen-<seed>-<ops>".  Throws hlts::Error(Input) for out-of-range knobs.
+[[nodiscard]] dfg::Dfg generate(std::uint64_t seed, const DfgShape& shape);
+
+/// Canonical serialization for equality checks: the core checkpoint JSON
+/// form, dumped without whitespace.  Two DFGs are structurally identical
+/// iff their token strings compare equal.
+[[nodiscard]] std::string tokens(const dfg::Dfg& g);
+
+}  // namespace hlts::workload

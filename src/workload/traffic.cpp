@@ -1,0 +1,109 @@
+#include "workload/traffic.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace hlts::workload {
+
+const char* pattern_name(Pattern p) {
+  switch (p) {
+    case Pattern::Uniform: return "uniform";
+    case Pattern::Diagonal: return "diagonal";
+    case Pattern::QuasiDiagonal: return "quasi-diagonal";
+    case Pattern::LogDiagonal: return "log-diagonal";
+  }
+  return "?";
+}
+
+Pattern pattern_from_token(const std::string& token) {
+  if (token == "uniform") return Pattern::Uniform;
+  if (token == "diagonal") return Pattern::Diagonal;
+  if (token == "quasi-diagonal") return Pattern::QuasiDiagonal;
+  if (token == "log-diagonal") return Pattern::LogDiagonal;
+  throw Error("unknown traffic pattern '" + token +
+                  "' (uniform / diagonal / quasi-diagonal / log-diagonal)",
+              ErrorKind::Input);
+}
+
+std::vector<Pattern> all_patterns() {
+  return {Pattern::Uniform, Pattern::Diagonal, Pattern::QuasiDiagonal,
+          Pattern::LogDiagonal};
+}
+
+namespace {
+
+/// Cyclic distance (in phase slots) between `phase` and the diagonal slot
+/// of `conn` -- connections map onto the phase axis proportionally, so the
+/// shapes survive conns != phases.
+int diagonal_distance(int conns, int phases, int conn, int phase) {
+  const int diag = (conn * phases) / conns;
+  const int d = std::abs(phase - diag);
+  return std::min(d, phases - d);
+}
+
+}  // namespace
+
+double pattern_weight(Pattern p, int conns, int phases, int conn, int phase) {
+  HLTS_REQUIRE_INPUT(conns >= 1 && phases >= 1, "traffic: empty matrix");
+  HLTS_REQUIRE_INPUT(conn >= 0 && conn < conns && phase >= 0 && phase < phases,
+                     "traffic: index out of range");
+  const int d = diagonal_distance(conns, phases, conn, phase);
+  switch (p) {
+    case Pattern::Uniform:
+      return 1.0;
+    case Pattern::Diagonal:
+      return d == 0 ? 1.0 : 0.0;
+    case Pattern::QuasiDiagonal:
+      if (d == 0) return 1.0;
+      return d == 1 ? 0.5 : 0.0;
+    case Pattern::LogDiagonal:
+      return std::ldexp(1.0, -d);  // 2^-d
+  }
+  return 0.0;
+}
+
+std::vector<int> apportion(Pattern p, int conns, int phases, int phase,
+                           int jobs) {
+  HLTS_REQUIRE_INPUT(jobs >= 0, "traffic: negative job budget");
+  std::vector<double> weights(static_cast<std::size_t>(conns));
+  for (int c = 0; c < conns; ++c) {
+    weights[static_cast<std::size_t>(c)] =
+        pattern_weight(p, conns, phases, c, phase);
+  }
+  double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+  if (total <= 0.0) {
+    std::fill(weights.begin(), weights.end(), 1.0);
+    total = static_cast<double>(conns);
+  }
+
+  // Largest-remainder: floor the exact shares, then hand the leftover jobs
+  // to the largest fractional parts (ties to the lower index).
+  std::vector<int> out(static_cast<std::size_t>(conns), 0);
+  std::vector<std::pair<double, int>> remainders;
+  remainders.reserve(static_cast<std::size_t>(conns));
+  int assigned = 0;
+  for (int c = 0; c < conns; ++c) {
+    const double share = static_cast<double>(jobs) *
+                         weights[static_cast<std::size_t>(c)] / total;
+    const int base = static_cast<int>(std::floor(share));
+    out[static_cast<std::size_t>(c)] = base;
+    assigned += base;
+    remainders.emplace_back(share - static_cast<double>(base), c);
+  }
+  std::sort(remainders.begin(), remainders.end(),
+            [](const std::pair<double, int>& a, const std::pair<double, int>& b) {
+              if (a.first != b.first) return a.first > b.first;
+              return a.second < b.second;
+            });
+  for (int left = jobs - assigned; left > 0; --left) {
+    const int c = remainders[static_cast<std::size_t>(jobs - assigned - left)]
+                      .second;
+    ++out[static_cast<std::size_t>(c)];
+  }
+  return out;
+}
+
+}  // namespace hlts::workload

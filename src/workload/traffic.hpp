@@ -1,0 +1,55 @@
+// Traffic-pattern schedules for the serving soak grid.
+//
+// A soak run is a matrix: `conns` client connections (rows) injecting jobs
+// over `phases` consecutive time slots (columns).  The pattern names --
+// borrowed from the interconnect-traffic literature, where the same four
+// shapes stress routers from "perfectly balanced" to "everyone hammers one
+// hotspot" -- pick how the per-phase job budget spreads over the
+// connections:
+//
+//   uniform        every connection injects equally in every phase -- the
+//                  balanced baseline;
+//   diagonal       each phase is owned by the connections on its diagonal;
+//                  everyone else is silent, so load sweeps across the
+//                  connection set one hotspot at a time;
+//   quasi-diagonal the diagonal plus its immediate (cyclic) neighbours at
+//                  half weight -- a moving hotspot with shoulders;
+//   log-diagonal   weight halves with each step of (cyclic) distance from
+//                  the diagonal -- concentrated but never silent, the
+//                  heavy-tailed middle ground.
+//
+// Everything here is a pure function of (pattern, conns, phases): no clock,
+// no randomness, no state.  apportion() uses largest-remainder rounding
+// with index-ordered tie breaks, so a job budget always splits the same way
+// -- the soak grid's BENCH numbers are reproducible run over run.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace hlts::workload {
+
+enum class Pattern { Uniform, Diagonal, QuasiDiagonal, LogDiagonal };
+
+/// "uniform" / "diagonal" / "quasi-diagonal" / "log-diagonal".
+[[nodiscard]] const char* pattern_name(Pattern p);
+
+/// Inverse of pattern_name; throws hlts::Error(Input) for unknown tokens.
+[[nodiscard]] Pattern pattern_from_token(const std::string& token);
+
+/// All four patterns in grid order.
+[[nodiscard]] std::vector<Pattern> all_patterns();
+
+/// Injection weight of connection `conn` during phase `phase` (>= 0; not
+/// normalized).  `conns` and `phases` must be >= 1, the indices in range.
+[[nodiscard]] double pattern_weight(Pattern p, int conns, int phases,
+                                    int conn, int phase);
+
+/// Splits `jobs` across the connections for one phase, proportionally to
+/// pattern_weight and summing exactly to `jobs` (largest-remainder method,
+/// ties to the lower connection index).  A phase whose weights are all zero
+/// (a diagonal nobody sits on) falls back to uniform.
+[[nodiscard]] std::vector<int> apportion(Pattern p, int conns, int phases,
+                                         int phase, int jobs);
+
+}  // namespace hlts::workload

@@ -1,0 +1,487 @@
+// Self-healing lifecycle tests (`ctest -L lifecycle`): the pure state
+// machines behind the supervisor's shard lifecycle -- circuit breaker,
+// respawn backoff with flap quarantine, EWMA scores, the latency window
+// that derives the hedge trigger, and the CoDel admission controller --
+// all driven with synthetic time, plus health-aware routing, and the
+// headline kill-respawn-rejoin soak: a real Server with respawn enabled,
+// a SIGKILLed shard worker mid-load, and the assertion that every job is
+// answered exactly once while the shard respawns, reclaims its journal
+// and rejoins the ring.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/api.hpp"
+#include "benchmarks/benchmarks.hpp"
+#include "core/flows.hpp"
+#include "engine/codel.hpp"
+#include "serve/client.hpp"
+#include "serve/lifecycle.hpp"
+#include "serve/router.hpp"
+#include "serve/supervisor.hpp"
+#include "util/json.hpp"
+
+namespace hlts {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Circuit breaker.
+
+TEST(CircuitBreaker, OpensAfterConsecutiveFailuresAndCoolsDown) {
+  serve::CircuitBreaker b(3, /*cooldown_ms=*/1000);
+  EXPECT_EQ(b.state(), serve::CircuitBreaker::State::Closed);
+  b.record_failure(10);
+  b.record_failure(20);
+  EXPECT_EQ(b.state(), serve::CircuitBreaker::State::Closed);
+  EXPECT_TRUE(b.allow(25));
+  b.record_failure(30);  // third consecutive: open
+  EXPECT_EQ(b.state(), serve::CircuitBreaker::State::Open);
+  EXPECT_FALSE(b.allow(500));   // still cooling
+  EXPECT_FALSE(b.allow(1029));  // 999 ms elapsed
+  EXPECT_TRUE(b.allow(1030));   // cooldown over: half-open probe admitted
+  EXPECT_EQ(b.state(), serve::CircuitBreaker::State::HalfOpen);
+}
+
+TEST(CircuitBreaker, SuccessBetweenFailuresResetsTheCount) {
+  serve::CircuitBreaker b(2, 1000);
+  b.record_failure(0);
+  b.record_success();
+  b.record_failure(10);  // only one *consecutive* failure
+  EXPECT_EQ(b.state(), serve::CircuitBreaker::State::Closed);
+  b.record_failure(20);
+  EXPECT_EQ(b.state(), serve::CircuitBreaker::State::Open);
+}
+
+TEST(CircuitBreaker, HalfOpenAdmitsExactlyOneProbe) {
+  serve::CircuitBreaker b(1, 100);
+  b.record_failure(0);
+  EXPECT_TRUE(b.allow(100));    // the probe
+  EXPECT_FALSE(b.allow(101));   // second request must wait for its verdict
+  EXPECT_FALSE(b.allow(5000));  // no matter how long
+  b.record_success();
+  EXPECT_EQ(b.state(), serve::CircuitBreaker::State::Closed);
+  EXPECT_TRUE(b.allow(5001));
+}
+
+TEST(CircuitBreaker, FailedProbeReopensWithFreshCooldown) {
+  serve::CircuitBreaker b(1, 100);
+  b.record_failure(0);
+  EXPECT_TRUE(b.allow(100));
+  b.record_failure(150);  // probe failed at t=150
+  EXPECT_EQ(b.state(), serve::CircuitBreaker::State::Open);
+  EXPECT_FALSE(b.allow(200));  // cooldown restarted from 150
+  EXPECT_TRUE(b.allow(250));
+}
+
+TEST(CircuitBreaker, WouldAllowHasNoSideEffects) {
+  serve::CircuitBreaker b(1, 100);
+  b.record_failure(0);
+  // would_allow says a probe *could* go, repeatedly -- it must not burn the
+  // probe slot the way allow() does.
+  EXPECT_TRUE(b.would_allow(100));
+  EXPECT_TRUE(b.would_allow(100));
+  EXPECT_EQ(b.state(), serve::CircuitBreaker::State::Open);
+  EXPECT_TRUE(b.allow(100));
+  EXPECT_FALSE(b.would_allow(101));  // probe in flight now
+  EXPECT_EQ(b.state(), serve::CircuitBreaker::State::HalfOpen);
+}
+
+TEST(CircuitBreaker, ResetForgetsAllHistory) {
+  serve::CircuitBreaker b(1, 1000000);
+  b.record_failure(0);
+  EXPECT_FALSE(b.allow(10));
+  b.reset();
+  EXPECT_EQ(b.state(), serve::CircuitBreaker::State::Closed);
+  EXPECT_EQ(b.consecutive_failures(), 0);
+  EXPECT_TRUE(b.allow(11));
+}
+
+// ---------------------------------------------------------------------------
+// Respawn policy.
+
+TEST(RespawnPolicy, BackoffLadderDoublesAndCaps) {
+  serve::RespawnPolicy p(/*backoff_ms=*/200, /*cap=*/1000,
+                         /*flap_window_ms=*/1000000, /*flap_limit=*/100);
+  EXPECT_EQ(p.on_death(0), 200);      // first death: base backoff
+  EXPECT_EQ(p.on_death(1000), 1400);  // second consecutive: 400
+  EXPECT_EQ(p.on_death(2000), 2800);  // 800
+  EXPECT_EQ(p.on_death(3000), 4000);  // 1600 -> capped at 1000
+  EXPECT_EQ(p.on_death(4000), 5000);  // stays at the cap
+}
+
+TEST(RespawnPolicy, ReadyResetsTheLadderButNotTheDeathHistory) {
+  serve::RespawnPolicy p(200, 10000, /*flap_window_ms=*/1000000,
+                         /*flap_limit=*/3);
+  EXPECT_EQ(p.on_death(0), 200);
+  EXPECT_EQ(p.on_death(1000), 1400);
+  p.on_ready();
+  // Ladder back to base...
+  EXPECT_EQ(p.on_death(2000), 2200);
+  EXPECT_EQ(p.deaths(), 3);
+  // ...but the flap window still remembers every death: one more inside the
+  // window exceeds flap_limit=3 and quarantines.
+  EXPECT_EQ(p.on_death(3000), -1);
+  EXPECT_TRUE(p.quarantined());
+}
+
+TEST(RespawnPolicy, DeathsOutsideTheWindowSlideOff) {
+  serve::RespawnPolicy p(100, 100, /*flap_window_ms=*/1000, /*flap_limit=*/2);
+  EXPECT_NE(p.on_death(0), -1);
+  EXPECT_NE(p.on_death(10), -1);
+  // Third death, but the first two are > 1000 ms old: window holds only 1.
+  EXPECT_NE(p.on_death(2000), -1);
+  EXPECT_FALSE(p.quarantined());
+  // Two more inside the window: 3 > flap_limit=2 -> quarantine.
+  EXPECT_NE(p.on_death(2100), -1);
+  EXPECT_EQ(p.on_death(2200), -1);
+  EXPECT_TRUE(p.quarantined());
+}
+
+// ---------------------------------------------------------------------------
+// EWMA and latency window.
+
+TEST(Ewma, FirstSamplePrimesSubsequentOnesBlend) {
+  serve::Ewma e(/*alpha=*/0.5, /*initial=*/7.0);
+  EXPECT_FALSE(e.primed());
+  EXPECT_DOUBLE_EQ(e.value(), 7.0);  // neutral until the first sample
+  e.observe(100.0);
+  EXPECT_TRUE(e.primed());
+  EXPECT_DOUBLE_EQ(e.value(), 100.0);  // priming ignores the initial
+  e.observe(0.0);
+  EXPECT_DOUBLE_EQ(e.value(), 50.0);
+  e.observe(50.0);
+  EXPECT_DOUBLE_EQ(e.value(), 50.0);
+}
+
+TEST(LatencyWindow, NearestRankPercentilesOverTheRing) {
+  serve::LatencyWindow w(/*capacity=*/8);
+  EXPECT_EQ(w.percentile(0.99), 0);  // empty
+  for (std::int64_t v : {10, 20, 30, 40, 50, 60, 70, 80}) w.observe(v);
+  EXPECT_EQ(w.percentile(0.5), 40);
+  EXPECT_EQ(w.percentile(0.99), 80);
+  EXPECT_EQ(w.percentile(0.0), 10);
+  // Ring wraps: the oldest samples are evicted.
+  w.observe(1000);
+  w.observe(1000);
+  EXPECT_EQ(w.percentile(1.0), 1000);
+  EXPECT_EQ(w.percentile(0.0), 30);
+}
+
+TEST(LatencyWindow, HedgeDelayFloorsUntilPrimed) {
+  serve::LatencyWindow w(256);
+  for (std::size_t i = 0; i + 1 < serve::LatencyWindow::kMinSamples; ++i) {
+    w.observe(10000);
+    // Too few samples: the trigger stays at the floor, otherwise a couple
+    // of slow warmup jobs would hedge everything that follows.
+    EXPECT_EQ(w.hedge_delay_ms(50, 1.5), 50) << i;
+  }
+  w.observe(10000);  // kMinSamples reached
+  EXPECT_EQ(w.hedge_delay_ms(50, 1.5), 15000);
+  EXPECT_EQ(w.hedge_delay_ms(20000, 1.5), 20000);  // floor still wins
+}
+
+// ---------------------------------------------------------------------------
+// CoDel admission controller.
+
+TEST(CoDel, DisabledControllerNeverDrops) {
+  engine::CoDelController c({.target_ms = 0, .interval_ms = 100});
+  EXPECT_FALSE(c.enabled());
+  for (int t = 0; t < 1000; t += 10) {
+    EXPECT_FALSE(c.should_drop(/*sojourn_ms=*/100000, /*now_ms=*/t));
+  }
+  EXPECT_EQ(c.total_drops(), 0u);
+}
+
+TEST(CoDel, TransientExcursionBelowIntervalIsTolerated) {
+  engine::CoDelController c({.target_ms = 20, .interval_ms = 100});
+  EXPECT_FALSE(c.should_drop(50, 0));    // above target, starts the clock
+  EXPECT_FALSE(c.should_drop(50, 90));   // 90 ms above: still < interval
+  EXPECT_FALSE(c.should_drop(5, 95));    // dipped under target: clock resets
+  EXPECT_FALSE(c.should_drop(50, 100));  // new excursion, new clock
+  EXPECT_FALSE(c.should_drop(50, 199));
+  EXPECT_FALSE(c.dropping());
+  EXPECT_EQ(c.total_drops(), 0u);
+}
+
+TEST(CoDel, PersistentStandingQueueShedsAtControlLawRate) {
+  engine::CoDelController c({.target_ms = 20, .interval_ms = 100});
+  EXPECT_FALSE(c.should_drop(50, 0));
+  EXPECT_TRUE(c.should_drop(50, 100));  // one full interval above target
+  EXPECT_TRUE(c.dropping());
+  EXPECT_EQ(c.total_drops(), 1u);
+  // Control law: next drop at 100 + 100/sqrt(1) = 200.
+  EXPECT_FALSE(c.should_drop(50, 150));
+  EXPECT_FALSE(c.should_drop(50, 199));
+  EXPECT_TRUE(c.should_drop(50, 200));
+  EXPECT_EQ(c.total_drops(), 2u);
+  // Then 200 + 100/sqrt(2) ~ 270, then ~ +100/sqrt(3) ~ 57: the shed rate
+  // keeps ramping while the standing queue persists.
+  EXPECT_FALSE(c.should_drop(50, 269));
+  EXPECT_TRUE(c.should_drop(50, 271));
+  EXPECT_EQ(c.total_drops(), 3u);
+  EXPECT_FALSE(c.should_drop(50, 327));
+  EXPECT_TRUE(c.should_drop(50, 329));
+  EXPECT_EQ(c.total_drops(), 4u);
+}
+
+TEST(CoDel, RecoveryEndsTheEpisodeImmediately) {
+  engine::CoDelController c({.target_ms = 20, .interval_ms = 100});
+  EXPECT_FALSE(c.should_drop(50, 0));
+  EXPECT_TRUE(c.should_drop(50, 100));
+  EXPECT_TRUE(c.dropping());
+  // A dispatched job saw sojourn back under target: episode over, no
+  // lingering shed debt.
+  EXPECT_FALSE(c.should_drop(5, 120));
+  EXPECT_FALSE(c.dropping());
+  EXPECT_FALSE(c.should_drop(50, 130));  // must persist a full interval again
+  EXPECT_FALSE(c.should_drop(50, 229));
+  EXPECT_TRUE(c.should_drop(50, 230));
+  EXPECT_EQ(c.total_drops(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Health-aware routing.
+
+TEST(Router, RouteRankedIsDeterministicAndSkipsDisallowed) {
+  serve::ShardRouter r(4);
+  const std::vector<double> scores = {1.0, 1.0, 1.0, 1.0};
+  const std::vector<bool> all(4, true);
+  const int first = r.route_ranked("job-a", scores, all);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(r.route_ranked("job-a", scores, all), first);
+  }
+  // Disallowing the chosen shard must route elsewhere, deterministically.
+  std::vector<bool> allowed(4, true);
+  allowed[static_cast<std::size_t>(first)] = false;
+  const int second = r.route_ranked("job-a", scores, allowed);
+  EXPECT_NE(second, first);
+  EXPECT_EQ(r.route_ranked("job-a", scores, allowed), second);
+}
+
+TEST(Router, RouteRankedPrefersClearlyLighterShards) {
+  serve::ShardRouter r(3);
+  const std::vector<bool> all(3, true);
+  // Shard 2 is far above the tolerance band around the lightest shard; it
+  // must never be picked, whatever the rendezvous hash says.
+  const std::vector<double> scores = {1.0, 1.2, 100.0};
+  for (int i = 0; i < 32; ++i) {
+    const int got = r.route_ranked("job-" + std::to_string(i), scores, all);
+    EXPECT_NE(got, 2) << "job-" << i;
+  }
+}
+
+TEST(Router, RouteRankedSpreadsWithinToleranceBand) {
+  serve::ShardRouter r(4);
+  const std::vector<bool> all(4, true);
+  const std::vector<double> even(4, 1.0);
+  std::map<int, int> hits;
+  for (int i = 0; i < 64; ++i) {
+    hits[r.route_ranked("job-" + std::to_string(i), even, all)]++;
+  }
+  // Rendezvous hashing over equal scores: every shard takes some traffic.
+  EXPECT_EQ(hits.size(), 4u);
+}
+
+TEST(Router, RouteRankedFallsBackWhenEveryBreakerIsOpen) {
+  serve::ShardRouter r(3);
+  const std::vector<double> scores = {1.0, 2.0, 3.0};
+  // No shard is allowed (all breakers open): rather than refuse outright,
+  // the router falls back to the full live set -- an open breaker is advice,
+  // an empty cluster is an outage.
+  const int got = r.route_ranked("job-x", scores, std::vector<bool>(3, false));
+  EXPECT_GE(got, 0);
+  EXPECT_LT(got, 3);
+  // Dead shards are no fallback, though.
+  r.mark_dead(0);
+  r.mark_dead(1);
+  r.mark_dead(2);
+  EXPECT_EQ(r.route_ranked("job-x", scores, std::vector<bool>(3, false)), -1);
+}
+
+// ---------------------------------------------------------------------------
+// Kill-respawn-rejoin soak against a real server.
+
+core::FlowParams paper_params() {
+  core::FlowParams p;
+  p.k = 5;
+  p.alpha = 2;
+  p.beta = 1;
+  p.num_threads = 1;
+  return p;
+}
+
+struct TempRoot {
+  std::string path;
+  TempRoot() {
+    const char* base = std::getenv("TMPDIR");
+    std::string tmpl =
+        std::string(base != nullptr ? base : "/tmp") + "/hlts_lifecycle_XXXXXX";
+    std::vector<char> buf(tmpl.begin(), tmpl.end());
+    buf.push_back('\0');
+    char* made = mkdtemp(buf.data());
+    EXPECT_NE(made, nullptr);
+    path = made != nullptr ? made : tmpl;
+  }
+  ~TempRoot() {
+    std::error_code ec;
+    std::filesystem::remove_all(path, ec);
+  }
+};
+
+class LifecycleFixture : public ::testing::Test {
+ protected:
+  /// Like ServeFixture::make_server, but with the self-healing lifecycle
+  /// switched on (respawn + fast backoff so the test does not sleep through
+  /// production-scale ladders).  Must run before any other thread exists in
+  /// the test process (the Server ctor forks the zygote).
+  serve::Server& make_server(int shards, serve::LifecycleOptions lifecycle) {
+    serve::ServerOptions opts;
+    opts.shards = shards;
+    opts.port = 0;
+    opts.journal_root = root_.path;
+    opts.lifecycle = lifecycle;
+    server_ = std::make_unique<serve::Server>(std::move(opts));
+    runner_ = std::thread([s = server_.get()] { s->run(); });
+    return *server_;
+  }
+
+  void TearDown() override {
+    if (server_ != nullptr) server_->stop();
+    if (runner_.joinable()) runner_.join();
+    server_.reset();
+  }
+
+  TempRoot root_;
+  std::unique_ptr<serve::Server> server_;
+  std::thread runner_;
+};
+
+api::FlowRequestV1 make_request(const std::string& name,
+                                const std::string& bench,
+                                core::FlowKind kind) {
+  api::FlowRequestV1 req;
+  req.name = name;
+  req.kind = kind;
+  req.dfg = benchmarks::make_benchmark(bench);
+  req.params = paper_params();
+  return req;
+}
+
+serve::LifecycleOptions fast_lifecycle() {
+  serve::LifecycleOptions l;
+  l.respawn = true;
+  l.respawn_backoff_ms = 25;
+  l.respawn_backoff_cap_ms = 100;
+  return l;
+}
+
+/// Polls cluster health until `pred` holds or ~20 s elapse.
+template <typename Pred>
+bool wait_for_cluster(serve::Client& client, Pred pred) {
+  for (int i = 0; i < 400; ++i) {
+    const auto h = client.health();
+    if (h.ok && h.health.has_value()) {
+      const util::JsonValue* cluster = h.health->find("cluster");
+      if (cluster != nullptr && pred(*cluster)) return true;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  return false;
+}
+
+TEST_F(LifecycleFixture, KilledShardRespawnsRejoinsAndLosesNoJobs) {
+  const int kShards = 3;
+  serve::Server& server = make_server(kShards, fast_lifecycle());
+  serve::Client client(server.port());
+
+  // Pipeline a grid of jobs across all shards, then SIGKILL shard 1 while
+  // they are in flight.
+  const int kJobs = 12;
+  std::vector<std::string> names;
+  for (int j = 0; j < kJobs; ++j) {
+    const std::string bench = (j % 2 == 0) ? "ex" : "diffeq";
+    const std::string name = "soak-" + std::to_string(j);
+    names.push_back(name);
+    client.send_submit(make_request(name, bench, core::FlowKind::Ours));
+  }
+  serve::Client killer(server.port());
+  ASSERT_TRUE(killer.kill_shard(1));
+
+  // Exactly one reply per job, every one successful: the respawned shard
+  // reclaims its journal and replays, a peer adopts anything the ticker
+  // re-pointed, and the flow-token dedup guarantees no double replies.
+  std::map<std::string, int> replies;
+  for (int j = 0; j < kJobs; ++j) {
+    const auto resp = client.read_response();
+    ASSERT_TRUE(resp.has_value()) << "connection closed after " << j;
+    ASSERT_TRUE(resp->ok) << resp->error;
+    ASSERT_TRUE(resp->result.has_value());
+    EXPECT_EQ(resp->result->state, "succeeded") << resp->result->name;
+    replies[resp->result->name]++;
+  }
+  for (const std::string& name : names) {
+    EXPECT_EQ(replies[name], 1) << name;
+  }
+
+  // The ring must heal: the dead shard respawns, reports ready and takes
+  // traffic again (live_shards back to full, respawns counted).
+  EXPECT_TRUE(wait_for_cluster(client, [&](const util::JsonValue& c) {
+    return c.get_int("live_shards") == kShards && c.get_int("respawns") >= 1;
+  })) << "shard never rejoined";
+
+  // The healed cluster serves new work, bit-identical to a serial run.
+  const auto after = client.submit(
+      make_request("after-heal", "ex", core::FlowKind::Ours));
+  ASSERT_TRUE(after.ok) << after.error;
+  ASSERT_TRUE(after.result.has_value());
+  const core::FlowResult serial = core::run_flow(
+      core::FlowKind::Ours, benchmarks::make_benchmark("ex"), paper_params());
+  EXPECT_TRUE(api::FlowResultV1::from_result("after-heal", serial)
+                  .design_identical(*after.result));
+  EXPECT_TRUE(client.shutdown());
+}
+
+TEST_F(LifecycleFixture, CrashLoopingShardIsQuarantined) {
+  serve::LifecycleOptions l = fast_lifecycle();
+  l.flap_limit = 1;          // a second death inside the window quarantines
+  l.flap_window_ms = 60000;  // both kills land comfortably inside
+  const int kShards = 2;
+  serve::Server& server = make_server(kShards, l);
+  serve::Client client(server.port());
+
+  ASSERT_TRUE(client.kill_shard(0));
+  ASSERT_TRUE(wait_for_cluster(client, [&](const util::JsonValue& c) {
+    return c.get_int("live_shards") == kShards && c.get_int("respawns") >= 1;
+  })) << "first respawn never happened";
+
+  ASSERT_TRUE(client.kill_shard(0));
+  EXPECT_TRUE(wait_for_cluster(client, [&](const util::JsonValue& c) {
+    return c.get_int("quarantined_shards") == 1;
+  })) << "second death did not quarantine";
+
+  // The quarantined shard stays down -- no respawn flapping -- and the rest
+  // of the ring keeps serving.
+  const auto resp = client.submit(
+      make_request("post-quarantine", "ex", core::FlowKind::Ours));
+  ASSERT_TRUE(resp.ok) << resp.error;
+  ASSERT_TRUE(resp.result.has_value());
+  EXPECT_EQ(resp.result->state, "succeeded");
+  const auto h = client.health();
+  ASSERT_TRUE(h.ok && h.health.has_value());
+  const util::JsonValue* cluster = h.health->find("cluster");
+  ASSERT_NE(cluster, nullptr);
+  EXPECT_EQ(cluster->get_int("live_shards"), kShards - 1);
+  EXPECT_TRUE(client.shutdown());
+}
+
+}  // namespace
+}  // namespace hlts
